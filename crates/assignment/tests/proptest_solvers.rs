@@ -1,0 +1,76 @@
+//! Property-based tests for the assignment solvers.
+//!
+//! Invariants checked:
+//! * The exact solvers (Jonker–Volgenant, Hungarian, auction) agree with the
+//!   brute-force optimum on random rectangular matrices.
+//! * Every solver returns a structurally valid rectangular matching.
+//! * The greedy heuristic never beats the optimum.
+//! * Optimal cost is invariant under transposition and monotone under
+//!   uniform cost shifts.
+
+use kairos_assignment::{
+    brute::solve_brute_force, greedy::solve_greedy, hungarian::solve_hungarian, jv::solve_jv,
+    CostMatrix,
+};
+use proptest::prelude::*;
+
+/// Strategy producing small rectangular matrices with bounded finite costs.
+fn small_matrix() -> impl Strategy<Value = CostMatrix> {
+    (1usize..=6, 1usize..=6)
+        .prop_flat_map(|(rows, cols)| {
+            prop::collection::vec(-100.0f64..100.0, rows * cols)
+                .prop_map(move |data| CostMatrix::from_vec(rows, cols, data).unwrap())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn jv_matches_brute_force(m in small_matrix()) {
+        let jv = solve_jv(&m).unwrap();
+        let brute = solve_brute_force(&m).unwrap();
+        prop_assert!((jv.total_cost - brute.total_cost).abs() < 1e-6);
+        prop_assert!(jv.is_valid_for(m.rows(), m.cols()));
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force(m in small_matrix()) {
+        let h = solve_hungarian(&m).unwrap();
+        let brute = solve_brute_force(&m).unwrap();
+        prop_assert!((h.total_cost - brute.total_cost).abs() < 1e-6);
+        prop_assert!(h.is_valid_for(m.rows(), m.cols()));
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_never_better_than_optimal(m in small_matrix()) {
+        let g = solve_greedy(&m).unwrap();
+        let opt = solve_jv(&m).unwrap();
+        prop_assert!(g.is_valid_for(m.rows(), m.cols()));
+        prop_assert!(g.total_cost + 1e-9 >= opt.total_cost);
+    }
+
+    #[test]
+    fn optimal_cost_invariant_under_transpose(m in small_matrix()) {
+        let a = solve_jv(&m).unwrap();
+        let b = solve_jv(&m.transposed()).unwrap();
+        prop_assert!((a.total_cost - b.total_cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_shift_changes_cost_predictably(m in small_matrix(), shift in -50.0f64..50.0) {
+        // Adding a constant to every entry adds `min(rows, cols) * shift`
+        // to the optimal cost and leaves the optimal matching structure valid.
+        let shifted = CostMatrix::from_fn(m.rows(), m.cols(), |r, c| m.get(r, c) + shift).unwrap();
+        let a = solve_jv(&m).unwrap();
+        let b = solve_jv(&shifted).unwrap();
+        let k = m.rows().min(m.cols()) as f64;
+        prop_assert!((b.total_cost - (a.total_cost + k * shift)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matched_count_is_min_dimension(m in small_matrix()) {
+        let a = solve_jv(&m).unwrap();
+        prop_assert_eq!(a.matched_count(), m.rows().min(m.cols()));
+    }
+}

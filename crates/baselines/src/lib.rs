@@ -1,0 +1,28 @@
+//! # kairos-baselines
+//!
+//! The competing schemes the Kairos paper (HPDC'23) evaluates against,
+//! re-implemented on top of the same simulator substrate:
+//!
+//! * **Query distribution** ([`schedulers`]): Ribbon's FCFS-prefer-base
+//!   policy, the DeepRecSys batch-size-threshold policy (with its
+//!   hill-climbing threshold tuner) and a Clockwork-inspired QoS-aware
+//!   controller with per-instance queues.
+//! * **Oracle** ([`oracle`]): the infeasible reference scheme that knows the
+//!   whole query sequence in advance (ORCL in the figures).
+//! * **Configuration search** ([`search`]): exhaustive, random, simulated
+//!   annealing, genetic and Ribbon's Bayesian-optimization searches over the
+//!   affordable configuration space, all sharing Kairos+'s sub-configuration
+//!   pruning advantage as in the paper's Fig. 11 setup.
+
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod schedulers;
+pub mod search;
+
+pub use oracle::{best_oracle_throughput, oracle_throughput};
+pub use schedulers::{tune_drs_threshold, ClockworkScheduler, DrsScheduler, RibbonScheduler};
+pub use search::{
+    BayesianOptimization, ConfigSearch, ExhaustiveSearch, GeneticSearch, PrunedEvaluator,
+    RandomSearch, SearchOutcome, SearchSpace, SimulatedAnnealing,
+};

@@ -1,0 +1,330 @@
+//! Competing query-distribution schemes (paper Sec. 7, "Competing query
+//! distribution techniques").
+//!
+//! * [`RibbonScheduler`] — Ribbon's simple policy: first-come-first-serve,
+//!   preferring idle base-type instances.
+//! * [`DrsScheduler`] — the DeepRecSys policy: a static batch-size threshold
+//!   decides whether a query runs on the base (GPU) or an auxiliary (CPU)
+//!   instance; the threshold is tuned offline by a hill-climbing sweep
+//!   ([`tune_drs_threshold`]).
+//! * [`ClockworkScheduler`] — a Clockwork-inspired QoS-aware controller: it
+//!   predicts query latency accurately, tracks every instance's availability,
+//!   and sends each query to the instance that finishes it earliest *without*
+//!   violating QoS (falling back to earliest-completion when no instance can
+//!   meet the target).  Each instance keeps its own FCFS queue.
+
+use kairos_models::{latency::LatencyTable, mlmodel::ModelKind};
+use kairos_sim::{Dispatch, FcfsScheduler, Scheduler, SchedulingContext};
+
+/// Ribbon's query distribution: FCFS preferring base instances.
+///
+/// This is behaviourally identical to the simulator's naive FCFS policy; the
+/// wrapper exists so reports and figures carry the scheme's name.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RibbonScheduler {
+    inner: FcfsScheduler,
+}
+
+impl RibbonScheduler {
+    /// Creates the Ribbon policy.
+    pub fn new() -> Self {
+        Self { inner: FcfsScheduler::new() }
+    }
+}
+
+impl Scheduler for RibbonScheduler {
+    fn name(&self) -> &'static str {
+        "ribbon"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+        self.inner.schedule(ctx)
+    }
+}
+
+/// DeepRecSys-style threshold scheduler.
+///
+/// Queries with a batch size strictly greater than the threshold wait for a
+/// base (GPU) instance; queries at or below the threshold wait for an
+/// auxiliary (CPU) instance.  Queries are only dispatched to *idle* instances
+/// of the appropriate class, in FCFS order within each class.
+#[derive(Debug, Clone, Copy)]
+pub struct DrsScheduler {
+    /// Batch-size threshold separating GPU-bound from CPU-bound queries.
+    pub threshold: u32,
+}
+
+impl DrsScheduler {
+    /// Creates the policy with a given threshold.
+    pub fn new(threshold: u32) -> Self {
+        Self { threshold }
+    }
+}
+
+impl Scheduler for DrsScheduler {
+    fn name(&self) -> &'static str {
+        "drs"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+        let mut idle_base: Vec<usize> = ctx
+            .instances
+            .iter()
+            .filter(|i| i.is_base && i.is_idle(ctx.now_us))
+            .map(|i| i.instance_index)
+            .collect();
+        let mut idle_aux: Vec<usize> = ctx
+            .instances
+            .iter()
+            .filter(|i| !i.is_base && i.is_idle(ctx.now_us))
+            .map(|i| i.instance_index)
+            .collect();
+        // Keep deterministic ordering.
+        idle_base.sort_unstable();
+        idle_aux.sort_unstable();
+        idle_base.reverse();
+        idle_aux.reverse();
+
+        let mut plan = Vec::new();
+        for (query_index, query) in ctx.queued.iter().enumerate() {
+            let target = if query.batch_size > self.threshold {
+                idle_base.pop()
+            } else {
+                // Small queries prefer auxiliary instances, but may borrow an
+                // idle base instance when no auxiliary exists in the pool at
+                // all (otherwise a homogeneous pool could never serve them).
+                idle_aux.pop().or_else(|| {
+                    if ctx.instances.iter().all(|i| i.is_base) {
+                        idle_base.pop()
+                    } else {
+                        None
+                    }
+                })
+            };
+            if let Some(instance_index) = target {
+                plan.push(Dispatch { query_index, instance_index });
+            }
+        }
+        plan
+    }
+}
+
+/// Hill-climbing sweep used by DeepRecSys to tune the threshold: evaluate a
+/// coarse grid of thresholds with the provided objective (higher is better)
+/// and then climb in steps until no neighbour improves.  Returns the best
+/// threshold and the number of objective evaluations spent.
+pub fn tune_drs_threshold<F>(mut objective: F, max_batch: u32) -> (u32, usize)
+where
+    F: FnMut(u32) -> f64,
+{
+    assert!(max_batch >= 1, "max batch must be positive");
+    let step = (max_batch / 10).max(1);
+    let mut evaluations = 0usize;
+    let mut best_threshold = step;
+    let mut best_value = f64::NEG_INFINITY;
+
+    // Coarse grid.
+    let mut t = step;
+    while t <= max_batch {
+        let v = objective(t);
+        evaluations += 1;
+        if v > best_value {
+            best_value = v;
+            best_threshold = t;
+        }
+        t += step;
+    }
+
+    // Local climb with progressively smaller steps.
+    let mut delta = step / 2;
+    while delta >= 1 {
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for candidate in [best_threshold.saturating_sub(delta).max(1), best_threshold + delta] {
+                if candidate == best_threshold || candidate > max_batch {
+                    continue;
+                }
+                let v = objective(candidate);
+                evaluations += 1;
+                if v > best_value {
+                    best_value = v;
+                    best_threshold = candidate;
+                    improved = true;
+                }
+            }
+        }
+        if delta == 1 {
+            break;
+        }
+        delta /= 2;
+    }
+
+    (best_threshold, evaluations)
+}
+
+/// Clockwork-inspired QoS-aware controller with per-instance queues and
+/// accurate latency prediction.
+#[derive(Debug, Clone)]
+pub struct ClockworkScheduler {
+    model: ModelKind,
+    latency: LatencyTable,
+}
+
+impl ClockworkScheduler {
+    /// Creates the policy.  Clockwork's defining feature is *predictable*
+    /// latency, so the scheme is given the ground-truth latency table (the
+    /// paper likewise implements the competing schemes advantageously).
+    pub fn new(model: ModelKind, latency: LatencyTable) -> Self {
+        Self { model, latency }
+    }
+
+    fn predicted_ms(&self, type_name: &str, batch: u32) -> f64 {
+        self.latency.expect(self.model, type_name).latency_ms(batch)
+    }
+}
+
+impl Scheduler for ClockworkScheduler {
+    fn name(&self) -> &'static str {
+        "clockwork"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+        // Clockwork assigns every incoming query to an instance queue right
+        // away, choosing the instance that completes it earliest subject to
+        // the QoS target.  We track the extra backlog added by this round so
+        // consecutive picks in the same round account for each other.
+        let qos_ms = ctx.qos_us as f64 / 1000.0;
+        let mut extra_ms = vec![0.0f64; ctx.instances.len()];
+        let mut plan = Vec::new();
+
+        for (query_index, query) in ctx.queued.iter().enumerate() {
+            let waited_ms = query.waiting_time_us(ctx.now_us) as f64 / 1000.0;
+            let mut best: Option<(usize, f64, bool)> = None; // (slot, completion, meets_qos)
+            for (slot, inst) in ctx.instances.iter().enumerate() {
+                let queue_ms = inst.remaining_us(ctx.now_us) as f64 / 1000.0 + extra_ms[slot];
+                let completion = queue_ms + self.predicted_ms(&inst.type_name, query.batch_size);
+                let meets = completion + waited_ms <= qos_ms;
+                let better = match best {
+                    None => true,
+                    Some((_, best_completion, best_meets)) => {
+                        // Prefer QoS-meeting instances; among equals, earliest
+                        // completion wins.
+                        (meets && !best_meets)
+                            || (meets == best_meets && completion < best_completion)
+                    }
+                };
+                if better {
+                    best = Some((slot, completion, meets));
+                }
+            }
+            if let Some((slot, completion, _)) = best {
+                extra_ms[slot] += completion - (ctx.instances[slot].remaining_us(ctx.now_us) as f64 / 1000.0 + extra_ms[slot]);
+                plan.push(Dispatch { query_index, instance_index: ctx.instances[slot].instance_index });
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_models::calibration::paper_calibration;
+    use kairos_sim::InstanceView;
+    use kairos_workload::Query;
+
+    fn view(idx: usize, name: &str, is_base: bool, free_at: u64) -> InstanceView {
+        InstanceView {
+            instance_index: idx,
+            type_index: usize::from(!is_base),
+            type_name: name.to_string(),
+            is_base,
+            free_at_us: free_at,
+            backlog: usize::from(free_at > 0),
+        }
+    }
+
+    #[test]
+    fn ribbon_behaves_like_fcfs_with_base_preference() {
+        let queued = vec![Query::new(0, 100, 0)];
+        let instances = vec![view(0, "r5n.large", false, 0), view(1, "g4dn.xlarge", true, 0)];
+        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let plan = RibbonScheduler::new().schedule(&ctx);
+        assert_eq!(plan, vec![Dispatch { query_index: 0, instance_index: 1 }]);
+    }
+
+    #[test]
+    fn drs_routes_by_threshold() {
+        let queued = vec![Query::new(0, 500, 0), Query::new(1, 50, 0)];
+        let instances = vec![view(0, "g4dn.xlarge", true, 0), view(1, "r5n.large", false, 0)];
+        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let plan = DrsScheduler::new(128).schedule(&ctx);
+        assert!(plan.contains(&Dispatch { query_index: 0, instance_index: 0 }));
+        assert!(plan.contains(&Dispatch { query_index: 1, instance_index: 1 }));
+    }
+
+    #[test]
+    fn drs_leaves_queries_waiting_when_their_class_is_busy() {
+        let queued = vec![Query::new(0, 500, 0)];
+        // Only an auxiliary instance is idle; the large query must wait for a GPU.
+        let instances = vec![view(0, "g4dn.xlarge", true, 10_000), view(1, "r5n.large", false, 0)];
+        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        assert!(DrsScheduler::new(128).schedule(&ctx).is_empty());
+    }
+
+    #[test]
+    fn drs_small_queries_use_base_in_homogeneous_pools() {
+        let queued = vec![Query::new(0, 10, 0)];
+        let instances = vec![view(0, "g4dn.xlarge", true, 0)];
+        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        assert_eq!(DrsScheduler::new(128).schedule(&ctx).len(), 1);
+    }
+
+    #[test]
+    fn hill_climbing_finds_the_peak_of_a_unimodal_objective() {
+        // Objective peaks at threshold 310.
+        let objective = |t: u32| -((t as f64 - 310.0).powi(2));
+        let (best, evals) = tune_drs_threshold(objective, 1000);
+        assert!((best as i64 - 310).abs() <= 2, "best {best}");
+        assert!(evals > 0 && evals < 200);
+    }
+
+    #[test]
+    fn clockwork_prefers_qos_meeting_instance_even_if_slower_to_free() {
+        let cw = ClockworkScheduler::new(ModelKind::Wnd, paper_calibration());
+        let queued = vec![Query::new(0, 800, 0)];
+        // The CPU is idle but cannot meet QoS for a batch-800 WND query; the
+        // GPU is busy for 4 ms but still meets the 25 ms target.
+        let instances = vec![view(0, "r5n.large", false, 0), view(1, "g4dn.xlarge", true, 4_000)];
+        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let plan = cw.clone().schedule(&ctx);
+        assert_eq!(plan, vec![Dispatch { query_index: 0, instance_index: 1 }]);
+    }
+
+    #[test]
+    fn clockwork_spreads_queries_across_instance_queues() {
+        let cw = ClockworkScheduler::new(ModelKind::Wnd, paper_calibration());
+        let queued = vec![Query::new(0, 100, 0), Query::new(1, 100, 0)];
+        let instances = vec![view(0, "g4dn.xlarge", true, 0), view(1, "c5n.2xlarge", false, 0)];
+        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let plan = cw.clone().schedule(&ctx);
+        assert_eq!(plan.len(), 2);
+        // The two queries must not pile onto the same instance when both
+        // instances can meet QoS and the second would finish earlier elsewhere.
+        assert_ne!(plan[0].instance_index, plan[1].instance_index);
+    }
+
+    #[test]
+    fn clockwork_falls_back_to_earliest_completion_when_qos_is_impossible() {
+        let cw = ClockworkScheduler::new(ModelKind::Ncf, paper_calibration());
+        // Batch 900 NCF cannot meet 5 ms anywhere once instances are backed up.
+        let queued = vec![Query::new(0, 900, 0)];
+        let instances = vec![view(0, "g4dn.xlarge", true, 50_000), view(1, "r5n.large", false, 40_000)];
+        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 5_000 };
+        let plan = cw.clone().schedule(&ctx);
+        assert_eq!(plan.len(), 1);
+        // GPU: 50 ms queue + 3.05 ms service = 53.05; CPU: 40 + 17.1 = 57.1.
+        assert_eq!(plan[0].instance_index, 0);
+    }
+}

@@ -1,0 +1,717 @@
+//! Configuration-search algorithms used as baselines for Kairos+
+//! (paper Sec. 8.3, Fig. 10 and Fig. 11).
+//!
+//! All searches operate over the affordable configuration space and call an
+//! expensive black-box evaluator (a real deployment in the paper, the
+//! discrete-event simulator or the oracle model here).  As in the paper's
+//! Fig. 11 setup, every algorithm is given the same *sub-configuration
+//! pruning* advantage: once a configuration has been evaluated, any
+//! configuration obtainable from it by only removing instances is answered
+//! from the cache instead of consuming a real evaluation.
+//!
+//! Implemented searches: exhaustive, random, simulated annealing, a genetic
+//! algorithm, and Ribbon-style Bayesian optimization (Gaussian process with an
+//! RBF kernel and expected-improvement acquisition).
+
+use kairos_models::{enumerate_configs, Config, EnumerationOptions, PoolSpec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The affordable configuration space a search explores.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// The instance pool.
+    pub pool: PoolSpec,
+    /// Hourly budget.
+    pub budget: f64,
+    /// Every affordable configuration (at least one base instance).
+    pub configs: Vec<Config>,
+}
+
+impl SearchSpace {
+    /// Enumerates the affordable configuration space for a pool and budget.
+    pub fn new(pool: PoolSpec, budget: f64) -> Self {
+        let configs = enumerate_configs(&pool, &EnumerationOptions::with_budget(budget));
+        Self { pool, budget, configs }
+    }
+
+    /// Whether a configuration belongs to the space.
+    pub fn contains(&self, config: &Config) -> bool {
+        self.configs.iter().any(|c| c == config)
+    }
+
+    /// Number of configurations in the space.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
+/// Evaluator wrapper providing the shared sub-configuration pruning and the
+/// evaluation history.
+pub struct PrunedEvaluator<'a> {
+    evaluate: &'a mut dyn FnMut(&Config) -> f64,
+    history: Vec<(Config, f64)>,
+}
+
+impl<'a> PrunedEvaluator<'a> {
+    /// Wraps a raw evaluator.
+    pub fn new(evaluate: &'a mut dyn FnMut(&Config) -> f64) -> Self {
+        Self { evaluate, history: Vec::new() }
+    }
+
+    /// Evaluates a configuration, answering sub-configurations of already
+    /// evaluated configurations from the cache (their throughput cannot
+    /// exceed the dominating configuration's, so the dominator's value is a
+    /// usable optimistic stand-in for search decisions).
+    pub fn evaluate(&mut self, config: &Config) -> f64 {
+        if let Some(value) = self.pruned_value(config) {
+            return value;
+        }
+        let value = (self.evaluate)(config);
+        self.history.push((config.clone(), value));
+        value
+    }
+
+    /// Returns the cached/pruned value for a configuration, if available.
+    pub fn pruned_value(&self, config: &Config) -> Option<f64> {
+        // Exact cache hit first.
+        if let Some((_, v)) = self.history.iter().find(|(c, _)| c == config) {
+            return Some(*v);
+        }
+        // Sub-configuration pruning.
+        self.history
+            .iter()
+            .filter(|(c, _)| config.is_sub_config_of(c))
+            .map(|(_, v)| *v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Number of *real* (non-pruned) evaluations performed.
+    pub fn real_evaluations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The evaluation history (configuration, value), in evaluation order.
+    pub fn history(&self) -> &[(Config, f64)] {
+        &self.history
+    }
+
+    /// Best configuration evaluated so far.
+    pub fn best(&self) -> Option<(Config, f64)> {
+        self.history
+            .iter()
+            .cloned()
+            .fold(None, |acc, (c, v)| match acc {
+                None => Some((c, v)),
+                Some((_, bv)) if v > bv => Some((c, v)),
+                other => other,
+            })
+    }
+}
+
+/// Outcome of a configuration search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best configuration found and its value.
+    pub best: Option<(Config, f64)>,
+    /// Real evaluations performed, in order.
+    pub history: Vec<(Config, f64)>,
+}
+
+impl SearchOutcome {
+    /// Number of real evaluations performed.
+    pub fn evaluations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Number of evaluations needed until a value at least `target` was first
+    /// observed (`None` if never reached).
+    pub fn evaluations_to_reach(&self, target: f64) -> Option<usize> {
+        self.history
+            .iter()
+            .position(|(_, v)| *v >= target)
+            .map(|p| p + 1)
+    }
+}
+
+/// Common interface of the search algorithms.
+pub trait ConfigSearch {
+    /// Algorithm name used in figures.
+    fn name(&self) -> &'static str;
+
+    /// Runs the search with at most `max_evaluations` real evaluations.
+    fn search(
+        &mut self,
+        space: &SearchSpace,
+        evaluate: &mut dyn FnMut(&Config) -> f64,
+        max_evaluations: usize,
+    ) -> SearchOutcome;
+}
+
+fn outcome(evaluator: PrunedEvaluator<'_>) -> SearchOutcome {
+    SearchOutcome { best: evaluator.best(), history: evaluator.history().to_vec() }
+}
+
+/// Exhaustive search: evaluate every configuration (the paper's offline
+/// optimum reference).
+///
+/// Configurations are visited largest-first (by instance count) so that the
+/// shared sub-configuration pruning can actually skip dominated candidates —
+/// a smaller configuration evaluated after one of its supersets never needs a
+/// real evaluation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExhaustiveSearch;
+
+impl ConfigSearch for ExhaustiveSearch {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn search(
+        &mut self,
+        space: &SearchSpace,
+        evaluate: &mut dyn FnMut(&Config) -> f64,
+        max_evaluations: usize,
+    ) -> SearchOutcome {
+        let mut order: Vec<&Config> = space.configs.iter().collect();
+        order.sort_by_key(|c| std::cmp::Reverse(c.total_instances()));
+        let mut evaluator = PrunedEvaluator::new(evaluate);
+        for config in order {
+            if evaluator.real_evaluations() >= max_evaluations {
+                break;
+            }
+            evaluator.evaluate(config);
+        }
+        outcome(evaluator)
+    }
+}
+
+/// Uniform random search (RAND in Fig. 11).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSearch {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ConfigSearch for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn search(
+        &mut self,
+        space: &SearchSpace,
+        evaluate: &mut dyn FnMut(&Config) -> f64,
+        max_evaluations: usize,
+    ) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..space.configs.len()).collect();
+        order.shuffle(&mut rng);
+        let mut evaluator = PrunedEvaluator::new(evaluate);
+        for idx in order {
+            if evaluator.real_evaluations() >= max_evaluations {
+                break;
+            }
+            evaluator.evaluate(&space.configs[idx]);
+        }
+        outcome(evaluator)
+    }
+}
+
+/// Simulated annealing over the configuration lattice (used in Fig. 2 and as
+/// a Fig. 11 style baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedAnnealing {
+    /// RNG seed.
+    pub seed: u64,
+    /// Initial temperature (in throughput units).
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor per step (0 < cooling < 1).
+    pub cooling: f64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        Self { seed: 0, initial_temperature: 30.0, cooling: 0.95 }
+    }
+}
+
+impl SimulatedAnnealing {
+    fn neighbor(&self, space: &SearchSpace, current: &Config, rng: &mut StdRng) -> Config {
+        // Propose +/- one instance of a random type, staying inside the space.
+        for _ in 0..64 {
+            let dim = rng.gen_range(0..space.pool.num_types());
+            let up = rng.gen_bool(0.5);
+            let mut counts = current.counts().to_vec();
+            if up {
+                counts[dim] += 1;
+            } else if counts[dim] > 0 {
+                counts[dim] -= 1;
+            } else {
+                continue;
+            }
+            let candidate = Config::new(counts);
+            if candidate.cost(&space.pool) <= space.budget + 1e-9
+                && candidate.count(space.pool.base_index()) >= 1
+            {
+                return candidate;
+            }
+        }
+        current.clone()
+    }
+}
+
+impl ConfigSearch for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "annealing"
+    }
+
+    fn search(
+        &mut self,
+        space: &SearchSpace,
+        evaluate: &mut dyn FnMut(&Config) -> f64,
+        max_evaluations: usize,
+    ) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut evaluator = PrunedEvaluator::new(evaluate);
+        if space.is_empty() || max_evaluations == 0 {
+            return outcome(evaluator);
+        }
+        let mut current = space.configs[rng.gen_range(0..space.configs.len())].clone();
+        let mut current_value = evaluator.evaluate(&current);
+        let mut temperature = self.initial_temperature;
+
+        // Proposal cap: pruned proposals do not consume real evaluations, so a
+        // walk that keeps revisiting dominated configurations must still stop.
+        let max_proposals = max_evaluations.saturating_mul(50).max(1000);
+        let mut proposals = 0usize;
+        while evaluator.real_evaluations() < max_evaluations && proposals < max_proposals {
+            proposals += 1;
+            let candidate = self.neighbor(space, &current, &mut rng);
+            let value = evaluator.evaluate(&candidate);
+            let accept = value >= current_value
+                || rng.gen::<f64>() < ((value - current_value) / temperature.max(1e-9)).exp();
+            if accept {
+                current = candidate;
+                current_value = value;
+            }
+            temperature *= self.cooling;
+        }
+        outcome(evaluator)
+    }
+}
+
+/// Genetic algorithm (GENE in Fig. 11).
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticSearch {
+    /// RNG seed.
+    pub seed: u64,
+    /// Population size per generation.
+    pub population: usize,
+    /// Per-dimension mutation probability.
+    pub mutation_rate: f64,
+}
+
+impl Default for GeneticSearch {
+    fn default() -> Self {
+        Self { seed: 0, population: 12, mutation_rate: 0.25 }
+    }
+}
+
+impl GeneticSearch {
+    fn repair(space: &SearchSpace, mut counts: Vec<usize>, rng: &mut StdRng) -> Config {
+        // Ensure at least one base instance, then drop random instances until
+        // the budget is met.
+        let base = space.pool.base_index();
+        if counts[base] == 0 {
+            counts[base] = 1;
+        }
+        loop {
+            let config = Config::new(counts.clone());
+            if config.cost(&space.pool) <= space.budget + 1e-9 {
+                return config;
+            }
+            // Remove one instance from a random non-empty dimension (keeping
+            // at least one base instance).
+            let candidates: Vec<usize> = counts
+                .iter()
+                .enumerate()
+                .filter(|&(i, &c)| c > usize::from(i == base))
+                .map(|(i, _)| i)
+                .collect();
+            if candidates.is_empty() {
+                return Config::new(counts);
+            }
+            let dim = candidates[rng.gen_range(0..candidates.len())];
+            counts[dim] -= 1;
+        }
+    }
+}
+
+impl ConfigSearch for GeneticSearch {
+    fn name(&self) -> &'static str {
+        "genetic"
+    }
+
+    fn search(
+        &mut self,
+        space: &SearchSpace,
+        evaluate: &mut dyn FnMut(&Config) -> f64,
+        max_evaluations: usize,
+    ) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut evaluator = PrunedEvaluator::new(evaluate);
+        if space.is_empty() || max_evaluations == 0 {
+            return outcome(evaluator);
+        }
+
+        // Initial population.
+        let mut population: Vec<(Config, f64)> = Vec::new();
+        for _ in 0..self.population.min(space.len()) {
+            if evaluator.real_evaluations() >= max_evaluations {
+                break;
+            }
+            let c = space.configs[rng.gen_range(0..space.configs.len())].clone();
+            let v = evaluator.evaluate(&c);
+            population.push((c, v));
+        }
+
+        // Proposal cap mirrors the simulated-annealing guard: children that are
+        // answered from the pruning cache must not keep the loop alive forever.
+        let max_proposals = max_evaluations.saturating_mul(50).max(1000);
+        let mut proposals = 0usize;
+        while evaluator.real_evaluations() < max_evaluations
+            && population.len() >= 2
+            && proposals < max_proposals
+        {
+            proposals += 1;
+            // Tournament selection of two parents.
+            let pick = |rng: &mut StdRng, pop: &[(Config, f64)]| -> Config {
+                let a = &pop[rng.gen_range(0..pop.len())];
+                let b = &pop[rng.gen_range(0..pop.len())];
+                if a.1 >= b.1 { a.0.clone() } else { b.0.clone() }
+            };
+            let p1 = pick(&mut rng, &population);
+            let p2 = pick(&mut rng, &population);
+
+            // Uniform crossover + mutation.
+            let mut counts: Vec<usize> = p1
+                .counts()
+                .iter()
+                .zip(p2.counts())
+                .map(|(&a, &b)| if rng.gen_bool(0.5) { a } else { b })
+                .collect();
+            for c in counts.iter_mut() {
+                if rng.gen::<f64>() < self.mutation_rate {
+                    if rng.gen_bool(0.5) {
+                        *c += 1;
+                    } else if *c > 0 {
+                        *c -= 1;
+                    }
+                }
+            }
+            let child = Self::repair(space, counts, &mut rng);
+            let value = evaluator.evaluate(&child);
+
+            // Replace the worst member if the child improves on it.
+            if let Some((worst_idx, _)) = population
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            {
+                if value > population[worst_idx].1 {
+                    population[worst_idx] = (child, value);
+                }
+            }
+        }
+        outcome(evaluator)
+    }
+}
+
+/// Ribbon-style Bayesian optimization: a Gaussian-process surrogate with an
+/// RBF kernel and the expected-improvement acquisition function.
+#[derive(Debug, Clone, Copy)]
+pub struct BayesianOptimization {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of random configurations evaluated before the GP takes over.
+    pub initial_samples: usize,
+    /// RBF kernel length scale (in instance-count units).
+    pub length_scale: f64,
+    /// Observation noise variance.
+    pub noise: f64,
+}
+
+impl Default for BayesianOptimization {
+    fn default() -> Self {
+        Self { seed: 0, initial_samples: 4, length_scale: 2.0, noise: 1e-4 }
+    }
+}
+
+impl BayesianOptimization {
+    fn to_vector(config: &Config) -> Vec<f64> {
+        config.counts().iter().map(|&c| c as f64).collect()
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64], signal: f64) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        signal * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    /// Cholesky decomposition of a symmetric positive-definite matrix (row
+    /// major, n x n).  Returns the lower-triangular factor.
+    fn cholesky(mut a: Vec<f64>, n: usize) -> Option<Vec<f64>> {
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[i * n + j];
+                for k in 0..j {
+                    sum -= a[i * n + k] * a[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    a[i * n + j] = sum.sqrt();
+                } else {
+                    a[i * n + j] = sum / a[j * n + j];
+                }
+            }
+            for j in (i + 1)..n {
+                a[i * n + j] = 0.0;
+            }
+        }
+        Some(a)
+    }
+
+    /// Solves `L L^T x = b` given the Cholesky factor `L`.
+    fn cholesky_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[i * n + k] * y[k];
+            }
+            y[i] = sum / l[i * n + i];
+        }
+        // Back substitution: L^T x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= l[k * n + i] * x[k];
+            }
+            x[i] = sum / l[i * n + i];
+        }
+        x
+    }
+
+    /// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+    fn normal_cdf(z: f64) -> f64 {
+        let t = 1.0 / (1.0 + 0.2316419 * z.abs());
+        let poly = t
+            * (0.319381530 + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+        let pdf = (-z * z / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        let cdf = 1.0 - pdf * poly;
+        if z >= 0.0 { cdf } else { 1.0 - cdf }
+    }
+
+    fn normal_pdf(z: f64) -> f64 {
+        (-z * z / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+    }
+}
+
+impl ConfigSearch for BayesianOptimization {
+    fn name(&self) -> &'static str {
+        "bayesian-optimization"
+    }
+
+    fn search(
+        &mut self,
+        space: &SearchSpace,
+        evaluate: &mut dyn FnMut(&Config) -> f64,
+        max_evaluations: usize,
+    ) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut evaluator = PrunedEvaluator::new(evaluate);
+        if space.is_empty() || max_evaluations == 0 {
+            return outcome(evaluator);
+        }
+
+        // Initial random design.
+        let mut order: Vec<usize> = (0..space.configs.len()).collect();
+        order.shuffle(&mut rng);
+        for &idx in order.iter().take(self.initial_samples.min(max_evaluations)) {
+            evaluator.evaluate(&space.configs[idx]);
+        }
+
+        while evaluator.real_evaluations() < max_evaluations {
+            let observed = evaluator.history().to_vec();
+            let n = observed.len();
+            let xs: Vec<Vec<f64>> = observed.iter().map(|(c, _)| Self::to_vector(c)).collect();
+            let ys: Vec<f64> = observed.iter().map(|(_, v)| *v).collect();
+            let y_mean = ys.iter().sum::<f64>() / n as f64;
+            let y_var = (ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>() / n as f64)
+                .max(1e-6);
+            let best_y = ys.iter().cloned().fold(f64::MIN, f64::max);
+
+            // Gram matrix with noise on the diagonal.
+            let mut gram = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    gram[i * n + j] = self.kernel(&xs[i], &xs[j], y_var);
+                    if i == j {
+                        gram[i * n + j] += self.noise * y_var + 1e-9;
+                    }
+                }
+            }
+            let Some(l) = Self::cholesky(gram, n) else { break };
+            let centered: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+            let alpha = Self::cholesky_solve(&l, n, &centered);
+
+            // Expected improvement over every not-yet-evaluated configuration.
+            let mut best_candidate: Option<(usize, f64)> = None;
+            for (idx, candidate) in space.configs.iter().enumerate() {
+                if evaluator.pruned_value(candidate).is_some() {
+                    continue;
+                }
+                let x = Self::to_vector(candidate);
+                let k_star: Vec<f64> = xs.iter().map(|xi| self.kernel(xi, &x, y_var)).collect();
+                let mean = y_mean + k_star.iter().zip(&alpha).map(|(k, a)| k * a).sum::<f64>();
+                let v = Self::cholesky_solve(&l, n, &k_star);
+                let variance = (self.kernel(&x, &x, y_var)
+                    - k_star.iter().zip(&v).map(|(k, vi)| k * vi).sum::<f64>())
+                .max(1e-12);
+                let sigma = variance.sqrt();
+                let z = (mean - best_y) / sigma;
+                let ei = (mean - best_y) * Self::normal_cdf(z) + sigma * Self::normal_pdf(z);
+                match best_candidate {
+                    None => best_candidate = Some((idx, ei)),
+                    Some((_, best_ei)) if ei > best_ei => best_candidate = Some((idx, ei)),
+                    _ => {}
+                }
+            }
+            let Some((idx, _)) = best_candidate else { break };
+            evaluator.evaluate(&space.configs[idx]);
+        }
+        outcome(evaluator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_models::ec2;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(PoolSpec::new(ec2::figure1_pool()), 2.5)
+    }
+
+    /// Smooth synthetic objective with a unique optimum inside the space.
+    fn objective(config: &Config) -> f64 {
+        let c = config.counts();
+        60.0 * c[0] as f64 + 25.0 * c[1] as f64 + 18.0 * c[2] as f64
+            - 2.0 * (c[0] as f64 - 2.0).powi(2)
+    }
+
+    fn optimum(space: &SearchSpace) -> f64 {
+        space.configs.iter().map(objective).fold(f64::MIN, f64::max)
+    }
+
+    #[test]
+    fn space_enumeration_is_affordable_and_nonempty() {
+        let s = space();
+        assert!(!s.is_empty());
+        assert!(s.configs.iter().all(|c| c.cost(&s.pool) <= 2.5 + 1e-9));
+        assert!(s.contains(&Config::new(vec![4, 0, 0])));
+    }
+
+    #[test]
+    fn exhaustive_finds_the_optimum() {
+        let s = space();
+        let mut eval = |c: &Config| objective(c);
+        let out = ExhaustiveSearch.search(&s, &mut eval, usize::MAX);
+        assert!((out.best.unwrap().1 - optimum(&s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_reduces_exhaustive_evaluations() {
+        let s = space();
+        let mut eval = |c: &Config| objective(c);
+        let out = ExhaustiveSearch.search(&s, &mut eval, usize::MAX);
+        assert!(
+            out.evaluations() < s.len(),
+            "sub-configuration pruning should skip part of the space ({} of {})",
+            out.evaluations(),
+            s.len()
+        );
+    }
+
+    #[test]
+    fn random_search_respects_the_evaluation_cap() {
+        let s = space();
+        let mut eval = |c: &Config| objective(c);
+        let out = RandomSearch { seed: 3 }.search(&s, &mut eval, 10);
+        assert!(out.evaluations() <= 10);
+        assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn annealing_improves_over_its_starting_point() {
+        let s = space();
+        let mut eval = |c: &Config| objective(c);
+        let out = SimulatedAnnealing { seed: 7, ..Default::default() }.search(&s, &mut eval, 40);
+        let first = out.history.first().unwrap().1;
+        let best = out.best.as_ref().unwrap().1;
+        assert!(best >= first);
+    }
+
+    #[test]
+    fn genetic_search_stays_within_budget() {
+        let s = space();
+        let mut eval = |c: &Config| objective(c);
+        let out = GeneticSearch { seed: 11, ..Default::default() }.search(&s, &mut eval, 30);
+        for (c, _) in &out.history {
+            assert!(c.cost(&s.pool) <= s.budget + 1e-9);
+            assert!(c.count(s.pool.base_index()) >= 1);
+        }
+    }
+
+    #[test]
+    fn bayesian_optimization_reaches_near_optimum_with_few_evaluations() {
+        let s = space();
+        let mut eval = |c: &Config| objective(c);
+        let out = BayesianOptimization { seed: 5, ..Default::default() }.search(&s, &mut eval, 25);
+        let best = out.best.as_ref().unwrap().1;
+        assert!(
+            best >= 0.95 * optimum(&s),
+            "BO best {best} too far from optimum {}",
+            optimum(&s)
+        );
+        assert!(out.evaluations() <= 25);
+    }
+
+    #[test]
+    fn evaluations_to_reach_counts_correctly() {
+        let s = space();
+        let mut eval = |c: &Config| objective(c);
+        let out = ExhaustiveSearch.search(&s, &mut eval, usize::MAX);
+        let target = optimum(&s);
+        let k = out.evaluations_to_reach(target).unwrap();
+        assert!(k >= 1 && k <= out.evaluations());
+        assert!(out.evaluations_to_reach(target + 1.0).is_none());
+    }
+
+    #[test]
+    fn normal_cdf_is_sane() {
+        assert!((BayesianOptimization::normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!(BayesianOptimization::normal_cdf(3.0) > 0.99);
+        assert!(BayesianOptimization::normal_cdf(-3.0) < 0.01);
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the discrete-event serving simulator: how fast a
+//! trace replay runs under the different scheduling policies.  This bounds the
+//! cost of every allowable-throughput probe used by the figure harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kairos_bench::{scheduler_factory, SchedulerKind};
+use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
+use kairos_sim::{run_trace, ServiceSpec, SimulationOptions};
+use kairos_workload::TraceSpec;
+use std::hint::black_box;
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let model = ModelKind::Wnd;
+    let service = ServiceSpec::new(model, latency.clone());
+    let config = Config::new(vec![2, 0, 4, 0]);
+    let trace = TraceSpec::production(300.0, 1.0, 5).generate();
+
+    let mut group = c.benchmark_group("trace_replay_300qps_1s");
+    group.sample_size(10);
+    for kind in [
+        SchedulerKind::Kairos,
+        SchedulerKind::Ribbon,
+        SchedulerKind::Drs(280),
+        SchedulerKind::Clockwork,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut scheduler = scheduler_factory(kind, model, &latency);
+                black_box(run_trace(
+                    &pool,
+                    &config,
+                    &service,
+                    &trace,
+                    scheduler.as_mut(),
+                    &SimulationOptions::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_replay);
+criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! The Kairos central controller: the online glue between query monitoring,
+//! latency learning, configuration planning and query distribution
+//! (paper Sec. 6 "Implementation").
+//!
+//! The controller observes the arriving query stream (batch sizes) and the
+//! completed queries (measured latencies), and can at any point
+//!
+//! * produce a [`Plan`] for a cost budget from its *current* knowledge — this
+//!   is what lets Kairos react to load changes in "one shot" (Fig. 12), and
+//! * hand out a [`KairosScheduler`] seeded with everything it has learned.
+//!
+//! It also implements the POP-style sharded planning mode the paper mentions
+//! for scaling to very large systems: the budget is split into `k` shards,
+//! each planned independently, and the shard configurations are summed.
+
+use crate::distribution::KairosScheduler;
+use crate::planner::{KairosPlanner, Plan};
+use kairos_models::{
+    latency::{LatencyProfile, LatencyTable},
+    mlmodel::ModelKind,
+    predictor::PredictorBank,
+    Config, PoolSpec, MAX_BATCH_SIZE,
+};
+use kairos_workload::QueryMonitor;
+
+/// Online controller state.
+#[derive(Debug, Clone)]
+pub struct KairosController {
+    pool: PoolSpec,
+    model: ModelKind,
+    monitor: QueryMonitor,
+    predictors: PredictorBank,
+    /// Optional latency priors used for instance types that have not yet been
+    /// observed often enough for a linear fit.
+    priors: Option<LatencyTable>,
+}
+
+impl KairosController {
+    /// Creates a controller with no prior latency knowledge.
+    pub fn new(pool: PoolSpec, model: ModelKind) -> Self {
+        Self {
+            pool,
+            model,
+            monitor: QueryMonitor::new(),
+            predictors: PredictorBank::new(),
+            priors: None,
+        }
+    }
+
+    /// Creates a controller seeded with latency priors (e.g. profiles from a
+    /// previous deployment of the same model).
+    pub fn with_priors(pool: PoolSpec, model: ModelKind, priors: LatencyTable) -> Self {
+        let mut c = Self::new(pool, model);
+        c.priors = Some(priors);
+        c
+    }
+
+    /// Records the batch size of an arriving query (feeds the monitor window).
+    pub fn observe_query(&mut self, batch_size: u32) {
+        self.monitor.observe(batch_size);
+    }
+
+    /// Records a completed query's measured service latency (feeds the online
+    /// latency predictors).
+    pub fn observe_completion(&mut self, instance_type: &str, batch_size: u32, latency_ms: f64) {
+        self.predictors.observe(instance_type, batch_size, latency_ms);
+    }
+
+    /// Number of queries currently tracked by the monitor window.
+    pub fn observed_queries(&self) -> usize {
+        self.monitor.len()
+    }
+
+    /// The latency knowledge the controller currently has: online fits where
+    /// available, priors otherwise.  Returns `None` if some instance type has
+    /// neither a fit nor a prior (planning would be guesswork).
+    pub fn learned_table(&self) -> Option<LatencyTable> {
+        let mut table = LatencyTable::new();
+        for ty in self.pool.types() {
+            let fitted = self
+                .predictors
+                .get(&ty.name)
+                .and_then(|p| p.linear_fit())
+                .filter(|(_, slope)| *slope > 0.0)
+                .map(|(intercept, slope)| LatencyProfile::new(intercept.max(0.0), slope));
+            let profile = match fitted {
+                Some(p) => p,
+                None => self.priors.as_ref().and_then(|t| t.get(self.model, &ty.name))?,
+            };
+            table.insert(self.model, &ty.name, profile);
+        }
+        Some(table)
+    }
+
+    /// The batch-size sample the planner should use: the monitor window, or a
+    /// conservative single-bucket sample when nothing has been observed yet
+    /// (assuming worst-case largest queries until evidence says otherwise).
+    fn batch_sample(&self) -> Vec<u32> {
+        if self.monitor.is_empty() {
+            vec![MAX_BATCH_SIZE]
+        } else {
+            self.monitor.snapshot()
+        }
+    }
+
+    /// Plans a configuration for the given hourly budget from current
+    /// knowledge.  Returns `None` until enough latency knowledge exists.
+    pub fn plan(&self, budget_per_hour: f64) -> Option<Plan> {
+        let table = self.learned_table()?;
+        let planner = KairosPlanner::new(self.pool.clone(), self.model, table);
+        Some(planner.plan(budget_per_hour, &self.batch_sample()))
+    }
+
+    /// POP-style sharded planning: split the budget into `shards` equal parts,
+    /// plan each independently, and merge the shard configurations by summing
+    /// instance counts.  Useful when the configuration space under the full
+    /// budget would be too large to enumerate.
+    pub fn plan_sharded(&self, budget_per_hour: f64, shards: usize) -> Option<Config> {
+        assert!(shards >= 1, "need at least one shard");
+        let table = self.learned_table()?;
+        let planner = KairosPlanner::new(self.pool.clone(), self.model, table);
+        let sample = self.batch_sample();
+        let shard_budget = budget_per_hour / shards as f64;
+        let mut merged = vec![0usize; self.pool.num_types()];
+        for _ in 0..shards {
+            let plan = planner.plan(shard_budget, &sample);
+            for (i, &c) in plan.chosen.counts().iter().enumerate() {
+                merged[i] += c;
+            }
+        }
+        Some(Config::new(merged))
+    }
+
+    /// Builds a query-distribution scheduler seeded with the controller's
+    /// current latency knowledge.
+    pub fn make_scheduler(&self) -> KairosScheduler {
+        match self.learned_table() {
+            Some(table) => KairosScheduler::with_priors(self.model, &table),
+            None => KairosScheduler::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_models::{calibration::paper_calibration, ec2};
+
+    fn pool() -> PoolSpec {
+        PoolSpec::new(ec2::paper_pool())
+    }
+
+    fn feed_latency_observations(c: &mut KairosController) {
+        let table = paper_calibration();
+        for ty in ec2::paper_pool() {
+            let p = table.expect(ModelKind::Rm2, &ty.name);
+            for batch in [10u32, 100, 400, 900] {
+                c.observe_completion(&ty.name, batch, p.latency_ms(batch));
+            }
+        }
+    }
+
+    #[test]
+    fn learned_table_requires_fits_or_priors() {
+        let mut c = KairosController::new(pool(), ModelKind::Rm2);
+        assert!(c.learned_table().is_none());
+        feed_latency_observations(&mut c);
+        let table = c.learned_table().unwrap();
+        let truth = paper_calibration();
+        for ty in ec2::paper_pool() {
+            let learned = table.expect(ModelKind::Rm2, &ty.name);
+            let actual = truth.expect(ModelKind::Rm2, &ty.name);
+            assert!((learned.latency_ms(500) - actual.latency_ms(500)).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn priors_fill_in_for_unobserved_types() {
+        let c = KairosController::with_priors(pool(), ModelKind::Wnd, paper_calibration());
+        assert!(c.learned_table().is_some());
+        assert!(c.plan(2.5).is_some());
+    }
+
+    #[test]
+    fn plan_uses_observed_batch_mix() {
+        let mut c = KairosController::with_priors(pool(), ModelKind::Rm2, paper_calibration());
+        // Observe a small-query-heavy stream.
+        for i in 0..2000u32 {
+            c.observe_query(10 + i % 200);
+        }
+        for i in 0..100u32 {
+            c.observe_query(700 + i % 300);
+        }
+        assert_eq!(c.observed_queries(), 2100);
+        let plan = c.plan(2.5).unwrap();
+        assert!(!plan.chosen.is_homogeneous(&pool()), "small-heavy RM2 mix should go heterogeneous");
+    }
+
+    #[test]
+    fn planning_without_observations_is_conservative_but_possible() {
+        let c = KairosController::with_priors(pool(), ModelKind::Dien, paper_calibration());
+        // No observed queries: the sample degenerates to the largest batch, so
+        // the planner cannot credit auxiliary instances with anything.
+        let plan = c.plan(2.5).unwrap();
+        assert!(plan.chosen.count(0) >= 1);
+    }
+
+    #[test]
+    fn sharded_plan_costs_at_most_the_budget() {
+        let mut c = KairosController::with_priors(pool(), ModelKind::Rm2, paper_calibration());
+        for i in 0..1000u32 {
+            c.observe_query(5 + i % 300);
+        }
+        let merged = c.plan_sharded(5.0, 2).unwrap();
+        assert!(merged.cost(&pool()) <= 5.0 + 1e-9);
+        assert!(merged.total_instances() >= 2);
+    }
+
+    #[test]
+    fn scheduler_is_seeded_with_learned_knowledge() {
+        let mut c = KairosController::new(pool(), ModelKind::Rm2);
+        feed_latency_observations(&mut c);
+        let s = c.make_scheduler();
+        assert!(s.predictors().total_observations() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let c = KairosController::with_priors(pool(), ModelKind::Rm2, paper_calibration());
+        let _ = c.plan_sharded(2.5, 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Kairos+ — the upper-bound-assisted pruning search (paper Algorithm 1).
+//!
+//! Kairos+ spends a *small* number of online evaluations to find the optimal
+//! configuration.  It walks configurations in descending upper-bound order
+//! and, after each real evaluation, prunes
+//!
+//! * every configuration whose upper bound is at most the best throughput
+//!   observed so far (it provably cannot win), and
+//! * every *sub-configuration* of the evaluated configuration (removing
+//!   instances can never increase throughput).
+//!
+//! The evaluator is a closure so the same search can run against the
+//! discrete-event simulator (benchmarks) or against a cheap analytic stand-in
+//! (unit tests).
+
+use kairos_models::Config;
+
+/// Outcome of a Kairos+ search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best configuration found (None only if no candidate was provided).
+    pub best_config: Option<Config>,
+    /// Measured throughput of the best configuration.
+    pub best_throughput: f64,
+    /// Configurations actually evaluated online, in evaluation order, with
+    /// their measured throughput.
+    pub evaluated: Vec<(Config, f64)>,
+}
+
+impl SearchResult {
+    /// Number of online evaluations performed.
+    pub fn evaluations(&self) -> usize {
+        self.evaluated.len()
+    }
+}
+
+/// Runs Algorithm 1.
+///
+/// * `ranked` — every affordable configuration with its upper bound, sorted
+///   by upper bound in descending order (a [`crate::planner::Plan`]'s
+///   `ranked` field).
+/// * `evaluate` — measures the actual allowable throughput of a configuration
+///   (an expensive online evaluation in the real system, a simulation here).
+/// * `max_evaluations` — optional safety cap on the number of evaluations.
+pub fn kairos_plus_search<F>(
+    ranked: &[(Config, f64)],
+    mut evaluate: F,
+    max_evaluations: Option<usize>,
+) -> SearchResult
+where
+    F: FnMut(&Config) -> f64,
+{
+    assert!(
+        ranked.windows(2).all(|w| w[0].1 >= w[1].1),
+        "candidates must be sorted by descending upper bound"
+    );
+
+    // The live candidate set ("configs" in Algorithm 1), tracked by index.
+    let mut alive: Vec<bool> = vec![true; ranked.len()];
+    let mut curr_best = 0.0f64;
+    let mut best_config: Option<Config> = None;
+    let mut evaluated: Vec<(Config, f64)> = Vec::new();
+
+    for idx in 0..ranked.len() {
+        if !alive[idx] {
+            continue;
+        }
+        if let Some(cap) = max_evaluations {
+            if evaluated.len() >= cap {
+                break;
+            }
+        }
+        let (config, _ub) = &ranked[idx];
+
+        // Actual (expensive) evaluation.
+        let throughput = evaluate(config);
+        evaluated.push((config.clone(), throughput));
+        alive[idx] = false;
+
+        if throughput > curr_best {
+            curr_best = throughput;
+            best_config = Some(config.clone());
+            // Prune every configuration whose upper bound cannot beat the
+            // new best.
+            for (j, keep) in alive.iter_mut().enumerate() {
+                if *keep && ranked[j].1 <= curr_best {
+                    *keep = false;
+                }
+            }
+        }
+
+        // Prune every sub-configuration of the evaluated configuration.
+        for (j, keep) in alive.iter_mut().enumerate() {
+            if *keep && ranked[j].0.is_sub_config_of(config) {
+                *keep = false;
+            }
+        }
+    }
+
+    SearchResult { best_config, best_throughput: curr_best, evaluated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(counts: &[usize]) -> Config {
+        Config::new(counts.to_vec())
+    }
+
+    /// A toy "true throughput" that the upper bound over-estimates by 5 %.
+    fn truth(config: &Config) -> f64 {
+        config.counts().iter().enumerate().map(|(i, &c)| c as f64 * (10.0 - i as f64)).sum()
+    }
+
+    fn ranked_space() -> Vec<(Config, f64)> {
+        let configs = vec![
+            cfg(&[3, 0, 0]),
+            cfg(&[2, 1, 0]),
+            cfg(&[2, 0, 1]),
+            cfg(&[1, 2, 0]),
+            cfg(&[1, 1, 1]),
+            cfg(&[1, 0, 2]),
+            cfg(&[2, 0, 0]),
+            cfg(&[1, 1, 0]),
+            cfg(&[1, 0, 0]),
+        ];
+        let mut ranked: Vec<(Config, f64)> =
+            configs.into_iter().map(|c| { let ub = truth(&c) * 1.05; (c, ub) }).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ranked
+    }
+
+    #[test]
+    fn finds_the_true_optimum() {
+        let ranked = ranked_space();
+        let result = kairos_plus_search(&ranked, truth, None);
+        let best_truth = ranked.iter().map(|(c, _)| truth(c)).fold(f64::MIN, f64::max);
+        assert_eq!(result.best_throughput, best_truth);
+        assert_eq!(result.best_config, Some(cfg(&[3, 0, 0])));
+    }
+
+    #[test]
+    fn prunes_most_of_the_space_when_bounds_are_tight() {
+        let ranked = ranked_space();
+        let result = kairos_plus_search(&ranked, truth, None);
+        // With a consistent 1.2x bound, evaluating the best configuration
+        // first prunes everything whose UB <= best truth.
+        assert!(
+            result.evaluations() < ranked.len() / 2,
+            "expected heavy pruning, evaluated {} of {}",
+            result.evaluations(),
+            ranked.len()
+        );
+    }
+
+    #[test]
+    fn sub_configurations_are_pruned_even_without_bound_help() {
+        // Make the bound useless (huge) so only sub-config pruning applies.
+        let mut ranked = ranked_space();
+        for (i, entry) in ranked.iter_mut().enumerate() {
+            entry.1 = 1e6 - i as f64;
+        }
+        let result = kairos_plus_search(&ranked, truth, None);
+        // (2,0,0), (1,0,0), (1,1,0) ... are sub-configs of earlier evaluated
+        // configurations, so they are never evaluated.
+        let evaluated_set: Vec<Config> = result.evaluated.iter().map(|(c, _)| c.clone()).collect();
+        assert!(!evaluated_set.contains(&cfg(&[1, 0, 0])));
+        assert!(result.evaluations() < ranked.len());
+        assert_eq!(result.best_config, Some(cfg(&[3, 0, 0])));
+    }
+
+    #[test]
+    fn respects_evaluation_cap() {
+        let ranked = ranked_space();
+        let result = kairos_plus_search(&ranked, truth, Some(2));
+        assert!(result.evaluations() <= 2);
+        assert!(result.best_config.is_some());
+    }
+
+    #[test]
+    fn empty_space_returns_nothing() {
+        let result = kairos_plus_search(&[], |_| 1.0, None);
+        assert!(result.best_config.is_none());
+        assert_eq!(result.evaluations(), 0);
+        assert_eq!(result.best_throughput, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_candidates_rejected() {
+        let ranked = vec![(cfg(&[1, 0, 0]), 1.0), (cfg(&[2, 0, 0]), 2.0)];
+        kairos_plus_search(&ranked, truth, None);
+    }
+}

@@ -1,0 +1,61 @@
+//! # kairos-core
+//!
+//! The primary contribution of *Kairos: Building Cost-Efficient Machine
+//! Learning Inference Systems with Heterogeneous Cloud Resources* (HPDC'23):
+//!
+//! 1. **Query distribution** ([`distribution::KairosScheduler`], Sec. 5.1) —
+//!    at every scheduling instant, queued queries are matched to instances by
+//!    a min-cost bipartite matching over heterogeneity-weighted predicted
+//!    completion times, with QoS-violating pairs penalized.  Latencies are
+//!    learned online; no prior profiling is required.
+//! 2. **Throughput upper-bound estimation and configuration selection**
+//!    ([`upper_bound`], [`selection`], [`planner::KairosPlanner`], Sec. 5.2) —
+//!    every configuration under the cost budget is ranked by a closed-form
+//!    throughput upper bound and the final configuration is picked by a
+//!    similarity rule, with **zero** online evaluations.
+//! 3. **Kairos+** ([`kairos_plus`], Algorithm 1) — an optional
+//!    upper-bound-guided online search that finds the optimum with very few
+//!    evaluations thanks to bound and sub-configuration pruning.
+//! 4. **Central controller** ([`controller::KairosController`], Sec. 6) —
+//!    the online glue: query monitoring, latency learning, (re)planning and
+//!    scheduler construction, including the POP-style sharded planning mode.
+//!
+//! ```
+//! use kairos_core::planner::KairosPlanner;
+//! use kairos_models::{calibration::paper_calibration, ec2, ModelKind, PoolSpec};
+//! use kairos_workload::BatchSizeDistribution;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Plan a heterogeneous pool for RM2 under a 2.5 $/hr budget.
+//! let planner = KairosPlanner::new(
+//!     PoolSpec::new(ec2::paper_pool()),
+//!     ModelKind::Rm2,
+//!     paper_calibration(),
+//! );
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let sample = BatchSizeDistribution::production_default().sample_many(&mut rng, 2000);
+//! let plan = planner.plan(2.5, &sample);
+//! assert!(plan.chosen.cost(&PoolSpec::new(ec2::paper_pool())) <= 2.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coefficient;
+pub mod controller;
+pub mod distribution;
+pub mod kairos_plus;
+pub mod lmatrix;
+pub mod planner;
+pub mod selection;
+pub mod upper_bound;
+
+pub use coefficient::heterogeneity_coefficients;
+pub use controller::KairosController;
+pub use distribution::KairosScheduler;
+pub use kairos_plus::{kairos_plus_search, SearchResult};
+pub use lmatrix::{build_matrices, InstanceColumn, LMatrices, QueryRow, DEFAULT_XI};
+pub use planner::{KairosPlanner, Plan};
+pub use selection::select_configuration;
+pub use upper_bound::{
+    upper_bound_general, upper_bound_single, AuxClass, SingleAuxInputs, ThroughputEstimator,
+};

@@ -1,0 +1,144 @@
+//! The Kairos one-shot configuration planner (paper Sec. 5.2).
+//!
+//! Given a cost budget, the planner enumerates every configuration that fits,
+//! estimates each configuration's throughput upper bound with the closed-form
+//! formula, and applies the similarity-based selection rule — producing a
+//! deployable configuration **without a single online evaluation**.  The
+//! paper reports that ranking ~1000 configurations takes well under two
+//! seconds; the Criterion bench `upper_bound` verifies the same property for
+//! this implementation.
+
+use crate::selection::select_configuration;
+use crate::upper_bound::ThroughputEstimator;
+use kairos_models::{
+    enumerate_configs, latency::LatencyTable, mlmodel::ModelKind, Config, EnumerationOptions,
+    PoolSpec,
+};
+
+/// Output of a planning pass.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The configuration Kairos deploys.
+    pub chosen: Config,
+    /// Every affordable configuration with its upper bound, sorted by bound
+    /// (descending).  Used by Kairos+ and by the Fig. 13/14 analyses.
+    pub ranked: Vec<(Config, f64)>,
+    /// The hourly budget the plan was computed for.
+    pub budget_per_hour: f64,
+}
+
+impl Plan {
+    /// Upper bound of the chosen configuration.
+    pub fn chosen_upper_bound(&self) -> f64 {
+        self.ranked
+            .iter()
+            .find(|(c, _)| c == &self.chosen)
+            .map(|(_, ub)| *ub)
+            .unwrap_or(0.0)
+    }
+
+    /// The top-`n` configurations by upper bound.
+    pub fn top(&self, n: usize) -> &[(Config, f64)] {
+        &self.ranked[..self.ranked.len().min(n)]
+    }
+}
+
+/// The Kairos planner: throughput-upper-bound ranking plus similarity-based
+/// selection over the affordable configuration space.
+#[derive(Debug, Clone)]
+pub struct KairosPlanner {
+    pool: PoolSpec,
+    model: ModelKind,
+    latency: LatencyTable,
+}
+
+impl KairosPlanner {
+    /// Creates a planner from the latency knowledge Kairos has gathered (its
+    /// online-learned table, or a calibration table in offline studies).
+    pub fn new(pool: PoolSpec, model: ModelKind, latency: LatencyTable) -> Self {
+        Self { pool, model, latency }
+    }
+
+    /// Builds the estimator for a given observed batch-size sample.
+    pub fn estimator(&self, batch_sample: Vec<u32>) -> ThroughputEstimator {
+        ThroughputEstimator::new(self.pool.clone(), self.model, self.latency.clone(), batch_sample)
+    }
+
+    /// Plans a configuration under the given hourly budget, using the observed
+    /// batch-size sample (e.g. the query monitor window) to parameterize the
+    /// upper bound.
+    pub fn plan(&self, budget_per_hour: f64, batch_sample: &[u32]) -> Plan {
+        let options = EnumerationOptions::with_budget(budget_per_hour);
+        let configs = enumerate_configs(&self.pool, &options);
+        assert!(
+            !configs.is_empty(),
+            "budget {budget_per_hour} cannot afford any configuration with a base instance"
+        );
+        let estimator = self.estimator(batch_sample.to_vec());
+        let ranked = estimator.rank_configs(&configs);
+        let chosen = select_configuration(&ranked, &self.pool);
+        Plan { chosen, ranked, budget_per_hour }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_models::{calibration::paper_calibration, ec2, best_homogeneous};
+    use kairos_workload::BatchSizeDistribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(17);
+        BatchSizeDistribution::production_default().sample_many(&mut rng, 4000)
+    }
+
+    fn planner(model: ModelKind) -> KairosPlanner {
+        KairosPlanner::new(PoolSpec::new(ec2::paper_pool()), model, paper_calibration())
+    }
+
+    #[test]
+    fn plan_respects_budget_and_includes_base() {
+        let plan = planner(ModelKind::Rm2).plan(2.5, &sample());
+        let pool = PoolSpec::new(ec2::paper_pool());
+        assert!(plan.chosen.cost(&pool) <= 2.5 + 1e-9);
+        assert!(plan.chosen.count(pool.base_index()) >= 1);
+        assert!(plan.ranked.len() > 100);
+        assert!(plan.chosen_upper_bound() > 0.0);
+    }
+
+    #[test]
+    fn chosen_config_is_heterogeneous_and_beats_homogeneous_bound_for_rm2() {
+        let plan = planner(ModelKind::Rm2).plan(2.5, &sample());
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let homo = best_homogeneous(&pool, 2.5);
+        let estimator = planner(ModelKind::Rm2).estimator(sample());
+        assert!(!plan.chosen.is_homogeneous(&pool), "RM2 should favour heterogeneity");
+        assert!(estimator.estimate(&plan.chosen) > estimator.estimate(&homo));
+    }
+
+    #[test]
+    fn ranked_list_is_sorted_and_contains_chosen() {
+        let plan = planner(ModelKind::Wnd).plan(2.5, &sample());
+        assert!(plan.ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(plan.ranked.iter().any(|(c, _)| c == &plan.chosen));
+        assert_eq!(plan.top(10).len(), 10);
+    }
+
+    #[test]
+    fn larger_budget_never_reduces_the_best_upper_bound() {
+        let p = planner(ModelKind::Dien);
+        let s = sample();
+        let small = p.plan(2.5, &s);
+        let large = p.plan(10.0, &s);
+        assert!(large.ranked[0].1 >= small.ranked[0].1);
+        assert!(large.ranked.len() > small.ranked.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot afford")]
+    fn budget_below_one_base_instance_panics() {
+        planner(ModelKind::Ncf).plan(0.3, &sample());
+    }
+}

@@ -1,0 +1,125 @@
+//! Similarity-based configuration selection (paper Sec. 5.2).
+//!
+//! A higher upper bound does not *always* mean higher throughput, so Kairos
+//! does not blindly pick the top-ranked configuration.  Instead:
+//!
+//! 1. If the top-3 configurations by upper bound agree on the number of base
+//!    instances, the highest-upper-bound configuration is chosen.
+//! 2. Otherwise, among the top-10 configurations, the one with the smallest
+//!    sum of squared Euclidean distances to the other nine is chosen — the
+//!    "centroid-like" member of the promising region (the same SSE criterion
+//!    used in clustering).
+
+use kairos_models::{Config, PoolSpec};
+
+/// How many top configurations must agree on the base count for the fast path.
+pub const TOP_AGREEMENT: usize = 3;
+
+/// Size of the candidate set used by the SSE-centroid fallback.
+pub const TOP_CANDIDATES: usize = 10;
+
+/// Selects the final configuration from a list of `(config, upper_bound)`
+/// pairs sorted by upper bound in descending order.
+///
+/// # Panics
+/// Panics if the list is empty or not sorted by descending upper bound.
+pub fn select_configuration(ranked: &[(Config, f64)], pool: &PoolSpec) -> Config {
+    assert!(!ranked.is_empty(), "cannot select from an empty candidate list");
+    assert!(
+        ranked.windows(2).all(|w| w[0].1 >= w[1].1),
+        "candidates must be sorted by descending upper bound"
+    );
+
+    let base_index = pool.base_index();
+
+    // Fast path: the top-3 agree on the base-instance count.
+    let top = &ranked[..ranked.len().min(TOP_AGREEMENT)];
+    let first_base = top[0].0.count(base_index);
+    if top.len() == TOP_AGREEMENT && top.iter().all(|(c, _)| c.count(base_index) == first_base) {
+        return ranked[0].0.clone();
+    }
+
+    // Fallback: SSE centroid of the top-10.
+    let candidates = &ranked[..ranked.len().min(TOP_CANDIDATES)];
+    let mut best: Option<(usize, f64)> = None;
+    for (i, (ci, _)) in candidates.iter().enumerate() {
+        let sse: f64 = candidates
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, (cj, _))| ci.squared_distance(cj))
+            .sum();
+        match best {
+            None => best = Some((i, sse)),
+            Some((_, best_sse)) if sse < best_sse => best = Some((i, sse)),
+            _ => {}
+        }
+    }
+    candidates[best.expect("non-empty candidates").0].0.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_models::ec2;
+
+    fn pool() -> PoolSpec {
+        PoolSpec::new(ec2::paper_pool())
+    }
+
+    fn cfg(counts: &[usize]) -> Config {
+        Config::new(counts.to_vec())
+    }
+
+    #[test]
+    fn top3_agreement_picks_the_highest_bound() {
+        let ranked = vec![
+            (cfg(&[3, 1, 3, 0]), 100.0),
+            (cfg(&[3, 0, 4, 0]), 98.0),
+            (cfg(&[3, 2, 1, 0]), 95.0),
+            (cfg(&[1, 0, 9, 0]), 94.0),
+        ];
+        assert_eq!(select_configuration(&ranked, &pool()), cfg(&[3, 1, 3, 0]));
+    }
+
+    #[test]
+    fn disagreement_falls_back_to_sse_centroid() {
+        // Top-3 disagree on the base count; among the candidates the centroid
+        // configuration (2, 1, 1, 0) minimizes the total squared distance.
+        let ranked = vec![
+            (cfg(&[4, 0, 0, 0]), 100.0),
+            (cfg(&[2, 1, 1, 0]), 99.0),
+            (cfg(&[1, 2, 2, 0]), 98.0),
+            (cfg(&[2, 1, 2, 0]), 97.0),
+            (cfg(&[2, 2, 1, 0]), 96.0),
+        ];
+        let selected = select_configuration(&ranked, &pool());
+        assert_eq!(selected, cfg(&[2, 1, 1, 0]));
+    }
+
+    #[test]
+    fn fewer_than_three_candidates_uses_centroid_rule() {
+        let ranked = vec![(cfg(&[2, 0, 0, 0]), 50.0), (cfg(&[1, 1, 0, 0]), 45.0)];
+        // With two candidates the SSE is symmetric; the first is kept.
+        assert_eq!(select_configuration(&ranked, &pool()), cfg(&[2, 0, 0, 0]));
+    }
+
+    #[test]
+    fn single_candidate_is_returned() {
+        let ranked = vec![(cfg(&[1, 0, 0, 0]), 10.0)];
+        assert_eq!(select_configuration(&ranked, &pool()), cfg(&[1, 0, 0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_input_is_rejected() {
+        let ranked = vec![(cfg(&[1, 0, 0, 0]), 10.0), (cfg(&[2, 0, 0, 0]), 20.0)];
+        select_configuration(&ranked, &pool());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_is_rejected() {
+        select_configuration(&[], &pool());
+    }
+}

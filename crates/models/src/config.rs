@@ -1,0 +1,369 @@
+//! Heterogeneous pool configurations, cost accounting and search-space
+//! enumeration.
+//!
+//! A *configuration* is a count vector over the instance types of a pool,
+//! e.g. `(3, 1, 3)` in Fig. 1 means 3x g4dn.xlarge, 1x c5n.2xlarge and
+//! 3x r5n.large.  Kairos enumerates every configuration whose hourly cost is
+//! within the budget (Sec. 5.2 says this search space is on the order of
+//! 1000 configurations for the paper's setup) and ranks them by the
+//! throughput upper bound.
+
+use crate::instance::InstanceType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered set of instance types forming the heterogeneous pool.
+///
+/// By convention the base type (the only one meeting QoS for all batch
+/// sizes) comes first; [`PoolSpec::new`] enforces exactly one base type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    types: Vec<InstanceType>,
+}
+
+impl PoolSpec {
+    /// Creates a pool specification.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty or does not contain exactly one base type.
+    pub fn new(types: Vec<InstanceType>) -> Self {
+        assert!(!types.is_empty(), "pool must contain at least one instance type");
+        let base_count = types.iter().filter(|t| t.is_base).count();
+        assert_eq!(base_count, 1, "pool must contain exactly one base instance type");
+        Self { types }
+    }
+
+    /// The instance types of the pool, in order.
+    pub fn types(&self) -> &[InstanceType] {
+        &self.types
+    }
+
+    /// Number of instance types (the dimensionality of the config space).
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Index of the base instance type.
+    pub fn base_index(&self) -> usize {
+        self.types
+            .iter()
+            .position(|t| t.is_base)
+            .expect("constructor guarantees a base type")
+    }
+
+    /// The base instance type.
+    pub fn base_type(&self) -> &InstanceType {
+        &self.types[self.base_index()]
+    }
+
+    /// Hourly price of one instance of type `index`.
+    pub fn price(&self, index: usize) -> f64 {
+        self.types[index].price_per_hour
+    }
+}
+
+/// A heterogeneous configuration: how many instances of each pool type to rent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    counts: Vec<usize>,
+}
+
+impl Config {
+    /// Creates a configuration from per-type instance counts (aligned with the
+    /// pool's type order).
+    pub fn new(counts: Vec<usize>) -> Self {
+        assert!(!counts.is_empty(), "configuration must cover at least one type");
+        Self { counts }
+    }
+
+    /// Creates the all-zero configuration for a pool of `num_types` types.
+    pub fn zeros(num_types: usize) -> Self {
+        Self::new(vec![0; num_types])
+    }
+
+    /// The per-type instance counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Count of instances of type `index`.
+    pub fn count(&self, index: usize) -> usize {
+        self.counts[index]
+    }
+
+    /// Total number of instances across all types.
+    pub fn total_instances(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Hourly cost of the configuration under the given pool's prices.
+    pub fn cost(&self, pool: &PoolSpec) -> f64 {
+        assert_eq!(self.counts.len(), pool.num_types(), "config/pool dimension mismatch");
+        self.counts
+            .iter()
+            .zip(pool.types())
+            .map(|(&c, t)| t.cost_of(c))
+            .sum()
+    }
+
+    /// Whether the configuration uses only the pool's base type.
+    pub fn is_homogeneous(&self, pool: &PoolSpec) -> bool {
+        let base = pool.base_index();
+        self.counts
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| i == base || c == 0)
+    }
+
+    /// Whether this configuration is a *sub-configuration* of `other`
+    /// (paper Sec. 5.2 / Algorithm 1): `other` can be reached from `self` by
+    /// only adding instances.  Every configuration is a sub-configuration of
+    /// itself.
+    pub fn is_sub_config_of(&self, other: &Config) -> bool {
+        self.counts.len() == other.counts.len()
+            && self
+                .counts
+                .iter()
+                .zip(other.counts.iter())
+                .all(|(a, b)| a <= b)
+    }
+
+    /// Squared Euclidean distance between two configurations, the similarity
+    /// metric of Kairos's SSE-centroid selection rule (Sec. 5.2).
+    pub fn squared_distance(&self, other: &Config) -> f64 {
+        assert_eq!(self.counts.len(), other.counts.len(), "dimension mismatch");
+        self.counts
+            .iter()
+            .zip(other.counts.iter())
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Returns a copy with the count of type `index` incremented by one.
+    pub fn with_one_more(&self, index: usize) -> Config {
+        let mut counts = self.counts.clone();
+        counts[index] += 1;
+        Config::new(counts)
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Options controlling configuration-space enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnumerationOptions {
+    /// Hourly cost budget in dollars.
+    pub budget_per_hour: f64,
+    /// Require at least one base instance (needed for the pool to serve the
+    /// largest queries within QoS; the paper's configurations all satisfy it).
+    pub require_base_instance: bool,
+    /// Require at least one instance in total.
+    pub require_nonempty: bool,
+}
+
+impl EnumerationOptions {
+    /// Standard options: positive budget, at least one base instance.
+    pub fn with_budget(budget_per_hour: f64) -> Self {
+        assert!(budget_per_hour > 0.0, "budget must be positive");
+        Self {
+            budget_per_hour,
+            require_base_instance: true,
+            require_nonempty: true,
+        }
+    }
+}
+
+/// Enumerates every configuration whose cost fits within the budget.
+///
+/// The enumeration is exhaustive over the axis-aligned box bounded by
+/// `floor(budget / price_i)` per type, filtered by total cost; this is the
+/// same search space the paper's exhaustive offline search covers.
+pub fn enumerate_configs(pool: &PoolSpec, options: &EnumerationOptions) -> Vec<Config> {
+    let budget = options.budget_per_hour;
+    let n = pool.num_types();
+    let max_counts: Vec<usize> = (0..n)
+        .map(|i| (budget / pool.price(i)).floor() as usize)
+        .collect();
+
+    let mut out = Vec::new();
+    let mut current = vec![0usize; n];
+
+    fn recurse(
+        pool: &PoolSpec,
+        max_counts: &[usize],
+        budget: f64,
+        dim: usize,
+        spent: f64,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Config>,
+    ) {
+        if dim == max_counts.len() {
+            out.push(Config::new(current.clone()));
+            return;
+        }
+        let price = pool.price(dim);
+        for count in 0..=max_counts[dim] {
+            let cost = spent + price * count as f64;
+            if cost > budget + 1e-9 {
+                break;
+            }
+            current[dim] = count;
+            recurse(pool, max_counts, budget, dim + 1, cost, current, out);
+        }
+        current[dim] = 0;
+    }
+
+    recurse(pool, &max_counts, budget, 0, 0.0, &mut current, &mut out);
+
+    out.retain(|c| {
+        (!options.require_nonempty || c.total_instances() > 0)
+            && (!options.require_base_instance || c.count(pool.base_index()) > 0)
+    });
+    out
+}
+
+/// Returns the optimal *homogeneous* configuration: the maximum number of
+/// base instances that fit in the budget (paper Sec. 8.1).
+pub fn best_homogeneous(pool: &PoolSpec, budget_per_hour: f64) -> Config {
+    assert!(budget_per_hour > 0.0, "budget must be positive");
+    let base = pool.base_index();
+    let count = (budget_per_hour / pool.price(base)).floor() as usize;
+    let mut counts = vec![0usize; pool.num_types()];
+    counts[base] = count;
+    Config::new(counts)
+}
+
+/// The fraction of the budget a configuration leaves unused.  The paper
+/// compensates the homogeneous baseline by scaling its throughput up
+/// proportionally to this slack (Sec. 8.1); Kairos's own slack is wasted.
+pub fn budget_slack_ratio(config: &Config, pool: &PoolSpec, budget_per_hour: f64) -> f64 {
+    let cost = config.cost(pool);
+    ((budget_per_hour - cost) / budget_per_hour).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ec2;
+
+    fn paper_pool() -> PoolSpec {
+        PoolSpec::new(ec2::paper_pool())
+    }
+
+    #[test]
+    fn pool_requires_exactly_one_base() {
+        let pool = paper_pool();
+        assert_eq!(pool.base_index(), 0);
+        assert_eq!(pool.base_type().name, "g4dn.xlarge");
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one base")]
+    fn pool_rejects_zero_base_types() {
+        PoolSpec::new(vec![ec2::r5n_large(), ec2::t3_xlarge()]);
+    }
+
+    #[test]
+    fn figure1_config_costs() {
+        // Costs of the Fig. 1 configurations on the (G1, C1, C2) pool.
+        let pool = PoolSpec::new(ec2::figure1_pool());
+        let homogeneous = Config::new(vec![4, 0, 0]);
+        assert!((homogeneous.cost(&pool) - 2.104).abs() < 1e-9);
+        let hetero = Config::new(vec![3, 1, 3]);
+        assert!((hetero.cost(&pool) - (3.0 * 0.526 + 0.432 + 3.0 * 0.149)).abs() < 1e-9);
+        assert!(hetero.cost(&pool) <= 2.5);
+        let c209 = Config::new(vec![2, 0, 9]);
+        assert!(c209.cost(&pool) <= 2.5);
+    }
+
+    #[test]
+    fn homogeneity_detection() {
+        let pool = paper_pool();
+        assert!(Config::new(vec![4, 0, 0, 0]).is_homogeneous(&pool));
+        assert!(!Config::new(vec![3, 1, 0, 0]).is_homogeneous(&pool));
+        assert!(Config::new(vec![0, 0, 0, 0]).is_homogeneous(&pool));
+    }
+
+    #[test]
+    fn sub_configuration_relation() {
+        let a = Config::new(vec![1, 2, 0, 3]);
+        let b = Config::new(vec![2, 2, 1, 3]);
+        assert!(a.is_sub_config_of(&b));
+        assert!(!b.is_sub_config_of(&a));
+        assert!(a.is_sub_config_of(&a));
+    }
+
+    #[test]
+    fn squared_distance_matches_hand_computation() {
+        let a = Config::new(vec![3, 1, 3, 0]);
+        let b = Config::new(vec![2, 0, 9, 0]);
+        assert_eq!(a.squared_distance(&b), 1.0 + 1.0 + 36.0);
+        assert_eq!(a.squared_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn enumeration_respects_budget_and_base_requirement() {
+        let pool = paper_pool();
+        let opts = EnumerationOptions::with_budget(2.5);
+        let configs = enumerate_configs(&pool, &opts);
+        assert!(!configs.is_empty());
+        for c in &configs {
+            assert!(c.cost(&pool) <= 2.5 + 1e-9);
+            assert!(c.count(0) >= 1);
+        }
+        // The best homogeneous config must be part of the space.
+        let homo = best_homogeneous(&pool, 2.5);
+        assert!(configs.contains(&homo));
+        // The paper says the search space is on the order of 1000 configs.
+        assert!(configs.len() > 200, "search space unexpectedly small: {}", configs.len());
+        assert!(configs.len() < 20_000, "search space unexpectedly large: {}", configs.len());
+    }
+
+    #[test]
+    fn enumeration_without_base_requirement_is_larger() {
+        let pool = paper_pool();
+        let mut opts = EnumerationOptions::with_budget(2.5);
+        let with_base = enumerate_configs(&pool, &opts).len();
+        opts.require_base_instance = false;
+        let without_base = enumerate_configs(&pool, &opts).len();
+        assert!(without_base > with_base);
+    }
+
+    #[test]
+    fn best_homogeneous_fills_budget() {
+        let pool = paper_pool();
+        let homo = best_homogeneous(&pool, 2.5);
+        assert_eq!(homo.count(0), 4); // 4 x 0.526 = 2.104 <= 2.5 < 5 x 0.526
+        assert_eq!(homo.total_instances(), 4);
+        let slack = budget_slack_ratio(&homo, &pool, 2.5);
+        assert!((slack - (2.5 - 2.104) / 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let c = Config::new(vec![3, 1, 3]);
+        assert_eq!(format!("{c}"), "(3, 1, 3)");
+    }
+
+    #[test]
+    fn with_one_more_increments_a_single_axis() {
+        let c = Config::new(vec![1, 0, 2]);
+        let d = c.with_one_more(1);
+        assert_eq!(d.counts(), &[1, 1, 2]);
+        assert!(c.is_sub_config_of(&d));
+    }
+}

@@ -1,0 +1,171 @@
+//! Machine-learning inference service models and QoS targets (paper Table 3).
+//!
+//! Kairos is evaluated on five industry-grade recommendation models whose QoS
+//! targets (99th-percentile tail latency) are taken from the real services
+//! they power.  The model *architectures* are irrelevant to the scheduler —
+//! only their latency profiles on each instance type matter — so this module
+//! carries the metadata and the maximum batch size, while
+//! [`crate::calibration`] carries the latency behaviour.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum query batch size admitted by the system (paper Sec. 5.1: "we limit
+/// the maximum batch size of a query to 1000 because of QoS constraints").
+pub const MAX_BATCH_SIZE: u32 = 1000;
+
+/// The five production models of the paper's evaluation (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Neural Collaborative Filtering — movie recommendation, 5 ms QoS.
+    Ncf,
+    /// Meta's recommendation model class 2 — social-media post ranking, 350 ms QoS.
+    Rm2,
+    /// Google Wide & Deep — app-store recommendation, 25 ms QoS.
+    Wnd,
+    /// Multi-Task Wide & Deep — video recommendation, 25 ms QoS.
+    MtWnd,
+    /// Alibaba Deep Interest Evolution Network — e-commerce CTR, 35 ms QoS.
+    Dien,
+}
+
+impl ModelKind {
+    /// All five models in the order the paper's figures present them.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::Ncf,
+        ModelKind::Rm2,
+        ModelKind::Wnd,
+        ModelKind::MtWnd,
+        ModelKind::Dien,
+    ];
+
+    /// Short display name as used in the paper's figures.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            ModelKind::Ncf => "NCF",
+            ModelKind::Rm2 => "RM2",
+            ModelKind::Wnd => "WND",
+            ModelKind::MtWnd => "MT-WND",
+            ModelKind::Dien => "DIEN",
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Full description of an inference service model: identity, QoS target and
+/// the application it serves (Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Which of the five paper models this is.
+    pub kind: ModelKind,
+    /// Human-readable description of the model architecture.
+    pub description: String,
+    /// Application the model powers.
+    pub application: String,
+    /// QoS target: the 99th-percentile tail latency limit, in milliseconds.
+    pub qos_ms: f64,
+    /// Largest admissible query batch size.
+    pub max_batch_size: u32,
+}
+
+impl ModelSpec {
+    /// Returns the QoS target in (virtual) microseconds — the unit used by the
+    /// discrete-event simulator.
+    pub fn qos_us(&self) -> u64 {
+        (self.qos_ms * 1000.0).round() as u64
+    }
+}
+
+/// Returns the Table 3 specification for a model.
+pub fn spec(kind: ModelKind) -> ModelSpec {
+    match kind {
+        ModelKind::Ncf => ModelSpec {
+            kind,
+            description: "Neural Collaborative Filtering".to_string(),
+            application: "Movie recommendation".to_string(),
+            qos_ms: 5.0,
+            max_batch_size: MAX_BATCH_SIZE,
+        },
+        ModelKind::Rm2 => ModelSpec {
+            kind,
+            description: "Meta's recommendation model class 2".to_string(),
+            application: "High-accuracy social media posts ranking".to_string(),
+            qos_ms: 350.0,
+            max_batch_size: MAX_BATCH_SIZE,
+        },
+        ModelKind::Wnd => ModelSpec {
+            kind,
+            description: "Google Wide and Deep recommender system".to_string(),
+            application: "Google App Store".to_string(),
+            qos_ms: 25.0,
+            max_batch_size: MAX_BATCH_SIZE,
+        },
+        ModelKind::MtWnd => ModelSpec {
+            kind,
+            description: "Multi-Task Wide and Deep, predicts multiple metrics in parallel"
+                .to_string(),
+            application: "YouTube video recommendation".to_string(),
+            qos_ms: 25.0,
+            max_batch_size: MAX_BATCH_SIZE,
+        },
+        ModelKind::Dien => ModelSpec {
+            kind,
+            description: "Alibaba Deep Interest Evolution Network".to_string(),
+            application: "E-commerce".to_string(),
+            qos_ms: 35.0,
+            max_batch_size: MAX_BATCH_SIZE,
+        },
+    }
+}
+
+/// Returns the Table 3 catalogue of all five models.
+pub fn catalog() -> Vec<ModelSpec> {
+    ModelKind::ALL.iter().map(|k| spec(*k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_qos_targets_match_paper() {
+        assert_eq!(spec(ModelKind::Ncf).qos_ms, 5.0);
+        assert_eq!(spec(ModelKind::Rm2).qos_ms, 350.0);
+        assert_eq!(spec(ModelKind::Wnd).qos_ms, 25.0);
+        assert_eq!(spec(ModelKind::MtWnd).qos_ms, 25.0);
+        assert_eq!(spec(ModelKind::Dien).qos_ms, 35.0);
+    }
+
+    #[test]
+    fn qos_microsecond_conversion() {
+        assert_eq!(spec(ModelKind::Ncf).qos_us(), 5_000);
+        assert_eq!(spec(ModelKind::Rm2).qos_us(), 350_000);
+    }
+
+    #[test]
+    fn catalog_has_five_unique_models() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 5);
+        let mut kinds: Vec<_> = cat.iter().map(|s| s.kind).collect();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 5);
+    }
+
+    #[test]
+    fn batch_size_cap_is_1000() {
+        for m in catalog() {
+            assert_eq!(m.max_batch_size, 1000);
+        }
+    }
+
+    #[test]
+    fn short_names_match_figures() {
+        let names: Vec<_> = ModelKind::ALL.iter().map(|k| k.short_name()).collect();
+        assert_eq!(names, vec!["NCF", "RM2", "WND", "MT-WND", "DIEN"]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the domain model crate.
+
+use kairos_models::{
+    calibration::paper_calibration,
+    config::{enumerate_configs, Config, EnumerationOptions, PoolSpec},
+    instance::ec2,
+    latency::LatencyProfile,
+    mlmodel::ModelKind,
+    predictor::OnlinePredictor,
+};
+use proptest::prelude::*;
+
+fn paper_pool() -> PoolSpec {
+    PoolSpec::new(ec2::paper_pool())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn latency_monotone_in_batch_size(
+        intercept in 0.0f64..100.0,
+        slope in 0.001f64..5.0,
+        b1 in 1u32..1000,
+        b2 in 1u32..1000,
+    ) {
+        let p = LatencyProfile::new(intercept, slope);
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(p.latency_ms(lo) <= p.latency_ms(hi));
+        prop_assert!(p.latency_us(lo) <= p.latency_us(hi));
+    }
+
+    #[test]
+    fn max_batch_within_is_consistent(
+        intercept in 0.0f64..50.0,
+        slope in 0.01f64..2.0,
+        qos in 1.0f64..500.0,
+    ) {
+        let p = LatencyProfile::new(intercept, slope);
+        match p.max_batch_within(qos) {
+            None => prop_assert!(p.latency_ms(1) > qos),
+            Some(b) => {
+                prop_assert!(p.latency_ms(b) <= qos + 1e-9);
+                // One more request either exceeds the target or hits the b>=1 clamp.
+                if p.latency_ms(b + 1) <= qos {
+                    prop_assert_eq!(b, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_cost_additive_and_monotone(
+        counts in prop::collection::vec(0usize..8, 4),
+        extra_type in 0usize..4,
+    ) {
+        let pool = paper_pool();
+        let config = Config::new(counts);
+        let bigger = config.with_one_more(extra_type);
+        prop_assert!(config.is_sub_config_of(&bigger));
+        let expected_increase = pool.price(extra_type);
+        prop_assert!((bigger.cost(&pool) - config.cost(&pool) - expected_increase).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enumeration_monotone_in_budget(budget_small in 1.0f64..3.0, delta in 0.1f64..2.0) {
+        let pool = paper_pool();
+        let small = enumerate_configs(&pool, &EnumerationOptions::with_budget(budget_small));
+        let large = enumerate_configs(&pool, &EnumerationOptions::with_budget(budget_small + delta));
+        prop_assert!(large.len() >= small.len());
+        // Every small-budget configuration is also affordable under the larger budget.
+        for c in &small {
+            prop_assert!(large.contains(c));
+        }
+    }
+
+    #[test]
+    fn predictor_converges_on_linear_truth(
+        intercept in 0.1f64..20.0,
+        slope in 0.01f64..1.0,
+        batches in prop::collection::vec(1u32..1000, 2..30),
+    ) {
+        prop_assume!(batches.iter().collect::<std::collections::HashSet<_>>().len() >= 2);
+        let truth = LatencyProfile::new(intercept, slope);
+        let mut predictor = OnlinePredictor::new();
+        for &b in &batches {
+            predictor.observe(b, truth.latency_ms(b));
+        }
+        // Observed batch sizes are answered exactly; unseen ones via the fit.
+        for &b in &batches {
+            prop_assert!((predictor.predict(b) - truth.latency_ms(b)).abs() < 1e-6);
+        }
+        let err = predictor.relative_error_against(&truth, &[1, 250, 999]);
+        prop_assert!(err < 1e-4, "relative error too large: {err}");
+    }
+
+    #[test]
+    fn squared_distance_is_symmetric_and_nonnegative(
+        a in prop::collection::vec(0usize..12, 4),
+        b in prop::collection::vec(0usize..12, 4),
+    ) {
+        let ca = Config::new(a);
+        let cb = Config::new(b);
+        prop_assert_eq!(ca.squared_distance(&cb), cb.squared_distance(&ca));
+        prop_assert!(ca.squared_distance(&cb) >= 0.0);
+        prop_assert_eq!(ca.squared_distance(&ca), 0.0);
+    }
+}
+
+#[test]
+fn calibration_serializes_round_trip() {
+    let table = paper_calibration();
+    let json = serde_json::to_string(&table).unwrap();
+    let back: kairos_models::LatencyTable = serde_json::from_str(&json).unwrap();
+    for model in ModelKind::ALL {
+        for inst in ec2::paper_pool() {
+            assert_eq!(table.get(model, &inst.name), back.get(model, &inst.name));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The simulated heterogeneous serving cluster.
+//!
+//! A [`Cluster`] instantiates a [`Config`] (instance counts per type) over a
+//! [`PoolSpec`] into concrete simulated instances, and a [`ServiceSpec`]
+//! couples the served ML model with its ground-truth latency behaviour.
+//! Matching the paper's deployment model (Sec. 6), every instance hosts one
+//! model replica and serves exactly one query at a time.
+
+use kairos_models::{
+    latency::{LatencyTable, NoiseModel},
+    mlmodel::{spec, ModelKind, ModelSpec},
+    Config, PoolSpec,
+};
+use kairos_workload::{Query, TimeUs};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// The ML service being hosted: model identity plus ground-truth latency.
+#[derive(Debug, Clone)]
+pub struct ServiceSpec {
+    /// Which model is served (QoS target, batch cap).
+    pub model: ModelSpec,
+    /// Ground-truth latency profiles per instance type.
+    pub latency: LatencyTable,
+    /// Runtime latency noise (paper Fig. 16b injects 5 % Gaussian noise).
+    pub noise: NoiseModel,
+}
+
+impl ServiceSpec {
+    /// Creates a deterministic (noise-free) service for a model.
+    pub fn new(kind: ModelKind, latency: LatencyTable) -> Self {
+        Self {
+            model: spec(kind),
+            latency,
+            noise: NoiseModel::None,
+        }
+    }
+
+    /// Creates a service with latency noise.
+    pub fn with_noise(kind: ModelKind, latency: LatencyTable, noise: NoiseModel) -> Self {
+        Self {
+            model: spec(kind),
+            latency,
+            noise,
+        }
+    }
+
+    /// Nominal (noise-free) latency of a batch on an instance type, in ms.
+    pub fn nominal_latency_ms(&self, instance_name: &str, batch: u32) -> f64 {
+        self.latency.expect(self.model.kind, instance_name).latency_ms(batch)
+    }
+
+    /// Actual service time of a batch on an instance type, in microseconds,
+    /// with the noise model applied.
+    pub fn service_time_us<R: Rng + ?Sized>(
+        &self,
+        instance_name: &str,
+        batch: u32,
+        rng: &mut R,
+    ) -> TimeUs {
+        let nominal = self.nominal_latency_ms(instance_name, batch);
+        let actual = self.noise.apply(nominal, rng);
+        (actual * 1000.0).round().max(1.0) as TimeUs
+    }
+
+    /// QoS target in microseconds.
+    pub fn qos_us(&self) -> u64 {
+        self.model.qos_us()
+    }
+}
+
+/// One simulated compute instance.
+#[derive(Debug, Clone)]
+pub struct SimInstance {
+    /// Index of this instance in the cluster.
+    pub index: usize,
+    /// Index of the instance's type in the pool.
+    pub type_index: usize,
+    /// Cloud name of the type.
+    pub type_name: String,
+    /// Whether this is a base-type instance.
+    pub is_base: bool,
+    /// Query currently being served, with its service start time.
+    pub serving: Option<(Query, TimeUs)>,
+    /// Time at which the currently served query completes (meaningless when idle).
+    pub busy_until_us: TimeUs,
+    /// Queries dispatched to this instance but not yet started (local FIFO).
+    pub local_queue: VecDeque<Query>,
+}
+
+impl SimInstance {
+    /// Whether the instance is currently serving nothing and has no backlog.
+    pub fn is_idle(&self) -> bool {
+        self.serving.is_none() && self.local_queue.is_empty()
+    }
+
+    /// Number of queries at the instance (serving + locally queued).
+    pub fn backlog(&self) -> usize {
+        self.local_queue.len() + usize::from(self.serving.is_some())
+    }
+}
+
+/// A concrete set of simulated instances realizing a configuration.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    pool: PoolSpec,
+    config: Config,
+    instances: Vec<SimInstance>,
+}
+
+impl Cluster {
+    /// Instantiates a configuration over a pool.
+    ///
+    /// # Panics
+    /// Panics if the configuration dimension does not match the pool.
+    pub fn new(pool: PoolSpec, config: Config) -> Self {
+        assert_eq!(
+            config.counts().len(),
+            pool.num_types(),
+            "configuration does not match pool dimensionality"
+        );
+        let mut instances = Vec::new();
+        for (type_index, &count) in config.counts().iter().enumerate() {
+            let ty = &pool.types()[type_index];
+            for _ in 0..count {
+                instances.push(SimInstance {
+                    index: instances.len(),
+                    type_index,
+                    type_name: ty.name.clone(),
+                    is_base: ty.is_base,
+                    serving: None,
+                    busy_until_us: 0,
+                    local_queue: VecDeque::new(),
+                });
+            }
+        }
+        Self { pool, config, instances }
+    }
+
+    /// The pool specification the cluster was built from.
+    pub fn pool(&self) -> &PoolSpec {
+        &self.pool
+    }
+
+    /// The configuration the cluster realizes.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Total number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the cluster has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Immutable access to the instances.
+    pub fn instances(&self) -> &[SimInstance] {
+        &self.instances
+    }
+
+    /// Mutable access to the instances (used by the engine).
+    pub fn instances_mut(&mut self) -> &mut [SimInstance] {
+        &mut self.instances
+    }
+
+    /// Hourly cost of the cluster.
+    pub fn hourly_cost(&self) -> f64 {
+        self.config.cost(&self.pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_models::{calibration::paper_calibration, ec2};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool() -> PoolSpec {
+        PoolSpec::new(ec2::paper_pool())
+    }
+
+    #[test]
+    fn cluster_instantiates_counts_in_type_order() {
+        let cluster = Cluster::new(pool(), Config::new(vec![2, 1, 0, 3]));
+        assert_eq!(cluster.len(), 6);
+        assert_eq!(cluster.instances()[0].type_name, "g4dn.xlarge");
+        assert!(cluster.instances()[0].is_base);
+        assert_eq!(cluster.instances()[2].type_name, "c5n.2xlarge");
+        assert_eq!(cluster.instances()[5].type_name, "t3.xlarge");
+        assert!(cluster.instances().iter().all(|i| i.is_idle()));
+        assert!((cluster.hourly_cost() - (2.0 * 0.526 + 0.432 + 3.0 * 0.1664)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn cluster_rejects_mismatched_config() {
+        Cluster::new(pool(), Config::new(vec![1, 1]));
+    }
+
+    #[test]
+    fn service_spec_latency_and_qos() {
+        let svc = ServiceSpec::new(ModelKind::Rm2, paper_calibration());
+        assert_eq!(svc.qos_us(), 350_000);
+        let lat = svc.nominal_latency_ms("g4dn.xlarge", 100);
+        assert!((lat - (60.0 + 0.24 * 100.0)).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(svc.service_time_us("g4dn.xlarge", 100, &mut rng), 84_000);
+    }
+
+    #[test]
+    fn noisy_service_time_varies_but_stays_positive() {
+        let svc = ServiceSpec::with_noise(
+            ModelKind::Wnd,
+            paper_calibration(),
+            NoiseModel::Gaussian { std_fraction: 0.05 },
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let times: Vec<TimeUs> = (0..100)
+            .map(|_| svc.service_time_us("r5n.large", 50, &mut rng))
+            .collect();
+        assert!(times.iter().all(|&t| t > 0));
+        let distinct: std::collections::HashSet<_> = times.iter().collect();
+        assert!(distinct.len() > 10, "noise should spread service times");
+    }
+
+    #[test]
+    fn backlog_accounting() {
+        let mut cluster = Cluster::new(pool(), Config::new(vec![1, 0, 0, 0]));
+        let inst = &mut cluster.instances_mut()[0];
+        assert_eq!(inst.backlog(), 0);
+        inst.local_queue.push_back(Query::new(1, 10, 0));
+        inst.serving = Some((Query::new(0, 5, 0), 0));
+        assert_eq!(inst.backlog(), 2);
+        assert!(!inst.is_idle());
+    }
+}

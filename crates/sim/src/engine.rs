@@ -1,0 +1,359 @@
+//! Discrete-event simulation engine.
+//!
+//! The engine plays a [`Trace`] of queries against a [`Cluster`] under a
+//! pluggable [`Scheduler`] policy, using a virtual clock in microseconds.
+//! It reproduces the serving model of the paper's implementation (Sec. 6):
+//! a central controller receives all queries, decides the query-to-instance
+//! mapping, and each instance serves exactly one query at a time from its own
+//! FIFO of dispatched queries.
+//!
+//! Events are (a) query arrivals and (b) query completions; the scheduler is
+//! consulted after every event so it can react to freed capacity immediately.
+
+use crate::cluster::{Cluster, ServiceSpec};
+use crate::scheduler::{Dispatch, InstanceView, Scheduler, SchedulingContext};
+use crate::stats::{QueryRecord, SimReport, UnfinishedQuery};
+use kairos_models::{Config, PoolSpec};
+use kairos_workload::{Query, TimeUs, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Options controlling one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationOptions {
+    /// Seed of the service-time noise RNG (ignored when the service is
+    /// deterministic, which is the paper's default).
+    pub seed: u64,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        Self { seed: 0 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    Arrival(Query),
+    Completion { instance_index: usize },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Event {
+    time: TimeUs,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs one simulation of `trace` against `config` on `pool` serving
+/// `service`, distributing queries with `scheduler`.
+pub fn run_trace(
+    pool: &PoolSpec,
+    config: &Config,
+    service: &ServiceSpec,
+    trace: &Trace,
+    scheduler: &mut dyn Scheduler,
+    options: &SimulationOptions,
+) -> SimReport {
+    let mut cluster = Cluster::new(pool.clone(), config.clone());
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let qos_us = service.qos_us();
+
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for q in &trace.queries {
+        heap.push(Reverse(Event { time: q.arrival_us, seq, kind: EventKind::Arrival(*q) }));
+        seq += 1;
+    }
+
+    let mut central_queue: Vec<Query> = Vec::new();
+    let mut records: Vec<QueryRecord> = Vec::new();
+    let mut last_event: TimeUs = 0;
+
+    // Helper to start the next locally queued query on an idle instance.
+    fn start_next(
+        cluster: &mut Cluster,
+        service: &ServiceSpec,
+        rng: &mut StdRng,
+        heap: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+        instance_index: usize,
+        now: TimeUs,
+    ) {
+        let inst = &mut cluster.instances_mut()[instance_index];
+        debug_assert!(inst.serving.is_none(), "instance already serving a query");
+        if let Some(query) = inst.local_queue.pop_front() {
+            let service_us = service.service_time_us(&inst.type_name, query.batch_size, rng);
+            inst.serving = Some((query, now));
+            inst.busy_until_us = now + service_us;
+            heap.push(Reverse(Event {
+                time: inst.busy_until_us,
+                seq: *seq,
+                kind: EventKind::Completion { instance_index },
+            }));
+            *seq += 1;
+        }
+    }
+
+    // Helper building the scheduler's view of the cluster.
+    fn build_views(cluster: &Cluster, service: &ServiceSpec, now: TimeUs) -> Vec<InstanceView> {
+        cluster
+            .instances()
+            .iter()
+            .map(|inst| {
+                let mut free_at = if inst.serving.is_some() {
+                    inst.busy_until_us.max(now)
+                } else {
+                    now
+                };
+                // Account for the nominal service time of locally queued work.
+                for q in &inst.local_queue {
+                    let nominal_ms = service.nominal_latency_ms(&inst.type_name, q.batch_size);
+                    free_at += (nominal_ms * 1000.0).round().max(1.0) as TimeUs;
+                }
+                InstanceView {
+                    instance_index: inst.index,
+                    type_index: inst.type_index,
+                    type_name: inst.type_name.clone(),
+                    is_base: inst.is_base,
+                    free_at_us: free_at,
+                    backlog: inst.backlog(),
+                }
+            })
+            .collect()
+    }
+
+    // Consult the scheduler and apply its dispatch decisions.
+    fn invoke_scheduler(
+        cluster: &mut Cluster,
+        service: &ServiceSpec,
+        scheduler: &mut dyn Scheduler,
+        central_queue: &mut Vec<Query>,
+        rng: &mut StdRng,
+        heap: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+        now: TimeUs,
+        qos_us: u64,
+    ) {
+        if central_queue.is_empty() {
+            return;
+        }
+        let views = build_views(cluster, service, now);
+        let ctx = SchedulingContext {
+            now_us: now,
+            queued: central_queue,
+            instances: &views,
+            qos_us,
+        };
+        let mut plan: Vec<Dispatch> = scheduler.schedule(&ctx);
+
+        // Validate: indices in range, each query dispatched at most once.
+        let mut seen = vec![false; central_queue.len()];
+        plan.retain(|d| {
+            let valid = d.query_index < central_queue.len()
+                && d.instance_index < cluster.len()
+                && !seen[d.query_index];
+            if valid {
+                seen[d.query_index] = true;
+            }
+            valid
+        });
+
+        // Dispatch in the order returned by the policy.
+        for d in &plan {
+            let query = central_queue[d.query_index];
+            let needs_start = {
+                let inst = &mut cluster.instances_mut()[d.instance_index];
+                inst.local_queue.push_back(query);
+                inst.serving.is_none()
+            };
+            if needs_start {
+                start_next(cluster, service, rng, heap, seq, d.instance_index, now);
+            }
+        }
+
+        // Remove dispatched queries from the central queue (descending order
+        // so indices stay valid).
+        let mut dispatched: Vec<usize> = plan.iter().map(|d| d.query_index).collect();
+        dispatched.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in dispatched {
+            central_queue.remove(idx);
+        }
+    }
+
+    while let Some(Reverse(event)) = heap.pop() {
+        let now = event.time;
+        last_event = last_event.max(now);
+        match event.kind {
+            EventKind::Arrival(query) => {
+                central_queue.push(query);
+            }
+            EventKind::Completion { instance_index } => {
+                let (query, start_us, type_index, type_name) = {
+                    let inst = &mut cluster.instances_mut()[instance_index];
+                    let (query, start_us) =
+                        inst.serving.take().expect("completion event for idle instance");
+                    (query, start_us, inst.type_index, inst.type_name.clone())
+                };
+                records.push(QueryRecord {
+                    id: query.id,
+                    batch_size: query.batch_size,
+                    arrival_us: query.arrival_us,
+                    start_us,
+                    completion_us: now,
+                    instance_index,
+                    type_index,
+                });
+                let service_ms = (now - start_us) as f64 / 1000.0;
+                scheduler.on_completion(&type_name, query.batch_size, service_ms);
+                // Start the next locally queued query, if any.
+                start_next(&mut cluster, service, &mut rng, &mut heap, &mut seq, instance_index, now);
+            }
+        }
+        invoke_scheduler(
+            &mut cluster,
+            service,
+            scheduler,
+            &mut central_queue,
+            &mut rng,
+            &mut heap,
+            &mut seq,
+            now,
+            qos_us,
+        );
+    }
+
+    // Anything still queued (centrally or locally) never completed.
+    let mut unfinished: Vec<UnfinishedQuery> = central_queue
+        .iter()
+        .map(|q| UnfinishedQuery { id: q.id, batch_size: q.batch_size, arrival_us: q.arrival_us })
+        .collect();
+    for inst in cluster.instances() {
+        for q in &inst.local_queue {
+            unfinished.push(UnfinishedQuery {
+                id: q.id,
+                batch_size: q.batch_size,
+                arrival_us: q.arrival_us,
+            });
+        }
+        if let Some((q, _)) = inst.serving {
+            unfinished.push(UnfinishedQuery {
+                id: q.id,
+                batch_size: q.batch_size,
+                arrival_us: q.arrival_us,
+            });
+        }
+    }
+
+    let horizon_us = last_event.max(trace.duration_us());
+    SimReport {
+        scheduler: scheduler.name().to_string(),
+        records,
+        unfinished,
+        offered: trace.len(),
+        horizon_us,
+        qos_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FcfsScheduler;
+    use kairos_models::{calibration::paper_calibration, ec2, mlmodel::ModelKind};
+    use kairos_workload::TraceSpec;
+
+    fn setup() -> (PoolSpec, ServiceSpec) {
+        (
+            PoolSpec::new(ec2::paper_pool()),
+            ServiceSpec::new(ModelKind::Wnd, paper_calibration()),
+        )
+    }
+
+    #[test]
+    fn every_offered_query_is_accounted_for() {
+        let (pool, service) = setup();
+        let trace = TraceSpec::production(100.0, 1.0, 1).generate();
+        let config = Config::new(vec![2, 0, 1, 0]);
+        let mut fcfs = FcfsScheduler::new();
+        let report = run_trace(&pool, &config, &service, &trace, &mut fcfs, &SimulationOptions::default());
+        assert_eq!(report.offered, trace.len());
+        assert_eq!(report.completed() + report.unfinished.len(), trace.len());
+        assert_eq!(report.scheduler, "fcfs");
+    }
+
+    #[test]
+    fn completions_never_precede_arrivals_and_service_is_serial() {
+        let (pool, service) = setup();
+        let trace = TraceSpec::production(200.0, 1.0, 2).generate();
+        let config = Config::new(vec![1, 1, 0, 0]);
+        let mut fcfs = FcfsScheduler::new();
+        let report = run_trace(&pool, &config, &service, &trace, &mut fcfs, &SimulationOptions::default());
+        for r in &report.records {
+            assert!(r.start_us >= r.arrival_us);
+            assert!(r.completion_us > r.start_us);
+        }
+        // One query at a time per instance: service intervals on the same
+        // instance must not overlap.
+        let mut by_instance: std::collections::HashMap<usize, Vec<(TimeUs, TimeUs)>> =
+            std::collections::HashMap::new();
+        for r in &report.records {
+            by_instance.entry(r.instance_index).or_default().push((r.start_us, r.completion_us));
+        }
+        for intervals in by_instance.values_mut() {
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlapping service intervals {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn light_load_on_gpu_meets_qos() {
+        let (pool, service) = setup();
+        // 20 QPS against one GPU that serves a mean query in ~7 ms: trivially feasible.
+        let trace = TraceSpec::production(20.0, 2.0, 3).generate();
+        let config = Config::new(vec![1, 0, 0, 0]);
+        let mut fcfs = FcfsScheduler::new();
+        let report = run_trace(&pool, &config, &service, &trace, &mut fcfs, &SimulationOptions::default());
+        assert!(report.meets_qos(0.01), "violations: {}", report.violation_fraction());
+        assert!(report.unfinished.is_empty());
+    }
+
+    #[test]
+    fn overload_is_detected_as_violations() {
+        let (pool, service) = setup();
+        // 2000 QPS against a single GPU is far beyond capacity.
+        let trace = TraceSpec::production(2000.0, 1.0, 4).generate();
+        let config = Config::new(vec![1, 0, 0, 0]);
+        let mut fcfs = FcfsScheduler::new();
+        let report = run_trace(&pool, &config, &service, &trace, &mut fcfs, &SimulationOptions::default());
+        assert!(!report.meets_qos(0.05), "overload should violate QoS");
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_trace() {
+        let (pool, service) = setup();
+        let trace = TraceSpec::production(150.0, 1.0, 9).generate();
+        let config = Config::new(vec![1, 1, 1, 1]);
+        let opts = SimulationOptions { seed: 7 };
+        let a = run_trace(&pool, &config, &service, &trace, &mut FcfsScheduler::new(), &opts);
+        let b = run_trace(&pool, &config, &service, &trace, &mut FcfsScheduler::new(), &opts);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.horizon_us, b.horizon_us);
+    }
+}

@@ -1,0 +1,51 @@
+//! # kairos-sim
+//!
+//! Discrete-event simulator of a heterogeneous cloud inference-serving
+//! cluster, the experimental substrate of this Kairos (HPDC'23) reproduction.
+//!
+//! The paper evaluates Kairos on real AWS EC2 instances; this crate replaces
+//! that testbed with a virtual-time simulation that preserves the properties
+//! the scheduler and estimator rely on: one query per instance at a time,
+//! deterministic near-linear service latency, Poisson arrivals, and QoS
+//! accounting on the 99th-percentile tail (see DESIGN.md, "Substitutions").
+//!
+//! * [`cluster`] — instances, clusters, and the served model ([`ServiceSpec`]).
+//! * [`scheduler`] — the policy interface ([`Scheduler`]) plus a naive FCFS
+//!   baseline.
+//! * [`engine`] — the event loop ([`engine::run_trace`]).
+//! * [`stats`] — per-query records and QoS/throughput metrics.
+//! * [`capacity`] — the allowable-throughput ramp of Sec. 7.
+//!
+//! ```
+//! use kairos_models::{calibration::paper_calibration, ec2, Config, PoolSpec, ModelKind};
+//! use kairos_sim::{engine::run_trace, engine::SimulationOptions, FcfsScheduler, ServiceSpec};
+//! use kairos_workload::TraceSpec;
+//!
+//! let pool = PoolSpec::new(ec2::paper_pool());
+//! let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+//! let trace = TraceSpec::production(50.0, 1.0, 7).generate();
+//! let mut scheduler = FcfsScheduler::new();
+//! let report = run_trace(
+//!     &pool,
+//!     &Config::new(vec![1, 0, 1, 0]),
+//!     &service,
+//!     &trace,
+//!     &mut scheduler,
+//!     &SimulationOptions::default(),
+//! );
+//! assert_eq!(report.offered, trace.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod cluster;
+pub mod engine;
+pub mod scheduler;
+pub mod stats;
+
+pub use capacity::{allowable_throughput, CapacityOptions, CapacityResult};
+pub use cluster::{Cluster, ServiceSpec, SimInstance};
+pub use engine::{run_trace, SimulationOptions};
+pub use scheduler::{Dispatch, FcfsScheduler, InstanceView, Scheduler, SchedulingContext};
+pub use stats::{QueryRecord, SimReport, UnfinishedQuery};

@@ -1,0 +1,188 @@
+//! The scheduling-policy interface of the simulated serving system.
+//!
+//! The central controller invokes a [`Scheduler`] every time the system state
+//! changes (a query arrives or an instance completes a query).  The scheduler
+//! sees the central queue of not-yet-dispatched queries and a view of every
+//! instance (its type and when it will next be free) and returns a set of
+//! (query, instance) dispatch decisions.  Dispatched queries are appended to
+//! the target instance's local FIFO queue, which allows both
+//! central-queue policies (Kairos, Ribbon, DRS — they only dispatch to idle
+//! instances) and per-instance-queue policies (Clockwork) to be expressed.
+
+use kairos_workload::{Query, TimeUs};
+
+/// Snapshot of one simulated instance as seen by a scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceView {
+    /// Index of the instance within the cluster.
+    pub instance_index: usize,
+    /// Index of the instance's type within the pool specification.
+    pub type_index: usize,
+    /// Cloud name of the instance type (e.g. `"g4dn.xlarge"`).
+    pub type_name: String,
+    /// Whether the instance's type is the pool's base type.
+    pub is_base: bool,
+    /// Virtual time at which the instance will have drained its current query
+    /// and everything already sitting in its local queue.  Equal to `now` when
+    /// the instance is idle.
+    pub free_at_us: TimeUs,
+    /// Number of queries currently queued locally at the instance (including
+    /// the one being served).
+    pub backlog: usize,
+}
+
+impl InstanceView {
+    /// Whether the instance is idle right now.
+    pub fn is_idle(&self, now_us: TimeUs) -> bool {
+        self.backlog == 0 && self.free_at_us <= now_us
+    }
+
+    /// Remaining busy time from `now` until the instance frees up.
+    pub fn remaining_us(&self, now_us: TimeUs) -> TimeUs {
+        self.free_at_us.saturating_sub(now_us)
+    }
+}
+
+/// Everything a scheduler can see when making a dispatch decision.
+#[derive(Debug)]
+pub struct SchedulingContext<'a> {
+    /// Current virtual time.
+    pub now_us: TimeUs,
+    /// Queries waiting in the central queue, in arrival order.
+    pub queued: &'a [Query],
+    /// View of every instance in the cluster.
+    pub instances: &'a [InstanceView],
+    /// QoS target of the served model, in microseconds.
+    pub qos_us: u64,
+}
+
+/// A dispatch decision: send `queued[query_index]` to `instances[instance_index]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Index into [`SchedulingContext::queued`].
+    pub query_index: usize,
+    /// Index into [`SchedulingContext::instances`] (same as
+    /// [`InstanceView::instance_index`]).
+    pub instance_index: usize,
+}
+
+/// A query-distribution policy.
+pub trait Scheduler {
+    /// Policy name used in reports and benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Decides which queued queries to dispatch to which instances.
+    ///
+    /// Constraints (validated by the engine):
+    /// * each `query_index` appears at most once,
+    /// * indices must be in range.
+    ///
+    /// A query may be dispatched to a busy instance, in which case it waits in
+    /// that instance's local queue.  Queries left undecided stay in the
+    /// central queue and are offered again at the next invocation.
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch>;
+
+    /// Callback invoked when a query finishes, so policies can learn latency
+    /// online (Kairos) or adapt thresholds.  The default does nothing.
+    fn on_completion(&mut self, _instance_type: &str, _batch_size: u32, _service_ms: f64) {}
+}
+
+/// The naive first-come-first-serve policy: dispatch the oldest queued query
+/// to any idle instance, preferring base-type instances (this is the query
+/// distribution used by Ribbon, paper Sec. 7, and the "naive" scheme of
+/// Fig. 5).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FcfsScheduler;
+
+impl FcfsScheduler {
+    /// Creates the FCFS policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for FcfsScheduler {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+        // Idle instances, base type first (Ribbon "prefers instances of the
+        // base type when multiple instances are available").
+        let mut idle: Vec<&InstanceView> = ctx
+            .instances
+            .iter()
+            .filter(|i| i.is_idle(ctx.now_us))
+            .collect();
+        idle.sort_by_key(|i| (!i.is_base, i.instance_index));
+
+        let mut out = Vec::new();
+        for (slot, inst) in idle.into_iter().enumerate() {
+            if slot >= ctx.queued.len() {
+                break;
+            }
+            out.push(Dispatch {
+                query_index: slot,
+                instance_index: inst.instance_index,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(idx: usize, is_base: bool, free_at: TimeUs) -> InstanceView {
+        InstanceView {
+            instance_index: idx,
+            type_index: if is_base { 0 } else { 1 },
+            type_name: if is_base { "g4dn.xlarge".into() } else { "r5n.large".into() },
+            is_base,
+            free_at_us: free_at,
+            backlog: if free_at > 0 { 1 } else { 0 },
+        }
+    }
+
+    #[test]
+    fn instance_view_idleness() {
+        let v = view(0, true, 0);
+        assert!(v.is_idle(10));
+        let busy = view(1, false, 50);
+        assert!(!busy.is_idle(10));
+        assert_eq!(busy.remaining_us(10), 40);
+        assert_eq!(busy.remaining_us(60), 0);
+    }
+
+    #[test]
+    fn fcfs_prefers_base_instances() {
+        let queued = vec![Query::new(0, 10, 0), Query::new(1, 20, 0)];
+        let instances = vec![view(0, false, 0), view(1, true, 0), view(2, false, 500)];
+        let ctx = SchedulingContext {
+            now_us: 0,
+            queued: &queued,
+            instances: &instances,
+            qos_us: 1_000_000,
+        };
+        let mut fcfs = FcfsScheduler::new();
+        let plan = fcfs.schedule(&ctx);
+        assert_eq!(plan.len(), 2);
+        // Oldest query goes to the base instance.
+        assert_eq!(plan[0], Dispatch { query_index: 0, instance_index: 1 });
+        assert_eq!(plan[1], Dispatch { query_index: 1, instance_index: 0 });
+    }
+
+    #[test]
+    fn fcfs_ignores_busy_instances() {
+        let queued = vec![Query::new(0, 10, 0)];
+        let instances = vec![view(0, true, 900)];
+        let ctx = SchedulingContext {
+            now_us: 100,
+            queued: &queued,
+            instances: &instances,
+            qos_us: 1_000_000,
+        };
+        assert!(FcfsScheduler::new().schedule(&ctx).is_empty());
+    }
+}

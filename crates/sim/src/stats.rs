@@ -1,0 +1,266 @@
+//! Simulation statistics: per-query records and aggregated QoS / throughput
+//! metrics.
+//!
+//! The paper's central metric is the *allowable throughput*: the largest
+//! query rate (QPS) a configuration can sustain without violating the QoS
+//! target, defined on the 99th-percentile tail latency (Sec. 3).  The report
+//! exposes the building blocks: completion records, tail latencies, violation
+//! fractions, and goodput.
+
+use kairos_workload::TimeUs;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle record of one query that finished service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// Query identifier.
+    pub id: u64,
+    /// Batch size of the query.
+    pub batch_size: u32,
+    /// Arrival time at the system.
+    pub arrival_us: TimeUs,
+    /// Time service started on the chosen instance.
+    pub start_us: TimeUs,
+    /// Time service completed.
+    pub completion_us: TimeUs,
+    /// Index of the serving instance within the cluster.
+    pub instance_index: usize,
+    /// Index of the serving instance's type within the pool.
+    pub type_index: usize,
+}
+
+impl QueryRecord {
+    /// End-to-end latency (queueing + service) in microseconds.
+    pub fn latency_us(&self) -> TimeUs {
+        self.completion_us.saturating_sub(self.arrival_us)
+    }
+
+    /// Time spent waiting before service started.
+    pub fn wait_us(&self) -> TimeUs {
+        self.start_us.saturating_sub(self.arrival_us)
+    }
+
+    /// Whether the query met the QoS target.
+    pub fn within_qos(&self, qos_us: u64) -> bool {
+        self.latency_us() <= qos_us
+    }
+}
+
+/// A query that arrived but never completed before the simulation horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnfinishedQuery {
+    /// Query identifier.
+    pub id: u64,
+    /// Batch size of the query.
+    pub batch_size: u32,
+    /// Arrival time at the system.
+    pub arrival_us: TimeUs,
+}
+
+/// Aggregated outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Name of the scheduling policy that produced this run.
+    pub scheduler: String,
+    /// Per-query completion records.
+    pub records: Vec<QueryRecord>,
+    /// Queries that never completed before the horizon.
+    pub unfinished: Vec<UnfinishedQuery>,
+    /// Total number of queries offered to the system.
+    pub offered: usize,
+    /// Virtual time span of the run (last event time), in microseconds.
+    pub horizon_us: TimeUs,
+    /// QoS target of the served model, in microseconds.
+    pub qos_us: u64,
+}
+
+impl SimReport {
+    /// Number of completed queries.
+    pub fn completed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Raw throughput: completed queries per second of simulated time.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.horizon_us == 0 {
+            return 0.0;
+        }
+        self.completed() as f64 / (self.horizon_us as f64 / 1e6)
+    }
+
+    /// Goodput: queries completed *within QoS* per second of simulated time —
+    /// the quantity the paper calls allowable throughput once the offered load
+    /// is at the QoS-feasibility boundary.
+    pub fn goodput_qps(&self) -> f64 {
+        if self.horizon_us == 0 {
+            return 0.0;
+        }
+        let ok = self.records.iter().filter(|r| r.within_qos(self.qos_us)).count();
+        ok as f64 / (self.horizon_us as f64 / 1e6)
+    }
+
+    /// Fraction of offered queries that violated QoS.  A query counts as a
+    /// violation if it completed too late, or if it never completed and has
+    /// already been in the system longer than the QoS target at the horizon
+    /// (so an overloaded system cannot hide violations in its backlog).
+    pub fn violation_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        let late_completed = self
+            .records
+            .iter()
+            .filter(|r| !r.within_qos(self.qos_us))
+            .count();
+        let late_unfinished = self
+            .unfinished
+            .iter()
+            .filter(|u| self.horizon_us.saturating_sub(u.arrival_us) > self.qos_us)
+            .count();
+        (late_completed + late_unfinished) as f64 / self.offered as f64
+    }
+
+    /// Whether the run satisfies the QoS target at the given tail tolerance
+    /// (e.g. 0.01 for a 99th-percentile target).
+    pub fn meets_qos(&self, tolerance: f64) -> bool {
+        self.violation_fraction() <= tolerance
+    }
+
+    /// Latency at the given percentile (0–100) over completed queries, in
+    /// microseconds.  Returns 0 when nothing completed.
+    pub fn latency_percentile_us(&self, percentile: f64) -> TimeUs {
+        assert!((0.0..=100.0).contains(&percentile), "percentile out of range");
+        if self.records.is_empty() {
+            return 0;
+        }
+        let mut latencies: Vec<TimeUs> = self.records.iter().map(|r| r.latency_us()).collect();
+        latencies.sort_unstable();
+        // Nearest-rank percentile: the smallest latency such that at least
+        // `percentile` percent of queries are at or below it.
+        let n = latencies.len();
+        let rank = ((percentile / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
+        latencies[rank]
+    }
+
+    /// 99th-percentile latency in microseconds (the paper's QoS metric).
+    pub fn p99_latency_us(&self) -> TimeUs {
+        self.latency_percentile_us(99.0)
+    }
+
+    /// Mean end-to-end latency in milliseconds over completed queries.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.latency_us() as f64).sum::<f64>()
+            / self.records.len() as f64
+            / 1000.0
+    }
+
+    /// Number of completed queries served by each instance-type index.
+    pub fn per_type_completions(&self, num_types: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_types];
+        for r in &self.records {
+            if r.type_index < num_types {
+                counts[r.type_index] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, arrival: TimeUs, start: TimeUs, completion: TimeUs) -> QueryRecord {
+        QueryRecord {
+            id,
+            batch_size: 10,
+            arrival_us: arrival,
+            start_us: start,
+            completion_us: completion,
+            instance_index: 0,
+            type_index: 0,
+        }
+    }
+
+    fn report(records: Vec<QueryRecord>, unfinished: Vec<UnfinishedQuery>, qos: u64) -> SimReport {
+        let offered = records.len() + unfinished.len();
+        SimReport {
+            scheduler: "test".into(),
+            records,
+            unfinished,
+            offered,
+            horizon_us: 1_000_000,
+            qos_us: qos,
+        }
+    }
+
+    #[test]
+    fn record_latency_and_wait() {
+        let r = record(1, 100, 400, 900);
+        assert_eq!(r.latency_us(), 800);
+        assert_eq!(r.wait_us(), 300);
+        assert!(r.within_qos(800));
+        assert!(!r.within_qos(799));
+    }
+
+    #[test]
+    fn throughput_and_goodput() {
+        let rep = report(
+            vec![record(1, 0, 0, 100), record(2, 0, 0, 200_000)],
+            vec![],
+            10_000,
+        );
+        assert!((rep.throughput_qps() - 2.0).abs() < 1e-9);
+        // Only the first record is within the 10 ms QoS.
+        assert!((rep.goodput_qps() - 1.0).abs() < 1e-9);
+        assert_eq!(rep.violation_fraction(), 0.5);
+        assert!(!rep.meets_qos(0.01));
+        assert!(rep.meets_qos(0.5));
+    }
+
+    #[test]
+    fn unfinished_queries_count_as_violations_when_stale() {
+        let rep = report(
+            vec![record(1, 0, 0, 100)],
+            vec![
+                UnfinishedQuery { id: 2, batch_size: 5, arrival_us: 0 },       // stale
+                UnfinishedQuery { id: 3, batch_size: 5, arrival_us: 999_999 }, // fresh
+            ],
+            10_000,
+        );
+        assert!((rep.violation_fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_latency() {
+        let records: Vec<QueryRecord> =
+            (1..=100).map(|i| record(i, 0, 0, i as TimeUs * 1000)).collect();
+        let rep = report(records, vec![], 1_000_000);
+        assert_eq!(rep.p99_latency_us(), 99_000);
+        assert_eq!(rep.latency_percentile_us(50.0), 50_000);
+        assert!((rep.mean_latency_ms() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_harmless() {
+        let rep = report(vec![], vec![], 1000);
+        assert_eq!(rep.completed(), 0);
+        assert_eq!(rep.throughput_qps(), 0.0);
+        assert_eq!(rep.p99_latency_us(), 0);
+        assert_eq!(rep.violation_fraction(), 0.0);
+        assert!(rep.meets_qos(0.0));
+    }
+
+    #[test]
+    fn per_type_breakdown() {
+        let mut r1 = record(1, 0, 0, 10);
+        r1.type_index = 0;
+        let mut r2 = record(2, 0, 0, 10);
+        r2.type_index = 2;
+        let rep = report(vec![r1, r2], vec![], 1000);
+        assert_eq!(rep.per_type_completions(4), vec![1, 0, 1, 0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # kairos-workload
+//!
+//! Workload generation for the Kairos inference-serving reproduction:
+//! query types, batch-size distributions (production-like log-normal,
+//! Gaussian, uniform, empirical), Poisson/uniform/burst arrival processes,
+//! reproducible traces, and the online query monitor Kairos uses to estimate
+//! the batch-size mix (paper Sec. 5.2).
+//!
+//! ```
+//! use kairos_workload::{TraceSpec, QueryMonitor};
+//!
+//! // Reproducible production-like trace: 200 QPS Poisson, log-normal batches.
+//! let trace = TraceSpec::production(200.0, 2.0, 42).generate();
+//! assert!(!trace.is_empty());
+//!
+//! // The monitor tracks the recent batch-size mix the estimator needs.
+//! let mut monitor = QueryMonitor::new();
+//! for q in &trace.queries {
+//!     monitor.observe(q.batch_size);
+//! }
+//! assert!(monitor.fraction_at_most(1000) > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod batch;
+pub mod monitor;
+pub mod query;
+pub mod trace;
+
+pub use arrival::ArrivalProcess;
+pub use batch::BatchSizeDistribution;
+pub use monitor::{QueryMonitor, DEFAULT_WINDOW};
+pub use query::{Query, TimeUs};
+pub use trace::{Trace, TraceSpec};

@@ -1,0 +1,166 @@
+//! Online query monitoring.
+//!
+//! Kairos's upper-bound estimator needs the batch-size distribution of the
+//! incoming query stream — specifically the fraction `f` of queries at or
+//! below a cutoff `s` (paper Sec. 5.2, "Remarks on assumptions and overhead":
+//! "This is done via query monitoring to keep track of a number of most
+//! recent queries (e.g., 10000 queries), and does not require extra
+//! profiling").  [`QueryMonitor`] is exactly that sliding window.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Default window length used by the paper (10 000 most recent queries).
+pub const DEFAULT_WINDOW: usize = 10_000;
+
+/// Sliding window over the batch sizes of the most recent queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryMonitor {
+    capacity: usize,
+    window: VecDeque<u32>,
+}
+
+impl QueryMonitor {
+    /// Creates a monitor with the paper's default window of 10 000 queries.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_WINDOW)
+    }
+
+    /// Creates a monitor with a custom window length.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self {
+            capacity,
+            window: VecDeque::with_capacity(capacity.min(16_384)),
+        }
+    }
+
+    /// Records the batch size of a newly arrived query, evicting the oldest
+    /// entry once the window is full.
+    pub fn observe(&mut self, batch_size: u32) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(batch_size);
+    }
+
+    /// Records a whole slice of batch sizes.
+    pub fn observe_all(&mut self, batch_sizes: &[u32]) {
+        for &b in batch_sizes {
+            self.observe(b);
+        }
+    }
+
+    /// Number of queries currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no queries have been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Fraction `f` of observed queries with batch size at most `threshold`
+    /// (returns 0 when the window is empty).
+    pub fn fraction_at_most(&self, threshold: u32) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().filter(|&&b| b <= threshold).count() as f64 / self.window.len() as f64
+    }
+
+    /// Mean batch size of queries in the window at most `threshold` (None if
+    /// no such query exists).  Used to derive the representative "small query"
+    /// an auxiliary instance serves.
+    pub fn mean_at_most(&self, threshold: u32) -> Option<f64> {
+        let below: Vec<u32> = self.window.iter().copied().filter(|&b| b <= threshold).collect();
+        if below.is_empty() {
+            return None;
+        }
+        Some(below.iter().map(|&b| b as f64).sum::<f64>() / below.len() as f64)
+    }
+
+    /// Mean batch size of queries in the window strictly above `threshold`
+    /// (None if no such query exists).  This is the representative `s+` query
+    /// of the upper-bound analysis.
+    pub fn mean_above(&self, threshold: u32) -> Option<f64> {
+        let above: Vec<u32> = self.window.iter().copied().filter(|&b| b > threshold).collect();
+        if above.is_empty() {
+            return None;
+        }
+        Some(above.iter().map(|&b| b as f64).sum::<f64>() / above.len() as f64)
+    }
+
+    /// Mean batch size over the whole window (None when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        Some(self.window.iter().map(|&b| b as f64).sum::<f64>() / self.window.len() as f64)
+    }
+
+    /// Largest batch size observed in the window.
+    pub fn max_batch(&self) -> Option<u32> {
+        self.window.iter().copied().max()
+    }
+
+    /// A copy of the batch sizes currently in the window (oldest first).
+    /// This is the sample handed to the throughput upper-bound estimator.
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.window.iter().copied().collect()
+    }
+}
+
+impl Default for QueryMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut m = QueryMonitor::with_capacity(3);
+        m.observe_all(&[1, 2, 3, 4]);
+        assert_eq!(m.len(), 3);
+        // 1 was evicted, so the fraction at most 1 is now zero.
+        assert_eq!(m.fraction_at_most(1), 0.0);
+        assert_eq!(m.fraction_at_most(4), 1.0);
+    }
+
+    #[test]
+    fn fraction_and_means() {
+        let mut m = QueryMonitor::with_capacity(100);
+        m.observe_all(&[10, 20, 30, 400, 600]);
+        assert!((m.fraction_at_most(30) - 0.6).abs() < 1e-12);
+        assert_eq!(m.mean_at_most(30), Some(20.0));
+        assert_eq!(m.mean_above(30), Some(500.0));
+        assert_eq!(m.max_batch(), Some(600));
+        assert_eq!(m.mean(), Some((10.0 + 20.0 + 30.0 + 400.0 + 600.0) / 5.0));
+    }
+
+    #[test]
+    fn empty_window_defaults() {
+        let m = QueryMonitor::new();
+        assert!(m.is_empty());
+        assert_eq!(m.fraction_at_most(100), 0.0);
+        assert_eq!(m.mean_at_most(100), None);
+        assert_eq!(m.mean_above(100), None);
+        assert_eq!(m.max_batch(), None);
+    }
+
+    #[test]
+    fn default_capacity_matches_paper() {
+        assert_eq!(DEFAULT_WINDOW, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        QueryMonitor::with_capacity(0);
+    }
+}

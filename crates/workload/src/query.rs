@@ -1,0 +1,63 @@
+//! Inference queries.
+//!
+//! A *query* is a batch of individual inference requests submitted together
+//! (paper Sec. 3/4): its only scheduler-relevant attributes are the batch
+//! size and the arrival time.  Simulator time is expressed in integer
+//! microseconds for determinism.
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual time in microseconds.
+pub type TimeUs = u64;
+
+/// One inference query: a batch of requests arriving at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Query {
+    /// Unique, monotonically increasing identifier.
+    pub id: u64,
+    /// Number of requests batched into this query (1..=1000 in the paper).
+    pub batch_size: u32,
+    /// Arrival time at the serving system, in virtual microseconds.
+    pub arrival_us: TimeUs,
+}
+
+impl Query {
+    /// Creates a query.
+    ///
+    /// # Panics
+    /// Panics if the batch size is zero.
+    pub fn new(id: u64, batch_size: u32, arrival_us: TimeUs) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        Self {
+            id,
+            batch_size,
+            arrival_us,
+        }
+    }
+
+    /// Time this query has already spent waiting at `now` (the `W_i` term of
+    /// the QoS constraint, paper Eq. 3).
+    pub fn waiting_time_us(&self, now: TimeUs) -> TimeUs {
+        now.saturating_sub(self.arrival_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiting_time_is_elapsed_since_arrival() {
+        let q = Query::new(1, 32, 1_000);
+        assert_eq!(q.waiting_time_us(1_500), 500);
+        assert_eq!(q.waiting_time_us(1_000), 0);
+        // Clock never went backwards, but guard against underflow anyway.
+        assert_eq!(q.waiting_time_us(500), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_rejected() {
+        Query::new(1, 0, 0);
+    }
+}

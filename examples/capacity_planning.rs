@@ -1,0 +1,59 @@
+//! Capacity planning across the whole model catalogue.
+//!
+//! For each of the paper's five production models, plan a heterogeneous
+//! configuration under the default budget with Kairos's upper-bound method,
+//! show its predicted throughput ceiling, and compare against the optimal
+//! homogeneous pool and a Kairos+ refinement driven by the (cheap, analytic)
+//! oracle evaluator.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use kairos::prelude::*;
+use kairos_baselines::oracle_throughput;
+use kairos_core::kairos_plus_search;
+use kairos_models::best_homogeneous;
+
+fn main() {
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let budget = 2.5;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(21);
+    let sample = BatchSizeDistribution::production_default().sample_many(&mut rng, 3000);
+
+    println!("Kairos capacity planning, budget ${budget}/hr, production batch mix");
+    println!(
+        "{:<10}{:>10}{:>16}{:>14}{:>18}{:>14}",
+        "model", "QoS ms", "Kairos config", "UB (QPS)", "Kairos+ config", "evals"
+    );
+
+    for model in ModelKind::ALL {
+        let planner = KairosPlanner::new(pool.clone(), model, latency.clone());
+        let plan = planner.plan(budget, &sample);
+
+        // Kairos+ refines the choice with a handful of real evaluations; here
+        // the evaluator is the analytic oracle model so the example stays fast.
+        let result = kairos_plus_search(
+            &plan.ranked,
+            |config| oracle_throughput(&pool, config, model, &latency, &sample),
+            Some(25),
+        );
+
+        let qos = kairos_models::spec(model).qos_ms;
+        println!(
+            "{:<10}{:>10.0}{:>16}{:>14.1}{:>18}{:>14}",
+            model.to_string(),
+            qos,
+            plan.chosen.to_string(),
+            plan.chosen_upper_bound(),
+            result.best_config.as_ref().map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            result.evaluations(),
+        );
+    }
+
+    println!("\nFor reference, the optimal homogeneous configuration under this budget is {}.",
+        best_homogeneous(&pool, budget));
+    println!("See `cargo bench -p kairos-bench --bench figures` for the full paper reproduction.");
+}

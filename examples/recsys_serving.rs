@@ -1,0 +1,75 @@
+//! Social-media ranking scenario (the paper's motivating RM2 workload).
+//!
+//! Meta's RM2 recommendation model ranks social-media posts under a 350 ms
+//! tail-latency target.  This example reproduces the Fig. 1 story: under the
+//! same cost budget, some heterogeneous configurations clearly beat the best
+//! homogeneous GPU pool while others are much worse — and the query
+//! distribution policy decides how much of the hardware's potential is
+//! realized.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example recsys_serving
+//! ```
+
+use kairos::prelude::*;
+use kairos_baselines::oracle_throughput;
+use kairos_models::Config;
+
+fn main() {
+    let pool = PoolSpec::new(ec2::figure1_pool()); // G1 / C1 / C2, as in Fig. 1
+    let model = ModelKind::Rm2;
+    let latency = paper_calibration();
+    let budget = 2.5;
+
+    // The four configurations highlighted in Fig. 1 (base, C1, C2 counts).
+    let candidates = vec![
+        Config::new(vec![4, 0, 0]), // optimal homogeneous
+        Config::new(vec![3, 1, 3]), // good heterogeneous
+        Config::new(vec![2, 0, 9]), // mediocre heterogeneous
+        Config::new(vec![1, 4, 2]), // poor heterogeneous
+    ];
+
+    println!("RM2 social-media ranking, QoS 350 ms, budget ${budget}/hr");
+    println!("{:<14}{:>12}{:>16}{:>18}", "config", "cost $/hr", "within budget", "oracle QPS");
+
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let sample = BatchSizeDistribution::production_default().sample_many(&mut rng, 3000);
+    for config in &candidates {
+        let cost = config.cost(&pool);
+        let oracle = oracle_throughput(&pool, config, model, &latency, &sample);
+        println!(
+            "{:<14}{:>12.3}{:>16}{:>15.1}",
+            config.to_string(),
+            cost,
+            if cost <= budget { "yes" } else { "no" },
+            oracle
+        );
+    }
+
+    // Show the impact of the query-distribution mechanism on the good
+    // heterogeneous configuration (the Fig. 3 observation).
+    let config = Config::new(vec![3, 1, 3]);
+    let service = ServiceSpec::new(model, latency.clone());
+    let trace = TraceSpec::production(60.0, 3.0, 9).generate();
+
+    println!("\nReplaying {} RM2 queries on {} with different distribution policies:", trace.len(), config);
+    println!("{:<14}{:>12}{:>16}", "policy", "goodput", "p99 latency");
+
+    let policies: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(RibbonScheduler::new()),
+        Box::new(DrsScheduler::new(300)),
+        Box::new(ClockworkScheduler::new(model, latency.clone())),
+        Box::new(KairosScheduler::with_priors(model, &latency)),
+    ];
+    for mut policy in policies {
+        let report = run_trace(&pool, &config, &service, &trace, policy.as_mut(),
+            &SimulationOptions::default());
+        println!(
+            "{:<14}{:>9.1} QPS{:>13.1} ms",
+            report.scheduler,
+            report.goodput_qps(),
+            report.p99_latency_us() as f64 / 1000.0
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: the full serving pipeline (workload ->
+//! simulator -> schedulers) behaves as the paper describes.
+
+use kairos::prelude::*;
+use kairos_models::Config;
+
+fn service_for(model: ModelKind) -> (PoolSpec, ServiceSpec, LatencyTable) {
+    let latency = paper_calibration();
+    (
+        PoolSpec::new(ec2::paper_pool()),
+        ServiceSpec::new(model, latency.clone()),
+        latency,
+    )
+}
+
+/// The Fig. 5 story: on the same two instances, Kairos's matching serves more
+/// queries within QoS than the naive FCFS policy because it routes
+/// high-speedup (large) queries to the powerful instance.
+#[test]
+fn kairos_beats_naive_fcfs_on_the_figure5_shape() {
+    let (pool, service, latency) = service_for(ModelKind::Wnd);
+    let config = Config::new(vec![1, 0, 1, 0]); // one GPU, one cheap CPU
+    // A bursty arrival of alternating large and small queries.
+    let queries: Vec<kairos_workload::Query> = (0..40)
+        .map(|i| {
+            let batch = if i % 2 == 0 { 700 } else { 40 };
+            kairos_workload::Query::new(i, batch, (i as u64) * 2_000)
+        })
+        .collect();
+    let trace = Trace::from_queries(queries);
+
+    let mut kairos = KairosScheduler::with_priors(ModelKind::Wnd, &latency);
+    let kairos_report = run_trace(&pool, &config, &service, &trace, &mut kairos, &SimulationOptions::default());
+    let mut fcfs = FcfsScheduler::new();
+    let fcfs_report = run_trace(&pool, &config, &service, &trace, &mut fcfs, &SimulationOptions::default());
+
+    assert!(
+        kairos_report.goodput_qps() > fcfs_report.goodput_qps(),
+        "kairos {} should beat fcfs {}",
+        kairos_report.goodput_qps(),
+        fcfs_report.goodput_qps()
+    );
+}
+
+/// Every scheduler keeps the basic serving invariants: all offered queries are
+/// accounted for and no instance serves two queries at once (checked through
+/// the per-record ordering).
+#[test]
+fn all_schedulers_preserve_serving_invariants() {
+    let (pool, service, latency) = service_for(ModelKind::Dien);
+    let config = Config::new(vec![1, 1, 1, 1]);
+    let trace = TraceSpec::production(120.0, 1.0, 5).generate();
+
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(KairosScheduler::with_priors(ModelKind::Dien, &latency)),
+        Box::new(RibbonScheduler::new()),
+        Box::new(DrsScheduler::new(200)),
+        Box::new(ClockworkScheduler::new(ModelKind::Dien, latency.clone())),
+        Box::new(FcfsScheduler::new()),
+    ];
+    for scheduler in schedulers.iter_mut() {
+        let report = run_trace(&pool, &config, &service, &trace, scheduler.as_mut(), &SimulationOptions::default());
+        assert_eq!(
+            report.completed() + report.unfinished.len(),
+            trace.len(),
+            "{}: lost queries",
+            report.scheduler
+        );
+        for r in &report.records {
+            assert!(r.start_us >= r.arrival_us, "{}: service before arrival", report.scheduler);
+            assert!(r.completion_us > r.start_us, "{}: zero-length service", report.scheduler);
+        }
+    }
+}
+
+/// Under a light load every QoS-aware scheme meets the 99th-percentile target.
+#[test]
+fn light_load_meets_qos_for_all_qos_aware_schemes() {
+    let (pool, service, latency) = service_for(ModelKind::Wnd);
+    let config = Config::new(vec![2, 0, 1, 0]);
+    let trace = TraceSpec::production(50.0, 2.0, 8).generate();
+
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(KairosScheduler::with_priors(ModelKind::Wnd, &latency)),
+        Box::new(ClockworkScheduler::new(ModelKind::Wnd, latency.clone())),
+    ];
+    for scheduler in schedulers.iter_mut() {
+        let report = run_trace(&pool, &config, &service, &trace, scheduler.as_mut(), &SimulationOptions::default());
+        assert!(
+            report.meets_qos(0.01),
+            "{} violated QoS: {}",
+            report.scheduler,
+            report.violation_fraction()
+        );
+    }
+}
+
+/// The allowable-throughput search is consistent: a heterogeneous RM2
+/// configuration chosen by Kairos sustains more load than the best
+/// homogeneous configuration at the same budget (the Fig. 8 headline).
+#[test]
+fn planned_heterogeneous_config_beats_homogeneous_for_rm2() {
+    let latency = paper_calibration();
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let model = ModelKind::Rm2;
+    let planner = KairosPlanner::new(pool.clone(), model, latency.clone());
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+    let sample = BatchSizeDistribution::production_default().sample_many(&mut rng, 2000);
+    let plan = planner.plan(2.5, &sample);
+    let homogeneous = kairos_models::best_homogeneous(&pool, 2.5);
+
+    let mut opts = CapacityOptions::with_seed(31);
+    opts.duration_s = 1.0;
+    opts.refine_steps = 3;
+    let service = ServiceSpec::new(model, latency.clone());
+
+    let hetero = allowable_throughput(&pool, &plan.chosen, &service, &opts, || {
+        Box::new(KairosScheduler::with_priors(model, &latency)) as Box<dyn Scheduler>
+    })
+    .allowable_qps;
+    let homo = allowable_throughput(&pool, &homogeneous, &service, &opts, || {
+        Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>
+    })
+    .allowable_qps;
+    // Scale the homogeneous result up for its unused budget, as the paper does.
+    let homo_scaled = homo * (2.5 / homogeneous.cost(&pool));
+
+    assert!(
+        hetero > homo_scaled,
+        "heterogeneous {hetero:.1} QPS should beat budget-scaled homogeneous {homo_scaled:.1} QPS"
+    );
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration tests for the planning side of Kairos: upper-bound
+//! ranking, similarity selection, Kairos+ pruning search and the online
+//! controller, validated against the oracle reference model.
+
+use kairos::prelude::*;
+use kairos_baselines::{best_oracle_throughput, oracle_throughput, ConfigSearch, ExhaustiveSearch,
+    RandomSearch, SearchSpace};
+use kairos_core::kairos_plus_search;
+use kairos_models::{enumerate_configs, Config, EnumerationOptions};
+use rand::SeedableRng;
+
+fn sample(seed: u64, n: usize) -> Vec<u32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    BatchSizeDistribution::production_default().sample_many(&mut rng, n)
+}
+
+/// The paper's Fig. 13 claim: the configuration with the best *actual*
+/// (oracle) throughput sits among the top candidates by upper bound, and the
+/// configuration Kairos selects is near-optimal.
+#[test]
+fn optimum_lies_in_the_top_upper_bound_candidates() {
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let s = sample(11, 2500);
+
+    for model in [ModelKind::Rm2, ModelKind::Wnd, ModelKind::Dien] {
+        let planner = KairosPlanner::new(pool.clone(), model, latency.clone());
+        let plan = planner.plan(2.5, &s);
+
+        let configs: Vec<Config> = plan.ranked.iter().map(|(c, _)| c.clone()).collect();
+        let (_, best_oracle) = best_oracle_throughput(&pool, &configs, model, &latency, &s);
+
+        // The best oracle throughput among the top-20 UB candidates is close
+        // to the global optimum (the paper's Fig. 13 shows the optimum inside
+        // the top candidates; the multi-auxiliary optimism of the bound makes
+        // the exact cut-off fuzzy, so allow a modest margin here).
+        let top: Vec<Config> = plan.top(20).iter().map(|(c, _)| c.clone()).collect();
+        let (_, top_best) = best_oracle_throughput(&pool, &top, model, &latency, &s);
+        assert!(
+            top_best >= 0.8 * best_oracle,
+            "{model}: top-20 UB best {top_best:.1} too far from optimum {best_oracle:.1}"
+        );
+
+        // Kairos's selected configuration is itself competitive.
+        let chosen = oracle_throughput(&pool, &plan.chosen, model, &latency, &s);
+        assert!(
+            chosen >= 0.6 * best_oracle,
+            "{model}: chosen config {:.1} too far from optimum {best_oracle:.1}",
+            chosen
+        );
+    }
+}
+
+/// Kairos+ finds the same optimum as exhaustive search while evaluating far
+/// fewer configurations (the Fig. 10/11 claim), using the oracle model as the
+/// expensive evaluator.
+#[test]
+fn kairos_plus_matches_exhaustive_search_with_fewer_evaluations() {
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let model = ModelKind::Wnd;
+    let s = sample(13, 2000);
+
+    let planner = KairosPlanner::new(pool.clone(), model, latency.clone());
+    let plan = planner.plan(2.5, &s);
+    let space_size = plan.ranked.len();
+
+    let result = kairos_plus_search(
+        &plan.ranked,
+        |c| oracle_throughput(&pool, c, model, &latency, &s),
+        None,
+    );
+    // Exhaustive optimum over the same space.
+    let optimum = plan
+        .ranked
+        .iter()
+        .map(|(c, _)| oracle_throughput(&pool, c, model, &latency, &s))
+        .fold(f64::MIN, f64::max);
+
+    assert!(
+        result.best_throughput >= 0.999 * optimum,
+        "Kairos+ best {:.2} should match exhaustive optimum {optimum:.2}",
+        result.best_throughput
+    );
+    assert!(
+        result.evaluations() * 10 < space_size,
+        "Kairos+ used {} evaluations on a space of {space_size}",
+        result.evaluations()
+    );
+    // Random search with the same evaluation budget does not reliably reach
+    // the optimum.
+    let space = SearchSpace::new(pool.clone(), 2.5);
+    let mut eval = |c: &Config| oracle_throughput(&pool, c, model, &latency, &s);
+    let random = RandomSearch { seed: 3 }.search(&space, &mut eval, result.evaluations());
+    assert!(random.best.unwrap().1 <= optimum + 1e-9);
+}
+
+/// Fig. 13/14 trend property: the upper bound tracks the achievable (oracle)
+/// throughput — configurations ranked high by the bound achieve clearly more
+/// than configurations ranked low, even though the bound is not a pointwise
+/// envelope of the oracle (the paper's Fig. 14 likewise shows ORCL above UB).
+#[test]
+fn upper_bound_tracks_oracle_throughput_ordering() {
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let model = ModelKind::Rm2;
+    let s = sample(17, 2000);
+    let estimator = kairos_core::ThroughputEstimator::new(
+        pool.clone(),
+        model,
+        latency.clone(),
+        s.clone(),
+    );
+    let configs = enumerate_configs(&pool, &EnumerationOptions::with_budget(2.5));
+    let ranked = estimator.rank_configs(&configs);
+
+    let mean_oracle = |slice: &[(Config, f64)]| -> f64 {
+        slice
+            .iter()
+            .map(|(c, _)| oracle_throughput(&pool, c, model, &latency, &s))
+            .sum::<f64>()
+            / slice.len() as f64
+    };
+    let k = (ranked.len() / 10).max(5);
+    let top = mean_oracle(&ranked[..k]);
+    let bottom = mean_oracle(&ranked[ranked.len() - k..]);
+    assert!(
+        top > 1.5 * bottom,
+        "top-decile UB configs ({top:.1} QPS) should clearly beat bottom-decile ({bottom:.1} QPS)"
+    );
+
+    // And the bound stays meaningful for the best candidates: within a small
+    // constant factor of the oracle reference (tight, as in Fig. 14).
+    for (config, ub) in &ranked[..k] {
+        let orcl = oracle_throughput(&pool, config, model, &latency, &s);
+        assert!(
+            *ub >= 0.4 * orcl && *ub <= 2.5 * orcl,
+            "config {config}: UB {ub:.1} not within a small factor of oracle {orcl:.1}"
+        );
+    }
+}
+
+/// The controller closes the loop: after observing a query stream and
+/// completions it produces a plan whose configuration the exhaustive search
+/// (over the oracle model) confirms to be close to optimal.
+#[test]
+fn controller_replans_close_to_optimal_after_observing_load() {
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let model = ModelKind::Dien;
+    let mut controller = KairosController::with_priors(pool.clone(), model, latency.clone());
+
+    let s = sample(23, 3000);
+    for &b in &s {
+        controller.observe_query(b);
+    }
+    let plan = controller.plan(2.5).unwrap();
+
+    let mut eval = |c: &Config| oracle_throughput(&pool, c, model, &latency, &s);
+    let space = SearchSpace::new(pool.clone(), 2.5);
+    let exhaustive = ExhaustiveSearch.search(&space, &mut eval, usize::MAX);
+    let optimum = exhaustive.best.unwrap().1;
+    let chosen = oracle_throughput(&pool, &plan.chosen, model, &latency, &s);
+    assert!(
+        chosen >= 0.7 * optimum,
+        "controller plan {chosen:.1} too far from optimum {optimum:.1}"
+    );
+}
