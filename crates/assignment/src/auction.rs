@@ -194,8 +194,8 @@ mod tests {
 
     #[test]
     fn diagonal_optimum() {
-        let m = CostMatrix::from_vec(3, 3, vec![0.0, 5.0, 5.0, 5.0, 0.0, 5.0, 5.0, 5.0, 0.0])
-            .unwrap();
+        let m =
+            CostMatrix::from_vec(3, 3, vec![0.0, 5.0, 5.0, 5.0, 0.0, 5.0, 5.0, 5.0, 0.0]).unwrap();
         let a = solve_auction(&m, 1e-9, 4.0).unwrap();
         assert!(a.total_cost < 1.0);
         assert!(a.is_valid_for(3, 3));

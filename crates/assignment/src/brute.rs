@@ -76,14 +76,30 @@ pub fn solve_brute_force(matrix: &CostMatrix) -> Result<Assignment, AssignmentEr
             if !used[col] {
                 used[col] = true;
                 current.push(col);
-                recurse(m, row + 1, current, used, running + m.get(row, col), best_cost, best);
+                recurse(
+                    m,
+                    row + 1,
+                    current,
+                    used,
+                    running + m.get(row, col),
+                    best_cost,
+                    best,
+                );
                 current.pop();
                 used[col] = false;
             }
         }
     }
 
-    recurse(m, 0, &mut current, &mut used, 0.0, &mut best_cost, &mut best);
+    recurse(
+        m,
+        0,
+        &mut current,
+        &mut used,
+        0.0,
+        &mut best_cost,
+        &mut best,
+    );
 
     if best.len() != nr {
         return Err(AssignmentError::Infeasible);

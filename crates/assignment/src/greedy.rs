@@ -92,7 +92,9 @@ mod tests {
     fn greedy_never_beats_optimal() {
         let mut state = 7u64;
         let mut next = move || {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             ((state >> 33) as f64) / (u32::MAX as f64) * 10.0
         };
         for _ in 0..20 {

@@ -103,8 +103,7 @@ pub fn solve_hungarian(matrix: &CostMatrix) -> Result<Assignment, AssignmentErro
     // padding.  A real row matched to a dummy column means the row is left
     // unmatched (only possible when rows > cols).
     let mut row_to_col = vec![None; rows];
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().take(n + 1).skip(1) {
         if i == 0 {
             continue;
         }
@@ -127,8 +126,8 @@ mod tests {
 
     #[test]
     fn square_known_optimum() {
-        let m = CostMatrix::from_vec(3, 3, vec![4.0, 1.0, 3.0, 2.0, 0.0, 5.0, 3.0, 2.0, 2.0])
-            .unwrap();
+        let m =
+            CostMatrix::from_vec(3, 3, vec![4.0, 1.0, 3.0, 2.0, 0.0, 5.0, 3.0, 2.0, 2.0]).unwrap();
         let a = solve_hungarian(&m).unwrap();
         assert!((a.total_cost - 5.0).abs() < 1e-9);
     }
@@ -153,7 +152,9 @@ mod tests {
     fn agrees_with_jv_and_brute_force() {
         let mut state = 0x853C49E6748FEA9Bu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 50.0 - 10.0
         };
         for rows in 1..=5usize {

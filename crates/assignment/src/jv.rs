@@ -228,7 +228,9 @@ mod tests {
         // does not need the rand crate.
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 100.0
         };
         for rows in 1..=5usize {

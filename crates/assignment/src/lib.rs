@@ -84,7 +84,13 @@ mod tests {
         let names: Vec<_> = solvers.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            vec!["jonker-volgenant", "hungarian", "auction", "greedy", "brute-force"]
+            vec![
+                "jonker-volgenant",
+                "hungarian",
+                "auction",
+                "greedy",
+                "brute-force"
+            ]
         );
     }
 }

@@ -16,11 +16,10 @@ use proptest::prelude::*;
 
 /// Strategy producing small rectangular matrices with bounded finite costs.
 fn small_matrix() -> impl Strategy<Value = CostMatrix> {
-    (1usize..=6, 1usize..=6)
-        .prop_flat_map(|(rows, cols)| {
-            prop::collection::vec(-100.0f64..100.0, rows * cols)
-                .prop_map(move |data| CostMatrix::from_vec(rows, cols, data).unwrap())
-        })
+    (1usize..=6, 1usize..=6).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(-100.0f64..100.0, rows * cols)
+            .prop_map(move |data| CostMatrix::from_vec(rows, cols, data).unwrap())
+    })
 }
 
 proptest! {

@@ -9,6 +9,7 @@
 //! reference for every practical distribution scheme.
 
 use kairos_models::{latency::LatencyTable, mlmodel::spec, mlmodel::ModelKind, Config, PoolSpec};
+use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -26,7 +27,11 @@ pub fn oracle_throughput(
     batch_sample: &[u32],
 ) -> f64 {
     assert!(!batch_sample.is_empty(), "batch sample must not be empty");
-    assert_eq!(config.counts().len(), pool.num_types(), "config/pool mismatch");
+    assert_eq!(
+        config.counts().len(),
+        pool.num_types(),
+        "config/pool mismatch"
+    );
     let model_spec = spec(model);
     let qos_ms = model_spec.qos_ms;
 
@@ -115,6 +120,10 @@ pub fn oracle_throughput(
 
 /// Oracle throughput maximized over a set of configurations (the paper uses
 /// the best configuration found by oracle search as the reference).
+///
+/// Every candidate's oracle schedule is independent, so the grid is
+/// evaluated as a rayon fan-out; the reduction keeps the original
+/// first-wins tie-breaking by scanning the ordered results.
 pub fn best_oracle_throughput(
     pool: &PoolSpec,
     configs: &[Config],
@@ -122,9 +131,12 @@ pub fn best_oracle_throughput(
     latency: &LatencyTable,
     batch_sample: &[u32],
 ) -> (Option<Config>, f64) {
+    let evaluated: Vec<f64> = configs
+        .par_iter()
+        .map(|c| oracle_throughput(pool, c, model, latency, batch_sample))
+        .collect();
     let mut best: Option<(Config, f64)> = None;
-    for c in configs {
-        let qps = oracle_throughput(pool, c, model, latency, batch_sample);
+    for (c, qps) in configs.iter().zip(evaluated) {
         match &best {
             None => best = Some((c.clone(), qps)),
             Some((_, b)) if qps > *b => best = Some((c.clone(), qps)),
@@ -161,8 +173,20 @@ mod tests {
     #[test]
     fn more_instances_give_more_oracle_throughput() {
         let latency = paper_calibration();
-        let one = oracle_throughput(&pool(), &Config::new(vec![1, 0, 0, 0]), ModelKind::Rm2, &latency, &sample());
-        let two = oracle_throughput(&pool(), &Config::new(vec![2, 0, 0, 0]), ModelKind::Rm2, &latency, &sample());
+        let one = oracle_throughput(
+            &pool(),
+            &Config::new(vec![1, 0, 0, 0]),
+            ModelKind::Rm2,
+            &latency,
+            &sample(),
+        );
+        let two = oracle_throughput(
+            &pool(),
+            &Config::new(vec![2, 0, 0, 0]),
+            ModelKind::Rm2,
+            &latency,
+            &sample(),
+        );
         assert!(one > 0.0);
         assert!(two > one * 1.5);
     }
@@ -170,22 +194,46 @@ mod tests {
     #[test]
     fn heterogeneous_oracle_beats_homogeneous_at_equal_cost_for_rm2() {
         let latency = paper_calibration();
-        let homo = oracle_throughput(&pool(), &Config::new(vec![4, 0, 0, 0]), ModelKind::Rm2, &latency, &sample());
-        let hetero = oracle_throughput(&pool(), &Config::new(vec![3, 1, 3, 0]), ModelKind::Rm2, &latency, &sample());
+        let homo = oracle_throughput(
+            &pool(),
+            &Config::new(vec![4, 0, 0, 0]),
+            ModelKind::Rm2,
+            &latency,
+            &sample(),
+        );
+        let hetero = oracle_throughput(
+            &pool(),
+            &Config::new(vec![3, 1, 3, 0]),
+            ModelKind::Rm2,
+            &latency,
+            &sample(),
+        );
         assert!(hetero > homo, "hetero {hetero} should beat homo {homo}");
     }
 
     #[test]
     fn auxiliary_only_pool_with_large_queries_has_zero_throughput() {
         let latency = paper_calibration();
-        let qps = oracle_throughput(&pool(), &Config::new(vec![0, 0, 5, 0]), ModelKind::Wnd, &latency, &sample());
+        let qps = oracle_throughput(
+            &pool(),
+            &Config::new(vec![0, 0, 5, 0]),
+            ModelKind::Wnd,
+            &latency,
+            &sample(),
+        );
         assert_eq!(qps, 0.0);
     }
 
     #[test]
     fn empty_configuration_has_zero_throughput() {
         let latency = paper_calibration();
-        let qps = oracle_throughput(&pool(), &Config::new(vec![0, 0, 0, 0]), ModelKind::Wnd, &latency, &sample());
+        let qps = oracle_throughput(
+            &pool(),
+            &Config::new(vec![0, 0, 0, 0]),
+            ModelKind::Wnd,
+            &latency,
+            &sample(),
+        );
         assert_eq!(qps, 0.0);
     }
 
@@ -197,11 +245,14 @@ mod tests {
             Config::new(vec![2, 0, 0, 0]),
             Config::new(vec![2, 0, 3, 0]),
         ];
-        let (best, qps) = best_oracle_throughput(&pool(), &configs, ModelKind::Dien, &latency, &sample());
+        let (best, qps) =
+            best_oracle_throughput(&pool(), &configs, ModelKind::Dien, &latency, &sample());
         assert!(qps > 0.0);
         let best = best.unwrap();
         for c in &configs {
-            assert!(oracle_throughput(&pool(), c, ModelKind::Dien, &latency, &sample()) <= qps + 1e-9);
+            assert!(
+                oracle_throughput(&pool(), c, ModelKind::Dien, &latency, &sample()) <= qps + 1e-9
+            );
         }
         assert!(configs.contains(&best));
     }
@@ -210,6 +261,12 @@ mod tests {
     #[should_panic(expected = "batch sample")]
     fn empty_sample_rejected() {
         let latency = paper_calibration();
-        oracle_throughput(&pool(), &Config::new(vec![1, 0, 0, 0]), ModelKind::Ncf, &latency, &[]);
+        oracle_throughput(
+            &pool(),
+            &Config::new(vec![1, 0, 0, 0]),
+            ModelKind::Ncf,
+            &latency,
+            &[],
+        );
     }
 }

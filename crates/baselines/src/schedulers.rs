@@ -28,7 +28,9 @@ pub struct RibbonScheduler {
 impl RibbonScheduler {
     /// Creates the Ribbon policy.
     pub fn new() -> Self {
-        Self { inner: FcfsScheduler::new() }
+        Self {
+            inner: FcfsScheduler::new(),
+        }
     }
 }
 
@@ -102,7 +104,10 @@ impl Scheduler for DrsScheduler {
                 })
             };
             if let Some(instance_index) = target {
-                plan.push(Dispatch { query_index, instance_index });
+                plan.push(Dispatch {
+                    query_index,
+                    instance_index,
+                });
             }
         }
         plan
@@ -141,7 +146,10 @@ where
         let mut improved = true;
         while improved {
             improved = false;
-            for candidate in [best_threshold.saturating_sub(delta).max(1), best_threshold + delta] {
+            for candidate in [
+                best_threshold.saturating_sub(delta).max(1),
+                best_threshold + delta,
+            ] {
                 if candidate == best_threshold || candidate > max_batch {
                     continue;
                 }
@@ -219,8 +227,13 @@ impl Scheduler for ClockworkScheduler {
                 }
             }
             if let Some((slot, completion, _)) = best {
-                extra_ms[slot] += completion - (ctx.instances[slot].remaining_us(ctx.now_us) as f64 / 1000.0 + extra_ms[slot]);
-                plan.push(Dispatch { query_index, instance_index: ctx.instances[slot].instance_index });
+                extra_ms[slot] += completion
+                    - (ctx.instances[slot].remaining_us(ctx.now_us) as f64 / 1000.0
+                        + extra_ms[slot]);
+                plan.push(Dispatch {
+                    query_index,
+                    instance_index: ctx.instances[slot].instance_index,
+                });
             }
         }
         plan
@@ -248,28 +261,64 @@ mod tests {
     #[test]
     fn ribbon_behaves_like_fcfs_with_base_preference() {
         let queued = vec![Query::new(0, 100, 0)];
-        let instances = vec![view(0, "r5n.large", false, 0), view(1, "g4dn.xlarge", true, 0)];
-        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let instances = vec![
+            view(0, "r5n.large", false, 0),
+            view(1, "g4dn.xlarge", true, 0),
+        ];
+        let ctx = SchedulingContext {
+            now_us: 0,
+            queued: &queued,
+            instances: &instances,
+            qos_us: 25_000,
+        };
         let plan = RibbonScheduler::new().schedule(&ctx);
-        assert_eq!(plan, vec![Dispatch { query_index: 0, instance_index: 1 }]);
+        assert_eq!(
+            plan,
+            vec![Dispatch {
+                query_index: 0,
+                instance_index: 1
+            }]
+        );
     }
 
     #[test]
     fn drs_routes_by_threshold() {
         let queued = vec![Query::new(0, 500, 0), Query::new(1, 50, 0)];
-        let instances = vec![view(0, "g4dn.xlarge", true, 0), view(1, "r5n.large", false, 0)];
-        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let instances = vec![
+            view(0, "g4dn.xlarge", true, 0),
+            view(1, "r5n.large", false, 0),
+        ];
+        let ctx = SchedulingContext {
+            now_us: 0,
+            queued: &queued,
+            instances: &instances,
+            qos_us: 25_000,
+        };
         let plan = DrsScheduler::new(128).schedule(&ctx);
-        assert!(plan.contains(&Dispatch { query_index: 0, instance_index: 0 }));
-        assert!(plan.contains(&Dispatch { query_index: 1, instance_index: 1 }));
+        assert!(plan.contains(&Dispatch {
+            query_index: 0,
+            instance_index: 0
+        }));
+        assert!(plan.contains(&Dispatch {
+            query_index: 1,
+            instance_index: 1
+        }));
     }
 
     #[test]
     fn drs_leaves_queries_waiting_when_their_class_is_busy() {
         let queued = vec![Query::new(0, 500, 0)];
         // Only an auxiliary instance is idle; the large query must wait for a GPU.
-        let instances = vec![view(0, "g4dn.xlarge", true, 10_000), view(1, "r5n.large", false, 0)];
-        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let instances = vec![
+            view(0, "g4dn.xlarge", true, 10_000),
+            view(1, "r5n.large", false, 0),
+        ];
+        let ctx = SchedulingContext {
+            now_us: 0,
+            queued: &queued,
+            instances: &instances,
+            qos_us: 25_000,
+        };
         assert!(DrsScheduler::new(128).schedule(&ctx).is_empty());
     }
 
@@ -277,7 +326,12 @@ mod tests {
     fn drs_small_queries_use_base_in_homogeneous_pools() {
         let queued = vec![Query::new(0, 10, 0)];
         let instances = vec![view(0, "g4dn.xlarge", true, 0)];
-        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let ctx = SchedulingContext {
+            now_us: 0,
+            queued: &queued,
+            instances: &instances,
+            qos_us: 25_000,
+        };
         assert_eq!(DrsScheduler::new(128).schedule(&ctx).len(), 1);
     }
 
@@ -296,18 +350,40 @@ mod tests {
         let queued = vec![Query::new(0, 800, 0)];
         // The CPU is idle but cannot meet QoS for a batch-800 WND query; the
         // GPU is busy for 4 ms but still meets the 25 ms target.
-        let instances = vec![view(0, "r5n.large", false, 0), view(1, "g4dn.xlarge", true, 4_000)];
-        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let instances = vec![
+            view(0, "r5n.large", false, 0),
+            view(1, "g4dn.xlarge", true, 4_000),
+        ];
+        let ctx = SchedulingContext {
+            now_us: 0,
+            queued: &queued,
+            instances: &instances,
+            qos_us: 25_000,
+        };
         let plan = cw.clone().schedule(&ctx);
-        assert_eq!(plan, vec![Dispatch { query_index: 0, instance_index: 1 }]);
+        assert_eq!(
+            plan,
+            vec![Dispatch {
+                query_index: 0,
+                instance_index: 1
+            }]
+        );
     }
 
     #[test]
     fn clockwork_spreads_queries_across_instance_queues() {
         let cw = ClockworkScheduler::new(ModelKind::Wnd, paper_calibration());
         let queued = vec![Query::new(0, 100, 0), Query::new(1, 100, 0)];
-        let instances = vec![view(0, "g4dn.xlarge", true, 0), view(1, "c5n.2xlarge", false, 0)];
-        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let instances = vec![
+            view(0, "g4dn.xlarge", true, 0),
+            view(1, "c5n.2xlarge", false, 0),
+        ];
+        let ctx = SchedulingContext {
+            now_us: 0,
+            queued: &queued,
+            instances: &instances,
+            qos_us: 25_000,
+        };
         let plan = cw.clone().schedule(&ctx);
         assert_eq!(plan.len(), 2);
         // The two queries must not pile onto the same instance when both
@@ -320,8 +396,16 @@ mod tests {
         let cw = ClockworkScheduler::new(ModelKind::Ncf, paper_calibration());
         // Batch 900 NCF cannot meet 5 ms anywhere once instances are backed up.
         let queued = vec![Query::new(0, 900, 0)];
-        let instances = vec![view(0, "g4dn.xlarge", true, 50_000), view(1, "r5n.large", false, 40_000)];
-        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 5_000 };
+        let instances = vec![
+            view(0, "g4dn.xlarge", true, 50_000),
+            view(1, "r5n.large", false, 40_000),
+        ];
+        let ctx = SchedulingContext {
+            now_us: 0,
+            queued: &queued,
+            instances: &instances,
+            qos_us: 5_000,
+        };
         let plan = cw.clone().schedule(&ctx);
         assert_eq!(plan.len(), 1);
         // GPU: 50 ms queue + 3.05 ms service = 53.05; CPU: 40 + 17.1 = 57.1.

@@ -33,7 +33,11 @@ impl SearchSpace {
     /// Enumerates the affordable configuration space for a pool and budget.
     pub fn new(pool: PoolSpec, budget: f64) -> Self {
         let configs = enumerate_configs(&pool, &EnumerationOptions::with_budget(budget));
-        Self { pool, budget, configs }
+        Self {
+            pool,
+            budget,
+            configs,
+        }
     }
 
     /// Whether a configuration belongs to the space.
@@ -62,7 +66,10 @@ pub struct PrunedEvaluator<'a> {
 impl<'a> PrunedEvaluator<'a> {
     /// Wraps a raw evaluator.
     pub fn new(evaluate: &'a mut dyn FnMut(&Config) -> f64) -> Self {
-        Self { evaluate, history: Vec::new() }
+        Self {
+            evaluate,
+            history: Vec::new(),
+        }
     }
 
     /// Evaluates a configuration, answering sub-configurations of already
@@ -155,7 +162,10 @@ pub trait ConfigSearch {
 }
 
 fn outcome(evaluator: PrunedEvaluator<'_>) -> SearchOutcome {
-    SearchOutcome { best: evaluator.best(), history: evaluator.history().to_vec() }
+    SearchOutcome {
+        best: evaluator.best(),
+        history: evaluator.history().to_vec(),
+    }
 }
 
 /// Exhaustive search: evaluate every configuration (the paper's offline
@@ -238,7 +248,11 @@ pub struct SimulatedAnnealing {
 
 impl Default for SimulatedAnnealing {
     fn default() -> Self {
-        Self { seed: 0, initial_temperature: 30.0, cooling: 0.95 }
+        Self {
+            seed: 0,
+            initial_temperature: 30.0,
+            cooling: 0.95,
+        }
     }
 }
 
@@ -320,7 +334,11 @@ pub struct GeneticSearch {
 
 impl Default for GeneticSearch {
     fn default() -> Self {
-        Self { seed: 0, population: 12, mutation_rate: 0.25 }
+        Self {
+            seed: 0,
+            population: 12,
+            mutation_rate: 0.25,
+        }
     }
 }
 
@@ -395,7 +413,11 @@ impl ConfigSearch for GeneticSearch {
             let pick = |rng: &mut StdRng, pop: &[(Config, f64)]| -> Config {
                 let a = &pop[rng.gen_range(0..pop.len())];
                 let b = &pop[rng.gen_range(0..pop.len())];
-                if a.1 >= b.1 { a.0.clone() } else { b.0.clone() }
+                if a.1 >= b.1 {
+                    a.0.clone()
+                } else {
+                    b.0.clone()
+                }
             };
             let p1 = pick(&mut rng, &population);
             let p2 = pick(&mut rng, &population);
@@ -450,7 +472,12 @@ pub struct BayesianOptimization {
 
 impl Default for BayesianOptimization {
     fn default() -> Self {
-        Self { seed: 0, initial_samples: 4, length_scale: 2.0, noise: 1e-4 }
+        Self {
+            seed: 0,
+            initial_samples: 4,
+            length_scale: 2.0,
+            noise: 1e-4,
+        }
     }
 }
 
@@ -516,10 +543,15 @@ impl BayesianOptimization {
     fn normal_cdf(z: f64) -> f64 {
         let t = 1.0 / (1.0 + 0.2316419 * z.abs());
         let poly = t
-            * (0.319381530 + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+            * (0.319381530
+                + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
         let pdf = (-z * z / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
         let cdf = 1.0 - pdf * poly;
-        if z >= 0.0 { cdf } else { 1.0 - cdf }
+        if z >= 0.0 {
+            cdf
+        } else {
+            1.0 - cdf
+        }
     }
 
     fn normal_pdf(z: f64) -> f64 {
@@ -557,8 +589,8 @@ impl ConfigSearch for BayesianOptimization {
             let xs: Vec<Vec<f64>> = observed.iter().map(|(c, _)| Self::to_vector(c)).collect();
             let ys: Vec<f64> = observed.iter().map(|(_, v)| *v).collect();
             let y_mean = ys.iter().sum::<f64>() / n as f64;
-            let y_var = (ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>() / n as f64)
-                .max(1e-6);
+            let y_var =
+                (ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>() / n as f64).max(1e-6);
             let best_y = ys.iter().cloned().fold(f64::MIN, f64::max);
 
             // Gram matrix with noise on the diagonal.
@@ -571,7 +603,9 @@ impl ConfigSearch for BayesianOptimization {
                     }
                 }
             }
-            let Some(l) = Self::cholesky(gram, n) else { break };
+            let Some(l) = Self::cholesky(gram, n) else {
+                break;
+            };
             let centered: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
             let alpha = Self::cholesky_solve(&l, n, &centered);
 
@@ -597,7 +631,9 @@ impl ConfigSearch for BayesianOptimization {
                     _ => {}
                 }
             }
-            let Some((idx, _)) = best_candidate else { break };
+            let Some((idx, _)) = best_candidate else {
+                break;
+            };
             evaluator.evaluate(&space.configs[idx]);
         }
         outcome(evaluator)
@@ -666,7 +702,11 @@ mod tests {
     fn annealing_improves_over_its_starting_point() {
         let s = space();
         let mut eval = |c: &Config| objective(c);
-        let out = SimulatedAnnealing { seed: 7, ..Default::default() }.search(&s, &mut eval, 40);
+        let out = SimulatedAnnealing {
+            seed: 7,
+            ..Default::default()
+        }
+        .search(&s, &mut eval, 40);
         let first = out.history.first().unwrap().1;
         let best = out.best.as_ref().unwrap().1;
         assert!(best >= first);
@@ -676,7 +716,11 @@ mod tests {
     fn genetic_search_stays_within_budget() {
         let s = space();
         let mut eval = |c: &Config| objective(c);
-        let out = GeneticSearch { seed: 11, ..Default::default() }.search(&s, &mut eval, 30);
+        let out = GeneticSearch {
+            seed: 11,
+            ..Default::default()
+        }
+        .search(&s, &mut eval, 30);
         for (c, _) in &out.history {
             assert!(c.cost(&s.pool) <= s.budget + 1e-9);
             assert!(c.count(s.pool.base_index()) >= 1);
@@ -687,7 +731,11 @@ mod tests {
     fn bayesian_optimization_reaches_near_optimum_with_few_evaluations() {
         let s = space();
         let mut eval = |c: &Config| objective(c);
-        let out = BayesianOptimization { seed: 5, ..Default::default() }.search(&s, &mut eval, 25);
+        let out = BayesianOptimization {
+            seed: 5,
+            ..Default::default()
+        }
+        .search(&s, &mut eval, 25);
         let best = out.best.as_ref().unwrap().1;
         assert!(
             best >= 0.95 * optimum(&s),

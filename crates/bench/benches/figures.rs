@@ -35,9 +35,14 @@ fn figure1() {
         ("(2, 0, 9)", Config::new(vec![2, 0, 9])),
         ("(1, 4, 2)", Config::new(vec![1, 4, 2])),
     ];
-    println!("{:<24}{:>12}{:>18}", "configuration", "cost $/hr", "throughput (QPS)");
-    for (label, config) in configs {
-        let mut qps = ctx.measure_throughput(&config, SchedulerKind::Ribbon);
+    println!(
+        "{:<24}{:>12}{:>18}",
+        "configuration", "cost $/hr", "throughput (QPS)"
+    );
+    // The four ramps are independent: fan them out over the cores.
+    let candidates: Vec<Config> = configs.iter().map(|(_, c)| c.clone()).collect();
+    let measured = ctx.measure_throughput_many(&candidates, SchedulerKind::Ribbon);
+    for ((label, config), mut qps) in configs.into_iter().zip(measured) {
         let cost = config.cost(&ctx.pool);
         if config.is_homogeneous(&ctx.pool) {
             // The paper scales the homogeneous configuration's throughput up
@@ -51,7 +56,9 @@ fn figure1() {
 /// Fig. 2 — simulated-annealing exploration: most explored configurations are
 /// worse than the homogeneous baseline.
 fn figure2() {
-    section("Figure 2: throughput gain over homogeneous while exploring with simulated annealing (RM2)");
+    section(
+        "Figure 2: throughput gain over homogeneous while exploring with simulated annealing (RM2)",
+    );
     let ctx = ExperimentContext::figure1(ModelKind::Rm2);
     let sample = ctx.sample(2500);
     let homo = best_homogeneous(&ctx.pool, ctx.budget);
@@ -60,10 +67,17 @@ fn figure2() {
 
     let space = SearchSpace::new(ctx.pool.clone(), ctx.budget);
     let mut eval = |c: &Config| oracle_throughput(&ctx.pool, c, ctx.model, &ctx.latency, &sample);
-    let out = SimulatedAnnealing { seed: 4, ..Default::default() }.search(&space, &mut eval, 40);
+    let out = SimulatedAnnealing {
+        seed: 4,
+        ..Default::default()
+    }
+    .search(&space, &mut eval, 40);
 
     let mut worse = 0usize;
-    println!("{:<8}{:>16}{:>22}", "step", "explored config", "gain over homo (%)");
+    println!(
+        "{:<8}{:>16}{:>22}",
+        "step", "explored config", "gain over homo (%)"
+    );
     for (step, (config, qps)) in out.history.iter().enumerate() {
         let gain = (qps - homo_qps) / homo_qps * 100.0;
         if gain < 0.0 {
@@ -90,11 +104,16 @@ fn figure3() {
         Config::new(vec![2, 0, 9]),
         Config::new(vec![3, 1, 3]),
     ];
-    println!("{:<14}{:>10}{:>10}{:>10}{:>10}", "config", "RIBBON", "DRS", "CLKWRK", "ORCL");
-    for config in &configs {
-        let ribbon = ctx.measure_throughput(config, SchedulerKind::Ribbon);
+    println!(
+        "{:<14}{:>10}{:>10}{:>10}{:>10}",
+        "config", "RIBBON", "DRS", "CLKWRK", "ORCL"
+    );
+    // Uniform-scheduler columns sweep in parallel; the DRS column stays
+    // per-config because its tuned threshold depends on the configuration.
+    let ribbons = ctx.measure_throughput_many(&configs, SchedulerKind::Ribbon);
+    let clkwrks = ctx.measure_throughput_many(&configs, SchedulerKind::Clockwork);
+    for ((config, ribbon), clkwrk) in configs.iter().zip(ribbons).zip(clkwrks) {
         let drs = ctx.measure_throughput(config, SchedulerKind::Drs(ctx.drs_threshold(config)));
-        let clkwrk = ctx.measure_throughput(config, SchedulerKind::Clockwork);
         let orcl = oracle_throughput(&ctx.pool, config, ctx.model, &ctx.latency, &sample);
         println!(
             "{:<14}{:>10.1}{:>10.1}{:>10.1}{:>10.1}",
@@ -118,9 +137,19 @@ fn figure7() {
         q_aux: 150.0,
         fraction_small: 0.6,
     };
-    let s2 = SingleAuxInputs { q_aux: 140.0, fraction_small: 0.7, ..s1 };
-    println!("Scenario 1 (base bottleneck):      QPS_max = {:.0} (paper: 225)", upper_bound_single(&s1));
-    println!("Scenario 2 (auxiliary bottleneck): QPS_max = {:.0} (paper: 233)", upper_bound_single(&s2));
+    let s2 = SingleAuxInputs {
+        q_aux: 140.0,
+        fraction_small: 0.7,
+        ..s1
+    };
+    println!(
+        "Scenario 1 (base bottleneck):      QPS_max = {:.0} (paper: 225)",
+        upper_bound_single(&s1)
+    );
+    println!(
+        "Scenario 2 (auxiliary bottleneck): QPS_max = {:.0} (paper: 233)",
+        upper_bound_single(&s2)
+    );
 }
 
 /// Fig. 8 — Kairos vs the optimal homogeneous configuration, all five models.
@@ -166,7 +195,8 @@ fn figure9() {
         let best_cfg = best_cfg.unwrap_or_else(|| plan.chosen.clone());
 
         let ribbon = ctx.measure_throughput(&best_cfg, SchedulerKind::Ribbon);
-        let drs = ctx.measure_throughput(&best_cfg, SchedulerKind::Drs(ctx.drs_threshold(&best_cfg)));
+        let drs =
+            ctx.measure_throughput(&best_cfg, SchedulerKind::Drs(ctx.drs_threshold(&best_cfg)));
         let clkwrk = ctx.measure_throughput(&best_cfg, SchedulerKind::Clockwork);
         let kairos = ctx.measure_throughput(&plan.chosen, SchedulerKind::Kairos);
 
@@ -177,7 +207,9 @@ fn figure9() {
             Some(10),
         );
         let plus_cfg = plus.best_config.unwrap_or_else(|| plan.chosen.clone());
-        let kairos_plus = ctx.measure_throughput(&plus_cfg, SchedulerKind::Kairos).max(kairos);
+        let kairos_plus = ctx
+            .measure_throughput(&plus_cfg, SchedulerKind::Kairos)
+            .max(kairos);
 
         let norm = ribbon.max(1e-9);
         println!(
@@ -219,18 +251,34 @@ fn figure10_11() {
         let target = optimum * 0.999;
 
         let plus = kairos_plus_search(&plan.ranked, oracle_eval, None);
-        let plus_evals = plus.evaluated.iter().position(|(_, v)| *v >= target).map(|p| p + 1)
+        let plus_evals = plus
+            .evaluated
+            .iter()
+            .position(|(_, v)| *v >= target)
+            .map(|p| p + 1)
             .unwrap_or(plus.evaluations());
 
         let budget = space_size; // allow the baselines to run to exhaustion
         let mut eval = oracle_eval;
         let rand_out = RandomSearch { seed: 5 }.search(&space, &mut eval, budget);
         let mut eval = oracle_eval;
-        let gene_out = GeneticSearch { seed: 5, ..Default::default() }.search(&space, &mut eval, budget);
+        let gene_out = GeneticSearch {
+            seed: 5,
+            ..Default::default()
+        }
+        .search(&space, &mut eval, budget);
         let mut eval = oracle_eval;
-        let bo_out = BayesianOptimization { seed: 5, ..Default::default() }.search(&space, &mut eval, 60);
+        let bo_out = BayesianOptimization {
+            seed: 5,
+            ..Default::default()
+        }
+        .search(&space, &mut eval, 60);
         let mut eval = oracle_eval;
-        let sa_out = SimulatedAnnealing { seed: 5, ..Default::default() }.search(&space, &mut eval, budget);
+        let sa_out = SimulatedAnnealing {
+            seed: 5,
+            ..Default::default()
+        }
+        .search(&space, &mut eval, budget);
 
         let pct = |n: Option<usize>, fallback: usize| {
             let n = n.unwrap_or(fallback);
@@ -241,8 +289,14 @@ fn figure10_11() {
             model.to_string(),
             space_size,
             plus_evals as f64 / space_size as f64 * 100.0,
-            pct(rand_out.evaluations_to_reach(target), rand_out.evaluations()),
-            pct(gene_out.evaluations_to_reach(target), gene_out.evaluations()),
+            pct(
+                rand_out.evaluations_to_reach(target),
+                rand_out.evaluations()
+            ),
+            pct(
+                gene_out.evaluations_to_reach(target),
+                gene_out.evaluations()
+            ),
             pct(bo_out.evaluations_to_reach(target), bo_out.evaluations()),
             pct(sa_out.evaluations_to_reach(target), sa_out.evaluations()),
         );
@@ -266,23 +320,47 @@ fn figure12() {
     // Competing schemes restart their searches and walk through configurations.
     let space = SearchSpace::new(ctx.pool.clone(), ctx.budget);
     let mut eval = |c: &Config| oracle_throughput(&ctx.pool, c, model, &ctx.latency, &sample);
-    let bo = BayesianOptimization { seed: 9, ..Default::default() }.search(&space, &mut eval, 20);
+    let bo = BayesianOptimization {
+        seed: 9,
+        ..Default::default()
+    }
+    .search(&space, &mut eval, 20);
     let mut eval = |c: &Config| oracle_throughput(&ctx.pool, c, model, &ctx.latency, &sample);
-    let sa = SimulatedAnnealing { seed: 9, ..Default::default() }.search(&space, &mut eval, 20);
+    let sa = SimulatedAnnealing {
+        seed: 9,
+        ..Default::default()
+    }
+    .search(&space, &mut eval, 20);
     let plus = kairos_plus_search(
         &plan.ranked,
         |c| oracle_throughput(&ctx.pool, c, model, &ctx.latency, &sample),
         Some(20),
     );
 
-    println!("KAIROS one-shot configuration {} -> {:.1} QPS under the new mix", plan.chosen, kairos_now);
-    println!("KAIROS+ finished after {} evaluations -> {:.1} QPS", plus.evaluations(), plus.best_throughput);
-    println!("\n{:<8}{:>18}{:>18}{:>14}", "step", "RIBBON(BO) QPS", "ANNEALING QPS", "KAIROS QPS");
+    println!(
+        "KAIROS one-shot configuration {} -> {:.1} QPS under the new mix",
+        plan.chosen, kairos_now
+    );
+    println!(
+        "KAIROS+ finished after {} evaluations -> {:.1} QPS",
+        plus.evaluations(),
+        plus.best_throughput
+    );
+    println!(
+        "\n{:<8}{:>18}{:>18}{:>14}",
+        "step", "RIBBON(BO) QPS", "ANNEALING QPS", "KAIROS QPS"
+    );
     let steps = bo.history.len().max(sa.history.len()).min(20);
     for i in 0..steps {
         let bo_v = bo.history.get(i).map(|(_, v)| *v).unwrap_or(f64::NAN);
         let sa_v = sa.history.get(i).map(|(_, v)| *v).unwrap_or(f64::NAN);
-        println!("{:<8}{:>18.1}{:>18.1}{:>14.1}", i + 1, bo_v, sa_v, kairos_now);
+        println!(
+            "{:<8}{:>18.1}{:>18.1}{:>14.1}",
+            i + 1,
+            bo_v,
+            sa_v,
+            kairos_now
+        );
     }
 }
 
@@ -302,7 +380,10 @@ fn figure13() {
             .fold(f64::MIN, f64::max);
 
         println!("\n{model}: Kairos picked {} (marked *)", plan.chosen);
-        println!("{:<6}{:>14}{:>14}{:>22}", "rank", "UB (QPS)", "actual (QPS)", "% of best achievable");
+        println!(
+            "{:<6}{:>14}{:>14}{:>22}",
+            "rank", "UB (QPS)", "actual (QPS)", "% of best achievable"
+        );
         for (rank, (config, ub)) in top.iter().enumerate() {
             let actual = oracle_throughput(&ctx.pool, config, model, &ctx.latency, &sample);
             let marker = if *config == plan.chosen { "*" } else { " " };
@@ -336,21 +417,25 @@ fn figure14() {
         "{:<6}{:<14}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}",
         "rank", "config", "RIBBON", "DRS", "CLKWRK", "KAIROS", "UB", "ORCL"
     );
-    for (rank, (config, _)) in plan.top(12).iter().enumerate() {
-        let ribbon = ctx.measure_throughput(config, SchedulerKind::Ribbon);
+    // The three uniform-scheduler columns are independent capacity ramps per
+    // configuration: sweep each column in parallel.  DRS stays per-config
+    // because its tuned threshold depends on the configuration.
+    let top: Vec<Config> = plan.top(12).iter().map(|(c, _)| c.clone()).collect();
+    let ribbons = ctx.measure_throughput_many(&top, SchedulerKind::Ribbon);
+    let clkwrks = ctx.measure_throughput_many(&top, SchedulerKind::Clockwork);
+    let kairoses = ctx.measure_throughput_many(&top, SchedulerKind::Kairos);
+    for (rank, config) in top.iter().enumerate() {
         let drs = ctx.measure_throughput(config, SchedulerKind::Drs(ctx.drs_threshold(config)));
-        let clkwrk = ctx.measure_throughput(config, SchedulerKind::Clockwork);
-        let kairos = ctx.measure_throughput(config, SchedulerKind::Kairos);
         let ub = estimator.estimate(config);
         let orcl = oracle_throughput(&ctx.pool, config, ctx.model, &ctx.latency, &sample);
         println!(
             "{:<6}{:<14}{:>10.1}{:>10.1}{:>10.1}{:>10.1}{:>10.1}{:>10.1}",
             rank + 1,
             config.to_string(),
-            ribbon,
+            ribbons[rank],
             drs,
-            clkwrk,
-            kairos,
+            clkwrks[rank],
+            kairoses[rank],
             ub,
             orcl
         );
@@ -360,7 +445,10 @@ fn figure14() {
 /// Fig. 15 — robustness to a 4x budget and a 20 % higher QoS target.
 fn figure15() {
     section("Figure 15: robustness to budget scale (4x) and relaxed QoS (+20 %)");
-    println!("{:<10}{:>22}{:>22}", "model", "4x budget speedup", "+20% QoS speedup");
+    println!(
+        "{:<10}{:>22}{:>22}",
+        "model", "4x budget speedup", "+20% QoS speedup"
+    );
     for model in ModelKind::ALL {
         // (a) 4x budget.
         let mut ctx = ExperimentContext::new(model);
@@ -381,7 +469,10 @@ fn figure15() {
             ctx.latency.insert(
                 model,
                 &ty.name,
-                kairos_models::LatencyProfile::new(p.intercept_ms / qos_scale, p.slope_ms / qos_scale),
+                kairos_models::LatencyProfile::new(
+                    p.intercept_ms / qos_scale,
+                    p.slope_ms / qos_scale,
+                ),
             );
         }
         let plan = ctx.kairos_plan();
@@ -389,14 +480,22 @@ fn figure15() {
         let homo = ctx.best_homogeneous_throughput(SchedulerKind::Fcfs);
         let qos_speedup = kairos / homo.max(1e-9);
 
-        println!("{:<10}{:>22.2}{:>22.2}", model.to_string(), budget_speedup, qos_speedup);
+        println!(
+            "{:<10}{:>22.2}{:>22.2}",
+            model.to_string(),
+            budget_speedup,
+            qos_speedup
+        );
     }
 }
 
 /// Fig. 16 — robustness to Gaussian batch sizes and 5 % latency noise.
 fn figure16() {
     section("Figure 16: robustness to Gaussian batch sizes and latency noise");
-    println!("{:<10}{:>24}{:>24}", "model", "Gaussian-mix speedup", "5% noise speedup");
+    println!(
+        "{:<10}{:>24}{:>24}",
+        "model", "Gaussian-mix speedup", "5% noise speedup"
+    );
     for model in ModelKind::ALL {
         // (a) Gaussian batch-size distribution.
         let mut ctx = ExperimentContext::new(model);
@@ -417,19 +516,26 @@ fn figure16() {
                 ctx.latency.clone(),
                 NoiseModel::Gaussian { std_fraction: 0.05 },
             );
-            let kairos = kairos_sim::allowable_throughput(&ctx.pool, &plan.chosen, &service, &opts, || {
-                kairos_bench::scheduler_factory(SchedulerKind::Kairos, model, &ctx.latency)
-            })
-            .allowable_qps;
+            let kairos =
+                kairos_sim::allowable_throughput(&ctx.pool, &plan.chosen, &service, &opts, || {
+                    kairos_bench::scheduler_factory(SchedulerKind::Kairos, model, &ctx.latency)
+                })
+                .allowable_qps;
             let homo_cfg = best_homogeneous(&ctx.pool, ctx.budget);
-            let homo = kairos_sim::allowable_throughput(&ctx.pool, &homo_cfg, &service, &opts, || {
-                kairos_bench::scheduler_factory(SchedulerKind::Fcfs, model, &ctx.latency)
-            })
-            .allowable_qps
-                * (ctx.budget / homo_cfg.cost(&ctx.pool));
+            let homo =
+                kairos_sim::allowable_throughput(&ctx.pool, &homo_cfg, &service, &opts, || {
+                    kairos_bench::scheduler_factory(SchedulerKind::Fcfs, model, &ctx.latency)
+                })
+                .allowable_qps
+                    * (ctx.budget / homo_cfg.cost(&ctx.pool));
             kairos / homo.max(1e-9)
         };
-        println!("{:<10}{:>24.2}{:>24.2}", model.to_string(), gaussian_speedup, noisy);
+        println!(
+            "{:<10}{:>24.2}{:>24.2}",
+            model.to_string(),
+            gaussian_speedup,
+            noisy
+        );
     }
 }
 

@@ -66,5 +66,10 @@ fn bench_rectangular(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_controller_claim, bench_solver_scaling, bench_rectangular);
+criterion_group!(
+    benches,
+    bench_controller_claim,
+    bench_solver_scaling,
+    bench_rectangular
+);
 criterion_main!(benches);

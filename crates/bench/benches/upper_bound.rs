@@ -63,5 +63,10 @@ fn bench_one_shot_plan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_estimate, bench_rank_full_space, bench_one_shot_plan);
+criterion_group!(
+    benches,
+    bench_single_estimate,
+    bench_rank_full_space,
+    bench_one_shot_plan
+);
 criterion_main!(benches);

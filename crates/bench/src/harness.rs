@@ -9,11 +9,12 @@
 use kairos_baselines::{ClockworkScheduler, DrsScheduler, RibbonScheduler};
 use kairos_core::{KairosPlanner, KairosScheduler, Plan};
 use kairos_models::{
-    best_homogeneous, calibration::paper_calibration, ec2, latency::LatencyTable,
-    mlmodel::spec, Config, ModelKind, PoolSpec,
+    best_homogeneous, calibration::paper_calibration, ec2, latency::LatencyTable, mlmodel::spec,
+    Config, ModelKind, PoolSpec,
 };
 use kairos_sim::{
-    allowable_throughput, CapacityOptions, FcfsScheduler, Scheduler, ServiceSpec,
+    allowable_throughput, allowable_throughput_many, CapacityOptions, FcfsScheduler, Scheduler,
+    ServiceSpec,
 };
 use kairos_workload::BatchSizeDistribution;
 use rand::rngs::StdRng;
@@ -91,7 +92,9 @@ impl ExperimentContext {
     /// Default context for a model: paper pool, calibration, 2.5 $/hr budget,
     /// production-like log-normal batch mix.
     pub fn new(model: ModelKind) -> Self {
-        let fast = std::env::var("KAIROS_FIG_FAST").map(|v| v == "1").unwrap_or(false);
+        let fast = std::env::var("KAIROS_FIG_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let mut capacity = CapacityOptions::with_seed(97);
         capacity.duration_s = if fast { 1.0 } else { 2.0 };
         capacity.refine_steps = if fast { 3 } else { 4 };
@@ -142,6 +145,20 @@ impl ExperimentContext {
         .allowable_qps
     }
 
+    /// Measures the allowable throughput of every candidate configuration
+    /// under a scheme, fanning the independent capacity ramps out over the
+    /// available cores with rayon.  Results are in candidate order.
+    pub fn measure_throughput_many(&self, configs: &[Config], kind: SchedulerKind) -> Vec<f64> {
+        let service = self.service();
+        let opts = self.capacity_options();
+        allowable_throughput_many(&self.pool, configs, &service, &opts, || {
+            scheduler_factory(kind, self.model, &self.latency)
+        })
+        .into_iter()
+        .map(|r| r.allowable_qps)
+        .collect()
+    }
+
     /// Allowable throughput of the optimal homogeneous configuration, scaled
     /// up for its unused budget as the paper does (Sec. 8.1).
     pub fn best_homogeneous_throughput(&self, kind: SchedulerKind) -> f64 {
@@ -172,7 +189,11 @@ impl ExperimentContext {
             if ty.is_base || config.count(idx) == 0 {
                 continue;
             }
-            if let Some(cutoff) = self.latency.expect(self.model, &ty.name).max_batch_within(qos) {
+            if let Some(cutoff) = self
+                .latency
+                .expect(self.model, &ty.name)
+                .max_batch_within(qos)
+            {
                 best = best.max(cutoff);
             }
         }
@@ -218,10 +239,29 @@ mod tests {
         let ctx = ExperimentContext::new(ModelKind::Wnd);
         // Config with c5n (cutoff ~287) and r5n (cutoff ~173): threshold is c5n's.
         let t = ctx.drs_threshold(&Config::new(vec![1, 1, 1, 0]));
-        let c5n = ctx.latency.expect(ModelKind::Wnd, "c5n.2xlarge").max_batch_within(25.0).unwrap();
+        let c5n = ctx
+            .latency
+            .expect(ModelKind::Wnd, "c5n.2xlarge")
+            .max_batch_within(25.0)
+            .unwrap();
         assert_eq!(t, c5n);
         // Homogeneous configuration: no auxiliary, threshold 0.
         assert_eq!(ctx.drs_threshold(&Config::new(vec![4, 0, 0, 0])), 0);
+    }
+
+    #[test]
+    fn parallel_measurement_matches_sequential() {
+        let mut ctx = ExperimentContext::new(ModelKind::Wnd);
+        ctx.capacity.duration_s = 0.5;
+        ctx.capacity.refine_steps = 2;
+        ctx.capacity.max_qps = 500.0;
+        let configs = vec![Config::new(vec![1, 0, 0, 0]), Config::new(vec![1, 0, 2, 0])];
+        let many = ctx.measure_throughput_many(&configs, SchedulerKind::Fcfs);
+        assert_eq!(many.len(), configs.len());
+        for (config, qps) in configs.iter().zip(&many) {
+            let one = ctx.measure_throughput(config, SchedulerKind::Fcfs);
+            assert_eq!(*qps, one, "config {config}");
+        }
     }
 
     #[test]

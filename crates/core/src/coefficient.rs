@@ -22,10 +22,19 @@
 /// Panics if the slice is empty, the base index is out of range, or any
 /// latency is not strictly positive.
 pub fn heterogeneity_coefficients(largest_query_latency_ms: &[f64], base_index: usize) -> Vec<f64> {
-    assert!(!largest_query_latency_ms.is_empty(), "need at least one instance type");
-    assert!(base_index < largest_query_latency_ms.len(), "base index out of range");
+    assert!(
+        !largest_query_latency_ms.is_empty(),
+        "need at least one instance type"
+    );
+    assert!(
+        base_index < largest_query_latency_ms.len(),
+        "base index out of range"
+    );
     for (i, &l) in largest_query_latency_ms.iter().enumerate() {
-        assert!(l.is_finite() && l > 0.0, "latency of type {i} must be positive (got {l})");
+        assert!(
+            l.is_finite() && l > 0.0,
+            "latency of type {i} must be positive (got {l})"
+        );
     }
     let base = largest_query_latency_ms[base_index];
     largest_query_latency_ms
@@ -69,8 +78,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "positive")]
-    fn rejects_zero_latency()
-    {
+    fn rejects_zero_latency() {
         heterogeneity_coefficients(&[100.0, 0.0], 0);
     }
 

@@ -63,7 +63,8 @@ impl KairosController {
     /// Records a completed query's measured service latency (feeds the online
     /// latency predictors).
     pub fn observe_completion(&mut self, instance_type: &str, batch_size: u32, latency_ms: f64) {
-        self.predictors.observe(instance_type, batch_size, latency_ms);
+        self.predictors
+            .observe(instance_type, batch_size, latency_ms);
     }
 
     /// Number of queries currently tracked by the monitor window.
@@ -85,7 +86,10 @@ impl KairosController {
                 .map(|(intercept, slope)| LatencyProfile::new(intercept.max(0.0), slope));
             let profile = match fitted {
                 Some(p) => p,
-                None => self.priors.as_ref().and_then(|t| t.get(self.model, &ty.name))?,
+                None => self
+                    .priors
+                    .as_ref()
+                    .and_then(|t| t.get(self.model, &ty.name))?,
             };
             table.insert(self.model, &ty.name, profile);
         }
@@ -193,7 +197,10 @@ mod tests {
         }
         assert_eq!(c.observed_queries(), 2100);
         let plan = c.plan(2.5).unwrap();
-        assert!(!plan.chosen.is_homogeneous(&pool()), "small-heavy RM2 mix should go heterogeneous");
+        assert!(
+            !plan.chosen.is_homogeneous(&pool()),
+            "small-heavy RM2 mix should go heterogeneous"
+        );
     }
 
     #[test]

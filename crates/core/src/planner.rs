@@ -56,12 +56,21 @@ impl KairosPlanner {
     /// Creates a planner from the latency knowledge Kairos has gathered (its
     /// online-learned table, or a calibration table in offline studies).
     pub fn new(pool: PoolSpec, model: ModelKind, latency: LatencyTable) -> Self {
-        Self { pool, model, latency }
+        Self {
+            pool,
+            model,
+            latency,
+        }
     }
 
     /// Builds the estimator for a given observed batch-size sample.
     pub fn estimator(&self, batch_sample: Vec<u32>) -> ThroughputEstimator {
-        ThroughputEstimator::new(self.pool.clone(), self.model, self.latency.clone(), batch_sample)
+        ThroughputEstimator::new(
+            self.pool.clone(),
+            self.model,
+            self.latency.clone(),
+            batch_sample,
+        )
     }
 
     /// Plans a configuration under the given hourly budget, using the observed
@@ -77,14 +86,18 @@ impl KairosPlanner {
         let estimator = self.estimator(batch_sample.to_vec());
         let ranked = estimator.rank_configs(&configs);
         let chosen = select_configuration(&ranked, &self.pool);
-        Plan { chosen, ranked, budget_per_hour }
+        Plan {
+            chosen,
+            ranked,
+            budget_per_hour,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kairos_models::{calibration::paper_calibration, ec2, best_homogeneous};
+    use kairos_models::{best_homogeneous, calibration::paper_calibration, ec2};
     use kairos_workload::BatchSizeDistribution;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -114,7 +127,10 @@ mod tests {
         let pool = PoolSpec::new(ec2::paper_pool());
         let homo = best_homogeneous(&pool, 2.5);
         let estimator = planner(ModelKind::Rm2).estimator(sample());
-        assert!(!plan.chosen.is_homogeneous(&pool), "RM2 should favour heterogeneity");
+        assert!(
+            !plan.chosen.is_homogeneous(&pool),
+            "RM2 should favour heterogeneity"
+        );
         assert!(estimator.estimate(&plan.chosen) > estimator.estimate(&homo));
     }
 

@@ -24,7 +24,10 @@ pub const TOP_CANDIDATES: usize = 10;
 /// # Panics
 /// Panics if the list is empty or not sorted by descending upper bound.
 pub fn select_configuration(ranked: &[(Config, f64)], pool: &PoolSpec) -> Config {
-    assert!(!ranked.is_empty(), "cannot select from an empty candidate list");
+    assert!(
+        !ranked.is_empty(),
+        "cannot select from an empty candidate list"
+    );
     assert!(
         ranked.windows(2).all(|w| w[0].1 >= w[1].1),
         "candidates must be sorted by descending upper bound"

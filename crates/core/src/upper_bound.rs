@@ -18,6 +18,7 @@ use kairos_models::{
     mlmodel::{spec, ModelKind, ModelSpec},
     Config, PoolSpec,
 };
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Inputs of the one-base-type / one-auxiliary-type bound (Eq. 12–13).
@@ -53,7 +54,10 @@ const F_EPS: f64 = 1e-9;
 /// Computes the upper bound for one base type and one auxiliary type
 /// (Eq. 12 / Eq. 13, which reduce to Eq. 9 / Eq. 11 when `u = v = 1`).
 pub fn upper_bound_single(inputs: &SingleAuxInputs) -> f64 {
-    let aux = [AuxClass { nodes: inputs.aux_nodes, qps: inputs.q_aux }];
+    let aux = [AuxClass {
+        nodes: inputs.aux_nodes,
+        qps: inputs.q_aux,
+    }];
     upper_bound_general(
         inputs.base_nodes,
         inputs.q_base,
@@ -77,7 +81,10 @@ pub fn upper_bound_general(
     aux: &[AuxClass],
     fraction_small: f64,
 ) -> f64 {
-    assert!(q_base >= 0.0 && q_base_splus >= 0.0, "throughputs must be non-negative");
+    assert!(
+        q_base >= 0.0 && q_base_splus >= 0.0,
+        "throughputs must be non-negative"
+    );
     assert!(
         (0.0..=1.0 + F_EPS).contains(&fraction_small),
         "fraction must lie in [0, 1], got {fraction_small}"
@@ -150,7 +157,12 @@ impl ThroughputEstimator {
         for t in pool.types() {
             latency.expect(model_kind, &t.name);
         }
-        Self { pool, model, latency, batch_sample }
+        Self {
+            pool,
+            model,
+            latency,
+            batch_sample,
+        }
     }
 
     /// The pool this estimator describes.
@@ -194,7 +206,11 @@ impl ThroughputEstimator {
 
     /// Estimates the throughput upper bound (QPS) of a configuration.
     pub fn estimate(&self, config: &Config) -> f64 {
-        assert_eq!(config.counts().len(), self.pool.num_types(), "config/pool mismatch");
+        assert_eq!(
+            config.counts().len(),
+            self.pool.num_types(),
+            "config/pool mismatch"
+        );
         let base_index = self.pool.base_index();
         let u = config.count(base_index);
 
@@ -224,11 +240,7 @@ impl ThroughputEstimator {
             return u as f64 * q_base;
         };
 
-        let fraction_small = self
-            .batch_sample
-            .iter()
-            .filter(|&&b| b <= s_max)
-            .count() as f64
+        let fraction_small = self.batch_sample.iter().filter(|&&b| b <= s_max).count() as f64
             / self.batch_sample.len() as f64;
 
         // Base throughput over the larger-than-cutoff queries.
@@ -245,7 +257,10 @@ impl ThroughputEstimator {
                     .mean_latency_over(idx, |b| b <= s_max)
                     .map(|ms| 1000.0 / ms)
                     .unwrap_or(0.0);
-                AuxClass { nodes: config.count(idx), qps }
+                AuxClass {
+                    nodes: config.count(idx),
+                    qps,
+                }
             })
             .collect();
 
@@ -253,9 +268,14 @@ impl ThroughputEstimator {
     }
 
     /// Ranks configurations by their upper bound, highest first.
+    ///
+    /// Each configuration's bound is independent of the others, so the
+    /// estimates are computed as a rayon fan-out over the candidates (the
+    /// planner ranks on the order of a thousand configurations per pass,
+    /// paper Sec. 5.2).
     pub fn rank_configs(&self, configs: &[Config]) -> Vec<(Config, f64)> {
         let mut ranked: Vec<(Config, f64)> = configs
-            .iter()
+            .par_iter()
             .map(|c| (c.clone(), self.estimate(c)))
             .collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite bounds"));
@@ -308,21 +328,30 @@ mod tests {
 
     #[test]
     fn no_base_and_large_queries_present_gives_zero() {
-        let aux = [AuxClass { nodes: 5, qps: 100.0 }];
+        let aux = [AuxClass {
+            nodes: 5,
+            qps: 100.0,
+        }];
         let ub = upper_bound_general(0, 0.0, 0.0, &aux, 0.8);
         assert_eq!(ub, 0.0);
     }
 
     #[test]
     fn all_small_queries_adds_both_sides() {
-        let aux = [AuxClass { nodes: 2, qps: 80.0 }];
+        let aux = [AuxClass {
+            nodes: 2,
+            qps: 80.0,
+        }];
         let ub = upper_bound_general(1, 120.0, 60.0, &aux, 1.0);
         assert!((ub - (160.0 + 120.0)).abs() < 1e-9);
     }
 
     #[test]
     fn all_large_queries_uses_only_base_splus_rate() {
-        let aux = [AuxClass { nodes: 9, qps: 500.0 }];
+        let aux = [AuxClass {
+            nodes: 9,
+            qps: 500.0,
+        }];
         let ub = upper_bound_general(2, 120.0, 70.0, &aux, 0.0);
         assert!((ub - 140.0).abs() < 1e-9);
     }
@@ -337,8 +366,14 @@ mod tests {
             q_aux: 150.0,
             fraction_small: 0.7,
         };
-        let more_base = SingleAuxInputs { base_nodes: 2, ..base };
-        let more_aux = SingleAuxInputs { aux_nodes: 2, ..base };
+        let more_base = SingleAuxInputs {
+            base_nodes: 2,
+            ..base
+        };
+        let more_aux = SingleAuxInputs {
+            aux_nodes: 2,
+            ..base
+        };
         assert!(upper_bound_single(&more_base) >= upper_bound_single(&base));
         assert!(upper_bound_single(&more_aux) >= upper_bound_single(&base));
     }

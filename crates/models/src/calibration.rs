@@ -105,7 +105,11 @@ mod tests {
         assert_eq!(t.len(), 5 * 4);
         for model in ModelKind::ALL {
             for inst in ec2::paper_pool() {
-                assert!(t.get(model, &inst.name).is_some(), "{model} on {}", inst.name);
+                assert!(
+                    t.get(model, &inst.name).is_some(),
+                    "{model} on {}",
+                    inst.name
+                );
             }
         }
     }

@@ -27,9 +27,15 @@ impl PoolSpec {
     /// # Panics
     /// Panics if the pool is empty or does not contain exactly one base type.
     pub fn new(types: Vec<InstanceType>) -> Self {
-        assert!(!types.is_empty(), "pool must contain at least one instance type");
+        assert!(
+            !types.is_empty(),
+            "pool must contain at least one instance type"
+        );
         let base_count = types.iter().filter(|t| t.is_base).count();
-        assert_eq!(base_count, 1, "pool must contain exactly one base instance type");
+        assert_eq!(
+            base_count, 1,
+            "pool must contain exactly one base instance type"
+        );
         Self { types }
     }
 
@@ -72,7 +78,10 @@ impl Config {
     /// Creates a configuration from per-type instance counts (aligned with the
     /// pool's type order).
     pub fn new(counts: Vec<usize>) -> Self {
-        assert!(!counts.is_empty(), "configuration must cover at least one type");
+        assert!(
+            !counts.is_empty(),
+            "configuration must cover at least one type"
+        );
         Self { counts }
     }
 
@@ -98,7 +107,11 @@ impl Config {
 
     /// Hourly cost of the configuration under the given pool's prices.
     pub fn cost(&self, pool: &PoolSpec) -> f64 {
-        assert_eq!(self.counts.len(), pool.num_types(), "config/pool dimension mismatch");
+        assert_eq!(
+            self.counts.len(),
+            pool.num_types(),
+            "config/pool dimension mismatch"
+        );
         self.counts
             .iter()
             .zip(pool.types())
@@ -329,8 +342,16 @@ mod tests {
         let homo = best_homogeneous(&pool, 2.5);
         assert!(configs.contains(&homo));
         // The paper says the search space is on the order of 1000 configs.
-        assert!(configs.len() > 200, "search space unexpectedly small: {}", configs.len());
-        assert!(configs.len() < 20_000, "search space unexpectedly large: {}", configs.len());
+        assert!(
+            configs.len() > 200,
+            "search space unexpectedly small: {}",
+            configs.len()
+        );
+        assert!(
+            configs.len() < 20_000,
+            "search space unexpectedly large: {}",
+            configs.len()
+        );
     }
 
     #[test]

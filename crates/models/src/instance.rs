@@ -75,7 +75,11 @@ impl InstanceType {
 
 impl fmt::Display for InstanceType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, ${:.4}/hr)", self.name, self.class, self.price_per_hour)
+        write!(
+            f,
+            "{} ({}, ${:.4}/hr)",
+            self.name, self.class, self.price_per_hour
+        )
     }
 }
 
@@ -87,7 +91,12 @@ pub mod ec2 {
 
     /// `g4dn.xlarge` — NVIDIA T4 GPU, the base instance type (G1).
     pub fn g4dn_xlarge() -> InstanceType {
-        InstanceType::new("g4dn.xlarge", InstanceClass::AcceleratedComputing, 0.526, true)
+        InstanceType::new(
+            "g4dn.xlarge",
+            InstanceClass::AcceleratedComputing,
+            0.526,
+            true,
+        )
     }
 
     /// `c5n.2xlarge` — compute-optimized CPU auxiliary type (C1).

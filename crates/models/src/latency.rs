@@ -37,8 +37,14 @@ impl LatencyProfile {
             intercept_ms.is_finite() && intercept_ms >= 0.0,
             "intercept must be non-negative"
         );
-        assert!(slope_ms.is_finite() && slope_ms > 0.0, "slope must be positive");
-        Self { intercept_ms, slope_ms }
+        assert!(
+            slope_ms.is_finite() && slope_ms > 0.0,
+            "slope must be positive"
+        );
+        Self {
+            intercept_ms,
+            slope_ms,
+        }
     }
 
     /// Deterministic service latency of a batch-`batch` query, in milliseconds.
@@ -238,7 +244,11 @@ mod tests {
     fn table_insert_and_lookup() {
         let mut t = LatencyTable::new();
         assert!(t.is_empty());
-        t.insert(ModelKind::Ncf, "g4dn.xlarge", LatencyProfile::new(1.0, 0.01));
+        t.insert(
+            ModelKind::Ncf,
+            "g4dn.xlarge",
+            LatencyProfile::new(1.0, 0.01),
+        );
         assert_eq!(t.len(), 1);
         let p = t.get(ModelKind::Ncf, "g4dn.xlarge").unwrap();
         assert_eq!(p.intercept_ms, 1.0);

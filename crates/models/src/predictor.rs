@@ -57,7 +57,10 @@ impl OnlinePredictor {
 
     /// Records an observed query: batch size and measured latency (ms).
     pub fn observe(&mut self, batch: u32, latency_ms: f64) {
-        assert!(latency_ms.is_finite() && latency_ms > 0.0, "latency must be positive");
+        assert!(
+            latency_ms.is_finite() && latency_ms > 0.0,
+            "latency must be positive"
+        );
         let x = batch as f64;
         self.n += 1.0;
         self.sum_x += x;

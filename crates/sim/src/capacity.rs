@@ -10,10 +10,12 @@
 //! included in every evaluation — exactly as in the paper.
 
 use crate::cluster::ServiceSpec;
-use crate::engine::{run_trace, SimulationOptions};
+use crate::context::SimContext;
+use crate::engine::SimulationOptions;
 use crate::scheduler::Scheduler;
 use kairos_models::{Config, PoolSpec};
 use kairos_workload::{ArrivalProcess, BatchSizeDistribution, TraceSpec};
+use rayon::prelude::*;
 
 /// Options of the capacity search.
 #[derive(Debug, Clone)]
@@ -55,7 +57,10 @@ impl Default for CapacityOptions {
 impl CapacityOptions {
     /// Convenience: default options with a specific seed.
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -91,15 +96,14 @@ where
     if trace.is_empty() {
         return true;
     }
-    let mut scheduler = make_scheduler();
-    let report = run_trace(
+    let ctx = SimContext::with_options(
         pool,
-        config,
         service,
         &trace,
-        scheduler.as_mut(),
-        &SimulationOptions { seed: options.seed },
+        SimulationOptions { seed: options.seed },
     );
+    let mut scheduler = make_scheduler();
+    let report = ctx.run(config, scheduler.as_mut());
     report.meets_qos(options.violation_tolerance)
 }
 
@@ -115,18 +119,34 @@ pub fn allowable_throughput<F>(
 where
     F: FnMut() -> Box<dyn Scheduler>,
 {
-    assert!(options.min_qps > 0.0 && options.max_qps > options.min_qps, "invalid rate bounds");
+    assert!(
+        options.min_qps > 0.0 && options.max_qps > options.min_qps,
+        "invalid rate bounds"
+    );
     let mut probes = 0usize;
 
     // A configuration with no instances serves nothing.
     if config.total_instances() == 0 {
-        return CapacityResult { allowable_qps: 0.0, probes };
+        return CapacityResult {
+            allowable_qps: 0.0,
+            probes,
+        };
     }
 
     // Probe the minimum rate first.
     probes += 1;
-    if !sustains_rate(pool, config, service, options, options.min_qps, &mut make_scheduler) {
-        return CapacityResult { allowable_qps: 0.0, probes };
+    if !sustains_rate(
+        pool,
+        config,
+        service,
+        options,
+        options.min_qps,
+        &mut make_scheduler,
+    ) {
+        return CapacityResult {
+            allowable_qps: 0.0,
+            probes,
+        };
     }
 
     // Geometric ramp until failure or the cap.
@@ -146,7 +166,10 @@ where
 
     let Some(mut bad) = bad else {
         // Never failed below the cap; report the last sustained rate.
-        return CapacityResult { allowable_qps: good, probes };
+        return CapacityResult {
+            allowable_qps: good,
+            probes,
+        };
     };
 
     // Bisection refinement between the last good and first bad rates.
@@ -160,7 +183,31 @@ where
         }
     }
 
-    CapacityResult { allowable_qps: good, probes }
+    CapacityResult {
+        allowable_qps: good,
+        probes,
+    }
+}
+
+/// Runs [`allowable_throughput`] for every candidate configuration in
+/// parallel (rayon fan-out).  Each candidate's ramp is an independent
+/// read-only evaluation over the shared pool/service/options, so this is the
+/// sweep primitive the planner comparisons and baseline grid searches use.
+/// Results are returned in candidate order.
+pub fn allowable_throughput_many<F>(
+    pool: &PoolSpec,
+    configs: &[Config],
+    service: &ServiceSpec,
+    options: &CapacityOptions,
+    make_scheduler: F,
+) -> Vec<CapacityResult>
+where
+    F: Fn() -> Box<dyn Scheduler> + Sync,
+{
+    configs
+        .par_iter()
+        .map(|config| allowable_throughput(pool, config, service, options, &make_scheduler))
+        .collect()
 }
 
 #[cfg(test)]
@@ -199,7 +246,10 @@ mod tests {
         let pool = PoolSpec::new(ec2::paper_pool());
         let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
         let mut opts = quick_options();
-        opts.batch_sizes = BatchSizeDistribution::Uniform { min: 500, max: 1000 };
+        opts.batch_sizes = BatchSizeDistribution::Uniform {
+            min: 500,
+            max: 1000,
+        };
         let result = allowable_throughput(
             &pool,
             &Config::new(vec![0, 0, 4, 0]),
@@ -208,6 +258,32 @@ mod tests {
             || Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>,
         );
         assert_eq!(result.allowable_qps, 0.0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_ramps() {
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+        let opts = quick_options();
+        let configs = vec![
+            Config::new(vec![1, 0, 0, 0]),
+            Config::new(vec![0, 0, 0, 0]),
+            Config::new(vec![2, 0, 1, 0]),
+        ];
+        let swept = allowable_throughput_many(&pool, &configs, &service, &opts, || {
+            Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>
+        });
+        assert_eq!(swept.len(), configs.len());
+        for (config, result) in configs.iter().zip(&swept) {
+            let reference = allowable_throughput(&pool, config, &service, &opts, || {
+                Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>
+            });
+            assert_eq!(
+                result.allowable_qps, reference.allowable_qps,
+                "config {config}"
+            );
+            assert_eq!(result.probes, reference.probes);
+        }
     }
 
     #[test]

@@ -47,7 +47,9 @@ impl ServiceSpec {
 
     /// Nominal (noise-free) latency of a batch on an instance type, in ms.
     pub fn nominal_latency_ms(&self, instance_name: &str, batch: u32) -> f64 {
-        self.latency.expect(self.model.kind, instance_name).latency_ms(batch)
+        self.latency
+            .expect(self.model.kind, instance_name)
+            .latency_ms(batch)
     }
 
     /// Actual service time of a batch on an instance type, in microseconds,
@@ -134,7 +136,11 @@ impl Cluster {
                 });
             }
         }
-        Self { pool, config, instances }
+        Self {
+            pool,
+            config,
+            instances,
+        }
     }
 
     /// The pool specification the cluster was built from.

@@ -1,0 +1,139 @@
+//! Shared simulation context for configuration sweeps.
+//!
+//! The capacity search, Kairos+ and the baseline configuration searches all
+//! evaluate *many* candidate configurations against the *same* workload.
+//! [`SimContext`] bundles the immutable inputs of such a sweep — pool,
+//! service and trace — so per-candidate evaluations are read-only fan-outs:
+//! [`SimContext::run_many`] replays the trace against every candidate in
+//! parallel with `rayon`, one fresh scheduler per candidate.
+
+use crate::cluster::ServiceSpec;
+use crate::engine::{SimEngine, SimulationOptions};
+use crate::scheduler::Scheduler;
+use crate::stats::SimReport;
+use kairos_models::{Config, PoolSpec};
+use kairos_workload::Trace;
+use rayon::prelude::*;
+
+/// Immutable inputs shared by every evaluation of a configuration sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SimContext<'a> {
+    pool: &'a PoolSpec,
+    service: &'a ServiceSpec,
+    trace: &'a Trace,
+    options: SimulationOptions,
+}
+
+impl<'a> SimContext<'a> {
+    /// Creates a context with default simulation options.
+    pub fn new(pool: &'a PoolSpec, service: &'a ServiceSpec, trace: &'a Trace) -> Self {
+        Self::with_options(pool, service, trace, SimulationOptions::default())
+    }
+
+    /// Creates a context with explicit simulation options.
+    pub fn with_options(
+        pool: &'a PoolSpec,
+        service: &'a ServiceSpec,
+        trace: &'a Trace,
+        options: SimulationOptions,
+    ) -> Self {
+        Self {
+            pool,
+            service,
+            trace,
+            options,
+        }
+    }
+
+    /// The shared instance pool.
+    pub fn pool(&self) -> &'a PoolSpec {
+        self.pool
+    }
+
+    /// The shared service specification.
+    pub fn service(&self) -> &'a ServiceSpec {
+        self.service
+    }
+
+    /// The shared query trace.
+    pub fn trace(&self) -> &'a Trace {
+        self.trace
+    }
+
+    /// Replays the shared trace against one candidate configuration.
+    pub fn run(&self, config: &Config, scheduler: &mut dyn Scheduler) -> SimReport {
+        SimEngine::new(
+            self.pool,
+            config,
+            self.service,
+            self.trace,
+            scheduler,
+            &self.options,
+        )
+        .run()
+    }
+
+    /// Replays the shared trace against every candidate configuration in
+    /// parallel, constructing a fresh scheduler per candidate with
+    /// `make_scheduler`.  Reports are returned in candidate order.
+    pub fn run_many<F>(&self, configs: &[Config], make_scheduler: F) -> Vec<SimReport>
+    where
+        F: Fn() -> Box<dyn Scheduler> + Sync,
+    {
+        configs
+            .par_iter()
+            .map(|config| {
+                let mut scheduler = make_scheduler();
+                self.run(config, scheduler.as_mut())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_trace;
+    use crate::scheduler::FcfsScheduler;
+    use kairos_models::{calibration::paper_calibration, ec2, mlmodel::ModelKind};
+    use kairos_workload::TraceSpec;
+
+    #[test]
+    fn run_matches_run_trace() {
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+        let trace = TraceSpec::production(150.0, 1.0, 5).generate();
+        let config = Config::new(vec![1, 0, 2, 0]);
+        let ctx = SimContext::new(&pool, &service, &trace);
+        let from_ctx = ctx.run(&config, &mut FcfsScheduler::new());
+        let direct = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut FcfsScheduler::new(),
+            &SimulationOptions::default(),
+        );
+        assert_eq!(from_ctx.records, direct.records);
+    }
+
+    #[test]
+    fn run_many_preserves_candidate_order_and_matches_sequential() {
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+        let trace = TraceSpec::production(200.0, 1.0, 6).generate();
+        let configs = vec![
+            Config::new(vec![1, 0, 0, 0]),
+            Config::new(vec![1, 1, 0, 0]),
+            Config::new(vec![2, 0, 2, 0]),
+            Config::new(vec![1, 0, 3, 1]),
+        ];
+        let ctx = SimContext::new(&pool, &service, &trace);
+        let parallel = ctx.run_many(&configs, || Box::new(FcfsScheduler::new()));
+        assert_eq!(parallel.len(), configs.len());
+        for (config, report) in configs.iter().zip(&parallel) {
+            let sequential = ctx.run(config, &mut FcfsScheduler::new());
+            assert_eq!(report.records, sequential.records, "mismatch for {config}");
+        }
+    }
+}

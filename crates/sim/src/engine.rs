@@ -9,6 +9,23 @@
 //!
 //! Events are (a) query arrivals and (b) query completions; the scheduler is
 //! consulted after every event so it can react to freed capacity immediately.
+//!
+//! # Architecture
+//!
+//! [`SimEngine`] owns the clock, the event heap, the central queue, the
+//! cluster and the RNG, and exposes `step()` / `run()` / `report()` so
+//! callers (the capacity search, Kairos+, the baseline searches and the
+//! bench harness) all drive simulations through one API.
+//!
+//! The scheduler's [`InstanceView`]s are maintained **incrementally**: each
+//! instance's `free_at_us` is a running value updated on dispatch and
+//! completion instead of being recomputed from the local queue on every
+//! event, and dispatched queries leave the central queue through a single
+//! mark-and-shift sweep instead of per-index `Vec::remove` calls.  The
+//! original per-event full rebuild is preserved as [`run_trace_naive`] (and
+//! [`SimEngine::recompute_views`]) — it is the reference against which
+//! determinism and the incremental views are tested, and the baseline for
+//! the `simulator` Criterion bench.
 
 use crate::cluster::{Cluster, ServiceSpec};
 use crate::scheduler::{Dispatch, InstanceView, Scheduler, SchedulingContext};
@@ -21,17 +38,11 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Options controlling one simulation run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SimulationOptions {
     /// Seed of the service-time noise RNG (ignored when the service is
     /// deterministic, which is the paper's default).
     pub seed: u64,
-}
-
-impl Default for SimulationOptions {
-    fn default() -> Self {
-        Self { seed: 0 }
-    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,9 +70,385 @@ impl PartialOrd for Event {
     }
 }
 
+/// Nominal (noise-free) service time of a batch in rounded microseconds —
+/// the unit of the incremental `free_at_us` accounting.
+#[inline]
+fn nominal_us(service: &ServiceSpec, type_name: &str, batch: u32) -> TimeUs {
+    let nominal_ms = service.nominal_latency_ms(type_name, batch);
+    (nominal_ms * 1000.0).round().max(1.0) as TimeUs
+}
+
+/// Builds scheduler views by recomputing every instance's `free_at_us` from
+/// its local queue — the original O(instances × queue-depth) path, kept as
+/// the reference implementation for [`run_trace_naive`] and the regression
+/// tests.
+fn build_views_naive(cluster: &Cluster, service: &ServiceSpec, now: TimeUs) -> Vec<InstanceView> {
+    cluster
+        .instances()
+        .iter()
+        .map(|inst| {
+            let mut free_at = if inst.serving.is_some() {
+                inst.busy_until_us.max(now)
+            } else {
+                now
+            };
+            // Account for the nominal service time of locally queued work.
+            for q in &inst.local_queue {
+                free_at += nominal_us(service, &inst.type_name, q.batch_size);
+            }
+            InstanceView {
+                instance_index: inst.index,
+                type_index: inst.type_index,
+                type_name: inst.type_name.clone(),
+                is_base: inst.is_base,
+                free_at_us: free_at,
+                backlog: inst.backlog(),
+            }
+        })
+        .collect()
+}
+
+/// The discrete-event serving simulator.
+///
+/// Owns all mutable simulation state; every event advances the virtual clock,
+/// applies the event, and consults the scheduler.  Construct one engine per
+/// `(configuration, trace, scheduler)` run:
+///
+/// ```
+/// use kairos_models::{calibration::paper_calibration, ec2, Config, PoolSpec, ModelKind};
+/// use kairos_sim::{FcfsScheduler, ServiceSpec, SimEngine, SimulationOptions};
+/// use kairos_workload::TraceSpec;
+///
+/// let pool = PoolSpec::new(ec2::paper_pool());
+/// let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+/// let trace = TraceSpec::production(50.0, 1.0, 7).generate();
+/// let mut scheduler = FcfsScheduler::new();
+/// let engine = SimEngine::new(
+///     &pool,
+///     &Config::new(vec![1, 0, 1, 0]),
+///     &service,
+///     &trace,
+///     &mut scheduler,
+///     &SimulationOptions::default(),
+/// );
+/// let report = engine.run();
+/// assert_eq!(report.offered, trace.len());
+/// ```
+pub struct SimEngine<'a> {
+    service: &'a ServiceSpec,
+    scheduler: &'a mut dyn Scheduler,
+    cluster: Cluster,
+    rng: StdRng,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    central_queue: Vec<Query>,
+    records: Vec<QueryRecord>,
+    /// Persistent scheduler views; `free_at_us` / `backlog` are refreshed
+    /// from the incremental counters, the identity fields are built once.
+    views: Vec<InstanceView>,
+    /// Per-instance running sum of the (individually rounded) nominal
+    /// service times of locally queued queries.
+    local_nominal_us: Vec<TimeUs>,
+    now: TimeUs,
+    last_event: TimeUs,
+    offered: usize,
+    trace_duration_us: TimeUs,
+    qos_us: u64,
+}
+
+impl<'a> SimEngine<'a> {
+    /// Builds an engine for one simulation of `trace` against `config` on
+    /// `pool` serving `service`, distributing queries with `scheduler`.
+    pub fn new(
+        pool: &PoolSpec,
+        config: &Config,
+        service: &'a ServiceSpec,
+        trace: &Trace,
+        scheduler: &'a mut dyn Scheduler,
+        options: &SimulationOptions,
+    ) -> Self {
+        let cluster = Cluster::new(pool.clone(), config.clone());
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(trace.len());
+        let mut seq = 0u64;
+        for q in &trace.queries {
+            heap.push(Reverse(Event {
+                time: q.arrival_us,
+                seq,
+                kind: EventKind::Arrival(*q),
+            }));
+            seq += 1;
+        }
+        let views = build_views_naive(&cluster, service, 0);
+        let local_nominal_us = vec![0; cluster.len()];
+        Self {
+            service,
+            scheduler,
+            cluster,
+            rng: StdRng::seed_from_u64(options.seed),
+            heap,
+            seq,
+            central_queue: Vec::new(),
+            records: Vec::new(),
+            views,
+            local_nominal_us,
+            now: 0,
+            last_event: 0,
+            offered: trace.len(),
+            trace_duration_us: trace.duration_us(),
+            qos_us: service.qos_us(),
+        }
+    }
+
+    /// Current virtual time (time of the last processed event).
+    pub fn now(&self) -> TimeUs {
+        self.now
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Queries waiting in the central queue, in arrival order.
+    pub fn central_queue(&self) -> &[Query] {
+        &self.central_queue
+    }
+
+    /// Completion records gathered so far.
+    pub fn records(&self) -> &[QueryRecord] {
+        &self.records
+    }
+
+    /// The incrementally maintained scheduler views, refreshed to the
+    /// current clock.
+    pub fn views(&mut self) -> &[InstanceView] {
+        self.refresh_views();
+        &self.views
+    }
+
+    /// Recomputes the scheduler views from scratch (O(instances ×
+    /// queue-depth)).  Reference implementation for tests; the hot path uses
+    /// the incremental counters instead.
+    pub fn recompute_views(&self) -> Vec<InstanceView> {
+        build_views_naive(&self.cluster, self.service, self.now)
+    }
+
+    /// Processes the next event, consulting the scheduler afterwards.
+    /// Returns `false` once the event heap is exhausted.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.heap.pop() else {
+            return false;
+        };
+        self.now = event.time;
+        self.last_event = self.last_event.max(self.now);
+        match event.kind {
+            EventKind::Arrival(query) => {
+                self.central_queue.push(query);
+            }
+            EventKind::Completion { instance_index } => {
+                let (query, start_us, type_index, type_name) = {
+                    let inst = &mut self.cluster.instances_mut()[instance_index];
+                    let (query, start_us) = inst
+                        .serving
+                        .take()
+                        .expect("completion event for idle instance");
+                    (query, start_us, inst.type_index, inst.type_name.clone())
+                };
+                self.records.push(QueryRecord {
+                    id: query.id,
+                    batch_size: query.batch_size,
+                    arrival_us: query.arrival_us,
+                    start_us,
+                    completion_us: self.now,
+                    instance_index,
+                    type_index,
+                });
+                let service_ms = (self.now - start_us) as f64 / 1000.0;
+                self.scheduler
+                    .on_completion(&type_name, query.batch_size, service_ms);
+                // Start the next locally queued query, if any.
+                self.start_next(instance_index);
+            }
+        }
+        self.invoke_scheduler();
+        true
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        while self.step() {}
+        self.report()
+    }
+
+    /// Finalizes the run: anything still queued (centrally or locally) is
+    /// reported as unfinished.
+    pub fn report(self) -> SimReport {
+        let mut unfinished: Vec<UnfinishedQuery> = self
+            .central_queue
+            .iter()
+            .map(|q| UnfinishedQuery {
+                id: q.id,
+                batch_size: q.batch_size,
+                arrival_us: q.arrival_us,
+            })
+            .collect();
+        for inst in self.cluster.instances() {
+            for q in &inst.local_queue {
+                unfinished.push(UnfinishedQuery {
+                    id: q.id,
+                    batch_size: q.batch_size,
+                    arrival_us: q.arrival_us,
+                });
+            }
+            if let Some((q, _)) = inst.serving {
+                unfinished.push(UnfinishedQuery {
+                    id: q.id,
+                    batch_size: q.batch_size,
+                    arrival_us: q.arrival_us,
+                });
+            }
+        }
+
+        let horizon_us = self.last_event.max(self.trace_duration_us);
+        SimReport {
+            scheduler: self.scheduler.name().to_string(),
+            records: self.records,
+            unfinished,
+            offered: self.offered,
+            horizon_us,
+            qos_us: self.qos_us,
+        }
+    }
+
+    /// Starts the next locally queued query on an idle instance.
+    fn start_next(&mut self, instance_index: usize) {
+        let inst = &mut self.cluster.instances_mut()[instance_index];
+        debug_assert!(inst.serving.is_none(), "instance already serving a query");
+        if let Some(query) = inst.local_queue.pop_front() {
+            // The query leaves the local queue: retire its nominal estimate
+            // from the incremental view and charge the actual service time.
+            self.local_nominal_us[instance_index] -=
+                nominal_us(self.service, &inst.type_name, query.batch_size);
+            let service_us =
+                self.service
+                    .service_time_us(&inst.type_name, query.batch_size, &mut self.rng);
+            inst.serving = Some((query, self.now));
+            inst.busy_until_us = self.now + service_us;
+            self.heap.push(Reverse(Event {
+                time: inst.busy_until_us,
+                seq: self.seq,
+                kind: EventKind::Completion { instance_index },
+            }));
+            self.seq += 1;
+        }
+    }
+
+    /// Refreshes `free_at_us` / `backlog` of every view from the incremental
+    /// counters — O(instances) arithmetic, no queue walks, no allocation.
+    fn refresh_views(&mut self) {
+        let now = self.now;
+        for (view, inst) in self.views.iter_mut().zip(self.cluster.instances()) {
+            let base = if inst.serving.is_some() {
+                inst.busy_until_us.max(now)
+            } else {
+                now
+            };
+            view.free_at_us = base + self.local_nominal_us[inst.index];
+            view.backlog = inst.backlog();
+        }
+    }
+
+    /// Consults the scheduler and applies its dispatch decisions.
+    fn invoke_scheduler(&mut self) {
+        if self.central_queue.is_empty() {
+            return;
+        }
+        self.refresh_views();
+        let ctx = SchedulingContext {
+            now_us: self.now,
+            queued: &self.central_queue,
+            instances: &self.views,
+            qos_us: self.qos_us,
+        };
+        let mut plan: Vec<Dispatch> = self.scheduler.schedule(&ctx);
+
+        // Validate: indices in range, each query dispatched at most once.
+        let mut dispatched = vec![false; self.central_queue.len()];
+        let cluster_len = self.cluster.len();
+        plan.retain(|d| {
+            let valid = d.query_index < dispatched.len()
+                && d.instance_index < cluster_len
+                && !dispatched[d.query_index];
+            if valid {
+                dispatched[d.query_index] = true;
+            }
+            valid
+        });
+        if plan.is_empty() {
+            return;
+        }
+
+        // Dispatch in the order returned by the policy.
+        for d in &plan {
+            let query = self.central_queue[d.query_index];
+            let needs_start = {
+                let inst = &mut self.cluster.instances_mut()[d.instance_index];
+                inst.local_queue.push_back(query);
+                inst.serving.is_none()
+            };
+            self.local_nominal_us[d.instance_index] += nominal_us(
+                self.service,
+                &self.cluster.instances()[d.instance_index].type_name,
+                query.batch_size,
+            );
+            if needs_start {
+                self.start_next(d.instance_index);
+            }
+        }
+
+        // Remove dispatched queries in one gap-closing sweep: survivors
+        // between consecutive dispatched indices are shifted left with block
+        // copies, so each element moves at most once (one memmove per gap).
+        // Replaces the former sort + per-index `Vec::remove` loop, which was
+        // O(dispatches × queue).  Relative order of survivors is preserved.
+        let mut removed: Vec<usize> = plan.iter().map(|d| d.query_index).collect();
+        removed.sort_unstable();
+        let queue = &mut self.central_queue;
+        let len = queue.len();
+        let mut write = removed[0];
+        for (i, &idx) in removed.iter().enumerate() {
+            let next = removed.get(i + 1).copied().unwrap_or(len);
+            queue.copy_within(idx + 1..next, write);
+            write += next - idx - 1;
+        }
+        queue.truncate(write);
+    }
+}
+
 /// Runs one simulation of `trace` against `config` on `pool` serving
 /// `service`, distributing queries with `scheduler`.
+///
+/// Convenience wrapper constructing a [`SimEngine`] and running it to
+/// completion.
 pub fn run_trace(
+    pool: &PoolSpec,
+    config: &Config,
+    service: &ServiceSpec,
+    trace: &Trace,
+    scheduler: &mut dyn Scheduler,
+    options: &SimulationOptions,
+) -> SimReport {
+    SimEngine::new(pool, config, service, trace, scheduler, options).run()
+}
+
+/// The original event loop, which rebuilds every [`InstanceView`] from
+/// scratch on every event and removes dispatched queries with per-index
+/// `Vec::remove` calls.
+///
+/// Preserved as the behavioural reference for [`SimEngine`]: the determinism
+/// tests assert the two produce identical records, and the `simulator`
+/// Criterion bench measures the incremental engine's speedup against it.
+pub fn run_trace_naive(
     pool: &PoolSpec,
     config: &Config,
     service: &ServiceSpec,
@@ -76,7 +463,11 @@ pub fn run_trace(
     let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     let mut seq = 0u64;
     for q in &trace.queries {
-        heap.push(Reverse(Event { time: q.arrival_us, seq, kind: EventKind::Arrival(*q) }));
+        heap.push(Reverse(Event {
+            time: q.arrival_us,
+            seq,
+            kind: EventKind::Arrival(*q),
+        }));
         seq += 1;
     }
 
@@ -109,35 +500,8 @@ pub fn run_trace(
         }
     }
 
-    // Helper building the scheduler's view of the cluster.
-    fn build_views(cluster: &Cluster, service: &ServiceSpec, now: TimeUs) -> Vec<InstanceView> {
-        cluster
-            .instances()
-            .iter()
-            .map(|inst| {
-                let mut free_at = if inst.serving.is_some() {
-                    inst.busy_until_us.max(now)
-                } else {
-                    now
-                };
-                // Account for the nominal service time of locally queued work.
-                for q in &inst.local_queue {
-                    let nominal_ms = service.nominal_latency_ms(&inst.type_name, q.batch_size);
-                    free_at += (nominal_ms * 1000.0).round().max(1.0) as TimeUs;
-                }
-                InstanceView {
-                    instance_index: inst.index,
-                    type_index: inst.type_index,
-                    type_name: inst.type_name.clone(),
-                    is_base: inst.is_base,
-                    free_at_us: free_at,
-                    backlog: inst.backlog(),
-                }
-            })
-            .collect()
-    }
-
     // Consult the scheduler and apply its dispatch decisions.
+    #[allow(clippy::too_many_arguments)]
     fn invoke_scheduler(
         cluster: &mut Cluster,
         service: &ServiceSpec,
@@ -152,7 +516,7 @@ pub fn run_trace(
         if central_queue.is_empty() {
             return;
         }
-        let views = build_views(cluster, service, now);
+        let views = build_views_naive(cluster, service, now);
         let ctx = SchedulingContext {
             now_us: now,
             queued: central_queue,
@@ -205,8 +569,10 @@ pub fn run_trace(
             EventKind::Completion { instance_index } => {
                 let (query, start_us, type_index, type_name) = {
                     let inst = &mut cluster.instances_mut()[instance_index];
-                    let (query, start_us) =
-                        inst.serving.take().expect("completion event for idle instance");
+                    let (query, start_us) = inst
+                        .serving
+                        .take()
+                        .expect("completion event for idle instance");
                     (query, start_us, inst.type_index, inst.type_name.clone())
                 };
                 records.push(QueryRecord {
@@ -221,7 +587,15 @@ pub fn run_trace(
                 let service_ms = (now - start_us) as f64 / 1000.0;
                 scheduler.on_completion(&type_name, query.batch_size, service_ms);
                 // Start the next locally queued query, if any.
-                start_next(&mut cluster, service, &mut rng, &mut heap, &mut seq, instance_index, now);
+                start_next(
+                    &mut cluster,
+                    service,
+                    &mut rng,
+                    &mut heap,
+                    &mut seq,
+                    instance_index,
+                    now,
+                );
             }
         }
         invoke_scheduler(
@@ -240,7 +614,11 @@ pub fn run_trace(
     // Anything still queued (centrally or locally) never completed.
     let mut unfinished: Vec<UnfinishedQuery> = central_queue
         .iter()
-        .map(|q| UnfinishedQuery { id: q.id, batch_size: q.batch_size, arrival_us: q.arrival_us })
+        .map(|q| UnfinishedQuery {
+            id: q.id,
+            batch_size: q.batch_size,
+            arrival_us: q.arrival_us,
+        })
         .collect();
     for inst in cluster.instances() {
         for q in &inst.local_queue {
@@ -290,7 +668,14 @@ mod tests {
         let trace = TraceSpec::production(100.0, 1.0, 1).generate();
         let config = Config::new(vec![2, 0, 1, 0]);
         let mut fcfs = FcfsScheduler::new();
-        let report = run_trace(&pool, &config, &service, &trace, &mut fcfs, &SimulationOptions::default());
+        let report = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut fcfs,
+            &SimulationOptions::default(),
+        );
         assert_eq!(report.offered, trace.len());
         assert_eq!(report.completed() + report.unfinished.len(), trace.len());
         assert_eq!(report.scheduler, "fcfs");
@@ -302,7 +687,14 @@ mod tests {
         let trace = TraceSpec::production(200.0, 1.0, 2).generate();
         let config = Config::new(vec![1, 1, 0, 0]);
         let mut fcfs = FcfsScheduler::new();
-        let report = run_trace(&pool, &config, &service, &trace, &mut fcfs, &SimulationOptions::default());
+        let report = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut fcfs,
+            &SimulationOptions::default(),
+        );
         for r in &report.records {
             assert!(r.start_us >= r.arrival_us);
             assert!(r.completion_us > r.start_us);
@@ -312,7 +704,10 @@ mod tests {
         let mut by_instance: std::collections::HashMap<usize, Vec<(TimeUs, TimeUs)>> =
             std::collections::HashMap::new();
         for r in &report.records {
-            by_instance.entry(r.instance_index).or_default().push((r.start_us, r.completion_us));
+            by_instance
+                .entry(r.instance_index)
+                .or_default()
+                .push((r.start_us, r.completion_us));
         }
         for intervals in by_instance.values_mut() {
             intervals.sort_unstable();
@@ -329,8 +724,19 @@ mod tests {
         let trace = TraceSpec::production(20.0, 2.0, 3).generate();
         let config = Config::new(vec![1, 0, 0, 0]);
         let mut fcfs = FcfsScheduler::new();
-        let report = run_trace(&pool, &config, &service, &trace, &mut fcfs, &SimulationOptions::default());
-        assert!(report.meets_qos(0.01), "violations: {}", report.violation_fraction());
+        let report = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut fcfs,
+            &SimulationOptions::default(),
+        );
+        assert!(
+            report.meets_qos(0.01),
+            "violations: {}",
+            report.violation_fraction()
+        );
         assert!(report.unfinished.is_empty());
     }
 
@@ -341,7 +747,14 @@ mod tests {
         let trace = TraceSpec::production(2000.0, 1.0, 4).generate();
         let config = Config::new(vec![1, 0, 0, 0]);
         let mut fcfs = FcfsScheduler::new();
-        let report = run_trace(&pool, &config, &service, &trace, &mut fcfs, &SimulationOptions::default());
+        let report = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut fcfs,
+            &SimulationOptions::default(),
+        );
         assert!(!report.meets_qos(0.05), "overload should violate QoS");
     }
 
@@ -351,9 +764,198 @@ mod tests {
         let trace = TraceSpec::production(150.0, 1.0, 9).generate();
         let config = Config::new(vec![1, 1, 1, 1]);
         let opts = SimulationOptions { seed: 7 };
-        let a = run_trace(&pool, &config, &service, &trace, &mut FcfsScheduler::new(), &opts);
-        let b = run_trace(&pool, &config, &service, &trace, &mut FcfsScheduler::new(), &opts);
+        let a = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut FcfsScheduler::new(),
+            &opts,
+        );
+        let b = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut FcfsScheduler::new(),
+            &opts,
+        );
         assert_eq!(a.records, b.records);
         assert_eq!(a.horizon_us, b.horizon_us);
+    }
+
+    /// A policy that dispatches queued queries in a fixed, deliberately
+    /// non-monotonic order, to pin down the engine's dispatch semantics.
+    struct ReversingScheduler;
+
+    impl Scheduler for ReversingScheduler {
+        fn name(&self) -> &'static str {
+            "reversing"
+        }
+
+        fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+            // Wait until the whole burst is visible, then dispatch the newest
+            // two queries (in that order) to instance 0, leaving the rest in
+            // the central queue.
+            if ctx.queued.len() < 5 {
+                return Vec::new();
+            }
+            ctx.queued
+                .iter()
+                .enumerate()
+                .rev()
+                .take(2)
+                .map(|(query_index, _)| Dispatch {
+                    query_index,
+                    instance_index: 0,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn dispatch_order_is_preserved_by_the_removal_sweep() {
+        let (pool, service) = setup();
+        let config = Config::new(vec![1, 0, 0, 0]);
+        // Five queries arriving together so one scheduling round sees all.
+        let queries: Vec<Query> = (0..5).map(|i| Query::new(i, 10 + i as u32, 100)).collect();
+        let trace = Trace::from_queries(queries);
+        let mut scheduler = ReversingScheduler;
+        let mut engine = SimEngine::new(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut scheduler,
+            &SimulationOptions::default(),
+        );
+        // Process the five arrival events.
+        for _ in 0..5 {
+            assert!(engine.step());
+        }
+        // The scheduling round saw queries [0,1,2,3,4] and dispatched {4, 3}
+        // in that order: 4 entered service first, 3 waits in the local queue.
+        let inst = &engine.cluster().instances()[0];
+        assert_eq!(
+            inst.serving.unwrap().0.id,
+            4,
+            "first dispatched query must start first"
+        );
+        let local: Vec<u64> = inst.local_queue.iter().map(|q| q.id).collect();
+        assert_eq!(local, vec![3], "second dispatch queues behind: {local:?}");
+        // The central queue keeps the remaining queries in arrival order.
+        let central: Vec<u64> = engine.central_queue().iter().map(|q| q.id).collect();
+        assert_eq!(central, vec![0, 1, 2], "sweep must preserve arrival order");
+    }
+
+    /// A policy that dispatches a scattered subset (every other query) so
+    /// the gap-closing sweep has interior gaps to close.
+    struct AlternatingScheduler;
+
+    impl Scheduler for AlternatingScheduler {
+        fn name(&self) -> &'static str {
+            "alternating"
+        }
+
+        fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+            if ctx.queued.len() < 6 {
+                return Vec::new();
+            }
+            (0..ctx.queued.len())
+                .step_by(2)
+                .map(|query_index| Dispatch {
+                    query_index,
+                    instance_index: 0,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn scattered_dispatches_leave_survivors_in_order() {
+        let (pool, service) = setup();
+        let config = Config::new(vec![1, 0, 0, 0]);
+        let queries: Vec<Query> = (0..6).map(|i| Query::new(i, 10, 100)).collect();
+        let trace = Trace::from_queries(queries);
+        let mut scheduler = AlternatingScheduler;
+        let mut engine = SimEngine::new(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut scheduler,
+            &SimulationOptions::default(),
+        );
+        for _ in 0..6 {
+            assert!(engine.step());
+        }
+        // Queries 0, 2, 4 were dispatched; 1, 3, 5 must survive in order.
+        let central: Vec<u64> = engine.central_queue().iter().map(|q| q.id).collect();
+        assert_eq!(central, vec![1, 3, 5]);
+        let inst = &engine.cluster().instances()[0];
+        assert_eq!(inst.serving.unwrap().0.id, 0);
+        let local: Vec<u64> = inst.local_queue.iter().map(|q| q.id).collect();
+        assert_eq!(local, vec![2, 4]);
+    }
+
+    #[test]
+    fn engine_matches_naive_reference_for_fcfs() {
+        let (pool, service) = setup();
+        let trace = TraceSpec::production(400.0, 1.0, 21).generate();
+        let config = Config::new(vec![1, 1, 2, 0]);
+        let opts = SimulationOptions { seed: 3 };
+        let fast = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut FcfsScheduler::new(),
+            &opts,
+        );
+        let naive = run_trace_naive(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut FcfsScheduler::new(),
+            &opts,
+        );
+        assert_eq!(fast.records, naive.records);
+        assert_eq!(fast.unfinished, naive.unfinished);
+        assert_eq!(fast.horizon_us, naive.horizon_us);
+    }
+
+    #[test]
+    fn incremental_views_match_recomputed_views_each_step() {
+        let (pool, service) = setup();
+        // FCFS dispatches to idle instances only, so this exercises the
+        // serving-slot accounting; deep-local-queue coverage (and the full
+        // 10k-query regression) lives in tests/engine_regression.rs with a
+        // queue-building scheduler.
+        let trace = TraceSpec::production(600.0, 0.5, 31).generate();
+        let config = Config::new(vec![1, 0, 1, 0]);
+        let mut scheduler = FcfsScheduler::new();
+        let mut engine = SimEngine::new(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut scheduler,
+            &SimulationOptions::default(),
+        );
+        let mut steps = 0usize;
+        while engine.step() {
+            let reference = engine.recompute_views();
+            assert_eq!(
+                engine.views(),
+                &reference[..],
+                "views diverged at step {steps}"
+            );
+            steps += 1;
+        }
+        assert!(
+            steps > trace.len(),
+            "simulation should process every arrival"
+        );
     }
 }

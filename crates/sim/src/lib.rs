@@ -12,7 +12,11 @@
 //! * [`cluster`] — instances, clusters, and the served model ([`ServiceSpec`]).
 //! * [`scheduler`] — the policy interface ([`Scheduler`]) plus a naive FCFS
 //!   baseline.
-//! * [`engine`] — the event loop ([`engine::run_trace`]).
+//! * [`engine`] — the event loop: [`SimEngine`] with incremental scheduler
+//!   views, the [`engine::run_trace`] convenience wrapper, and the preserved
+//!   [`engine::run_trace_naive`] reference.
+//! * [`context`] — [`SimContext`], the shared-input bundle for parallel
+//!   configuration sweeps.
 //! * [`stats`] — per-query records and QoS/throughput metrics.
 //! * [`capacity`] — the allowable-throughput ramp of Sec. 7.
 //!
@@ -40,12 +44,16 @@
 
 pub mod capacity;
 pub mod cluster;
+pub mod context;
 pub mod engine;
 pub mod scheduler;
 pub mod stats;
 
-pub use capacity::{allowable_throughput, CapacityOptions, CapacityResult};
+pub use capacity::{
+    allowable_throughput, allowable_throughput_many, CapacityOptions, CapacityResult,
+};
 pub use cluster::{Cluster, ServiceSpec, SimInstance};
-pub use engine::{run_trace, SimulationOptions};
+pub use context::SimContext;
+pub use engine::{run_trace, run_trace_naive, SimEngine, SimulationOptions};
 pub use scheduler::{Dispatch, FcfsScheduler, InstanceView, Scheduler, SchedulingContext};
 pub use stats::{QueryRecord, SimReport, UnfinishedQuery};

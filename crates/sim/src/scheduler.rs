@@ -138,7 +138,11 @@ mod tests {
         InstanceView {
             instance_index: idx,
             type_index: if is_base { 0 } else { 1 },
-            type_name: if is_base { "g4dn.xlarge".into() } else { "r5n.large".into() },
+            type_name: if is_base {
+                "g4dn.xlarge".into()
+            } else {
+                "r5n.large".into()
+            },
             is_base,
             free_at_us: free_at,
             backlog: if free_at > 0 { 1 } else { 0 },
@@ -169,8 +173,20 @@ mod tests {
         let plan = fcfs.schedule(&ctx);
         assert_eq!(plan.len(), 2);
         // Oldest query goes to the base instance.
-        assert_eq!(plan[0], Dispatch { query_index: 0, instance_index: 1 });
-        assert_eq!(plan[1], Dispatch { query_index: 1, instance_index: 0 });
+        assert_eq!(
+            plan[0],
+            Dispatch {
+                query_index: 0,
+                instance_index: 1
+            }
+        );
+        assert_eq!(
+            plan[1],
+            Dispatch {
+                query_index: 1,
+                instance_index: 0
+            }
+        );
     }
 
     #[test]

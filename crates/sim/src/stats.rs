@@ -95,7 +95,11 @@ impl SimReport {
         if self.horizon_us == 0 {
             return 0.0;
         }
-        let ok = self.records.iter().filter(|r| r.within_qos(self.qos_us)).count();
+        let ok = self
+            .records
+            .iter()
+            .filter(|r| r.within_qos(self.qos_us))
+            .count();
         ok as f64 / (self.horizon_us as f64 / 1e6)
     }
 
@@ -129,7 +133,10 @@ impl SimReport {
     /// Latency at the given percentile (0–100) over completed queries, in
     /// microseconds.  Returns 0 when nothing completed.
     pub fn latency_percentile_us(&self, percentile: f64) -> TimeUs {
-        assert!((0.0..=100.0).contains(&percentile), "percentile out of range");
+        assert!(
+            (0.0..=100.0).contains(&percentile),
+            "percentile out of range"
+        );
         if self.records.is_empty() {
             return 0;
         }
@@ -152,7 +159,10 @@ impl SimReport {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.latency_us() as f64).sum::<f64>()
+        self.records
+            .iter()
+            .map(|r| r.latency_us() as f64)
+            .sum::<f64>()
             / self.records.len() as f64
             / 1000.0
     }
@@ -226,8 +236,16 @@ mod tests {
         let rep = report(
             vec![record(1, 0, 0, 100)],
             vec![
-                UnfinishedQuery { id: 2, batch_size: 5, arrival_us: 0 },       // stale
-                UnfinishedQuery { id: 3, batch_size: 5, arrival_us: 999_999 }, // fresh
+                UnfinishedQuery {
+                    id: 2,
+                    batch_size: 5,
+                    arrival_us: 0,
+                }, // stale
+                UnfinishedQuery {
+                    id: 3,
+                    batch_size: 5,
+                    arrival_us: 999_999,
+                }, // fresh
             ],
             10_000,
         );
@@ -236,8 +254,9 @@ mod tests {
 
     #[test]
     fn percentile_latency() {
-        let records: Vec<QueryRecord> =
-            (1..=100).map(|i| record(i, 0, 0, i as TimeUs * 1000)).collect();
+        let records: Vec<QueryRecord> = (1..=100)
+            .map(|i| record(i, 0, 0, i as TimeUs * 1000))
+            .collect();
         let rep = report(records, vec![], 1_000_000);
         assert_eq!(rep.p99_latency_us(), 99_000);
         assert_eq!(rep.latency_percentile_us(50.0), 50_000);

@@ -1,0 +1,163 @@
+//! Regression tests for the incremental `SimEngine`:
+//!
+//! 1. the incrementally maintained `free_at_us` views must equal the
+//!    recomputed-from-scratch views after **every** event of a 10k-query
+//!    production trace, and
+//! 2. `SimEngine::run` must byte-match the preserved `run_trace_naive`
+//!    reference (records, unfinished queries, horizon) for fixed seeds.
+
+use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
+use kairos_sim::{
+    run_trace, run_trace_naive, Dispatch, FcfsScheduler, Scheduler, SchedulingContext, ServiceSpec,
+    SimEngine, SimulationOptions,
+};
+use kairos_workload::TraceSpec;
+
+fn setup() -> (PoolSpec, ServiceSpec) {
+    (
+        PoolSpec::new(ec2::paper_pool()),
+        ServiceSpec::new(ModelKind::Wnd, paper_calibration()),
+    )
+}
+
+/// A Clockwork-like policy that immediately assigns every queued query to
+/// the instance with the earliest projected free time, piling work onto
+/// *busy* instances so local queues carry real depth — the regime where the
+/// naive per-event view rebuild was O(instances × queue-depth).
+#[derive(Default)]
+struct EarliestFreeScheduler;
+
+impl Scheduler for EarliestFreeScheduler {
+    fn name(&self) -> &'static str {
+        "earliest-free"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+        let mut free_at: Vec<u64> = ctx.instances.iter().map(|i| i.free_at_us).collect();
+        ctx.queued
+            .iter()
+            .enumerate()
+            .map(|(query_index, _)| {
+                let slot = free_at
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &t)| t)
+                    .map(|(slot, _)| slot)
+                    .expect("non-empty cluster");
+                // Rough occupancy charge so consecutive picks spread out.
+                free_at[slot] += 10_000;
+                Dispatch {
+                    query_index,
+                    instance_index: ctx.instances[slot].instance_index,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A 10k-query production trace: 2 kQPS Poisson for 5 s, log-normal batches,
+/// against a configuration loaded near its capacity so queues build up.
+fn production_10k(seed: u64) -> kairos_workload::Trace {
+    let trace = TraceSpec::production(2_000.0, 5.0, seed).generate();
+    assert!(
+        trace.len() >= 9_000,
+        "expected ~10k queries, got {}",
+        trace.len()
+    );
+    trace
+}
+
+#[test]
+fn incremental_views_equal_recomputed_views_on_a_10k_production_trace() {
+    let (pool, service) = setup();
+    let config = Config::new(vec![8, 4, 8, 4]);
+    let trace = production_10k(101);
+    let mut scheduler = EarliestFreeScheduler;
+    let mut engine = SimEngine::new(
+        &pool,
+        &config,
+        &service,
+        &trace,
+        &mut scheduler,
+        &SimulationOptions::default(),
+    );
+    let mut events = 0usize;
+    let mut saw_queued_work = false;
+    while engine.step() {
+        let reference = engine.recompute_views();
+        saw_queued_work |= engine
+            .cluster()
+            .instances()
+            .iter()
+            .any(|inst| !inst.local_queue.is_empty());
+        assert_eq!(
+            engine.views(),
+            &reference[..],
+            "views diverged after event {events}"
+        );
+        events += 1;
+    }
+    assert!(
+        events >= 2 * trace.len(),
+        "every query must arrive and complete"
+    );
+    assert!(saw_queued_work, "test must exercise non-empty local queues");
+}
+
+#[test]
+fn engine_byte_matches_naive_reference_for_fixed_seeds() {
+    let (pool, service) = setup();
+    let config = Config::new(vec![8, 4, 8, 4]);
+    for seed in [0u64, 7, 42] {
+        let trace = production_10k(seed.wrapping_add(11));
+        let opts = SimulationOptions { seed };
+
+        // FCFS: idle-only dispatch (empty local queues).
+        let fast = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut FcfsScheduler::new(),
+            &opts,
+        );
+        let naive = run_trace_naive(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut FcfsScheduler::new(),
+            &opts,
+        );
+        assert_eq!(
+            fast.records, naive.records,
+            "fcfs records diverged (seed {seed})"
+        );
+        assert_eq!(fast.unfinished, naive.unfinished);
+        assert_eq!(fast.horizon_us, naive.horizon_us);
+
+        // Earliest-free: queue-building dispatch (deep local queues).
+        let fast = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut EarliestFreeScheduler,
+            &opts,
+        );
+        let naive = run_trace_naive(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut EarliestFreeScheduler,
+            &opts,
+        );
+        assert_eq!(
+            fast.records, naive.records,
+            "earliest-free records diverged (seed {seed})"
+        );
+        assert_eq!(fast.unfinished, naive.unfinished);
+        assert_eq!(fast.horizon_us, naive.horizon_us);
+    }
+}

@@ -36,7 +36,9 @@ impl ArrivalProcess {
     /// for a burst).
     pub fn rate_qps(&self) -> f64 {
         match self {
-            ArrivalProcess::Poisson { rate_qps } | ArrivalProcess::Uniform { rate_qps } => *rate_qps,
+            ArrivalProcess::Poisson { rate_qps } | ArrivalProcess::Uniform { rate_qps } => {
+                *rate_qps
+            }
             ArrivalProcess::Burst => f64::INFINITY,
         }
     }
@@ -71,7 +73,12 @@ impl ArrivalProcess {
     }
 
     /// Generates the arrival timestamps of `n` queries starting at `start_us`.
-    pub fn arrival_times<R: Rng + ?Sized>(&self, rng: &mut R, n: usize, start_us: TimeUs) -> Vec<TimeUs> {
+    pub fn arrival_times<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+        start_us: TimeUs,
+    ) -> Vec<TimeUs> {
         let mut out = Vec::with_capacity(n);
         let mut t = start_us;
         for i in 0..n {
@@ -126,7 +133,10 @@ mod tests {
     #[test]
     fn with_rate_swaps_rate_only() {
         let p = ArrivalProcess::Poisson { rate_qps: 10.0 };
-        assert_eq!(p.with_rate(50.0), ArrivalProcess::Poisson { rate_qps: 50.0 });
+        assert_eq!(
+            p.with_rate(50.0),
+            ArrivalProcess::Poisson { rate_qps: 50.0 }
+        );
         assert_eq!(p.with_rate(50.0).rate_qps(), 50.0);
         assert_eq!(ArrivalProcess::Burst.with_rate(5.0), ArrivalProcess::Burst);
     }

@@ -78,7 +78,10 @@ impl BatchSizeDistribution {
         assert!(cap >= 1, "cap must be at least 1");
         let raw = match self {
             BatchSizeDistribution::LogNormal { median, sigma } => {
-                assert!(*median > 0.0 && *sigma > 0.0, "log-normal parameters must be positive");
+                assert!(
+                    *median > 0.0 && *sigma > 0.0,
+                    "log-normal parameters must be positive"
+                );
                 let dist = LogNormal::new(median.ln(), *sigma).expect("valid log-normal");
                 dist.sample(rng)
             }
@@ -110,7 +113,12 @@ impl BatchSizeDistribution {
     /// most `threshold` (the `f` parameter of the upper-bound analysis,
     /// paper Fig. 6).  Kairos itself estimates this online from a query
     /// monitor window; this helper is used by tests and the oracle baseline.
-    pub fn fraction_at_most<R: Rng + ?Sized>(&self, threshold: u32, rng: &mut R, samples: usize) -> f64 {
+    pub fn fraction_at_most<R: Rng + ?Sized>(
+        &self,
+        threshold: u32,
+        rng: &mut R,
+        samples: usize,
+    ) -> f64 {
         assert!(samples > 0, "need at least one sample");
         let below = (0..samples)
             .filter(|_| self.sample(rng) <= threshold)
@@ -145,7 +153,10 @@ mod tests {
     #[test]
     fn lognormal_median_is_approximately_right() {
         let mut rng = StdRng::seed_from_u64(11);
-        let dist = BatchSizeDistribution::LogNormal { median: 120.0, sigma: 1.0 };
+        let dist = BatchSizeDistribution::LogNormal {
+            median: 120.0,
+            sigma: 1.0,
+        };
         let mut samples = dist.sample_many(&mut rng, 20_000);
         samples.sort_unstable();
         let median = samples[samples.len() / 2] as f64;
@@ -159,13 +170,19 @@ mod tests {
         let f = dist.fraction_at_most(330, &mut rng, 20_000);
         assert!(f > 0.75, "expected most queries below 330, got {f}");
         let tail = 1.0 - dist.fraction_at_most(800, &mut rng, 20_000);
-        assert!(tail > 0.005, "expected a non-trivial large-batch tail, got {tail}");
+        assert!(
+            tail > 0.005,
+            "expected a non-trivial large-batch tail, got {tail}"
+        );
     }
 
     #[test]
     fn gaussian_mean_is_approximately_right() {
         let mut rng = StdRng::seed_from_u64(5);
-        let dist = BatchSizeDistribution::Gaussian { mean: 250.0, std_dev: 50.0 };
+        let dist = BatchSizeDistribution::Gaussian {
+            mean: 250.0,
+            std_dev: 50.0,
+        };
         let samples = dist.sample_many(&mut rng, 10_000);
         let mean: f64 = samples.iter().map(|&b| b as f64).sum::<f64>() / samples.len() as f64;
         assert!((mean - 250.0).abs() < 10.0, "mean {mean}");

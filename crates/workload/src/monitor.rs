@@ -74,7 +74,12 @@ impl QueryMonitor {
     /// no such query exists).  Used to derive the representative "small query"
     /// an auxiliary instance serves.
     pub fn mean_at_most(&self, threshold: u32) -> Option<f64> {
-        let below: Vec<u32> = self.window.iter().copied().filter(|&b| b <= threshold).collect();
+        let below: Vec<u32> = self
+            .window
+            .iter()
+            .copied()
+            .filter(|&b| b <= threshold)
+            .collect();
         if below.is_empty() {
             return None;
         }
@@ -85,7 +90,12 @@ impl QueryMonitor {
     /// (None if no such query exists).  This is the representative `s+` query
     /// of the upper-bound analysis.
     pub fn mean_above(&self, threshold: u32) -> Option<f64> {
-        let above: Vec<u32> = self.window.iter().copied().filter(|&b| b > threshold).collect();
+        let above: Vec<u32> = self
+            .window
+            .iter()
+            .copied()
+            .filter(|&b| b > threshold)
+            .collect();
         if above.is_empty() {
             return None;
         }

@@ -79,7 +79,10 @@ impl Trace {
     /// Builds a trace directly from a list of queries (sorted by arrival).
     pub fn from_queries(mut queries: Vec<Query>) -> Self {
         queries.sort_by_key(|q| (q.arrival_us, q.id));
-        Self { spec: None, queries }
+        Self {
+            spec: None,
+            queries,
+        }
     }
 
     /// Number of queries in the trace.
@@ -110,7 +113,11 @@ impl Trace {
         if self.queries.is_empty() {
             return 0.0;
         }
-        self.queries.iter().map(|q| q.batch_size as f64).sum::<f64>() / self.queries.len() as f64
+        self.queries
+            .iter()
+            .map(|q| q.batch_size as f64)
+            .sum::<f64>()
+            / self.queries.len() as f64
     }
 
     /// Fraction of queries with batch size at most `threshold`.
@@ -118,7 +125,10 @@ impl Trace {
         if self.queries.is_empty() {
             return 0.0;
         }
-        self.queries.iter().filter(|q| q.batch_size <= threshold).count() as f64
+        self.queries
+            .iter()
+            .filter(|q| q.batch_size <= threshold)
+            .count() as f64
             / self.queries.len() as f64
     }
 
@@ -159,7 +169,10 @@ mod tests {
     #[test]
     fn arrivals_are_sorted_and_ids_unique() {
         let trace = TraceSpec::production(500.0, 2.0, 1).generate();
-        assert!(trace.queries.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        assert!(trace
+            .queries
+            .windows(2)
+            .all(|w| w[0].arrival_us <= w[1].arrival_us));
         let mut ids: Vec<_> = trace.queries.iter().map(|q| q.id).collect();
         ids.dedup();
         assert_eq!(ids.len(), trace.len());
@@ -167,10 +180,7 @@ mod tests {
 
     #[test]
     fn from_queries_sorts_by_arrival() {
-        let trace = Trace::from_queries(vec![
-            Query::new(2, 10, 500),
-            Query::new(1, 20, 100),
-        ]);
+        let trace = Trace::from_queries(vec![Query::new(2, 10, 500), Query::new(1, 20, 100)]);
         assert_eq!(trace.queries[0].id, 1);
         assert_eq!(trace.mean_batch_size(), 15.0);
         assert_eq!(trace.fraction_at_most(10), 0.5);

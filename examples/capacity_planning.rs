@@ -48,12 +48,18 @@ fn main() {
             qos,
             plan.chosen.to_string(),
             plan.chosen_upper_bound(),
-            result.best_config.as_ref().map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            result
+                .best_config
+                .as_ref()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
             result.evaluations(),
         );
     }
 
-    println!("\nFor reference, the optimal homogeneous configuration under this budget is {}.",
-        best_homogeneous(&pool, budget));
+    println!(
+        "\nFor reference, the optimal homogeneous configuration under this budget is {}.",
+        best_homogeneous(&pool, budget)
+    );
     println!("See `cargo bench -p kairos-bench --bench figures` for the full paper reproduction.");
 }

@@ -29,8 +29,11 @@ fn main() {
         controller.observe_query(lognormal.sample(&mut rng));
     }
     let plan_before = controller.plan(budget).expect("latency priors available");
-    println!("Phase 1 (log-normal mix): Kairos plans {} (UB {:.1} QPS)",
-        plan_before.chosen, plan_before.chosen_upper_bound());
+    println!(
+        "Phase 1 (log-normal mix): Kairos plans {} (UB {:.1} QPS)",
+        plan_before.chosen,
+        plan_before.chosen_upper_bound()
+    );
 
     // Phase 2: the workload shifts to a Gaussian mix centred on larger batches.
     let gaussian = BatchSizeDistribution::gaussian_default();
@@ -38,13 +41,18 @@ fn main() {
         controller.observe_query(gaussian.sample(&mut rng));
     }
     let plan_after = controller.plan(budget).expect("latency priors available");
-    println!("Phase 2 (Gaussian mix):   Kairos plans {} (UB {:.1} QPS)",
-        plan_after.chosen, plan_after.chosen_upper_bound());
+    println!(
+        "Phase 2 (Gaussian mix):   Kairos plans {} (UB {:.1} QPS)",
+        plan_after.chosen,
+        plan_after.chosen_upper_bound()
+    );
 
     if plan_before.chosen == plan_after.chosen {
         println!("The chosen configuration is unchanged — the new mix keeps the same sweet spot.");
     } else {
-        println!("Kairos re-planned in one shot, without evaluating a single configuration online.");
+        println!(
+            "Kairos re-planned in one shot, without evaluating a single configuration online."
+        );
     }
 
     // Verify the new plan actually holds up by replaying a Gaussian trace.
@@ -57,8 +65,14 @@ fn main() {
     };
     let trace = spec.generate();
     let mut scheduler = controller.make_scheduler();
-    let report = run_trace(&pool, &plan_after.chosen, &service, &trace, &mut scheduler,
-        &SimulationOptions::default());
+    let report = run_trace(
+        &pool,
+        &plan_after.chosen,
+        &service,
+        &trace,
+        &mut scheduler,
+        &SimulationOptions::default(),
+    );
     println!(
         "\nReplay under the new mix: {:.1} QPS goodput, p99 latency {:.0} ms, {:.2} % violations",
         report.goodput_qps(),

@@ -32,26 +32,51 @@ fn main() {
     let plan = planner.plan(budget, &sample);
     let homogeneous = best_homogeneous(&pool, budget);
 
-    println!("\nKairos chose configuration {} (cost ${:.3}/hr, upper bound {:.1} QPS)",
-        plan.chosen, plan.chosen.cost(&pool), plan.chosen_upper_bound());
-    println!("Optimal homogeneous configuration would be {} (cost ${:.3}/hr)",
-        homogeneous, homogeneous.cost(&pool));
+    println!(
+        "\nKairos chose configuration {} (cost ${:.3}/hr, upper bound {:.1} QPS)",
+        plan.chosen,
+        plan.chosen.cost(&pool),
+        plan.chosen_upper_bound()
+    );
+    println!(
+        "Optimal homogeneous configuration would be {} (cost ${:.3}/hr)",
+        homogeneous,
+        homogeneous.cost(&pool)
+    );
 
     // --- 3. Replay a query trace through the simulator ---------------------
     let service = ServiceSpec::new(model, latency.clone());
     let trace = TraceSpec::production(250.0, 3.0, 42).generate();
-    println!("\nReplaying {} queries ({:.0} QPS offered, log-normal batch sizes)...",
-        trace.len(), trace.offered_qps());
+    println!(
+        "\nReplaying {} queries ({:.0} QPS offered, log-normal batch sizes)...",
+        trace.len(),
+        trace.offered_qps()
+    );
 
     let mut kairos = KairosScheduler::with_priors(model, &latency);
-    let kairos_report = run_trace(&pool, &plan.chosen, &service, &trace, &mut kairos,
-        &SimulationOptions::default());
+    let kairos_report = run_trace(
+        &pool,
+        &plan.chosen,
+        &service,
+        &trace,
+        &mut kairos,
+        &SimulationOptions::default(),
+    );
 
     let mut fcfs = FcfsScheduler::new();
-    let fcfs_report = run_trace(&pool, &plan.chosen, &service, &trace, &mut fcfs,
-        &SimulationOptions::default());
+    let fcfs_report = run_trace(
+        &pool,
+        &plan.chosen,
+        &service,
+        &trace,
+        &mut fcfs,
+        &SimulationOptions::default(),
+    );
 
-    println!("\n{:<28}{:>12}{:>14}{:>14}", "scheduler", "goodput", "p99 latency", "QoS violations");
+    println!(
+        "\n{:<28}{:>12}{:>14}{:>14}",
+        "scheduler", "goodput", "p99 latency", "QoS violations"
+    );
     for report in [&kairos_report, &fcfs_report] {
         println!(
             "{:<28}{:>9.1} QPS{:>11.1} ms{:>13.2} %",

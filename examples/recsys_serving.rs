@@ -31,7 +31,10 @@ fn main() {
     ];
 
     println!("RM2 social-media ranking, QoS 350 ms, budget ${budget}/hr");
-    println!("{:<14}{:>12}{:>16}{:>18}", "config", "cost $/hr", "within budget", "oracle QPS");
+    println!(
+        "{:<14}{:>12}{:>16}{:>18}",
+        "config", "cost $/hr", "within budget", "oracle QPS"
+    );
 
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
     let sample = BatchSizeDistribution::production_default().sample_many(&mut rng, 3000);
@@ -53,7 +56,11 @@ fn main() {
     let service = ServiceSpec::new(model, latency.clone());
     let trace = TraceSpec::production(60.0, 3.0, 9).generate();
 
-    println!("\nReplaying {} RM2 queries on {} with different distribution policies:", trace.len(), config);
+    println!(
+        "\nReplaying {} RM2 queries on {} with different distribution policies:",
+        trace.len(),
+        config
+    );
     println!("{:<14}{:>12}{:>16}", "policy", "goodput", "p99 latency");
 
     let policies: Vec<Box<dyn Scheduler>> = vec![
@@ -63,8 +70,14 @@ fn main() {
         Box::new(KairosScheduler::with_priors(model, &latency)),
     ];
     for mut policy in policies {
-        let report = run_trace(&pool, &config, &service, &trace, policy.as_mut(),
-            &SimulationOptions::default());
+        let report = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            policy.as_mut(),
+            &SimulationOptions::default(),
+        );
         println!(
             "{:<14}{:>9.1} QPS{:>13.1} ms",
             report.scheduler,

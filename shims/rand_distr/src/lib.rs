@@ -1,0 +1,166 @@
+//! Minimal in-workspace shim of the `rand_distr` crate: the [`Distribution`]
+//! trait plus the [`Exp`], [`Normal`] and [`LogNormal`] distributions the
+//! kairos workload generators use.
+
+use rand::Rng;
+
+/// Error returned when a distribution is constructed with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// A probability distribution that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform draw in `(0, 1]` — safe input for `ln`.
+#[inline]
+fn open01<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen();
+    // Map [0, 1) to (0, 1].
+    1.0 - u
+}
+
+/// Exponential distribution with rate `lambda` (mean `1 / lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution; the rate must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Self { lambda })
+        } else {
+            Err(ParamError("Exp rate must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open01(rng).ln() / self.lambda
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution; the standard deviation must be non-negative
+    /// and finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0 {
+            Ok(Self { mean, std_dev })
+        } else {
+            Err(ParamError("Normal parameters must be finite, std_dev >= 0"))
+        }
+    }
+
+    /// One standard-normal draw via the Box–Muller transform.
+    #[inline]
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1 = open01(rng);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Distribution<f64> for Normal {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Self::standard(rng)
+    }
+}
+
+/// Log-normal distribution parameterized by the mean and standard deviation
+/// of the underlying normal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    inner: Normal,
+}
+
+impl LogNormal {
+    /// Creates the distribution from the underlying normal's `mu` / `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(Self {
+            inner: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn exponential_mean_is_one_over_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let exp = Exp::new(4.0).unwrap();
+        let samples: Vec<f64> = (0..50_000).map(|_| exp.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        assert!((mean_of(&samples) - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = Normal::new(10.0, 3.0).unwrap();
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = mean_of(&samples);
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        let var = mean_of(
+            &samples
+                .iter()
+                .map(|x| (x - mean) * (x - mean))
+                .collect::<Vec<_>>(),
+        );
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LogNormal::new(120f64.ln(), 1.0).unwrap();
+        let mut samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 120.0).abs() < 6.0, "median {median}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+    }
+}

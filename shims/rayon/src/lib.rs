@@ -1,0 +1,160 @@
+//! Minimal in-workspace shim of `rayon`.
+//!
+//! Provides order-preserving parallel `map`/`for_each` over slices using
+//! `std::thread::scope` with one chunk per available core.  This is the API
+//! surface the kairos sweeps use (`slice.par_iter().map(f).collect()`); it
+//! degrades gracefully to a sequential loop on single-core machines or tiny
+//! inputs.
+
+use std::thread;
+
+/// Number of worker threads used for fan-outs.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map over a slice.
+///
+/// The heart of the shim: splits `items` into one contiguous chunk per
+/// worker, maps each chunk on its own scoped thread, and concatenates the
+/// results in order.
+fn parallel_map<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let workers = current_num_threads();
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("rayon-shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// Lazily mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        parallel_map(self.items, &|item| f(item));
+    }
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Executes the parallel map and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Types that expose a by-reference parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// The parallel iterator.
+    type Iter;
+
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The rayon prelude, bringing the parallel-iterator traits into scope.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), input.len());
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, input[i] * 2);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn for_each_visits_every_element() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        items.par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+}

@@ -1,0 +1,399 @@
+//! Minimal in-workspace shim of `serde`.
+//!
+//! Instead of serde's zero-copy visitor architecture, this shim converts
+//! values through an owned JSON-like tree ([`json::Value`]).  The public
+//! surface mirrors what the kairos workspace uses: the [`Serialize`] /
+//! [`Deserialize`] traits, the derive macros re-exported from
+//! `serde_derive`, and implementations for the std types that appear in the
+//! derived structures (integers, floats, bool, String, Vec, VecDeque,
+//! Option, HashMap, small tuples).
+//!
+//! Enum representation matches serde's default externally-tagged form:
+//! a unit variant serializes as `"Variant"`, a struct/newtype variant as
+//! `{"Variant": ...}`.  `HashMap` keys serialize through their `Serialize`
+//! impl and must produce a string or integer value (the same restriction
+//! `serde_json` imposes).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The owned value tree every (de)serialization goes through.
+pub mod json {
+    /// Parsed JSON number, preserving integer-ness for exact round trips.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub enum Number {
+        /// Unsigned integer.
+        U64(u64),
+        /// Negative integer.
+        I64(i64),
+        /// Floating-point number.
+        F64(f64),
+    }
+
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number.
+        Number(Number),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object; insertion order is preserved.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Borrows the value as an object's entry list, if it is an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(entries) => Some(entries),
+                _ => None,
+            }
+        }
+
+        /// Borrows the value as an array, if it is one.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Borrows the value as a string, if it is one.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// (De)serialization error: a human-readable message.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        message: String,
+    }
+
+    impl Error {
+        /// Creates an error from a message.
+        pub fn new(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use json::{Error, Number, Value};
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code.
+// ---------------------------------------------------------------------------
+
+/// Looks up and deserializes a struct field from an object's entries.
+pub fn de_field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::new(format!("field `{name}`: {e}"))),
+        None => Err(Error::new(format!("missing field `{name}`"))),
+    }
+}
+
+/// Serializes a map key: the key's value form must be a string or integer.
+pub fn key_to_string<K: Serialize>(key: &K) -> Result<String, Error> {
+    match key.to_value() {
+        Value::String(s) => Ok(s),
+        Value::Number(Number::U64(n)) => Ok(n.to_string()),
+        Value::Number(Number::I64(n)) => Ok(n.to_string()),
+        _ => Err(Error::new("map key must serialize to a string or integer")),
+    }
+}
+
+/// Deserializes a map key from its string form: tried as a string first,
+/// then as an integer (mirroring serde_json's integer-keyed maps).
+pub fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::String(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::Number(Number::U64(n))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Number(Number::I64(n))) {
+            return Ok(k);
+        }
+    }
+    Err(Error::new(format!(
+        "cannot deserialize map key from `{key}`"
+    )))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive implementations.
+// ---------------------------------------------------------------------------
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::Number(Number::U64(n)) => *n,
+                    Value::Number(Number::I64(n)) if *n >= 0 => *n as u64,
+                    Value::Number(Number::F64(f))
+                        if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+                    {
+                        *f as u64
+                    }
+                    _ => return Err(Error::new(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::new(concat!("number out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::Number(Number::I64(n)) => *n,
+                    Value::Number(Number::U64(n)) if *n <= i64::MAX as u64 => *n as i64,
+                    Value::Number(Number::F64(f)) if f.fract() == 0.0 => *f as i64,
+                    _ => return Err(Error::new(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::new(concat!("number out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::F64(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(Number::F64(f)) => Ok(*f as $t),
+                    Value::Number(Number::U64(n)) => Ok(*n as $t),
+                    Value::Number(Number::I64(n)) => Ok(*n as $t),
+                    _ => Err(Error::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::new("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    key_to_string(&k).expect("unsupported map key type"),
+                    v.to_value(),
+                )
+            })
+            .collect();
+        // Sort for deterministic output (HashMap iteration order is random).
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| Error::new("expected object"))?;
+        let mut map = HashMap::with_capacity_and_hasher(entries.len(), S::default());
+        for (k, v) in entries {
+            map.insert(key_from_string::<K>(k)?, V::from_value(v)?);
+        }
+        Ok(map)
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| Error::new("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::new("tuple arity mismatch"));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

@@ -1,0 +1,327 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the in-workspace serde shim.
+//!
+//! The macros parse the item declaration directly from the token stream (no
+//! `syn` dependency is available in this offline build) and support the
+//! shapes the kairos workspace uses:
+//!
+//! * structs with named fields (including private fields),
+//! * enums with unit variants, struct variants and single-field tuple
+//!   (newtype) variants.
+//!
+//! Generics, tuple structs and multi-field tuple variants are rejected with
+//! a compile-time panic naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: (variant name, variant shape).
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+/// Splits an item declaration into (name, shape).
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut tokens = input.into_iter().peekable();
+    let mut is_enum = false;
+    let mut name = None;
+
+    // Scan for `struct NAME` or `enum NAME`, skipping attributes/visibility.
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" | "crate" => {
+                        // `pub(crate)` / `pub(in ...)`: skip the modifier group.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => {
+                        is_enum = s == "enum";
+                        match tokens.next() {
+                            Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                            other => panic!("expected item name after `{s}`, got {other:?}"),
+                        }
+                        break;
+                    }
+                    other => panic!("unexpected token `{other}` before struct/enum keyword"),
+                }
+            }
+            other => panic!("unexpected token {other:?} before struct/enum keyword"),
+        }
+    }
+    let name = name.expect("derive input must declare a struct or enum");
+
+    // Find the body group; reject generics on the way.
+    let mut body = None;
+    for tt in tokens.by_ref() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde shim derive does not support generics (on `{name}`)")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive does not support tuple structs (on `{name}`)")
+            }
+            _ => {}
+        }
+    }
+    let body = body.unwrap_or_else(|| panic!("no braced body found for `{name}`"));
+
+    let shape = if is_enum {
+        Shape::Enum(parse_variants(body, &name))
+    } else {
+        Shape::Struct(parse_named_fields(body))
+    };
+    (name, shape)
+}
+
+/// Parses `field: Type, ...` bodies, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    } else {
+                        break s;
+                    }
+                }
+                Some(other) => panic!("unexpected token {other:?} in field list"),
+            }
+        };
+        fields.push(field);
+        // Expect `:`, then consume the type up to a top-level comma.
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses enum variant declarations.
+fn parse_variants(body: TokenStream, enum_name: &str) -> Vec<(String, VariantShape)> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Variant name (skipping attributes).
+        let variant = loop {
+            match tokens.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(other) => panic!("unexpected token {other:?} in enum body"),
+            }
+        };
+        // Optional payload.
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let mut angle_depth = 0i32;
+                let mut arity = 1usize;
+                for tt in g.stream() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            arity += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if arity != 1 {
+                    panic!(
+                        "serde shim derive supports only single-field tuple variants \
+                         ({enum_name}::{variant} has {arity})"
+                    );
+                }
+                tokens.next();
+                VariantShape::Newtype
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((variant, shape));
+        // Skip optional discriminant / trailing comma.
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// `#[derive(Serialize)]`
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "entries.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut entries: Vec<(String, ::serde::json::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::json::Value::Object(entries)"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, vs) in variants {
+                match vs {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::json::Value::String(\"{v}\".to_string()),\n"
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(inner) => ::serde::json::Value::Object(vec![(\
+                         \"{v}\".to_string(), ::serde::Serialize::to_value(inner))]),\n"
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {bindings} }} => {{\n\
+                             let mut inner: Vec<(String, ::serde::json::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::json::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::json::Value::Object(inner))])\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]`
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{f}: ::serde::de_field(entries, \"{f}\")?,\n"));
+            }
+            format!(
+                "let entries = value.as_object().ok_or_else(|| \
+                 ::serde::json::Error::new(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, vs) in variants {
+                match vs {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => return Ok({name}::{v}),\n"
+                    )),
+                    VariantShape::Newtype => tagged_arms.push_str(&format!(
+                        "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::de_field(entries, \"{f}\")?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let entries = inner.as_object().ok_or_else(|| \
+                             ::serde::json::Error::new(\"expected object for {name}::{v}\"))?;\n\
+                             return Ok({name}::{v} {{\n{inits}}});\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::json::Value::String(tag) = value {{\n\
+                 match tag.as_str() {{\n{unit_arms}\
+                 _ => return Err(::serde::json::Error::new(\
+                 format!(\"unknown {name} variant `{{tag}}`\"))),\n}}\n}}\n\
+                 if let Some(entries) = value.as_object() {{\n\
+                 if entries.len() == 1 {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 _ => return Err(::serde::json::Error::new(\
+                 format!(\"unknown {name} variant `{{tag}}`\"))),\n}}\n}}\n}}\n\
+                 Err(::serde::json::Error::new(\"expected {name} variant\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::json::Value) -> \
+         Result<Self, ::serde::json::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}

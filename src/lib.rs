@@ -26,8 +26,8 @@
 //! * [`baselines`] (`kairos-baselines`) — Ribbon, DeepRecSys, Clockwork,
 //!   Oracle and the configuration-search baselines.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the reproduction methodology.
+//! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` for
+//! the architecture and reproduction methodology.
 
 #![warn(missing_docs)]
 
@@ -46,8 +46,10 @@ pub mod prelude {
         calibration::paper_calibration, ec2, Config, LatencyTable, ModelKind, PoolSpec,
     };
     pub use kairos_sim::{
-        allowable_throughput, run_trace, CapacityOptions, FcfsScheduler, Scheduler, ServiceSpec,
-        SimulationOptions,
+        allowable_throughput, allowable_throughput_many, run_trace, CapacityOptions, FcfsScheduler,
+        Scheduler, ServiceSpec, SimContext, SimEngine, SimulationOptions,
     };
-    pub use kairos_workload::{ArrivalProcess, BatchSizeDistribution, QueryMonitor, Trace, TraceSpec};
+    pub use kairos_workload::{
+        ArrivalProcess, BatchSizeDistribution, QueryMonitor, Trace, TraceSpec,
+    };
 }

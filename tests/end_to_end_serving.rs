@@ -20,19 +20,33 @@ fn service_for(model: ModelKind) -> (PoolSpec, ServiceSpec, LatencyTable) {
 fn kairos_beats_naive_fcfs_on_the_figure5_shape() {
     let (pool, service, latency) = service_for(ModelKind::Wnd);
     let config = Config::new(vec![1, 0, 1, 0]); // one GPU, one cheap CPU
-    // A bursty arrival of alternating large and small queries.
+                                                // A bursty arrival of alternating large and small queries.
     let queries: Vec<kairos_workload::Query> = (0..40)
         .map(|i| {
             let batch = if i % 2 == 0 { 700 } else { 40 };
-            kairos_workload::Query::new(i, batch, (i as u64) * 2_000)
+            kairos_workload::Query::new(i, batch, i * 2_000)
         })
         .collect();
     let trace = Trace::from_queries(queries);
 
     let mut kairos = KairosScheduler::with_priors(ModelKind::Wnd, &latency);
-    let kairos_report = run_trace(&pool, &config, &service, &trace, &mut kairos, &SimulationOptions::default());
+    let kairos_report = run_trace(
+        &pool,
+        &config,
+        &service,
+        &trace,
+        &mut kairos,
+        &SimulationOptions::default(),
+    );
     let mut fcfs = FcfsScheduler::new();
-    let fcfs_report = run_trace(&pool, &config, &service, &trace, &mut fcfs, &SimulationOptions::default());
+    let fcfs_report = run_trace(
+        &pool,
+        &config,
+        &service,
+        &trace,
+        &mut fcfs,
+        &SimulationOptions::default(),
+    );
 
     assert!(
         kairos_report.goodput_qps() > fcfs_report.goodput_qps(),
@@ -59,7 +73,14 @@ fn all_schedulers_preserve_serving_invariants() {
         Box::new(FcfsScheduler::new()),
     ];
     for scheduler in schedulers.iter_mut() {
-        let report = run_trace(&pool, &config, &service, &trace, scheduler.as_mut(), &SimulationOptions::default());
+        let report = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            scheduler.as_mut(),
+            &SimulationOptions::default(),
+        );
         assert_eq!(
             report.completed() + report.unfinished.len(),
             trace.len(),
@@ -67,8 +88,16 @@ fn all_schedulers_preserve_serving_invariants() {
             report.scheduler
         );
         for r in &report.records {
-            assert!(r.start_us >= r.arrival_us, "{}: service before arrival", report.scheduler);
-            assert!(r.completion_us > r.start_us, "{}: zero-length service", report.scheduler);
+            assert!(
+                r.start_us >= r.arrival_us,
+                "{}: service before arrival",
+                report.scheduler
+            );
+            assert!(
+                r.completion_us > r.start_us,
+                "{}: zero-length service",
+                report.scheduler
+            );
         }
     }
 }
@@ -85,7 +114,14 @@ fn light_load_meets_qos_for_all_qos_aware_schemes() {
         Box::new(ClockworkScheduler::new(ModelKind::Wnd, latency.clone())),
     ];
     for scheduler in schedulers.iter_mut() {
-        let report = run_trace(&pool, &config, &service, &trace, scheduler.as_mut(), &SimulationOptions::default());
+        let report = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            scheduler.as_mut(),
+            &SimulationOptions::default(),
+        );
         assert!(
             report.meets_qos(0.01),
             "{} violated QoS: {}",

@@ -3,8 +3,10 @@
 //! controller, validated against the oracle reference model.
 
 use kairos::prelude::*;
-use kairos_baselines::{best_oracle_throughput, oracle_throughput, ConfigSearch, ExhaustiveSearch,
-    RandomSearch, SearchSpace};
+use kairos_baselines::{
+    best_oracle_throughput, oracle_throughput, ConfigSearch, ExhaustiveSearch, RandomSearch,
+    SearchSpace,
+};
 use kairos_core::kairos_plus_search;
 use kairos_models::{enumerate_configs, Config, EnumerationOptions};
 use rand::SeedableRng;
@@ -105,12 +107,8 @@ fn upper_bound_tracks_oracle_throughput_ordering() {
     let latency = paper_calibration();
     let model = ModelKind::Rm2;
     let s = sample(17, 2000);
-    let estimator = kairos_core::ThroughputEstimator::new(
-        pool.clone(),
-        model,
-        latency.clone(),
-        s.clone(),
-    );
+    let estimator =
+        kairos_core::ThroughputEstimator::new(pool.clone(), model, latency.clone(), s.clone());
     let configs = enumerate_configs(&pool, &EnumerationOptions::with_budget(2.5));
     let ranked = estimator.rank_configs(&configs);
 
