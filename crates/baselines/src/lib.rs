@@ -13,13 +13,20 @@
 //!   annealing, genetic and Ribbon's Bayesian-optimization searches over the
 //!   affordable configuration space, all sharing Kairos+'s sub-configuration
 //!   pruning advantage as in the paper's Fig. 11 setup.
+//! * **Online adaptation** ([`autoscale`]): static overprovisioning and an
+//!   HPA-style reactive homogeneous autoscaler, the reference points for the
+//!   controller-in-the-loop serving system.
 
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod oracle;
 pub mod schedulers;
 pub mod search;
 
+pub use autoscale::{
+    static_overprovision, AutoscaleOutcome, AutoscalerOptions, ReactiveAutoscaler,
+};
 pub use oracle::{best_oracle_throughput, oracle_throughput};
 pub use schedulers::{tune_drs_threshold, ClockworkScheduler, DrsScheduler, RibbonScheduler};
 pub use search::{

@@ -210,6 +210,9 @@ impl Scheduler for ClockworkScheduler {
             let waited_ms = query.waiting_time_us(ctx.now_us) as f64 / 1000.0;
             let mut best: Option<(usize, f64, bool)> = None; // (slot, completion, meets_qos)
             for (slot, inst) in ctx.instances.iter().enumerate() {
+                if !inst.accepting {
+                    continue;
+                }
                 let queue_ms = inst.remaining_us(ctx.now_us) as f64 / 1000.0 + extra_ms[slot];
                 let completion = queue_ms + self.predicted_ms(&inst.type_name, query.batch_size);
                 let meets = completion + waited_ms <= qos_ms;
@@ -251,8 +254,9 @@ mod tests {
         InstanceView {
             instance_index: idx,
             type_index: usize::from(!is_base),
-            type_name: name.to_string(),
+            type_name: name.into(),
             is_base,
+            accepting: true,
             free_at_us: free_at,
             backlog: usize::from(free_at > 0),
         }

@@ -10,13 +10,20 @@
 //! `KAIROS_FIG_FAST=1` to use shorter capacity probes.
 
 use kairos_baselines::{
-    best_oracle_throughput, oracle_throughput, BayesianOptimization, ConfigSearch,
-    ExhaustiveSearch, GeneticSearch, RandomSearch, SearchSpace, SimulatedAnnealing,
+    best_oracle_throughput, oracle_throughput, static_overprovision, AutoscalerOptions,
+    BayesianOptimization, ConfigSearch, ExhaustiveSearch, GeneticSearch, RandomSearch,
+    ReactiveAutoscaler, SearchSpace, SimulatedAnnealing,
 };
 use kairos_bench::{ExperimentContext, SchedulerKind};
-use kairos_core::{kairos_plus_search, upper_bound_single, SingleAuxInputs, ThroughputEstimator};
-use kairos_models::{best_homogeneous, Config, ModelKind, NoiseModel};
-use kairos_workload::BatchSizeDistribution;
+use kairos_core::{
+    kairos_plus_search, upper_bound_single, KairosScheduler, ServingOptions, ServingSystem,
+    SingleAuxInputs, ThroughputEstimator,
+};
+use kairos_models::{
+    best_homogeneous, calibration::paper_calibration, ec2, Config, ModelKind, NoiseModel, PoolSpec,
+};
+use kairos_sim::{run_trace, ServiceSpec, SimReport, SimulationOptions};
+use kairos_workload::{BatchSizeDistribution, PhasedArrival, TimeUs};
 
 fn section(title: &str) {
     println!("\n==================================================================");
@@ -364,6 +371,201 @@ fn figure12() {
     }
 }
 
+/// One scheme's outcome of the load-shift experiment.
+struct LoadShiftRow {
+    scheme: &'static str,
+    violation_fraction: f64,
+    /// Time to restore a <=15 % windowed violation rate after the boundary.
+    ttr_us: Option<TimeUs>,
+    /// Time-weighted mean of the target cluster cost over the trace
+    /// (reconfiguration-target costs; graceful-drain overlap excluded).
+    mean_cost_per_hour: f64,
+}
+
+/// Integrates a piecewise-constant `(time, cost)` step function over
+/// `[0, duration_us]`.
+fn mean_cost(mut steps: Vec<(TimeUs, f64)>, duration_us: TimeUs) -> f64 {
+    steps.sort_by_key(|(t, _)| *t);
+    let mut total = 0.0;
+    for (i, &(t, cost)) in steps.iter().enumerate() {
+        let end = steps.get(i + 1).map(|&(t, _)| t).unwrap_or(duration_us);
+        let end = end.min(duration_us);
+        if end > t {
+            total += cost * (end - t) as f64;
+        }
+    }
+    total / duration_us as f64
+}
+
+/// Fig. 12 (online) — the serving loop reacting to a 40 -> 100 QPS step
+/// change: controller-in-the-loop reconfiguration vs a frozen static plan,
+/// 2x static overprovisioning, and an HPA-style reactive homogeneous
+/// autoscaler.  Records the QoS-violation rate, the time-to-recover across
+/// the phase boundary, and the time-weighted cluster cost, and writes them
+/// to `BENCH_load_shift.json` at the workspace root.
+fn figure12_load_shift() {
+    let fast = std::env::var("KAIROS_FIG_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let phase_s = if fast { 3.0 } else { 5.0 };
+    let (low_qps, high_qps, budget) = (40.0, 100.0, 2.5);
+    section("Figure 12 (online): dynamic reconfiguration across a load shift (RM2)");
+    println!(
+        "{low_qps} -> {high_qps} QPS step at t={phase_s}s, budget {budget} $/hr, \
+         recovery = windowed violations <= 15 %"
+    );
+
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let model = ModelKind::Rm2;
+    let service = ServiceSpec::new(model, latency.clone());
+    let workload = PhasedArrival::step_change(
+        low_qps,
+        high_qps,
+        BatchSizeDistribution::production_default(),
+        phase_s,
+        phase_s,
+        4242,
+    );
+    let trace = workload.generate();
+    let boundary_us = workload.boundaries_us()[1];
+    let duration_us = workload.total_duration_us();
+    let (bucket_us, tol) = (500_000, 0.15);
+    let ttr = |report: &SimReport| report.time_to_recover(boundary_us, bucket_us, tol);
+
+    // Controller in the loop, warm monitor, demand-aware replanning.
+    let mut system = ServingSystem::new(
+        pool.clone(),
+        model,
+        Some(latency.clone()),
+        ServingOptions {
+            budget_per_hour: budget,
+            replan_interval_us: 500_000,
+            provisioning_delay_us: 300_000,
+            ..Default::default()
+        },
+    );
+    system.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
+    let initial = system
+        .plan_for_demand(low_qps)
+        .expect("priors allow planning");
+    let outcome = system.run(&initial, &service, &trace);
+    let mut kairos_costs = vec![(0, initial.cost(&pool))];
+    kairos_costs.extend(
+        outcome
+            .reconfigs
+            .iter()
+            .map(|r| (r.at_us, r.target.cost(&pool))),
+    );
+    let kairos_row = LoadShiftRow {
+        scheme: "KAIROS(loop)",
+        violation_fraction: outcome.report.violation_fraction(),
+        ttr_us: ttr(&outcome.report),
+        mean_cost_per_hour: mean_cost(kairos_costs, duration_us),
+    };
+
+    // Frozen static plan: same initial configuration, same scheduler family.
+    let static_report = run_trace(
+        &pool,
+        &initial,
+        &service,
+        &trace,
+        &mut KairosScheduler::with_priors(model, &latency),
+        &SimulationOptions::default(),
+    );
+    let static_row = LoadShiftRow {
+        scheme: "STATIC(plan)",
+        violation_fraction: static_report.violation_fraction(),
+        ttr_us: ttr(&static_report),
+        mean_cost_per_hour: initial.cost(&pool),
+    };
+
+    // Static overprovisioning: 2x the budget of homogeneous base capacity.
+    let over = static_overprovision(&pool, budget, 2.0);
+    let over_report = run_trace(
+        &pool,
+        &over,
+        &service,
+        &trace,
+        &mut KairosScheduler::with_priors(model, &latency),
+        &SimulationOptions::default(),
+    );
+    let over_row = LoadShiftRow {
+        scheme: "STATIC(2x)",
+        violation_fraction: over_report.violation_fraction(),
+        ttr_us: ttr(&over_report),
+        mean_cost_per_hour: over.cost(&pool),
+    };
+
+    // Reactive homogeneous autoscaler on backlog pressure.
+    let scaler = ReactiveAutoscaler::new(AutoscalerOptions {
+        cooldown_us: 500_000,
+        provisioning_delay_us: 300_000,
+        ..Default::default()
+    });
+    let reactive = scaler.run(&pool, 2, &service, &trace);
+    let base_price = pool.price(pool.base_index());
+    let mut count = 2i64;
+    let mut reactive_costs = vec![(0, count as f64 * base_price)];
+    for &(t, delta) in &reactive.actions {
+        count += i64::from(delta);
+        reactive_costs.push((t, count as f64 * base_price));
+    }
+    let reactive_row = LoadShiftRow {
+        scheme: "REACTIVE(homo)",
+        violation_fraction: reactive.report.violation_fraction(),
+        ttr_us: ttr(&reactive.report),
+        mean_cost_per_hour: mean_cost(reactive_costs, duration_us),
+    };
+
+    let rows = [kairos_row, static_row, over_row, reactive_row];
+    println!(
+        "\n{:<16}{:>14}{:>18}{:>18}",
+        "scheme", "violations %", "recover (ms)", "mean cost $/hr"
+    );
+    for row in &rows {
+        let rec = row
+            .ttr_us
+            .map(|t| format!("{:.0}", t as f64 / 1000.0))
+            .unwrap_or_else(|| "never".into());
+        println!(
+            "{:<16}{:>14.2}{:>18}{:>18.3}",
+            row.scheme,
+            row.violation_fraction * 100.0,
+            rec,
+            row.mean_cost_per_hour
+        );
+    }
+    println!(
+        "--> KAIROS reconfigured {} time(s); final active cluster {} ({:.3} $/hr)",
+        outcome.reconfigs.len(),
+        outcome.final_active,
+        outcome.final_active.cost(&pool)
+    );
+
+    // Record the outcome next to the other BENCH_* baselines.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_load_shift.json");
+    let json: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"name\":\"fig12_load_shift/{}\",\"violation_fraction\":{:.4},\
+                 \"ttr_us\":{},\"mean_cost_per_hour\":{:.4}}}",
+                row.scheme,
+                row.violation_fraction,
+                row.ttr_us
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "null".into()),
+                row.mean_cost_per_hour
+            )
+        })
+        .collect();
+    match std::fs::write(path, json.join("\n") + "\n") {
+        Ok(()) => println!("--> recorded BENCH_load_shift.json"),
+        Err(e) => println!("--> could not write BENCH_load_shift.json: {e}"),
+    }
+}
+
 /// Fig. 13 — actual throughput of the top-20 configurations ranked by upper
 /// bound; Kairos's pick is near-optimal.
 fn figure13() {
@@ -579,6 +781,9 @@ fn main() {
     }
     if run("fig12") {
         figure12();
+    }
+    if run("fig12") || run("fig12_shift") {
+        figure12_load_shift();
     }
     if run("fig13") {
         figure13();

@@ -119,19 +119,22 @@ impl KairosController {
     /// plan each independently, and merge the shard configurations by summing
     /// instance counts.  Useful when the configuration space under the full
     /// budget would be too large to enumerate.
+    ///
+    /// Every shard gets the same budget and sees the same batch sample, so
+    /// the shard plans are identical: the planner runs **once** and the shard
+    /// configuration is multiplied by the shard count.
     pub fn plan_sharded(&self, budget_per_hour: f64, shards: usize) -> Option<Config> {
         assert!(shards >= 1, "need at least one shard");
         let table = self.learned_table()?;
         let planner = KairosPlanner::new(self.pool.clone(), self.model, table);
-        let sample = self.batch_sample();
         let shard_budget = budget_per_hour / shards as f64;
-        let mut merged = vec![0usize; self.pool.num_types()];
-        for _ in 0..shards {
-            let plan = planner.plan(shard_budget, &sample);
-            for (i, &c) in plan.chosen.counts().iter().enumerate() {
-                merged[i] += c;
-            }
-        }
+        let plan = planner.plan(shard_budget, &self.batch_sample());
+        let merged = plan
+            .chosen
+            .counts()
+            .iter()
+            .map(|&c| c * shards)
+            .collect::<Vec<_>>();
         Some(Config::new(merged))
     }
 
@@ -221,6 +224,19 @@ mod tests {
         let merged = c.plan_sharded(5.0, 2).unwrap();
         assert!(merged.cost(&pool()) <= 5.0 + 1e-9);
         assert!(merged.total_instances() >= 2);
+    }
+
+    #[test]
+    fn sharded_plan_is_the_shard_plan_scaled() {
+        let mut c = KairosController::with_priors(pool(), ModelKind::Rm2, paper_calibration());
+        for i in 0..1000u32 {
+            c.observe_query(5 + i % 300);
+        }
+        let shards = 3usize;
+        let merged = c.plan_sharded(7.5, shards).unwrap();
+        let single = c.plan(7.5 / shards as f64).unwrap().chosen;
+        let expected: Vec<usize> = single.counts().iter().map(|&n| n * shards).collect();
+        assert_eq!(merged.counts(), &expected[..]);
     }
 
     #[test]

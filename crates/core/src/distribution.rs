@@ -17,8 +17,9 @@ use kairos_assignment::{jv::solve_jv, Assignment};
 use kairos_models::{
     latency::LatencyTable, mlmodel::ModelKind, predictor::PredictorBank, MAX_BATCH_SIZE,
 };
-use kairos_sim::{Dispatch, Scheduler, SchedulingContext};
+use kairos_sim::{Dispatch, InstanceView, Scheduler, SchedulingContext};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The Kairos matching-based query distributor.
 #[derive(Debug, Clone)]
@@ -90,12 +91,12 @@ impl KairosScheduler {
     }
 
     /// Computes the per-*type* heterogeneity coefficients from the current
-    /// latency estimates, keyed by type name.
-    fn coefficients(&self, ctx: &SchedulingContext<'_>) -> HashMap<String, f64> {
+    /// latency estimates, keyed by (interned) type name.
+    fn coefficients(&self, instances: &[&InstanceView]) -> HashMap<Arc<str>, f64> {
         // Collect the distinct types present, keeping the base type's position.
-        let mut names: Vec<String> = Vec::new();
+        let mut names: Vec<Arc<str>> = Vec::new();
         let mut base_pos = 0usize;
-        for inst in ctx.instances {
+        for inst in instances {
             if !names.contains(&inst.type_name) {
                 if inst.is_base {
                     base_pos = names.len();
@@ -118,12 +119,15 @@ impl Scheduler for KairosScheduler {
     }
 
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
-        if ctx.queued.is_empty() || ctx.instances.is_empty() {
+        // Draining and retired instances take no new work: exclude them from
+        // the matching entirely (the engine would reject such dispatches).
+        let instances: Vec<&InstanceView> = ctx.instances.iter().filter(|i| i.accepting).collect();
+        if ctx.queued.is_empty() || instances.is_empty() {
             return Vec::new();
         }
         self.rounds += 1;
         let qos_ms = ctx.qos_us as f64 / 1000.0;
-        let coeffs = self.coefficients(ctx);
+        let coeffs = self.coefficients(&instances);
 
         // Query rows: batch size and accumulated wait (W_i).
         let rows: Vec<QueryRow> = ctx
@@ -137,8 +141,7 @@ impl Scheduler for KairosScheduler {
 
         // Instance columns: remaining busy time, coefficient and predicted
         // service latency for every queued query.
-        let columns: Vec<InstanceColumn> = ctx
-            .instances
+        let columns: Vec<InstanceColumn> = instances
             .iter()
             .map(|inst| InstanceColumn {
                 remaining_ms: inst.remaining_us(ctx.now_us) as f64 / 1000.0,
@@ -163,8 +166,7 @@ impl Scheduler for KairosScheduler {
         // is what makes the online learning converge within the first few
         // queries instead of stalling the queue (Sec. 5.1 "Kairos starts with
         // a linear model but does not rely on the model accuracy").
-        let type_fitted: Vec<bool> = ctx
-            .instances
+        let type_fitted: Vec<bool> = instances
             .iter()
             .map(|inst| {
                 self.predictors
@@ -203,7 +205,7 @@ impl Scheduler for KairosScheduler {
             if feasible || waited_ms >= qos_ms {
                 plan.push(Dispatch {
                     query_index,
-                    instance_index: ctx.instances[instance_index].instance_index,
+                    instance_index: instances[instance_index].instance_index,
                 });
             }
         }
@@ -235,8 +237,9 @@ mod tests {
         InstanceView {
             instance_index: idx,
             type_index,
-            type_name: name.to_string(),
+            type_name: name.into(),
             is_base,
+            accepting: true,
             free_at_us: free_at,
             backlog: usize::from(free_at > 0),
         }

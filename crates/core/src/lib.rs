@@ -19,6 +19,11 @@
 //! 4. **Central controller** ([`controller::KairosController`], Sec. 6) —
 //!    the online glue: query monitoring, latency learning, (re)planning and
 //!    scheduler construction, including the POP-style sharded planning mode.
+//! 5. **Online serving loop** ([`serving::ServingSystem`]) — the controller
+//!    in the loop of a live, reconfigurable cluster: it observes every
+//!    arrival and completion, replans on a cadence or on arrival-rate drift,
+//!    and steers the cluster to the new plan through graceful add/retire
+//!    actions (the Fig. 12 adaptation story, end to end).
 //!
 //! ```
 //! use kairos_core::planner::KairosPlanner;
@@ -47,6 +52,7 @@ pub mod kairos_plus;
 pub mod lmatrix;
 pub mod planner;
 pub mod selection;
+pub mod serving;
 pub mod upper_bound;
 
 pub use coefficient::heterogeneity_coefficients;
@@ -56,6 +62,7 @@ pub use kairos_plus::{kairos_plus_search, SearchResult};
 pub use lmatrix::{build_matrices, InstanceColumn, LMatrices, QueryRow, DEFAULT_XI};
 pub use planner::{KairosPlanner, Plan};
 pub use selection::select_configuration;
+pub use serving::{ReconfigEvent, ReplanTrigger, ServingOptions, ServingOutcome, ServingSystem};
 pub use upper_bound::{
     upper_bound_general, upper_bound_single, AuxClass, SingleAuxInputs, ThroughputEstimator,
 };

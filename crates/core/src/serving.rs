@@ -1,0 +1,573 @@
+//! The online serving loop: [`KairosController`] in the loop of a live,
+//! reconfigurable cluster.
+//!
+//! The paper's headline online result (Fig. 12, Sec. 6) is Kairos reacting
+//! to a load change in "one shot": the monitor notices the new mix, the
+//! planner re-ranks the configuration space from current knowledge, and the
+//! system redeploys — no online exploration.  [`ServingSystem`] is that loop
+//! against the discrete-event engine:
+//!
+//! ```text
+//!        ┌──────────────────────────────────────────────────────┐
+//!        │                  ServingSystem::run                  │
+//!        │                                                      │
+//!  trace ──► SimEngine::step_event ──► EngineEvent              │
+//!        │        ▲                      │ Arrival → observe_query
+//!        │        │                      │ Completion → observe_completion
+//!        │        │                      ▼                      │
+//!        │        │               KairosController              │
+//!        │        │                      │ cadence or drift     │
+//!        │        │                      ▼                      │
+//!        │        │            plan_for_demand(rate)            │
+//!        │        │                      │ diff vs live cluster │
+//!        │        └── add_instance / retire_instance ◄──────────┘
+//!        └──────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Replanning is **demand-aware**: rather than always deploying the
+//! maximum-throughput configuration under the budget cap, the driver picks
+//! the *cheapest* ranked configuration whose throughput upper bound covers
+//! the observed arrival rate (times a headroom factor), falling back to the
+//! full-budget pick when demand exceeds every cheaper option.  This is what
+//! makes the loop elastic in both directions: it scales out on a rate spike
+//! and scales in — gracefully draining surplus instances — when load drops.
+
+use crate::controller::KairosController;
+use kairos_models::{latency::LatencyTable, mlmodel::ModelKind, Config, PoolSpec};
+use kairos_sim::{EngineEvent, ServiceSpec, SimEngine, SimReport, SimulationOptions};
+use kairos_workload::{BatchSizeDistribution, TimeUs, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Tunables of the online serving loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingOptions {
+    /// Hourly budget cap handed to the planner.
+    pub budget_per_hour: f64,
+    /// Cadence of unconditional replanning.
+    pub replan_interval_us: TimeUs,
+    /// Provisioning delay charged to every added instance.
+    pub provisioning_delay_us: TimeUs,
+    /// Relative arrival-rate change (vs the rate at the previous plan) that
+    /// triggers an immediate replan between cadence ticks.
+    pub drift_threshold: f64,
+    /// Capacity headroom: the deployed configuration's throughput upper
+    /// bound must cover `observed rate × headroom`.
+    pub demand_headroom: f64,
+    /// Scale-in hysteresis: the deployed configuration is kept (even when a
+    /// cheaper one would cover demand) unless it costs more than
+    /// `shrink_factor ×` the cheapest sufficient alternative.  Prevents
+    /// near-equivalent configurations from thrashing the cluster when the
+    /// demand estimate wobbles.
+    pub shrink_factor: f64,
+    /// Cap on the number of recent arrivals kept for the rate estimate.
+    pub rate_window: usize,
+    /// Time horizon of the rate estimate: only arrivals within this window
+    /// of `now` count.  A time-bounded window reacts to load *drops* as fast
+    /// as to spikes (a count-bounded one drains slowly at low rates).
+    pub rate_horizon_us: TimeUs,
+    /// Minimum number of monitored queries before the loop trusts a plan:
+    /// with only a handful of observations the batch-mix estimate (and with
+    /// it every upper bound) is noise, and acting on noise thrashes the
+    /// cluster.
+    pub min_observations: usize,
+    /// Service-noise seed passed to the engine.
+    pub seed: u64,
+}
+
+impl Default for ServingOptions {
+    fn default() -> Self {
+        Self {
+            budget_per_hour: 2.5,
+            replan_interval_us: 1_000_000,
+            provisioning_delay_us: 500_000,
+            drift_threshold: 0.35,
+            demand_headroom: 1.35,
+            shrink_factor: 1.25,
+            rate_window: 1024,
+            rate_horizon_us: 2_000_000,
+            min_observations: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// What caused a replan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanTrigger {
+    /// The periodic replanning cadence fired.
+    Cadence,
+    /// The observed arrival rate drifted past the threshold.
+    Drift,
+}
+
+/// One applied reconfiguration (replans that change nothing are not logged).
+#[derive(Debug, Clone)]
+pub struct ReconfigEvent {
+    /// Virtual time the reconfiguration was issued.
+    pub at_us: TimeUs,
+    /// What caused it.
+    pub trigger: ReplanTrigger,
+    /// Arrival-rate estimate that drove the plan, in QPS.
+    pub demand_qps: f64,
+    /// The configuration the cluster was steered towards.
+    pub target: Config,
+    /// Pool type index of every instance added.
+    pub added_types: Vec<usize>,
+    /// Cluster index of every instance retired.
+    pub retired_instances: Vec<usize>,
+}
+
+/// Result of one online serving run.
+#[derive(Debug, Clone)]
+pub struct ServingOutcome {
+    /// The per-query simulation report.
+    pub report: SimReport,
+    /// The configuration the run started from.
+    pub initial: Config,
+    /// Dispatch-accepting instance counts at the end of the run.
+    pub final_active: Config,
+    /// Every reconfiguration applied, in order.
+    pub reconfigs: Vec<ReconfigEvent>,
+    /// Total number of replanning passes (including no-op ones).
+    pub replans: usize,
+}
+
+impl ServingOutcome {
+    /// Convenience: whether the run ever changed the cluster.
+    pub fn reconfigured(&self) -> bool {
+        !self.reconfigs.is_empty()
+    }
+}
+
+/// The controller-in-the-loop online serving driver.
+#[derive(Debug, Clone)]
+pub struct ServingSystem {
+    pool: PoolSpec,
+    controller: KairosController,
+    options: ServingOptions,
+}
+
+impl ServingSystem {
+    /// Creates a serving system.  `priors` seeds the controller's latency
+    /// knowledge (without priors the first plan must wait for online fits).
+    pub fn new(
+        pool: PoolSpec,
+        model: ModelKind,
+        priors: Option<LatencyTable>,
+        options: ServingOptions,
+    ) -> Self {
+        let controller = match priors {
+            Some(table) => KairosController::with_priors(pool.clone(), model, table),
+            None => KairosController::new(pool.clone(), model),
+        };
+        Self {
+            pool,
+            controller,
+            options,
+        }
+    }
+
+    /// The controller driving the loop.
+    pub fn controller(&self) -> &KairosController {
+        &self.controller
+    }
+
+    /// Mutable access to the controller, e.g. to feed observations from an
+    /// external source before the first run.
+    pub fn controller_mut(&mut self) -> &mut KairosController {
+        &mut self.controller
+    }
+
+    /// Warm-starts the query monitor with `n` samples of a batch mix (a real
+    /// deployment inherits the previous window; a fresh simulation has to
+    /// seed it, or the first plans act on the conservative worst-case
+    /// sample).
+    pub fn warm_monitor(&mut self, mix: &BatchSizeDistribution, n: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            self.controller.observe_query(mix.sample(&mut rng));
+        }
+    }
+
+    /// Picks the cheapest configuration (within the budget cap) whose
+    /// throughput upper bound covers `demand_qps × demand_headroom`, from
+    /// the controller's current knowledge.  Falls back to the planner's
+    /// full-budget choice when no cheaper configuration suffices, and to
+    /// `None` when the controller cannot plan yet.
+    pub fn plan_for_demand(&self, demand_qps: f64) -> Option<Config> {
+        let plan = self.controller.plan(self.options.budget_per_hour)?;
+        Some(
+            self.cheapest_covering(&plan.ranked, demand_qps * self.options.demand_headroom)
+                .unwrap_or(plan.chosen),
+        )
+    }
+
+    /// Cheapest ranked configuration whose upper bound covers `required` QPS
+    /// (ties broken towards the higher bound).
+    fn cheapest_covering(&self, ranked: &[(Config, f64)], required: f64) -> Option<Config> {
+        ranked
+            .iter()
+            .filter(|(_, ub)| *ub >= required)
+            .min_by(|(ca, ua), (cb, ub)| {
+                ca.cost(&self.pool)
+                    .partial_cmp(&cb.cost(&self.pool))
+                    .unwrap()
+                    .then(ub.partial_cmp(ua).unwrap())
+            })
+            .map(|(c, _)| c.clone())
+    }
+
+    /// Picks the next deployment target given current knowledge, observed
+    /// demand and the configuration deployed right now, applying the
+    /// scale-in hysteresis described on [`ServingOptions::shrink_factor`].
+    fn select_target(&self, demand_qps: f64, current: &Config) -> Option<Config> {
+        let plan = self.controller.plan(self.options.budget_per_hour)?;
+        let required = demand_qps * self.options.demand_headroom;
+        let candidate = self
+            .cheapest_covering(&plan.ranked, required)
+            .unwrap_or(plan.chosen);
+        let current_ub = plan
+            .ranked
+            .iter()
+            .find(|(c, _)| c == current)
+            .map(|(_, ub)| *ub)
+            .unwrap_or(0.0);
+        // Keep the deployment when it still (approximately) covers demand —
+        // the 0.8 slack absorbs upper-bound wobble as knowledge evolves — and
+        // is not substantially more expensive than the candidate.
+        let keep = current_ub >= required * 0.8
+            && current.cost(&self.pool) <= candidate.cost(&self.pool) * self.options.shrink_factor;
+        Some(if keep { current.clone() } else { candidate })
+    }
+
+    /// Runs the controller-in-the-loop simulation of `trace` on `service`,
+    /// starting from `initial`.  The scheduler is the controller's own
+    /// matching distributor; the cluster is reconfigured live as described in
+    /// the module docs.
+    pub fn run(
+        &mut self,
+        initial: &Config,
+        service: &ServiceSpec,
+        trace: &Trace,
+    ) -> ServingOutcome {
+        let mut scheduler = self.controller.make_scheduler();
+        let mut engine = SimEngine::new(
+            &self.pool,
+            initial,
+            service,
+            trace,
+            &mut scheduler,
+            &SimulationOptions {
+                seed: self.options.seed,
+            },
+        );
+
+        let mut reconfigs: Vec<ReconfigEvent> = Vec::new();
+        let mut replans = 0usize;
+        let mut arrival_times: VecDeque<TimeUs> = VecDeque::with_capacity(self.options.rate_window);
+        let mut next_cadence_us = self.options.replan_interval_us;
+        // Rate the current deployment was planned for (None before the first
+        // replan: the initial configuration is taken on faith).
+        let mut planned_rate: Option<f64> = None;
+        let drift_cooldown_us = self.options.replan_interval_us / 2;
+        let mut last_replan_us: TimeUs = 0;
+
+        while let Some(event) = engine.step_event() {
+            let now = engine.now();
+            match &event {
+                EngineEvent::Arrival { query } => {
+                    self.controller.observe_query(query.batch_size);
+                    if arrival_times.len() == self.options.rate_window {
+                        arrival_times.pop_front();
+                    }
+                    arrival_times.push_back(query.arrival_us);
+                }
+                EngineEvent::Completion { record, type_name } => {
+                    let service_ms = (record.completion_us - record.start_us) as f64 / 1000.0;
+                    self.controller
+                        .observe_completion(type_name, record.batch_size, service_ms);
+                }
+                EngineEvent::InstanceReady { .. } => {}
+            }
+
+            // Demand is the service rate the cluster must sustain: the
+            // offered arrival rate plus the rate needed to drain everything
+            // already in the system (centrally queued or sitting in local
+            // instance queues beyond the query in service) within one rate
+            // horizon.  The backlog term makes overload visible even when
+            // the arrival estimate lags a shift, and blocks scale-in while a
+            // backlog from a past spike is still draining.
+            let horizon_s = self.options.rate_horizon_us as f64 / 1e6;
+            let backlog = engine.central_queue().len()
+                + engine
+                    .cluster()
+                    .instances()
+                    .iter()
+                    .filter(|i| !i.is_retired())
+                    .map(|i| i.backlog().saturating_sub(1))
+                    .sum::<usize>();
+            let queue_pressure = backlog as f64 / horizon_s;
+            let rate = estimate_rate_qps(&mut arrival_times, now, self.options.rate_horizon_us)
+                .map(|r| r + queue_pressure);
+            let trigger = if now >= next_cadence_us {
+                Some(ReplanTrigger::Cadence)
+            } else if let (Some(rate), Some(planned)) = (rate, planned_rate) {
+                let drifted =
+                    (rate - planned).abs() / planned.max(1e-9) > self.options.drift_threshold;
+                (drifted && now >= last_replan_us + drift_cooldown_us)
+                    .then_some(ReplanTrigger::Drift)
+            } else {
+                None
+            };
+
+            if let Some(trigger) = trigger {
+                next_cadence_us = now + self.options.replan_interval_us;
+                last_replan_us = now;
+                if self.controller.observed_queries() < self.options.min_observations {
+                    continue;
+                }
+                let Some(demand) = rate else { continue };
+                let current = engine.cluster().active_config();
+                let Some(target) = self.select_target(demand, &current) else {
+                    continue;
+                };
+                replans += 1;
+                planned_rate = Some(demand);
+                let (added_types, retired_instances) =
+                    reconcile(&mut engine, &target, &self.options);
+                if !added_types.is_empty() || !retired_instances.is_empty() {
+                    reconfigs.push(ReconfigEvent {
+                        at_us: now,
+                        trigger,
+                        demand_qps: demand,
+                        target,
+                        added_types,
+                        retired_instances,
+                    });
+                }
+            }
+        }
+
+        let final_active = engine.cluster().active_config();
+        ServingOutcome {
+            report: engine.report(),
+            initial: initial.clone(),
+            final_active,
+            reconfigs,
+            replans,
+        }
+    }
+}
+
+/// Offered-rate estimate (QPS) over the arrivals within `horizon_us` of
+/// `now`; older entries are pruned in place.  `None` until at least two
+/// arrivals span non-zero time.
+fn estimate_rate_qps(
+    arrivals: &mut VecDeque<TimeUs>,
+    now: TimeUs,
+    horizon_us: TimeUs,
+) -> Option<f64> {
+    while arrivals.front().is_some_and(|&t| t + horizon_us < now) {
+        arrivals.pop_front();
+    }
+    let (first, last) = (arrivals.front()?, arrivals.back()?);
+    if arrivals.len() < 2 || first == last {
+        return None;
+    }
+    let span_us = now.saturating_sub(*first).max(1);
+    Some((arrivals.len() - 1) as f64 / (span_us as f64 / 1e6))
+}
+
+/// Diffs `target` against the live cluster and applies the difference:
+/// missing instances are added (with the provisioning delay), surplus
+/// instances of each type are gracefully retired — idle ones first, then the
+/// shallowest backlog, so draining finishes as fast as possible.
+fn reconcile(
+    engine: &mut SimEngine<'_>,
+    target: &Config,
+    options: &ServingOptions,
+) -> (Vec<usize>, Vec<usize>) {
+    let active = engine.cluster().active_counts();
+    let mut added_types = Vec::new();
+    let mut retired_instances = Vec::new();
+    for (type_index, &want) in target.counts().iter().enumerate() {
+        let have = active[type_index];
+        if want > have {
+            for _ in 0..want - have {
+                engine.add_instance(type_index, options.provisioning_delay_us);
+                added_types.push(type_index);
+            }
+        } else if have > want {
+            let mut surplus: Vec<(usize, usize)> = engine
+                .cluster()
+                .instances()
+                .iter()
+                .filter(|inst| inst.type_index == type_index && inst.accepts_dispatches())
+                .map(|inst| (inst.backlog(), inst.index))
+                .collect();
+            // Shallowest backlog first; ties retire the newest instance.
+            surplus.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+            for &(_, index) in surplus.iter().take(have - want) {
+                engine.retire_instance(index);
+                retired_instances.push(index);
+            }
+        }
+    }
+    (added_types, retired_instances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_models::{calibration::paper_calibration, ec2, mlmodel::ModelKind};
+    use kairos_workload::{BatchSizeDistribution, PhasedArrival};
+
+    fn pool() -> PoolSpec {
+        PoolSpec::new(ec2::paper_pool())
+    }
+
+    fn system(options: ServingOptions) -> ServingSystem {
+        ServingSystem::new(pool(), ModelKind::Rm2, Some(paper_calibration()), options)
+    }
+
+    /// Seeds the controller's monitor with the production mix, as a real
+    /// deployment's window would be after any amount of serving.
+    fn warm(s: &mut ServingSystem, n: usize) {
+        s.warm_monitor(&BatchSizeDistribution::production_default(), n, 99);
+    }
+
+    #[test]
+    fn plan_for_demand_is_monotone_in_cost() {
+        let s = system(ServingOptions::default());
+        let small = s.plan_for_demand(20.0).unwrap();
+        let large = s.plan_for_demand(200.0).unwrap();
+        assert!(small.cost(&pool()) <= large.cost(&pool()));
+        assert!(small.cost(&pool()) < 2.5, "light demand must not max out");
+    }
+
+    #[test]
+    fn plan_for_demand_falls_back_to_full_budget_pick() {
+        let s = system(ServingOptions::default());
+        // Demand beyond any upper bound under the budget: full-budget choice.
+        let huge = s.plan_for_demand(1e9).unwrap();
+        let chosen = s.controller().plan(2.5).unwrap().chosen;
+        assert_eq!(huge, chosen);
+    }
+
+    #[test]
+    fn rate_estimate_needs_a_window_and_prunes_stale_arrivals() {
+        let horizon = 2_000_000;
+        let mut w: VecDeque<TimeUs> = VecDeque::new();
+        assert_eq!(estimate_rate_qps(&mut w, 0, horizon), None);
+        w.push_back(0);
+        assert_eq!(estimate_rate_qps(&mut w, 500_000, horizon), None);
+        w.push_back(1_000_000);
+        assert_eq!(estimate_rate_qps(&mut w, 1_000_000, horizon), Some(1.0));
+        // Far in the future, both arrivals are stale: no estimate, pruned.
+        assert_eq!(estimate_rate_qps(&mut w, 10_000_000, horizon), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn steady_load_keeps_the_cluster_stable() {
+        let mut s = system(ServingOptions {
+            replan_interval_us: 500_000,
+            ..Default::default()
+        });
+        warm(&mut s, 2000);
+        let workload = PhasedArrival::step_change(
+            60.0,
+            60.0,
+            BatchSizeDistribution::production_default(),
+            4.0,
+            4.0,
+            17,
+        );
+        let initial = s.plan_for_demand(60.0).unwrap();
+        let service = ServiceSpec::new(ModelKind::Rm2, paper_calibration());
+        let duration = workload.total_duration_us();
+        let outcome = s.run(&initial, &service, &workload.generate());
+        assert!(outcome.replans > 0, "cadence must fire");
+        // Same rate throughout: while traffic flows the cluster must not
+        // churn (after the last arrival the offered rate decays to zero and
+        // scaling in is the *correct* reaction, so the tail is exempt).
+        let in_trace: Vec<_> = outcome
+            .reconfigs
+            .iter()
+            .filter(|r| r.at_us < duration)
+            .collect();
+        assert!(
+            in_trace.len() <= 1,
+            "steady load should not thrash: {in_trace:?}"
+        );
+        assert!(outcome.report.meets_qos(0.05));
+    }
+
+    #[test]
+    fn rate_spike_scales_the_cluster_out() {
+        let mut s = system(ServingOptions {
+            replan_interval_us: 500_000,
+            provisioning_delay_us: 200_000,
+            ..Default::default()
+        });
+        warm(&mut s, 2000);
+        let workload = PhasedArrival::step_change(
+            40.0,
+            160.0,
+            BatchSizeDistribution::production_default(),
+            3.0,
+            3.0,
+            23,
+        );
+        let initial = s.plan_for_demand(40.0).unwrap();
+        let service = ServiceSpec::new(ModelKind::Rm2, paper_calibration());
+        let outcome = s.run(&initial, &service, &workload.generate());
+        assert!(outcome.reconfigured(), "the spike must trigger reconfig");
+        let grew = outcome.reconfigs.iter().any(|r| !r.added_types.is_empty());
+        assert!(grew, "scale-out expected: {:?}", outcome.reconfigs);
+        // The cluster was scaled past its initial size while the spike was
+        // live (it may legitimately scale back in once arrivals stop).
+        let peak_cost = outcome
+            .reconfigs
+            .iter()
+            .map(|r| r.target.cost(&pool()))
+            .fold(0.0f64, f64::max);
+        assert!(
+            peak_cost > initial.cost(&pool()),
+            "peak cluster should exceed the initial one"
+        );
+    }
+
+    #[test]
+    fn load_drop_scales_the_cluster_in() {
+        let mut s = system(ServingOptions {
+            replan_interval_us: 500_000,
+            ..Default::default()
+        });
+        warm(&mut s, 2000);
+        let workload = PhasedArrival::step_change(
+            180.0,
+            30.0,
+            BatchSizeDistribution::production_default(),
+            3.0,
+            3.0,
+            29,
+        );
+        let initial = s.plan_for_demand(180.0).unwrap();
+        let service = ServiceSpec::new(ModelKind::Rm2, paper_calibration());
+        let outcome = s.run(&initial, &service, &workload.generate());
+        let shrank = outcome
+            .reconfigs
+            .iter()
+            .any(|r| !r.retired_instances.is_empty());
+        assert!(shrank, "scale-in expected: {:?}", outcome.reconfigs);
+        assert!(outcome.final_active.cost(&pool()) < initial.cost(&pool()));
+        // Graceful draining: every query is still accounted for.
+        assert_eq!(
+            outcome.report.completed() + outcome.report.unfinished.len(),
+            outcome.report.offered
+        );
+    }
+}

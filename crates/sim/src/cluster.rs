@@ -5,6 +5,17 @@
 //! couples the served ML model with its ground-truth latency behaviour.
 //! Matching the paper's deployment model (Sec. 6), every instance hosts one
 //! model replica and serves exactly one query at a time.
+//!
+//! # Dynamic reconfiguration
+//!
+//! The cluster is no longer fixed for the lifetime of a run: instances can be
+//! [added](Cluster::add_instance) (they come online after a provisioning
+//! delay) and [retired](Cluster::retire_instance).  Retirement is *graceful*:
+//! a draining instance finishes the query it is serving and everything
+//! already in its local queue, but accepts no new dispatches; once drained it
+//! transitions to [`InstanceLifecycle::Retired`] and stops costing money.
+//! Indices are stable — retired instances stay in the instance vector so that
+//! completion records and scheduler views never dangle.
 
 use kairos_models::{
     latency::{LatencyTable, NoiseModel},
@@ -14,6 +25,7 @@ use kairos_models::{
 use kairos_workload::{Query, TimeUs};
 use rand::Rng;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// The ML service being hosted: model identity plus ground-truth latency.
 #[derive(Debug, Clone)]
@@ -71,6 +83,28 @@ impl ServiceSpec {
     }
 }
 
+/// Lifecycle state of a simulated instance.
+///
+/// ```text
+/// add_instance ──► Active (provisioning until available_from_us, then live)
+///                     │ retire_instance
+///                     ▼
+///                  Draining (finishes serving + local queue, no new work)
+///                     │ last local query completes
+///                     ▼
+///                  Retired (index kept for stability, costs nothing)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceLifecycle {
+    /// Accepting dispatches (possibly still provisioning; queued work waits
+    /// until `available_from_us`).
+    Active,
+    /// Retirement requested: drains its local queue, accepts nothing new.
+    Draining,
+    /// Fully drained and removed from service.
+    Retired,
+}
+
 /// One simulated compute instance.
 #[derive(Debug, Clone)]
 pub struct SimInstance {
@@ -78,10 +112,15 @@ pub struct SimInstance {
     pub index: usize,
     /// Index of the instance's type in the pool.
     pub type_index: usize,
-    /// Cloud name of the type.
-    pub type_name: String,
+    /// Cloud name of the type (interned; cloning is a pointer copy).
+    pub type_name: Arc<str>,
     /// Whether this is a base-type instance.
     pub is_base: bool,
+    /// Lifecycle state (see [`InstanceLifecycle`]).
+    pub lifecycle: InstanceLifecycle,
+    /// Virtual time from which the instance can start serving (provisioning
+    /// boundary; 0 for instances present since the start of the run).
+    pub available_from_us: TimeUs,
     /// Query currently being served, with its service start time.
     pub serving: Option<(Query, TimeUs)>,
     /// Time at which the currently served query completes (meaningless when idle).
@@ -100,13 +139,26 @@ impl SimInstance {
     pub fn backlog(&self) -> usize {
         self.local_queue.len() + usize::from(self.serving.is_some())
     }
+
+    /// Whether the scheduler may dispatch new work to this instance.
+    pub fn accepts_dispatches(&self) -> bool {
+        self.lifecycle == InstanceLifecycle::Active
+    }
+
+    /// Whether the instance has fully left service.
+    pub fn is_retired(&self) -> bool {
+        self.lifecycle == InstanceLifecycle::Retired
+    }
 }
 
-/// A concrete set of simulated instances realizing a configuration.
+/// A concrete set of simulated instances realizing a configuration,
+/// reconfigurable at run time (see the module docs).
 #[derive(Debug, Clone)]
 pub struct Cluster {
     pool: PoolSpec,
     config: Config,
+    /// Interned type names, one per pool type, shared by every instance.
+    type_names: Vec<Arc<str>>,
     instances: Vec<SimInstance>,
 }
 
@@ -121,6 +173,11 @@ impl Cluster {
             pool.num_types(),
             "configuration does not match pool dimensionality"
         );
+        let type_names: Vec<Arc<str>> = pool
+            .types()
+            .iter()
+            .map(|ty| Arc::from(ty.name.as_str()))
+            .collect();
         let mut instances = Vec::new();
         for (type_index, &count) in config.counts().iter().enumerate() {
             let ty = &pool.types()[type_index];
@@ -128,8 +185,10 @@ impl Cluster {
                 instances.push(SimInstance {
                     index: instances.len(),
                     type_index,
-                    type_name: ty.name.clone(),
+                    type_name: type_names[type_index].clone(),
                     is_base: ty.is_base,
+                    lifecycle: InstanceLifecycle::Active,
+                    available_from_us: 0,
                     serving: None,
                     busy_until_us: 0,
                     local_queue: VecDeque::new(),
@@ -139,8 +198,84 @@ impl Cluster {
         Self {
             pool,
             config,
+            type_names,
             instances,
         }
+    }
+
+    /// Adds an instance of the given pool type, available from
+    /// `available_from_us` (provisioning boundary).  Returns the new
+    /// instance's index.
+    ///
+    /// # Panics
+    /// Panics if `type_index` is out of range for the pool.
+    pub fn add_instance(&mut self, type_index: usize, available_from_us: TimeUs) -> usize {
+        let ty = &self.pool.types()[type_index];
+        let index = self.instances.len();
+        self.instances.push(SimInstance {
+            index,
+            type_index,
+            type_name: self.type_names[type_index].clone(),
+            is_base: ty.is_base,
+            lifecycle: InstanceLifecycle::Active,
+            available_from_us,
+            serving: None,
+            busy_until_us: 0,
+            local_queue: VecDeque::new(),
+        });
+        index
+    }
+
+    /// Requests graceful retirement of an instance: it stops accepting
+    /// dispatches immediately, finishes its local work, and transitions to
+    /// [`InstanceLifecycle::Retired`] once drained (immediately if idle).
+    /// Returns `true` if the instance is fully retired on return.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn retire_instance(&mut self, index: usize) -> bool {
+        let inst = &mut self.instances[index];
+        if inst.lifecycle == InstanceLifecycle::Retired {
+            return true;
+        }
+        if inst.is_idle() {
+            inst.lifecycle = InstanceLifecycle::Retired;
+            true
+        } else {
+            inst.lifecycle = InstanceLifecycle::Draining;
+            false
+        }
+    }
+
+    /// Marks a draining instance as retired if it has fully drained.  Called
+    /// by the engine after every completion.  Returns `true` if the instance
+    /// transitioned to retired in this call.
+    pub(crate) fn settle_drained(&mut self, index: usize) -> bool {
+        let inst = &mut self.instances[index];
+        if inst.lifecycle == InstanceLifecycle::Draining && inst.is_idle() {
+            inst.lifecycle = InstanceLifecycle::Retired;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Instance counts per pool type over dispatch-accepting instances
+    /// (active, including those still provisioning).  This is what a
+    /// reconfiguration driver diffs a target [`Config`] against.
+    pub fn active_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.pool.num_types()];
+        for inst in &self.instances {
+            if inst.accepts_dispatches() {
+                counts[inst.type_index] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The currently dispatch-accepting instances as a [`Config`].
+    pub fn active_config(&self) -> Config {
+        Config::new(self.active_counts())
     }
 
     /// The pool specification the cluster was built from.
@@ -148,7 +283,9 @@ impl Cluster {
         &self.pool
     }
 
-    /// The configuration the cluster realizes.
+    /// The configuration the cluster was *initially* instantiated with.  The
+    /// live population may have diverged through reconfiguration; see
+    /// [`Cluster::active_config`].
     pub fn config(&self) -> &Config {
         &self.config
     }
@@ -173,9 +310,14 @@ impl Cluster {
         &mut self.instances
     }
 
-    /// Hourly cost of the cluster.
+    /// Hourly cost of the cluster: every instance that has not fully retired
+    /// (active, provisioning or draining) is billed.
     pub fn hourly_cost(&self) -> f64 {
-        self.config.cost(&self.pool)
+        self.instances
+            .iter()
+            .filter(|inst| !inst.is_retired())
+            .map(|inst| self.pool.price(inst.type_index))
+            .sum()
     }
 }
 
@@ -194,12 +336,65 @@ mod tests {
     fn cluster_instantiates_counts_in_type_order() {
         let cluster = Cluster::new(pool(), Config::new(vec![2, 1, 0, 3]));
         assert_eq!(cluster.len(), 6);
-        assert_eq!(cluster.instances()[0].type_name, "g4dn.xlarge");
+        assert_eq!(&*cluster.instances()[0].type_name, "g4dn.xlarge");
         assert!(cluster.instances()[0].is_base);
-        assert_eq!(cluster.instances()[2].type_name, "c5n.2xlarge");
-        assert_eq!(cluster.instances()[5].type_name, "t3.xlarge");
+        assert_eq!(&*cluster.instances()[2].type_name, "c5n.2xlarge");
+        assert_eq!(&*cluster.instances()[5].type_name, "t3.xlarge");
         assert!(cluster.instances().iter().all(|i| i.is_idle()));
+        assert!(cluster.instances().iter().all(|i| i.accepts_dispatches()));
         assert!((cluster.hourly_cost() - (2.0 * 0.526 + 0.432 + 3.0 * 0.1664)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn type_names_are_interned_across_instances() {
+        let cluster = Cluster::new(pool(), Config::new(vec![2, 0, 0, 0]));
+        let a = &cluster.instances()[0].type_name;
+        let b = &cluster.instances()[1].type_name;
+        assert!(Arc::ptr_eq(a, b), "same type must share one allocation");
+    }
+
+    #[test]
+    fn add_instance_appends_with_provisioning_boundary() {
+        let mut cluster = Cluster::new(pool(), Config::new(vec![1, 0, 0, 0]));
+        let cost_before = cluster.hourly_cost();
+        let idx = cluster.add_instance(2, 500_000);
+        assert_eq!(idx, 1);
+        let inst = &cluster.instances()[idx];
+        assert_eq!(&*inst.type_name, "r5n.large");
+        assert_eq!(inst.available_from_us, 500_000);
+        assert!(inst.accepts_dispatches());
+        assert!(cluster.hourly_cost() > cost_before);
+        assert_eq!(cluster.active_counts(), vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn idle_instance_retires_immediately_and_stops_billing() {
+        let mut cluster = Cluster::new(pool(), Config::new(vec![2, 0, 0, 0]));
+        assert!(cluster.retire_instance(1));
+        assert!(cluster.instances()[1].is_retired());
+        assert_eq!(cluster.active_counts(), vec![1, 0, 0, 0]);
+        assert!((cluster.hourly_cost() - 0.526).abs() < 1e-9);
+        // Retiring again is a no-op.
+        assert!(cluster.retire_instance(1));
+    }
+
+    #[test]
+    fn busy_instance_drains_before_retiring() {
+        let mut cluster = Cluster::new(pool(), Config::new(vec![1, 0, 0, 0]));
+        cluster.instances_mut()[0].serving = Some((Query::new(0, 5, 0), 0));
+        assert!(!cluster.retire_instance(0));
+        let inst = &cluster.instances()[0];
+        assert_eq!(inst.lifecycle, InstanceLifecycle::Draining);
+        assert!(!inst.accepts_dispatches());
+        assert!(!inst.is_retired());
+        // Still billed while draining.
+        assert!((cluster.hourly_cost() - 0.526).abs() < 1e-9);
+        // Not drained yet: settle keeps it draining.
+        assert!(!cluster.settle_drained(0));
+        cluster.instances_mut()[0].serving = None;
+        assert!(cluster.settle_drained(0));
+        assert!(cluster.instances()[0].is_retired());
+        assert_eq!(cluster.hourly_cost(), 0.0);
     }
 
     #[test]

@@ -26,6 +26,27 @@
 //! [`SimEngine::recompute_views`]) — it is the reference against which
 //! determinism and the incremental views are tested, and the baseline for
 //! the `simulator` Criterion bench.
+//!
+//! # Online reconfiguration
+//!
+//! The engine is not a closed trace replayer: an external driver can observe
+//! every event and mutate the cluster mid-run.  Two mechanisms exist:
+//!
+//! * **Stepping** — [`SimEngine::step_event`] processes one event and returns
+//!   an owned [`EngineEvent`] describing it; between steps the driver may
+//!   call [`SimEngine::add_instance`] / [`SimEngine::retire_instance`] (or
+//!   [`SimEngine::apply`] with [`ClusterAction`]s).  This is how
+//!   `kairos_core::ServingSystem` runs the Kairos controller in the loop.
+//! * **Hooks** — [`SimEngine::run_with_hook`] drives the run to completion,
+//!   handing every event (plus a cluster snapshot) to an [`EngineHook`]
+//!   whose returned actions are applied before the next event.
+//!
+//! Added instances come online after a provisioning delay (a dedicated
+//! `Ready` event re-consults the scheduler the instant capacity appears);
+//! retired instances drain gracefully and never receive new dispatches.  The
+//! incremental `free_at_us` views stay bit-identical to a from-scratch
+//! recomputation across any interleaving of reconfiguration actions — this
+//! invariant is enforced by `tests/proptest_reconfig.rs`.
 
 use crate::cluster::{Cluster, ServiceSpec};
 use crate::scheduler::{Dispatch, InstanceView, Scheduler, SchedulingContext};
@@ -36,6 +57,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Options controlling one simulation run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -48,7 +70,68 @@ pub struct SimulationOptions {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum EventKind {
     Arrival(Query),
-    Completion { instance_index: usize },
+    Completion {
+        instance_index: usize,
+    },
+    /// A provisioned instance comes online: no state change beyond the
+    /// scheduler consultation that lets waiting queries flow to it.
+    Ready {
+        instance_index: usize,
+    },
+}
+
+/// Owned description of one processed engine event, handed to external
+/// drivers (the serving loop, autoscalers, hooks).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// A query arrived at the central queue.
+    Arrival {
+        /// The arriving query.
+        query: Query,
+    },
+    /// A query finished service.
+    Completion {
+        /// The completion record (latency, instance, type).
+        record: QueryRecord,
+        /// Type name of the serving instance.
+        type_name: Arc<str>,
+    },
+    /// A previously added instance finished provisioning and is now live.
+    InstanceReady {
+        /// Index of the instance that came online.
+        instance_index: usize,
+    },
+}
+
+/// A cluster mutation requested by an external driver or [`EngineHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterAction {
+    /// Add an instance of the given pool type; it comes online after the
+    /// provisioning delay.
+    AddInstance {
+        /// Index of the instance type within the pool.
+        type_index: usize,
+        /// Time between the action and the instance accepting work.
+        provisioning_delay_us: TimeUs,
+    },
+    /// Gracefully retire the instance at the given index.
+    RetireInstance {
+        /// Index of the instance within the cluster.
+        instance_index: usize,
+    },
+}
+
+/// Observer-and-actuator interface for [`SimEngine::run_with_hook`]: after
+/// every event the hook sees what happened plus the current cluster state,
+/// and returns cluster actions the engine applies before the next event.
+pub trait EngineHook {
+    /// Called after every processed event.  `now_us` is the engine clock.
+    fn on_event(
+        &mut self,
+        now_us: TimeUs,
+        event: &EngineEvent,
+        cluster: &Cluster,
+    ) -> Vec<ClusterAction>;
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,7 +173,7 @@ fn build_views_naive(cluster: &Cluster, service: &ServiceSpec, now: TimeUs) -> V
             let mut free_at = if inst.serving.is_some() {
                 inst.busy_until_us.max(now)
             } else {
-                now
+                now.max(inst.available_from_us)
             };
             // Account for the nominal service time of locally queued work.
             for q in &inst.local_queue {
@@ -101,6 +184,7 @@ fn build_views_naive(cluster: &Cluster, service: &ServiceSpec, now: TimeUs) -> V
                 type_index: inst.type_index,
                 type_name: inst.type_name.clone(),
                 is_base: inst.is_base,
+                accepting: inst.accepts_dispatches(),
                 free_at_us: free_at,
                 backlog: inst.backlog(),
             }
@@ -236,14 +320,21 @@ impl<'a> SimEngine<'a> {
     /// Processes the next event, consulting the scheduler afterwards.
     /// Returns `false` once the event heap is exhausted.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(event)) = self.heap.pop() else {
-            return false;
-        };
+        self.step_event().is_some()
+    }
+
+    /// Processes the next event and returns an owned description of it, so an
+    /// external driver can observe arrivals/completions and reconfigure the
+    /// cluster between steps.  Returns `None` once the event heap is
+    /// exhausted.
+    pub fn step_event(&mut self) -> Option<EngineEvent> {
+        let Reverse(event) = self.heap.pop()?;
         self.now = event.time;
         self.last_event = self.last_event.max(self.now);
-        match event.kind {
+        let observed = match event.kind {
             EventKind::Arrival(query) => {
                 self.central_queue.push(query);
+                EngineEvent::Arrival { query }
             }
             EventKind::Completion { instance_index } => {
                 let (query, start_us, type_index, type_name) = {
@@ -254,7 +345,7 @@ impl<'a> SimEngine<'a> {
                         .expect("completion event for idle instance");
                     (query, start_us, inst.type_index, inst.type_name.clone())
                 };
-                self.records.push(QueryRecord {
+                let record = QueryRecord {
                     id: query.id,
                     batch_size: query.batch_size,
                     arrival_us: query.arrival_us,
@@ -262,21 +353,89 @@ impl<'a> SimEngine<'a> {
                     completion_us: self.now,
                     instance_index,
                     type_index,
-                });
+                };
+                self.records.push(record);
                 let service_ms = (self.now - start_us) as f64 / 1000.0;
                 self.scheduler
                     .on_completion(&type_name, query.batch_size, service_ms);
-                // Start the next locally queued query, if any.
+                // Start the next locally queued query, if any; a draining
+                // instance that just emptied transitions to retired.
                 self.start_next(instance_index);
+                self.cluster.settle_drained(instance_index);
+                EngineEvent::Completion { record, type_name }
+            }
+            EventKind::Ready { instance_index } => EngineEvent::InstanceReady { instance_index },
+        };
+        self.invoke_scheduler();
+        Some(observed)
+    }
+
+    /// Adds an instance of the given pool type to the live cluster.  The
+    /// instance is visible to the scheduler immediately but cannot start
+    /// serving until `provisioning_delay_us` has elapsed; a `Ready` event
+    /// re-consults the scheduler the moment it comes online.  Returns the new
+    /// instance's index.
+    pub fn add_instance(&mut self, type_index: usize, provisioning_delay_us: TimeUs) -> usize {
+        let ready_at = self.now + provisioning_delay_us;
+        let instance_index = self.cluster.add_instance(type_index, ready_at);
+        let inst = &self.cluster.instances()[instance_index];
+        self.views.push(InstanceView {
+            instance_index,
+            type_index,
+            type_name: inst.type_name.clone(),
+            is_base: inst.is_base,
+            accepting: true,
+            free_at_us: ready_at.max(self.now),
+            backlog: 0,
+        });
+        self.local_nominal_us.push(0);
+        self.heap.push(Reverse(Event {
+            time: ready_at,
+            seq: self.seq,
+            kind: EventKind::Ready { instance_index },
+        }));
+        self.seq += 1;
+        instance_index
+    }
+
+    /// Gracefully retires an instance: it accepts no further dispatches and
+    /// transitions to retired once its local queue drains (immediately if
+    /// idle).  Queries already dispatched to it are still served.
+    pub fn retire_instance(&mut self, instance_index: usize) {
+        self.cluster.retire_instance(instance_index);
+        self.views[instance_index].accepting = false;
+    }
+
+    /// Applies a [`ClusterAction`] (driver convenience).
+    pub fn apply(&mut self, action: ClusterAction) {
+        match action {
+            ClusterAction::AddInstance {
+                type_index,
+                provisioning_delay_us,
+            } => {
+                self.add_instance(type_index, provisioning_delay_us);
+            }
+            ClusterAction::RetireInstance { instance_index } => {
+                self.retire_instance(instance_index);
             }
         }
-        self.invoke_scheduler();
-        true
     }
 
     /// Runs the simulation to completion and returns the report.
     pub fn run(mut self) -> SimReport {
         while self.step() {}
+        self.report()
+    }
+
+    /// Runs the simulation to completion with a reconfiguration hook in the
+    /// loop: after every event the hook observes what happened and may return
+    /// cluster actions, which are applied before the next event.
+    pub fn run_with_hook(mut self, hook: &mut dyn EngineHook) -> SimReport {
+        while let Some(event) = self.step_event() {
+            for action in hook.on_event(self.now, &event, &self.cluster) {
+                self.apply(action);
+            }
+        }
         self.report()
     }
 
@@ -320,7 +479,8 @@ impl<'a> SimEngine<'a> {
         }
     }
 
-    /// Starts the next locally queued query on an idle instance.
+    /// Starts the next locally queued query on an idle instance.  Service
+    /// cannot begin before the instance's provisioning boundary.
     fn start_next(&mut self, instance_index: usize) {
         let inst = &mut self.cluster.instances_mut()[instance_index];
         debug_assert!(inst.serving.is_none(), "instance already serving a query");
@@ -332,8 +492,9 @@ impl<'a> SimEngine<'a> {
             let service_us =
                 self.service
                     .service_time_us(&inst.type_name, query.batch_size, &mut self.rng);
-            inst.serving = Some((query, self.now));
-            inst.busy_until_us = self.now + service_us;
+            let start_us = self.now.max(inst.available_from_us);
+            inst.serving = Some((query, start_us));
+            inst.busy_until_us = start_us + service_us;
             self.heap.push(Reverse(Event {
                 time: inst.busy_until_us,
                 seq: self.seq,
@@ -343,18 +504,20 @@ impl<'a> SimEngine<'a> {
         }
     }
 
-    /// Refreshes `free_at_us` / `backlog` of every view from the incremental
-    /// counters — O(instances) arithmetic, no queue walks, no allocation.
+    /// Refreshes `free_at_us` / `backlog` / `accepting` of every view from
+    /// the incremental counters — O(instances) arithmetic, no queue walks, no
+    /// allocation.
     fn refresh_views(&mut self) {
         let now = self.now;
         for (view, inst) in self.views.iter_mut().zip(self.cluster.instances()) {
             let base = if inst.serving.is_some() {
                 inst.busy_until_us.max(now)
             } else {
-                now
+                now.max(inst.available_from_us)
             };
             view.free_at_us = base + self.local_nominal_us[inst.index];
             view.backlog = inst.backlog();
+            view.accepting = inst.accepts_dispatches();
         }
     }
 
@@ -372,12 +535,14 @@ impl<'a> SimEngine<'a> {
         };
         let mut plan: Vec<Dispatch> = self.scheduler.schedule(&ctx);
 
-        // Validate: indices in range, each query dispatched at most once.
+        // Validate: indices in range, each query dispatched at most once, and
+        // no dispatches to draining/retired instances.
         let mut dispatched = vec![false; self.central_queue.len()];
-        let cluster_len = self.cluster.len();
+        let cluster = &self.cluster;
         plan.retain(|d| {
             let valid = d.query_index < dispatched.len()
-                && d.instance_index < cluster_len
+                && d.instance_index < cluster.len()
+                && cluster.instances()[d.instance_index].accepts_dispatches()
                 && !dispatched[d.query_index];
             if valid {
                 dispatched[d.query_index] = true;
@@ -489,8 +654,9 @@ pub fn run_trace_naive(
         debug_assert!(inst.serving.is_none(), "instance already serving a query");
         if let Some(query) = inst.local_queue.pop_front() {
             let service_us = service.service_time_us(&inst.type_name, query.batch_size, rng);
-            inst.serving = Some((query, now));
-            inst.busy_until_us = now + service_us;
+            let start_us = now.max(inst.available_from_us);
+            inst.serving = Some((query, start_us));
+            inst.busy_until_us = start_us + service_us;
             heap.push(Reverse(Event {
                 time: inst.busy_until_us,
                 seq: *seq,
@@ -525,11 +691,13 @@ pub fn run_trace_naive(
         };
         let mut plan: Vec<Dispatch> = scheduler.schedule(&ctx);
 
-        // Validate: indices in range, each query dispatched at most once.
+        // Validate: indices in range, each query dispatched at most once, no
+        // dispatches to non-accepting instances (mirrors the engine).
         let mut seen = vec![false; central_queue.len()];
         plan.retain(|d| {
             let valid = d.query_index < central_queue.len()
                 && d.instance_index < cluster.len()
+                && cluster.instances()[d.instance_index].accepts_dispatches()
                 && !seen[d.query_index];
             if valid {
                 seen[d.query_index] = true;
@@ -597,6 +765,8 @@ pub fn run_trace_naive(
                     now,
                 );
             }
+            // The naive replayer never reconfigures, so no Ready events exist.
+            EventKind::Ready { .. } => unreachable!("naive path has no provisioning"),
         }
         invoke_scheduler(
             &mut cluster,
@@ -651,6 +821,7 @@ pub fn run_trace_naive(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cluster::InstanceLifecycle;
     use crate::scheduler::FcfsScheduler;
     use kairos_models::{calibration::paper_calibration, ec2, mlmodel::ModelKind};
     use kairos_workload::TraceSpec;
@@ -896,6 +1067,160 @@ mod tests {
         assert_eq!(inst.serving.unwrap().0.id, 0);
         let local: Vec<u64> = inst.local_queue.iter().map(|q| q.id).collect();
         assert_eq!(local, vec![2, 4]);
+    }
+
+    #[test]
+    fn added_instance_waits_for_provisioning_before_serving() {
+        let (pool, service) = setup();
+        // Empty-ish cluster: one GPU, plus a burst that takes it ~220 ms to
+        // drain alone (Wnd batch 900 is ~18 ms on a g4dn).
+        let config = Config::new(vec![1, 0, 0, 0]);
+        let queries: Vec<Query> = (0..12).map(|i| Query::new(i, 900, 1_000)).collect();
+        let trace = Trace::from_queries(queries);
+        let mut scheduler = FcfsScheduler::new();
+        let mut engine = SimEngine::new(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut scheduler,
+            &SimulationOptions::default(),
+        );
+        // Process the arrivals, then add a second GPU with a 50 ms delay.
+        for _ in 0..12 {
+            assert!(engine.step());
+        }
+        let added = engine.add_instance(0, 50_000);
+        assert_eq!(added, 1);
+        assert_eq!(
+            engine.cluster().instances()[added].available_from_us,
+            51_000
+        );
+        let report = engine.run();
+        assert_eq!(report.completed(), 12);
+        // Every query served by the added instance started at or after its
+        // provisioning boundary.
+        for r in report.records.iter().filter(|r| r.instance_index == added) {
+            assert!(r.start_us >= 51_000, "start {} before ready", r.start_us);
+        }
+        // The added instance actually took work off the overloaded GPU.
+        assert!(
+            report.records.iter().any(|r| r.instance_index == added),
+            "added capacity must be used"
+        );
+    }
+
+    #[test]
+    fn retired_instance_drains_gracefully_and_takes_no_new_work() {
+        let (pool, service) = setup();
+        let config = Config::new(vec![2, 0, 0, 0]);
+        // Two bursts: one before retirement, one after.
+        let mut queries: Vec<Query> = (0..4).map(|i| Query::new(i, 500, 1_000)).collect();
+        queries.extend((4..8).map(|i| Query::new(i, 500, 400_000)));
+        let trace = Trace::from_queries(queries);
+        let mut scheduler = FcfsScheduler::new();
+        let mut engine = SimEngine::new(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut scheduler,
+            &SimulationOptions::default(),
+        );
+        // Process the first burst, then retire instance 1 while it is busy.
+        for _ in 0..4 {
+            assert!(engine.step());
+        }
+        engine.retire_instance(1);
+        assert_eq!(
+            engine.cluster().instances()[1].lifecycle,
+            InstanceLifecycle::Draining
+        );
+        let report = engine.run();
+        assert_eq!(report.completed(), 8);
+        // The retiring instance finished what it had but nothing that arrived
+        // after retirement was requested.
+        for r in report.records.iter().filter(|r| r.instance_index == 1) {
+            assert!(
+                r.arrival_us < 400_000,
+                "query {} dispatched to a draining instance",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn retiring_an_idle_instance_is_immediate() {
+        let (pool, service) = setup();
+        let config = Config::new(vec![2, 0, 0, 0]);
+        let trace = Trace::from_queries(vec![Query::new(0, 10, 100)]);
+        let mut scheduler = FcfsScheduler::new();
+        let mut engine = SimEngine::new(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut scheduler,
+            &SimulationOptions::default(),
+        );
+        engine.retire_instance(1);
+        assert!(engine.cluster().instances()[1].is_retired());
+        let report = engine.run();
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.records[0].instance_index, 0);
+    }
+
+    /// A hook that scales out on the first arrival and retires the original
+    /// instance once the cluster has grown — exercising `run_with_hook`.
+    struct ScaleOutHook {
+        added: bool,
+    }
+
+    impl EngineHook for ScaleOutHook {
+        fn on_event(
+            &mut self,
+            _now_us: TimeUs,
+            event: &EngineEvent,
+            cluster: &Cluster,
+        ) -> Vec<ClusterAction> {
+            match event {
+                EngineEvent::Arrival { .. } if !self.added => {
+                    self.added = true;
+                    vec![ClusterAction::AddInstance {
+                        type_index: 0,
+                        provisioning_delay_us: 10_000,
+                    }]
+                }
+                EngineEvent::InstanceReady { .. } => {
+                    assert!(cluster.len() > 1);
+                    vec![ClusterAction::RetireInstance { instance_index: 0 }]
+                }
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn hook_can_grow_and_shrink_the_cluster_mid_run() {
+        let (pool, service) = setup();
+        let config = Config::new(vec![1, 0, 0, 0]);
+        let trace = TraceSpec::production(100.0, 1.0, 11).generate();
+        let offered = trace.len();
+        let mut scheduler = FcfsScheduler::new();
+        let engine = SimEngine::new(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut scheduler,
+            &SimulationOptions::default(),
+        );
+        let mut hook = ScaleOutHook { added: false };
+        let report = engine.run_with_hook(&mut hook);
+        assert_eq!(report.completed() + report.unfinished.len(), offered);
+        // After the hand-over, all late traffic runs on the added instance.
+        let last = report.records.iter().max_by_key(|r| r.completion_us);
+        assert_eq!(last.unwrap().instance_index, 1);
     }
 
     #[test]

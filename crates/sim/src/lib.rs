@@ -9,12 +9,14 @@
 //! deterministic near-linear service latency, Poisson arrivals, and QoS
 //! accounting on the 99th-percentile tail (see DESIGN.md, "Substitutions").
 //!
-//! * [`cluster`] — instances, clusters, and the served model ([`ServiceSpec`]).
+//! * [`cluster`] — instances, clusters, and the served model ([`ServiceSpec`]);
+//!   clusters reconfigure at run time (provisioning, graceful draining).
 //! * [`scheduler`] — the policy interface ([`Scheduler`]) plus a naive FCFS
 //!   baseline.
 //! * [`engine`] — the event loop: [`SimEngine`] with incremental scheduler
-//!   views, the [`engine::run_trace`] convenience wrapper, and the preserved
-//!   [`engine::run_trace_naive`] reference.
+//!   views, online reconfiguration ([`EngineEvent`] stepping and
+//!   [`EngineHook`]s), the [`engine::run_trace`] convenience wrapper, and the
+//!   preserved [`engine::run_trace_naive`] reference.
 //! * [`context`] — [`SimContext`], the shared-input bundle for parallel
 //!   configuration sweeps.
 //! * [`stats`] — per-query records and QoS/throughput metrics.
@@ -52,8 +54,11 @@ pub mod stats;
 pub use capacity::{
     allowable_throughput, allowable_throughput_many, CapacityOptions, CapacityResult,
 };
-pub use cluster::{Cluster, ServiceSpec, SimInstance};
+pub use cluster::{Cluster, InstanceLifecycle, ServiceSpec, SimInstance};
 pub use context::SimContext;
-pub use engine::{run_trace, run_trace_naive, SimEngine, SimulationOptions};
+pub use engine::{
+    run_trace, run_trace_naive, ClusterAction, EngineEvent, EngineHook, SimEngine,
+    SimulationOptions,
+};
 pub use scheduler::{Dispatch, FcfsScheduler, InstanceView, Scheduler, SchedulingContext};
 pub use stats::{QueryRecord, SimReport, UnfinishedQuery};

@@ -10,6 +10,7 @@
 //! instances) and per-instance-queue policies (Clockwork) to be expressed.
 
 use kairos_workload::{Query, TimeUs};
+use std::sync::Arc;
 
 /// Snapshot of one simulated instance as seen by a scheduler.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,13 +19,19 @@ pub struct InstanceView {
     pub instance_index: usize,
     /// Index of the instance's type within the pool specification.
     pub type_index: usize,
-    /// Cloud name of the instance type (e.g. `"g4dn.xlarge"`).
-    pub type_name: String,
+    /// Cloud name of the instance type (e.g. `"g4dn.xlarge"`).  Interned per
+    /// type: cloning the view copies a pointer, not the string.
+    pub type_name: Arc<str>,
     /// Whether the instance's type is the pool's base type.
     pub is_base: bool,
+    /// Whether the instance accepts new dispatches.  `false` for draining and
+    /// retired instances; the engine silently drops dispatches aimed at them,
+    /// so well-behaved policies should skip non-accepting views.
+    pub accepting: bool,
     /// Virtual time at which the instance will have drained its current query
     /// and everything already sitting in its local queue.  Equal to `now` when
-    /// the instance is idle.
+    /// the instance is idle (or to its provisioning boundary when the
+    /// instance has not come online yet).
     pub free_at_us: TimeUs,
     /// Number of queries currently queued locally at the instance (including
     /// the one being served).
@@ -32,9 +39,10 @@ pub struct InstanceView {
 }
 
 impl InstanceView {
-    /// Whether the instance is idle right now.
+    /// Whether the instance is idle and dispatchable right now.  Draining and
+    /// retired instances are never idle in this sense.
     pub fn is_idle(&self, now_us: TimeUs) -> bool {
-        self.backlog == 0 && self.free_at_us <= now_us
+        self.accepting && self.backlog == 0 && self.free_at_us <= now_us
     }
 
     /// Remaining busy time from `now` until the instance frees up.
@@ -144,6 +152,7 @@ mod tests {
                 "r5n.large".into()
             },
             is_base,
+            accepting: true,
             free_at_us: free_at,
             backlog: if free_at > 0 { 1 } else { 0 },
         }
@@ -157,6 +166,10 @@ mod tests {
         assert!(!busy.is_idle(10));
         assert_eq!(busy.remaining_us(10), 40);
         assert_eq!(busy.remaining_us(60), 0);
+        // A draining instance is never idle, even when free.
+        let mut draining = view(2, true, 0);
+        draining.accepting = false;
+        assert!(!draining.is_idle(10));
     }
 
     #[test]

@@ -167,6 +167,83 @@ impl SimReport {
             / 1000.0
     }
 
+    /// Windowed QoS-violation rate over virtual time, **by arrival**: bucket
+    /// `i` covers arrivals in `[i * bucket_us, (i+1) * bucket_us)` and holds
+    /// the fraction of them that violated QoS — completed too late, or never
+    /// completed despite being in the system longer than the target (empty
+    /// buckets report 0).  Attributing violations to the arrival instant
+    /// answers the adaptation question "how were queries *offered at time t*
+    /// served?": a load shift shows up as a spike, recovery as its decay,
+    /// and stragglers from the transient do not smear into later buckets.
+    pub fn violation_timeline(&self, bucket_us: TimeUs) -> Vec<(TimeUs, f64)> {
+        assert!(bucket_us > 0, "bucket width must be positive");
+        let buckets = (self.horizon_us / bucket_us + 1) as usize;
+        let mut late = vec![0usize; buckets];
+        let mut total = vec![0usize; buckets];
+        for r in &self.records {
+            let b = (r.arrival_us / bucket_us) as usize;
+            if b < buckets {
+                total[b] += 1;
+                if !r.within_qos(self.qos_us) {
+                    late[b] += 1;
+                }
+            }
+        }
+        for u in &self.unfinished {
+            let b = (u.arrival_us / bucket_us) as usize;
+            if b < buckets {
+                total[b] += 1;
+                if self.horizon_us.saturating_sub(u.arrival_us) > self.qos_us {
+                    late[b] += 1;
+                }
+            }
+        }
+        (0..buckets)
+            .map(|b| {
+                let rate = if total[b] == 0 {
+                    0.0
+                } else {
+                    late[b] as f64 / total[b] as f64
+                };
+                (b as TimeUs * bucket_us, rate)
+            })
+            .collect()
+    }
+
+    /// Time the system needed to restore QoS after a disruption at
+    /// `boundary_us`: the smallest `t >= boundary_us` such that every bucket
+    /// of the [violation timeline](Self::violation_timeline) from `t` through
+    /// the last arrival stays at or below `tolerance`.  Buckets after the
+    /// last arrival carry no evidence and are ignored — a run cannot
+    /// "recover" into silence.  Returns the recovery delay `t - boundary_us`,
+    /// or `None` if the system never stabilizes within the run.
+    pub fn time_to_recover(
+        &self,
+        boundary_us: TimeUs,
+        bucket_us: TimeUs,
+        tolerance: f64,
+    ) -> Option<TimeUs> {
+        let last_arrival = self
+            .records
+            .iter()
+            .map(|r| r.arrival_us)
+            .chain(self.unfinished.iter().map(|u| u.arrival_us))
+            .max()?;
+        let timeline = self.violation_timeline(bucket_us);
+        let mut recovered_from: Option<TimeUs> = None;
+        for &(start, rate) in timeline
+            .iter()
+            .filter(|(s, _)| *s >= boundary_us && *s <= last_arrival)
+        {
+            if rate <= tolerance {
+                recovered_from.get_or_insert(start);
+            } else {
+                recovered_from = None;
+            }
+        }
+        recovered_from.map(|t| t - boundary_us)
+    }
+
     /// Number of completed queries served by each instance-type index.
     pub fn per_type_completions(&self, num_types: usize) -> Vec<usize> {
         let mut counts = vec![0usize; num_types];
@@ -271,6 +348,49 @@ mod tests {
         assert_eq!(rep.p99_latency_us(), 0);
         assert_eq!(rep.violation_fraction(), 0.0);
         assert!(rep.meets_qos(0.0));
+    }
+
+    #[test]
+    fn violation_timeline_buckets_by_arrival_and_counts_unfinished() {
+        let rep = report(
+            vec![
+                record(1, 0, 0, 5_000),               // on time, bucket 0
+                record(2, 100_000, 100_000, 500_000), // late, bucket 1
+                record(3, 150_000, 150_000, 160_000), // on time, bucket 1
+            ],
+            vec![UnfinishedQuery {
+                id: 4,
+                batch_size: 5,
+                arrival_us: 120_000, // stale by the 1s horizon: violation
+            }],
+            10_000,
+        );
+        let timeline = rep.violation_timeline(100_000);
+        assert_eq!(timeline[0], (0, 0.0));
+        assert_eq!(timeline[1], (100_000, 2.0 / 3.0));
+        // Later buckets have no arrivals: rate 0.
+        assert!(timeline[2..].iter().all(|&(_, v)| v == 0.0));
+    }
+
+    #[test]
+    fn time_to_recover_finds_the_stable_suffix() {
+        // Violations in buckets 1 and 3 (arrival times 150k and 350k), clean
+        // after that: recovery from the 100k boundary is at bucket 4.
+        let rep = report(
+            vec![
+                record(1, 150_000, 150_000, 600_000),
+                record(2, 250_000, 250_000, 255_000),
+                record(3, 350_000, 350_000, 800_000),
+                record(4, 450_000, 450_000, 455_000),
+                record(5, 550_000, 550_000, 555_000),
+            ],
+            vec![],
+            10_000,
+        );
+        assert_eq!(rep.time_to_recover(100_000, 100_000, 0.0), Some(300_000));
+        // Never clean enough at an impossible tolerance over dirty buckets.
+        let all_late = report(vec![record(1, 950_000, 950_000, 999_999)], vec![], 10);
+        assert_eq!(all_late.time_to_recover(900_000, 100_000, 0.0), None);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Property-based tests of the reconfiguration invariants.
+//!
+//! For random traces and random interleavings of `add_instance` /
+//! `retire_instance` actions injected at random points of the event stream:
+//!
+//! 1. the incrementally maintained scheduler views stay **bit-identical** to
+//!    the views recomputed from scratch after every event,
+//! 2. retired (and draining) instances never receive a dispatch after
+//!    retirement was requested,
+//! 3. every offered query is either completed or reported unfinished, and
+//! 4. once the run ends, every drained instance has actually transitioned to
+//!    the retired lifecycle state.
+
+use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
+use kairos_sim::{
+    Dispatch, Scheduler, SchedulingContext, ServiceSpec, SimEngine, SimulationOptions,
+};
+use kairos_workload::TraceSpec;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// One reconfiguration action at a given event ordinal.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Add { type_index: usize, delay_us: u64 },
+    Retire { victim_seed: usize },
+}
+
+fn actions() -> impl Strategy<Value = Vec<(usize, Action)>> {
+    prop::collection::vec(
+        (
+            0usize..400,                // event ordinal the action fires after
+            0usize..2,                  // discriminant: add or retire
+            (0usize..4, 0u64..800_000), // type index, provisioning delay
+            0usize..64,                 // victim selector seed
+        ),
+        0..12,
+    )
+    .prop_map(|raw| {
+        let mut out: Vec<(usize, Action)> = raw
+            .into_iter()
+            .map(|(at, kind, (type_index, delay_us), victim_seed)| {
+                let action = if kind == 0 {
+                    Action::Add {
+                        type_index,
+                        delay_us,
+                    }
+                } else {
+                    Action::Retire { victim_seed }
+                };
+                (at, action)
+            })
+            .collect();
+        out.sort_by_key(|(at, _)| *at);
+        out
+    })
+}
+
+/// A queue-building policy (earliest projected free time) so local queues
+/// gain real depth — the regime where incremental-view bugs would surface.
+#[derive(Default)]
+struct EarliestFreeScheduler;
+
+impl Scheduler for EarliestFreeScheduler {
+    fn name(&self) -> &'static str {
+        "earliest-free"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+        let mut free_at: Vec<Option<u64>> = ctx
+            .instances
+            .iter()
+            .map(|i| i.accepting.then_some(i.free_at_us))
+            .collect();
+        ctx.queued
+            .iter()
+            .enumerate()
+            .filter_map(|(query_index, _)| {
+                let slot = free_at
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(slot, t)| t.map(|t| (slot, t)))
+                    .min_by_key(|&(_, t)| t)
+                    .map(|(slot, _)| slot)?;
+                *free_at.get_mut(slot).unwrap() = free_at[slot].map(|t| t + 10_000);
+                Some(Dispatch {
+                    query_index,
+                    instance_index: ctx.instances[slot].instance_index,
+                })
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reconfig_preserves_views_and_never_dispatches_to_retired(
+        seed in 1u64..1000,
+        plan in actions(),
+    ) {
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+        let trace = TraceSpec::production(800.0, 0.5, seed).generate();
+        let offered = trace.len();
+        let mut scheduler = EarliestFreeScheduler;
+        let mut engine = SimEngine::new(
+            &pool,
+            &Config::new(vec![1, 1, 1, 0]),
+            &service,
+            &trace,
+            &mut scheduler,
+            &SimulationOptions::default(),
+        );
+
+        let mut next_action = 0usize;
+        let mut event_ordinal = 0usize;
+        // For every instance with retirement requested: the queries it held
+        // at that moment.  Anything it serves later must come from this set.
+        let mut allowed_after_retire: Vec<(usize, HashSet<u64>)> = Vec::new();
+
+        while engine.step() {
+            event_ordinal += 1;
+
+            // Inject any actions scheduled at this ordinal.
+            while next_action < plan.len() && plan[next_action].0 <= event_ordinal {
+                match plan[next_action].1 {
+                    Action::Add { type_index, delay_us } => {
+                        engine.add_instance(type_index, delay_us);
+                    }
+                    Action::Retire { victim_seed } => {
+                        let candidates: Vec<usize> = engine
+                            .cluster()
+                            .instances()
+                            .iter()
+                            .filter(|i| i.accepts_dispatches())
+                            .map(|i| i.index)
+                            .collect();
+                        // Keep at least one live instance so the run drains.
+                        if candidates.len() > 1 {
+                            let victim = candidates[victim_seed % candidates.len()];
+                            let held: HashSet<u64> = {
+                                let inst = &engine.cluster().instances()[victim];
+                                inst.local_queue
+                                    .iter()
+                                    .map(|q| q.id)
+                                    .chain(inst.serving.iter().map(|(q, _)| q.id))
+                                    .collect()
+                            };
+                            engine.retire_instance(victim);
+                            allowed_after_retire.push((victim, held));
+                        }
+                    }
+                }
+                next_action += 1;
+            }
+
+            // Invariant 1: incremental views == recomputed views, bit for bit.
+            let reference = engine.recompute_views();
+            prop_assert_eq!(engine.views(), &reference[..]);
+
+            // Invariant 2: non-accepting instances hold no query that was not
+            // already theirs when retirement was requested.
+            for (victim, held) in &allowed_after_retire {
+                let inst = &engine.cluster().instances()[*victim];
+                for q in inst
+                    .local_queue
+                    .iter()
+                    .map(|q| q.id)
+                    .chain(inst.serving.iter().map(|(q, _)| q.id))
+                {
+                    prop_assert!(
+                        held.contains(&q),
+                        "query {} dispatched to instance {} after retirement",
+                        q,
+                        victim
+                    );
+                }
+            }
+        }
+
+        // Invariant 4: draining finished for every drained instance.
+        for (victim, _) in &allowed_after_retire {
+            let inst = &engine.cluster().instances()[*victim];
+            prop_assert!(
+                inst.is_retired(),
+                "instance {} never settled to retired",
+                victim
+            );
+            prop_assert!(inst.is_idle());
+        }
+
+        // Invariant 3: conservation of queries.
+        let report = engine.report();
+        prop_assert_eq!(report.completed() + report.unfinished.len(), offered);
+    }
+}

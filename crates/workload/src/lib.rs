@@ -3,8 +3,9 @@
 //! Workload generation for the Kairos inference-serving reproduction:
 //! query types, batch-size distributions (production-like log-normal,
 //! Gaussian, uniform, empirical), Poisson/uniform/burst arrival processes,
-//! reproducible traces, and the online query monitor Kairos uses to estimate
-//! the batch-size mix (paper Sec. 5.2).
+//! reproducible traces, multi-phase non-stationary workloads (step changes,
+//! bursts, diurnal ramps — [`PhasedArrival`]), and the online query monitor
+//! Kairos uses to estimate the batch-size mix (paper Sec. 5.2).
 //!
 //! ```
 //! use kairos_workload::{TraceSpec, QueryMonitor};
@@ -26,11 +27,13 @@
 pub mod arrival;
 pub mod batch;
 pub mod monitor;
+pub mod phased;
 pub mod query;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use batch::BatchSizeDistribution;
 pub use monitor::{QueryMonitor, DEFAULT_WINDOW};
+pub use phased::{Phase, PhasedArrival};
 pub use query::{Query, TimeUs};
 pub use trace::{Trace, TraceSpec};

@@ -40,16 +40,23 @@ pub use kairos_workload as workload;
 
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
-    pub use kairos_baselines::{ClockworkScheduler, DrsScheduler, RibbonScheduler};
-    pub use kairos_core::{KairosController, KairosPlanner, KairosScheduler, ThroughputEstimator};
+    pub use kairos_baselines::{
+        static_overprovision, AutoscalerOptions, ClockworkScheduler, DrsScheduler,
+        ReactiveAutoscaler, RibbonScheduler,
+    };
+    pub use kairos_core::{
+        KairosController, KairosPlanner, KairosScheduler, ServingOptions, ServingSystem,
+        ThroughputEstimator,
+    };
     pub use kairos_models::{
         calibration::paper_calibration, ec2, Config, LatencyTable, ModelKind, PoolSpec,
     };
     pub use kairos_sim::{
-        allowable_throughput, allowable_throughput_many, run_trace, CapacityOptions, FcfsScheduler,
-        Scheduler, ServiceSpec, SimContext, SimEngine, SimulationOptions,
+        allowable_throughput, allowable_throughput_many, run_trace, CapacityOptions, ClusterAction,
+        EngineEvent, EngineHook, FcfsScheduler, Scheduler, ServiceSpec, SimContext, SimEngine,
+        SimulationOptions,
     };
     pub use kairos_workload::{
-        ArrivalProcess, BatchSizeDistribution, QueryMonitor, Trace, TraceSpec,
+        ArrivalProcess, BatchSizeDistribution, Phase, PhasedArrival, QueryMonitor, Trace, TraceSpec,
     };
 }
