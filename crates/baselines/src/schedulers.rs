@@ -12,15 +12,26 @@
 //!   and sends each query to the instance that finishes it earliest *without*
 //!   violating QoS (falling back to earliest-completion when no instance can
 //!   meet the target).  Each instance keeps its own FCFS queue.
+//!
+//! All three implement the scratch-aware [`Scheduler::schedule_into`] hot
+//! path: dispatch decisions are written into the engine's reusable buffer,
+//! per-round working sets live in scheduler-owned scratch vectors, and
+//! latency predictions resolve through per-type-index profile caches — so a
+//! steady-state scheduling round performs no allocation and no string
+//! hashing.
 
-use kairos_models::{latency::LatencyTable, mlmodel::ModelKind};
+use kairos_models::{
+    latency::{LatencyProfile, LatencyTable},
+    mlmodel::ModelKind,
+};
 use kairos_sim::{Dispatch, FcfsScheduler, Scheduler, SchedulingContext};
+use std::sync::Arc;
 
 /// Ribbon's query distribution: FCFS preferring base instances.
 ///
 /// This is behaviourally identical to the simulator's naive FCFS policy; the
 /// wrapper exists so reports and figures carry the scheme's name.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub struct RibbonScheduler {
     inner: FcfsScheduler,
 }
@@ -42,6 +53,10 @@ impl Scheduler for RibbonScheduler {
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
         self.inner.schedule(ctx)
     }
+
+    fn schedule_into(&mut self, ctx: &SchedulingContext<'_>, out: &mut Vec<Dispatch>) {
+        self.inner.schedule_into(ctx, out);
+    }
 }
 
 /// DeepRecSys-style threshold scheduler.
@@ -50,16 +65,22 @@ impl Scheduler for RibbonScheduler {
 /// base (GPU) instance; queries at or below the threshold wait for an
 /// auxiliary (CPU) instance.  Queries are only dispatched to *idle* instances
 /// of the appropriate class, in FCFS order within each class.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct DrsScheduler {
     /// Batch-size threshold separating GPU-bound from CPU-bound queries.
     pub threshold: u32,
+    /// Reusable per-round scratch: idle base / auxiliary instances.
+    idle_base: Vec<u32>,
+    idle_aux: Vec<u32>,
 }
 
 impl DrsScheduler {
     /// Creates the policy with a given threshold.
     pub fn new(threshold: u32) -> Self {
-        Self { threshold }
+        Self {
+            threshold,
+            ..Self::default()
+        }
     }
 }
 
@@ -69,48 +90,67 @@ impl Scheduler for DrsScheduler {
     }
 
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
-        let mut idle_base: Vec<usize> = ctx
-            .instances
-            .iter()
-            .filter(|i| i.is_base && i.is_idle(ctx.now_us))
-            .map(|i| i.instance_index)
-            .collect();
-        let mut idle_aux: Vec<usize> = ctx
-            .instances
-            .iter()
-            .filter(|i| !i.is_base && i.is_idle(ctx.now_us))
-            .map(|i| i.instance_index)
-            .collect();
-        // Keep deterministic ordering.
-        idle_base.sort_unstable();
-        idle_aux.sort_unstable();
-        idle_base.reverse();
-        idle_aux.reverse();
+        let mut out = Vec::new();
+        self.schedule_into(ctx, &mut out);
+        out
+    }
 
-        let mut plan = Vec::new();
+    fn schedule_into(&mut self, ctx: &SchedulingContext<'_>, out: &mut Vec<Dispatch>) {
+        // The idle index is sorted by instance index within the usable
+        // prefix, so each class list comes out in deterministic FCFS order.
+        self.idle_base.clear();
+        self.idle_aux.clear();
+        for &i in ctx.idle_now() {
+            if ctx.instances[i as usize].is_base {
+                self.idle_base.push(i);
+            } else {
+                self.idle_aux.push(i);
+            }
+        }
+        // Only consulted when the auxiliary list runs dry with a small query
+        // waiting, so resolve it lazily instead of scanning every round.
+        let mut homogeneous: Option<bool> = None;
+
+        let mut next_base = 0usize;
+        let mut next_aux = 0usize;
         for (query_index, query) in ctx.queued.iter().enumerate() {
             let target = if query.batch_size > self.threshold {
-                idle_base.pop()
+                let slot = self.idle_base.get(next_base).copied();
+                if slot.is_some() {
+                    next_base += 1;
+                }
+                slot
             } else {
                 // Small queries prefer auxiliary instances, but may borrow an
                 // idle base instance when no auxiliary exists in the pool at
                 // all (otherwise a homogeneous pool could never serve them).
-                idle_aux.pop().or_else(|| {
-                    if ctx.instances.iter().all(|i| i.is_base) {
-                        idle_base.pop()
-                    } else {
-                        None
+                match self.idle_aux.get(next_aux).copied() {
+                    Some(slot) => {
+                        next_aux += 1;
+                        Some(slot)
                     }
-                })
+                    None => {
+                        let all_base = *homogeneous
+                            .get_or_insert_with(|| ctx.instances.iter().all(|i| i.is_base));
+                        if all_base {
+                            let slot = self.idle_base.get(next_base).copied();
+                            if slot.is_some() {
+                                next_base += 1;
+                            }
+                            slot
+                        } else {
+                            None
+                        }
+                    }
+                }
             };
             if let Some(instance_index) = target {
-                plan.push(Dispatch {
+                out.push(Dispatch {
                     query_index,
-                    instance_index,
+                    instance_index: instance_index as usize,
                 });
             }
         }
-        plan
     }
 }
 
@@ -177,6 +217,12 @@ where
 pub struct ClockworkScheduler {
     model: ModelKind,
     latency: LatencyTable,
+    /// Latency profiles resolved per pool type index (via `bind_types`), so
+    /// per-pair predictions in the scheduling loop hash no strings.  Types
+    /// never bound (hand-built contexts) resolve lazily by name.
+    profiles: Vec<Option<LatencyProfile>>,
+    /// Reusable per-round backlog added by this round's earlier picks.
+    extra_ms: Vec<f64>,
 }
 
 impl ClockworkScheduler {
@@ -184,11 +230,28 @@ impl ClockworkScheduler {
     /// latency, so the scheme is given the ground-truth latency table (the
     /// paper likewise implements the competing schemes advantageously).
     pub fn new(model: ModelKind, latency: LatencyTable) -> Self {
-        Self { model, latency }
+        Self {
+            model,
+            latency,
+            profiles: Vec::new(),
+            extra_ms: Vec::new(),
+        }
     }
 
-    fn predicted_ms(&self, type_name: &str, batch: u32) -> f64 {
-        self.latency.expect(self.model, type_name).latency_ms(batch)
+    fn profile(&mut self, type_index: usize, type_name: &str) -> LatencyProfile {
+        if let Some(Some(profile)) = self.profiles.get(type_index) {
+            return *profile;
+        }
+        let profile = self.latency.expect(self.model, type_name);
+        if self.profiles.len() <= type_index {
+            self.profiles.resize(type_index + 1, None);
+        }
+        self.profiles[type_index] = Some(profile);
+        profile
+    }
+
+    fn predicted_ms(&mut self, type_index: usize, type_name: &str, batch: u32) -> f64 {
+        self.profile(type_index, type_name).latency_ms(batch)
     }
 }
 
@@ -197,14 +260,30 @@ impl Scheduler for ClockworkScheduler {
         "clockwork"
     }
 
+    fn bind_types(&mut self, type_names: &[Arc<str>]) {
+        // Resolve what the table covers; types it lacks stay lazy so a
+        // partially calibrated table only panics if such a type is actually
+        // scheduled against (matching the pre-cache lookup-on-use behavior).
+        self.profiles = type_names
+            .iter()
+            .map(|name| self.latency.get(self.model, name))
+            .collect();
+    }
+
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+        let mut out = Vec::new();
+        self.schedule_into(ctx, &mut out);
+        out
+    }
+
+    fn schedule_into(&mut self, ctx: &SchedulingContext<'_>, out: &mut Vec<Dispatch>) {
         // Clockwork assigns every incoming query to an instance queue right
         // away, choosing the instance that completes it earliest subject to
         // the QoS target.  We track the extra backlog added by this round so
         // consecutive picks in the same round account for each other.
         let qos_ms = ctx.qos_us as f64 / 1000.0;
-        let mut extra_ms = vec![0.0f64; ctx.instances.len()];
-        let mut plan = Vec::new();
+        self.extra_ms.clear();
+        self.extra_ms.resize(ctx.instances.len(), 0.0);
 
         for (query_index, query) in ctx.queued.iter().enumerate() {
             let waited_ms = query.waiting_time_us(ctx.now_us) as f64 / 1000.0;
@@ -213,8 +292,10 @@ impl Scheduler for ClockworkScheduler {
                 if !inst.accepting {
                     continue;
                 }
-                let queue_ms = inst.remaining_us(ctx.now_us) as f64 / 1000.0 + extra_ms[slot];
-                let completion = queue_ms + self.predicted_ms(&inst.type_name, query.batch_size);
+                let queue_ms = inst.remaining_us(ctx.now_us) as f64 / 1000.0 + self.extra_ms[slot];
+                let predicted =
+                    self.predicted_ms(inst.type_index, &inst.type_name, query.batch_size);
+                let completion = queue_ms + predicted;
                 let meets = completion + waited_ms <= qos_ms;
                 let better = match best {
                     None => true,
@@ -230,16 +311,15 @@ impl Scheduler for ClockworkScheduler {
                 }
             }
             if let Some((slot, completion, _)) = best {
-                extra_ms[slot] += completion
+                self.extra_ms[slot] += completion
                     - (ctx.instances[slot].remaining_us(ctx.now_us) as f64 / 1000.0
-                        + extra_ms[slot]);
-                plan.push(Dispatch {
+                        + self.extra_ms[slot]);
+                out.push(Dispatch {
                     query_index,
                     instance_index: ctx.instances[slot].instance_index,
                 });
             }
         }
-        plan
     }
 }
 
@@ -247,7 +327,7 @@ impl Scheduler for ClockworkScheduler {
 mod tests {
     use super::*;
     use kairos_models::calibration::paper_calibration;
-    use kairos_sim::InstanceView;
+    use kairos_sim::{idle_order, InstanceView};
     use kairos_workload::Query;
 
     fn view(idx: usize, name: &str, is_base: bool, free_at: u64) -> InstanceView {
@@ -269,10 +349,12 @@ mod tests {
             view(0, "r5n.large", false, 0),
             view(1, "g4dn.xlarge", true, 0),
         ];
+        let idle = idle_order(&instances);
         let ctx = SchedulingContext {
             now_us: 0,
             queued: &queued,
             instances: &instances,
+            idle: &idle,
             qos_us: 25_000,
         };
         let plan = RibbonScheduler::new().schedule(&ctx);
@@ -292,10 +374,12 @@ mod tests {
             view(0, "g4dn.xlarge", true, 0),
             view(1, "r5n.large", false, 0),
         ];
+        let idle = idle_order(&instances);
         let ctx = SchedulingContext {
             now_us: 0,
             queued: &queued,
             instances: &instances,
+            idle: &idle,
             qos_us: 25_000,
         };
         let plan = DrsScheduler::new(128).schedule(&ctx);
@@ -317,10 +401,12 @@ mod tests {
             view(0, "g4dn.xlarge", true, 10_000),
             view(1, "r5n.large", false, 0),
         ];
+        let idle = idle_order(&instances);
         let ctx = SchedulingContext {
             now_us: 0,
             queued: &queued,
             instances: &instances,
+            idle: &idle,
             qos_us: 25_000,
         };
         assert!(DrsScheduler::new(128).schedule(&ctx).is_empty());
@@ -330,10 +416,12 @@ mod tests {
     fn drs_small_queries_use_base_in_homogeneous_pools() {
         let queued = vec![Query::new(0, 10, 0)];
         let instances = vec![view(0, "g4dn.xlarge", true, 0)];
+        let idle = idle_order(&instances);
         let ctx = SchedulingContext {
             now_us: 0,
             queued: &queued,
             instances: &instances,
+            idle: &idle,
             qos_us: 25_000,
         };
         assert_eq!(DrsScheduler::new(128).schedule(&ctx).len(), 1);
@@ -358,10 +446,12 @@ mod tests {
             view(0, "r5n.large", false, 0),
             view(1, "g4dn.xlarge", true, 4_000),
         ];
+        let idle = idle_order(&instances);
         let ctx = SchedulingContext {
             now_us: 0,
             queued: &queued,
             instances: &instances,
+            idle: &idle,
             qos_us: 25_000,
         };
         let plan = cw.clone().schedule(&ctx);
@@ -382,10 +472,12 @@ mod tests {
             view(0, "g4dn.xlarge", true, 0),
             view(1, "c5n.2xlarge", false, 0),
         ];
+        let idle = idle_order(&instances);
         let ctx = SchedulingContext {
             now_us: 0,
             queued: &queued,
             instances: &instances,
+            idle: &idle,
             qos_us: 25_000,
         };
         let plan = cw.clone().schedule(&ctx);
@@ -404,10 +496,12 @@ mod tests {
             view(0, "g4dn.xlarge", true, 50_000),
             view(1, "r5n.large", false, 40_000),
         ];
+        let idle = idle_order(&instances);
         let ctx = SchedulingContext {
             now_us: 0,
             queued: &queued,
             instances: &instances,
+            idle: &idle,
             qos_us: 5_000,
         };
         let plan = cw.clone().schedule(&ctx);

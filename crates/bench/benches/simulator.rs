@@ -6,7 +6,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kairos_baselines::ClockworkScheduler;
 use kairos_bench::{scheduler_factory, SchedulerKind};
 use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
-use kairos_sim::{run_trace, run_trace_naive, FcfsScheduler, ServiceSpec, SimulationOptions};
+use kairos_sim::{
+    allowable_throughput, run_trace, run_trace_naive, CapacityOptions, CapacityProber,
+    FcfsScheduler, Scheduler, ServiceSpec, SimulationOptions,
+};
 use kairos_workload::TraceSpec;
 use std::hint::black_box;
 
@@ -132,5 +135,112 @@ fn bench_engine_vs_naive_50k(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trace_replay, bench_engine_vs_naive_50k);
+fn capacity_options(early_exit: bool) -> CapacityOptions {
+    CapacityOptions {
+        duration_s: 1.0,
+        refine_steps: 3,
+        max_qps: 4_000.0,
+        early_exit,
+        ..CapacityOptions::with_seed(97)
+    }
+}
+
+fn fcfs_factory() -> Box<dyn Scheduler> {
+    Box::new(FcfsScheduler::new())
+}
+
+/// End-to-end measured configuration ranking, shaped like the serving loop's
+/// replanning: seven replan rounds rank the budget's candidate set with
+/// capacity ramps — cadence replans re-rank the *same* enumerated candidates
+/// (only knowledge drifts), and one drift replan swaps two candidates in.
+/// `memoized_early_exit` is the production path: one [`CapacityProber`]
+/// shared across rounds (per-config memo keyed by interned type names) with
+/// early-exit probes.  `naive_full_replay` re-simulates every probe of every
+/// round to completion, which is what the sweep cost before this
+/// optimization pass.
+fn bench_rank_configs_sweep(c: &mut Criterion) {
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+    let candidates: Vec<Config> = vec![
+        Config::new(vec![1, 0, 0, 0]),
+        Config::new(vec![1, 0, 1, 0]),
+        Config::new(vec![1, 0, 2, 0]),
+        Config::new(vec![1, 1, 0, 0]),
+        Config::new(vec![2, 0, 0, 0]),
+        Config::new(vec![1, 0, 0, 2]),
+    ];
+    let drifted: Vec<Config> = vec![
+        Config::new(vec![1, 0, 1, 0]),
+        Config::new(vec![1, 0, 2, 0]),
+        Config::new(vec![1, 1, 0, 0]),
+        Config::new(vec![2, 0, 0, 0]),
+        Config::new(vec![1, 1, 1, 0]),
+        Config::new(vec![2, 0, 2, 0]),
+    ];
+    let rounds: Vec<&[Config]> = vec![
+        &candidates,
+        &candidates,
+        &candidates,
+        &candidates,
+        &drifted,
+        &drifted,
+        &drifted,
+    ];
+
+    let mut group = c.benchmark_group("rank_configs_sweep");
+    group.sample_size(10);
+    group.bench_function("memoized_early_exit", |b| {
+        b.iter(|| {
+            let prober = CapacityProber::new(&pool, &service, capacity_options(true));
+            for round in &rounds {
+                black_box(prober.rank_measured(round, fcfs_factory));
+            }
+        })
+    });
+    group.bench_function("naive_full_replay", |b| {
+        b.iter(|| {
+            for round in &rounds {
+                let prober = CapacityProber::new(&pool, &service, capacity_options(false));
+                black_box(prober.rank_measured(round, fcfs_factory));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// One allowable-throughput ramp for a single configuration: the unit of
+/// work every planner comparison and baseline grid search repeats hundreds
+/// of times.  Early exit aborts each probe replay the moment its verdict is
+/// provable; the verdicts (and hence the ramp result) are identical.
+fn bench_allowable_throughput_probe(c: &mut Criterion) {
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+    let config = Config::new(vec![2, 0, 4, 0]);
+
+    let mut group = c.benchmark_group("allowable_throughput_probe");
+    group.sample_size(10);
+    for (label, early_exit) in [("early_exit", true), ("full_replay", false)] {
+        let opts = capacity_options(early_exit);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
+            b.iter(|| {
+                black_box(allowable_throughput(
+                    &pool,
+                    &config,
+                    &service,
+                    opts,
+                    fcfs_factory,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_replay,
+    bench_engine_vs_naive_50k,
+    bench_rank_configs_sweep,
+    bench_allowable_throughput_probe
+);
 criterion_main!(benches);

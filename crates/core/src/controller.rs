@@ -115,6 +115,60 @@ impl KairosController {
         Some(planner.plan(budget_per_hour, &self.batch_sample()))
     }
 
+    /// A quantized fingerprint of everything a [`Plan`] depends on besides
+    /// the budget: the monitor's batch-size mix and the learned latency
+    /// coefficients.  Two controllers (or the same controller at two points
+    /// in time) with equal signatures would produce materially identical
+    /// ranked lists, so replanning loops can reuse a prior plan — this is
+    /// what [`crate::PlanCache`] keys on.
+    ///
+    /// Quantization is deliberately coarse: the mix histogram is bucketed
+    /// into sixteen batch-size bands at 5 % mass resolution, and latency
+    /// coefficients are rounded (1/16 ms intercepts, 2⁻¹² ms/query slopes),
+    /// so sampling jitter in a stationary workload maps to one signature
+    /// while a real mix shift or a revised latency fit changes it.
+    pub fn knowledge_signature(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |value: u64| {
+            hash ^= value;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+
+        // Batch-mix histogram: 16 bands over [0, MAX_BATCH_SIZE], each
+        // band's mass quantized to twentieths of the window.
+        let mut bands = [0usize; 16];
+        let mut total = 0usize;
+        for batch in self.monitor.iter() {
+            let band = (batch.min(MAX_BATCH_SIZE) as usize * 16) / (MAX_BATCH_SIZE as usize + 1);
+            bands[band] += 1;
+            total += 1;
+        }
+        match std::num::NonZeroUsize::new(total) {
+            // Worst-case sample sentinel (see `batch_sample`).
+            None => mix(u64::MAX),
+            Some(total) => {
+                for count in bands {
+                    mix((count * 20 / total.get()) as u64);
+                }
+            }
+        }
+
+        // Learned latency coefficients per pool type, in pool order.
+        match self.learned_table() {
+            None => mix(0),
+            Some(table) => {
+                for ty in self.pool.types() {
+                    let profile = table.expect(self.model, &ty.name);
+                    mix((profile.intercept_ms * 16.0).round() as i64 as u64);
+                    mix((profile.slope_ms * 4096.0).round() as i64 as u64);
+                }
+            }
+        }
+        hash
+    }
+
     /// POP-style sharded planning: split the budget into `shards` equal parts,
     /// plan each independently, and merge the shard configurations by summing
     /// instance counts.  Useful when the configuration space under the full

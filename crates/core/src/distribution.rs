@@ -26,6 +26,10 @@ use std::sync::Arc;
 pub struct KairosScheduler {
     /// Online latency predictors, one per instance type.
     predictors: PredictorBank,
+    /// Interned pool type names indexed by type index (from
+    /// [`Scheduler::bind_types`]), so completion-time learning resolves the
+    /// predictor without receiving a string from the engine.
+    type_names: Vec<Arc<str>>,
     /// Noise-safeguard factor ξ applied to the QoS target (default 0.98).
     xi: f64,
     /// Largest batch size used to compute heterogeneity coefficients.
@@ -46,6 +50,7 @@ impl KairosScheduler {
     pub fn new() -> Self {
         Self {
             predictors: PredictorBank::new(),
+            type_names: Vec::new(),
             xi: DEFAULT_XI,
             reference_batch: MAX_BATCH_SIZE,
             rounds: 0,
@@ -212,10 +217,16 @@ impl Scheduler for KairosScheduler {
         plan
     }
 
-    fn on_completion(&mut self, instance_type: &str, batch_size: u32, service_ms: f64) {
-        if service_ms > 0.0 {
-            self.predictors
-                .observe(instance_type, batch_size, service_ms);
+    fn bind_types(&mut self, type_names: &[Arc<str>]) {
+        self.type_names = type_names.to_vec();
+    }
+
+    fn on_completion(&mut self, type_index: usize, batch_size: u32, service_ms: f64) {
+        if service_ms <= 0.0 {
+            return;
+        }
+        if let Some(name) = self.type_names.get(type_index) {
+            self.predictors.observe(name, batch_size, service_ms);
         }
     }
 }
@@ -224,7 +235,7 @@ impl Scheduler for KairosScheduler {
 mod tests {
     use super::*;
     use kairos_models::{calibration::paper_calibration, ec2, Config, PoolSpec};
-    use kairos_sim::{engine::run_trace, InstanceView, SimulationOptions};
+    use kairos_sim::{engine::run_trace, idle_order, InstanceView, SimulationOptions};
     use kairos_workload::{Query, TraceSpec};
 
     fn view(
@@ -259,10 +270,12 @@ mod tests {
             view(0, 2, "r5n.large", false, 0),
             view(1, 0, "g4dn.xlarge", true, 0),
         ];
+        let idle = idle_order(&instances);
         let ctx = SchedulingContext {
             now_us: 0,
             queued: &queued,
             instances: &instances,
+            idle: &idle,
             qos_us: 25_000,
         };
         let plan = kairos.schedule(&ctx);
@@ -283,10 +296,12 @@ mod tests {
         // would burn the instance for a guaranteed violation, so Kairos waits.
         let queued = vec![Query::new(0, 900, 0)];
         let instances = vec![view(0, 2, "r5n.large", false, 0)];
+        let idle = idle_order(&instances);
         let ctx = SchedulingContext {
             now_us: 0,
             queued: &queued,
             instances: &instances,
+            idle: &idle,
             qos_us: 25_000,
         };
         assert!(kairos.schedule(&ctx).is_empty());
@@ -298,6 +313,7 @@ mod tests {
             now_us: 30_000,
             queued: &doomed,
             instances: &instances,
+            idle: &idle,
             qos_us: 25_000,
         };
         assert_eq!(kairos.schedule(&ctx).len(), 1);
@@ -307,8 +323,11 @@ mod tests {
     fn learns_latency_online_from_completions() {
         let mut kairos = KairosScheduler::new();
         assert_eq!(kairos.predictors().total_observations(), 0);
-        kairos.on_completion("g4dn.xlarge", 100, 5.6);
-        kairos.on_completion("g4dn.xlarge", 500, 12.0);
+        kairos.bind_types(&["g4dn.xlarge".into(), "r5n.large".into()]);
+        kairos.on_completion(0, 100, 5.6);
+        kairos.on_completion(0, 500, 12.0);
+        // An unbound type index is ignored rather than misattributed.
+        kairos.on_completion(7, 100, 3.0);
         assert_eq!(kairos.predictors().total_observations(), 2);
         assert!(kairos.predictors().get("g4dn.xlarge").unwrap().has_fit());
     }

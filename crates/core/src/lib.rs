@@ -60,7 +60,7 @@ pub use controller::KairosController;
 pub use distribution::KairosScheduler;
 pub use kairos_plus::{kairos_plus_search, SearchResult};
 pub use lmatrix::{build_matrices, InstanceColumn, LMatrices, QueryRow, DEFAULT_XI};
-pub use planner::{KairosPlanner, Plan};
+pub use planner::{KairosPlanner, Plan, PlanCache};
 pub use selection::select_configuration;
 pub use serving::{ReconfigEvent, ReplanTrigger, ServingOptions, ServingOutcome, ServingSystem};
 pub use upper_bound::{

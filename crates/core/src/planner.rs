@@ -8,12 +8,14 @@
 //! seconds; the Criterion bench `upper_bound` verifies the same property for
 //! this implementation.
 
+use crate::controller::KairosController;
 use crate::selection::select_configuration;
 use crate::upper_bound::ThroughputEstimator;
 use kairos_models::{
     enumerate_configs, latency::LatencyTable, mlmodel::ModelKind, Config, EnumerationOptions,
     PoolSpec,
 };
+use std::sync::Arc;
 
 /// Output of a planning pass.
 #[derive(Debug, Clone)]
@@ -94,6 +96,63 @@ impl KairosPlanner {
     }
 }
 
+/// Memoizes the most recent [`Plan`] against the knowledge it was computed
+/// from, so a replanning loop (the serving system replans on a cadence *and*
+/// on demand drift) only pays for enumeration + ranking when the planner's
+/// inputs actually changed.
+///
+/// The key is `(quantized knowledge signature, budget)` — see
+/// [`KairosController::knowledge_signature`].  The ranked list a plan carries
+/// depends only on those inputs, **not** on the observed arrival rate: the
+/// demand-aware selection happens downstream over the cached ranking, which
+/// is why cadence replans under drifting load still hit.  Plans are shared
+/// out as [`Arc`]s, so a hit costs a pointer clone, not a ranked-list copy.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    entry: Option<(u64, u64, Arc<Plan>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The controller's current plan for `budget_per_hour`, reusing the
+    /// cached one when the controller's quantized knowledge is unchanged.
+    /// Returns `None` (and caches nothing) while the controller cannot plan.
+    pub fn plan(
+        &mut self,
+        controller: &KairosController,
+        budget_per_hour: f64,
+    ) -> Option<Arc<Plan>> {
+        let signature = controller.knowledge_signature();
+        let budget_bits = budget_per_hour.to_bits();
+        if let Some((cached_sig, cached_budget, plan)) = &self.entry {
+            if *cached_sig == signature && *cached_budget == budget_bits {
+                self.hits += 1;
+                return Some(plan.clone());
+            }
+        }
+        let plan = Arc::new(controller.plan(budget_per_hour)?);
+        self.misses += 1;
+        self.entry = Some((signature, budget_bits, plan.clone()));
+        Some(plan)
+    }
+
+    /// Number of replans served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of replans that had to recompute.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +215,40 @@ mod tests {
     #[should_panic(expected = "cannot afford")]
     fn budget_below_one_base_instance_panics() {
         planner(ModelKind::Ncf).plan(0.3, &sample());
+    }
+
+    #[test]
+    fn plan_cache_reuses_until_knowledge_or_budget_changes() {
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let mut controller =
+            KairosController::with_priors(pool, ModelKind::Rm2, paper_calibration());
+        for i in 0..2000u32 {
+            controller.observe_query(10 + i % 300);
+        }
+        let mut cache = PlanCache::new();
+        let first = cache.plan(&controller, 2.5).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Identical knowledge: the second replan is a pointer clone.
+        let second = cache.plan(&controller, 2.5).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // More observations of the *same* mix leave the quantized signature
+        // (band mass in twentieths) unchanged: still a cache hit.
+        for i in 0..2000u32 {
+            controller.observe_query(10 + i % 300);
+        }
+        let third = cache.plan(&controller, 2.5).unwrap();
+        assert!(Arc::ptr_eq(&first, &third));
+        // A different budget misses.
+        let other = cache.plan(&controller, 5.0).unwrap();
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(cache.misses(), 2);
+        // A real mix shift (all-large queries) re-plans.
+        for _ in 0..4000 {
+            controller.observe_query(900);
+        }
+        let shifted = cache.plan(&controller, 5.0).unwrap();
+        assert!(!Arc::ptr_eq(&other, &shifted));
+        assert_eq!(cache.misses(), 3);
     }
 }

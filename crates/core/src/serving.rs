@@ -33,6 +33,7 @@
 //! and scales in — gracefully draining surplus instances — when load drops.
 
 use crate::controller::KairosController;
+use crate::planner::PlanCache;
 use kairos_models::{latency::LatencyTable, mlmodel::ModelKind, Config, PoolSpec};
 use kairos_sim::{EngineEvent, ServiceSpec, SimEngine, SimReport, SimulationOptions};
 use kairos_workload::{BatchSizeDistribution, TimeUs, Trace};
@@ -147,6 +148,10 @@ pub struct ServingSystem {
     pool: PoolSpec,
     controller: KairosController,
     options: ServingOptions,
+    /// Memoizes the ranked plan across replans: a replan whose quantized
+    /// knowledge signature matches the previous one reuses the prior ranking
+    /// instead of re-enumerating and re-scoring the configuration space.
+    plan_cache: PlanCache,
 }
 
 impl ServingSystem {
@@ -166,7 +171,14 @@ impl ServingSystem {
             pool,
             controller,
             options,
+            plan_cache: PlanCache::new(),
         }
+    }
+
+    /// The plan cache: how many replans reused the previous ranking versus
+    /// recomputed it (diagnostics for the replanning hot path).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// The controller driving the loop.
@@ -199,47 +211,13 @@ impl ServingSystem {
     pub fn plan_for_demand(&self, demand_qps: f64) -> Option<Config> {
         let plan = self.controller.plan(self.options.budget_per_hour)?;
         Some(
-            self.cheapest_covering(&plan.ranked, demand_qps * self.options.demand_headroom)
-                .unwrap_or(plan.chosen),
+            cheapest_covering(
+                &self.pool,
+                &plan.ranked,
+                demand_qps * self.options.demand_headroom,
+            )
+            .unwrap_or(plan.chosen),
         )
-    }
-
-    /// Cheapest ranked configuration whose upper bound covers `required` QPS
-    /// (ties broken towards the higher bound).
-    fn cheapest_covering(&self, ranked: &[(Config, f64)], required: f64) -> Option<Config> {
-        ranked
-            .iter()
-            .filter(|(_, ub)| *ub >= required)
-            .min_by(|(ca, ua), (cb, ub)| {
-                ca.cost(&self.pool)
-                    .partial_cmp(&cb.cost(&self.pool))
-                    .unwrap()
-                    .then(ub.partial_cmp(ua).unwrap())
-            })
-            .map(|(c, _)| c.clone())
-    }
-
-    /// Picks the next deployment target given current knowledge, observed
-    /// demand and the configuration deployed right now, applying the
-    /// scale-in hysteresis described on [`ServingOptions::shrink_factor`].
-    fn select_target(&self, demand_qps: f64, current: &Config) -> Option<Config> {
-        let plan = self.controller.plan(self.options.budget_per_hour)?;
-        let required = demand_qps * self.options.demand_headroom;
-        let candidate = self
-            .cheapest_covering(&plan.ranked, required)
-            .unwrap_or(plan.chosen);
-        let current_ub = plan
-            .ranked
-            .iter()
-            .find(|(c, _)| c == current)
-            .map(|(_, ub)| *ub)
-            .unwrap_or(0.0);
-        // Keep the deployment when it still (approximately) covers demand —
-        // the 0.8 slack absorbs upper-bound wobble as knowledge evolves — and
-        // is not substantially more expensive than the candidate.
-        let keep = current_ub >= required * 0.8
-            && current.cost(&self.pool) <= candidate.cost(&self.pool) * self.options.shrink_factor;
-        Some(if keep { current.clone() } else { candidate })
     }
 
     /// Runs the controller-in-the-loop simulation of `trace` on `service`,
@@ -298,17 +276,10 @@ impl ServingSystem {
             // instance queues beyond the query in service) within one rate
             // horizon.  The backlog term makes overload visible even when
             // the arrival estimate lags a shift, and blocks scale-in while a
-            // backlog from a past spike is still draining.
+            // backlog from a past spike is still draining.  The engine keeps
+            // this count incrementally, so reading it is O(1) per event.
             let horizon_s = self.options.rate_horizon_us as f64 / 1e6;
-            let backlog = engine.central_queue().len()
-                + engine
-                    .cluster()
-                    .instances()
-                    .iter()
-                    .filter(|i| !i.is_retired())
-                    .map(|i| i.backlog().saturating_sub(1))
-                    .sum::<usize>();
-            let queue_pressure = backlog as f64 / horizon_s;
+            let queue_pressure = engine.queued_backlog() as f64 / horizon_s;
             let rate = estimate_rate_qps(&mut arrival_times, now, self.options.rate_horizon_us)
                 .map(|r| r + queue_pressure);
             let trigger = if now >= next_cadence_us {
@@ -330,7 +301,14 @@ impl ServingSystem {
                 }
                 let Some(demand) = rate else { continue };
                 let current = engine.cluster().active_config();
-                let Some(target) = self.select_target(demand, &current) else {
+                let Some(target) = select_target(
+                    &mut self.plan_cache,
+                    &self.controller,
+                    &self.pool,
+                    &self.options,
+                    demand,
+                    &current,
+                ) else {
                     continue;
                 };
                 replans += 1;
@@ -359,6 +337,53 @@ impl ServingSystem {
             replans,
         }
     }
+}
+
+/// Cheapest ranked configuration whose upper bound covers `required` QPS
+/// (ties broken towards the higher bound).
+fn cheapest_covering(pool: &PoolSpec, ranked: &[(Config, f64)], required: f64) -> Option<Config> {
+    ranked
+        .iter()
+        .filter(|(_, ub)| *ub >= required)
+        .min_by(|(ca, ua), (cb, ub)| {
+            ca.cost(pool)
+                .partial_cmp(&cb.cost(pool))
+                .unwrap()
+                .then(ub.partial_cmp(ua).unwrap())
+        })
+        .map(|(c, _)| c.clone())
+}
+
+/// Picks the next deployment target given current knowledge, observed demand
+/// and the configuration deployed right now, applying the scale-in
+/// hysteresis described on [`ServingOptions::shrink_factor`].  The ranked
+/// plan comes through the [`PlanCache`], so back-to-back replans under
+/// materially unchanged knowledge are near-free.  (Free function over split
+/// borrows: the serving loop calls it while the engine borrows the pool.)
+fn select_target(
+    plan_cache: &mut PlanCache,
+    controller: &KairosController,
+    pool: &PoolSpec,
+    options: &ServingOptions,
+    demand_qps: f64,
+    current: &Config,
+) -> Option<Config> {
+    let plan = plan_cache.plan(controller, options.budget_per_hour)?;
+    let required = demand_qps * options.demand_headroom;
+    let candidate =
+        cheapest_covering(pool, &plan.ranked, required).unwrap_or_else(|| plan.chosen.clone());
+    let current_ub = plan
+        .ranked
+        .iter()
+        .find(|(c, _)| c == current)
+        .map(|(_, ub)| *ub)
+        .unwrap_or(0.0);
+    // Keep the deployment when it still (approximately) covers demand —
+    // the 0.8 slack absorbs upper-bound wobble as knowledge evolves — and
+    // is not substantially more expensive than the candidate.
+    let keep = current_ub >= required * 0.8
+        && current.cost(pool) <= candidate.cost(pool) * options.shrink_factor;
+    Some(if keep { current.clone() } else { candidate })
 }
 
 /// Offered-rate estimate (QPS) over the arrivals within `horizon_us` of
@@ -503,6 +528,15 @@ mod tests {
             "steady load should not thrash: {in_trace:?}"
         );
         assert!(outcome.report.meets_qos(0.05));
+        // Steady load means stationary knowledge: the ranked plan must be
+        // reused across cadence replans, not recomputed each tick.
+        assert!(
+            s.plan_cache().hits() > 0,
+            "cadence replans under steady load should hit the plan cache \
+             (hits {}, misses {})",
+            s.plan_cache().hits(),
+            s.plan_cache().misses()
+        );
     }
 
     #[test]

@@ -157,12 +157,18 @@ impl PredictorBank {
         Self::default()
     }
 
-    /// Records an observation for an instance type.
+    /// Records an observation for an instance type.  The common case (type
+    /// already known) is a plain map lookup: the name is only copied into an
+    /// owned `String` on the *first* observation of a type, so the
+    /// per-completion hot path allocates nothing.
     pub fn observe(&mut self, instance_name: &str, batch: u32, latency_ms: f64) {
-        self.predictors
-            .entry(instance_name.to_string())
-            .or_default()
-            .observe(batch, latency_ms);
+        if let Some(predictor) = self.predictors.get_mut(instance_name) {
+            predictor.observe(batch, latency_ms);
+        } else {
+            let mut predictor = OnlinePredictor::new();
+            predictor.observe(batch, latency_ms);
+            self.predictors.insert(instance_name.to_string(), predictor);
+        }
     }
 
     /// Predicts latency for a batch on an instance type (conservative default

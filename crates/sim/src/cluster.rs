@@ -18,7 +18,7 @@
 //! completion records and scheduler views never dangle.
 
 use kairos_models::{
-    latency::{LatencyTable, NoiseModel},
+    latency::{LatencyProfile, LatencyTable, NoiseModel},
     mlmodel::{spec, ModelKind, ModelSpec},
     Config, PoolSpec,
 };
@@ -64,6 +64,16 @@ impl ServiceSpec {
             .latency_ms(batch)
     }
 
+    /// The ground-truth latency profile for an instance type.  Hot-path
+    /// callers resolve each type once and keep the returned profile, so
+    /// steady-state service-time math involves no table lookup.
+    ///
+    /// # Panics
+    /// Panics if the (model, instance type) pair has no calibration.
+    pub fn profile(&self, instance_name: &str) -> LatencyProfile {
+        self.latency.expect(self.model.kind, instance_name)
+    }
+
     /// Actual service time of a batch on an instance type, in microseconds,
     /// with the noise model applied.
     pub fn service_time_us<R: Rng + ?Sized>(
@@ -72,15 +82,36 @@ impl ServiceSpec {
         batch: u32,
         rng: &mut R,
     ) -> TimeUs {
-        let nominal = self.nominal_latency_ms(instance_name, batch);
-        let actual = self.noise.apply(nominal, rng);
-        (actual * 1000.0).round().max(1.0) as TimeUs
+        self.service_time_us_from_profile(&self.profile(instance_name), batch, rng)
+    }
+
+    /// [`Self::service_time_us`] with the latency profile already resolved —
+    /// the hot-path form (no table lookup).  Both forms share one noise
+    /// application and one quantization, so the optimized engine and the
+    /// naive reference can never round differently.
+    pub fn service_time_us_from_profile<R: Rng + ?Sized>(
+        &self,
+        profile: &LatencyProfile,
+        batch: u32,
+        rng: &mut R,
+    ) -> TimeUs {
+        quantize_service_ms(self.noise.apply(profile.latency_ms(batch), rng))
     }
 
     /// QoS target in microseconds.
     pub fn qos_us(&self) -> u64 {
         self.model.qos_us()
     }
+}
+
+/// Rounds a service latency in milliseconds to the simulator's microsecond
+/// clock (at least 1 µs).  The **single** quantization every service-time
+/// and nominal-time computation goes through — the bit-identity contract
+/// between the optimized engine and the naive reference depends on there
+/// being exactly one copy of this formula.
+#[inline]
+pub(crate) fn quantize_service_ms(latency_ms: f64) -> TimeUs {
+    (latency_ms * 1000.0).round().max(1.0) as TimeUs
 }
 
 /// Lifecycle state of a simulated instance.
@@ -281,6 +312,13 @@ impl Cluster {
     /// The pool specification the cluster was built from.
     pub fn pool(&self) -> &PoolSpec {
         &self.pool
+    }
+
+    /// The interned type names, one per pool type (indexed by type index).
+    /// This is the mapping handed to schedulers via
+    /// [`crate::Scheduler::bind_types`].
+    pub fn type_names(&self) -> &[Arc<str>] {
+        &self.type_names
     }
 
     /// The configuration the cluster was *initially* instantiated with.  The

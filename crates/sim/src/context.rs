@@ -73,6 +73,28 @@ impl<'a> SimContext<'a> {
         .run()
     }
 
+    /// Decides whether one candidate meets the QoS target at `tolerance`
+    /// without necessarily replaying the whole trace: the verdict equals
+    /// `self.run(..).meets_qos(tolerance)` but the replay aborts as soon as
+    /// the outcome is provable (see [`SimEngine::run_qos_probe`]).  This is
+    /// the primitive behind early-exit capacity probes.
+    pub fn probe_qos(
+        &self,
+        config: &Config,
+        scheduler: &mut dyn Scheduler,
+        tolerance: f64,
+    ) -> bool {
+        SimEngine::new(
+            self.pool,
+            config,
+            self.service,
+            self.trace,
+            scheduler,
+            &self.options,
+        )
+        .run_qos_probe(tolerance)
+    }
+
     /// Replays the shared trace against every candidate configuration in
     /// parallel, constructing a fresh scheduler per candidate with
     /// `make_scheduler`.  Reports are returned in candidate order.

@@ -10,21 +10,45 @@
 //! Events are (a) query arrivals and (b) query completions; the scheduler is
 //! consulted after every event so it can react to freed capacity immediately.
 //!
-//! # Architecture
+//! # Hot-path architecture
 //!
-//! [`SimEngine`] owns the clock, the event heap, the central queue, the
+//! [`SimEngine`] owns the clock, the event sources, the central queue, the
 //! cluster and the RNG, and exposes `step()` / `run()` / `report()` so
 //! callers (the capacity search, Kairos+, the baseline searches and the
-//! bench harness) all drive simulations through one API.
+//! bench harness) all drive simulations through one API.  Steady-state
+//! execution performs **zero heap allocations**; per-event work is
+//! proportional to the instances the event touches plus — only on rounds
+//! where queries are actually waiting — an O(idle instances) clock clamp,
+//! never a full-cluster, queue-walking sweep.
+//! The moving parts (see DESIGN.md, "Hot-path architecture"):
 //!
-//! The scheduler's [`InstanceView`]s are maintained **incrementally**: each
-//! instance's `free_at_us` is a running value updated on dispatch and
-//! completion instead of being recomputed from the local queue on every
-//! event, and dispatched queries leave the central queue through a single
-//! mark-and-shift sweep instead of per-index `Vec::remove` calls.  The
-//! original per-event full rebuild is preserved as [`run_trace_naive`] (and
-//! [`SimEngine::recompute_views`]) — it is the reference against which
-//! determinism and the incremental views are tested, and the baseline for
+//! * **Arrival cursor + event calendar** — trace arrivals are never
+//!   materialized as heap entries: the engine walks the (sorted) query
+//!   vector with a cursor.  The few genuinely dynamic events (one completion
+//!   per serving instance, one `Ready` per provisioning action) live in a
+//!   bucketed [calendar queue](crate::calendar) tuned to the trace's arrival
+//!   granularity.
+//! * **Incremental views** — each [`InstanceView`] is updated at the moment
+//!   its instance changes (dispatch, service start, completion, lifecycle),
+//!   never by sweeping the cluster.  Idle instances' `free_at_us` tracks the
+//!   clock lazily via the idle index below.
+//! * **Idle-instance index** — the engine maintains the dispatchable
+//!   backlog-free instances as a sorted index
+//!   ([`SchedulingContext::idle`]), split into a free list (boundary
+//!   passed, sorted by instance index) and a pending list (still
+//!   provisioning, sorted by ready time); entries migrate as the clock
+//!   passes their provisioning boundary.
+//! * **Scratch buffers** — the dispatch plan, the duplicate-dispatch marks
+//!   (generation-stamped, never cleared), and the removal sweep all reuse
+//!   engine-owned buffers; [`Scheduler::schedule_into`] lets policies fill
+//!   the plan without allocating.
+//! * **Interned latency profiles** — per-type [`LatencyProfile`]s are
+//!   resolved once at construction, so service-time math involves no string
+//!   hashing.
+//!
+//! The original per-event full rebuild is preserved as [`run_trace_naive`]
+//! (and [`SimEngine::recompute_views`]) — it is the reference against which
+//! determinism and the incremental state are tested, and the baseline for
 //! the `simulator` Criterion bench.
 //!
 //! # Online reconfiguration
@@ -44,13 +68,15 @@
 //! Added instances come online after a provisioning delay (a dedicated
 //! `Ready` event re-consults the scheduler the instant capacity appears);
 //! retired instances drain gracefully and never receive new dispatches.  The
-//! incremental `free_at_us` views stay bit-identical to a from-scratch
+//! incremental views and idle index stay bit-identical to a from-scratch
 //! recomputation across any interleaving of reconfiguration actions — this
 //! invariant is enforced by `tests/proptest_reconfig.rs`.
 
+use crate::calendar::{EventCalendar, TimedEvent};
 use crate::cluster::{Cluster, ServiceSpec};
-use crate::scheduler::{Dispatch, InstanceView, Scheduler, SchedulingContext};
+use crate::scheduler::{idle_order, Dispatch, InstanceView, Scheduler, SchedulingContext};
 use crate::stats::{QueryRecord, SimReport, UnfinishedQuery};
+use kairos_models::latency::LatencyProfile;
 use kairos_models::{Config, PoolSpec};
 use kairos_workload::{Query, TimeUs, Trace};
 use rand::rngs::StdRng;
@@ -67,17 +93,12 @@ pub struct SimulationOptions {
     pub seed: u64,
 }
 
+/// Event representation of the *naive* reference path, which keeps every
+/// event (arrivals included) in one binary heap.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum EventKind {
     Arrival(Query),
-    Completion {
-        instance_index: usize,
-    },
-    /// A provisioned instance comes online: no state change beyond the
-    /// scheduler consultation that lets waiting queries flow to it.
-    Ready {
-        instance_index: usize,
-    },
+    Completion { instance_index: usize },
 }
 
 /// Owned description of one processed engine event, handed to external
@@ -154,18 +175,32 @@ impl PartialOrd for Event {
 }
 
 /// Nominal (noise-free) service time of a batch in rounded microseconds —
-/// the unit of the incremental `free_at_us` accounting.
+/// the unit of the incremental `free_at_us` accounting.  One quantization
+/// for both engine paths: the table-lookup form delegates to the
+/// profile form, which in turn shares [`ServiceSpec`]'s rounding.
 #[inline]
 fn nominal_us(service: &ServiceSpec, type_name: &str, batch: u32) -> TimeUs {
-    let nominal_ms = service.nominal_latency_ms(type_name, batch);
-    (nominal_ms * 1000.0).round().max(1.0) as TimeUs
+    nominal_us_profile(&service.profile(type_name), batch)
+}
+
+/// Nominal service time from a pre-resolved latency profile (no table
+/// lookup).
+#[inline]
+fn nominal_us_profile(profile: &LatencyProfile, batch: u32) -> TimeUs {
+    crate::cluster::quantize_service_ms(profile.latency_ms(batch))
 }
 
 /// Builds scheduler views by recomputing every instance's `free_at_us` from
-/// its local queue — the original O(instances × queue-depth) path, kept as
-/// the reference implementation for [`run_trace_naive`] and the regression
-/// tests.
-fn build_views_naive(cluster: &Cluster, service: &ServiceSpec, now: TimeUs) -> Vec<InstanceView> {
+/// its local queue — the original O(instances × queue-depth) path.  This is
+/// the **single shared reference implementation**: [`run_trace_naive`]
+/// rebuilds with it every round, [`SimEngine::recompute_views`] exposes it to
+/// the property-test oracles, and the engine's incremental views are asserted
+/// bit-identical to its output.
+pub(crate) fn build_views_naive(
+    cluster: &Cluster,
+    service: &ServiceSpec,
+    now: TimeUs,
+) -> Vec<InstanceView> {
     cluster
         .instances()
         .iter()
@@ -223,16 +258,53 @@ pub struct SimEngine<'a> {
     scheduler: &'a mut dyn Scheduler,
     cluster: Cluster,
     rng: StdRng,
-    heap: BinaryHeap<Reverse<Event>>,
+    /// Per-pool-type latency profiles, resolved once so the hot path never
+    /// hashes a type name.
+    profiles: Vec<LatencyProfile>,
+    /// Trace arrivals sorted by `(arrival_us, trace order)`; the implicit
+    /// event sequence number of `arrivals[i]` is `i`.
+    arrivals: Vec<Query>,
+    next_arrival: usize,
+    /// Timed events: completions and provisioning `Ready` boundaries.
+    calendar: EventCalendar,
     seq: u64,
+    /// Central-queue storage.  The live queue is `central_queue[queue_head..]`:
+    /// dispatching a *prefix* of the queue (the common FCFS-style pattern)
+    /// advances the head in O(1) instead of shifting thousands of survivors,
+    /// and the dead prefix is compacted away amortized-O(1).
     central_queue: Vec<Query>,
+    queue_head: usize,
     records: Vec<QueryRecord>,
-    /// Persistent scheduler views; `free_at_us` / `backlog` are refreshed
-    /// from the incremental counters, the identity fields are built once.
+    /// Persistent scheduler views, updated at the moment an instance changes.
+    /// Idle entries' `free_at_us` is clamped to the clock lazily, per
+    /// scheduling round, via the idle index (see `prepare_round`).
     views: Vec<InstanceView>,
     /// Per-instance running sum of the (individually rounded) nominal
     /// service times of locally queued queries.
     local_nominal_us: Vec<TimeUs>,
+    /// Total queries sitting in local queues (excluding those in service).
+    local_queued: usize,
+    /// Dispatchable backlog-free instances whose provisioning boundary has
+    /// passed, sorted by instance index.
+    idle_free: Vec<u32>,
+    /// Dispatchable backlog-free instances still provisioning, sorted by
+    /// `(available_from_us, instance index)`.
+    idle_pending: Vec<u32>,
+    /// Concatenation of the two lists handed to the scheduler each round.
+    idle_ctx: Vec<u32>,
+    /// Reusable dispatch-plan buffer (filled by `Scheduler::schedule_into`).
+    scratch_plan: Vec<Dispatch>,
+    /// Reusable removal-sweep index buffer.
+    scratch_removed: Vec<usize>,
+    /// Generation-stamped duplicate-dispatch marks: `marks[q] == round`
+    /// means query `q` was already dispatched this round.  Grows with the
+    /// deepest queue seen and is never cleared.
+    dispatch_marks: Vec<u64>,
+    round: u64,
+    /// Completions within / beyond the QoS target so far (for early-exit
+    /// capacity probes; see [`SimEngine::run_qos_probe`]).
+    on_time_completions: usize,
+    late_completions: usize,
     now: TimeUs,
     last_event: TimeUs,
     offered: usize,
@@ -252,32 +324,65 @@ impl<'a> SimEngine<'a> {
         options: &SimulationOptions,
     ) -> Self {
         let cluster = Cluster::new(pool.clone(), config.clone());
-        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(trace.len());
-        let mut seq = 0u64;
-        for q in &trace.queries {
-            heap.push(Reverse(Event {
-                time: q.arrival_us,
-                seq,
-                kind: EventKind::Arrival(*q),
-            }));
-            seq += 1;
+        scheduler.bind_types(cluster.type_names());
+        let profiles: Vec<LatencyProfile> = cluster
+            .type_names()
+            .iter()
+            .map(|name| service.profile(name))
+            .collect();
+
+        let mut arrivals = trace.queries.clone();
+        // Traces are sorted by construction; a hand-assembled out-of-order
+        // trace is restored to the event order the reference heap would use
+        // ((arrival time, trace position), stable).
+        if !arrivals
+            .windows(2)
+            .all(|w| w[0].arrival_us <= w[1].arrival_us)
+        {
+            arrivals.sort_by_key(|q| q.arrival_us);
         }
+        let mean_gap_us = if arrivals.len() > 1 {
+            trace.duration_us() / arrivals.len() as u64
+        } else {
+            1_000
+        };
+
         let views = build_views_naive(&cluster, service, 0);
+        let idle_free: Vec<u32> = views
+            .iter()
+            .filter(|v| v.accepting && v.backlog == 0)
+            .map(|v| v.instance_index as u32)
+            .collect();
         let local_nominal_us = vec![0; cluster.len()];
+        let offered = arrivals.len();
         Self {
             service,
             scheduler,
             cluster,
             rng: StdRng::seed_from_u64(options.seed),
-            heap,
-            seq,
+            profiles,
+            arrivals,
+            next_arrival: 0,
+            calendar: EventCalendar::with_granularity(mean_gap_us.max(1)),
+            seq: offered as u64,
             central_queue: Vec::new(),
+            queue_head: 0,
             records: Vec::new(),
             views,
             local_nominal_us,
+            local_queued: 0,
+            idle_free,
+            idle_pending: Vec::new(),
+            idle_ctx: Vec::new(),
+            scratch_plan: Vec::new(),
+            scratch_removed: Vec::new(),
+            dispatch_marks: Vec::new(),
+            round: 0,
+            on_time_completions: 0,
+            late_completions: 0,
             now: 0,
             last_event: 0,
-            offered: trace.len(),
+            offered,
             trace_duration_us: trace.duration_us(),
             qos_us: service.qos_us(),
         }
@@ -295,7 +400,14 @@ impl<'a> SimEngine<'a> {
 
     /// Queries waiting in the central queue, in arrival order.
     pub fn central_queue(&self) -> &[Query] {
-        &self.central_queue
+        &self.central_queue[self.queue_head..]
+    }
+
+    /// Queries in the system that are not being served: the central queue
+    /// plus every local instance queue.  O(1) — maintained incrementally for
+    /// the serving loop's demand estimate.
+    pub fn queued_backlog(&self) -> usize {
+        self.central_queue.len() - self.queue_head + self.local_queued
     }
 
     /// Completion records gathered so far.
@@ -303,18 +415,29 @@ impl<'a> SimEngine<'a> {
         &self.records
     }
 
-    /// The incrementally maintained scheduler views, refreshed to the
-    /// current clock.
+    /// The scheduler views refreshed to the current clock for *every*
+    /// instance (including retired ones the hot path leaves stale).
+    /// Diagnostic/test API: O(instances × queue-depth).
     pub fn views(&mut self) -> &[InstanceView] {
-        self.refresh_views();
+        self.views = build_views_naive(&self.cluster, self.service, self.now);
         &self.views
     }
 
     /// Recomputes the scheduler views from scratch (O(instances ×
-    /// queue-depth)).  Reference implementation for tests; the hot path uses
-    /// the incremental counters instead.
+    /// queue-depth)).  Reference implementation for tests; the hot path
+    /// updates views incrementally instead.
     pub fn recompute_views(&self) -> Vec<InstanceView> {
         build_views_naive(&self.cluster, self.service, self.now)
+    }
+
+    /// Exactly what the next scheduling round would see: the incrementally
+    /// maintained views and idle index, prepared to the current clock
+    /// *without* any full-cluster sweep.  Views of retired instances are not
+    /// refreshed (their `free_at_us` may be stale; policies never read
+    /// them).  Test API for the hot-path invariants.
+    pub fn scheduler_views(&mut self) -> (&[InstanceView], &[u32]) {
+        self.prepare_round();
+        (&self.views, &self.idle_ctx)
     }
 
     /// Processes the next event, consulting the scheduler afterwards.
@@ -325,49 +448,78 @@ impl<'a> SimEngine<'a> {
 
     /// Processes the next event and returns an owned description of it, so an
     /// external driver can observe arrivals/completions and reconfigure the
-    /// cluster between steps.  Returns `None` once the event heap is
-    /// exhausted.
+    /// cluster between steps.  Returns `None` once all events are exhausted.
     pub fn step_event(&mut self) -> Option<EngineEvent> {
-        let Reverse(event) = self.heap.pop()?;
-        self.now = event.time;
-        self.last_event = self.last_event.max(self.now);
-        let observed = match event.kind {
-            EventKind::Arrival(query) => {
-                self.central_queue.push(query);
-                EngineEvent::Arrival { query }
+        // Arrivals carry sequence numbers 0..offered (their trace position),
+        // timed events continue from there — so on a time tie the arrival
+        // fires first, exactly as the reference heap orders (time, seq).
+        let take_arrival = match (
+            self.next_arrival < self.arrivals.len(),
+            self.calendar.peek(),
+        ) {
+            (false, None) => return None,
+            (true, None) => true,
+            (false, Some(_)) => false,
+            (true, Some((timed_at, _))) => self.arrivals[self.next_arrival].arrival_us <= timed_at,
+        };
+        let observed = if take_arrival {
+            let query = self.arrivals[self.next_arrival];
+            self.next_arrival += 1;
+            self.now = query.arrival_us;
+            self.last_event = self.last_event.max(self.now);
+            self.central_queue.push(query);
+            EngineEvent::Arrival { query }
+        } else {
+            let event = self.calendar.pop().expect("peeked above");
+            self.now = event.time;
+            self.last_event = self.last_event.max(self.now);
+            if event.is_ready {
+                // A provisioned instance comes online: no state change beyond
+                // the scheduler consultation that lets queries flow to it.
+                EngineEvent::InstanceReady {
+                    instance_index: event.instance_index,
+                }
+            } else {
+                self.complete(event.instance_index)
             }
-            EventKind::Completion { instance_index } => {
-                let (query, start_us, type_index, type_name) = {
-                    let inst = &mut self.cluster.instances_mut()[instance_index];
-                    let (query, start_us) = inst
-                        .serving
-                        .take()
-                        .expect("completion event for idle instance");
-                    (query, start_us, inst.type_index, inst.type_name.clone())
-                };
-                let record = QueryRecord {
-                    id: query.id,
-                    batch_size: query.batch_size,
-                    arrival_us: query.arrival_us,
-                    start_us,
-                    completion_us: self.now,
-                    instance_index,
-                    type_index,
-                };
-                self.records.push(record);
-                let service_ms = (self.now - start_us) as f64 / 1000.0;
-                self.scheduler
-                    .on_completion(&type_name, query.batch_size, service_ms);
-                // Start the next locally queued query, if any; a draining
-                // instance that just emptied transitions to retired.
-                self.start_next(instance_index);
-                self.cluster.settle_drained(instance_index);
-                EngineEvent::Completion { record, type_name }
-            }
-            EventKind::Ready { instance_index } => EngineEvent::InstanceReady { instance_index },
         };
         self.invoke_scheduler();
         Some(observed)
+    }
+
+    /// Applies a completion event on `instance_index`.
+    fn complete(&mut self, instance_index: usize) -> EngineEvent {
+        let (query, start_us, type_index, type_name) = {
+            let inst = &mut self.cluster.instances_mut()[instance_index];
+            let (query, start_us) = inst
+                .serving
+                .take()
+                .expect("completion event for idle instance");
+            (query, start_us, inst.type_index, inst.type_name.clone())
+        };
+        let record = QueryRecord {
+            id: query.id,
+            batch_size: query.batch_size,
+            arrival_us: query.arrival_us,
+            start_us,
+            completion_us: self.now,
+            instance_index,
+            type_index,
+        };
+        if record.within_qos(self.qos_us) {
+            self.on_time_completions += 1;
+        } else {
+            self.late_completions += 1;
+        }
+        self.records.push(record);
+        let service_ms = (self.now - start_us) as f64 / 1000.0;
+        self.scheduler
+            .on_completion(type_index, query.batch_size, service_ms);
+        // Start the next locally queued query, if any; a draining instance
+        // that just emptied transitions to retired.
+        self.start_next(instance_index);
+        self.cluster.settle_drained(instance_index);
+        EngineEvent::Completion { record, type_name }
     }
 
     /// Adds an instance of the given pool type to the live cluster.  The
@@ -389,11 +541,13 @@ impl<'a> SimEngine<'a> {
             backlog: 0,
         });
         self.local_nominal_us.push(0);
-        self.heap.push(Reverse(Event {
+        self.insert_idle_pending(instance_index as u32);
+        self.calendar.push(TimedEvent {
             time: ready_at,
             seq: self.seq,
-            kind: EventKind::Ready { instance_index },
-        }));
+            instance_index,
+            is_ready: true,
+        });
         self.seq += 1;
         instance_index
     }
@@ -402,6 +556,13 @@ impl<'a> SimEngine<'a> {
     /// transitions to retired once its local queue drains (immediately if
     /// idle).  Queries already dispatched to it are still served.
     pub fn retire_instance(&mut self, instance_index: usize) {
+        let was_dispatchable_idle = {
+            let inst = &self.cluster.instances()[instance_index];
+            inst.accepts_dispatches() && inst.backlog() == 0
+        };
+        if was_dispatchable_idle {
+            self.remove_idle(instance_index as u32);
+        }
         self.cluster.retire_instance(instance_index);
         self.views[instance_index].accepting = false;
     }
@@ -439,11 +600,61 @@ impl<'a> SimEngine<'a> {
         self.report()
     }
 
+    /// Runs the simulation only as far as needed to decide whether it meets
+    /// the QoS target at `tolerance` (fraction of offered queries allowed to
+    /// violate), and returns that verdict.  The result is **identical** to
+    /// `self.run().meets_qos(tolerance)`; the replay just aborts as soon as
+    /// the verdict is provable:
+    ///
+    /// * **fail** once the late completions alone exceed the violation
+    ///   budget — the final count only grows (late completions stay late,
+    ///   and stale unfinished queries only add to it);
+    /// * **pass** once every query *not yet completed within QoS* could
+    ///   violate and the total would still fit the budget — on-time
+    ///   completions can never be revoked.
+    ///
+    /// This is what makes capacity probes cheap: an overloaded probe fails
+    /// within the first QoS-window of violations instead of simulating the
+    /// entire backlog drain, and a comfortably feasible probe passes without
+    /// replaying its idle tail.
+    pub fn run_qos_probe(mut self, tolerance: f64) -> bool {
+        // The violation budget must be *exactly* the largest count the final
+        // `meets_qos` float comparison accepts: deriving it via
+        // `floor(tolerance × offered)` can disagree at representability
+        // boundaries (e.g. 0.29 × 100 = 28.999…96 floors to 28 even though
+        // 29/100 ≤ 0.29 holds in f64), which would flip a boundary-landing
+        // probe against the full replay.  Start from the floor and align
+        // with the comparison itself.
+        let offered = self.offered as f64;
+        let mut budget = (tolerance * offered).floor().clamp(0.0, offered) as usize;
+        while budget < self.offered && ((budget + 1) as f64) / offered <= tolerance {
+            budget += 1;
+        }
+        while budget > 0 && (budget as f64) / offered > tolerance {
+            budget -= 1;
+        }
+        // A zero-violation run has fraction 0.0, which a (pathological)
+        // negative tolerance still rejects — disable the early pass there.
+        let can_pass_early = tolerance >= 0.0;
+        loop {
+            if self.late_completions > budget {
+                return false;
+            }
+            if can_pass_early && self.offered - self.on_time_completions <= budget {
+                return true;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        // Undecided at exhaustion (only stale-unfinished accounting left).
+        self.report().meets_qos(tolerance)
+    }
+
     /// Finalizes the run: anything still queued (centrally or locally) is
     /// reported as unfinished.
     pub fn report(self) -> SimReport {
-        let mut unfinished: Vec<UnfinishedQuery> = self
-            .central_queue
+        let mut unfinished: Vec<UnfinishedQuery> = self.central_queue[self.queue_head..]
             .iter()
             .map(|q| UnfinishedQuery {
                 id: q.id,
@@ -451,6 +662,17 @@ impl<'a> SimEngine<'a> {
                 arrival_us: q.arrival_us,
             })
             .collect();
+        // Arrivals the probe never reached count as unfinished too (only
+        // possible when a run is abandoned early, e.g. by `run_qos_probe`).
+        unfinished.extend(
+            self.arrivals[self.next_arrival..]
+                .iter()
+                .map(|q| UnfinishedQuery {
+                    id: q.id,
+                    batch_size: q.batch_size,
+                    arrival_us: q.arrival_us,
+                }),
+        );
         for inst in self.cluster.instances() {
             for q in &inst.local_queue {
                 unfinished.push(UnfinishedQuery {
@@ -479,7 +701,8 @@ impl<'a> SimEngine<'a> {
         }
     }
 
-    /// Starts the next locally queued query on an idle instance.  Service
+    /// Starts the next locally queued query on an idle instance, or marks the
+    /// instance idle (and indexes it) when nothing is waiting.  Service
     /// cannot begin before the instance's provisioning boundary.
     fn start_next(&mut self, instance_index: usize) {
         let inst = &mut self.cluster.instances_mut()[instance_index];
@@ -487,106 +710,202 @@ impl<'a> SimEngine<'a> {
         if let Some(query) = inst.local_queue.pop_front() {
             // The query leaves the local queue: retire its nominal estimate
             // from the incremental view and charge the actual service time.
-            self.local_nominal_us[instance_index] -=
-                nominal_us(self.service, &inst.type_name, query.batch_size);
+            let profile = &self.profiles[inst.type_index];
+            self.local_queued -= 1;
+            self.local_nominal_us[instance_index] -= nominal_us_profile(profile, query.batch_size);
             let service_us =
                 self.service
-                    .service_time_us(&inst.type_name, query.batch_size, &mut self.rng);
+                    .service_time_us_from_profile(profile, query.batch_size, &mut self.rng);
             let start_us = self.now.max(inst.available_from_us);
             inst.serving = Some((query, start_us));
             inst.busy_until_us = start_us + service_us;
-            self.heap.push(Reverse(Event {
+            let view = &mut self.views[instance_index];
+            view.free_at_us = inst.busy_until_us + self.local_nominal_us[instance_index];
+            view.backlog = inst.local_queue.len() + 1;
+            self.calendar.push(TimedEvent {
                 time: inst.busy_until_us,
                 seq: self.seq,
-                kind: EventKind::Completion { instance_index },
-            }));
+                instance_index,
+                is_ready: false,
+            });
             self.seq += 1;
+        } else {
+            // Instance goes idle (reachable from the completion path only, so
+            // its provisioning boundary has necessarily passed).
+            debug_assert!(inst.available_from_us <= self.now);
+            let accepting = inst.accepts_dispatches();
+            let view = &mut self.views[instance_index];
+            view.backlog = 0;
+            view.free_at_us = self.now;
+            if accepting {
+                let pos = self
+                    .idle_free
+                    .binary_search(&(instance_index as u32))
+                    .unwrap_err();
+                self.idle_free.insert(pos, instance_index as u32);
+            }
         }
     }
 
-    /// Refreshes `free_at_us` / `backlog` / `accepting` of every view from
-    /// the incremental counters — O(instances) arithmetic, no queue walks, no
-    /// allocation.
-    fn refresh_views(&mut self) {
-        let now = self.now;
-        for (view, inst) in self.views.iter_mut().zip(self.cluster.instances()) {
-            let base = if inst.serving.is_some() {
-                inst.busy_until_us.max(now)
-            } else {
-                now.max(inst.available_from_us)
-            };
-            view.free_at_us = base + self.local_nominal_us[inst.index];
-            view.backlog = inst.backlog();
-            view.accepting = inst.accepts_dispatches();
+    /// Removes an instance from whichever idle list holds it.
+    fn remove_idle(&mut self, instance_index: u32) {
+        if let Ok(pos) = self.idle_free.binary_search(&instance_index) {
+            self.idle_free.remove(pos);
+        } else if let Some(pos) = self.idle_pending.iter().position(|&i| i == instance_index) {
+            self.idle_pending.remove(pos);
+        } else {
+            debug_assert!(false, "idle instance {instance_index} not indexed");
         }
+    }
+
+    /// Inserts an instance into the pending idle list, keeping it sorted by
+    /// `(available_from_us, instance index)`.
+    fn insert_idle_pending(&mut self, instance_index: u32) {
+        let key = |i: u32| {
+            let inst = &self.cluster.instances()[i as usize];
+            (inst.available_from_us, i)
+        };
+        let k = key(instance_index);
+        let pos = self
+            .idle_pending
+            .binary_search_by(|&i| key(i).cmp(&k))
+            .unwrap_err();
+        self.idle_pending.insert(pos, instance_index);
+    }
+
+    /// Brings the incremental views and idle index up to the current clock:
+    /// pending instances whose provisioning boundary has passed migrate to
+    /// the free list, and the free list's `free_at_us` is clamped to `now`.
+    /// O(idle instances); busy instances were updated when they changed.
+    fn prepare_round(&mut self) {
+        while let Some(&head) = self.idle_pending.first() {
+            if self.cluster.instances()[head as usize].available_from_us > self.now {
+                break;
+            }
+            self.idle_pending.remove(0);
+            let pos = self.idle_free.binary_search(&head).unwrap_err();
+            self.idle_free.insert(pos, head);
+        }
+        for &i in &self.idle_free {
+            self.views[i as usize].free_at_us = self.now;
+        }
+        self.idle_ctx.clear();
+        self.idle_ctx.extend_from_slice(&self.idle_free);
+        self.idle_ctx.extend_from_slice(&self.idle_pending);
     }
 
     /// Consults the scheduler and applies its dispatch decisions.
     fn invoke_scheduler(&mut self) {
-        if self.central_queue.is_empty() {
+        let queue_len = self.central_queue.len() - self.queue_head;
+        if queue_len == 0 {
             return;
         }
-        self.refresh_views();
-        let ctx = SchedulingContext {
-            now_us: self.now,
-            queued: &self.central_queue,
-            instances: &self.views,
-            qos_us: self.qos_us,
-        };
-        let mut plan: Vec<Dispatch> = self.scheduler.schedule(&ctx);
+        self.prepare_round();
+        let mut plan = std::mem::take(&mut self.scratch_plan);
+        plan.clear();
+        {
+            let ctx = SchedulingContext {
+                now_us: self.now,
+                queued: &self.central_queue[self.queue_head..],
+                instances: &self.views,
+                idle: &self.idle_ctx,
+                qos_us: self.qos_us,
+            };
+            self.scheduler.schedule_into(&ctx, &mut plan);
+        }
 
         // Validate: indices in range, each query dispatched at most once, and
-        // no dispatches to draining/retired instances.
-        let mut dispatched = vec![false; self.central_queue.len()];
+        // no dispatches to draining/retired instances.  Duplicate tracking
+        // uses generation stamps so no per-round buffer clearing or
+        // allocation is needed.
+        self.round += 1;
+        let round = self.round;
+        if self.dispatch_marks.len() < queue_len {
+            self.dispatch_marks.resize(queue_len, 0);
+        }
         let cluster = &self.cluster;
+        let marks = &mut self.dispatch_marks;
         plan.retain(|d| {
-            let valid = d.query_index < dispatched.len()
+            let valid = d.query_index < queue_len
                 && d.instance_index < cluster.len()
                 && cluster.instances()[d.instance_index].accepts_dispatches()
-                && !dispatched[d.query_index];
+                && marks[d.query_index] != round;
             if valid {
-                dispatched[d.query_index] = true;
+                marks[d.query_index] = round;
             }
             valid
         });
         if plan.is_empty() {
+            self.scratch_plan = plan;
             return;
         }
 
         // Dispatch in the order returned by the policy.
         for d in &plan {
-            let query = self.central_queue[d.query_index];
-            let needs_start = {
-                let inst = &mut self.cluster.instances_mut()[d.instance_index];
+            let query = self.central_queue[self.queue_head + d.query_index];
+            let i = d.instance_index;
+            let (needs_start, was_idle, type_index) = {
+                let inst = &mut self.cluster.instances_mut()[i];
+                let was_idle = inst.backlog() == 0;
                 inst.local_queue.push_back(query);
-                inst.serving.is_none()
+                (inst.serving.is_none(), was_idle, inst.type_index)
             };
-            self.local_nominal_us[d.instance_index] += nominal_us(
-                self.service,
-                &self.cluster.instances()[d.instance_index].type_name,
-                query.batch_size,
-            );
+            if was_idle {
+                self.remove_idle(i as u32);
+            }
+            self.local_queued += 1;
+            self.local_nominal_us[i] +=
+                nominal_us_profile(&self.profiles[type_index], query.batch_size);
             if needs_start {
-                self.start_next(d.instance_index);
+                self.start_next(i);
+            } else {
+                let inst = &self.cluster.instances()[i];
+                let view = &mut self.views[i];
+                view.free_at_us = inst.busy_until_us + self.local_nominal_us[i];
+                view.backlog = inst.backlog();
             }
         }
 
-        // Remove dispatched queries in one gap-closing sweep: survivors
-        // between consecutive dispatched indices are shifted left with block
-        // copies, so each element moves at most once (one memmove per gap).
-        // Replaces the former sort + per-index `Vec::remove` loop, which was
-        // O(dispatches × queue).  Relative order of survivors is preserved.
-        let mut removed: Vec<usize> = plan.iter().map(|d| d.query_index).collect();
+        // Remove dispatched queries.  A dispatched *prefix* — the common
+        // FCFS-style pattern of taking the oldest queries — just advances the
+        // queue head in O(1); scattered survivors behind it are closed up
+        // with one gap-closing sweep where each element moves at most once.
+        // Relative order of survivors is preserved.
+        let mut removed = std::mem::take(&mut self.scratch_removed);
+        removed.clear();
+        removed.extend(plan.iter().map(|d| d.query_index));
         removed.sort_unstable();
-        let queue = &mut self.central_queue;
-        let len = queue.len();
-        let mut write = removed[0];
-        for (i, &idx) in removed.iter().enumerate() {
-            let next = removed.get(i + 1).copied().unwrap_or(len);
-            queue.copy_within(idx + 1..next, write);
-            write += next - idx - 1;
+        let mut prefix = 0usize;
+        while prefix < removed.len() && removed[prefix] == prefix {
+            prefix += 1;
         }
-        queue.truncate(write);
+        self.queue_head += prefix;
+        if prefix < removed.len() {
+            let head = self.queue_head;
+            let queue = &mut self.central_queue;
+            let end = queue.len();
+            // Absolute position of the first removed non-prefix entry: the
+            // sweep compacts everything behind it.
+            let mut write = head + removed[prefix] - prefix;
+            for (i, &idx) in removed[prefix..].iter().enumerate() {
+                let abs = head + idx - prefix;
+                let next = removed[prefix..]
+                    .get(i + 1)
+                    .map(|&n| head + n - prefix)
+                    .unwrap_or(end);
+                queue.copy_within(abs + 1..next, write);
+                write += next - abs - 1;
+            }
+            queue.truncate(write);
+        }
+        // Compact the dead prefix away once it dominates the storage, so the
+        // buffer does not grow with the whole trace.
+        if self.queue_head > 1024 && self.queue_head * 2 >= self.central_queue.len() {
+            self.central_queue.drain(..self.queue_head);
+            self.queue_head = 0;
+        }
+        self.scratch_removed = removed;
+        self.scratch_plan = plan;
     }
 }
 
@@ -606,13 +925,15 @@ pub fn run_trace(
     SimEngine::new(pool, config, service, trace, scheduler, options).run()
 }
 
-/// The original event loop, which rebuilds every [`InstanceView`] from
-/// scratch on every event and removes dispatched queries with per-index
+/// The original event loop, which keeps every event (arrivals included) in a
+/// binary heap, rebuilds every [`InstanceView`] and the idle index from
+/// scratch on every event, and removes dispatched queries with per-index
 /// `Vec::remove` calls.
 ///
 /// Preserved as the behavioural reference for [`SimEngine`]: the determinism
-/// tests assert the two produce identical records, and the `simulator`
-/// Criterion bench measures the incremental engine's speedup against it.
+/// and property tests assert the two produce identical reports, and the
+/// `simulator` Criterion bench measures the optimized engine's speedup
+/// against it.
 pub fn run_trace_naive(
     pool: &PoolSpec,
     config: &Config,
@@ -622,6 +943,7 @@ pub fn run_trace_naive(
     options: &SimulationOptions,
 ) -> SimReport {
     let mut cluster = Cluster::new(pool.clone(), config.clone());
+    scheduler.bind_types(cluster.type_names());
     let mut rng = StdRng::seed_from_u64(options.seed);
     let qos_us = service.qos_us();
 
@@ -683,10 +1005,12 @@ pub fn run_trace_naive(
             return;
         }
         let views = build_views_naive(cluster, service, now);
+        let idle = idle_order(&views);
         let ctx = SchedulingContext {
             now_us: now,
             queued: central_queue,
             instances: &views,
+            idle: &idle,
             qos_us,
         };
         let mut plan: Vec<Dispatch> = scheduler.schedule(&ctx);
@@ -735,13 +1059,13 @@ pub fn run_trace_naive(
                 central_queue.push(query);
             }
             EventKind::Completion { instance_index } => {
-                let (query, start_us, type_index, type_name) = {
+                let (query, start_us, type_index) = {
                     let inst = &mut cluster.instances_mut()[instance_index];
                     let (query, start_us) = inst
                         .serving
                         .take()
                         .expect("completion event for idle instance");
-                    (query, start_us, inst.type_index, inst.type_name.clone())
+                    (query, start_us, inst.type_index)
                 };
                 records.push(QueryRecord {
                     id: query.id,
@@ -753,7 +1077,7 @@ pub fn run_trace_naive(
                     type_index,
                 });
                 let service_ms = (now - start_us) as f64 / 1000.0;
-                scheduler.on_completion(&type_name, query.batch_size, service_ms);
+                scheduler.on_completion(type_index, query.batch_size, service_ms);
                 // Start the next locally queued query, if any.
                 start_next(
                     &mut cluster,
@@ -765,8 +1089,6 @@ pub fn run_trace_naive(
                     now,
                 );
             }
-            // The naive replayer never reconfigures, so no Ready events exist.
-            EventKind::Ready { .. } => unreachable!("naive path has no provisioning"),
         }
         invoke_scheduler(
             &mut cluster,
@@ -927,6 +1249,28 @@ mod tests {
             &SimulationOptions::default(),
         );
         assert!(!report.meets_qos(0.05), "overload should violate QoS");
+    }
+
+    #[test]
+    fn qos_probe_matches_full_replay_verdict() {
+        let (pool, service) = setup();
+        let config = Config::new(vec![1, 0, 1, 0]);
+        for (rate, seed) in [(30.0, 5u64), (150.0, 6), (600.0, 7), (2500.0, 8)] {
+            let trace = TraceSpec::production(rate, 1.0, seed).generate();
+            let opts = SimulationOptions::default();
+            for tolerance in [0.0, 0.01, 0.1] {
+                let mut s1 = FcfsScheduler::new();
+                let full = run_trace(&pool, &config, &service, &trace, &mut s1, &opts)
+                    .meets_qos(tolerance);
+                let mut s2 = FcfsScheduler::new();
+                let probe = SimEngine::new(&pool, &config, &service, &trace, &mut s2, &opts)
+                    .run_qos_probe(tolerance);
+                assert_eq!(
+                    probe, full,
+                    "probe verdict diverged at rate {rate} tolerance {tolerance}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1251,6 +1595,40 @@ mod tests {
     }
 
     #[test]
+    fn unsorted_trace_is_replayed_in_event_order() {
+        let (pool, service) = setup();
+        let config = Config::new(vec![1, 0, 0, 0]);
+        // Hand-assembled out-of-order queries (bypassing `from_queries`).
+        let trace = Trace {
+            spec: None,
+            queries: vec![
+                Query::new(0, 10, 9_000),
+                Query::new(1, 10, 1_000),
+                Query::new(2, 10, 5_000),
+            ],
+        };
+        let opts = SimulationOptions::default();
+        let fast = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut FcfsScheduler::new(),
+            &opts,
+        );
+        let naive = run_trace_naive(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut FcfsScheduler::new(),
+            &opts,
+        );
+        assert_eq!(fast.records, naive.records);
+        assert_eq!(fast.records[0].id, 1);
+    }
+
+    #[test]
     fn incremental_views_match_recomputed_views_each_step() {
         let (pool, service) = setup();
         // FCFS dispatches to idle instances only, so this exercises the
@@ -1271,11 +1649,10 @@ mod tests {
         let mut steps = 0usize;
         while engine.step() {
             let reference = engine.recompute_views();
-            assert_eq!(
-                engine.views(),
-                &reference[..],
-                "views diverged at step {steps}"
-            );
+            let reference_idle = idle_order(&reference);
+            let (views, idle) = engine.scheduler_views();
+            assert_eq!(views, &reference[..], "views diverged at step {steps}");
+            assert_eq!(idle, &reference_idle[..], "idle diverged at step {steps}");
             steps += 1;
         }
         assert!(

@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod capacity;
 pub mod cluster;
 pub mod context;
@@ -52,7 +53,8 @@ pub mod scheduler;
 pub mod stats;
 
 pub use capacity::{
-    allowable_throughput, allowable_throughput_many, CapacityOptions, CapacityResult,
+    allowable_throughput, allowable_throughput_many, CapacityOptions, CapacityProber,
+    CapacityResult,
 };
 pub use cluster::{Cluster, InstanceLifecycle, ServiceSpec, SimInstance};
 pub use context::SimContext;
@@ -60,5 +62,7 @@ pub use engine::{
     run_trace, run_trace_naive, ClusterAction, EngineEvent, EngineHook, SimEngine,
     SimulationOptions,
 };
-pub use scheduler::{Dispatch, FcfsScheduler, InstanceView, Scheduler, SchedulingContext};
+pub use scheduler::{
+    idle_order, Dispatch, FcfsScheduler, InstanceView, Scheduler, SchedulingContext,
+};
 pub use stats::{QueryRecord, SimReport, UnfinishedQuery};

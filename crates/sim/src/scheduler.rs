@@ -8,6 +8,25 @@
 //! the target instance's local FIFO queue, which allows both
 //! central-queue policies (Kairos, Ribbon, DRS — they only dispatch to idle
 //! instances) and per-instance-queue policies (Clockwork) to be expressed.
+//!
+//! # Hot-path contract
+//!
+//! The engine invokes the scheduler once per event, so this interface is the
+//! innermost loop of every capacity probe.  Three design points keep it
+//! allocation-free in steady state:
+//!
+//! * [`Scheduler::schedule_into`] writes dispatches into a caller-owned
+//!   buffer that the engine reuses across rounds.  Policies with internal
+//!   scratch (the FCFS baseline here, the `kairos-baselines` schedulers)
+//!   override it; the default delegates to [`Scheduler::schedule`] so simple
+//!   or test policies only implement the allocating form.
+//! * [`SchedulingContext::idle`] is an engine-maintained index of the
+//!   dispatchable instances sorted by `(free_at_us, instance_index)`, so
+//!   idle-dispatch policies need not scan (or re-sort) every view.
+//! * [`Scheduler::on_completion`] identifies the serving instance by its
+//!   *pool type index*, not a string name, so completion-time learning needs
+//!   no string hashing; [`Scheduler::bind_types`] hands policies the
+//!   index → name mapping once per run.
 
 use kairos_workload::{Query, TimeUs};
 use std::sync::Arc;
@@ -32,6 +51,10 @@ pub struct InstanceView {
     /// and everything already sitting in its local queue.  Equal to `now` when
     /// the instance is idle (or to its provisioning boundary when the
     /// instance has not come online yet).
+    ///
+    /// Only **accepting** views carry an exact value on the engine's hot
+    /// path: views of retired instances are not refreshed (policies must not
+    /// dispatch to them, so their projected free time is meaningless).
     pub free_at_us: TimeUs,
     /// Number of queries currently queued locally at the instance (including
     /// the one being served).
@@ -60,8 +83,46 @@ pub struct SchedulingContext<'a> {
     pub queued: &'a [Query],
     /// View of every instance in the cluster.
     pub instances: &'a [InstanceView],
+    /// Indices (into [`Self::instances`]) of the *dispatchable* backlog-free
+    /// instances — accepting, nothing serving, nothing queued locally —
+    /// sorted by `(free_at_us, instance_index)`.  Instances still
+    /// provisioning (`free_at_us > now_us`) sort after the immediately
+    /// usable ones; [`Self::idle_now`] yields just the usable prefix.
+    ///
+    /// Maintained incrementally by the engine so policies that only dispatch
+    /// to idle instances never scan the full view array.
+    pub idle: &'a [u32],
     /// QoS target of the served model, in microseconds.
     pub qos_us: u64,
+}
+
+impl SchedulingContext<'_> {
+    /// The prefix of [`Self::idle`] that is usable *right now* (provisioning
+    /// boundary passed), still sorted by instance index.
+    pub fn idle_now(&self) -> &[u32] {
+        let cut = self
+            .idle
+            .partition_point(|&i| self.instances[i as usize].free_at_us <= self.now_us);
+        &self.idle[..cut]
+    }
+}
+
+/// Reference computation of [`SchedulingContext::idle`] from a view array:
+/// the dispatchable backlog-free instances sorted by `(free_at_us,
+/// instance_index)`.  The ordering is purely view-derived — the clock enters
+/// only later, through [`SchedulingContext::idle_now`]'s usable-prefix cut.
+///
+/// This is the oracle the engine's incremental index is tested against, and
+/// what [`crate::engine::run_trace_naive`] rebuilds every round; tests that
+/// hand-construct a [`SchedulingContext`] should use it too.
+pub fn idle_order(views: &[InstanceView]) -> Vec<u32> {
+    let mut idle: Vec<u32> = views
+        .iter()
+        .filter(|v| v.accepting && v.backlog == 0)
+        .map(|v| v.instance_index as u32)
+        .collect();
+    idle.sort_by_key(|&i| (views[i as usize].free_at_us, i));
+    idle
 }
 
 /// A dispatch decision: send `queued[query_index]` to `instances[instance_index]`.
@@ -90,22 +151,42 @@ pub trait Scheduler {
     /// central queue and are offered again at the next invocation.
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch>;
 
+    /// Scratch-aware variant of [`Self::schedule`]: appends the dispatch
+    /// decisions to `out` (cleared by the caller), which the engine reuses
+    /// across rounds so steady-state scheduling performs no allocation.
+    ///
+    /// The default delegates to `schedule`; hot-path policies should override
+    /// this and implement `schedule` in terms of it.
+    fn schedule_into(&mut self, ctx: &SchedulingContext<'_>, out: &mut Vec<Dispatch>) {
+        out.extend(self.schedule(ctx));
+    }
+
+    /// Hands the policy the pool's interned type names, indexed by the type
+    /// index used in [`Self::on_completion`] and [`InstanceView::type_index`].
+    /// Called once before a simulation starts.  The default ignores it.
+    fn bind_types(&mut self, _type_names: &[Arc<str>]) {}
+
     /// Callback invoked when a query finishes, so policies can learn latency
-    /// online (Kairos) or adapt thresholds.  The default does nothing.
-    fn on_completion(&mut self, _instance_type: &str, _batch_size: u32, _service_ms: f64) {}
+    /// online (Kairos) or adapt thresholds.  The serving instance's pool type
+    /// is identified by index (see [`Self::bind_types`]) so the completion
+    /// hot path involves no string comparison.  The default does nothing.
+    fn on_completion(&mut self, _type_index: usize, _batch_size: u32, _service_ms: f64) {}
 }
 
 /// The naive first-come-first-serve policy: dispatch the oldest queued query
 /// to any idle instance, preferring base-type instances (this is the query
 /// distribution used by Ribbon, paper Sec. 7, and the "naive" scheme of
 /// Fig. 5).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct FcfsScheduler;
+#[derive(Debug, Default, Clone)]
+pub struct FcfsScheduler {
+    /// Reusable ordering scratch (idle instances, base type first).
+    order: Vec<u32>,
+}
 
 impl FcfsScheduler {
     /// Creates the FCFS policy.
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 }
 
@@ -115,26 +196,27 @@ impl Scheduler for FcfsScheduler {
     }
 
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+        let mut out = Vec::new();
+        self.schedule_into(ctx, &mut out);
+        out
+    }
+
+    fn schedule_into(&mut self, ctx: &SchedulingContext<'_>, out: &mut Vec<Dispatch>) {
         // Idle instances, base type first (Ribbon "prefers instances of the
         // base type when multiple instances are available").
-        let mut idle: Vec<&InstanceView> = ctx
-            .instances
-            .iter()
-            .filter(|i| i.is_idle(ctx.now_us))
-            .collect();
-        idle.sort_by_key(|i| (!i.is_base, i.instance_index));
-
-        let mut out = Vec::new();
-        for (slot, inst) in idle.into_iter().enumerate() {
+        self.order.clear();
+        self.order.extend_from_slice(ctx.idle_now());
+        self.order
+            .sort_unstable_by_key(|&i| (!ctx.instances[i as usize].is_base, i));
+        for (slot, &i) in self.order.iter().enumerate() {
             if slot >= ctx.queued.len() {
                 break;
             }
             out.push(Dispatch {
                 query_index: slot,
-                instance_index: inst.instance_index,
+                instance_index: i as usize,
             });
         }
-        out
     }
 }
 
@@ -173,13 +255,32 @@ mod tests {
     }
 
     #[test]
+    fn idle_order_filters_and_sorts() {
+        let mut views = vec![view(0, false, 700), view(1, true, 0), view(2, false, 0)];
+        views[0].backlog = 0; // provisioning: idle but not usable yet
+        let idle = idle_order(&views);
+        // Usable instances by index first, then the provisioning one.
+        assert_eq!(idle, vec![1, 2, 0]);
+        let ctx = SchedulingContext {
+            now_us: 10,
+            queued: &[],
+            instances: &views,
+            idle: &idle,
+            qos_us: 1_000_000,
+        };
+        assert_eq!(ctx.idle_now(), &[1, 2]);
+    }
+
+    #[test]
     fn fcfs_prefers_base_instances() {
         let queued = vec![Query::new(0, 10, 0), Query::new(1, 20, 0)];
         let instances = vec![view(0, false, 0), view(1, true, 0), view(2, false, 500)];
+        let idle = idle_order(&instances);
         let ctx = SchedulingContext {
             now_us: 0,
             queued: &queued,
             instances: &instances,
+            idle: &idle,
             qos_us: 1_000_000,
         };
         let mut fcfs = FcfsScheduler::new();
@@ -206,10 +307,12 @@ mod tests {
     fn fcfs_ignores_busy_instances() {
         let queued = vec![Query::new(0, 10, 0)];
         let instances = vec![view(0, true, 900)];
+        let idle = idle_order(&instances);
         let ctx = SchedulingContext {
             now_us: 100,
             queued: &queued,
             instances: &instances,
+            idle: &idle,
             qos_us: 1_000_000,
         };
         assert!(FcfsScheduler::new().schedule(&ctx).is_empty());

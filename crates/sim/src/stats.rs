@@ -103,14 +103,17 @@ impl SimReport {
         ok as f64 / (self.horizon_us as f64 / 1e6)
     }
 
-    /// Fraction of offered queries that violated QoS.  A query counts as a
-    /// violation if it completed too late, or if it never completed and has
-    /// already been in the system longer than the QoS target at the horizon
-    /// (so an overloaded system cannot hide violations in its backlog).
-    pub fn violation_fraction(&self) -> f64 {
-        if self.offered == 0 {
-            return 0.0;
-        }
+    /// Number of offered queries that violated QoS: completions beyond the
+    /// target plus unfinished queries already in the system longer than the
+    /// target at the horizon (so an overloaded system cannot hide violations
+    /// in its backlog).
+    ///
+    /// The late-completion term is monotone over a run — once a completion
+    /// is late it stays late, and on-time completions can never turn into
+    /// violations — which is the bound the engine's early-exit capacity
+    /// probe ([`kairos_sim::SimEngine::run_qos_probe`](crate::SimEngine::run_qos_probe))
+    /// relies on.
+    pub fn violations(&self) -> usize {
         let late_completed = self
             .records
             .iter()
@@ -121,7 +124,16 @@ impl SimReport {
             .iter()
             .filter(|u| self.horizon_us.saturating_sub(u.arrival_us) > self.qos_us)
             .count();
-        (late_completed + late_unfinished) as f64 / self.offered as f64
+        late_completed + late_unfinished
+    }
+
+    /// Fraction of offered queries that violated QoS (see
+    /// [`Self::violations`]).
+    pub fn violation_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.violations() as f64 / self.offered as f64
     }
 
     /// Whether the run satisfies the QoS target at the given tail tolerance

@@ -8,8 +8,8 @@
 
 use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
 use kairos_sim::{
-    run_trace, run_trace_naive, Dispatch, FcfsScheduler, Scheduler, SchedulingContext, ServiceSpec,
-    SimEngine, SimulationOptions,
+    idle_order, run_trace, run_trace_naive, Dispatch, FcfsScheduler, Scheduler, SchedulingContext,
+    ServiceSpec, SimEngine, SimulationOptions,
 };
 use kairos_workload::TraceSpec;
 
@@ -85,15 +85,20 @@ fn incremental_views_equal_recomputed_views_on_a_10k_production_trace() {
     let mut saw_queued_work = false;
     while engine.step() {
         let reference = engine.recompute_views();
+        let reference_idle = idle_order(&reference);
         saw_queued_work |= engine
             .cluster()
             .instances()
             .iter()
             .any(|inst| !inst.local_queue.is_empty());
+        // The *hot-path* state: incrementally maintained views + idle index,
+        // with no full-cluster sweep behind them.
+        let (views, idle) = engine.scheduler_views();
+        assert_eq!(views, &reference[..], "views diverged after event {events}");
         assert_eq!(
-            engine.views(),
-            &reference[..],
-            "views diverged after event {events}"
+            idle,
+            &reference_idle[..],
+            "idle index diverged after event {events}"
         );
         events += 1;
     }

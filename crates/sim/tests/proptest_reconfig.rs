@@ -1,19 +1,30 @@
-//! Property-based tests of the reconfiguration invariants.
+//! Property-based tests of the engine's hot-path and reconfiguration
+//! invariants.
 //!
-//! For random traces and random interleavings of `add_instance` /
-//! `retire_instance` actions injected at random points of the event stream:
+//! **Reconfiguration** — for random traces and random interleavings of
+//! `add_instance` / `retire_instance` actions injected at random points of
+//! the event stream:
 //!
-//! 1. the incrementally maintained scheduler views stay **bit-identical** to
-//!    the views recomputed from scratch after every event,
+//! 1. the incrementally maintained scheduler views *and idle-instance index*
+//!    stay **bit-identical** to a from-scratch recomputation after every
+//!    event (retired instances excepted for `free_at_us`, which the hot path
+//!    deliberately leaves stale because no policy may dispatch to them),
 //! 2. retired (and draining) instances never receive a dispatch after
 //!    retirement was requested,
 //! 3. every offered query is either completed or reported unfinished, and
 //! 4. once the run ends, every drained instance has actually transitioned to
 //!    the retired lifecycle state.
+//!
+//! **Optimized vs naive** — for random traces, cluster shapes and scheduler
+//! policies, the optimized engine (arrival cursor + calendar queue + idle
+//! index + scratch buffers) produces **bit-identical** [`SimReport`]s to
+//! `run_trace_naive`: same records, same unfinished set, same horizon, same
+//! violation timeline.
 
 use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
 use kairos_sim::{
-    Dispatch, Scheduler, SchedulingContext, ServiceSpec, SimEngine, SimulationOptions,
+    idle_order, run_trace, run_trace_naive, Dispatch, Scheduler, SchedulingContext, ServiceSpec,
+    SimEngine, SimulationOptions,
 };
 use kairos_workload::TraceSpec;
 use proptest::prelude::*;
@@ -92,6 +103,55 @@ impl Scheduler for EarliestFreeScheduler {
     }
 }
 
+/// An idle-index-driven policy: large queries to idle base instances, small
+/// ones to idle auxiliaries, consuming `ctx.idle_now()` directly — so the
+/// equivalence property also covers the engine-maintained idle index as seen
+/// through the public scheduling contract.
+struct ThresholdScheduler {
+    threshold: u32,
+}
+
+impl Scheduler for ThresholdScheduler {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+        let mut idle_base: Vec<u32> = Vec::new();
+        let mut idle_aux: Vec<u32> = Vec::new();
+        for &i in ctx.idle_now() {
+            if ctx.instances[i as usize].is_base {
+                idle_base.push(i);
+            } else {
+                idle_aux.push(i);
+            }
+        }
+        let mut plan = Vec::new();
+        for (query_index, query) in ctx.queued.iter().enumerate() {
+            let pool = if query.batch_size > self.threshold {
+                &mut idle_base
+            } else {
+                &mut idle_aux
+            };
+            if let Some(instance_index) = pool.pop() {
+                plan.push(Dispatch {
+                    query_index,
+                    instance_index: instance_index as usize,
+                });
+            }
+        }
+        plan
+    }
+}
+
+fn make_scheduler(kind: usize) -> Box<dyn Scheduler> {
+    match kind {
+        0 => Box::new(kairos_sim::FcfsScheduler::new()),
+        1 => Box::new(EarliestFreeScheduler),
+        _ => Box::new(ThresholdScheduler { threshold: 280 }),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -156,9 +216,24 @@ proptest! {
                 next_action += 1;
             }
 
-            // Invariant 1: incremental views == recomputed views, bit for bit.
+            // Invariant 1: the hot-path views and idle index — incremental,
+            // no full sweep behind them — match the recomputed reference, bit
+            // for bit.  Only retired instances (never dispatchable) are
+            // allowed a stale `free_at_us`.
             let reference = engine.recompute_views();
-            prop_assert_eq!(engine.views(), &reference[..]);
+            let reference_idle = idle_order(&reference);
+            let (views, idle) = engine.scheduler_views();
+            prop_assert_eq!(idle, &reference_idle[..]);
+            for (view, expect) in views.iter().zip(&reference) {
+                if view.accepting || expect.backlog > 0 {
+                    prop_assert_eq!(view, expect);
+                } else {
+                    // Retired: everything but the (unread) free time matches.
+                    prop_assert_eq!(view.instance_index, expect.instance_index);
+                    prop_assert_eq!(view.backlog, expect.backlog);
+                    prop_assert_eq!(view.accepting, expect.accepting);
+                }
+            }
 
             // Invariant 2: non-accepting instances hold no query that was not
             // already theirs when retirement was requested.
@@ -194,5 +269,55 @@ proptest! {
         // Invariant 3: conservation of queries.
         let report = engine.report();
         prop_assert_eq!(report.completed() + report.unfinished.len(), offered);
+    }
+
+    /// The optimized engine is bit-identical to the naive reference across
+    /// random traces, cluster shapes and scheduler policies: per-query
+    /// records, unfinished queries, horizon, and the derived violation
+    /// timeline all match exactly.
+    #[test]
+    fn optimized_engine_bit_matches_naive_reference(
+        seed in 1u64..400,
+        rate in 50.0f64..1600.0,
+        duration_ds in 3u32..12,            // deciseconds: 0.3 s – 1.1 s
+        counts in prop::collection::vec(0usize..3, 4),
+        scheduler_kind in 0usize..3,
+        noise_seed in 0u64..64,
+    ) {
+        prop_assume!(counts.iter().sum::<usize>() > 0);
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+        let trace =
+            TraceSpec::production(rate, duration_ds as f64 / 10.0, seed).generate();
+        let config = Config::new(counts);
+        let opts = SimulationOptions { seed: noise_seed };
+
+        let mut fast_scheduler = make_scheduler(scheduler_kind);
+        let fast = run_trace(
+            &pool, &config, &service, &trace, fast_scheduler.as_mut(), &opts,
+        );
+        let mut naive_scheduler = make_scheduler(scheduler_kind);
+        let naive = run_trace_naive(
+            &pool, &config, &service, &trace, naive_scheduler.as_mut(), &opts,
+        );
+
+        prop_assert_eq!(&fast.records, &naive.records);
+        prop_assert_eq!(&fast.unfinished, &naive.unfinished);
+        prop_assert_eq!(fast.offered, naive.offered);
+        prop_assert_eq!(fast.horizon_us, naive.horizon_us);
+        prop_assert_eq!(
+            fast.violation_timeline(100_000),
+            naive.violation_timeline(100_000)
+        );
+
+        // The early-exit probe agrees with the full-replay verdict too.
+        for tolerance in [0.0, 0.01, 0.25] {
+            let mut probe_scheduler = make_scheduler(scheduler_kind);
+            let probe = SimEngine::new(
+                &pool, &config, &service, &trace, probe_scheduler.as_mut(), &opts,
+            )
+            .run_qos_probe(tolerance);
+            prop_assert_eq!(probe, naive.meets_qos(tolerance));
+        }
     }
 }

@@ -115,6 +115,12 @@ impl QueryMonitor {
         self.window.iter().copied().max()
     }
 
+    /// Iterates over the batch sizes in the window (oldest first) without
+    /// copying them out — used by cheap fingerprints of the window contents.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.window.iter().copied()
+    }
+
     /// A copy of the batch sizes currently in the window (oldest first).
     /// This is the sample handed to the throughput upper-bound estimator.
     pub fn snapshot(&self) -> Vec<u32> {

@@ -123,7 +123,24 @@ fn record(name: &str, m: Measurement) {
     }
 }
 
+/// Positional CLI arguments act as substring filters on benchmark names,
+/// mirroring criterion's `cargo bench -- <filter>` behaviour (flags such as
+/// `--bench`, which cargo appends, are ignored).
+fn name_filters() -> &'static [String] {
+    static FILTERS: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
 fn run_one<F: FnMut(&mut Bencher<'_>)>(name: &str, mut f: F) {
+    let filters = name_filters();
+    if !filters.is_empty() && !filters.iter().any(|fl| name.contains(fl.as_str())) {
+        return;
+    }
     let mut result = None;
     f(&mut Bencher {
         result: &mut result,
