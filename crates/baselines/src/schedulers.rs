@@ -213,45 +213,87 @@ where
 
 /// Clockwork-inspired QoS-aware controller with per-instance queues and
 /// accurate latency prediction.
+///
+/// Multi-model aware: [`Scheduler::bind_models`] resolves one latency
+/// profile per `(model, type)` pair up front (flattened, array-indexed), the
+/// per-query QoS target comes from [`SchedulingContext::qos_for`], and
+/// queries only consider instances hosting their model.  Constructed with a
+/// single default model, so single-model runs (and hand-built contexts that
+/// never call `bind_models`) behave exactly as before.
 #[derive(Debug, Clone)]
 pub struct ClockworkScheduler {
-    model: ModelKind,
+    /// Served models indexed by `ModelId` (the constructor's model alone
+    /// until `bind_models` replaces the list).
+    models: Vec<ModelKind>,
     latency: LatencyTable,
-    /// Latency profiles resolved per pool type index (via `bind_types`), so
-    /// per-pair predictions in the scheduling loop hash no strings.  Types
+    /// Latency profiles resolved per `(model, pool type)` pair and flattened
+    /// as `model × num_types + type` (via `bind_types` + `bind_models`), so
+    /// per-pair predictions in the scheduling loop hash no strings.  Pairs
     /// never bound (hand-built contexts) resolve lazily by name.
     profiles: Vec<Option<LatencyProfile>>,
+    /// Interned pool type names (the stride of `profiles` is their count).
+    type_names: Vec<Arc<str>>,
     /// Reusable per-round backlog added by this round's earlier picks.
     extra_ms: Vec<f64>,
 }
 
 impl ClockworkScheduler {
-    /// Creates the policy.  Clockwork's defining feature is *predictable*
-    /// latency, so the scheme is given the ground-truth latency table (the
-    /// paper likewise implements the competing schemes advantageously).
+    /// Creates the policy for one default model.  Clockwork's defining
+    /// feature is *predictable* latency, so the scheme is given the
+    /// ground-truth latency table (the paper likewise implements the
+    /// competing schemes advantageously).
     pub fn new(model: ModelKind, latency: LatencyTable) -> Self {
         Self {
-            model,
+            models: vec![model],
             latency,
             profiles: Vec::new(),
+            type_names: Vec::new(),
             extra_ms: Vec::new(),
         }
     }
 
-    fn profile(&mut self, type_index: usize, type_name: &str) -> LatencyProfile {
-        if let Some(Some(profile)) = self.profiles.get(type_index) {
+    /// Re-resolves the `(model, type)` profile grid from the current model
+    /// list and bound type names.
+    fn rebind_profiles(&mut self) {
+        let (models, type_names, latency) = (&self.models, &self.type_names, &self.latency);
+        self.profiles = models
+            .iter()
+            .flat_map(|&model| type_names.iter().map(move |name| latency.get(model, name)))
+            .collect();
+    }
+
+    fn profile(
+        &mut self,
+        model_index: usize,
+        type_index: usize,
+        type_name: &str,
+    ) -> LatencyProfile {
+        let slot = model_index * self.type_names.len().max(1) + type_index;
+        if let Some(Some(profile)) = self.profiles.get(slot) {
             return *profile;
         }
-        let profile = self.latency.expect(self.model, type_name);
-        if self.profiles.len() <= type_index {
-            self.profiles.resize(type_index + 1, None);
+        let model = self
+            .models
+            .get(model_index)
+            .copied()
+            .unwrap_or(self.models[0]);
+        let profile = self.latency.expect(model, type_name);
+        if self.profiles.len() <= slot {
+            self.profiles.resize(slot + 1, None);
         }
-        self.profiles[type_index] = Some(profile);
+        self.profiles[slot] = Some(profile);
         profile
     }
 
-    fn predicted_ms(&mut self, type_index: usize, type_name: &str, batch: u32) -> f64 {
-        self.profile(type_index, type_name).latency_ms(batch)
+    fn predicted_ms(
+        &mut self,
+        model_index: usize,
+        type_index: usize,
+        type_name: &str,
+        batch: u32,
+    ) -> f64 {
+        self.profile(model_index, type_index, type_name)
+            .latency_ms(batch)
     }
 }
 
@@ -261,13 +303,16 @@ impl Scheduler for ClockworkScheduler {
     }
 
     fn bind_types(&mut self, type_names: &[Arc<str>]) {
-        // Resolve what the table covers; types it lacks stay lazy so a
-        // partially calibrated table only panics if such a type is actually
+        // Resolve what the table covers; pairs it lacks stay lazy so a
+        // partially calibrated table only panics if such a pair is actually
         // scheduled against (matching the pre-cache lookup-on-use behavior).
-        self.profiles = type_names
-            .iter()
-            .map(|name| self.latency.get(self.model, name))
-            .collect();
+        self.type_names = type_names.to_vec();
+        self.rebind_profiles();
+    }
+
+    fn bind_models(&mut self, models: &[ModelKind]) {
+        self.models = models.to_vec();
+        self.rebind_profiles();
     }
 
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
@@ -279,22 +324,27 @@ impl Scheduler for ClockworkScheduler {
     fn schedule_into(&mut self, ctx: &SchedulingContext<'_>, out: &mut Vec<Dispatch>) {
         // Clockwork assigns every incoming query to an instance queue right
         // away, choosing the instance that completes it earliest subject to
-        // the QoS target.  We track the extra backlog added by this round so
-        // consecutive picks in the same round account for each other.
-        let qos_ms = ctx.qos_us as f64 / 1000.0;
+        // the query model's QoS target.  We track the extra backlog added by
+        // this round so consecutive picks in the same round account for each
+        // other.
         self.extra_ms.clear();
         self.extra_ms.resize(ctx.instances.len(), 0.0);
 
         for (query_index, query) in ctx.queued.iter().enumerate() {
+            let qos_ms = ctx.qos_for(query.model) as f64 / 1000.0;
             let waited_ms = query.waiting_time_us(ctx.now_us) as f64 / 1000.0;
             let mut best: Option<(usize, f64, bool)> = None; // (slot, completion, meets_qos)
             for (slot, inst) in ctx.instances.iter().enumerate() {
-                if !inst.accepting {
+                if !inst.accepting || inst.model != query.model {
                     continue;
                 }
                 let queue_ms = inst.remaining_us(ctx.now_us) as f64 / 1000.0 + self.extra_ms[slot];
-                let predicted =
-                    self.predicted_ms(inst.type_index, &inst.type_name, query.batch_size);
+                let predicted = self.predicted_ms(
+                    query.model.index(),
+                    inst.type_index,
+                    &inst.type_name,
+                    query.batch_size,
+                );
                 let completion = queue_ms + predicted;
                 let meets = completion + waited_ms <= qos_ms;
                 let better = match best {
@@ -328,6 +378,7 @@ mod tests {
     use super::*;
     use kairos_models::calibration::paper_calibration;
     use kairos_sim::{idle_order, InstanceView};
+    use kairos_workload::ModelId;
     use kairos_workload::Query;
 
     fn view(idx: usize, name: &str, is_base: bool, free_at: u64) -> InstanceView {
@@ -335,6 +386,7 @@ mod tests {
             instance_index: idx,
             type_index: usize::from(!is_base),
             type_name: name.into(),
+            model: ModelId::DEFAULT,
             is_base,
             accepting: true,
             free_at_us: free_at,
@@ -356,6 +408,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 25_000,
+            qos_by_model: &[],
         };
         let plan = RibbonScheduler::new().schedule(&ctx);
         assert_eq!(
@@ -381,6 +434,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 25_000,
+            qos_by_model: &[],
         };
         let plan = DrsScheduler::new(128).schedule(&ctx);
         assert!(plan.contains(&Dispatch {
@@ -408,6 +462,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 25_000,
+            qos_by_model: &[],
         };
         assert!(DrsScheduler::new(128).schedule(&ctx).is_empty());
     }
@@ -423,6 +478,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 25_000,
+            qos_by_model: &[],
         };
         assert_eq!(DrsScheduler::new(128).schedule(&ctx).len(), 1);
     }
@@ -453,6 +509,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 25_000,
+            qos_by_model: &[],
         };
         let plan = cw.clone().schedule(&ctx);
         assert_eq!(
@@ -479,6 +536,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 25_000,
+            qos_by_model: &[],
         };
         let plan = cw.clone().schedule(&ctx);
         assert_eq!(plan.len(), 2);
@@ -503,6 +561,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 5_000,
+            qos_by_model: &[],
         };
         let plan = cw.clone().schedule(&ctx);
         assert_eq!(plan.len(), 1);

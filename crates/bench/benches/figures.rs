@@ -16,14 +16,17 @@ use kairos_baselines::{
 };
 use kairos_bench::{ExperimentContext, SchedulerKind};
 use kairos_core::{
-    kairos_plus_search, upper_bound_single, KairosScheduler, ServingOptions, ServingSystem,
-    SingleAuxInputs, ThroughputEstimator,
+    kairos_plus_search, upper_bound_single, InferenceService, KairosScheduler, ServingOptions,
+    ServingSystem, SingleAuxInputs, ThroughputEstimator,
 };
 use kairos_models::{
     best_homogeneous, calibration::paper_calibration, ec2, Config, ModelKind, NoiseModel, PoolSpec,
 };
 use kairos_sim::{run_trace, ServiceSpec, SimReport, SimulationOptions};
-use kairos_workload::{BatchSizeDistribution, PhasedArrival, TimeUs};
+use kairos_workload::{
+    ArrivalProcess, BatchSizeDistribution, MixSpec, MixedTraceSpec, PhasedArrival, Query, TimeUs,
+    Trace,
+};
 
 fn section(title: &str) {
     println!("\n==================================================================");
@@ -438,12 +441,10 @@ fn figure12_load_shift() {
         pool.clone(),
         model,
         Some(latency.clone()),
-        ServingOptions {
-            budget_per_hour: budget,
-            replan_interval_us: 500_000,
-            provisioning_delay_us: 300_000,
-            ..Default::default()
-        },
+        ServingOptions::default()
+            .budget(budget)
+            .replan_every(500_000)
+            .provisioning_delay(300_000),
     );
     system.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
     let initial = system
@@ -563,6 +564,182 @@ fn figure12_load_shift() {
     match std::fs::write(path, json.join("\n") + "\n") {
         Ok(()) => println!("--> recorded BENCH_load_shift.json"),
         Err(e) => println!("--> could not write BENCH_load_shift.json: {e}"),
+    }
+}
+
+/// Multi-model serving — a 3-model mix (NCF + RM2 + WND) through the
+/// `InferenceService` facade under **one shared budget**, vs three isolated
+/// single-model deployments at the same total budget (each frozen at an
+/// equal share).  Records per-scheme QoS-violation rate and time-weighted
+/// target-cluster cost to `BENCH_multimodel.json`.
+fn figure_multimodel() {
+    let fast = std::env::var("KAIROS_FIG_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let duration_s = if fast { 4.0 } else { 8.0 };
+    let budget = 6.0;
+    let total_qps = 180.0;
+    section("Multi-model serving: shared budget vs isolated deployments (NCF + RM2 + WND)");
+    println!(
+        "{total_qps} QPS mixed stream, {duration_s} s, global budget {budget} $/hr \
+         (isolated: {:.2} $/hr each)",
+        budget / 3.0
+    );
+
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let models = [ModelKind::Ncf, ModelKind::Rm2, ModelKind::Wnd];
+    let shares = [0.45, 0.2, 0.35];
+    let mix = MixSpec::from_shares(
+        &shares,
+        &[
+            BatchSizeDistribution::production_default(),
+            BatchSizeDistribution::production_default(),
+            BatchSizeDistribution::production_default(),
+        ],
+    );
+    let trace = MixedTraceSpec {
+        arrival: ArrivalProcess::Poisson {
+            rate_qps: total_qps,
+        },
+        mix: mix.clone(),
+        duration_s,
+        seed: 2024,
+    }
+    .generate();
+    let duration_us = (duration_s * 1e6) as TimeUs;
+    let per_model_demand: Vec<f64> = shares.iter().map(|s| s * total_qps).collect();
+
+    // Shared budget through the facade: per-model lanes, demand-weighted
+    // water-filling, per-model replanning.
+    let mut service = InferenceService::new(
+        pool.clone(),
+        &models,
+        Some(latency.clone()),
+        ServingOptions::default()
+            .budget(budget)
+            .replan_every(500_000)
+            .provisioning_delay(300_000),
+    );
+    service.warm_monitors(&mix, 3_000, 7);
+    let initial = service
+        .plan_initial(&per_model_demand)
+        .expect("priors allow planning");
+    let specs = service.service_specs(&latency);
+    let outcome = service.run(&initial, &specs, &trace);
+    let mut model_costs: Vec<f64> = initial.pools.iter().map(|p| p.config.cost(&pool)).collect();
+    let mut shared_steps = vec![(0, model_costs.iter().sum::<f64>())];
+    for r in &outcome.reconfigs {
+        model_costs[r.model.index()] = r.target.cost(&pool);
+        shared_steps.push((r.at_us, model_costs.iter().sum::<f64>()));
+    }
+    let shared_cost = mean_cost(shared_steps, duration_us);
+    let shared_viol = outcome.report.violation_fraction();
+
+    // Isolated deployments: each model gets budget/3 and its own frozen
+    // single-model plan over its own sub-stream.
+    let mut iso_viol_num = 0usize;
+    let mut iso_offered = 0usize;
+    let mut iso_cost = 0.0;
+    for (m, &kind) in models.iter().enumerate() {
+        let sub: Vec<Query> = trace
+            .queries
+            .iter()
+            .filter(|q| q.model.index() == m)
+            .map(|q| Query::new(q.id, q.batch_size, q.arrival_us))
+            .collect();
+        let sub_trace = Trace::from_queries(sub);
+        let mut system = ServingSystem::new(
+            pool.clone(),
+            kind,
+            Some(latency.clone()),
+            ServingOptions::default().budget(budget / 3.0),
+        );
+        system.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
+        let config = system
+            .plan_for_demand(per_model_demand[m])
+            .expect("priors allow planning");
+        let report = run_trace(
+            &pool,
+            &config,
+            &ServiceSpec::new(kind, latency.clone()),
+            &sub_trace,
+            &mut KairosScheduler::with_priors(kind, &latency),
+            &SimulationOptions::default(),
+        );
+        iso_viol_num += report.violations();
+        iso_offered += report.offered;
+        iso_cost += config.cost(&pool);
+    }
+    let iso_viol = iso_viol_num as f64 / iso_offered.max(1) as f64;
+
+    println!(
+        "\n{:<22}{:>14}{:>18}",
+        "scheme", "violations %", "mean cost $/hr"
+    );
+    println!(
+        "{:<22}{:>14.2}{:>18.3}",
+        "SHARED(facade)",
+        shared_viol * 100.0,
+        shared_cost
+    );
+    println!(
+        "{:<22}{:>14.2}{:>18.3}",
+        "ISOLATED(3x1/3)",
+        iso_viol * 100.0,
+        iso_cost
+    );
+    println!("\nPer-model breakdown under the shared budget:");
+    println!(
+        "{:<10}{:>10}{:>12}{:>14}{:>14}{:>16}",
+        "model", "offered", "violations", "p99 (ms)", "QoS (ms)", "budget ($/hr)"
+    );
+    for (row, &kind) in outcome.per_model().iter().zip(models.iter()) {
+        println!(
+            "{:<10}{:>10}{:>12}{:>14.2}{:>14.1}{:>16.3}",
+            kind.to_string(),
+            row.offered,
+            row.violations,
+            row.p99_latency_us as f64 / 1000.0,
+            kind.qos_us() as f64 / 1000.0,
+            outcome.last_budget_split[row.model.index()]
+        );
+    }
+    println!(
+        "--> facade replanned {} time(s), {} reconfiguration(s)",
+        outcome.replans,
+        outcome.reconfigs.len()
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_multimodel.json");
+    let mut json = vec![
+        format!(
+            "{{\"name\":\"fig_multimodel/SHARED(facade)\",\"violation_fraction\":{shared_viol:.4},\
+             \"mean_cost_per_hour\":{shared_cost:.4}}}"
+        ),
+        format!(
+            "{{\"name\":\"fig_multimodel/ISOLATED(3x1/3)\",\"violation_fraction\":{iso_viol:.4},\
+             \"mean_cost_per_hour\":{iso_cost:.4}}}"
+        ),
+    ];
+    json.extend(
+        outcome
+            .per_model()
+            .iter()
+            .zip(models.iter())
+            .map(|(row, kind)| {
+                format!(
+                    "{{\"name\":\"fig_multimodel/shared/{}\",\"violation_fraction\":{:.4},\
+             \"p99_us\":{}}}",
+                    kind,
+                    row.violation_fraction(),
+                    row.p99_latency_us
+                )
+            }),
+    );
+    match std::fs::write(path, json.join("\n") + "\n") {
+        Ok(()) => println!("--> recorded BENCH_multimodel.json"),
+        Err(e) => println!("--> could not write BENCH_multimodel.json: {e}"),
     }
 }
 
@@ -784,6 +961,9 @@ fn main() {
     }
     if run("fig12") || run("fig12_shift") {
         figure12_load_shift();
+    }
+    if run("fig_multimodel") || run("fig_mm") {
+        figure_multimodel();
     }
     if run("fig13") {
         figure13();

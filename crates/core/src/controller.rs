@@ -72,6 +72,11 @@ impl KairosController {
         self.monitor.len()
     }
 
+    /// The query monitor window (batch-size mix of recent arrivals).
+    pub fn monitor(&self) -> &QueryMonitor {
+        &self.monitor
+    }
+
     /// The latency knowledge the controller currently has: online fits where
     /// available, priors otherwise.  Returns `None` if some instance type has
     /// neither a fit nor a prior (planning would be guesswork).

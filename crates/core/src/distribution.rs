@@ -18,6 +18,7 @@ use kairos_models::{
     latency::LatencyTable, mlmodel::ModelKind, predictor::PredictorBank, MAX_BATCH_SIZE,
 };
 use kairos_sim::{Dispatch, InstanceView, Scheduler, SchedulingContext};
+use kairos_workload::ModelId;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -221,7 +222,16 @@ impl Scheduler for KairosScheduler {
         self.type_names = type_names.to_vec();
     }
 
-    fn on_completion(&mut self, type_index: usize, batch_size: u32, service_ms: f64) {
+    fn on_completion(
+        &mut self,
+        type_index: usize,
+        _model: ModelId,
+        batch_size: u32,
+        service_ms: f64,
+    ) {
+        // A KairosScheduler instance serves one model's queries (the
+        // multi-model facade routes completions per model), so the model tag
+        // does not partition the predictors here.
         if service_ms <= 0.0 {
             return;
         }
@@ -249,6 +259,7 @@ mod tests {
             instance_index: idx,
             type_index,
             type_name: name.into(),
+            model: ModelId::DEFAULT,
             is_base,
             accepting: true,
             free_at_us: free_at,
@@ -277,6 +288,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 25_000,
+            qos_by_model: &[],
         };
         let plan = kairos.schedule(&ctx);
         assert_eq!(plan.len(), 2);
@@ -303,6 +315,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 25_000,
+            qos_by_model: &[],
         };
         assert!(kairos.schedule(&ctx).is_empty());
 
@@ -315,6 +328,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 25_000,
+            qos_by_model: &[],
         };
         assert_eq!(kairos.schedule(&ctx).len(), 1);
     }
@@ -324,10 +338,10 @@ mod tests {
         let mut kairos = KairosScheduler::new();
         assert_eq!(kairos.predictors().total_observations(), 0);
         kairos.bind_types(&["g4dn.xlarge".into(), "r5n.large".into()]);
-        kairos.on_completion(0, 100, 5.6);
-        kairos.on_completion(0, 500, 12.0);
+        kairos.on_completion(0, ModelId::DEFAULT, 100, 5.6);
+        kairos.on_completion(0, ModelId::DEFAULT, 500, 12.0);
         // An unbound type index is ignored rather than misattributed.
-        kairos.on_completion(7, 100, 3.0);
+        kairos.on_completion(7, ModelId::DEFAULT, 100, 3.0);
         assert_eq!(kairos.predictors().total_observations(), 2);
         assert!(kairos.predictors().get("g4dn.xlarge").unwrap().has_fit());
     }

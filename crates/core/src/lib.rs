@@ -24,6 +24,10 @@
 //!    arrival and completion, replans on a cadence or on arrival-rate drift,
 //!    and steers the cluster to the new plan through graceful add/retire
 //!    actions (the Fig. 12 adaptation story, end to end).
+//! 6. **Multi-model serving** ([`service::InferenceService`]) — the
+//!    model-less facade: N per-model serving loops behind one model-tagged
+//!    query API, sharing a single hourly budget by demand-weighted
+//!    water-filling, each replanning on its own knowledge signature.
 //!
 //! ```
 //! use kairos_core::planner::KairosPlanner;
@@ -52,6 +56,7 @@ pub mod kairos_plus;
 pub mod lmatrix;
 pub mod planner;
 pub mod selection;
+pub mod service;
 pub mod serving;
 pub mod upper_bound;
 
@@ -62,6 +67,7 @@ pub use kairos_plus::{kairos_plus_search, SearchResult};
 pub use lmatrix::{build_matrices, InstanceColumn, LMatrices, QueryRow, DEFAULT_XI};
 pub use planner::{KairosPlanner, Plan, PlanCache};
 pub use selection::select_configuration;
+pub use service::{InferenceService, MultiScheduler, MultiServingOutcome};
 pub use serving::{ReconfigEvent, ReplanTrigger, ServingOptions, ServingOutcome, ServingSystem};
 pub use upper_bound::{
     upper_bound_general, upper_bound_single, AuxClass, SingleAuxInputs, ThroughputEstimator,

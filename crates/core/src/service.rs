@@ -1,0 +1,771 @@
+//! The multi-model serving facade: one [`InferenceService`] in front of N
+//! per-model Kairos control loops sharing a single `$/hr` budget.
+//!
+//! INFaaS-style *model-less, managed* serving is the API users actually
+//! want: submit a query tagged with a model (a compact
+//! [`ModelId`]) and let the system own placement and capacity.  Kairos's
+//! evaluation spans five models with QoS targets from 5 ms (NCF) to 350 ms
+//! (RM2, Table 3); a production fleet serves that *mix* on shared
+//! infrastructure, not one model at a time.  The facade:
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!                    │              InferenceService              │
+//!   mixed trace ──►  │  SimEngine (multi-model cluster, per-model │
+//!  (ModelId-tagged)  │  QoS in-engine, model-checked dispatch)    │
+//!                    │      │ arrivals / completions, by model    │
+//!                    │      ▼                                     │
+//!                    │  lane[m]: ServingSystem (controller, plan  │
+//!                    │  cache, demand estimate)  ── per-model     │
+//!                    │      ▲                        replanning   │
+//!                    │      │ budget_m                            │
+//!                    │  demand-weighted water-filling over the    │
+//!                    │  one global budget                         │
+//!                    └────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Budget split** ([`InferenceService::split_budget`]) — every model is
+//!   guaranteed a floor (one base instance); the spare budget is
+//!   water-filled proportionally to per-model demand, re-pinning any model
+//!   whose proportional share would fall below its floor.
+//! * **Per-model replanning** — each lane is a full [`ServingSystem`]
+//!   "engine room": its own controller (monitor + predictors), its own
+//!   [`PlanCache`](crate::PlanCache) keyed on *its* knowledge signature and
+//!   budget share, its own drift detection.  A mix shift in one model
+//!   replans that model; the others keep their cached rankings.
+//! * **Scheduling** ([`MultiScheduler`]) — queries are partitioned by model
+//!   each round and matched by per-model Kairos min-cost matchings against
+//!   the instances bound to that model; the engine enforces the binding.
+
+use crate::distribution::KairosScheduler;
+use crate::serving::{
+    estimate_rate_qps, reconcile_model, ReconfigEvent, ReplanTrigger, ServingOptions, ServingSystem,
+};
+use kairos_models::{latency::LatencyTable, mlmodel::ModelKind, PoolSpec};
+use kairos_sim::{
+    ClusterSpec, Dispatch, EngineEvent, InstanceView, ModelReport, Scheduler, SchedulingContext,
+    ServiceSpec, SimEngine, SimReport, SimulationOptions,
+};
+use kairos_workload::{MixSpec, ModelId, Query, TimeUs, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A query-distribution policy for multi-model clusters: one Kairos
+/// min-cost matching per model, each seeing only its model's queries and
+/// instances.  Completions are routed to the owning model's predictors via
+/// the `(type, model)` indices — no string hashing.
+pub struct MultiScheduler {
+    inner: Vec<KairosScheduler>,
+    /// Reusable per-model scratch: sub-queue, global-index map, sub-views.
+    queued: Vec<Vec<Query>>,
+    qmap: Vec<Vec<usize>>,
+    views: Vec<Vec<InstanceView>>,
+}
+
+impl MultiScheduler {
+    /// Builds the policy from one per-model scheduler, indexed by
+    /// [`ModelId`].
+    pub fn new(inner: Vec<KairosScheduler>) -> Self {
+        let n = inner.len();
+        Self {
+            inner,
+            queued: vec![Vec::new(); n],
+            qmap: vec![Vec::new(); n],
+            views: vec![Vec::new(); n],
+        }
+    }
+}
+
+impl Scheduler for MultiScheduler {
+    fn name(&self) -> &'static str {
+        "kairos-multi"
+    }
+
+    fn bind_types(&mut self, type_names: &[Arc<str>]) {
+        for s in &mut self.inner {
+            s.bind_types(type_names);
+        }
+    }
+
+    fn on_completion(
+        &mut self,
+        type_index: usize,
+        model: ModelId,
+        batch_size: u32,
+        service_ms: f64,
+    ) {
+        if let Some(s) = self.inner.get_mut(model.index()) {
+            s.on_completion(type_index, model, batch_size, service_ms);
+        }
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+        // Partition the round by model.  The per-model sub-context carries
+        // filtered views (instance_index stays global, so inner dispatches
+        // come back in cluster coordinates) and the model's own QoS target.
+        for m in 0..self.inner.len() {
+            self.queued[m].clear();
+            self.qmap[m].clear();
+            self.views[m].clear();
+        }
+        for (qi, q) in ctx.queued.iter().enumerate() {
+            if let Some(sub) = self.queued.get_mut(q.model.index()) {
+                sub.push(*q);
+                self.qmap[q.model.index()].push(qi);
+            }
+        }
+        for view in ctx.instances {
+            if let Some(sub) = self.views.get_mut(view.model.index()) {
+                if view.accepting {
+                    sub.push(view.clone());
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (m, inner) in self.inner.iter_mut().enumerate() {
+            if self.queued[m].is_empty() || self.views[m].is_empty() {
+                continue;
+            }
+            let qos = ctx.qos_for(ModelId::new(m));
+            let sub_ctx = SchedulingContext {
+                now_us: ctx.now_us,
+                queued: &self.queued[m],
+                instances: &self.views[m],
+                // The Kairos matching reads the full view set, not the idle
+                // index; an empty index is valid for it.
+                idle: &[],
+                qos_us: qos,
+                qos_by_model: ctx.qos_by_model,
+            };
+            for d in inner.schedule(&sub_ctx) {
+                out.push(Dispatch {
+                    query_index: self.qmap[m][d.query_index],
+                    instance_index: d.instance_index,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One model's lane inside the facade: its engine room plus the loop state
+/// the facade tracks for it.
+struct ModelLane {
+    kind: ModelKind,
+    system: ServingSystem,
+    arrivals: VecDeque<TimeUs>,
+    planned_rate: Option<f64>,
+    last_replan_us: TimeUs,
+}
+
+/// Result of one multi-model serving run.
+#[derive(Debug, Clone)]
+pub struct MultiServingOutcome {
+    /// The per-query simulation report (with per-model breakdowns).
+    pub report: SimReport,
+    /// The cluster spec the run started from.
+    pub initial: ClusterSpec,
+    /// Dispatch-accepting per-model instance counts at the end of the run.
+    pub final_active: ClusterSpec,
+    /// Every reconfiguration applied, in order, tagged with its model.
+    pub reconfigs: Vec<ReconfigEvent>,
+    /// Total number of replanning passes (including no-op ones), across all
+    /// models.
+    pub replans: usize,
+    /// The most recent per-model budget split, indexed by [`ModelId`].
+    pub last_budget_split: Vec<f64>,
+}
+
+impl MultiServingOutcome {
+    /// Per-model accounting of the run (sums to the aggregate report).
+    pub fn per_model(&self) -> Vec<ModelReport> {
+        self.report.per_model()
+    }
+}
+
+/// The multi-model serving facade: N per-model [`ServingSystem`] engine
+/// rooms behind one model-tagged query API and one shared hourly budget.
+pub struct InferenceService {
+    pool: PoolSpec,
+    lanes: Vec<ModelLane>,
+    options: ServingOptions,
+}
+
+impl InferenceService {
+    /// Creates a service for `models` over a shared pool.  `models[i]` is
+    /// served as [`ModelId`] `i`.  `priors` seeds every lane's latency
+    /// knowledge; [`ServingOptions::budget_per_hour`] is the **global**
+    /// budget shared by all models.
+    ///
+    /// # Panics
+    /// Panics if `models` is empty, a model repeats, or the global budget
+    /// cannot cover one base instance per model.
+    pub fn new(
+        pool: PoolSpec,
+        models: &[ModelKind],
+        priors: Option<LatencyTable>,
+        options: ServingOptions,
+    ) -> Self {
+        assert!(!models.is_empty(), "need at least one model");
+        for (i, m) in models.iter().enumerate() {
+            assert!(
+                models[i + 1..].iter().all(|n| n != m),
+                "model {m} appears twice"
+            );
+        }
+        let floor = pool.price(pool.base_index());
+        assert!(
+            options.budget_per_hour >= floor * models.len() as f64,
+            "budget {} cannot cover one base instance ({floor} $/hr) per model",
+            options.budget_per_hour
+        );
+        let lanes = models
+            .iter()
+            .map(|&kind| ModelLane {
+                kind,
+                system: ServingSystem::new(pool.clone(), kind, priors.clone(), options),
+                arrivals: VecDeque::with_capacity(options.rate_window),
+                planned_rate: None,
+                last_replan_us: 0,
+            })
+            .collect();
+        Self {
+            pool,
+            lanes,
+            options,
+        }
+    }
+
+    /// The served models, indexed by [`ModelId`].
+    pub fn models(&self) -> Vec<ModelKind> {
+        self.lanes.iter().map(|l| l.kind).collect()
+    }
+
+    /// The [`ModelId`] a model kind is served under, if any.
+    pub fn model_id(&self, kind: ModelKind) -> Option<ModelId> {
+        self.lanes
+            .iter()
+            .position(|l| l.kind == kind)
+            .map(ModelId::new)
+    }
+
+    /// A model's per-lane engine room (controller, plan cache, demand
+    /// planner).
+    pub fn lane(&self, model: ModelId) -> &ServingSystem {
+        &self.lanes[model.index()].system
+    }
+
+    /// Mutable access to a model's engine room, e.g. to feed observations
+    /// before the first run.
+    pub fn lane_mut(&mut self, model: ModelId) -> &mut ServingSystem {
+        &mut self.lanes[model.index()].system
+    }
+
+    /// The ground-truth service specifications of the served models, in
+    /// [`ModelId`] order — the table handed to
+    /// [`SimEngine::new_multi`] by [`Self::run`].
+    pub fn service_specs(&self, latency: &LatencyTable) -> Vec<ServiceSpec> {
+        self.lanes
+            .iter()
+            .map(|l| ServiceSpec::new(l.kind, latency.clone()))
+            .collect()
+    }
+
+    /// Warm-starts every lane's query monitor from a [`MixSpec`]: `n` draws
+    /// are routed to the lane of the model they tag, as a real deployment's
+    /// windows would be after any amount of serving.
+    pub fn warm_monitors(&mut self, mix: &MixSpec, n: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            let (model, batch) = mix.sample(&mut rng);
+            if let Some(lane) = self.lanes.get_mut(model.index()) {
+                lane.system.controller_mut().observe_query(batch);
+            }
+        }
+    }
+
+    /// Converts per-model arrival rates into *capacity* weights: offered
+    /// QPS × the learned per-query service time on the pool's base type at
+    /// the lane's observed mean batch size — i.e. how many base-instance
+    /// seconds per second the model actually consumes.  Raw QPS would
+    /// starve slow models (an RM2 query costs ~100× an NCF query); capacity
+    /// weighting is what makes the budget split meaningful across QoS
+    /// classes.  Lanes without latency knowledge fall back to raw QPS.
+    fn capacity_weights(&self, demands: &[f64]) -> Vec<f64> {
+        let base_name = &self.pool.types()[self.pool.base_index()].name;
+        self.lanes
+            .iter()
+            .zip(demands)
+            .map(|(lane, &demand)| {
+                let controller = lane.system.controller();
+                let per_query_s = controller
+                    .learned_table()
+                    .and_then(|t| t.get(lane.kind, base_name))
+                    .map(|profile| {
+                        let batch = controller.monitor().mean().unwrap_or(1.0);
+                        profile.latency_ms(batch.round().max(1.0) as u32) / 1000.0
+                    })
+                    .unwrap_or(1.0);
+                demand.max(0.0) * per_query_s
+            })
+            .collect()
+    }
+
+    /// Splits the global hourly budget across models by **demand-weighted
+    /// water-filling**: every model is guaranteed a floor of one base
+    /// instance; the spare budget is distributed proportionally to each
+    /// model's *capacity* demand (its QPS × learned per-query base-type
+    /// service time, so slow models are not starved), iteratively pinning
+    /// to the floor any model whose proportional share would fall below it
+    /// (its freed share re-floods the rest).  Zero total demand splits the
+    /// spare evenly.
+    ///
+    /// # Panics
+    /// Panics if `demands` does not have one entry per model.
+    pub fn split_budget(&self, demands: &[f64]) -> Vec<f64> {
+        assert_eq!(demands.len(), self.lanes.len(), "one demand per model");
+        let n = self.lanes.len();
+        let weights = self.capacity_weights(demands);
+        let floor = self.pool.price(self.pool.base_index());
+        let budget = self.options.budget_per_hour;
+        let mut pinned = vec![false; n];
+        let mut alloc = vec![floor; n];
+        loop {
+            let pinned_total = floor * pinned.iter().filter(|&&p| p).count() as f64;
+            let spare = budget - pinned_total;
+            let flex: Vec<usize> = (0..n).filter(|&i| !pinned[i]).collect();
+            if flex.is_empty() {
+                break;
+            }
+            let flex_weight: f64 = flex.iter().map(|&i| weights[i]).sum();
+            let mut changed = false;
+            for &i in &flex {
+                let share = if flex_weight > 0.0 {
+                    weights[i] / flex_weight
+                } else {
+                    1.0 / flex.len() as f64
+                };
+                alloc[i] = spare * share;
+                if alloc[i] < floor {
+                    alloc[i] = floor;
+                    pinned[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        alloc
+    }
+
+    /// Plans an initial per-model cluster spec for the given expected
+    /// per-model demands (QPS), splitting the global budget first.  The
+    /// demands also seed each lane's drift baseline, so a run whose traffic
+    /// deviates from the initial plan can replan on drift before the first
+    /// cadence tick.  Returns `None` if any lane cannot plan yet (no
+    /// latency knowledge).
+    pub fn plan_initial(&mut self, demands: &[f64]) -> Option<ClusterSpec> {
+        let budgets = self.split_budget(demands);
+        let mut configs = Vec::with_capacity(self.lanes.len());
+        for (lane, (&budget, &demand)) in self
+            .lanes
+            .iter_mut()
+            .zip(budgets.iter().zip(demands.iter()))
+        {
+            configs.push(lane.system.plan_for_demand_with_budget(budget, demand)?);
+            lane.planned_rate = Some(demand);
+        }
+        Some(ClusterSpec::from_configs(configs))
+    }
+
+    /// Builds the multi-model query distributor from every lane's current
+    /// latency knowledge.
+    pub fn make_scheduler(&self) -> MultiScheduler {
+        MultiScheduler::new(
+            self.lanes
+                .iter()
+                .map(|l| l.system.controller().make_scheduler())
+                .collect(),
+        )
+    }
+
+    /// Runs the multi-model controller-in-the-loop simulation of `trace`
+    /// (a [`ModelId`]-tagged query stream) on `services`, starting from
+    /// `initial`.  Every lane observes its own arrivals and completions and
+    /// replans on its own cadence/drift signals; on each replan the global
+    /// budget is re-split across lanes by current demand and each due lane's
+    /// sub-cluster is steered independently (graceful add/retire, exactly as
+    /// in single-model serving).
+    ///
+    /// # Panics
+    /// Panics if `services` does not cover every lane (in [`ModelId`]
+    /// order), or if the trace contains a query for a model this service
+    /// does not serve.
+    pub fn run(
+        &mut self,
+        initial: &ClusterSpec,
+        services: &[ServiceSpec],
+        trace: &Trace,
+    ) -> MultiServingOutcome {
+        let n = self.lanes.len();
+        assert_eq!(services.len(), n, "one service spec per model");
+        for (i, (lane, service)) in self.lanes.iter().zip(services).enumerate() {
+            assert_eq!(
+                lane.kind, service.model.kind,
+                "service spec {i} does not match lane model"
+            );
+        }
+        if let Some(stray) = trace.queries.iter().find(|q| q.model.index() >= n) {
+            panic!(
+                "trace query {} targets model {} but only {n} models are served",
+                stray.id, stray.model
+            );
+        }
+        let mut scheduler = self.make_scheduler();
+        let service_refs: Vec<&ServiceSpec> = services.iter().collect();
+        let mut engine = SimEngine::new_multi(
+            &self.pool,
+            initial,
+            &service_refs,
+            trace,
+            &mut scheduler,
+            &SimulationOptions {
+                seed: self.options.seed,
+            },
+        );
+
+        let mut reconfigs: Vec<ReconfigEvent> = Vec::new();
+        let mut replans = 0usize;
+        let mut next_cadence_us = self.options.replan_interval_us;
+        let mut last_budget_split = self.split_budget(&vec![0.0; n]);
+        // Drift reaction is capped at the demand-estimation horizon: a lane
+        // should not be forced to wait out a long cadence interval when its
+        // own traffic has demonstrably shifted.
+        let drift_cooldown_us =
+            (self.options.replan_interval_us / 2).min(self.options.rate_horizon_us);
+        let horizon_s = self.options.rate_horizon_us as f64 / 1e6;
+
+        while let Some(event) = engine.step_event() {
+            let now = engine.now();
+            match &event {
+                EngineEvent::Arrival { query } => {
+                    let lane = &mut self.lanes[query.model.index()];
+                    lane.system.controller_mut().observe_query(query.batch_size);
+                    if lane.arrivals.len() == self.options.rate_window {
+                        lane.arrivals.pop_front();
+                    }
+                    lane.arrivals.push_back(query.arrival_us);
+                }
+                EngineEvent::Completion { record, type_name } => {
+                    let service_ms = (record.completion_us - record.start_us) as f64 / 1000.0;
+                    self.lanes[record.model.index()]
+                        .system
+                        .controller_mut()
+                        .observe_completion(type_name, record.batch_size, service_ms);
+                }
+                EngineEvent::InstanceReady { .. } => {}
+            }
+
+            // Per-lane demand: the lane's offered arrival rate plus its
+            // share of the queued backlog drain term.  The aggregate backlog
+            // is O(1) from the engine; it is attributed to lanes by their
+            // share of recent arrivals (per-model backlog would need a queue
+            // scan per event).
+            let backlog = engine.queued_backlog() as f64;
+            let window_total: usize = self.lanes.iter().map(|l| l.arrivals.len()).sum();
+            let mut demands = vec![0.0f64; n];
+            // Whether lane m produced a *fresh* rate estimate this event.  A
+            // lane without one must not be replanned against demand 0 — that
+            // would scale it to the floor while its real traffic is merely
+            // unobservable right now — so it keeps its last planned rate as
+            // its weight in the budget split and is never marked due (the
+            // single-model loop's `let Some(demand) = rate else { continue }`
+            // guard, per lane).
+            let mut fresh = vec![false; n];
+            let mut any_rate = false;
+            for (m, lane) in self.lanes.iter_mut().enumerate() {
+                let share = if window_total > 0 {
+                    lane.arrivals.len() as f64 / window_total as f64
+                } else {
+                    1.0 / n as f64
+                };
+                let pressure = backlog * share / horizon_s;
+                if let Some(rate) =
+                    estimate_rate_qps(&mut lane.arrivals, now, self.options.rate_horizon_us)
+                {
+                    demands[m] = rate + pressure;
+                    fresh[m] = true;
+                    any_rate = true;
+                } else {
+                    demands[m] = lane.planned_rate.unwrap_or(0.0);
+                }
+            }
+
+            // A lane replans on the shared cadence or on its own drift
+            // signal; the budget split is recomputed from all lanes' current
+            // demands whenever anyone replans.
+            let cadence_due = now >= next_cadence_us;
+            if cadence_due {
+                next_cadence_us = now + self.options.replan_interval_us;
+            }
+            if !any_rate {
+                continue;
+            }
+            let mut due: Vec<(usize, ReplanTrigger)> = Vec::new();
+            for (m, lane) in self.lanes.iter().enumerate() {
+                if !fresh[m] || lane.arrivals.len() < 2 {
+                    continue;
+                }
+                if cadence_due {
+                    due.push((m, ReplanTrigger::Cadence));
+                } else if let Some(planned) = lane.planned_rate {
+                    let drifted = (demands[m] - planned).abs() / planned.max(1e-9)
+                        > self.options.drift_threshold;
+                    if drifted && now >= lane.last_replan_us + drift_cooldown_us {
+                        due.push((m, ReplanTrigger::Drift));
+                    }
+                }
+            }
+            if due.is_empty() {
+                continue;
+            }
+            let budgets = self.split_budget(&demands);
+            last_budget_split = budgets.clone();
+            for (m, trigger) in due {
+                let lane = &mut self.lanes[m];
+                lane.last_replan_us = now;
+                if lane.system.controller().observed_queries() < self.options.min_observations {
+                    continue;
+                }
+                let model = ModelId::new(m);
+                let current = engine.cluster().active_config_for(model);
+                let Some(target) = lane
+                    .system
+                    .select_target_for(budgets[m], demands[m], &current)
+                else {
+                    continue;
+                };
+                replans += 1;
+                lane.planned_rate = Some(demands[m]);
+                let (added_types, retired_instances) =
+                    reconcile_model(&mut engine, model, &target, &self.options);
+                if !added_types.is_empty() || !retired_instances.is_empty() {
+                    reconfigs.push(ReconfigEvent {
+                        at_us: now,
+                        model,
+                        trigger,
+                        demand_qps: demands[m],
+                        target,
+                        added_types,
+                        retired_instances,
+                    });
+                }
+            }
+        }
+
+        let final_active = ClusterSpec::from_configs(
+            (0..n)
+                .map(|m| engine.cluster().active_config_for(ModelId::new(m)))
+                .collect(),
+        );
+        MultiServingOutcome {
+            report: engine.report(),
+            initial: initial.clone(),
+            final_active,
+            reconfigs,
+            replans,
+            last_budget_split,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_models::{calibration::paper_calibration, ec2};
+    use kairos_workload::{ArrivalProcess, BatchSizeDistribution, MixedTraceSpec};
+
+    fn pool() -> PoolSpec {
+        PoolSpec::new(ec2::paper_pool())
+    }
+
+    fn three_models() -> [ModelKind; 3] {
+        [ModelKind::Ncf, ModelKind::Rm2, ModelKind::Wnd]
+    }
+
+    fn mix() -> MixSpec {
+        MixSpec::from_shares(
+            &[0.4, 0.3, 0.3],
+            &[
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::production_default(),
+            ],
+        )
+    }
+
+    fn service(options: ServingOptions) -> InferenceService {
+        InferenceService::new(pool(), &three_models(), Some(paper_calibration()), options)
+    }
+
+    #[test]
+    fn budget_split_is_capacity_weighted_with_floors() {
+        let mut s = service(ServingOptions::default().budget(6.0));
+        s.warm_monitors(&mix(), 3000, 3);
+        let split = s.split_budget(&[100.0, 100.0, 100.0]);
+        assert_eq!(split.len(), 3);
+        let total: f64 = split.iter().sum();
+        assert!((total - 6.0).abs() < 1e-9, "the split spends the budget");
+        // Equal QPS is *not* equal capacity: an RM2 query costs ~100x an NCF
+        // query on the base type, so RM2 (model 1) must get the dominant
+        // share while the cheap models sit at (or near) the floor.
+        let floor = pool().price(pool().base_index());
+        assert!(
+            split[1] > split[0] && split[1] > split[2],
+            "split {split:?}"
+        );
+        assert!(
+            split[1] > 6.0 - 3.0 * floor,
+            "RM2 takes the spare: {split:?}"
+        );
+        assert!(split[0] >= floor - 1e-9 && split[2] >= floor - 1e-9);
+        // A starved model is pinned at the floor (one base instance).
+        let skew = s.split_budget(&[1000.0, 0.0, 1000.0]);
+        assert!((skew[1] - floor).abs() < 1e-9, "idle model gets the floor");
+        let total: f64 = skew.iter().sum();
+        assert!((total - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn budget_below_per_model_floors_rejected() {
+        service(ServingOptions::default().budget(0.9));
+    }
+
+    #[test]
+    fn plan_initial_binds_one_config_per_model_within_budget() {
+        let mut s = service(ServingOptions::default().budget(6.0));
+        s.warm_monitors(&mix(), 3000, 11);
+        let spec = s.plan_initial(&[60.0, 40.0, 50.0]).unwrap();
+        assert_eq!(spec.pools.len(), 3);
+        assert!(spec.cost(&pool()) <= 6.0 + 1e-9);
+        for (m, slice) in spec.pools.iter().enumerate() {
+            assert_eq!(slice.model, ModelId::new(m));
+            assert!(slice.config.count(pool().base_index()) >= 1);
+        }
+    }
+
+    #[test]
+    fn three_model_mix_runs_end_to_end_under_one_budget() {
+        let mut s = service(
+            ServingOptions::default()
+                .budget(6.0)
+                .replan_every(500_000)
+                .provisioning_delay(200_000),
+        );
+        s.warm_monitors(&mix(), 3000, 7);
+        let spec = s.plan_initial(&[60.0, 45.0, 45.0]).unwrap();
+        let services = s.service_specs(&paper_calibration());
+        let trace = MixedTraceSpec {
+            arrival: ArrivalProcess::Poisson { rate_qps: 150.0 },
+            mix: mix(),
+            duration_s: 4.0,
+            seed: 31,
+        }
+        .generate();
+        let offered = trace.len();
+        let outcome = s.run(&spec, &services, &trace);
+        assert_eq!(outcome.report.offered, offered);
+        assert_eq!(
+            outcome.report.completed() + outcome.report.unfinished.len(),
+            offered
+        );
+        // Per-model accounting covers all three models and sums exactly.
+        let per = outcome.per_model();
+        assert_eq!(per.len(), 3);
+        assert!(per.iter().all(|m| m.offered > 0));
+        assert_eq!(
+            per.iter().map(|m| m.offered).sum::<usize>(),
+            outcome.report.offered
+        );
+        assert_eq!(
+            per.iter().map(|m| m.violations).sum::<usize>(),
+            outcome.report.violations()
+        );
+        // Per-model QoS is enforced in-engine: the QoS table carries each
+        // model's own target.
+        assert_eq!(outcome.report.qos_by_model.len(), 3);
+        assert_eq!(outcome.report.qos_for(ModelId::new(0)), 5_000);
+        assert_eq!(outcome.report.qos_for(ModelId::new(1)), 350_000);
+        assert_eq!(outcome.report.qos_for(ModelId::new(2)), 25_000);
+        // The loop replanned and the budget split covers every lane.
+        assert!(outcome.replans > 0, "cadence must fire");
+        assert_eq!(outcome.last_budget_split.len(), 3);
+        assert!(outcome.last_budget_split.iter().sum::<f64>() <= 6.0 + 1e-9);
+        // Every query landed on an instance bound to its model.
+        let spec_models: Vec<ModelId> =
+            outcome.final_active.pools.iter().map(|p| p.model).collect();
+        assert_eq!(
+            spec_models,
+            vec![ModelId::new(0), ModelId::new(1), ModelId::new(2)]
+        );
+    }
+
+    #[test]
+    fn one_model_drift_replans_only_that_lane() {
+        let mut s = service(
+            ServingOptions::default()
+                .budget(6.0)
+                .replan_every(100_000_000) // cadence never fires in-trace
+                .drift_threshold(0.3),
+        );
+        s.warm_monitors(&mix(), 3000, 19);
+        let spec = s.plan_initial(&[40.0, 30.0, 30.0]).unwrap();
+        let services = s.service_specs(&paper_calibration());
+        // Model 0's rate quadruples mid-trace; the others stay flat.
+        use kairos_workload::{Phase, PhasedArrival};
+        let calm = MixSpec::from_shares(
+            &[0.4, 0.3, 0.3],
+            &[
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::production_default(),
+            ],
+        );
+        // RM2 (model 1, the slow 350 ms model) spikes; the others stay flat.
+        let spiked = MixSpec::from_shares(
+            &[0.12, 0.76, 0.12],
+            &[
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::production_default(),
+            ],
+        );
+        let workload = PhasedArrival::new(
+            vec![
+                Phase::poisson_mix(100.0, calm, 3.0),
+                Phase::poisson_mix(250.0, spiked, 3.0),
+            ],
+            23,
+        );
+        let outcome = s.run(&spec, &services, &workload.generate());
+        // The cadence never fires, so every reconfiguration is drift-driven
+        // and belongs to the spiking lane.
+        assert!(
+            outcome.reconfigs.iter().any(|r| r.model == ModelId::new(1)),
+            "the spiking model must reconfigure: {:?}",
+            outcome.reconfigs
+        );
+        assert!(
+            outcome
+                .reconfigs
+                .iter()
+                .all(|r| r.trigger == ReplanTrigger::Drift),
+            "cadence is disabled: {:?}",
+            outcome.reconfigs
+        );
+    }
+}

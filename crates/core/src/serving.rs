@@ -36,7 +36,7 @@ use crate::controller::KairosController;
 use crate::planner::PlanCache;
 use kairos_models::{latency::LatencyTable, mlmodel::ModelKind, Config, PoolSpec};
 use kairos_sim::{EngineEvent, ServiceSpec, SimEngine, SimReport, SimulationOptions};
-use kairos_workload::{BatchSizeDistribution, TimeUs, Trace};
+use kairos_workload::{BatchSizeDistribution, ModelId, TimeUs, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -94,6 +94,70 @@ impl Default for ServingOptions {
     }
 }
 
+/// Builder-style setters so call sites configure only what they deviate on:
+/// `ServingOptions::default().budget(4.0).replan_every(500_000)`.
+impl ServingOptions {
+    /// Sets the hourly budget cap.
+    pub fn budget(mut self, budget_per_hour: f64) -> Self {
+        self.budget_per_hour = budget_per_hour;
+        self
+    }
+
+    /// Sets the unconditional replanning cadence.
+    pub fn replan_every(mut self, interval_us: TimeUs) -> Self {
+        self.replan_interval_us = interval_us;
+        self
+    }
+
+    /// Sets the provisioning delay charged to every added instance.
+    pub fn provisioning_delay(mut self, delay_us: TimeUs) -> Self {
+        self.provisioning_delay_us = delay_us;
+        self
+    }
+
+    /// Sets the relative rate drift that triggers an immediate replan.
+    pub fn drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = threshold;
+        self
+    }
+
+    /// Sets the capacity headroom factor over the observed demand.
+    pub fn demand_headroom(mut self, headroom: f64) -> Self {
+        self.demand_headroom = headroom;
+        self
+    }
+
+    /// Sets the scale-in hysteresis factor.
+    pub fn shrink_factor(mut self, factor: f64) -> Self {
+        self.shrink_factor = factor;
+        self
+    }
+
+    /// Sets the cap on arrivals kept for the rate estimate.
+    pub fn rate_window(mut self, window: usize) -> Self {
+        self.rate_window = window;
+        self
+    }
+
+    /// Sets the time horizon of the rate estimate.
+    pub fn rate_horizon(mut self, horizon_us: TimeUs) -> Self {
+        self.rate_horizon_us = horizon_us;
+        self
+    }
+
+    /// Sets the observation floor before plans are trusted.
+    pub fn min_observations(mut self, observations: usize) -> Self {
+        self.min_observations = observations;
+        self
+    }
+
+    /// Sets the service-noise seed passed to the engine.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// What caused a replan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplanTrigger {
@@ -108,6 +172,9 @@ pub enum ReplanTrigger {
 pub struct ReconfigEvent {
     /// Virtual time the reconfiguration was issued.
     pub at_us: TimeUs,
+    /// The model whose sub-cluster was steered ([`ModelId::DEFAULT`] for
+    /// single-model serving).
+    pub model: ModelId,
     /// What caused it.
     pub trigger: ReplanTrigger,
     /// Arrival-rate estimate that drove the plan, in QPS.
@@ -203,13 +270,29 @@ impl ServingSystem {
         }
     }
 
+    /// The loop tunables this system was configured with.
+    pub fn options(&self) -> &ServingOptions {
+        &self.options
+    }
+
     /// Picks the cheapest configuration (within the budget cap) whose
     /// throughput upper bound covers `demand_qps × demand_headroom`, from
     /// the controller's current knowledge.  Falls back to the planner's
     /// full-budget choice when no cheaper configuration suffices, and to
     /// `None` when the controller cannot plan yet.
     pub fn plan_for_demand(&self, demand_qps: f64) -> Option<Config> {
-        let plan = self.controller.plan(self.options.budget_per_hour)?;
+        self.plan_for_demand_with_budget(self.options.budget_per_hour, demand_qps)
+    }
+
+    /// [`Self::plan_for_demand`] under an explicit budget cap — the form a
+    /// multi-model facade uses after splitting a shared budget across its
+    /// per-model engine rooms.
+    pub fn plan_for_demand_with_budget(
+        &self,
+        budget_per_hour: f64,
+        demand_qps: f64,
+    ) -> Option<Config> {
+        let plan = self.controller.plan(budget_per_hour)?;
         Some(
             cheapest_covering(
                 &self.pool,
@@ -217,6 +300,30 @@ impl ServingSystem {
                 demand_qps * self.options.demand_headroom,
             )
             .unwrap_or(plan.chosen),
+        )
+    }
+
+    /// The next deployment target for this system's model given current
+    /// knowledge, observed demand, an explicit budget cap, and the
+    /// sub-cluster deployed right now — the per-model "engine room" call a
+    /// multi-model facade drives after splitting its shared budget.  Applies
+    /// the scale-in hysteresis and goes through the plan cache (keyed on the
+    /// controller's knowledge signature *and* the budget), so a replan under
+    /// unchanged knowledge and unchanged budget split is near-free.
+    pub fn select_target_for(
+        &mut self,
+        budget_per_hour: f64,
+        demand_qps: f64,
+        current: &Config,
+    ) -> Option<Config> {
+        select_target(
+            &mut self.plan_cache,
+            &self.controller,
+            &self.pool,
+            &self.options,
+            budget_per_hour,
+            demand_qps,
+            current,
         )
     }
 
@@ -306,6 +413,7 @@ impl ServingSystem {
                     &self.controller,
                     &self.pool,
                     &self.options,
+                    self.options.budget_per_hour,
                     demand,
                     &current,
                 ) else {
@@ -314,10 +422,11 @@ impl ServingSystem {
                 replans += 1;
                 planned_rate = Some(demand);
                 let (added_types, retired_instances) =
-                    reconcile(&mut engine, &target, &self.options);
+                    reconcile_model(&mut engine, ModelId::DEFAULT, &target, &self.options);
                 if !added_types.is_empty() || !retired_instances.is_empty() {
                     reconfigs.push(ReconfigEvent {
                         at_us: now,
+                        model: ModelId::DEFAULT,
                         trigger,
                         demand_qps: demand,
                         target,
@@ -354,21 +463,24 @@ fn cheapest_covering(pool: &PoolSpec, ranked: &[(Config, f64)], required: f64) -
         .map(|(c, _)| c.clone())
 }
 
-/// Picks the next deployment target given current knowledge, observed demand
-/// and the configuration deployed right now, applying the scale-in
-/// hysteresis described on [`ServingOptions::shrink_factor`].  The ranked
-/// plan comes through the [`PlanCache`], so back-to-back replans under
-/// materially unchanged knowledge are near-free.  (Free function over split
-/// borrows: the serving loop calls it while the engine borrows the pool.)
-fn select_target(
+/// Picks the next deployment target given current knowledge, observed
+/// demand, a budget cap and the configuration deployed right now, applying
+/// the scale-in hysteresis described on [`ServingOptions::shrink_factor`].
+/// The ranked plan comes through the [`PlanCache`], so back-to-back replans
+/// under materially unchanged knowledge are near-free.  (Free function over
+/// split borrows: the serving loop calls it while the engine borrows the
+/// pool.)
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn select_target(
     plan_cache: &mut PlanCache,
     controller: &KairosController,
     pool: &PoolSpec,
     options: &ServingOptions,
+    budget_per_hour: f64,
     demand_qps: f64,
     current: &Config,
 ) -> Option<Config> {
-    let plan = plan_cache.plan(controller, options.budget_per_hour)?;
+    let plan = plan_cache.plan(controller, budget_per_hour)?;
     let required = demand_qps * options.demand_headroom;
     let candidate =
         cheapest_covering(pool, &plan.ranked, required).unwrap_or_else(|| plan.chosen.clone());
@@ -389,7 +501,7 @@ fn select_target(
 /// Offered-rate estimate (QPS) over the arrivals within `horizon_us` of
 /// `now`; older entries are pruned in place.  `None` until at least two
 /// arrivals span non-zero time.
-fn estimate_rate_qps(
+pub(crate) fn estimate_rate_qps(
     arrivals: &mut VecDeque<TimeUs>,
     now: TimeUs,
     horizon_us: TimeUs,
@@ -405,23 +517,26 @@ fn estimate_rate_qps(
     Some((arrivals.len() - 1) as f64 / (span_us as f64 / 1e6))
 }
 
-/// Diffs `target` against the live cluster and applies the difference:
-/// missing instances are added (with the provisioning delay), surplus
-/// instances of each type are gracefully retired — idle ones first, then the
-/// shallowest backlog, so draining finishes as fast as possible.
-fn reconcile(
+/// Diffs `target` against the live sub-cluster of `model` and applies the
+/// difference: missing instances are added (with the provisioning delay,
+/// bound to the model), surplus instances of each type are gracefully
+/// retired — idle ones first, then the shallowest backlog, so draining
+/// finishes as fast as possible.  Instances bound to other models are never
+/// touched.
+pub(crate) fn reconcile_model(
     engine: &mut SimEngine<'_>,
+    model: ModelId,
     target: &Config,
     options: &ServingOptions,
 ) -> (Vec<usize>, Vec<usize>) {
-    let active = engine.cluster().active_counts();
+    let active = engine.cluster().active_counts_for(model);
     let mut added_types = Vec::new();
     let mut retired_instances = Vec::new();
     for (type_index, &want) in target.counts().iter().enumerate() {
         let have = active[type_index];
         if want > have {
             for _ in 0..want - have {
-                engine.add_instance(type_index, options.provisioning_delay_us);
+                engine.add_instance_for(model, type_index, options.provisioning_delay_us);
                 added_types.push(type_index);
             }
         } else if have > want {
@@ -429,7 +544,11 @@ fn reconcile(
                 .cluster()
                 .instances()
                 .iter()
-                .filter(|inst| inst.type_index == type_index && inst.accepts_dispatches())
+                .filter(|inst| {
+                    inst.model == model
+                        && inst.type_index == type_index
+                        && inst.accepts_dispatches()
+                })
                 .map(|inst| (inst.backlog(), inst.index))
                 .collect();
             // Shallowest backlog first; ties retire the newest instance.
@@ -497,10 +616,7 @@ mod tests {
 
     #[test]
     fn steady_load_keeps_the_cluster_stable() {
-        let mut s = system(ServingOptions {
-            replan_interval_us: 500_000,
-            ..Default::default()
-        });
+        let mut s = system(ServingOptions::default().replan_every(500_000));
         warm(&mut s, 2000);
         let workload = PhasedArrival::step_change(
             60.0,
@@ -541,11 +657,11 @@ mod tests {
 
     #[test]
     fn rate_spike_scales_the_cluster_out() {
-        let mut s = system(ServingOptions {
-            replan_interval_us: 500_000,
-            provisioning_delay_us: 200_000,
-            ..Default::default()
-        });
+        let mut s = system(
+            ServingOptions::default()
+                .replan_every(500_000)
+                .provisioning_delay(200_000),
+        );
         warm(&mut s, 2000);
         let workload = PhasedArrival::step_change(
             40.0,
@@ -576,10 +692,7 @@ mod tests {
 
     #[test]
     fn load_drop_scales_the_cluster_in() {
-        let mut s = system(ServingOptions {
-            replan_interval_us: 500_000,
-            ..Default::default()
-        });
+        let mut s = system(ServingOptions::default().replan_every(500_000));
         warm(&mut s, 2000);
         let workload = PhasedArrival::step_change(
             180.0,

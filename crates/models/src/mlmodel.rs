@@ -49,11 +49,33 @@ impl ModelKind {
             ModelKind::Dien => "DIEN",
         }
     }
+
+    /// QoS target of the model in (virtual) microseconds — the Table 3
+    /// 99th-percentile tail-latency limit in the unit the simulator uses.
+    /// Shorthand for `spec(kind).qos_us()` so benches and examples need not
+    /// materialize a full [`ModelSpec`] for a QoS lookup.
+    pub fn qos_us(&self) -> u64 {
+        spec(*self).qos_us()
+    }
 }
 
 impl fmt::Display for ModelKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.short_name())
+    }
+}
+
+impl std::str::FromStr for ModelKind {
+    type Err = String;
+
+    /// Parses the short figure name (case-insensitive), round-tripping with
+    /// [`ModelKind::short_name`] / `Display`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelKind::ALL
+            .iter()
+            .find(|k| k.short_name().eq_ignore_ascii_case(s))
+            .copied()
+            .ok_or_else(|| format!("unknown model `{s}` (expected one of NCF/RM2/WND/MT-WND/DIEN)"))
     }
 }
 
@@ -167,5 +189,26 @@ mod tests {
     fn short_names_match_figures() {
         let names: Vec<_> = ModelKind::ALL.iter().map(|k| k.short_name()).collect();
         assert_eq!(names, vec!["NCF", "RM2", "WND", "MT-WND", "DIEN"]);
+    }
+
+    #[test]
+    fn display_from_str_round_trips_for_all_models() {
+        for kind in ModelKind::ALL {
+            let parsed: ModelKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+            // Case-insensitive parsing.
+            let lower: ModelKind = kind.short_name().to_lowercase().parse().unwrap();
+            assert_eq!(lower, kind);
+        }
+        assert!("resnet".parse::<ModelKind>().is_err());
+    }
+
+    #[test]
+    fn kind_level_qos_shorthand_matches_the_spec() {
+        for kind in ModelKind::ALL {
+            assert_eq!(kind.qos_us(), spec(kind).qos_us());
+        }
+        assert_eq!(ModelKind::Ncf.qos_us(), 5_000);
+        assert_eq!(ModelKind::Rm2.qos_us(), 350_000);
     }
 }

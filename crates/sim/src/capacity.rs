@@ -14,7 +14,7 @@
 //! * **Early-exit probes** ([`CapacityOptions::early_exit`], on by default):
 //!   a probe replay aborts as soon as the accumulated violations provably
 //!   exceed the QoS budget — or provably can no longer exceed it — instead
-//!   of draining the whole backlog (see [`SimEngine::run_qos_probe`] for the
+//!   of draining the whole backlog (see [`SimEngine::run_qos_probe`](crate::SimEngine::run_qos_probe) for the
 //!   bound).
 //! * **Memoized ramps** ([`CapacityProber`]): a per-`(pool, config)` memo,
 //!   keyed by a fingerprint of the pool's interned type names plus the

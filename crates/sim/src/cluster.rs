@@ -6,6 +6,18 @@
 //! Matching the paper's deployment model (Sec. 6), every instance hosts one
 //! model replica and serves exactly one query at a time.
 //!
+//! # Multi-model clusters
+//!
+//! Every instance is *bound* to the model whose replica it hosts
+//! ([`SimInstance::model`], a compact [`ModelId`] index).  A multi-model
+//! cluster is described by a [`ClusterSpec`]: one [`Config`] per served
+//! model over the same shared [`PoolSpec`], instantiated as the
+//! concatenation of the per-model sub-clusters.  The engine rejects any
+//! dispatch whose query model differs from the target instance's binding.
+//! Single-model deployments go through [`Cluster::new`], which binds every
+//! instance to [`ModelId::DEFAULT`] and behaves exactly as before models
+//! were first-class.
+//!
 //! # Dynamic reconfiguration
 //!
 //! The cluster is no longer fixed for the lifetime of a run: instances can be
@@ -22,8 +34,9 @@ use kairos_models::{
     mlmodel::{spec, ModelKind, ModelSpec},
     Config, PoolSpec,
 };
-use kairos_workload::{Query, TimeUs};
+use kairos_workload::{ModelId, Query, TimeUs};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -114,6 +127,85 @@ pub(crate) fn quantize_service_ms(latency_ms: f64) -> TimeUs {
     (latency_ms * 1000.0).round().max(1.0) as TimeUs
 }
 
+/// One model's slice of a multi-model cluster: the model id and the
+/// per-type instance counts dedicated to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelPool {
+    /// The model every instance of this slice hosts.
+    pub model: ModelId,
+    /// Instance counts per pool type dedicated to the model.
+    pub config: Config,
+}
+
+/// Description of a (possibly multi-model) cluster over one shared
+/// [`PoolSpec`]: one [`Config`] per served model.  The cluster instantiates
+/// the slices in declaration order, so instance indices are grouped by model
+/// first, then by type (matching the single-model layout when the spec has
+/// one slice).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Per-model sub-cluster configurations.
+    pub pools: Vec<ModelPool>,
+}
+
+impl ClusterSpec {
+    /// A multi-model spec from explicit per-model slices.
+    ///
+    /// # Panics
+    /// Panics if `pools` is empty or two slices bind the same model.
+    pub fn new(pools: Vec<ModelPool>) -> Self {
+        assert!(!pools.is_empty(), "a cluster spec needs at least one model");
+        for (i, a) in pools.iter().enumerate() {
+            assert!(
+                pools[i + 1..].iter().all(|b| b.model != a.model),
+                "duplicate model {} in cluster spec",
+                a.model
+            );
+        }
+        Self { pools }
+    }
+
+    /// The single-model spec ([`ModelId::DEFAULT`]) a bare [`Config`]
+    /// denotes.
+    pub fn single(config: Config) -> Self {
+        Self {
+            pools: vec![ModelPool {
+                model: ModelId::DEFAULT,
+                config,
+            }],
+        }
+    }
+
+    /// A spec binding `configs[i]` to model `i`, in slice order.
+    pub fn from_configs(configs: Vec<Config>) -> Self {
+        Self::new(
+            configs
+                .into_iter()
+                .enumerate()
+                .map(|(i, config)| ModelPool {
+                    model: ModelId::new(i),
+                    config,
+                })
+                .collect(),
+        )
+    }
+
+    /// One past the largest model index bound by the spec — the length a
+    /// dense per-model table (QoS, latency profiles) must have.
+    pub fn model_table_len(&self) -> usize {
+        self.pools
+            .iter()
+            .map(|p| p.model.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total hourly cost of the spec over a pool.
+    pub fn cost(&self, pool: &PoolSpec) -> f64 {
+        self.pools.iter().map(|p| p.config.cost(pool)).sum()
+    }
+}
+
 /// Lifecycle state of a simulated instance.
 ///
 /// ```text
@@ -145,6 +237,9 @@ pub struct SimInstance {
     pub type_index: usize,
     /// Cloud name of the type (interned; cloning is a pointer copy).
     pub type_name: Arc<str>,
+    /// The model this instance hosts a replica of.  Dispatches for any other
+    /// model are rejected by the engine.
+    pub model: ModelId,
     /// Whether this is a base-type instance.
     pub is_base: bool,
     /// Lifecycle state (see [`InstanceLifecycle`]).
@@ -187,66 +282,97 @@ impl SimInstance {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     pool: PoolSpec,
-    config: Config,
+    spec: ClusterSpec,
     /// Interned type names, one per pool type, shared by every instance.
     type_names: Vec<Arc<str>>,
     instances: Vec<SimInstance>,
 }
 
 impl Cluster {
-    /// Instantiates a configuration over a pool.
+    /// Instantiates a single-model configuration over a pool (every instance
+    /// bound to [`ModelId::DEFAULT`]).
     ///
     /// # Panics
     /// Panics if the configuration dimension does not match the pool.
     pub fn new(pool: PoolSpec, config: Config) -> Self {
-        assert_eq!(
-            config.counts().len(),
-            pool.num_types(),
-            "configuration does not match pool dimensionality"
-        );
+        Self::new_multi(pool, ClusterSpec::single(config))
+    }
+
+    /// Instantiates a multi-model cluster spec over a shared pool: the
+    /// per-model slices are laid out in spec order, each slice's instances
+    /// in type order.
+    ///
+    /// # Panics
+    /// Panics if any slice's configuration dimension does not match the pool.
+    pub fn new_multi(pool: PoolSpec, spec: ClusterSpec) -> Self {
+        for slice in &spec.pools {
+            assert_eq!(
+                slice.config.counts().len(),
+                pool.num_types(),
+                "configuration does not match pool dimensionality"
+            );
+        }
         let type_names: Vec<Arc<str>> = pool
             .types()
             .iter()
             .map(|ty| Arc::from(ty.name.as_str()))
             .collect();
         let mut instances = Vec::new();
-        for (type_index, &count) in config.counts().iter().enumerate() {
-            let ty = &pool.types()[type_index];
-            for _ in 0..count {
-                instances.push(SimInstance {
-                    index: instances.len(),
-                    type_index,
-                    type_name: type_names[type_index].clone(),
-                    is_base: ty.is_base,
-                    lifecycle: InstanceLifecycle::Active,
-                    available_from_us: 0,
-                    serving: None,
-                    busy_until_us: 0,
-                    local_queue: VecDeque::new(),
-                });
+        for slice in &spec.pools {
+            for (type_index, &count) in slice.config.counts().iter().enumerate() {
+                let ty = &pool.types()[type_index];
+                for _ in 0..count {
+                    instances.push(SimInstance {
+                        index: instances.len(),
+                        type_index,
+                        type_name: type_names[type_index].clone(),
+                        model: slice.model,
+                        is_base: ty.is_base,
+                        lifecycle: InstanceLifecycle::Active,
+                        available_from_us: 0,
+                        serving: None,
+                        busy_until_us: 0,
+                        local_queue: VecDeque::new(),
+                    });
+                }
             }
         }
         Self {
             pool,
-            config,
+            spec,
             type_names,
             instances,
         }
     }
 
-    /// Adds an instance of the given pool type, available from
-    /// `available_from_us` (provisioning boundary).  Returns the new
-    /// instance's index.
+    /// Adds an instance of the given pool type bound to
+    /// [`ModelId::DEFAULT`], available from `available_from_us`
+    /// (provisioning boundary).  Returns the new instance's index.
     ///
     /// # Panics
     /// Panics if `type_index` is out of range for the pool.
     pub fn add_instance(&mut self, type_index: usize, available_from_us: TimeUs) -> usize {
+        self.add_instance_for(ModelId::DEFAULT, type_index, available_from_us)
+    }
+
+    /// Adds an instance of the given pool type hosting `model`, available
+    /// from `available_from_us`.  Returns the new instance's index.
+    ///
+    /// # Panics
+    /// Panics if `type_index` is out of range for the pool.
+    pub fn add_instance_for(
+        &mut self,
+        model: ModelId,
+        type_index: usize,
+        available_from_us: TimeUs,
+    ) -> usize {
         let ty = &self.pool.types()[type_index];
         let index = self.instances.len();
         self.instances.push(SimInstance {
             index,
             type_index,
             type_name: self.type_names[type_index].clone(),
+            model,
             is_base: ty.is_base,
             lifecycle: InstanceLifecycle::Active,
             available_from_us,
@@ -292,8 +418,9 @@ impl Cluster {
     }
 
     /// Instance counts per pool type over dispatch-accepting instances
-    /// (active, including those still provisioning).  This is what a
-    /// reconfiguration driver diffs a target [`Config`] against.
+    /// (active, including those still provisioning), across every model.
+    /// This is what a single-model reconfiguration driver diffs a target
+    /// [`Config`] against.
     pub fn active_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.pool.num_types()];
         for inst in &self.instances {
@@ -304,9 +431,27 @@ impl Cluster {
         counts
     }
 
+    /// Instance counts per pool type over dispatch-accepting instances bound
+    /// to `model` — the per-model diff target of a multi-model driver.
+    pub fn active_counts_for(&self, model: ModelId) -> Vec<usize> {
+        let mut counts = vec![0usize; self.pool.num_types()];
+        for inst in &self.instances {
+            if inst.model == model && inst.accepts_dispatches() {
+                counts[inst.type_index] += 1;
+            }
+        }
+        counts
+    }
+
     /// The currently dispatch-accepting instances as a [`Config`].
     pub fn active_config(&self) -> Config {
         Config::new(self.active_counts())
+    }
+
+    /// The currently dispatch-accepting instances bound to `model` as a
+    /// [`Config`].
+    pub fn active_config_for(&self, model: ModelId) -> Config {
+        Config::new(self.active_counts_for(model))
     }
 
     /// The pool specification the cluster was built from.
@@ -321,11 +466,17 @@ impl Cluster {
         &self.type_names
     }
 
-    /// The configuration the cluster was *initially* instantiated with.  The
-    /// live population may have diverged through reconfiguration; see
-    /// [`Cluster::active_config`].
+    /// The configuration of the *first* model slice the cluster was
+    /// initially instantiated with (the whole cluster for single-model
+    /// deployments).  The live population may have diverged through
+    /// reconfiguration; see [`Cluster::active_config`].
     pub fn config(&self) -> &Config {
-        &self.config
+        &self.spec.pools[0].config
+    }
+
+    /// The full multi-model spec the cluster was instantiated from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
     }
 
     /// Total number of instances.
@@ -465,6 +616,60 @@ mod tests {
         assert!(times.iter().all(|&t| t > 0));
         let distinct: std::collections::HashSet<_> = times.iter().collect();
         assert!(distinct.len() > 10, "noise should spread service times");
+    }
+
+    #[test]
+    fn multi_model_spec_lays_out_slices_in_order() {
+        let spec = ClusterSpec::from_configs(vec![
+            Config::new(vec![1, 0, 2, 0]),
+            Config::new(vec![1, 1, 0, 0]),
+        ]);
+        assert_eq!(spec.model_table_len(), 2);
+        let cluster = Cluster::new_multi(pool(), spec.clone());
+        assert_eq!(cluster.len(), 5);
+        let models: Vec<usize> = cluster
+            .instances()
+            .iter()
+            .map(|i| i.model.index())
+            .collect();
+        assert_eq!(models, vec![0, 0, 0, 1, 1]);
+        assert_eq!(cluster.active_counts_for(ModelId::new(0)), vec![1, 0, 2, 0]);
+        assert_eq!(cluster.active_counts_for(ModelId::new(1)), vec![1, 1, 0, 0]);
+        assert_eq!(cluster.active_counts(), vec![2, 1, 2, 0]);
+        assert!((spec.cost(&pool()) - cluster.hourly_cost()).abs() < 1e-9);
+        // A per-model addition lands on the right binding.
+        let mut cluster = cluster;
+        let idx = cluster.add_instance_for(ModelId::new(1), 3, 1_000);
+        assert_eq!(cluster.instances()[idx].model, ModelId::new(1));
+        assert_eq!(
+            cluster.active_config_for(ModelId::new(1)).counts(),
+            &[1, 1, 0, 1]
+        );
+    }
+
+    #[test]
+    fn single_model_cluster_binds_everything_to_the_default_model() {
+        let cluster = Cluster::new(pool(), Config::new(vec![1, 1, 0, 0]));
+        assert!(cluster
+            .instances()
+            .iter()
+            .all(|i| i.model == ModelId::DEFAULT));
+        assert_eq!(cluster.spec().pools.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate model")]
+    fn duplicate_model_slices_rejected() {
+        ClusterSpec::new(vec![
+            ModelPool {
+                model: ModelId::DEFAULT,
+                config: Config::new(vec![1, 0, 0, 0]),
+            },
+            ModelPool {
+                model: ModelId::DEFAULT,
+                config: Config::new(vec![0, 1, 0, 0]),
+            },
+        ]);
     }
 
     #[test]

@@ -73,12 +73,13 @@
 //! invariant is enforced by `tests/proptest_reconfig.rs`.
 
 use crate::calendar::{EventCalendar, TimedEvent};
-use crate::cluster::{Cluster, ServiceSpec};
+use crate::cluster::{Cluster, ClusterSpec, ServiceSpec};
 use crate::scheduler::{idle_order, Dispatch, InstanceView, Scheduler, SchedulingContext};
 use crate::stats::{QueryRecord, SimReport, UnfinishedQuery};
 use kairos_models::latency::LatencyProfile;
+use kairos_models::mlmodel::ModelKind;
 use kairos_models::{Config, PoolSpec};
-use kairos_workload::{Query, TimeUs, Trace};
+use kairos_workload::{ModelId, Query, TimeUs, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -198,13 +199,14 @@ fn nominal_us_profile(profile: &LatencyProfile, batch: u32) -> TimeUs {
 /// bit-identical to its output.
 pub(crate) fn build_views_naive(
     cluster: &Cluster,
-    service: &ServiceSpec,
+    services: &[&ServiceSpec],
     now: TimeUs,
 ) -> Vec<InstanceView> {
     cluster
         .instances()
         .iter()
         .map(|inst| {
+            let service = services[inst.model.index()];
             let mut free_at = if inst.serving.is_some() {
                 inst.busy_until_us.max(now)
             } else {
@@ -218,6 +220,7 @@ pub(crate) fn build_views_naive(
                 instance_index: inst.index,
                 type_index: inst.type_index,
                 type_name: inst.type_name.clone(),
+                model: inst.model,
                 is_base: inst.is_base,
                 accepting: inst.accepts_dispatches(),
                 free_at_us: free_at,
@@ -254,13 +257,18 @@ pub(crate) fn build_views_naive(
 /// assert_eq!(report.offered, trace.len());
 /// ```
 pub struct SimEngine<'a> {
-    service: &'a ServiceSpec,
+    /// Served models' specifications, indexed by [`ModelId`] (one entry for
+    /// single-model runs).
+    services: Vec<&'a ServiceSpec>,
     scheduler: &'a mut dyn Scheduler,
     cluster: Cluster,
     rng: StdRng,
-    /// Per-pool-type latency profiles, resolved once so the hot path never
-    /// hashes a type name.
+    /// Per-`(model, type)` latency profiles, resolved once and flattened as
+    /// `model × num_types + type`, so the hot path never hashes a type or
+    /// model name.
     profiles: Vec<LatencyProfile>,
+    /// Number of pool types (the stride of [`Self::profiles`]).
+    num_types: usize,
     /// Trace arrivals sorted by `(arrival_us, trace order)`; the implicit
     /// event sequence number of `arrivals[i]` is `i`.
     arrivals: Vec<Query>,
@@ -309,7 +317,11 @@ pub struct SimEngine<'a> {
     last_event: TimeUs,
     offered: usize,
     trace_duration_us: TimeUs,
+    /// QoS target of the primary ([`ModelId::DEFAULT`]) model.
     qos_us: u64,
+    /// Per-model QoS targets, indexed by [`ModelId`] — an array load on the
+    /// completion path, never a string lookup.
+    qos_by_model: Vec<u64>,
 }
 
 impl<'a> SimEngine<'a> {
@@ -323,13 +335,71 @@ impl<'a> SimEngine<'a> {
         scheduler: &'a mut dyn Scheduler,
         options: &SimulationOptions,
     ) -> Self {
-        let cluster = Cluster::new(pool.clone(), config.clone());
+        Self::build(
+            pool,
+            ClusterSpec::single(config.clone()),
+            vec![service],
+            trace,
+            scheduler,
+            options,
+        )
+    }
+
+    /// Builds an engine for a **multi-model** simulation: `spec` binds each
+    /// served model's sub-cluster over the shared pool, and `services[m]` is
+    /// the specification (QoS target, ground-truth latency, noise) of model
+    /// `m`.  QoS and service times resolve per query model; dispatches whose
+    /// query model differs from the target instance's binding are rejected.
+    ///
+    /// # Panics
+    /// Panics if a spec slice binds a model with no entry in `services`.
+    pub fn new_multi(
+        pool: &PoolSpec,
+        spec: &ClusterSpec,
+        services: &[&'a ServiceSpec],
+        trace: &Trace,
+        scheduler: &'a mut dyn Scheduler,
+        options: &SimulationOptions,
+    ) -> Self {
+        assert!(
+            spec.model_table_len() <= services.len(),
+            "cluster spec binds model {} but only {} services are given",
+            spec.model_table_len() - 1,
+            services.len()
+        );
+        Self::build(
+            pool,
+            spec.clone(),
+            services.to_vec(),
+            trace,
+            scheduler,
+            options,
+        )
+    }
+
+    fn build(
+        pool: &PoolSpec,
+        spec: ClusterSpec,
+        services: Vec<&'a ServiceSpec>,
+        trace: &Trace,
+        scheduler: &'a mut dyn Scheduler,
+        options: &SimulationOptions,
+    ) -> Self {
+        let cluster = Cluster::new_multi(pool.clone(), spec);
         scheduler.bind_types(cluster.type_names());
-        let profiles: Vec<LatencyProfile> = cluster
-            .type_names()
+        let models: Vec<ModelKind> = services.iter().map(|s| s.model.kind).collect();
+        scheduler.bind_models(&models);
+        let num_types = cluster.type_names().len();
+        let profiles: Vec<LatencyProfile> = services
             .iter()
-            .map(|name| service.profile(name))
+            .flat_map(|service| {
+                cluster
+                    .type_names()
+                    .iter()
+                    .map(|name| service.profile(name))
+            })
             .collect();
+        let qos_by_model: Vec<u64> = services.iter().map(|s| s.qos_us()).collect();
 
         let mut arrivals = trace.queries.clone();
         // Traces are sorted by construction; a hand-assembled out-of-order
@@ -347,7 +417,7 @@ impl<'a> SimEngine<'a> {
             1_000
         };
 
-        let views = build_views_naive(&cluster, service, 0);
+        let views = build_views_naive(&cluster, &services, 0);
         let idle_free: Vec<u32> = views
             .iter()
             .filter(|v| v.accepting && v.backlog == 0)
@@ -356,11 +426,12 @@ impl<'a> SimEngine<'a> {
         let local_nominal_us = vec![0; cluster.len()];
         let offered = arrivals.len();
         Self {
-            service,
+            services,
             scheduler,
             cluster,
             rng: StdRng::seed_from_u64(options.seed),
             profiles,
+            num_types,
             arrivals,
             next_arrival: 0,
             calendar: EventCalendar::with_granularity(mean_gap_us.max(1)),
@@ -384,7 +455,8 @@ impl<'a> SimEngine<'a> {
             last_event: 0,
             offered,
             trace_duration_us: trace.duration_us(),
-            qos_us: service.qos_us(),
+            qos_us: qos_by_model[0],
+            qos_by_model,
         }
     }
 
@@ -419,7 +491,7 @@ impl<'a> SimEngine<'a> {
     /// instance (including retired ones the hot path leaves stale).
     /// Diagnostic/test API: O(instances × queue-depth).
     pub fn views(&mut self) -> &[InstanceView] {
-        self.views = build_views_naive(&self.cluster, self.service, self.now);
+        self.views = build_views_naive(&self.cluster, &self.services, self.now);
         &self.views
     }
 
@@ -427,7 +499,7 @@ impl<'a> SimEngine<'a> {
     /// queue-depth)).  Reference implementation for tests; the hot path
     /// updates views incrementally instead.
     pub fn recompute_views(&self) -> Vec<InstanceView> {
-        build_views_naive(&self.cluster, self.service, self.now)
+        build_views_naive(&self.cluster, &self.services, self.now)
     }
 
     /// Exactly what the next scheduling round would see: the incrementally
@@ -499,6 +571,7 @@ impl<'a> SimEngine<'a> {
         };
         let record = QueryRecord {
             id: query.id,
+            model: query.model,
             batch_size: query.batch_size,
             arrival_us: query.arrival_us,
             start_us,
@@ -506,7 +579,7 @@ impl<'a> SimEngine<'a> {
             instance_index,
             type_index,
         };
-        if record.within_qos(self.qos_us) {
+        if record.within_qos(self.qos_by_model[query.model.index()]) {
             self.on_time_completions += 1;
         } else {
             self.late_completions += 1;
@@ -514,7 +587,7 @@ impl<'a> SimEngine<'a> {
         self.records.push(record);
         let service_ms = (self.now - start_us) as f64 / 1000.0;
         self.scheduler
-            .on_completion(type_index, query.batch_size, service_ms);
+            .on_completion(type_index, query.model, query.batch_size, service_ms);
         // Start the next locally queued query, if any; a draining instance
         // that just emptied transitions to retired.
         self.start_next(instance_index);
@@ -522,19 +595,39 @@ impl<'a> SimEngine<'a> {
         EngineEvent::Completion { record, type_name }
     }
 
-    /// Adds an instance of the given pool type to the live cluster.  The
-    /// instance is visible to the scheduler immediately but cannot start
-    /// serving until `provisioning_delay_us` has elapsed; a `Ready` event
-    /// re-consults the scheduler the moment it comes online.  Returns the new
-    /// instance's index.
+    /// Adds an instance of the given pool type bound to
+    /// [`ModelId::DEFAULT`] to the live cluster.  The instance is visible to
+    /// the scheduler immediately but cannot start serving until
+    /// `provisioning_delay_us` has elapsed; a `Ready` event re-consults the
+    /// scheduler the moment it comes online.  Returns the new instance's
+    /// index.
     pub fn add_instance(&mut self, type_index: usize, provisioning_delay_us: TimeUs) -> usize {
+        self.add_instance_for(ModelId::DEFAULT, type_index, provisioning_delay_us)
+    }
+
+    /// [`Self::add_instance`] for a specific model binding: the new instance
+    /// hosts a replica of `model` and only accepts that model's queries.
+    ///
+    /// # Panics
+    /// Panics if `model` has no entry in the engine's service table.
+    pub fn add_instance_for(
+        &mut self,
+        model: ModelId,
+        type_index: usize,
+        provisioning_delay_us: TimeUs,
+    ) -> usize {
+        assert!(
+            model.index() < self.services.len(),
+            "model {model} not served by this engine"
+        );
         let ready_at = self.now + provisioning_delay_us;
-        let instance_index = self.cluster.add_instance(type_index, ready_at);
+        let instance_index = self.cluster.add_instance_for(model, type_index, ready_at);
         let inst = &self.cluster.instances()[instance_index];
         self.views.push(InstanceView {
             instance_index,
             type_index,
             type_name: inst.type_name.clone(),
+            model,
             is_base: inst.is_base,
             accepting: true,
             free_at_us: ready_at.max(self.now),
@@ -654,39 +747,23 @@ impl<'a> SimEngine<'a> {
     /// Finalizes the run: anything still queued (centrally or locally) is
     /// reported as unfinished.
     pub fn report(self) -> SimReport {
+        let unfinished_of = |q: &Query| UnfinishedQuery {
+            id: q.id,
+            model: q.model,
+            batch_size: q.batch_size,
+            arrival_us: q.arrival_us,
+        };
         let mut unfinished: Vec<UnfinishedQuery> = self.central_queue[self.queue_head..]
             .iter()
-            .map(|q| UnfinishedQuery {
-                id: q.id,
-                batch_size: q.batch_size,
-                arrival_us: q.arrival_us,
-            })
+            .map(unfinished_of)
             .collect();
         // Arrivals the probe never reached count as unfinished too (only
         // possible when a run is abandoned early, e.g. by `run_qos_probe`).
-        unfinished.extend(
-            self.arrivals[self.next_arrival..]
-                .iter()
-                .map(|q| UnfinishedQuery {
-                    id: q.id,
-                    batch_size: q.batch_size,
-                    arrival_us: q.arrival_us,
-                }),
-        );
+        unfinished.extend(self.arrivals[self.next_arrival..].iter().map(unfinished_of));
         for inst in self.cluster.instances() {
-            for q in &inst.local_queue {
-                unfinished.push(UnfinishedQuery {
-                    id: q.id,
-                    batch_size: q.batch_size,
-                    arrival_us: q.arrival_us,
-                });
-            }
-            if let Some((q, _)) = inst.serving {
-                unfinished.push(UnfinishedQuery {
-                    id: q.id,
-                    batch_size: q.batch_size,
-                    arrival_us: q.arrival_us,
-                });
+            unfinished.extend(inst.local_queue.iter().map(unfinished_of));
+            if let Some((q, _)) = &inst.serving {
+                unfinished.push(unfinished_of(q));
             }
         }
 
@@ -698,6 +775,7 @@ impl<'a> SimEngine<'a> {
             offered: self.offered,
             horizon_us,
             qos_us: self.qos_us,
+            qos_by_model: self.qos_by_model,
         }
     }
 
@@ -710,12 +788,16 @@ impl<'a> SimEngine<'a> {
         if let Some(query) = inst.local_queue.pop_front() {
             // The query leaves the local queue: retire its nominal estimate
             // from the incremental view and charge the actual service time.
-            let profile = &self.profiles[inst.type_index];
+            // Model-mismatched dispatches were rejected, so the instance's
+            // binding is the query's model.
+            let profile = &self.profiles[inst.model.index() * self.num_types + inst.type_index];
             self.local_queued -= 1;
             self.local_nominal_us[instance_index] -= nominal_us_profile(profile, query.batch_size);
-            let service_us =
-                self.service
-                    .service_time_us_from_profile(profile, query.batch_size, &mut self.rng);
+            let service_us = self.services[inst.model.index()].service_time_us_from_profile(
+                profile,
+                query.batch_size,
+                &mut self.rng,
+            );
             let start_us = self.now.max(inst.available_from_us);
             inst.serving = Some((query, start_us));
             inst.busy_until_us = start_us + service_us;
@@ -810,25 +892,29 @@ impl<'a> SimEngine<'a> {
                 instances: &self.views,
                 idle: &self.idle_ctx,
                 qos_us: self.qos_us,
+                qos_by_model: &self.qos_by_model,
             };
             self.scheduler.schedule_into(&ctx, &mut plan);
         }
 
-        // Validate: indices in range, each query dispatched at most once, and
-        // no dispatches to draining/retired instances.  Duplicate tracking
-        // uses generation stamps so no per-round buffer clearing or
-        // allocation is needed.
+        // Validate: indices in range, each query dispatched at most once, no
+        // dispatches to draining/retired instances, and no model-mismatched
+        // assignments (an instance only serves the model it hosts).
+        // Duplicate tracking uses generation stamps so no per-round buffer
+        // clearing or allocation is needed.
         self.round += 1;
         let round = self.round;
         if self.dispatch_marks.len() < queue_len {
             self.dispatch_marks.resize(queue_len, 0);
         }
         let cluster = &self.cluster;
+        let queued = &self.central_queue[self.queue_head..];
         let marks = &mut self.dispatch_marks;
         plan.retain(|d| {
             let valid = d.query_index < queue_len
                 && d.instance_index < cluster.len()
                 && cluster.instances()[d.instance_index].accepts_dispatches()
+                && cluster.instances()[d.instance_index].model == queued[d.query_index].model
                 && marks[d.query_index] != round;
             if valid {
                 marks[d.query_index] = round;
@@ -854,8 +940,10 @@ impl<'a> SimEngine<'a> {
                 self.remove_idle(i as u32);
             }
             self.local_queued += 1;
-            self.local_nominal_us[i] +=
-                nominal_us_profile(&self.profiles[type_index], query.batch_size);
+            self.local_nominal_us[i] += nominal_us_profile(
+                &self.profiles[query.model.index() * self.num_types + type_index],
+                query.batch_size,
+            );
             if needs_start {
                 self.start_next(i);
             } else {
@@ -944,6 +1032,7 @@ pub fn run_trace_naive(
 ) -> SimReport {
     let mut cluster = Cluster::new(pool.clone(), config.clone());
     scheduler.bind_types(cluster.type_names());
+    scheduler.bind_models(&[service.model.kind]);
     let mut rng = StdRng::seed_from_u64(options.seed);
     let qos_us = service.qos_us();
 
@@ -1004,24 +1093,29 @@ pub fn run_trace_naive(
         if central_queue.is_empty() {
             return;
         }
-        let views = build_views_naive(cluster, service, now);
+        let views = build_views_naive(cluster, &[service], now);
         let idle = idle_order(&views);
+        let qos_by_model = [qos_us];
         let ctx = SchedulingContext {
             now_us: now,
             queued: central_queue,
             instances: &views,
             idle: &idle,
             qos_us,
+            qos_by_model: &qos_by_model,
         };
         let mut plan: Vec<Dispatch> = scheduler.schedule(&ctx);
 
         // Validate: indices in range, each query dispatched at most once, no
-        // dispatches to non-accepting instances (mirrors the engine).
+        // dispatches to non-accepting or model-mismatched instances (mirrors
+        // the engine).
         let mut seen = vec![false; central_queue.len()];
         plan.retain(|d| {
             let valid = d.query_index < central_queue.len()
                 && d.instance_index < cluster.len()
                 && cluster.instances()[d.instance_index].accepts_dispatches()
+                && cluster.instances()[d.instance_index].model
+                    == central_queue[d.query_index].model
                 && !seen[d.query_index];
             if valid {
                 seen[d.query_index] = true;
@@ -1069,6 +1163,7 @@ pub fn run_trace_naive(
                 };
                 records.push(QueryRecord {
                     id: query.id,
+                    model: query.model,
                     batch_size: query.batch_size,
                     arrival_us: query.arrival_us,
                     start_us,
@@ -1077,7 +1172,7 @@ pub fn run_trace_naive(
                     type_index,
                 });
                 let service_ms = (now - start_us) as f64 / 1000.0;
-                scheduler.on_completion(type_index, query.batch_size, service_ms);
+                scheduler.on_completion(type_index, query.model, query.batch_size, service_ms);
                 // Start the next locally queued query, if any.
                 start_next(
                     &mut cluster,
@@ -1104,28 +1199,17 @@ pub fn run_trace_naive(
     }
 
     // Anything still queued (centrally or locally) never completed.
-    let mut unfinished: Vec<UnfinishedQuery> = central_queue
-        .iter()
-        .map(|q| UnfinishedQuery {
-            id: q.id,
-            batch_size: q.batch_size,
-            arrival_us: q.arrival_us,
-        })
-        .collect();
+    let unfinished_of = |q: &Query| UnfinishedQuery {
+        id: q.id,
+        model: q.model,
+        batch_size: q.batch_size,
+        arrival_us: q.arrival_us,
+    };
+    let mut unfinished: Vec<UnfinishedQuery> = central_queue.iter().map(unfinished_of).collect();
     for inst in cluster.instances() {
-        for q in &inst.local_queue {
-            unfinished.push(UnfinishedQuery {
-                id: q.id,
-                batch_size: q.batch_size,
-                arrival_us: q.arrival_us,
-            });
-        }
-        if let Some((q, _)) = inst.serving {
-            unfinished.push(UnfinishedQuery {
-                id: q.id,
-                batch_size: q.batch_size,
-                arrival_us: q.arrival_us,
-            });
+        unfinished.extend(inst.local_queue.iter().map(unfinished_of));
+        if let Some((q, _)) = &inst.serving {
+            unfinished.push(unfinished_of(q));
         }
     }
 
@@ -1137,6 +1221,7 @@ pub fn run_trace_naive(
         offered: trace.len(),
         horizon_us,
         qos_us,
+        qos_by_model: vec![qos_us],
     }
 }
 

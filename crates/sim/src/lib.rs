@@ -56,7 +56,7 @@ pub use capacity::{
     allowable_throughput, allowable_throughput_many, CapacityOptions, CapacityProber,
     CapacityResult,
 };
-pub use cluster::{Cluster, InstanceLifecycle, ServiceSpec, SimInstance};
+pub use cluster::{Cluster, ClusterSpec, InstanceLifecycle, ModelPool, ServiceSpec, SimInstance};
 pub use context::SimContext;
 pub use engine::{
     run_trace, run_trace_naive, ClusterAction, EngineEvent, EngineHook, SimEngine,
@@ -65,4 +65,4 @@ pub use engine::{
 pub use scheduler::{
     idle_order, Dispatch, FcfsScheduler, InstanceView, Scheduler, SchedulingContext,
 };
-pub use stats::{QueryRecord, SimReport, UnfinishedQuery};
+pub use stats::{ModelReport, QueryRecord, SimReport, UnfinishedQuery};

@@ -24,11 +24,21 @@
 //!   dispatchable instances sorted by `(free_at_us, instance_index)`, so
 //!   idle-dispatch policies need not scan (or re-sort) every view.
 //! * [`Scheduler::on_completion`] identifies the serving instance by its
-//!   *pool type index*, not a string name, so completion-time learning needs
-//!   no string hashing; [`Scheduler::bind_types`] hands policies the
-//!   index → name mapping once per run.
+//!   *pool type index* and the served model by its [`ModelId`] index, not
+//!   strings, so completion-time learning needs no string hashing;
+//!   [`Scheduler::bind_types`] / [`Scheduler::bind_models`] hand policies
+//!   the index → name / index → model mappings once per run.
+//!
+//! # Multi-model scheduling
+//!
+//! Every [`InstanceView`] carries the [`ModelId`] its instance hosts, and
+//! the context exposes the per-model QoS table
+//! ([`SchedulingContext::qos_for`]).  The engine *rejects* dispatches whose
+//! query model differs from the target instance's binding, so well-behaved
+//! policies must pair queries with same-model instances only.
 
-use kairos_workload::{Query, TimeUs};
+use kairos_models::mlmodel::ModelKind;
+use kairos_workload::{ModelId, Query, TimeUs};
 use std::sync::Arc;
 
 /// Snapshot of one simulated instance as seen by a scheduler.
@@ -41,6 +51,9 @@ pub struct InstanceView {
     /// Cloud name of the instance type (e.g. `"g4dn.xlarge"`).  Interned per
     /// type: cloning the view copies a pointer, not the string.
     pub type_name: Arc<str>,
+    /// The model this instance hosts.  The engine rejects dispatches whose
+    /// query model differs from this binding.
+    pub model: ModelId,
     /// Whether the instance's type is the pool's base type.
     pub is_base: bool,
     /// Whether the instance accepts new dispatches.  `false` for draining and
@@ -92,8 +105,15 @@ pub struct SchedulingContext<'a> {
     /// Maintained incrementally by the engine so policies that only dispatch
     /// to idle instances never scan the full view array.
     pub idle: &'a [u32],
-    /// QoS target of the served model, in microseconds.
+    /// QoS target of the primary ([`ModelId::DEFAULT`]) model, in
+    /// microseconds.  Single-model policies may read this directly;
+    /// multi-model policies should resolve per query via
+    /// [`Self::qos_for`].
     pub qos_us: u64,
+    /// Per-model QoS targets in microseconds, indexed by [`ModelId`].  May
+    /// be empty in hand-built single-model contexts, in which case
+    /// [`Self::qos_for`] falls back to [`Self::qos_us`].
+    pub qos_by_model: &'a [u64],
 }
 
 impl SchedulingContext<'_> {
@@ -104,6 +124,17 @@ impl SchedulingContext<'_> {
             .idle
             .partition_point(|&i| self.instances[i as usize].free_at_us <= self.now_us);
         &self.idle[..cut]
+    }
+
+    /// QoS target of a model in microseconds — an array index, never a
+    /// string lookup.  Falls back to [`Self::qos_us`] when the table does
+    /// not cover the model (hand-built single-model contexts).
+    #[inline]
+    pub fn qos_for(&self, model: ModelId) -> u64 {
+        self.qos_by_model
+            .get(model.index())
+            .copied()
+            .unwrap_or(self.qos_us)
     }
 }
 
@@ -166,21 +197,44 @@ pub trait Scheduler {
     /// Called once before a simulation starts.  The default ignores it.
     fn bind_types(&mut self, _type_names: &[Arc<str>]) {}
 
+    /// Hands the policy the served models, indexed by [`ModelId`] — the
+    /// model half of the `(type, model)` binding pair.  Policies that keep
+    /// per-model latency knowledge (Clockwork, Kairos) resolve their
+    /// per-`(type, model)` profiles here, once per run, so nothing on the
+    /// scheduling hot path hashes a model name.  Called once before a
+    /// simulation starts, after [`Self::bind_types`].  The default ignores
+    /// it (single-model policies need no model table).
+    fn bind_models(&mut self, _models: &[ModelKind]) {}
+
     /// Callback invoked when a query finishes, so policies can learn latency
     /// online (Kairos) or adapt thresholds.  The serving instance's pool type
-    /// is identified by index (see [`Self::bind_types`]) so the completion
-    /// hot path involves no string comparison.  The default does nothing.
-    fn on_completion(&mut self, _type_index: usize, _batch_size: u32, _service_ms: f64) {}
+    /// and the query's model are identified by index (see
+    /// [`Self::bind_types`] / [`Self::bind_models`]) so the completion hot
+    /// path involves no string comparison.  The default does nothing.
+    fn on_completion(
+        &mut self,
+        _type_index: usize,
+        _model: ModelId,
+        _batch_size: u32,
+        _service_ms: f64,
+    ) {
+    }
 }
 
 /// The naive first-come-first-serve policy: dispatch the oldest queued query
-/// to any idle instance, preferring base-type instances (this is the query
-/// distribution used by Ribbon, paper Sec. 7, and the "naive" scheme of
-/// Fig. 5).
+/// to any idle instance *hosting its model*, preferring base-type instances
+/// (this is the query distribution used by Ribbon, paper Sec. 7, and the
+/// "naive" scheme of Fig. 5).
+///
+/// On a single-model cluster every instance matches every query, so the
+/// policy reduces exactly to the classic slot-by-slot pairing.
 #[derive(Debug, Default, Clone)]
 pub struct FcfsScheduler {
     /// Reusable ordering scratch (idle instances, base type first).
     order: Vec<u32>,
+    /// Reusable taken-marks over the idle order (generation-stamped).
+    taken: Vec<u64>,
+    generation: u64,
 }
 
 impl FcfsScheduler {
@@ -208,14 +262,37 @@ impl Scheduler for FcfsScheduler {
         self.order.extend_from_slice(ctx.idle_now());
         self.order
             .sort_unstable_by_key(|&i| (!ctx.instances[i as usize].is_base, i));
-        for (slot, &i) in self.order.iter().enumerate() {
-            if slot >= ctx.queued.len() {
+        self.generation += 1;
+        if self.taken.len() < self.order.len() {
+            self.taken.resize(self.order.len(), 0);
+        }
+        let mut free_slots = self.order.len();
+        // Oldest query first: each takes the first untaken idle instance
+        // bound to its model.  On a single-model cluster every instance
+        // matches, so query k pairs with idle slot k exactly as before.
+        // `start` skips the fully-taken prefix so the single-model round is
+        // O(min(queries, idle)) — slots are always consumed front to back
+        // there, and a multi-model scan never re-walks dead slots.
+        let mut start = 0usize;
+        for (query_index, query) in ctx.queued.iter().enumerate() {
+            if free_slots == 0 {
                 break;
             }
-            out.push(Dispatch {
-                query_index: slot,
-                instance_index: i as usize,
+            while start < self.order.len() && self.taken[start] == self.generation {
+                start += 1;
+            }
+            let slot = self.order[start..].iter().enumerate().find(|&(off, &i)| {
+                self.taken[start + off] != self.generation
+                    && ctx.instances[i as usize].model == query.model
             });
+            if let Some((off, &i)) = slot {
+                self.taken[start + off] = self.generation;
+                free_slots -= 1;
+                out.push(Dispatch {
+                    query_index,
+                    instance_index: i as usize,
+                });
+            }
         }
     }
 }
@@ -233,6 +310,7 @@ mod tests {
             } else {
                 "r5n.large".into()
             },
+            model: ModelId::DEFAULT,
             is_base,
             accepting: true,
             free_at_us: free_at,
@@ -267,6 +345,7 @@ mod tests {
             instances: &views,
             idle: &idle,
             qos_us: 1_000_000,
+            qos_by_model: &[],
         };
         assert_eq!(ctx.idle_now(), &[1, 2]);
     }
@@ -282,6 +361,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 1_000_000,
+            qos_by_model: &[],
         };
         let mut fcfs = FcfsScheduler::new();
         let plan = fcfs.schedule(&ctx);
@@ -314,6 +394,7 @@ mod tests {
             instances: &instances,
             idle: &idle,
             qos_us: 1_000_000,
+            qos_by_model: &[],
         };
         assert!(FcfsScheduler::new().schedule(&ctx).is_empty());
     }

@@ -7,7 +7,7 @@
 //! exposes the building blocks: completion records, tail latencies, violation
 //! fractions, and goodput.
 
-use kairos_workload::TimeUs;
+use kairos_workload::{ModelId, TimeUs};
 use serde::{Deserialize, Serialize};
 
 /// Lifecycle record of one query that finished service.
@@ -15,6 +15,8 @@ use serde::{Deserialize, Serialize};
 pub struct QueryRecord {
     /// Query identifier.
     pub id: u64,
+    /// The model the query was served by.
+    pub model: ModelId,
     /// Batch size of the query.
     pub batch_size: u32,
     /// Arrival time at the system.
@@ -51,6 +53,8 @@ impl QueryRecord {
 pub struct UnfinishedQuery {
     /// Query identifier.
     pub id: u64,
+    /// The model the query targeted.
+    pub model: ModelId,
     /// Batch size of the query.
     pub batch_size: u32,
     /// Arrival time at the system.
@@ -70,14 +74,150 @@ pub struct SimReport {
     pub offered: usize,
     /// Virtual time span of the run (last event time), in microseconds.
     pub horizon_us: TimeUs,
-    /// QoS target of the served model, in microseconds.
+    /// QoS target of the primary ([`ModelId::DEFAULT`]) model, in
+    /// microseconds.  Single-model runs read this; per-model accounting
+    /// resolves through [`SimReport::qos_for`].
     pub qos_us: u64,
+    /// Per-model QoS targets in microseconds, indexed by [`ModelId`].
+    /// `[qos_us]` for single-model runs; may be left empty by hand-built
+    /// reports, in which case every model falls back to [`Self::qos_us`].
+    pub qos_by_model: Vec<u64>,
+}
+
+/// One model's slice of a [`SimReport`]: the per-model accounting that sums
+/// exactly to the aggregate report (see [`SimReport::per_model`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelReport {
+    /// The model this row describes.
+    pub model: ModelId,
+    /// Queries of this model offered to the system.
+    pub offered: usize,
+    /// Queries of this model that completed.
+    pub completed: usize,
+    /// Queries of this model that never completed before the horizon.
+    pub unfinished: usize,
+    /// QoS violations attributed to this model (late completions plus stale
+    /// unfinished queries, judged against *this model's* QoS target).
+    pub violations: usize,
+    /// 99th-percentile end-to-end latency of this model's completions, in
+    /// microseconds (0 when nothing completed).
+    pub p99_latency_us: TimeUs,
+    /// Completed queries of this model per second of simulated time.
+    pub throughput_qps: f64,
+}
+
+impl ModelReport {
+    /// Fraction of this model's offered queries that violated its QoS.
+    pub fn violation_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.violations as f64 / self.offered as f64
+    }
+}
+
+/// Nearest-rank percentile over a **sorted** latency slice: the smallest
+/// latency such that at least `percentile` percent of entries are at or
+/// below it (0 for an empty slice).  The single percentile convention used
+/// by both the aggregate and the per-model report paths.
+fn nearest_rank_us(sorted: &[TimeUs], percentile: f64) -> TimeUs {
+    let n = sorted.len();
+    if n == 0 {
+        return 0;
+    }
+    let rank = ((percentile / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
+    sorted[rank]
 }
 
 impl SimReport {
     /// Number of completed queries.
     pub fn completed(&self) -> usize {
         self.records.len()
+    }
+
+    /// QoS target of a model in microseconds (array index; falls back to
+    /// the primary [`Self::qos_us`] when the table does not cover the
+    /// model).
+    #[inline]
+    pub fn qos_for(&self, model: ModelId) -> u64 {
+        self.qos_by_model
+            .get(model.index())
+            .copied()
+            .unwrap_or(self.qos_us)
+    }
+
+    /// One past the largest model index appearing in the report (QoS table,
+    /// records or unfinished queries).
+    pub fn num_models(&self) -> usize {
+        self.qos_by_model
+            .len()
+            .max(
+                self.records
+                    .iter()
+                    .map(|r| r.model.index() + 1)
+                    .max()
+                    .unwrap_or(0),
+            )
+            .max(
+                self.unfinished
+                    .iter()
+                    .map(|u| u.model.index() + 1)
+                    .max()
+                    .unwrap_or(0),
+            )
+            .max(1)
+    }
+
+    /// Per-model breakdown of the run, indexed by [`ModelId`] over
+    /// `0..self.num_models()`.  The `offered`, `completed`, `unfinished`
+    /// and `violations` columns each sum **exactly** to the corresponding
+    /// aggregate ([`Self::offered`] via completed + unfinished,
+    /// [`Self::completed`], [`Self::violations`]) — this invariant is
+    /// property-tested in `tests/proptest_multimodel.rs`.
+    pub fn per_model(&self) -> Vec<ModelReport> {
+        let n = self.num_models();
+        let mut offered = vec![0usize; n];
+        let mut completed = vec![0usize; n];
+        let mut unfinished = vec![0usize; n];
+        let mut violations = vec![0usize; n];
+        let mut latencies: Vec<Vec<TimeUs>> = vec![Vec::new(); n];
+        for r in &self.records {
+            let m = r.model.index();
+            offered[m] += 1;
+            completed[m] += 1;
+            latencies[m].push(r.latency_us());
+            if !r.within_qos(self.qos_for(r.model)) {
+                violations[m] += 1;
+            }
+        }
+        for u in &self.unfinished {
+            let m = u.model.index();
+            offered[m] += 1;
+            unfinished[m] += 1;
+            if self.horizon_us.saturating_sub(u.arrival_us) > self.qos_for(u.model) {
+                violations[m] += 1;
+            }
+        }
+        let horizon_s = self.horizon_us as f64 / 1e6;
+        (0..n)
+            .map(|m| {
+                latencies[m].sort_unstable();
+                let p99 = nearest_rank_us(&latencies[m], 99.0);
+                ModelReport {
+                    model: ModelId::new(m),
+                    offered: offered[m],
+                    completed: completed[m],
+                    unfinished: unfinished[m],
+                    violations: violations[m],
+                    p99_latency_us: p99,
+                    throughput_qps: if self.horizon_us == 0 {
+                        0.0
+                    } else {
+                        completed[m] as f64 / horizon_s
+                    },
+                }
+            })
+            .collect()
     }
 
     /// Raw throughput: completed queries per second of simulated time.
@@ -98,7 +238,7 @@ impl SimReport {
         let ok = self
             .records
             .iter()
-            .filter(|r| r.within_qos(self.qos_us))
+            .filter(|r| r.within_qos(self.qos_for(r.model)))
             .count();
         ok as f64 / (self.horizon_us as f64 / 1e6)
     }
@@ -117,12 +257,12 @@ impl SimReport {
         let late_completed = self
             .records
             .iter()
-            .filter(|r| !r.within_qos(self.qos_us))
+            .filter(|r| !r.within_qos(self.qos_for(r.model)))
             .count();
         let late_unfinished = self
             .unfinished
             .iter()
-            .filter(|u| self.horizon_us.saturating_sub(u.arrival_us) > self.qos_us)
+            .filter(|u| self.horizon_us.saturating_sub(u.arrival_us) > self.qos_for(u.model))
             .count();
         late_completed + late_unfinished
     }
@@ -149,16 +289,9 @@ impl SimReport {
             (0.0..=100.0).contains(&percentile),
             "percentile out of range"
         );
-        if self.records.is_empty() {
-            return 0;
-        }
         let mut latencies: Vec<TimeUs> = self.records.iter().map(|r| r.latency_us()).collect();
         latencies.sort_unstable();
-        // Nearest-rank percentile: the smallest latency such that at least
-        // `percentile` percent of queries are at or below it.
-        let n = latencies.len();
-        let rank = ((percentile / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
-        latencies[rank]
+        nearest_rank_us(&latencies, percentile)
     }
 
     /// 99th-percentile latency in microseconds (the paper's QoS metric).
@@ -196,7 +329,7 @@ impl SimReport {
             let b = (r.arrival_us / bucket_us) as usize;
             if b < buckets {
                 total[b] += 1;
-                if !r.within_qos(self.qos_us) {
+                if !r.within_qos(self.qos_for(r.model)) {
                     late[b] += 1;
                 }
             }
@@ -205,7 +338,7 @@ impl SimReport {
             let b = (u.arrival_us / bucket_us) as usize;
             if b < buckets {
                 total[b] += 1;
-                if self.horizon_us.saturating_sub(u.arrival_us) > self.qos_us {
+                if self.horizon_us.saturating_sub(u.arrival_us) > self.qos_for(u.model) {
                     late[b] += 1;
                 }
             }
@@ -275,6 +408,7 @@ mod tests {
     fn record(id: u64, arrival: TimeUs, start: TimeUs, completion: TimeUs) -> QueryRecord {
         QueryRecord {
             id,
+            model: ModelId::DEFAULT,
             batch_size: 10,
             arrival_us: arrival,
             start_us: start,
@@ -293,6 +427,7 @@ mod tests {
             offered,
             horizon_us: 1_000_000,
             qos_us: qos,
+            qos_by_model: vec![qos],
         }
     }
 
@@ -327,11 +462,13 @@ mod tests {
             vec![
                 UnfinishedQuery {
                     id: 2,
+                    model: ModelId::DEFAULT,
                     batch_size: 5,
                     arrival_us: 0,
                 }, // stale
                 UnfinishedQuery {
                     id: 3,
+                    model: ModelId::DEFAULT,
                     batch_size: 5,
                     arrival_us: 999_999,
                 }, // fresh
@@ -372,6 +509,7 @@ mod tests {
             ],
             vec![UnfinishedQuery {
                 id: 4,
+                model: ModelId::DEFAULT,
                 batch_size: 5,
                 arrival_us: 120_000, // stale by the 1s horizon: violation
             }],
@@ -403,6 +541,55 @@ mod tests {
         // Never clean enough at an impossible tolerance over dirty buckets.
         let all_late = report(vec![record(1, 950_000, 950_000, 999_999)], vec![], 10);
         assert_eq!(all_late.time_to_recover(900_000, 100_000, 0.0), None);
+    }
+
+    #[test]
+    fn per_model_breakdown_sums_to_aggregates_and_applies_per_model_qos() {
+        // Model 0: 10 ms QoS, model 1: 100 ms QoS.  The same 50 ms latency is
+        // a violation for model 0 but fine for model 1.
+        let mut r0 = record(1, 0, 0, 50_000);
+        r0.model = ModelId::new(0);
+        let mut r1 = record(2, 0, 0, 50_000);
+        r1.model = ModelId::new(1);
+        let mut r2 = record(3, 0, 0, 5_000);
+        r2.model = ModelId::new(0);
+        let rep = SimReport {
+            scheduler: "test".into(),
+            records: vec![r0, r1, r2],
+            unfinished: vec![UnfinishedQuery {
+                id: 4,
+                model: ModelId::new(1),
+                batch_size: 5,
+                arrival_us: 0, // stale at the 1 s horizon for both targets
+            }],
+            offered: 4,
+            horizon_us: 1_000_000,
+            qos_us: 10_000,
+            qos_by_model: vec![10_000, 100_000],
+        };
+        let per = rep.per_model();
+        assert_eq!(per.len(), 2);
+        assert_eq!(
+            (per[0].offered, per[0].completed, per[0].violations),
+            (2, 2, 1)
+        );
+        assert_eq!(
+            (per[1].offered, per[1].completed, per[1].violations),
+            (2, 1, 1)
+        );
+        assert_eq!(per[0].unfinished + per[1].unfinished, 1);
+        // Sums match the aggregates exactly.
+        assert_eq!(per.iter().map(|m| m.offered).sum::<usize>(), rep.offered);
+        assert_eq!(
+            per.iter().map(|m| m.completed).sum::<usize>(),
+            rep.completed()
+        );
+        assert_eq!(
+            per.iter().map(|m| m.violations).sum::<usize>(),
+            rep.violations()
+        );
+        assert_eq!(per[0].p99_latency_us, 50_000);
+        assert!((per[0].violation_fraction() - 0.5).abs() < 1e-12);
     }
 
     #[test]

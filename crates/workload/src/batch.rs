@@ -1,7 +1,7 @@
 //! Query batch-size distributions.
 //!
 //! The paper's evaluation is driven by the production trace of query batch
-//! sizes from Meta's recommendation services [17], which is heavily skewed
+//! sizes from Meta's recommendation services \[17\], which is heavily skewed
 //! towards small batches; the robustness experiments additionally use
 //! Gaussian batch sizes (Fig. 16a) and a log-normal → Gaussian shift
 //! (Fig. 12).  Since the production trace is not redistributable, this module

@@ -1,11 +1,13 @@
 //! # kairos-workload
 //!
 //! Workload generation for the Kairos inference-serving reproduction:
-//! query types, batch-size distributions (production-like log-normal,
-//! Gaussian, uniform, empirical), Poisson/uniform/burst arrival processes,
-//! reproducible traces, multi-phase non-stationary workloads (step changes,
+//! query types (model-tagged via [`ModelId`]), batch-size distributions
+//! (production-like log-normal, Gaussian, uniform, empirical), per-model
+//! query mixes ([`MixSpec`]), Poisson/uniform/burst arrival processes,
+//! reproducible traces (single-model [`TraceSpec`], multi-model
+//! [`MixedTraceSpec`]), multi-phase non-stationary workloads (step changes,
 //! bursts, diurnal ramps — [`PhasedArrival`]), and the online query monitor
-//! Kairos uses to estimate the batch-size mix (paper Sec. 5.2).
+//! Kairos uses to estimate the batch-size and model mix (paper Sec. 5.2).
 //!
 //! ```
 //! use kairos_workload::{TraceSpec, QueryMonitor};
@@ -26,6 +28,7 @@
 
 pub mod arrival;
 pub mod batch;
+pub mod mix;
 pub mod monitor;
 pub mod phased;
 pub mod query;
@@ -33,7 +36,8 @@ pub mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use batch::BatchSizeDistribution;
+pub use mix::{MixComponent, MixSpec, MixedTraceSpec};
 pub use monitor::{QueryMonitor, DEFAULT_WINDOW};
 pub use phased::{Phase, PhasedArrival};
-pub use query::{Query, TimeUs};
+pub use query::{ModelId, Query, TimeUs};
 pub use trace::{Trace, TraceSpec};

@@ -1,0 +1,314 @@
+//! Multi-model query mixes.
+//!
+//! Production inference clusters rarely serve one model: the paper's five
+//! models (NCF at 5 ms through RM2 at 350 ms, Table 3) would in practice
+//! share one fleet, each contributing a *share* of the arriving query stream
+//! with its own batch-size composition.  A [`MixSpec`] describes such a mix —
+//! per-model rate share plus per-model batch distribution — and is the
+//! multi-model generalization of a bare
+//! [`BatchSizeDistribution`]: a single-entry
+//! mix samples *exactly* like the wrapped distribution (same RNG draw
+//! sequence), so every single-model trace remains bit-identical to the
+//! pre-multi-model code paths.
+//!
+//! [`MixedTraceSpec`] couples a mix with an arrival process into a
+//! reproducible stationary multi-model trace, mirroring
+//! [`TraceSpec`](crate::TraceSpec) for the single-model case.
+
+use crate::arrival::ArrivalProcess;
+use crate::batch::BatchSizeDistribution;
+use crate::query::{ModelId, Query, TimeUs};
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One model's contribution to a query mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixComponent {
+    /// The model these queries target.
+    pub model: ModelId,
+    /// Relative rate share of the model (normalized over the mix).
+    pub share: f64,
+    /// Batch-size composition of this model's queries.
+    pub batch_sizes: BatchSizeDistribution,
+}
+
+/// A per-model query mix: rate shares plus batch distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixSpec {
+    components: Vec<MixComponent>,
+}
+
+impl MixSpec {
+    /// Builds a mix from explicit components.
+    ///
+    /// # Panics
+    /// Panics if `components` is empty, any share is non-positive, or two
+    /// components target the same model.
+    pub fn new(components: Vec<MixComponent>) -> Self {
+        assert!(!components.is_empty(), "a mix needs at least one model");
+        assert!(
+            components.iter().all(|c| c.share > 0.0),
+            "mix shares must be positive"
+        );
+        for (i, a) in components.iter().enumerate() {
+            assert!(
+                components[i + 1..].iter().all(|b| b.model != a.model),
+                "duplicate model {} in mix",
+                a.model
+            );
+        }
+        Self { components }
+    }
+
+    /// A single-model mix: the thin wrapper the single-model constructors
+    /// reduce to.  Sampling it consumes exactly the RNG draws of sampling
+    /// `batch_sizes` directly.
+    pub fn single(model: ModelId, batch_sizes: BatchSizeDistribution) -> Self {
+        Self {
+            components: vec![MixComponent {
+                model,
+                share: 1.0,
+                batch_sizes,
+            }],
+        }
+    }
+
+    /// A mix over models `0..shares.len()` with one batch distribution per
+    /// model, ids assigned in slice order.
+    ///
+    /// # Panics
+    /// Panics on empty input or mismatched lengths.
+    pub fn from_shares(shares: &[f64], batch_sizes: &[BatchSizeDistribution]) -> Self {
+        assert_eq!(
+            shares.len(),
+            batch_sizes.len(),
+            "one batch distribution per share"
+        );
+        Self::new(
+            shares
+                .iter()
+                .zip(batch_sizes)
+                .enumerate()
+                .map(|(i, (&share, dist))| MixComponent {
+                    model: ModelId::new(i),
+                    share,
+                    batch_sizes: dist.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    /// The mix components, in declaration order.
+    pub fn components(&self) -> &[MixComponent] {
+        &self.components
+    }
+
+    /// Number of models in the mix.
+    pub fn num_models(&self) -> usize {
+        self.components.len()
+    }
+
+    /// One past the largest model index in the mix — the length a dense
+    /// per-model table must have to cover every component.
+    pub fn model_table_len(&self) -> usize {
+        self.components
+            .iter()
+            .map(|c| c.model.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Normalized rate share of a model (0 when absent from the mix).
+    pub fn rate_share(&self, model: ModelId) -> f64 {
+        let total: f64 = self.components.iter().map(|c| c.share).sum();
+        self.components
+            .iter()
+            .find(|c| c.model == model)
+            .map(|c| c.share / total)
+            .unwrap_or(0.0)
+    }
+
+    /// Draws one query's `(model, batch size)`.  Single-entry mixes skip the
+    /// model draw entirely, preserving the single-model RNG stream.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (ModelId, u32) {
+        let component = if self.components.len() == 1 {
+            &self.components[0]
+        } else {
+            let total: f64 = self.components.iter().map(|c| c.share).sum();
+            let mut point = rng.gen::<f64>() * total;
+            let mut picked = &self.components[self.components.len() - 1];
+            for c in &self.components {
+                if point < c.share {
+                    picked = c;
+                    break;
+                }
+                point -= c.share;
+            }
+            picked
+        };
+        (component.model, component.batch_sizes.sample(rng))
+    }
+}
+
+/// Specification of a stationary multi-model trace: one arrival process
+/// whose queries are tagged and batched according to a [`MixSpec`].  The
+/// multi-model sibling of [`TraceSpec`](crate::TraceSpec).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedTraceSpec {
+    /// Arrival process of the combined query stream.
+    pub arrival: ArrivalProcess,
+    /// Per-model composition of the stream.
+    pub mix: MixSpec,
+    /// Duration of the trace in virtual seconds.
+    pub duration_s: f64,
+    /// RNG seed so traces are reproducible.
+    pub seed: u64,
+}
+
+impl MixedTraceSpec {
+    /// Poisson arrivals at `rate_qps` with the given mix.
+    pub fn poisson(rate_qps: f64, mix: MixSpec, duration_s: f64, seed: u64) -> Self {
+        Self {
+            arrival: ArrivalProcess::Poisson { rate_qps },
+            mix,
+            duration_s,
+            seed,
+        }
+    }
+
+    /// Generates the trace described by this specification.
+    ///
+    /// # Panics
+    /// Panics if the duration is non-positive.
+    pub fn generate(&self) -> Trace {
+        assert!(self.duration_s > 0.0, "duration must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let horizon_us = (self.duration_s * 1e6) as TimeUs;
+        let mut queries = Vec::new();
+        let mut t: TimeUs = 0;
+        let mut id = 0u64;
+        loop {
+            t += self.arrival.next_gap_us(&mut rng);
+            if t > horizon_us {
+                break;
+            }
+            let (model, batch) = self.mix.sample(&mut rng);
+            queries.push(Query::for_model(id, model, batch, t));
+            id += 1;
+            // Bursts would loop forever (gap 0); cap them at a generous size.
+            if matches!(self.arrival, ArrivalProcess::Burst) && queries.len() >= 10_000 {
+                break;
+            }
+        }
+        Trace {
+            spec: None,
+            queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSpec;
+
+    fn three_way() -> MixSpec {
+        MixSpec::from_shares(
+            &[0.5, 0.2, 0.3],
+            &[
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::gaussian_default(),
+                BatchSizeDistribution::Fixed(64),
+            ],
+        )
+    }
+
+    #[test]
+    fn shares_normalize_and_sampling_respects_them() {
+        let mix = three_way();
+        assert_eq!(mix.num_models(), 3);
+        assert_eq!(mix.model_table_len(), 3);
+        assert!((mix.rate_share(ModelId::new(0)) - 0.5).abs() < 1e-12);
+        assert_eq!(mix.rate_share(ModelId::new(9)), 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            let (model, batch) = mix.sample(&mut rng);
+            counts[model.index()] += 1;
+            assert!(batch >= 1);
+        }
+        let f0 = counts[0] as f64 / 30_000.0;
+        let f1 = counts[1] as f64 / 30_000.0;
+        assert!((f0 - 0.5).abs() < 0.02, "share 0 observed {f0}");
+        assert!((f1 - 0.2).abs() < 0.02, "share 1 observed {f1}");
+    }
+
+    #[test]
+    fn single_entry_mix_preserves_the_single_model_rng_stream() {
+        // A single-entry mix must consume the same draws as the wrapped
+        // distribution, so single-model traces stay bit-identical.
+        let dist = BatchSizeDistribution::production_default();
+        let mix = MixSpec::single(ModelId::DEFAULT, dist.clone());
+        let mut a = StdRng::seed_from_u64(77);
+        let mut b = StdRng::seed_from_u64(77);
+        for _ in 0..200 {
+            let (model, batch) = mix.sample(&mut a);
+            assert_eq!(model, ModelId::DEFAULT);
+            assert_eq!(batch, dist.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn single_model_mixed_trace_equals_trace_spec() {
+        let spec = TraceSpec::production(150.0, 2.0, 9);
+        let mixed = MixedTraceSpec::poisson(
+            150.0,
+            MixSpec::single(
+                ModelId::DEFAULT,
+                BatchSizeDistribution::production_default(),
+            ),
+            2.0,
+            9,
+        );
+        assert_eq!(spec.generate().queries, mixed.generate().queries);
+    }
+
+    #[test]
+    fn generated_queries_carry_their_model_tags() {
+        let trace = MixedTraceSpec::poisson(300.0, three_way(), 2.0, 3).generate();
+        assert!(!trace.is_empty());
+        let mut seen = [false; 3];
+        for q in &trace.queries {
+            seen[q.model.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all three models must appear");
+        // Deterministic per seed.
+        let again = MixedTraceSpec::poisson(300.0, three_way(), 2.0, 3).generate();
+        assert_eq!(trace, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate model")]
+    fn duplicate_models_rejected() {
+        MixSpec::new(vec![
+            MixComponent {
+                model: ModelId::DEFAULT,
+                share: 1.0,
+                batch_sizes: BatchSizeDistribution::Fixed(1),
+            },
+            MixComponent {
+                model: ModelId::DEFAULT,
+                share: 1.0,
+                batch_sizes: BatchSizeDistribution::Fixed(2),
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_mix_rejected() {
+        MixSpec::new(vec![]);
+    }
+}

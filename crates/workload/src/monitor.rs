@@ -6,18 +6,29 @@
 //! "This is done via query monitoring to keep track of a number of most
 //! recent queries (e.g., 10000 queries), and does not require extra
 //! profiling").  [`QueryMonitor`] is exactly that sliding window.
+//!
+//! Multi-model serving additionally needs the *observed per-model mix* of
+//! the stream (which share of recent queries targeted which model) to split
+//! a shared budget across models.  The window therefore stores
+//! `(model, batch size)` pairs, capped by the same ring-buffer eviction as
+//! before, and maintains per-model counts incrementally so
+//! [`QueryMonitor::mix`] is O(models), not O(window) — callers no longer
+//! re-derive the mix by re-sampling the stream.
 
+use crate::query::ModelId;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Default window length used by the paper (10 000 most recent queries).
 pub const DEFAULT_WINDOW: usize = 10_000;
 
-/// Sliding window over the batch sizes of the most recent queries.
+/// Sliding window over the `(model, batch size)` of the most recent queries.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueryMonitor {
     capacity: usize,
-    window: VecDeque<u32>,
+    window: VecDeque<(ModelId, u32)>,
+    /// Incrementally maintained count of window entries per model index.
+    model_counts: Vec<usize>,
 }
 
 impl QueryMonitor {
@@ -32,19 +43,33 @@ impl QueryMonitor {
         Self {
             capacity,
             window: VecDeque::with_capacity(capacity.min(16_384)),
+            model_counts: Vec::new(),
         }
     }
 
-    /// Records the batch size of a newly arrived query, evicting the oldest
-    /// entry once the window is full.
+    /// Records the batch size of a newly arrived single-model query
+    /// (model [`ModelId::DEFAULT`]), evicting the oldest entry once the
+    /// window is full.
     pub fn observe(&mut self, batch_size: u32) {
-        if self.window.len() == self.capacity {
-            self.window.pop_front();
-        }
-        self.window.push_back(batch_size);
+        self.observe_tagged(ModelId::DEFAULT, batch_size);
     }
 
-    /// Records a whole slice of batch sizes.
+    /// Records a newly arrived query for a specific model, evicting the
+    /// oldest entry once the window is full.
+    pub fn observe_tagged(&mut self, model: ModelId, batch_size: u32) {
+        if self.window.len() == self.capacity {
+            if let Some((evicted, _)) = self.window.pop_front() {
+                self.model_counts[evicted.index()] -= 1;
+            }
+        }
+        if self.model_counts.len() <= model.index() {
+            self.model_counts.resize(model.index() + 1, 0);
+        }
+        self.model_counts[model.index()] += 1;
+        self.window.push_back((model, batch_size));
+    }
+
+    /// Records a whole slice of single-model batch sizes.
     pub fn observe_all(&mut self, batch_sizes: &[u32]) {
         for &b in batch_sizes {
             self.observe(b);
@@ -61,45 +86,60 @@ impl QueryMonitor {
         self.window.is_empty()
     }
 
+    /// The observed per-model mix of the window: every model with at least
+    /// one recent query, with its fraction of the window, in model-index
+    /// order.  Empty when nothing has been observed.  O(models) — the counts
+    /// behind it are maintained incrementally at observe/evict time.
+    pub fn mix(&self) -> Vec<(ModelId, f64)> {
+        let total = self.window.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.model_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| (ModelId::new(index), count as f64 / total as f64))
+            .collect()
+    }
+
+    /// Number of window entries targeting `model` (O(1)).
+    pub fn model_count(&self, model: ModelId) -> usize {
+        self.model_counts.get(model.index()).copied().unwrap_or(0)
+    }
+
     /// Fraction `f` of observed queries with batch size at most `threshold`
     /// (returns 0 when the window is empty).
     pub fn fraction_at_most(&self, threshold: u32) -> f64 {
         if self.window.is_empty() {
             return 0.0;
         }
-        self.window.iter().filter(|&&b| b <= threshold).count() as f64 / self.window.len() as f64
+        self.window.iter().filter(|&&(_, b)| b <= threshold).count() as f64
+            / self.window.len() as f64
     }
 
     /// Mean batch size of queries in the window at most `threshold` (None if
     /// no such query exists).  Used to derive the representative "small query"
     /// an auxiliary instance serves.
     pub fn mean_at_most(&self, threshold: u32) -> Option<f64> {
-        let below: Vec<u32> = self
+        let (sum, count) = self
             .window
             .iter()
-            .copied()
-            .filter(|&b| b <= threshold)
-            .collect();
-        if below.is_empty() {
-            return None;
-        }
-        Some(below.iter().map(|&b| b as f64).sum::<f64>() / below.len() as f64)
+            .filter(|&&(_, b)| b <= threshold)
+            .fold((0.0f64, 0usize), |(s, n), &(_, b)| (s + b as f64, n + 1));
+        (count > 0).then(|| sum / count as f64)
     }
 
     /// Mean batch size of queries in the window strictly above `threshold`
     /// (None if no such query exists).  This is the representative `s+` query
     /// of the upper-bound analysis.
     pub fn mean_above(&self, threshold: u32) -> Option<f64> {
-        let above: Vec<u32> = self
+        let (sum, count) = self
             .window
             .iter()
-            .copied()
-            .filter(|&b| b > threshold)
-            .collect();
-        if above.is_empty() {
-            return None;
-        }
-        Some(above.iter().map(|&b| b as f64).sum::<f64>() / above.len() as f64)
+            .filter(|&&(_, b)| b > threshold)
+            .fold((0.0f64, 0usize), |(s, n), &(_, b)| (s + b as f64, n + 1));
+        (count > 0).then(|| sum / count as f64)
     }
 
     /// Mean batch size over the whole window (None when empty).
@@ -107,24 +147,40 @@ impl QueryMonitor {
         if self.window.is_empty() {
             return None;
         }
-        Some(self.window.iter().map(|&b| b as f64).sum::<f64>() / self.window.len() as f64)
+        Some(self.window.iter().map(|&(_, b)| b as f64).sum::<f64>() / self.window.len() as f64)
     }
 
     /// Largest batch size observed in the window.
     pub fn max_batch(&self) -> Option<u32> {
-        self.window.iter().copied().max()
+        self.window.iter().map(|&(_, b)| b).max()
     }
 
     /// Iterates over the batch sizes in the window (oldest first) without
     /// copying them out — used by cheap fingerprints of the window contents.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.window.iter().map(|&(_, b)| b)
+    }
+
+    /// Iterates over the `(model, batch size)` pairs in the window (oldest
+    /// first).
+    pub fn iter_tagged(&self) -> impl Iterator<Item = (ModelId, u32)> + '_ {
         self.window.iter().copied()
     }
 
     /// A copy of the batch sizes currently in the window (oldest first).
     /// This is the sample handed to the throughput upper-bound estimator.
     pub fn snapshot(&self) -> Vec<u32> {
-        self.window.iter().copied().collect()
+        self.window.iter().map(|&(_, b)| b).collect()
+    }
+
+    /// The batch sizes of one model's queries in the window (oldest first) —
+    /// the per-model sample a per-model planner hands to its estimator.
+    pub fn snapshot_for(&self, model: ModelId) -> Vec<u32> {
+        self.window
+            .iter()
+            .filter(|&&(m, _)| m == model)
+            .map(|&(_, b)| b)
+            .collect()
     }
 }
 
@@ -167,6 +223,42 @@ mod tests {
         assert_eq!(m.mean_at_most(100), None);
         assert_eq!(m.mean_above(100), None);
         assert_eq!(m.max_batch(), None);
+        assert!(m.mix().is_empty());
+    }
+
+    #[test]
+    fn mix_tracks_per_model_shares_across_eviction() {
+        let mut m = QueryMonitor::with_capacity(4);
+        m.observe_tagged(ModelId::new(0), 10);
+        m.observe_tagged(ModelId::new(1), 20);
+        m.observe_tagged(ModelId::new(1), 30);
+        m.observe_tagged(ModelId::new(2), 40);
+        assert_eq!(
+            m.mix(),
+            vec![
+                (ModelId::new(0), 0.25),
+                (ModelId::new(1), 0.5),
+                (ModelId::new(2), 0.25),
+            ]
+        );
+        // Evicting the only model-0 entry drops it from the mix entirely.
+        m.observe_tagged(ModelId::new(2), 50);
+        assert_eq!(m.model_count(ModelId::new(0)), 0);
+        assert_eq!(
+            m.mix(),
+            vec![(ModelId::new(1), 0.5), (ModelId::new(2), 0.5)]
+        );
+        assert_eq!(m.snapshot_for(ModelId::new(1)), vec![20, 30]);
+        assert_eq!(m.iter_tagged().count(), 4);
+    }
+
+    #[test]
+    fn untagged_observations_count_towards_the_default_model() {
+        let mut m = QueryMonitor::new();
+        m.observe_all(&[5, 6]);
+        assert_eq!(m.mix(), vec![(ModelId::DEFAULT, 1.0)]);
+        assert_eq!(m.snapshot(), vec![5, 6]);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![5, 6]);
     }
 
     #[test]

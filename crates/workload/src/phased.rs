@@ -13,7 +13,8 @@
 
 use crate::arrival::ArrivalProcess;
 use crate::batch::BatchSizeDistribution;
-use crate::query::{Query, TimeUs};
+use crate::mix::MixSpec;
+use crate::query::{ModelId, Query, TimeUs};
 use crate::trace::Trace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,18 +27,31 @@ pub struct Phase {
     pub duration_s: f64,
     /// Arrival process active during the phase.
     pub arrival: ArrivalProcess,
-    /// Batch-size mix of queries arriving during the phase.
-    pub batch_sizes: BatchSizeDistribution,
+    /// Per-model composition of queries arriving during the phase.  Single
+    /// model workloads use a single-entry mix, which samples with exactly the
+    /// RNG draws of the bare batch distribution it wraps.
+    pub mix: MixSpec,
 }
 
 impl Phase {
     /// Convenience constructor: Poisson arrivals at `rate_qps` with the given
-    /// batch mix for `duration_s` seconds.
+    /// single-model batch mix for `duration_s` seconds (thin wrapper over
+    /// [`Phase::poisson_mix`] with model [`ModelId::DEFAULT`]).
     pub fn poisson(rate_qps: f64, batch_sizes: BatchSizeDistribution, duration_s: f64) -> Self {
+        Self::poisson_mix(
+            rate_qps,
+            MixSpec::single(ModelId::DEFAULT, batch_sizes),
+            duration_s,
+        )
+    }
+
+    /// Poisson arrivals at `rate_qps` whose queries follow a multi-model
+    /// [`MixSpec`] for `duration_s` seconds.
+    pub fn poisson_mix(rate_qps: f64, mix: MixSpec, duration_s: f64) -> Self {
         Self {
             duration_s,
             arrival: ArrivalProcess::Poisson { rate_qps },
-            batch_sizes,
+            mix,
         }
     }
 }
@@ -207,8 +221,8 @@ impl PhasedArrival {
                 if t >= end {
                     break;
                 }
-                let batch = phase.batch_sizes.sample(&mut rng);
-                queries.push(Query::new(id, batch, t));
+                let (model, batch) = phase.mix.sample(&mut rng);
+                queries.push(Query::for_model(id, model, batch, t));
                 id += 1;
             }
         }
@@ -362,5 +376,32 @@ mod tests {
     #[should_panic(expected = "at least one phase")]
     fn empty_phase_list_rejected() {
         PhasedArrival::new(vec![], 0);
+    }
+
+    #[test]
+    fn multi_model_phases_tag_queries_with_their_models() {
+        use crate::mix::MixSpec;
+        use crate::query::ModelId;
+        let multi = MixSpec::from_shares(
+            &[0.7, 0.3],
+            &[mix(), BatchSizeDistribution::gaussian_default()],
+        );
+        let p = PhasedArrival::new(
+            vec![
+                Phase::poisson_mix(200.0, multi.clone(), 2.0),
+                // Second phase drops model 1 from the stream entirely.
+                Phase::poisson_mix(200.0, MixSpec::single(ModelId::new(0), mix()), 2.0),
+            ],
+            13,
+        );
+        let trace = p.generate();
+        let phase0 = trace.queries.iter().filter(|q| q.arrival_us < 2_000_000);
+        let models: std::collections::HashSet<_> = phase0.map(|q| q.model).collect();
+        assert_eq!(models.len(), 2, "both models must appear in phase 0");
+        assert!(trace
+            .queries
+            .iter()
+            .filter(|q| q.arrival_us >= 2_000_000)
+            .all(|q| q.model == ModelId::new(0)));
     }
 }

@@ -44,11 +44,9 @@ fn main() {
         pool.clone(),
         model,
         Some(latency.clone()),
-        ServingOptions {
-            replan_interval_us: 500_000,
-            provisioning_delay_us: 300_000,
-            ..Default::default()
-        },
+        ServingOptions::default()
+            .replan_every(500_000)
+            .provisioning_delay(300_000),
     );
     system.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
 

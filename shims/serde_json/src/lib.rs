@@ -1,5 +1,5 @@
 //! Minimal in-workspace shim of `serde_json`: JSON text encoding and decoding
-//! over the serde shim's owned [`Value`](serde::json::Value) tree.
+//! over the serde shim's owned [`Value`] tree.
 //!
 //! Numbers round-trip exactly: integers are printed as integers, and floats
 //! use Rust's shortest-precise `Display` formatting (with a trailing `.0`

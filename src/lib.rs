@@ -45,18 +45,19 @@ pub mod prelude {
         ReactiveAutoscaler, RibbonScheduler,
     };
     pub use kairos_core::{
-        KairosController, KairosPlanner, KairosScheduler, ServingOptions, ServingSystem,
-        ThroughputEstimator,
+        InferenceService, KairosController, KairosPlanner, KairosScheduler, MultiServingOutcome,
+        ServingOptions, ServingSystem, ThroughputEstimator,
     };
     pub use kairos_models::{
         calibration::paper_calibration, ec2, Config, LatencyTable, ModelKind, PoolSpec,
     };
     pub use kairos_sim::{
         allowable_throughput, allowable_throughput_many, run_trace, CapacityOptions, ClusterAction,
-        EngineEvent, EngineHook, FcfsScheduler, Scheduler, ServiceSpec, SimContext, SimEngine,
-        SimulationOptions,
+        ClusterSpec, EngineEvent, EngineHook, FcfsScheduler, Scheduler, ServiceSpec, SimContext,
+        SimEngine, SimulationOptions,
     };
     pub use kairos_workload::{
-        ArrivalProcess, BatchSizeDistribution, Phase, PhasedArrival, QueryMonitor, Trace, TraceSpec,
+        ArrivalProcess, BatchSizeDistribution, MixSpec, MixedTraceSpec, ModelId, Phase,
+        PhasedArrival, QueryMonitor, Trace, TraceSpec,
     };
 }

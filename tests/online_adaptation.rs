@@ -28,11 +28,9 @@ fn serving_system() -> ServingSystem {
         PoolSpec::new(ec2::paper_pool()),
         ModelKind::Rm2,
         Some(paper_calibration()),
-        ServingOptions {
-            replan_interval_us: 500_000,
-            provisioning_delay_us: 300_000,
-            ..Default::default()
-        },
+        ServingOptions::default()
+            .replan_every(500_000)
+            .provisioning_delay(300_000),
     );
     // Warm the monitor with the production mix, as any running deployment's
     // window would be.
