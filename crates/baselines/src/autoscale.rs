@@ -16,7 +16,7 @@
 //! Both run against the same [`SimEngine`] substrate and reconfiguration API
 //! as Kairos, so the comparison isolates the decision policy.
 
-use kairos_models::{Config, PoolSpec};
+use kairos_models::{Config, Market, PoolSpec};
 use kairos_sim::{FcfsScheduler, ServiceSpec, SimEngine, SimReport, SimulationOptions};
 use kairos_workload::{TimeUs, Trace};
 
@@ -50,6 +50,11 @@ pub struct AutoscalerOptions {
     pub max_instances: usize,
     /// Never scale below this many active instances.
     pub min_instances: usize,
+    /// Pool type index the scaler buys (`None` = the pool's base type).
+    /// Pointing it at a spot offering of a market-lowered catalog pool
+    /// yields the classic naive-cheap baseline: always buy the discount,
+    /// rebuy reactively after every preemption storm.
+    pub scale_type: Option<usize>,
     /// Engine noise seed.
     pub seed: u64,
 }
@@ -63,6 +68,7 @@ impl Default for AutoscalerOptions {
             provisioning_delay_us: 500_000,
             max_instances: 32,
             min_instances: 1,
+            scale_type: None,
             seed: 0,
         }
     }
@@ -101,14 +107,29 @@ impl ReactiveAutoscaler {
         service: &ServiceSpec,
         trace: &Trace,
     ) -> AutoscaleOutcome {
+        self.run_with_market(pool, initial_instances, service, trace, None)
+    }
+
+    /// [`Self::run`] against a live cloud market: instance-hours bill at the
+    /// market's prices and the scaled type may be a preemptible offering —
+    /// the scaler reacts to preemption storms the only way it knows how, by
+    /// watching its backlog climb and re-buying.
+    pub fn run_with_market(
+        &self,
+        pool: &PoolSpec,
+        initial_instances: usize,
+        service: &ServiceSpec,
+        trace: &Trace,
+        market: Option<&dyn Market>,
+    ) -> AutoscaleOutcome {
         let opts = &self.options;
         assert!(
             (opts.min_instances..=opts.max_instances).contains(&initial_instances),
             "initial instance count outside [min, max]"
         );
-        let base = pool.base_index();
+        let scale_type = opts.scale_type.unwrap_or_else(|| pool.base_index());
         let mut counts = vec![0usize; pool.num_types()];
-        counts[base] = initial_instances;
+        counts[scale_type] = initial_instances;
         let mut scheduler = FcfsScheduler::new();
         let mut engine = SimEngine::new(
             pool,
@@ -118,6 +139,9 @@ impl ReactiveAutoscaler {
             &mut scheduler,
             &SimulationOptions { seed: opts.seed },
         );
+        if let Some(market) = market {
+            engine = engine.with_market(market);
+        }
 
         let mut actions: Vec<(TimeUs, i32)> = Vec::new();
         let mut last_action_us: Option<TimeUs> = None;
@@ -144,12 +168,19 @@ impl ReactiveAutoscaler {
                 }
             }
             if active_count == 0 {
+                // A preemption storm can wipe the whole fleet; the only
+                // recovery signal left is "nothing is serving" — rebuy.
+                if in_system > 0 {
+                    engine.add_instance(scale_type, opts.provisioning_delay_us);
+                    actions.push((now, 1));
+                    last_action_us = Some(now);
+                }
                 continue;
             }
             let mean_backlog = in_system as f64 / active_count as f64;
 
             if mean_backlog > opts.scale_out_backlog && active_count < opts.max_instances {
-                engine.add_instance(base, opts.provisioning_delay_us);
+                engine.add_instance(scale_type, opts.provisioning_delay_us);
                 actions.push((now, 1));
                 last_action_us = Some(now);
             } else if mean_backlog < opts.scale_in_backlog && active_count > opts.min_instances {

@@ -20,7 +20,8 @@ use kairos_core::{
     ServingSystem, SingleAuxInputs, ThroughputEstimator,
 };
 use kairos_models::{
-    best_homogeneous, calibration::paper_calibration, ec2, Config, ModelKind, NoiseModel, PoolSpec,
+    best_homogeneous, calibration::paper_calibration, ec2, Config, ModelKind, NoiseModel, Offering,
+    OfferingCatalog, PoolSpec, PreemptionProcess, PriceTrace, TraceMarket,
 };
 use kairos_sim::{run_trace, ServiceSpec, SimReport, SimulationOptions};
 use kairos_workload::{
@@ -743,6 +744,180 @@ fn figure_multimodel() {
     }
 }
 
+/// One scheme's outcome of the spot-market experiment.
+struct SpotRow {
+    scheme: &'static str,
+    violation_fraction: f64,
+    /// Time-weighted billed dollars per hour (the engine's price integral).
+    billed_per_hour: f64,
+    preempted_instances: usize,
+    requeued_queries: usize,
+}
+
+/// Cloud-market serving — KAIROS planning over purchase options (on-demand
+/// plus deeply discounted preemptible spot) through a preemption storm, vs
+/// the same loop restricted to on-demand capacity and reactive autoscalers
+/// on either purchase option.  Records time-weighted billed $/hr, violation
+/// percentage and preemption counts to `BENCH_spot.json`.
+fn figure_spot() {
+    let fast = std::env::var("KAIROS_FIG_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let duration_s = if fast { 6.0 } else { 12.0 };
+    let (rate_qps, budget) = (60.0, 2.5);
+    let storms_us: Vec<u64> = vec![
+        (duration_s * 0.4 * 1e6) as u64,
+        (duration_s * 0.65 * 1e6) as u64,
+    ];
+    section("Spot market: purchase-option planning under a preemption storm (RM2)");
+    println!(
+        "{rate_qps} QPS steady, {duration_s} s, budget {budget} $/hr; GPU-spot storms at \
+         {:?} s (200 ms notice), spot prices: g4dn 0.17, r5n 0.05 $/hr",
+        storms_us
+            .iter()
+            .map(|&t| t as f64 / 1e6)
+            .collect::<Vec<_>>()
+    );
+
+    let model = ModelKind::Rm2;
+    let latency = paper_calibration();
+    let service = ServiceSpec::new(model, latency.clone());
+    let catalog = OfferingCatalog::new(vec![
+        Offering::on_demand(ec2::g4dn_xlarge()),
+        Offering::on_demand(ec2::r5n_large()),
+        Offering::spot(
+            ec2::g4dn_xlarge(),
+            PriceTrace::constant(0.17),
+            PreemptionProcess::At {
+                notices_us: storms_us.clone(),
+            },
+        ),
+        Offering::spot(
+            ec2::r5n_large(),
+            PriceTrace::constant(0.05),
+            PreemptionProcess::None,
+        ),
+    ]);
+    let market = std::sync::Arc::new(TraceMarket::new(catalog.clone()));
+    let effective = catalog.effective_pool();
+    let trace = kairos_workload::TraceSpec::production(rate_qps, duration_s, 4242).generate();
+
+    let serving_options = ServingOptions::default()
+        .budget(budget)
+        .replan_every(500_000)
+        .provisioning_delay(300_000)
+        .spot_cooldown(2_000_000);
+    let row_of = |scheme: &'static str, report: &SimReport| SpotRow {
+        scheme,
+        violation_fraction: report.violation_fraction(),
+        billed_per_hour: report.billed_cost_per_hour(),
+        preempted_instances: report.preempted_instances,
+        requeued_queries: report.requeued_queries,
+    };
+
+    // KAIROS over the full market: plans a spot/on-demand mix, replans on
+    // notices (cooldown prices the stormed offering out), re-buys after.
+    let mut market_system = ServingSystem::with_market(
+        catalog.clone(),
+        market.clone(),
+        model,
+        Some(latency.clone()),
+        serving_options,
+    );
+    market_system.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
+    let market_initial = market_system
+        .plan_for_demand(rate_qps)
+        .expect("priors allow planning");
+    let market_outcome = market_system.run(&market_initial, &service, &trace);
+    let market_row = row_of("KAIROS(market)", &market_outcome.report);
+
+    // The same loop restricted to on-demand purchase options.
+    let od_pool = PoolSpec::new(vec![ec2::g4dn_xlarge(), ec2::r5n_large()]);
+    let mut od_system = ServingSystem::new(
+        od_pool.clone(),
+        model,
+        Some(latency.clone()),
+        serving_options,
+    );
+    od_system.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
+    let od_initial = od_system
+        .plan_for_demand(rate_qps)
+        .expect("priors allow planning");
+    let od_outcome = od_system.run(&od_initial, &service, &trace);
+    let od_row = row_of("KAIROS(od-only)", &od_outcome.report);
+
+    // Reactive autoscaler riding the spot GPU discount: cheap until the
+    // storm wipes its fleet, then it rebuys one instance at a time.
+    let spot_scaler = ReactiveAutoscaler::new(AutoscalerOptions {
+        cooldown_us: 500_000,
+        provisioning_delay_us: 300_000,
+        scale_type: Some(2),
+        ..Default::default()
+    });
+    let spot_reactive =
+        spot_scaler.run_with_market(&effective, 2, &service, &trace, Some(market.as_ref()));
+    let spot_reactive_row = row_of("REACTIVE(spot)", &spot_reactive.report);
+
+    // Reactive autoscaler on on-demand base capacity (storm-immune, pricey).
+    let od_scaler = ReactiveAutoscaler::new(AutoscalerOptions {
+        cooldown_us: 500_000,
+        provisioning_delay_us: 300_000,
+        ..Default::default()
+    });
+    let od_reactive =
+        od_scaler.run_with_market(&effective, 2, &service, &trace, Some(market.as_ref()));
+    let od_reactive_row = row_of("REACTIVE(od)", &od_reactive.report);
+
+    let rows = [market_row, od_row, spot_reactive_row, od_reactive_row];
+    println!(
+        "\n{:<18}{:>14}{:>16}{:>12}{:>10}",
+        "scheme", "violations %", "billed $/hr", "preempted", "requeued"
+    );
+    for row in &rows {
+        println!(
+            "{:<18}{:>14.2}{:>16.3}{:>12}{:>10}",
+            row.scheme,
+            row.violation_fraction * 100.0,
+            row.billed_per_hour,
+            row.preempted_instances,
+            row.requeued_queries
+        );
+    }
+    println!(
+        "--> KAIROS(market): {} reconfiguration(s), {} market-triggered, \
+         {} preemption notice(s); final active cluster {}",
+        market_outcome.reconfigs.len(),
+        market_outcome
+            .reconfigs
+            .iter()
+            .filter(|r| r.trigger == kairos_core::ReplanTrigger::Market)
+            .count(),
+        market_outcome.report.preemption_notices,
+        market_outcome.final_active
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_spot.json");
+    let json: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"name\":\"fig_spot/{}\",\"violation_fraction\":{:.4},\
+                 \"billed_per_hour\":{:.4},\"preempted_instances\":{},\
+                 \"requeued_queries\":{}}}",
+                row.scheme,
+                row.violation_fraction,
+                row.billed_per_hour,
+                row.preempted_instances,
+                row.requeued_queries
+            )
+        })
+        .collect();
+    match std::fs::write(path, json.join("\n") + "\n") {
+        Ok(()) => println!("--> recorded BENCH_spot.json"),
+        Err(e) => println!("--> could not write BENCH_spot.json: {e}"),
+    }
+}
+
 /// Fig. 13 — actual throughput of the top-20 configurations ranked by upper
 /// bound; Kairos's pick is near-optimal.
 fn figure13() {
@@ -964,6 +1139,9 @@ fn main() {
     }
     if run("fig_multimodel") || run("fig_mm") {
         figure_multimodel();
+    }
+    if run("fig_spot") {
+        figure_spot();
     }
     if run("fig13") {
         figure13();

@@ -132,6 +132,22 @@ fn bench_engine_vs_naive_50k(c: &mut Criterion) {
             ))
         })
     });
+    // The market-attached replay: same 50k-query trace with a constant
+    // market bound to the engine, so per-instance billing integrals and the
+    // market event plumbing are on the measured path.  Its budget entry in
+    // BENCH_budget.json gates the preemption-era engine against silently
+    // regressing the allocation-free hot loop.
+    let market = kairos_models::ConstantMarket::from_pool(&pool);
+    group.bench_function("fcfs_sim_engine_market", |b| {
+        b.iter(|| {
+            let mut scheduler = FcfsScheduler::new();
+            black_box(
+                kairos_sim::SimEngine::new(&pool, &config, &service, &trace, &mut scheduler, &opts)
+                    .with_market(&market)
+                    .run(),
+            )
+        })
+    });
     group.finish();
 }
 

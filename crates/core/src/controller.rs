@@ -55,6 +55,34 @@ impl KairosController {
         c
     }
 
+    /// The pool the controller currently plans over.
+    pub fn pool(&self) -> &PoolSpec {
+        &self.pool
+    }
+
+    /// Replaces the planning pool — how a market-aware serving loop feeds
+    /// live offering prices (and post-preemption cooldown penalties) into
+    /// the planner.  The pool's prices are part of the
+    /// [knowledge signature](Self::knowledge_signature), so a price change
+    /// invalidates any cached plan.
+    ///
+    /// # Panics
+    /// Panics if the new pool's shape (type names, in order) differs from
+    /// the current one: latency knowledge is keyed by type name and would
+    /// silently misresolve.
+    pub fn set_pool(&mut self, pool: PoolSpec) {
+        assert!(
+            pool.num_types() == self.pool.num_types()
+                && pool
+                    .types()
+                    .iter()
+                    .zip(self.pool.types())
+                    .all(|(a, b)| a.name == b.name),
+            "set_pool must preserve the pool's shape (only prices may change)"
+        );
+        self.pool = pool;
+    }
+
     /// Records the batch size of an arriving query (feeds the monitor window).
     pub fn observe_query(&mut self, batch_size: u32) {
         self.monitor.observe(batch_size);
@@ -170,6 +198,14 @@ impl KairosController {
                     mix((profile.slope_ms * 4096.0).round() as i64 as u64);
                 }
             }
+        }
+
+        // Live offering prices, exact: a market price step (or a cooldown
+        // penalty after a preemption notice) must invalidate cached plans —
+        // the affordable set itself changed.  Prices move in discrete steps,
+        // so no quantization is needed to keep stationary signatures stable.
+        for ty in self.pool.types() {
+            mix(ty.price_per_hour.to_bits());
         }
         hash
     }
@@ -304,6 +340,30 @@ mod tests {
         feed_latency_observations(&mut c);
         let s = c.make_scheduler();
         assert!(s.predictors().total_observations() > 0);
+    }
+
+    #[test]
+    fn price_changes_join_the_knowledge_signature() {
+        let mut c = KairosController::with_priors(pool(), ModelKind::Rm2, paper_calibration());
+        for i in 0..2000u32 {
+            c.observe_query(10 + i % 300);
+        }
+        let before = c.knowledge_signature();
+        // Re-setting the same pool leaves the signature unchanged.
+        c.set_pool(pool());
+        assert_eq!(c.knowledge_signature(), before);
+        // A price move (a market step) must change it, so cached plans die.
+        let mut repriced = ec2::paper_pool();
+        repriced[2].price_per_hour = 0.05;
+        c.set_pool(PoolSpec::new(repriced));
+        assert_ne!(c.knowledge_signature(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve the pool's shape")]
+    fn set_pool_rejects_shape_changes() {
+        let mut c = KairosController::with_priors(pool(), ModelKind::Rm2, paper_calibration());
+        c.set_pool(PoolSpec::new(ec2::figure1_pool()));
     }
 
     #[test]

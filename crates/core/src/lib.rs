@@ -68,7 +68,9 @@ pub use lmatrix::{build_matrices, InstanceColumn, LMatrices, QueryRow, DEFAULT_X
 pub use planner::{KairosPlanner, Plan, PlanCache};
 pub use selection::select_configuration;
 pub use service::{InferenceService, MultiScheduler, MultiServingOutcome};
-pub use serving::{ReconfigEvent, ReplanTrigger, ServingOptions, ServingOutcome, ServingSystem};
+pub use serving::{
+    MarketState, ReconfigEvent, ReplanTrigger, ServingOptions, ServingOutcome, ServingSystem,
+};
 pub use upper_bound::{
     upper_bound_general, upper_bound_single, AuxClass, SingleAuxInputs, ThroughputEstimator,
 };

@@ -39,9 +39,10 @@
 
 use crate::distribution::KairosScheduler;
 use crate::serving::{
-    estimate_rate_qps, reconcile_model, ReconfigEvent, ReplanTrigger, ServingOptions, ServingSystem,
+    estimate_rate_qps, reconcile_model, MarketState, ReconfigEvent, ReplanTrigger, ServingOptions,
+    ServingSystem,
 };
-use kairos_models::{latency::LatencyTable, mlmodel::ModelKind, PoolSpec};
+use kairos_models::{latency::LatencyTable, mlmodel::ModelKind, Market, OfferingCatalog, PoolSpec};
 use kairos_sim::{
     ClusterSpec, Dispatch, EngineEvent, InstanceView, ModelReport, Scheduler, SchedulingContext,
     ServiceSpec, SimEngine, SimReport, SimulationOptions,
@@ -191,6 +192,9 @@ pub struct InferenceService {
     pool: PoolSpec,
     lanes: Vec<ModelLane>,
     options: ServingOptions,
+    /// The attached cloud market, if any — shared across lanes (one market,
+    /// one cooldown book; each lane replans over the same refreshed pool).
+    market: Option<MarketState>,
 }
 
 impl InferenceService {
@@ -235,7 +239,31 @@ impl InferenceService {
             pool,
             lanes,
             options,
+            market: None,
         }
+    }
+
+    /// Creates a **market-aware** facade over an offering catalog: every
+    /// lane plans over the catalog's offerings at live prices, simulation
+    /// bills at the market, and market events (price steps, preemption
+    /// notices, kills) replan the affected deployment — see
+    /// [`ServingSystem::with_market`] for the single-model semantics this
+    /// lifts to N lanes under one shared budget.
+    pub fn with_market(
+        catalog: OfferingCatalog,
+        market: Arc<dyn Market>,
+        models: &[ModelKind],
+        priors: Option<LatencyTable>,
+        options: ServingOptions,
+    ) -> Self {
+        let mut service = Self::new(catalog.effective_pool(), models, priors, options);
+        service.market = Some(MarketState::new(catalog, market, options.spot_cooldown_us));
+        service
+    }
+
+    /// The attached market state, if this facade trades on one.
+    pub fn market(&self) -> Option<&MarketState> {
+        self.market.as_ref()
     }
 
     /// The served models, indexed by [`ModelId`].
@@ -424,6 +452,10 @@ impl InferenceService {
                 stray.id, stray.model
             );
         }
+        // Keep an owned handle to the market oracle next to the scheduler so
+        // the engine's borrow of it outlives the loop.
+        let market_oracle: Option<Arc<dyn Market>> =
+            self.market.as_ref().map(|m| m.market().clone());
         let mut scheduler = self.make_scheduler();
         let service_refs: Vec<&ServiceSpec> = services.iter().collect();
         let mut engine = SimEngine::new_multi(
@@ -436,6 +468,13 @@ impl InferenceService {
                 seed: self.options.seed,
             },
         );
+        if let Some(market) = market_oracle.as_deref() {
+            // Keep storms that land while the backlog drains in scope.
+            let horizon = trace
+                .duration_us()
+                .saturating_add(self.options.market_horizon_slack_us);
+            engine = engine.with_market_horizon(market, horizon);
+        }
 
         let mut reconfigs: Vec<ReconfigEvent> = Vec::new();
         let mut replans = 0usize;
@@ -467,7 +506,16 @@ impl InferenceService {
                         .observe_completion(type_name, record.batch_size, service_ms);
                 }
                 EngineEvent::InstanceReady { .. } => {}
+                EngineEvent::PriceStep { .. }
+                | EngineEvent::PreemptionNotice { .. }
+                | EngineEvent::InstancePreempted { .. } => {}
             }
+            // A market move replans every lane that has a fresh demand
+            // estimate (prices shifted for all of them at once).
+            let market_replan = match &mut self.market {
+                Some(market) => market.on_event(&event, now),
+                None => false,
+            };
 
             // Per-lane demand: the lane's offered arrival rate plus its
             // share of the queued backlog drain term.  The aggregate backlog
@@ -519,7 +567,9 @@ impl InferenceService {
                 if !fresh[m] || lane.arrivals.len() < 2 {
                     continue;
                 }
-                if cadence_due {
+                if market_replan {
+                    due.push((m, ReplanTrigger::Market));
+                } else if cadence_due {
                     due.push((m, ReplanTrigger::Cadence));
                 } else if let Some(planned) = lane.planned_rate {
                     let drifted = (demands[m] - planned).abs() / planned.max(1e-9)
@@ -531,6 +581,15 @@ impl InferenceService {
             }
             if due.is_empty() {
                 continue;
+            }
+            // Market-attached runs re-read live prices (and cooldown
+            // expiries) into every lane's planning pool before planning.
+            if let Some(market) = &self.market {
+                let pool = market.planning_pool(now);
+                for lane in &mut self.lanes {
+                    lane.system.set_planning_pool(pool.clone());
+                }
+                self.pool = pool;
             }
             let budgets = self.split_budget(&demands);
             last_budget_split = budgets.clone();
@@ -571,6 +630,17 @@ impl InferenceService {
                 .map(|m| engine.cluster().active_config_for(ModelId::new(m)))
                 .collect(),
         );
+        // Reset per-run market state (virtual-time cooldowns, penalty prices
+        // in the lanes' planning pools) so later planning calls see live
+        // catalog prices again.
+        if let Some(market) = &mut self.market {
+            market.reset();
+            let pool = market.catalog().effective_pool();
+            for lane in &mut self.lanes {
+                lane.system.set_planning_pool(pool.clone());
+            }
+            self.pool = pool;
+        }
         MultiServingOutcome {
             report: engine.report(),
             initial: initial.clone(),

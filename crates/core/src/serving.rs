@@ -34,12 +34,15 @@
 
 use crate::controller::KairosController;
 use crate::planner::PlanCache;
-use kairos_models::{latency::LatencyTable, mlmodel::ModelKind, Config, PoolSpec};
+use kairos_models::{
+    latency::LatencyTable, mlmodel::ModelKind, Config, Market, OfferingCatalog, PoolSpec,
+};
 use kairos_sim::{EngineEvent, ServiceSpec, SimEngine, SimReport, SimulationOptions};
 use kairos_workload::{BatchSizeDistribution, ModelId, TimeUs, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Tunables of the online serving loop.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +76,17 @@ pub struct ServingOptions {
     /// it every upper bound) is noise, and acting on noise thrashes the
     /// cluster.
     pub min_observations: usize,
+    /// How long a spot offering stays priced out of the planner after one of
+    /// its preemption notices (market-attached runs only): re-buying the
+    /// exact capacity the cloud is actively reclaiming would bounce straight
+    /// into the next kill.
+    pub spot_cooldown_us: TimeUs,
+    /// How far past the last trace arrival market events are still
+    /// materialized (market-attached runs only).  A storm landing while the
+    /// backlog drains must still fire; events beyond the slack are dropped
+    /// (they would otherwise stretch the run — and its billing horizon —
+    /// into empty virtual time).
+    pub market_horizon_slack_us: TimeUs,
     /// Service-noise seed passed to the engine.
     pub seed: u64,
 }
@@ -89,6 +103,8 @@ impl Default for ServingOptions {
             rate_window: 1024,
             rate_horizon_us: 2_000_000,
             min_observations: 200,
+            spot_cooldown_us: 2_000_000,
+            market_horizon_slack_us: 2_000_000,
             seed: 0,
         }
     }
@@ -151,6 +167,18 @@ impl ServingOptions {
         self
     }
 
+    /// Sets the post-preemption spot cooldown.
+    pub fn spot_cooldown(mut self, cooldown_us: TimeUs) -> Self {
+        self.spot_cooldown_us = cooldown_us;
+        self
+    }
+
+    /// Sets how far past the last arrival market events still fire.
+    pub fn market_horizon_slack(mut self, slack_us: TimeUs) -> Self {
+        self.market_horizon_slack_us = slack_us;
+        self
+    }
+
     /// Sets the service-noise seed passed to the engine.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -165,6 +193,9 @@ pub enum ReplanTrigger {
     Cadence,
     /// The observed arrival rate drifted past the threshold.
     Drift,
+    /// The cloud market moved: a price step, a preemption notice, or a
+    /// forced kill.
+    Market,
 }
 
 /// One applied reconfiguration (replans that change nothing are not logged).
@@ -209,6 +240,97 @@ impl ServingOutcome {
     }
 }
 
+/// Price multiplier applied to an offering during its post-preemption
+/// cooldown: high enough that the planner never buys it (the enumeration box
+/// collapses to zero affordable instances for any realistic budget).
+const COOLDOWN_PRICE_FACTOR: f64 = 40.0;
+
+/// The serving loop's view of an attached cloud market: the offering
+/// catalog, the live price oracle, and the post-preemption cooldowns that
+/// make replanning *preemption-aware* (a just-reclaimed spot offering is
+/// priced out until the storm passes).
+#[derive(Debug, Clone)]
+pub struct MarketState {
+    catalog: OfferingCatalog,
+    market: Arc<dyn Market>,
+    cooldown_us: TimeUs,
+    cooldown_until: Vec<TimeUs>,
+}
+
+impl MarketState {
+    /// Binds a catalog to its price oracle.
+    ///
+    /// # Panics
+    /// Panics if the market does not price exactly the catalog's offerings.
+    pub fn new(catalog: OfferingCatalog, market: Arc<dyn Market>, cooldown_us: TimeUs) -> Self {
+        assert_eq!(
+            market.num_offerings(),
+            catalog.len(),
+            "market must price exactly the catalog's offerings"
+        );
+        let n = catalog.len();
+        Self {
+            catalog,
+            market,
+            cooldown_us,
+            cooldown_until: vec![0; n],
+        }
+    }
+
+    /// The offering catalog.
+    pub fn catalog(&self) -> &OfferingCatalog {
+        &self.catalog
+    }
+
+    /// The price oracle.
+    pub fn market(&self) -> &Arc<dyn Market> {
+        &self.market
+    }
+
+    /// Whether an offering is inside its post-preemption cooldown at `now`.
+    pub fn in_cooldown(&self, offering: usize, now: TimeUs) -> bool {
+        self.cooldown_until[offering] > now
+    }
+
+    /// The pool the planner should enumerate at `now`: live market prices,
+    /// with offerings inside their post-preemption cooldown priced out (at
+    /// a prohibitive multiple of their on-demand reference price, which
+    /// zeroes their affordable count under any realistic budget).
+    pub fn planning_pool(&self, now: TimeUs) -> PoolSpec {
+        let prices: Vec<f64> = (0..self.catalog.len())
+            .map(|i| {
+                if self.in_cooldown(i, now) {
+                    self.catalog.on_demand_price(i) * COOLDOWN_PRICE_FACTOR
+                } else {
+                    self.market.price_at(i, now)
+                }
+            })
+            .collect();
+        self.catalog.pool_with_prices(&prices)
+    }
+
+    /// Digests a market-facing engine event; returns `true` when the event
+    /// warrants an immediate replan (price moved or capacity was reclaimed).
+    pub fn on_event(&mut self, event: &EngineEvent, now: TimeUs) -> bool {
+        match event {
+            EngineEvent::PriceStep { .. } => true,
+            EngineEvent::PreemptionNotice { offering, .. } => {
+                self.cooldown_until[*offering] = now + self.cooldown_us;
+                true
+            }
+            EngineEvent::InstancePreempted { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Clears the cooldown book.  Called at the end of every run: cooldowns
+    /// are stamped in that run's virtual time and must not bleed into the
+    /// next run's fresh clock.
+    pub fn reset(&mut self) {
+        self.cooldown_until.fill(0);
+    }
+}
+
 /// The controller-in-the-loop online serving driver.
 #[derive(Debug, Clone)]
 pub struct ServingSystem {
@@ -219,6 +341,8 @@ pub struct ServingSystem {
     /// knowledge signature matches the previous one reuses the prior ranking
     /// instead of re-enumerating and re-scoring the configuration space.
     plan_cache: PlanCache,
+    /// The attached cloud market, if any (see [`ServingSystem::with_market`]).
+    market: Option<MarketState>,
 }
 
 impl ServingSystem {
@@ -239,7 +363,50 @@ impl ServingSystem {
             controller,
             options,
             plan_cache: PlanCache::new(),
+            market: None,
         }
+    }
+
+    /// Creates a **market-aware** serving system over an offering catalog:
+    /// the planner enumerates configurations over the catalog's offerings
+    /// (which hardware *at which purchase option*), simulation runs bill at
+    /// the market's live prices, and the loop replans on market events —
+    /// price steps refresh the planning pool (joining the knowledge
+    /// signature, so the plan cache invalidates exactly when prices move)
+    /// and preemption notices price the reclaimed offering out for
+    /// [`ServingOptions::spot_cooldown_us`].
+    pub fn with_market(
+        catalog: OfferingCatalog,
+        market: Arc<dyn Market>,
+        model: ModelKind,
+        priors: Option<LatencyTable>,
+        options: ServingOptions,
+    ) -> Self {
+        let mut system = Self::new(catalog.effective_pool(), model, priors, options);
+        system.market = Some(MarketState::new(catalog, market, options.spot_cooldown_us));
+        system
+    }
+
+    /// The attached market state, if this system trades on one.
+    pub fn market(&self) -> Option<&MarketState> {
+        self.market.as_ref()
+    }
+
+    /// Re-reads live market prices (with cooldowns applied) into the
+    /// planning pool.  No-op without an attached market.
+    fn refresh_market_pool(&mut self, now: TimeUs) {
+        if let Some(market) = &self.market {
+            let pool = market.planning_pool(now);
+            self.controller.set_pool(pool.clone());
+            self.pool = pool;
+        }
+    }
+
+    /// Replaces the planning pool from the outside — the multi-model facade
+    /// uses this to push one shared market refresh into every lane.
+    pub(crate) fn set_planning_pool(&mut self, pool: PoolSpec) {
+        self.controller.set_pool(pool.clone());
+        self.pool = pool;
     }
 
     /// The plan cache: how many replans reused the previous ranking versus
@@ -337,6 +504,10 @@ impl ServingSystem {
         service: &ServiceSpec,
         trace: &Trace,
     ) -> ServingOutcome {
+        // The engine borrows the market for the whole run; keep our own Arc
+        // alive next to the scheduler so the borrow outlives the engine.
+        let market_oracle: Option<Arc<dyn Market>> =
+            self.market.as_ref().map(|m| m.market().clone());
         let mut scheduler = self.controller.make_scheduler();
         let mut engine = SimEngine::new(
             &self.pool,
@@ -348,6 +519,14 @@ impl ServingSystem {
                 seed: self.options.seed,
             },
         );
+        if let Some(market) = market_oracle.as_deref() {
+            // Events may land while the backlog drains past the last
+            // arrival; the slack keeps those storms in scope.
+            let horizon = trace
+                .duration_us()
+                .saturating_add(self.options.market_horizon_slack_us);
+            engine = engine.with_market_horizon(market, horizon);
+        }
 
         let mut reconfigs: Vec<ReconfigEvent> = Vec::new();
         let mut replans = 0usize;
@@ -375,7 +554,17 @@ impl ServingSystem {
                         .observe_completion(type_name, record.batch_size, service_ms);
                 }
                 EngineEvent::InstanceReady { .. } => {}
+                EngineEvent::PriceStep { .. }
+                | EngineEvent::PreemptionNotice { .. }
+                | EngineEvent::InstancePreempted { .. } => {}
             }
+            // Market moves (price steps, preemption notices, kills) request
+            // an immediate replan and, for notices, start the offering's
+            // cooldown.
+            let market_replan = match &mut self.market {
+                Some(market) => market.on_event(&event, now),
+                None => false,
+            };
 
             // Demand is the service rate the cluster must sustain: the
             // offered arrival rate plus the rate needed to drain everything
@@ -389,7 +578,9 @@ impl ServingSystem {
             let queue_pressure = engine.queued_backlog() as f64 / horizon_s;
             let rate = estimate_rate_qps(&mut arrival_times, now, self.options.rate_horizon_us)
                 .map(|r| r + queue_pressure);
-            let trigger = if now >= next_cadence_us {
+            let trigger = if market_replan {
+                Some(ReplanTrigger::Market)
+            } else if now >= next_cadence_us {
                 Some(ReplanTrigger::Cadence)
             } else if let (Some(rate), Some(planned)) = (rate, planned_rate) {
                 let drifted =
@@ -407,6 +598,10 @@ impl ServingSystem {
                     continue;
                 }
                 let Some(demand) = rate else { continue };
+                // Re-read live prices (and cooldown expiries) into the
+                // planning pool; price changes join the knowledge signature,
+                // so the plan cache invalidates exactly when they matter.
+                self.refresh_market_pool(now);
                 let current = engine.cluster().active_config();
                 let Some(target) = select_target(
                     &mut self.plan_cache,
@@ -438,6 +633,16 @@ impl ServingSystem {
         }
 
         let final_active = engine.cluster().active_config();
+        // Leave the system ready for the next run: cooldowns are stamped in
+        // this run's virtual time, and the planning pool may still carry
+        // cooldown penalty prices from the last replan — both must not leak
+        // into later `plan_for_demand`/`run` calls.
+        if let Some(market) = &mut self.market {
+            market.reset();
+            let pool = market.catalog().effective_pool();
+            self.controller.set_pool(pool.clone());
+            self.pool = pool;
+        }
         ServingOutcome {
             report: engine.report(),
             initial: initial.clone(),
@@ -565,11 +770,32 @@ pub(crate) fn reconcile_model(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kairos_models::{calibration::paper_calibration, ec2, mlmodel::ModelKind};
+    use kairos_models::{
+        calibration::paper_calibration, ec2, mlmodel::ModelKind, Offering, OfferingCatalog,
+        PreemptionProcess, PriceTrace, TraceMarket,
+    };
     use kairos_workload::{BatchSizeDistribution, PhasedArrival};
 
     fn pool() -> PoolSpec {
         PoolSpec::new(ec2::paper_pool())
+    }
+
+    /// A two-hardware market: on-demand GPU + r5n, spot GPU + r5n at deep
+    /// discounts, with one scripted GPU-spot storm at `storm_us`.
+    fn spot_catalog(storm_us: Option<TimeUs>) -> OfferingCatalog {
+        let notices = PreemptionProcess::At {
+            notices_us: storm_us.into_iter().collect(),
+        };
+        OfferingCatalog::new(vec![
+            Offering::on_demand(ec2::g4dn_xlarge()),
+            Offering::on_demand(ec2::r5n_large()),
+            Offering::spot(ec2::g4dn_xlarge(), PriceTrace::constant(0.17), notices),
+            Offering::spot(
+                ec2::r5n_large(),
+                PriceTrace::constant(0.05),
+                PreemptionProcess::None,
+            ),
+        ])
     }
 
     fn system(options: ServingOptions) -> ServingSystem {
@@ -687,6 +913,157 @@ mod tests {
         assert!(
             peak_cost > initial.cost(&pool()),
             "peak cluster should exceed the initial one"
+        );
+    }
+
+    #[test]
+    fn market_plan_buys_spot_capacity_and_undercuts_on_demand() {
+        let catalog = spot_catalog(None);
+        let market = Arc::new(TraceMarket::new(catalog.clone()));
+        let mut market_sys = ServingSystem::with_market(
+            catalog.clone(),
+            market,
+            ModelKind::Rm2,
+            Some(paper_calibration()),
+            ServingOptions::default(),
+        );
+        market_sys.warm_monitor(&BatchSizeDistribution::production_default(), 2000, 99);
+        let od_pool = PoolSpec::new(vec![ec2::g4dn_xlarge(), ec2::r5n_large()]);
+        let mut od_sys = ServingSystem::new(
+            od_pool.clone(),
+            ModelKind::Rm2,
+            Some(paper_calibration()),
+            ServingOptions::default(),
+        );
+        od_sys.warm_monitor(&BatchSizeDistribution::production_default(), 2000, 99);
+
+        let effective = catalog.effective_pool();
+        let market_plan = market_sys.plan_for_demand(80.0).unwrap();
+        let od_plan = od_sys.plan_for_demand(80.0).unwrap();
+        // The market plan rides the discount: it buys spot offerings and
+        // covers the same demand for less than the on-demand-only plan.
+        let spot_count = market_plan.count(2) + market_plan.count(3);
+        assert!(spot_count > 0, "plan {market_plan} ignores spot capacity");
+        assert!(
+            market_plan.cost(&effective) < od_plan.cost(&od_pool),
+            "market {:.3} $/hr vs on-demand {:.3} $/hr",
+            market_plan.cost(&effective),
+            od_plan.cost(&od_pool)
+        );
+        // The base anchor stays on-demand.
+        assert!(market_plan.count(0) >= 1);
+    }
+
+    #[test]
+    fn preemption_storm_triggers_market_replans_and_recovery() {
+        let storm_us = 3_000_000;
+        let catalog = spot_catalog(Some(storm_us));
+        let market = Arc::new(TraceMarket::new(catalog.clone()));
+        let mut system = ServingSystem::with_market(
+            catalog,
+            market,
+            ModelKind::Rm2,
+            Some(paper_calibration()),
+            ServingOptions::default()
+                .replan_every(500_000)
+                .provisioning_delay(200_000)
+                .spot_cooldown(2_000_000),
+        );
+        system.warm_monitor(&BatchSizeDistribution::production_default(), 2000, 7);
+        let workload = PhasedArrival::step_change(
+            70.0,
+            70.0,
+            BatchSizeDistribution::production_default(),
+            3.0,
+            3.0,
+            41,
+        );
+        let initial = system.plan_for_demand(70.0).unwrap();
+        assert!(
+            initial.count(2) + initial.count(3) > 0,
+            "the initial plan should ride spot capacity: {initial}"
+        );
+        let service = ServiceSpec::new(ModelKind::Rm2, paper_calibration());
+        let outcome = system.run(&initial, &service, &workload.generate());
+
+        // The storm actually reclaimed capacity and the loop replanned on it.
+        assert!(outcome.report.preemption_notices >= 1);
+        assert!(
+            outcome
+                .reconfigs
+                .iter()
+                .any(|r| r.trigger == ReplanTrigger::Market),
+            "a market replan must fire: {:?}",
+            outcome.reconfigs
+        );
+        // Recovery: replacement capacity was bought after the storm.
+        assert!(
+            outcome
+                .reconfigs
+                .iter()
+                .any(|r| r.at_us >= storm_us && !r.added_types.is_empty()),
+            "the loop must re-buy capacity after the storm"
+        );
+        // All queries accounted for despite requeues.
+        assert_eq!(
+            outcome.report.completed() + outcome.report.unfinished.len(),
+            outcome.report.offered
+        );
+        // Billing reflects the discount: time-weighted spend stays below
+        // the nominal budget.
+        assert!(
+            outcome.report.billed_cost_per_hour() < system.options().budget_per_hour,
+            "billed {:.3} $/hr",
+            outcome.report.billed_cost_per_hour()
+        );
+        // The run must not leak per-run market state: cooldowns are cleared
+        // and the planning pool is back at live catalog prices, so a
+        // post-run plan rides the spot discount again instead of seeing the
+        // stormed offering at its ×40 penalty.
+        for offering in 0..4 {
+            assert!(
+                !system.market().unwrap().in_cooldown(offering, 0),
+                "cooldown leaked past the run for offering {offering}"
+            );
+        }
+        let after = system.plan_for_demand(70.0).unwrap();
+        assert!(
+            after.count(2) + after.count(3) > 0,
+            "post-run plan must see spot prices again: {after}"
+        );
+    }
+
+    #[test]
+    fn storm_during_backlog_drain_still_fires() {
+        // The notice lands *after* the last arrival but within the market
+        // horizon slack — the storm must still be delivered while the
+        // backlog drains, not silently dropped at the trace boundary.
+        let catalog = spot_catalog(Some(3_100_000));
+        let market = Arc::new(TraceMarket::new(catalog.clone()));
+        let mut system = ServingSystem::with_market(
+            catalog,
+            market,
+            ModelKind::Rm2,
+            Some(paper_calibration()),
+            ServingOptions::default().market_horizon_slack(2_000_000),
+        );
+        system.warm_monitor(&BatchSizeDistribution::production_default(), 2000, 7);
+        let workload = PhasedArrival::step_change(
+            60.0,
+            60.0,
+            BatchSizeDistribution::production_default(),
+            1.5,
+            1.5,
+            43,
+        );
+        let trace = workload.generate();
+        assert!(trace.duration_us() < 3_100_000);
+        let initial = system.plan_for_demand(60.0).unwrap();
+        let service = ServiceSpec::new(ModelKind::Rm2, paper_calibration());
+        let outcome = system.run(&initial, &service, &trace);
+        assert_eq!(
+            outcome.report.preemption_notices, 1,
+            "a storm inside the drain window must fire"
         );
     }
 

@@ -9,6 +9,7 @@
 //! throughput upper bound.
 
 use crate::instance::InstanceType;
+use crate::market::Market;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -116,6 +117,42 @@ impl Config {
             .iter()
             .zip(pool.types())
             .map(|(&c, t)| t.cost_of(c))
+            .sum()
+    }
+
+    /// Hourly cost of the configuration under a [`Market`]'s prices at a
+    /// point in virtual time.  For a [`ConstantMarket`] built from `pool`,
+    /// this reproduces [`Config::cost`] **bit-for-bit** (same coordinate
+    /// order, same multiply, same summation order).
+    ///
+    /// [`ConstantMarket`]: crate::market::ConstantMarket
+    pub fn cost_at(&self, market: &dyn Market, at_us: u64) -> f64 {
+        assert_eq!(
+            self.counts.len(),
+            market.num_offerings(),
+            "config/market dimension mismatch"
+        );
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| market.price_at(i, at_us) * c as f64)
+            .sum()
+    }
+
+    /// Dollars billed for holding the configuration over `[from_us, to_us)`
+    /// under a [`Market`]: the time integral of each offering's price times
+    /// its instance count.  For a constant-price market this equals
+    /// `cost(pool) × hours` (property-tested to 1e-9).
+    pub fn billed_cost(&self, market: &dyn Market, from_us: u64, to_us: u64) -> f64 {
+        assert_eq!(
+            self.counts.len(),
+            market.num_offerings(),
+            "config/market dimension mismatch"
+        );
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| market.billed_cost(i, from_us, to_us) * c as f64)
             .sum()
     }
 
@@ -301,6 +338,28 @@ mod tests {
         assert!(hetero.cost(&pool) <= 2.5);
         let c209 = Config::new(vec![2, 0, 9]);
         assert!(c209.cost(&pool) <= 2.5);
+    }
+
+    #[test]
+    fn constant_market_cost_at_is_bitwise_cost() {
+        use crate::market::ConstantMarket;
+        let pool = paper_pool();
+        let market = ConstantMarket::from_pool(&pool);
+        for counts in [vec![4, 0, 0, 0], vec![3, 1, 3, 0], vec![1, 2, 0, 5]] {
+            let config = Config::new(counts);
+            assert_eq!(
+                config.cost_at(&market, 0).to_bits(),
+                config.cost(&pool).to_bits(),
+                "constant market must reproduce the static cost exactly"
+            );
+            assert_eq!(
+                config.cost_at(&market, u64::MAX).to_bits(),
+                config.cost(&pool).to_bits()
+            );
+            // One billed hour equals the hourly cost to within associativity.
+            let billed = config.billed_cost(&market, 0, 3_600_000_000);
+            assert!((billed - config.cost(&pool)).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -50,21 +50,35 @@ pub struct InstanceType {
 }
 
 impl InstanceType {
-    /// Creates a new instance type description.
-    ///
-    /// # Panics
-    /// Panics if the price is not strictly positive and finite.
-    pub fn new(name: &str, class: InstanceClass, price_per_hour: f64, is_base: bool) -> Self {
-        assert!(
-            price_per_hour.is_finite() && price_per_hour > 0.0,
-            "price must be positive"
-        );
-        Self {
+    /// Creates a new instance type description, validating the price.
+    /// This is the non-panicking constructor the offering catalog uses when
+    /// ingesting externally supplied (possibly malformed) price data.
+    pub fn try_new(
+        name: &str,
+        class: InstanceClass,
+        price_per_hour: f64,
+        is_base: bool,
+    ) -> Result<Self, crate::market::CatalogError> {
+        if !(price_per_hour.is_finite() && price_per_hour > 0.0) {
+            return Err(crate::market::CatalogError::InvalidPrice {
+                price: price_per_hour,
+            });
+        }
+        Ok(Self {
             name: name.to_string(),
             class,
             price_per_hour,
             is_base,
-        }
+        })
+    }
+
+    /// Creates a new instance type description.
+    ///
+    /// # Panics
+    /// Panics if the price is not strictly positive and finite (use
+    /// [`InstanceType::try_new`] for a fallible path).
+    pub fn new(name: &str, class: InstanceClass, price_per_hour: f64, is_base: bool) -> Self {
+        Self::try_new(name, class, price_per_hour, is_base).expect("price must be positive")
     }
 
     /// Hourly price of `count` instances of this type.
@@ -157,6 +171,23 @@ mod tests {
     #[should_panic(expected = "price must be positive")]
     fn rejects_nonpositive_price() {
         InstanceType::new("bad", InstanceClass::GeneralPurpose, 0.0, false);
+    }
+
+    #[test]
+    fn try_new_reports_bad_prices_without_panicking() {
+        use crate::market::CatalogError;
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = InstanceType::try_new("bad", InstanceClass::GeneralPurpose, bad, false)
+                .unwrap_err();
+            match err {
+                CatalogError::InvalidPrice { price } => {
+                    assert!(price == bad || (price.is_nan() && bad.is_nan()))
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+        let ok = InstanceType::try_new("fine", InstanceClass::GeneralPurpose, 0.5, false);
+        assert_eq!(ok.unwrap().price_per_hour, 0.5);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! Domain model of the Kairos inference-serving system (HPDC'23 reproduction):
 //! cloud instance types with prices (paper Table 4), the five production ML
 //! models with their QoS targets (Table 3), calibrated latency profiles per
-//! (model, instance type) pair, the online latency predictor of Sec. 5.1, and
+//! (model, instance type) pair, the online latency predictor of Sec. 5.1,
 //! heterogeneous-configuration arithmetic (cost, sub-configurations,
-//! enumeration of the search space under a budget).
+//! enumeration of the search space under a budget), and the cloud purchase
+//! [`market`] (offerings, time-varying spot prices, preemption processes).
 //!
 //! ```
 //! use kairos_models::{
@@ -35,6 +36,7 @@ pub mod calibration;
 pub mod config;
 pub mod instance;
 pub mod latency;
+pub mod market;
 pub mod mlmodel;
 pub mod predictor;
 
@@ -43,6 +45,10 @@ pub use config::{
 };
 pub use instance::{ec2, InstanceClass, InstanceType};
 pub use latency::{LatencyProfile, LatencyTable, NoiseModel};
+pub use market::{
+    CatalogError, ConstantMarket, Market, MarketEvent, Offering, OfferingCatalog,
+    PreemptionProcess, PriceTrace, PurchaseOption, TraceMarket,
+};
 pub use mlmodel::{catalog, spec, ModelKind, ModelSpec, MAX_BATCH_SIZE};
 pub use predictor::{OnlinePredictor, PredictorBank};
 

@@ -30,17 +30,37 @@
 
 use kairos_workload::TimeUs;
 
-/// A timed (non-arrival) engine event: a completion or a `Ready` boundary.
+/// What a [`TimedEvent`] does when it fires.  Market events (price steps,
+/// preemption notices) ride the same calendar as completions so the hot loop
+/// needs no extra event source; `Kill` is the per-instance forced-termination
+/// deadline scheduled when a preemption notice lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TimedKind {
+    /// A query finishes service on `instance_index`.
+    Completion,
+    /// A provisioned instance (`instance_index`) comes online.
+    Ready,
+    /// A materialized market event; `instance_index` is the index into the
+    /// engine's market-event table, not an instance.
+    Market,
+    /// The preemption deadline of `instance_index`: whatever it still holds
+    /// is requeued and the instance is killed.
+    Kill,
+}
+
+/// A timed (non-arrival) engine event: a completion, a `Ready` boundary, a
+/// market event, or a preemption kill deadline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct TimedEvent {
     /// Virtual time at which the event fires.
     pub time: TimeUs,
     /// Global tie-break sequence number (same numbering as arrival order).
     pub seq: u64,
-    /// Index of the instance the event concerns.
+    /// Index of the instance the event concerns (for [`TimedKind::Market`],
+    /// the index of the market event instead).
     pub instance_index: usize,
-    /// `true` for a provisioning `Ready` boundary, `false` for a completion.
-    pub is_ready: bool,
+    /// What the event does.
+    pub kind: TimedKind,
 }
 
 impl TimedEvent {
@@ -171,7 +191,7 @@ mod tests {
             time,
             seq,
             instance_index: 0,
-            is_ready: false,
+            kind: TimedKind::Completion,
         }
     }
 

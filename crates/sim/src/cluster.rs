@@ -204,19 +204,37 @@ impl ClusterSpec {
     pub fn cost(&self, pool: &PoolSpec) -> f64 {
         self.pools.iter().map(|p| p.config.cost(pool)).sum()
     }
+
+    /// Total hourly cost of the spec under a market's prices at a point in
+    /// virtual time (see [`kairos_models::Config::cost_at`]).
+    pub fn cost_at(&self, market: &dyn kairos_models::Market, at_us: TimeUs) -> f64 {
+        self.pools
+            .iter()
+            .map(|p| p.config.cost_at(market, at_us))
+            .sum()
+    }
 }
 
 /// Lifecycle state of a simulated instance.
 ///
 /// ```text
 /// add_instance ──► Active (provisioning until available_from_us, then live)
-///                     │ retire_instance
-///                     ▼
-///                  Draining (finishes serving + local queue, no new work)
-///                     │ last local query completes
-///                     ▼
-///                  Retired (index kept for stability, costs nothing)
+///                   │ retire_instance         │ market preemption notice
+///                   ▼                         ▼
+///                Draining                 Preempting (forced drain until
+///      (finishes serving + local queue,    the notice deadline, no new
+///       no new work)                       work)
+///                   │ last local query        │ deadline: in-flight work
+///                   │ completes               │ requeued, instance killed
+///                   ▼                         ▼
+///                Retired                  Preempted
+///       (index kept for stability, costs nothing)
 /// ```
+///
+/// `Retired` is the graceful exit (the operator chose to give the instance
+/// back); `Preempted` is the forced one (the cloud reclaimed it).  Both are
+/// terminal and stop billing; they are kept distinct so preemption
+/// accounting never conflates the two.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InstanceLifecycle {
     /// Accepting dispatches (possibly still provisioning; queued work waits
@@ -226,6 +244,13 @@ pub enum InstanceLifecycle {
     Draining,
     /// Fully drained and removed from service.
     Retired,
+    /// A preemption notice landed: the instance races to drain until its
+    /// kill deadline, accepting nothing new.  Billing continues (the cloud
+    /// charges until it actually reclaims the machine).
+    Preempting,
+    /// Forcibly terminated by the market; any work it still held was
+    /// requeued to the central queue.
+    Preempted,
 }
 
 /// One simulated compute instance.
@@ -271,9 +296,23 @@ impl SimInstance {
         self.lifecycle == InstanceLifecycle::Active
     }
 
-    /// Whether the instance has fully left service.
+    /// Whether the instance has fully left service gracefully.
     pub fn is_retired(&self) -> bool {
         self.lifecycle == InstanceLifecycle::Retired
+    }
+
+    /// Whether the instance was forcibly reclaimed by the market.
+    pub fn is_preempted(&self) -> bool {
+        self.lifecycle == InstanceLifecycle::Preempted
+    }
+
+    /// Whether the instance has terminally left service (retired gracefully
+    /// or preempted) and stopped billing.
+    pub fn is_terminated(&self) -> bool {
+        matches!(
+            self.lifecycle,
+            InstanceLifecycle::Retired | InstanceLifecycle::Preempted
+        )
     }
 }
 
@@ -392,8 +431,12 @@ impl Cluster {
     /// Panics if `index` is out of range.
     pub fn retire_instance(&mut self, index: usize) -> bool {
         let inst = &mut self.instances[index];
-        if inst.lifecycle == InstanceLifecycle::Retired {
+        if inst.is_terminated() {
             return true;
+        }
+        if inst.lifecycle == InstanceLifecycle::Preempting {
+            // Already racing its kill deadline; retirement is moot.
+            return false;
         }
         if inst.is_idle() {
             inst.lifecycle = InstanceLifecycle::Retired;
@@ -499,12 +542,15 @@ impl Cluster {
         &mut self.instances
     }
 
-    /// Hourly cost of the cluster: every instance that has not fully retired
-    /// (active, provisioning or draining) is billed.
+    /// Hourly cost of the cluster at the pool's listed prices: every
+    /// instance that has not terminally left service (active, provisioning,
+    /// draining or awaiting its preemption deadline) is billed.  Time- and
+    /// market-aware dollar accounting lives in
+    /// [`SimReport::billed_dollars`](crate::SimReport::billed_dollars).
     pub fn hourly_cost(&self) -> f64 {
         self.instances
             .iter()
-            .filter(|inst| !inst.is_retired())
+            .filter(|inst| !inst.is_terminated())
             .map(|inst| self.pool.price(inst.type_index))
             .sum()
     }

@@ -72,11 +72,12 @@
 //! recomputation across any interleaving of reconfiguration actions — this
 //! invariant is enforced by `tests/proptest_reconfig.rs`.
 
-use crate::calendar::{EventCalendar, TimedEvent};
-use crate::cluster::{Cluster, ClusterSpec, ServiceSpec};
+use crate::calendar::{EventCalendar, TimedEvent, TimedKind};
+use crate::cluster::{Cluster, ClusterSpec, InstanceLifecycle, ServiceSpec};
 use crate::scheduler::{idle_order, Dispatch, InstanceView, Scheduler, SchedulingContext};
 use crate::stats::{QueryRecord, SimReport, UnfinishedQuery};
 use kairos_models::latency::LatencyProfile;
+use kairos_models::market::{billed_dollars, Market, MarketEvent};
 use kairos_models::mlmodel::ModelKind;
 use kairos_models::{Config, PoolSpec};
 use kairos_workload::{ModelId, Query, TimeUs, Trace};
@@ -122,6 +123,34 @@ pub enum EngineEvent {
     InstanceReady {
         /// Index of the instance that came online.
         instance_index: usize,
+    },
+    /// A market price step took effect (market-attached runs only).  Billing
+    /// picks it up automatically; drivers typically replan.
+    PriceStep {
+        /// Index of the offering (pool type) whose price changed.
+        offering: usize,
+        /// The new hourly price.
+        price_per_hour: f64,
+    },
+    /// The market announced reclamation of an offering's capacity: every
+    /// live instance of that offering stopped accepting dispatches and races
+    /// to drain until the deadline.
+    PreemptionNotice {
+        /// Index of the offering (pool type) being reclaimed.
+        offering: usize,
+        /// Number of instances the notice hit.
+        affected: usize,
+        /// Virtual time of the forced kill.
+        deadline_us: TimeUs,
+    },
+    /// A preemption deadline fired: the instance was killed and whatever it
+    /// still held (in-flight query plus local queue) was requeued to the
+    /// central queue.
+    InstancePreempted {
+        /// Index of the killed instance.
+        instance_index: usize,
+        /// Queries returned to the central queue.
+        requeued: usize,
     },
 }
 
@@ -317,6 +346,20 @@ pub struct SimEngine<'a> {
     last_event: TimeUs,
     offered: usize,
     trace_duration_us: TimeUs,
+    /// The attached market (None = the static constant-price model; billing
+    /// then uses the pool's listed prices, same formula, bit-for-bit).
+    market: Option<&'a dyn Market>,
+    /// Market events materialized at attach time; calendar `Market` entries
+    /// index into this table.
+    market_events: Vec<MarketEvent>,
+    /// Per-instance billing start (the moment the instance was requested).
+    /// `u64::MAX` marks an instance whose bill has been settled.
+    billed_start_us: Vec<TimeUs>,
+    /// Dollars settled so far for terminally departed instances.
+    billed_dollars: f64,
+    preemption_notices: usize,
+    preempted_instances: usize,
+    requeued_queries: usize,
     /// QoS target of the primary ([`ModelId::DEFAULT`]) model.
     qos_us: u64,
     /// Per-model QoS targets, indexed by [`ModelId`] — an array load on the
@@ -424,6 +467,7 @@ impl<'a> SimEngine<'a> {
             .map(|v| v.instance_index as u32)
             .collect();
         let local_nominal_us = vec![0; cluster.len()];
+        let billed_start_us = vec![0; cluster.len()];
         let offered = arrivals.len();
         Self {
             services,
@@ -455,9 +499,61 @@ impl<'a> SimEngine<'a> {
             last_event: 0,
             offered,
             trace_duration_us: trace.duration_us(),
+            market: None,
+            market_events: Vec::new(),
+            billed_start_us,
+            billed_dollars: 0.0,
+            preemption_notices: 0,
+            preempted_instances: 0,
+            requeued_queries: 0,
             qos_us: qos_by_model[0],
             qos_by_model,
         }
+    }
+
+    /// Attaches a cloud market to the engine: prices become time-varying for
+    /// billing, and every market event within the trace horizon (price
+    /// steps, preemption notices) is materialized into the calendar queue,
+    /// so the hot loop stays allocation-free.  Offering `i` of the market
+    /// prices pool type `i` — build the engine over
+    /// [`OfferingCatalog::effective_pool`](kairos_models::OfferingCatalog::effective_pool)
+    /// so the coordinates line up.
+    ///
+    /// Must be called before the first step.
+    ///
+    /// # Panics
+    /// Panics if the market's offering count does not match the pool, or if
+    /// the engine has already started.
+    pub fn with_market(self, market: &'a dyn Market) -> Self {
+        let horizon = self.trace_duration_us;
+        self.with_market_horizon(market, horizon)
+    }
+
+    /// [`Self::with_market`] with an explicit event horizon — for traces
+    /// whose interesting market activity extends past the last arrival
+    /// (e.g. a storm hitting while the backlog drains).
+    pub fn with_market_horizon(mut self, market: &'a dyn Market, horizon_us: TimeUs) -> Self {
+        assert_eq!(
+            market.num_offerings(),
+            self.num_types,
+            "market offerings must match the pool's types"
+        );
+        assert!(
+            self.next_arrival == 0 && self.records.is_empty() && self.now == 0,
+            "attach the market before stepping the engine"
+        );
+        self.market_events = market.events(horizon_us);
+        for (index, event) in self.market_events.iter().enumerate() {
+            self.calendar.push(TimedEvent {
+                time: event.at_us(),
+                seq: self.seq,
+                instance_index: index,
+                kind: TimedKind::Market,
+            });
+            self.seq += 1;
+        }
+        self.market = Some(market);
+        self
     }
 
     /// Current virtual time (time of the last processed event).
@@ -525,38 +621,167 @@ impl<'a> SimEngine<'a> {
         // Arrivals carry sequence numbers 0..offered (their trace position),
         // timed events continue from there — so on a time tie the arrival
         // fires first, exactly as the reference heap orders (time, seq).
-        let take_arrival = match (
-            self.next_arrival < self.arrivals.len(),
-            self.calendar.peek(),
-        ) {
-            (false, None) => return None,
-            (true, None) => true,
-            (false, Some(_)) => false,
-            (true, Some((timed_at, _))) => self.arrivals[self.next_arrival].arrival_us <= timed_at,
-        };
-        let observed = if take_arrival {
-            let query = self.arrivals[self.next_arrival];
-            self.next_arrival += 1;
-            self.now = query.arrival_us;
-            self.last_event = self.last_event.max(self.now);
-            self.central_queue.push(query);
-            EngineEvent::Arrival { query }
-        } else {
+        // The inner loop exists only for cancelled completions (a query
+        // whose instance was preemption-killed after its completion was
+        // scheduled): those events are discarded without advancing the clock
+        // and the next event is taken instead.
+        let observed = loop {
+            let take_arrival = match (
+                self.next_arrival < self.arrivals.len(),
+                self.calendar.peek(),
+            ) {
+                (false, None) => return None,
+                (true, None) => true,
+                (false, Some(_)) => false,
+                (true, Some((timed_at, _))) => {
+                    self.arrivals[self.next_arrival].arrival_us <= timed_at
+                }
+            };
+            if take_arrival {
+                let query = self.arrivals[self.next_arrival];
+                self.next_arrival += 1;
+                self.now = query.arrival_us;
+                self.last_event = self.last_event.max(self.now);
+                self.central_queue.push(query);
+                break EngineEvent::Arrival { query };
+            }
             let event = self.calendar.pop().expect("peeked above");
+            if event.kind == TimedKind::Completion
+                && self.cluster.instances()[event.instance_index].is_preempted()
+            {
+                // The serving query was requeued by a kill; its old
+                // completion is void.
+                continue;
+            }
             self.now = event.time;
             self.last_event = self.last_event.max(self.now);
-            if event.is_ready {
-                // A provisioned instance comes online: no state change beyond
-                // the scheduler consultation that lets queries flow to it.
-                EngineEvent::InstanceReady {
-                    instance_index: event.instance_index,
+            match event.kind {
+                TimedKind::Ready => {
+                    // A provisioned instance comes online: no state change
+                    // beyond the scheduler consultation that lets queries
+                    // flow to it.
+                    break EngineEvent::InstanceReady {
+                        instance_index: event.instance_index,
+                    };
                 }
-            } else {
-                self.complete(event.instance_index)
+                TimedKind::Completion => break self.complete(event.instance_index),
+                TimedKind::Market => break self.apply_market_event(event.instance_index),
+                TimedKind::Kill => break self.kill_instance(event.instance_index),
             }
         };
         self.invoke_scheduler();
         Some(observed)
+    }
+
+    /// Applies a materialized market event (price step or preemption
+    /// notice).  Notices flip every live instance of the offering to
+    /// [`InstanceLifecycle::Preempting`] and schedule its kill deadline.
+    fn apply_market_event(&mut self, event_index: usize) -> EngineEvent {
+        match self.market_events[event_index] {
+            MarketEvent::PriceStep {
+                offering,
+                price_per_hour,
+                ..
+            } => EngineEvent::PriceStep {
+                offering,
+                price_per_hour,
+            },
+            MarketEvent::PreemptionNotice {
+                offering,
+                notice_us,
+                ..
+            } => {
+                let deadline_us = self.now + notice_us;
+                let mut affected = 0usize;
+                for i in 0..self.cluster.len() {
+                    let inst = &self.cluster.instances()[i];
+                    if inst.type_index != offering || inst.is_terminated() {
+                        continue;
+                    }
+                    if inst.lifecycle == InstanceLifecycle::Preempting {
+                        continue; // already racing an earlier deadline
+                    }
+                    if inst.accepts_dispatches() && inst.backlog() == 0 {
+                        self.remove_idle(i as u32);
+                    }
+                    self.cluster.instances_mut()[i].lifecycle = InstanceLifecycle::Preempting;
+                    self.views[i].accepting = false;
+                    self.calendar.push(TimedEvent {
+                        time: deadline_us,
+                        seq: self.seq,
+                        instance_index: i,
+                        kind: TimedKind::Kill,
+                    });
+                    self.seq += 1;
+                    affected += 1;
+                }
+                self.preemption_notices += 1;
+                EngineEvent::PreemptionNotice {
+                    offering,
+                    affected,
+                    deadline_us,
+                }
+            }
+        }
+    }
+
+    /// Forcibly terminates an instance at its preemption deadline: the
+    /// in-flight query (if any) and the local queue are requeued to the
+    /// central queue exactly once, the bill is settled, and the instance
+    /// becomes [`InstanceLifecycle::Preempted`].
+    fn kill_instance(&mut self, instance_index: usize) -> EngineEvent {
+        let mut requeued = 0usize;
+        {
+            let inst = &mut self.cluster.instances_mut()[instance_index];
+            debug_assert_eq!(inst.lifecycle, InstanceLifecycle::Preempting);
+            if let Some((query, _)) = inst.serving.take() {
+                self.central_queue.push(query);
+                requeued += 1;
+            }
+            while let Some(query) = inst.local_queue.pop_front() {
+                self.central_queue.push(query);
+                requeued += 1;
+                self.local_queued -= 1;
+            }
+            inst.lifecycle = InstanceLifecycle::Preempted;
+            let free_at = self.now.max(inst.available_from_us);
+            let view = &mut self.views[instance_index];
+            view.backlog = 0;
+            view.free_at_us = free_at;
+            debug_assert!(!view.accepting, "notice already stopped dispatches");
+        }
+        self.local_nominal_us[instance_index] = 0;
+        self.settle_bill(instance_index, self.now);
+        self.preempted_instances += 1;
+        self.requeued_queries += requeued;
+        EngineEvent::InstancePreempted {
+            instance_index,
+            requeued,
+        }
+    }
+
+    /// Dollars billed for one instance of pool type `type_index` over
+    /// `[from_us, to_us)`: the market's exact price integral, or the pool's
+    /// listed price with the same constant-price formula when no market is
+    /// attached (bit-for-bit what a [`kairos_models::ConstantMarket`] over
+    /// the pool would charge).
+    fn price_integral(&self, type_index: usize, from_us: TimeUs, to_us: TimeUs) -> f64 {
+        match self.market {
+            Some(market) => market.billed_cost(type_index, from_us, to_us),
+            None => billed_dollars(self.cluster.pool().price(type_index), from_us, to_us),
+        }
+    }
+
+    /// Settles an instance's bill through `end_us` (no-op if already
+    /// settled).
+    fn settle_bill(&mut self, instance_index: usize, end_us: TimeUs) {
+        let start = self.billed_start_us[instance_index];
+        if start == TimeUs::MAX {
+            return;
+        }
+        let type_index = self.cluster.instances()[instance_index].type_index;
+        self.billed_dollars += self.price_integral(type_index, start, end_us);
+        self.billed_start_us[instance_index] = TimeUs::MAX;
     }
 
     /// Applies a completion event on `instance_index`.
@@ -589,9 +814,11 @@ impl<'a> SimEngine<'a> {
         self.scheduler
             .on_completion(type_index, query.model, query.batch_size, service_ms);
         // Start the next locally queued query, if any; a draining instance
-        // that just emptied transitions to retired.
+        // that just emptied transitions to retired (and settles its bill).
         self.start_next(instance_index);
-        self.cluster.settle_drained(instance_index);
+        if self.cluster.settle_drained(instance_index) {
+            self.settle_bill(instance_index, self.now);
+        }
         EngineEvent::Completion { record, type_name }
     }
 
@@ -634,12 +861,13 @@ impl<'a> SimEngine<'a> {
             backlog: 0,
         });
         self.local_nominal_us.push(0);
+        self.billed_start_us.push(self.now);
         self.insert_idle_pending(instance_index as u32);
         self.calendar.push(TimedEvent {
             time: ready_at,
             seq: self.seq,
             instance_index,
-            is_ready: true,
+            kind: TimedKind::Ready,
         });
         self.seq += 1;
         instance_index
@@ -656,7 +884,11 @@ impl<'a> SimEngine<'a> {
         if was_dispatchable_idle {
             self.remove_idle(instance_index as u32);
         }
-        self.cluster.retire_instance(instance_index);
+        if self.cluster.retire_instance(instance_index) {
+            // Fully retired on the spot (idle or already terminated): the
+            // bill settles now; `settle_bill` no-ops on settled instances.
+            self.settle_bill(instance_index, self.now);
+        }
         self.views[instance_index].accepting = false;
     }
 
@@ -745,8 +977,9 @@ impl<'a> SimEngine<'a> {
     }
 
     /// Finalizes the run: anything still queued (centrally or locally) is
-    /// reported as unfinished.
-    pub fn report(self) -> SimReport {
+    /// reported as unfinished, and instances still renting are billed
+    /// through the horizon.
+    pub fn report(mut self) -> SimReport {
         let unfinished_of = |q: &Query| UnfinishedQuery {
             id: q.id,
             model: q.model,
@@ -768,6 +1001,12 @@ impl<'a> SimEngine<'a> {
         }
 
         let horizon_us = self.last_event.max(self.trace_duration_us);
+        // Instances still renting at the horizon settle their bill here, in
+        // index order (so a reconfiguration-free constant-price run sums in
+        // exactly the order the naive reference does).
+        for index in 0..self.cluster.len() {
+            self.settle_bill(index, horizon_us);
+        }
         SimReport {
             scheduler: self.scheduler.name().to_string(),
             records: self.records,
@@ -776,6 +1015,10 @@ impl<'a> SimEngine<'a> {
             horizon_us,
             qos_us: self.qos_us,
             qos_by_model: self.qos_by_model,
+            billed_dollars: self.billed_dollars,
+            preemption_notices: self.preemption_notices,
+            preempted_instances: self.preempted_instances,
+            requeued_queries: self.requeued_queries,
         }
     }
 
@@ -808,7 +1051,7 @@ impl<'a> SimEngine<'a> {
                 time: inst.busy_until_us,
                 seq: self.seq,
                 instance_index,
-                is_ready: false,
+                kind: TimedKind::Completion,
             });
             self.seq += 1;
         } else {
@@ -1214,6 +1457,14 @@ pub fn run_trace_naive(
     }
 
     let horizon_us = last_event.max(trace.duration_us());
+    // The naive reference has no reconfiguration or market: every instance
+    // rents at its listed price for the whole horizon, accumulated in index
+    // order exactly as the engine's settlement loop does.
+    let billed: f64 = cluster
+        .instances()
+        .iter()
+        .map(|inst| billed_dollars(cluster.pool().price(inst.type_index), 0, horizon_us))
+        .sum();
     SimReport {
         scheduler: scheduler.name().to_string(),
         records,
@@ -1222,6 +1473,10 @@ pub fn run_trace_naive(
         horizon_us,
         qos_us,
         qos_by_model: vec![qos_us],
+        billed_dollars: billed,
+        preemption_notices: 0,
+        preempted_instances: 0,
+        requeued_queries: 0,
     }
 }
 
@@ -1711,6 +1966,179 @@ mod tests {
         );
         assert_eq!(fast.records, naive.records);
         assert_eq!(fast.records[0].id, 1);
+    }
+
+    /// A two-offering market pool: the on-demand GPU anchor plus a
+    /// preemptible spot r5n with one scripted notice.
+    fn spot_setup(
+        notice_at_us: TimeUs,
+        notice_us: TimeUs,
+    ) -> (kairos_models::OfferingCatalog, kairos_models::TraceMarket) {
+        use kairos_models::{
+            Offering, OfferingCatalog, PreemptionProcess, PriceTrace, TraceMarket,
+        };
+        let catalog = OfferingCatalog::new(vec![
+            Offering::on_demand(ec2::g4dn_xlarge()),
+            Offering::spot(
+                ec2::r5n_large(),
+                PriceTrace::constant(0.05),
+                PreemptionProcess::At {
+                    notices_us: vec![notice_at_us],
+                },
+            ),
+        ]);
+        let market = TraceMarket::new(catalog.clone()).with_notice(notice_us);
+        (catalog, market)
+    }
+
+    #[test]
+    fn constant_market_attachment_is_bit_identical_to_no_market() {
+        let (pool, service) = setup();
+        let market = kairos_models::ConstantMarket::from_pool(&pool);
+        let trace = TraceSpec::production(400.0, 1.0, 77).generate();
+        let config = Config::new(vec![1, 0, 2, 0]);
+        let opts = SimulationOptions { seed: 5 };
+        let plain = run_trace(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut FcfsScheduler::new(),
+            &opts,
+        );
+        let mut scheduler = FcfsScheduler::new();
+        let attached = SimEngine::new(&pool, &config, &service, &trace, &mut scheduler, &opts)
+            .with_market(&market)
+            .run();
+        assert_eq!(plain.records, attached.records);
+        assert_eq!(plain.unfinished, attached.unfinished);
+        assert_eq!(plain.horizon_us, attached.horizon_us);
+        assert_eq!(
+            plain.billed_dollars.to_bits(),
+            attached.billed_dollars.to_bits(),
+            "constant-market billing must be bit-identical to the static path"
+        );
+        assert_eq!(attached.preemption_notices, 0);
+        // And the static bill is exactly hourly cost × hours.
+        let hours = plain.horizon_us as f64 / 3.6e9;
+        assert!((plain.billed_dollars - config.cost(&pool) * hours).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preemption_notice_stops_dispatches_and_kill_requeues_in_flight_work_once() {
+        use crate::cluster::InstanceLifecycle;
+        // WND batch 900 takes ~120 ms on an r5n: a 10 ms notice window
+        // cannot drain the query in flight at the 100 ms notice.
+        let (catalog, market) = spot_setup(100_000, 10_000);
+        let pool = catalog.effective_pool();
+        let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+        // Six heavy queries up front: FCFS puts one on each instance, the
+        // rest wait centrally; more arrive long after the storm.
+        let mut queries: Vec<Query> = (0..6).map(|i| Query::new(i, 900, 1_000)).collect();
+        queries.extend((6..9).map(|i| Query::new(i, 900, 400_000)));
+        let trace = Trace::from_queries(queries);
+        let offered = trace.len();
+        let mut scheduler = FcfsScheduler::new();
+        let mut engine = SimEngine::new(
+            &pool,
+            &Config::new(vec![1, 1]),
+            &service,
+            &trace,
+            &mut scheduler,
+            &SimulationOptions::default(),
+        )
+        .with_market(&market);
+
+        let mut saw_notice = false;
+        let mut saw_kill = false;
+        let mut requeued_total = 0usize;
+        while let Some(event) = engine.step_event() {
+            match event {
+                EngineEvent::PreemptionNotice {
+                    offering,
+                    affected,
+                    deadline_us,
+                } => {
+                    saw_notice = true;
+                    assert_eq!(offering, 1);
+                    assert_eq!(affected, 1);
+                    assert_eq!(deadline_us, 110_000);
+                    let inst = &engine.cluster().instances()[1];
+                    assert_eq!(inst.lifecycle, InstanceLifecycle::Preempting);
+                    assert!(!inst.accepts_dispatches());
+                }
+                EngineEvent::InstancePreempted {
+                    instance_index,
+                    requeued,
+                } => {
+                    saw_kill = true;
+                    requeued_total += requeued;
+                    assert_eq!(instance_index, 1);
+                    let inst = &engine.cluster().instances()[instance_index];
+                    assert!(inst.is_preempted());
+                    assert!(inst.is_idle(), "kill must strip all work");
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_notice && saw_kill);
+        assert_eq!(requeued_total, 1, "exactly the in-flight query requeues");
+
+        let report = engine.report();
+        assert_eq!(report.preemption_notices, 1);
+        assert_eq!(report.preempted_instances, 1);
+        assert_eq!(report.requeued_queries, 1);
+        // Conservation: every query completed or is reported unfinished, and
+        // the requeued one appears exactly once among them.
+        assert_eq!(report.completed() + report.unfinished.len(), offered);
+        assert_eq!(report.completed(), offered, "the GPU drains everything");
+        // Nothing was served by the spot instance after its notice.
+        for r in report.records.iter().filter(|r| r.instance_index == 1) {
+            assert!(
+                r.completion_us <= 110_000,
+                "query {} finished on the preempted instance after its kill",
+                r.id
+            );
+        }
+        // Billing: the spot instance stops billing at its kill, the GPU
+        // bills through the horizon.
+        let hours = |us: TimeUs| us as f64 / 3.6e9;
+        let expect = 0.526 * hours(report.horizon_us) + 0.05 * hours(110_000);
+        assert!(
+            (report.billed_dollars - expect).abs() < 1e-12,
+            "billed {} vs expected {expect}",
+            report.billed_dollars
+        );
+    }
+
+    #[test]
+    fn preempting_instance_that_drains_early_is_killed_idle() {
+        let (catalog, market) = spot_setup(100_000, 400_000);
+        let pool = catalog.effective_pool();
+        let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+        // One light query on the spot instance; the generous notice window
+        // lets it finish before the deadline.
+        let queries: Vec<Query> = (0..2).map(|i| Query::new(i, 10, 1_000)).collect();
+        let trace = Trace::from_queries(queries);
+        let mut scheduler = FcfsScheduler::new();
+        let engine = SimEngine::new(
+            &pool,
+            &Config::new(vec![1, 1]),
+            &service,
+            &trace,
+            &mut scheduler,
+            &SimulationOptions::default(),
+        )
+        .with_market_horizon(&market, 1_000_000);
+        let report = engine.run();
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.preempted_instances, 1);
+        assert_eq!(report.requeued_queries, 0, "drained before the deadline");
+        // Billing still runs to the kill deadline (the cloud charges until
+        // it reclaims the machine), not to the early drain.
+        let hours = |us: TimeUs| us as f64 / 3.6e9;
+        let expect = 0.526 * hours(report.horizon_us) + 0.05 * hours(500_000);
+        assert!((report.billed_dollars - expect).abs() < 1e-12);
     }
 
     #[test]

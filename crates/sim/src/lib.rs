@@ -10,7 +10,11 @@
 //! accounting on the 99th-percentile tail (see DESIGN.md, "Substitutions").
 //!
 //! * [`cluster`] — instances, clusters, and the served model ([`ServiceSpec`]);
-//!   clusters reconfigure at run time (provisioning, graceful draining).
+//!   clusters reconfigure at run time (provisioning, graceful draining) and
+//!   instances can be preempted by an attached cloud market
+//!   ([`SimEngine::with_market`]): notice → forced drain → kill, with
+//!   in-flight work requeued and billing settled at the market's
+//!   time-varying prices.
 //! * [`scheduler`] — the policy interface ([`Scheduler`]) plus a naive FCFS
 //!   baseline.
 //! * [`engine`] — the event loop: [`SimEngine`] with incremental scheduler

@@ -82,6 +82,19 @@ pub struct SimReport {
     /// `[qos_us]` for single-model runs; may be left empty by hand-built
     /// reports, in which case every model falls back to [`Self::qos_us`].
     pub qos_by_model: Vec<u64>,
+    /// Time-integrated dollars actually billed over the run: each instance
+    /// is charged its offering's (possibly time-varying) price from the
+    /// moment it was requested until it terminally left service (or the
+    /// horizon, if still alive).  With constant prices this equals
+    /// `hourly cost × hours`, bit-for-bit per instance.
+    pub billed_dollars: f64,
+    /// Market preemption notices delivered during the run.
+    pub preemption_notices: usize,
+    /// Instances forcibly reclaimed by the market.
+    pub preempted_instances: usize,
+    /// Queries requeued to the central queue by preemption kills (a query
+    /// requeued by two successive kills counts twice).
+    pub requeued_queries: usize,
 }
 
 /// One model's slice of a [`SimReport`]: the per-model accounting that sums
@@ -218,6 +231,17 @@ impl SimReport {
                 }
             })
             .collect()
+    }
+
+    /// Time-weighted mean dollars per hour over the run: the billed total
+    /// spread over the horizon.  This is the cost axis of the market
+    /// benchmarks (`count × list price` overstates spend whenever the run
+    /// rode cheaper spot capacity or scaled in mid-run).
+    pub fn billed_cost_per_hour(&self) -> f64 {
+        if self.horizon_us == 0 {
+            return 0.0;
+        }
+        self.billed_dollars / (self.horizon_us as f64 / 3.6e9)
     }
 
     /// Raw throughput: completed queries per second of simulated time.
@@ -428,6 +452,10 @@ mod tests {
             horizon_us: 1_000_000,
             qos_us: qos,
             qos_by_model: vec![qos],
+            billed_dollars: 0.0,
+            preemption_notices: 0,
+            preempted_instances: 0,
+            requeued_queries: 0,
         }
     }
 
@@ -566,6 +594,10 @@ mod tests {
             horizon_us: 1_000_000,
             qos_us: 10_000,
             qos_by_model: vec![10_000, 100_000],
+            billed_dollars: 0.0,
+            preemption_notices: 0,
+            preempted_instances: 0,
+            requeued_queries: 0,
         };
         let per = rep.per_model();
         assert_eq!(per.len(), 2);

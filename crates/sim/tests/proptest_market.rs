@@ -1,0 +1,108 @@
+//! Property-based tests of the cloud-market redesign's *strict
+//! generalization* contract:
+//!
+//! 1. For any random trace, cluster shape and scheduler, attaching a
+//!    constant-price [`ConstantMarket`] changes **nothing**: per-query
+//!    records, unfinished sets, horizon and the billed dollar total are all
+//!    bit-identical to the market-disabled run.
+//! 2. The market-disabled billed total equals the static `cost() × hours`
+//!    to within 1e-9 — time-integrated billing collapses to the paper's
+//!    `count × price` arithmetic when prices never move.
+//! 3. `Config::billed_cost` under a constant market equals `cost() × hours`
+//!    for arbitrary intervals (the models-level half of the same contract).
+
+use kairos_models::{
+    calibration::paper_calibration, ec2, Config, ConstantMarket, Market, ModelKind, PoolSpec,
+};
+use kairos_sim::{run_trace, FcfsScheduler, ServiceSpec, SimEngine, SimulationOptions};
+use kairos_workload::TraceSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn constant_market_is_bit_identical_to_disabled_market(
+        seed in 1u64..500,
+        rate in 50.0f64..1200.0,
+        duration_ds in 3u32..10,
+        counts in prop::collection::vec(0usize..3, 4),
+    ) {
+        prop_assume!(counts.iter().sum::<usize>() > 0);
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+        let trace = TraceSpec::production(rate, duration_ds as f64 / 10.0, seed).generate();
+        let config = Config::new(counts);
+        let opts = SimulationOptions { seed };
+
+        let disabled = run_trace(
+            &pool, &config, &service, &trace, &mut FcfsScheduler::new(), &opts,
+        );
+        let market = ConstantMarket::from_pool(&pool);
+        let mut scheduler = FcfsScheduler::new();
+        let enabled = SimEngine::new(&pool, &config, &service, &trace, &mut scheduler, &opts)
+            .with_market(&market)
+            .run();
+
+        // Aggregates are bit-identical with the market disabled vs enabled.
+        prop_assert_eq!(&disabled.records, &enabled.records);
+        prop_assert_eq!(&disabled.unfinished, &enabled.unfinished);
+        prop_assert_eq!(disabled.offered, enabled.offered);
+        prop_assert_eq!(disabled.horizon_us, enabled.horizon_us);
+        prop_assert_eq!(disabled.violations(), enabled.violations());
+        // Billing must not depend on whether the constant market is attached.
+        prop_assert_eq!(
+            disabled.billed_dollars.to_bits(),
+            enabled.billed_dollars.to_bits()
+        );
+        prop_assert_eq!(enabled.preemption_notices, 0);
+        prop_assert_eq!(enabled.preempted_instances, 0);
+        prop_assert_eq!(enabled.requeued_queries, 0);
+
+        // Time-integrated billing over a static cluster is cost() × hours.
+        let hours = disabled.horizon_us as f64 / 3.6e9;
+        prop_assert!(
+            (disabled.billed_dollars - config.cost(&pool) * hours).abs() < 1e-9,
+            "billed {} vs static {}",
+            disabled.billed_dollars,
+            config.cost(&pool) * hours
+        );
+    }
+
+    #[test]
+    fn config_billed_cost_matches_static_cost_times_hours(
+        counts in prop::collection::vec(0usize..7, 4),
+        from_s in 0u64..2_000,
+        span_s in 1u64..5_000,
+    ) {
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let market = ConstantMarket::from_pool(&pool);
+        let config = Config::new(counts);
+        let from_us = from_s * 1_000_000;
+        let to_us = from_us + span_s * 1_000_000;
+        let hours = (to_us - from_us) as f64 / 3.6e9;
+
+        // cost_at under a constant market must be cost(), bit-for-bit.
+        prop_assert_eq!(
+            config.cost_at(&market, from_us).to_bits(),
+            config.cost(&pool).to_bits()
+        );
+        let billed = config.billed_cost(&market, from_us, to_us);
+        prop_assert!(
+            (billed - config.cost(&pool) * hours).abs() < 1e-9,
+            "billed {} vs {}",
+            billed,
+            config.cost(&pool) * hours
+        );
+        // Billing is additive over adjacent intervals.
+        let mid = from_us + (to_us - from_us) / 2;
+        let split = config.billed_cost(&market, from_us, mid)
+            + config.billed_cost(&market, mid, to_us);
+        prop_assert!((split - billed).abs() < 1e-9);
+        // And the market's own integral agrees per offering.
+        for i in 0..market.num_offerings() {
+            let per = market.billed_cost(i, from_us, to_us);
+            prop_assert!((per - pool.price(i) * hours).abs() < 1e-9);
+        }
+    }
+}

@@ -21,14 +21,17 @@
 //! `run_trace_naive`: same records, same unfinished set, same horizon, same
 //! violation timeline.
 
-use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
+use kairos_models::{
+    calibration::paper_calibration, ec2, Config, ModelKind, Offering, OfferingCatalog, PoolSpec,
+    PreemptionProcess, PriceTrace, TraceMarket,
+};
 use kairos_sim::{
-    idle_order, run_trace, run_trace_naive, Dispatch, Scheduler, SchedulingContext, ServiceSpec,
-    SimEngine, SimulationOptions,
+    idle_order, run_trace, run_trace_naive, Dispatch, EngineEvent, Scheduler, SchedulingContext,
+    ServiceSpec, SimEngine, SimulationOptions,
 };
 use kairos_workload::TraceSpec;
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// One reconfiguration action at a given event ordinal.
 #[derive(Debug, Clone, Copy)]
@@ -269,6 +272,193 @@ proptest! {
         // Invariant 3: conservation of queries.
         let report = engine.report();
         prop_assert_eq!(report.completed() + report.unfinished.len(), offered);
+    }
+
+    /// Random preemption storms interleaved with random add/retire actions
+    /// preserve every hot-path and accounting invariant: the incremental
+    /// views and idle index stay bit-identical to recomputation, a noticed
+    /// instance never receives work it did not already hold, each kill
+    /// requeues the instance's in-flight work exactly once, and every
+    /// offered query is accounted for exactly once at the end.
+    #[test]
+    fn preemption_interleavings_preserve_views_and_requeue_exactly_once(
+        seed in 1u64..500,
+        notices in prop::collection::vec((50_000u64..450_000, 0usize..2), 1..4),
+        plan in actions(),
+        scheduler_kind in 0usize..3,
+    ) {
+        // Offerings: the four on-demand paper types plus two preemptible
+        // spot offerings (GPU and r5n) the notices target.
+        let spot_offsets: Vec<Vec<u64>> = (0..2)
+            .map(|o| {
+                notices
+                    .iter()
+                    .filter(|(_, target)| *target == o)
+                    .map(|(t, _)| *t)
+                    .collect()
+            })
+            .collect();
+        let catalog = OfferingCatalog::new(vec![
+            Offering::on_demand(ec2::g4dn_xlarge()),
+            Offering::on_demand(ec2::c5n_2xlarge()),
+            Offering::on_demand(ec2::r5n_large()),
+            Offering::on_demand(ec2::t3_xlarge()),
+            Offering::spot(
+                ec2::g4dn_xlarge(),
+                PriceTrace::constant(0.17),
+                PreemptionProcess::At { notices_us: spot_offsets[0].clone() },
+            ),
+            Offering::spot(
+                ec2::r5n_large(),
+                PriceTrace::constant(0.05),
+                PreemptionProcess::At { notices_us: spot_offsets[1].clone() },
+            ),
+        ]);
+        let market = TraceMarket::new(catalog.clone()).with_notice(30_000);
+        let pool = catalog.effective_pool();
+        let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+        let trace = TraceSpec::production(700.0, 0.5, seed).generate();
+        let offered = trace.len();
+        let mut scheduler = make_scheduler(scheduler_kind);
+        let mut engine = SimEngine::new(
+            &pool,
+            &Config::new(vec![1, 0, 0, 0, 1, 1]),
+            &service,
+            &trace,
+            scheduler.as_mut(),
+            &SimulationOptions::default(),
+        )
+        .with_market_horizon(&market, 1_000_000);
+
+        let mut next_action = 0usize;
+        let mut event_ordinal = 0usize;
+        // Per-instance: the queries it held when it stopped accepting work
+        // (retirement or preemption notice).  Anything it holds later must
+        // come from this set.
+        let mut held_after_stop: Vec<(usize, HashSet<u64>)> = Vec::new();
+        let mut noticed: HashSet<usize> = HashSet::new();
+        let mut requeues_seen = 0usize;
+        let mut requeues_by_kill: HashMap<usize, usize> = HashMap::new();
+
+        let held_of = |engine: &SimEngine<'_>, index: usize| -> HashSet<u64> {
+            let inst = &engine.cluster().instances()[index];
+            inst.local_queue
+                .iter()
+                .map(|q| q.id)
+                .chain(inst.serving.iter().map(|(q, _)| q.id))
+                .collect()
+        };
+
+        while let Some(event) = engine.step_event() {
+            event_ordinal += 1;
+            match &event {
+                EngineEvent::PreemptionNotice { offering, .. } => {
+                    let hit: Vec<usize> = engine
+                        .cluster()
+                        .instances()
+                        .iter()
+                        .filter(|i| i.type_index == *offering && !i.is_terminated())
+                        .map(|i| i.index)
+                        .collect();
+                    for index in hit {
+                        held_after_stop.push((index, held_of(&engine, index)));
+                        noticed.insert(index);
+                    }
+                }
+                EngineEvent::InstancePreempted { instance_index, requeued } => {
+                    requeues_seen += requeued;
+                    let prior = requeues_by_kill.insert(*instance_index, *requeued);
+                    // An instance must be killed at most once.
+                    prop_assert_eq!(prior, None);
+                    let inst = &engine.cluster().instances()[*instance_index];
+                    prop_assert!(inst.is_preempted());
+                    prop_assert!(inst.is_idle(), "kill must strip all work");
+                }
+                _ => {}
+            }
+
+            // Inject reconfiguration actions, as in the retirement test.
+            while next_action < plan.len() && plan[next_action].0 <= event_ordinal {
+                match plan[next_action].1 {
+                    Action::Add { type_index, delay_us } => {
+                        // Spread the 0..4 strategy range over the six
+                        // offerings so spot capacity is also added mid-run
+                        // (possibly after its offering's storm).
+                        engine.add_instance((type_index * 2) % 6, delay_us);
+                    }
+                    Action::Retire { victim_seed } => {
+                        let candidates: Vec<usize> = engine
+                            .cluster()
+                            .instances()
+                            .iter()
+                            .filter(|i| i.accepts_dispatches())
+                            .map(|i| i.index)
+                            .collect();
+                        if candidates.len() > 1 {
+                            let victim = candidates[victim_seed % candidates.len()];
+                            held_after_stop.push((victim, held_of(&engine, victim)));
+                            engine.retire_instance(victim);
+                        }
+                    }
+                }
+                next_action += 1;
+            }
+
+            // Hot-path views and idle index stay bit-identical to the
+            // recomputed reference (terminated instances may keep a stale
+            // free time — no policy reads it).
+            let reference = engine.recompute_views();
+            let reference_idle = idle_order(&reference);
+            let (views, idle) = engine.scheduler_views();
+            prop_assert_eq!(idle, &reference_idle[..]);
+            for (view, expect) in views.iter().zip(&reference) {
+                if view.accepting || expect.backlog > 0 {
+                    prop_assert_eq!(view, expect);
+                } else {
+                    prop_assert_eq!(view.instance_index, expect.instance_index);
+                    prop_assert_eq!(view.backlog, expect.backlog);
+                    prop_assert_eq!(view.accepting, expect.accepting);
+                }
+            }
+
+            // A stopped instance holds only queries it already had.
+            for (index, held) in &held_after_stop {
+                for q in held_of(&engine, *index) {
+                    prop_assert!(
+                        held.contains(&q),
+                        "query {} reached instance {} after it stopped accepting",
+                        q,
+                        index
+                    );
+                }
+            }
+        }
+
+        // Every noticed instance was killed exactly once and ended preempted.
+        for index in &noticed {
+            prop_assert!(
+                requeues_by_kill.contains_key(index),
+                "instance {} was noticed but never killed",
+                index
+            );
+            prop_assert!(engine.cluster().instances()[*index].is_preempted());
+        }
+
+        let report = engine.report();
+        prop_assert_eq!(report.requeued_queries, requeues_seen);
+        prop_assert_eq!(report.preempted_instances, requeues_by_kill.len());
+        // Conservation: every offered query completes or is reported
+        // unfinished, exactly once (requeues never duplicate or drop work).
+        prop_assert_eq!(report.completed() + report.unfinished.len(), offered);
+        let mut seen: HashSet<u64> = HashSet::new();
+        for id in report
+            .records
+            .iter()
+            .map(|r| r.id)
+            .chain(report.unfinished.iter().map(|u| u.id))
+        {
+            prop_assert!(seen.insert(id), "query {} accounted twice", id);
+        }
     }
 
     /// The optimized engine is bit-identical to the naive reference across

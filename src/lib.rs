@@ -45,11 +45,13 @@ pub mod prelude {
         ReactiveAutoscaler, RibbonScheduler,
     };
     pub use kairos_core::{
-        InferenceService, KairosController, KairosPlanner, KairosScheduler, MultiServingOutcome,
-        ServingOptions, ServingSystem, ThroughputEstimator,
+        InferenceService, KairosController, KairosPlanner, KairosScheduler, MarketState,
+        MultiServingOutcome, ServingOptions, ServingSystem, ThroughputEstimator,
     };
     pub use kairos_models::{
-        calibration::paper_calibration, ec2, Config, LatencyTable, ModelKind, PoolSpec,
+        calibration::paper_calibration, ec2, Config, ConstantMarket, LatencyTable, Market,
+        MarketEvent, ModelKind, Offering, OfferingCatalog, PoolSpec, PreemptionProcess, PriceTrace,
+        PurchaseOption, TraceMarket,
     };
     pub use kairos_sim::{
         allowable_throughput, allowable_throughput_many, run_trace, CapacityOptions, ClusterAction,
