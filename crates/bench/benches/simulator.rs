@@ -7,10 +7,10 @@ use kairos_baselines::ClockworkScheduler;
 use kairos_bench::{scheduler_factory, SchedulerKind};
 use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
 use kairos_sim::{
-    allowable_throughput, run_trace, run_trace_naive, CapacityOptions, CapacityProber,
-    FcfsScheduler, Scheduler, ServiceSpec, SimulationOptions,
+    allowable_throughput, run_trace, run_trace_naive, CapacityOptions, CapacityProber, ClusterSpec,
+    FcfsScheduler, Scheduler, ServiceSpec, ShardedEngine, SimulationOptions,
 };
-use kairos_workload::TraceSpec;
+use kairos_workload::{BatchSizeDistribution, MixSpec, MixedTraceSpec, TraceSpec};
 use std::hint::black_box;
 
 fn bench_trace_replay(c: &mut Criterion) {
@@ -151,6 +151,65 @@ fn bench_engine_vs_naive_50k(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sharded vs combined multi-model replay on a three-model 2.4 kQPS trace:
+/// the regression gate for the sharded engine's per-lane fan-out.  The
+/// sharded pass must stay within budget (and the per-run report carries
+/// `events_processed` / `events_per_sec` as first-class metrics, asserted
+/// non-zero here so the counter itself is gated too).
+fn bench_sharded_replay(c: &mut Criterion) {
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let services: Vec<ServiceSpec> = [ModelKind::Ncf, ModelKind::Wnd, ModelKind::MtWnd]
+        .iter()
+        .map(|&k| ServiceSpec::new(k, latency.clone()))
+        .collect();
+    let svc_refs: Vec<&ServiceSpec> = services.iter().collect();
+    let spec = ClusterSpec::from_configs(vec![
+        Config::new(vec![4, 0, 2, 0]),
+        Config::new(vec![6, 0, 4, 0]),
+        Config::new(vec![6, 0, 4, 0]),
+    ]);
+    let mix = MixSpec::from_shares(
+        &[0.5, 0.3, 0.2],
+        &[
+            BatchSizeDistribution::Fixed(8),
+            BatchSizeDistribution::Fixed(8),
+            BatchSizeDistribution::Fixed(8),
+        ],
+    );
+    let trace = MixedTraceSpec::poisson(2_400.0, mix, 20.0, 17).generate();
+    let opts = SimulationOptions::default();
+
+    let mut group = c.benchmark_group("sharded_replay_multimodel");
+    group.sample_size(10);
+    group.bench_function("fcfs_single_engine", |b| {
+        b.iter(|| {
+            let mut scheduler = FcfsScheduler::new();
+            black_box(
+                kairos_sim::SimEngine::new_multi(
+                    &pool,
+                    &spec,
+                    &svc_refs,
+                    &trace,
+                    &mut scheduler,
+                    &opts,
+                )
+                .run(),
+            )
+        })
+    });
+    group.bench_function("fcfs_sharded_engine", |b| {
+        let sharded = ShardedEngine::new(&pool, &spec, &svc_refs, &opts);
+        b.iter(|| {
+            let report = sharded.run(&trace, |_| Box::new(FcfsScheduler::new()));
+            assert!(report.events_processed > 0);
+            assert!(report.events_per_sec(1.0) > 0.0);
+            black_box(report)
+        })
+    });
+    group.finish();
+}
+
 fn capacity_options(early_exit: bool) -> CapacityOptions {
     CapacityOptions {
         duration_s: 1.0,
@@ -256,6 +315,7 @@ criterion_group!(
     benches,
     bench_trace_replay,
     bench_engine_vs_naive_50k,
+    bench_sharded_replay,
     bench_rank_configs_sweep,
     bench_allowable_throughput_probe
 );

@@ -1,0 +1,99 @@
+//! The experiment-fleet driver.
+//!
+//! ```text
+//! fleet figures [ids...]   regenerate the BENCH_*.json figures
+//!                          (default: fig12_shift fig_multimodel fig_spot fig_scale)
+//! fleet matrix [out_dir]   run the default 24-scenario sweep (default: fleet-results/)
+//! fleet smoke  [out_dir]   run the 4-scenario CI sweep (default: target/fleet-smoke/)
+//! ```
+//!
+//! Figures run through `kairos_bench::figures` — the exact code the
+//! `figures` bench target executes — so one fleet invocation regenerates
+//! every checked-in `BENCH_*.json` bit-for-bit.  Matrix sweeps fan their
+//! scenarios out over rayon workers and write one JSON result file per
+//! scenario.  `KAIROS_FIG_FAST=1` shrinks the figures for CI.
+
+use kairos_bench::figures;
+use kairos_bench::fleet::{run_matrix, ScenarioMatrix};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const FIGURE_IDS: [&str; 4] = ["fig12_shift", "fig_multimodel", "fig_spot", "fig_scale"];
+
+fn run_figures(ids: &[String]) -> ExitCode {
+    let selected: Vec<&str> = if ids.is_empty() {
+        FIGURE_IDS.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+    for id in &selected {
+        match *id {
+            "fig12_shift" => figures::figure12_load_shift(),
+            "fig_multimodel" => figures::figure_multimodel(),
+            "fig_spot" => figures::figure_spot(),
+            "fig_scale" => figures::figure_scale(),
+            other => {
+                eprintln!("unknown figure {other}; known: {FIGURE_IDS:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_sweep(matrix: &ScenarioMatrix, out_dir: PathBuf) -> ExitCode {
+    println!(
+        "fleet: {} scenario(s) -> {}",
+        matrix.scenarios.len(),
+        out_dir.display()
+    );
+    let results = run_matrix(matrix, &out_dir);
+    println!(
+        "{:<28}{:>10}{:>14}{:>12}{:>14}",
+        "scenario", "offered", "violations %", "p99 (ms)", "events/sec"
+    );
+    for r in &results {
+        println!(
+            "{:<28}{:>10}{:>14.2}{:>12.2}{:>14.0}",
+            r.name,
+            r.offered,
+            r.violation_fraction * 100.0,
+            r.p99_us as f64 / 1000.0,
+            r.events_per_sec
+        );
+    }
+    println!(
+        "--> {} result file(s) in {}",
+        results.len(),
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    // Large-scale replays (fig_scale) re-fault the same gigabytes every pass
+    // without this; see the harness doc.
+    kairos_bench::tune_allocator_for_replay();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("figures") => run_figures(&args[1..]),
+        Some("matrix") => {
+            let out = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("fleet-results"));
+            run_sweep(&ScenarioMatrix::default_sweep(), out)
+        }
+        Some("smoke") => {
+            let out = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("target/fleet-smoke"));
+            run_sweep(&ScenarioMatrix::smoke(), out)
+        }
+        _ => {
+            eprintln!("usage: fleet <figures [ids...] | matrix [out_dir] | smoke [out_dir]>");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The experiment fleet: a scenario matrix swept in parallel.
+//!
+//! A [`Scenario`] is one fully-specified simulator experiment — a trace
+//! (model, rate, duration, seed), a planned deployment under a budget, and
+//! a query-distribution policy.  A [`ScenarioMatrix`] is the cartesian
+//! product of those axes; [`run_matrix`] fans the scenarios out over rayon
+//! workers (each scenario is an independent sequential simulation) and
+//! writes **one JSON result file per scenario** into a results directory,
+//! so a whole evaluation sweep regenerates from a single invocation of the
+//! `fleet` binary:
+//!
+//! ```text
+//! cargo run --release -p kairos-bench --bin fleet -- matrix results/
+//! cargo run --release -p kairos-bench --bin fleet -- figures   # BENCH_*.json
+//! cargo run --release -p kairos-bench --bin fleet -- smoke     # 4-scenario CI sweep
+//! ```
+//!
+//! Figure regeneration goes through [`crate::figures`] — the same code the
+//! `figures` bench target runs — so a fleet invocation reproduces the
+//! checked-in `BENCH_*.json` files bit-for-bit.
+
+use crate::harness::{scheduler_factory, SchedulerKind};
+use kairos_core::{ServingOptions, ServingSystem};
+use kairos_models::{calibration::paper_calibration, ec2, ModelKind, PoolSpec};
+use kairos_sim::{run_trace, ServiceSpec, SimulationOptions};
+use kairos_workload::{BatchSizeDistribution, TraceSpec};
+use rayon::prelude::*;
+use std::path::Path;
+
+/// One fully-specified experiment of the fleet.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Result-file stem, unique within the matrix.
+    pub name: String,
+    /// The served model.
+    pub model: ModelKind,
+    /// Offered Poisson rate of the trace, in QPS.
+    pub rate_qps: f64,
+    /// Trace duration in virtual seconds.
+    pub duration_s: f64,
+    /// Trace RNG seed.
+    pub seed: u64,
+    /// Query-distribution policy replayed against the plan.
+    pub scheduler: SchedulerKind,
+    /// Hourly budget the deployment is planned under.
+    pub budget_per_hour: f64,
+}
+
+impl Scenario {
+    /// A compact `model-rate-policy-seed` stem for the result file.
+    fn stem(model: ModelKind, rate_qps: f64, scheduler: SchedulerKind, seed: u64) -> String {
+        let policy = match scheduler {
+            SchedulerKind::Kairos => "kairos",
+            SchedulerKind::KairosColdStart => "kairos-cold",
+            SchedulerKind::Ribbon => "ribbon",
+            SchedulerKind::Drs(_) => "drs",
+            SchedulerKind::Clockwork => "clockwork",
+            SchedulerKind::Fcfs => "fcfs",
+        };
+        format!("{model}-{rate_qps:.0}qps-{policy}-s{seed}")
+    }
+}
+
+/// The sweep: every scenario the fleet will run.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// Scenarios in declaration order (results keep this order).
+    pub scenarios: Vec<Scenario>,
+}
+
+impl ScenarioMatrix {
+    /// The cartesian product of `(model, rate) x policy x seed` tuples, each
+    /// at the given duration and budget.
+    pub fn cartesian(
+        models: &[ModelKind],
+        rates: &[f64],
+        policies: &[SchedulerKind],
+        seeds: &[u64],
+        duration_s: f64,
+        budget_per_hour: f64,
+    ) -> Self {
+        let mut scenarios = Vec::new();
+        for &model in models {
+            for &rate_qps in rates {
+                for &scheduler in policies {
+                    for &seed in seeds {
+                        scenarios.push(Scenario {
+                            name: Scenario::stem(model, rate_qps, scheduler, seed),
+                            model,
+                            rate_qps,
+                            duration_s,
+                            seed,
+                            scheduler,
+                            budget_per_hour,
+                        });
+                    }
+                }
+            }
+        }
+        Self { scenarios }
+    }
+
+    /// The default evaluation sweep: three models x two load levels x two
+    /// policies x two seeds (24 scenarios).
+    pub fn default_sweep() -> Self {
+        Self::cartesian(
+            &[ModelKind::Ncf, ModelKind::Wnd, ModelKind::Rm2],
+            &[60.0, 120.0],
+            &[SchedulerKind::Kairos, SchedulerKind::Fcfs],
+            &[7, 8],
+            4.0,
+            2.5,
+        )
+    }
+
+    /// The CI smoke sweep: 2 models x 2 policies, one rate, one seed — four
+    /// scenarios, each about a second of virtual time.
+    pub fn smoke() -> Self {
+        Self::cartesian(
+            &[ModelKind::Ncf, ModelKind::Rm2],
+            &[60.0],
+            &[SchedulerKind::Kairos, SchedulerKind::Fcfs],
+            &[7],
+            1.0,
+            2.5,
+        )
+    }
+}
+
+/// The measured outcome of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario's result-file stem.
+    pub name: String,
+    /// Name of the scheduler that actually ran.
+    pub scheduler: String,
+    /// Queries offered / completed before the horizon.
+    pub offered: usize,
+    /// Queries completed before the horizon.
+    pub completed: usize,
+    /// Fraction of offered queries violating the model's QoS.
+    pub violation_fraction: f64,
+    /// 99th-percentile completion latency, microseconds.
+    pub p99_us: u64,
+    /// Engine events processed by the run.
+    pub events: u64,
+    /// Engine events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Wall-clock seconds the simulation took.
+    pub wall_s: f64,
+    /// Dollars billed over the run.
+    pub billed_dollars: f64,
+}
+
+impl ScenarioResult {
+    /// The flat-JSON line written to the scenario's result file (the same
+    /// hand-formatted idiom as the BENCH_*.json figures).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"fleet/{}\",\"scheduler\":\"{}\",\"offered\":{},\
+             \"completed\":{},\"violation_fraction\":{:.4},\"p99_us\":{},\
+             \"events\":{},\"events_per_sec\":{:.0},\"wall_s\":{:.3},\
+             \"billed_dollars\":{:.4}}}",
+            self.name,
+            self.scheduler,
+            self.offered,
+            self.completed,
+            self.violation_fraction,
+            self.p99_us,
+            self.events,
+            self.events_per_sec,
+            self.wall_s,
+            self.billed_dollars
+        )
+    }
+}
+
+/// Runs one scenario: plan a deployment for the offered rate under the
+/// budget (priors-seeded planner, warm monitor), then replay the trace
+/// against it under the scenario's policy.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let mut system = ServingSystem::new(
+        pool.clone(),
+        scenario.model,
+        Some(latency.clone()),
+        ServingOptions::default().budget(scenario.budget_per_hour),
+    );
+    system.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
+    let config = system
+        .plan_for_demand(scenario.rate_qps)
+        .expect("priors allow planning");
+    let trace =
+        TraceSpec::production(scenario.rate_qps, scenario.duration_s, scenario.seed).generate();
+    let service = ServiceSpec::new(scenario.model, latency.clone());
+    let mut scheduler = scheduler_factory(scenario.scheduler, scenario.model, &latency);
+    let started = std::time::Instant::now();
+    let report = run_trace(
+        &pool,
+        &config,
+        &service,
+        &trace,
+        scheduler.as_mut(),
+        &SimulationOptions::default(),
+    );
+    let wall_s = started.elapsed().as_secs_f64();
+    ScenarioResult {
+        name: scenario.name.clone(),
+        scheduler: report.scheduler.clone(),
+        offered: report.offered,
+        completed: report.completed(),
+        violation_fraction: report.violation_fraction(),
+        p99_us: report.p99_latency_us(),
+        events: report.events_processed,
+        events_per_sec: report.events_per_sec(wall_s),
+        wall_s,
+        billed_dollars: report.billed_dollars,
+    }
+}
+
+/// Sweeps the matrix over rayon workers and writes `<out_dir>/<name>.json`
+/// per scenario.  Results come back in matrix order regardless of which
+/// worker finished first.
+///
+/// # Panics
+/// Panics if the results directory cannot be created or a result file
+/// cannot be written.
+pub fn run_matrix(matrix: &ScenarioMatrix, out_dir: &Path) -> Vec<ScenarioResult> {
+    std::fs::create_dir_all(out_dir)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", out_dir.display()));
+    let results: Vec<ScenarioResult> = matrix.scenarios.par_iter().map(run_scenario).collect();
+    for result in &results {
+        let path = out_dir.join(format!("{}.json", result.name));
+        std::fs::write(&path, result.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_matrix_covers_every_tuple_with_unique_names() {
+        let matrix = ScenarioMatrix::cartesian(
+            &[ModelKind::Ncf, ModelKind::Wnd],
+            &[50.0, 100.0],
+            &[SchedulerKind::Fcfs, SchedulerKind::Kairos],
+            &[1, 2, 3],
+            2.0,
+            2.5,
+        );
+        assert_eq!(matrix.scenarios.len(), 2 * 2 * 2 * 3);
+        let mut names: Vec<&str> = matrix.scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), matrix.scenarios.len(), "names must be unique");
+    }
+
+    #[test]
+    fn smoke_matrix_is_four_small_scenarios() {
+        let matrix = ScenarioMatrix::smoke();
+        assert_eq!(matrix.scenarios.len(), 4);
+        assert!(matrix.scenarios.iter().all(|s| s.duration_s <= 1.0));
+    }
+
+    #[test]
+    fn a_scenario_runs_and_serializes_to_flat_json() {
+        let scenario = &ScenarioMatrix::smoke().scenarios[0];
+        let result = run_scenario(scenario);
+        assert!(result.offered > 0);
+        assert_eq!(result.name, scenario.name);
+        assert!(result.events > 0);
+        let json = result.to_json();
+        assert!(json.starts_with("{\"name\":\"fleet/"));
+        assert!(json.contains("\"events_per_sec\":"));
+    }
+
+    #[test]
+    fn run_matrix_writes_one_result_file_per_scenario() {
+        let dir = std::env::temp_dir().join("kairos-fleet-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let matrix = ScenarioMatrix::cartesian(
+            &[ModelKind::Ncf],
+            &[60.0],
+            &[SchedulerKind::Fcfs],
+            &[7, 8],
+            1.0,
+            2.5,
+        );
+        let results = run_matrix(&matrix, &dir);
+        assert_eq!(results.len(), 2);
+        for result in &results {
+            let path = dir.join(format!("{}.json", result.name));
+            let text = std::fs::read_to_string(&path).expect("result file written");
+            assert_eq!(text, result.to_json() + "\n");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -38,11 +38,14 @@
 //!   the instances bound to that model; the engine enforces the binding.
 
 use crate::distribution::KairosScheduler;
+use crate::serving::ServingOutcome;
 use crate::serving::{
     estimate_rate_qps, reconcile_model, MarketState, ReconfigEvent, ReplanTrigger, ServingOptions,
     ServingSystem,
 };
-use kairos_models::{latency::LatencyTable, mlmodel::ModelKind, Market, OfferingCatalog, PoolSpec};
+use kairos_models::{
+    latency::LatencyTable, mlmodel::ModelKind, Config, Market, OfferingCatalog, PoolSpec,
+};
 use kairos_sim::{
     ClusterSpec, Dispatch, EngineEvent, InstanceView, ModelReport, Scheduler, SchedulingContext,
     ServiceSpec, SimEngine, SimReport, SimulationOptions,
@@ -50,6 +53,7 @@ use kairos_sim::{
 use kairos_workload::{MixSpec, ModelId, Query, TimeUs, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -650,6 +654,158 @@ impl InferenceService {
             last_budget_split,
         }
     }
+
+    /// The scale-out sibling of [`Self::run`]: shards the trace by model
+    /// lane and runs every lane's full controller-in-the-loop serving
+    /// simulation (its own engine, controller, plan cache, replanning) on
+    /// its own rayon worker, then merges the per-lane outcomes through
+    /// [`SimReport::merge`].  The global budget is split **once**, up
+    /// front, from each lane's offered load over the whole trace, and
+    /// frozen into the lane's engine room ([`ServingSystem::set_budget`])
+    /// before the fan-out.
+    ///
+    /// This is deliberately *not* bit-equal to [`Self::run`]: the combined
+    /// loop re-splits the budget at every replan from live demand and
+    /// attributes the shared backlog across lanes, coupling the lanes
+    /// through the one global event stream.  Sharding trades that coupling
+    /// away for lane parallelism — each lane replans against its own
+    /// traffic under its frozen budget share — which is the right trade
+    /// exactly when the trace is long and stationary enough that the
+    /// demand-weighted split would not move anyway.  The result is still
+    /// deterministic for a given input and identical at every thread count
+    /// (each lane is a sequential simulation; the merge is canonical).
+    ///
+    /// # Panics
+    /// Panics if a market is attached (market events are global and couple
+    /// every lane's prices and kill schedule — serve those through
+    /// [`Self::run`]), if `services` does not cover every lane, if the
+    /// trace targets an unserved model, or if `initial` lacks a lane's
+    /// sub-cluster.
+    pub fn run_sharded(
+        &mut self,
+        initial: &ClusterSpec,
+        services: &[ServiceSpec],
+        trace: &Trace,
+    ) -> MultiServingOutcome {
+        let n = self.lanes.len();
+        assert!(
+            self.market.is_none(),
+            "sharded serving does not support markets: price steps and preemptions are global \
+             events that couple every lane; use InferenceService::run"
+        );
+        assert_eq!(services.len(), n, "one service spec per model");
+        for (i, (lane, service)) in self.lanes.iter().zip(services).enumerate() {
+            assert_eq!(
+                lane.kind, service.model.kind,
+                "service spec {i} does not match lane model"
+            );
+        }
+        let subs = trace.split_by_model(n);
+        let demands: Vec<f64> = subs.iter().map(|s| s.offered_qps()).collect();
+        let budgets = self.split_budget(&demands);
+        let configs: Vec<Config> = (0..n)
+            .map(|m| {
+                initial
+                    .pools
+                    .iter()
+                    .find(|p| p.model.index() == m)
+                    .unwrap_or_else(|| panic!("initial spec has no sub-cluster for model {m}"))
+                    .config
+                    .clone()
+            })
+            .collect();
+
+        struct LaneJob<'j> {
+            system: &'j mut ServingSystem,
+            service: &'j ServiceSpec,
+            config: Config,
+            budget: f64,
+            sub: Trace,
+        }
+        let mut jobs: Vec<LaneJob<'_>> = self
+            .lanes
+            .iter_mut()
+            .zip(subs)
+            .zip(configs.iter().zip(services).zip(&budgets))
+            .map(|((lane, sub), ((config, service), &budget))| LaneJob {
+                system: &mut lane.system,
+                service,
+                config: config.clone(),
+                budget,
+                // Each lane replays as a single-model run: retag its
+                // queries to the default id (ids/arrivals untouched).
+                sub: Trace::from_queries(
+                    sub.queries
+                        .iter()
+                        .map(|q| Query::new(q.id, q.batch_size, q.arrival_us))
+                        .collect(),
+                ),
+            })
+            .collect();
+
+        let outcomes: Vec<ServingOutcome> = jobs
+            .par_iter_mut()
+            .map(|job| {
+                job.system.set_budget(job.budget);
+                job.system.run(&job.config, job.service, &job.sub)
+            })
+            .collect();
+
+        // Lift each lane's single-model outcome into the combined
+        // coordinate space: model ids retagged, instance indices offset by
+        // the lanes before it (a lane's index space is its initial size
+        // grown by any instances added while serving).
+        let mut merged: Option<SimReport> = None;
+        let mut reconfigs: Vec<ReconfigEvent> = Vec::new();
+        let mut replans = 0usize;
+        let mut final_configs = Vec::with_capacity(n);
+        let mut offset = 0usize;
+        for (m, outcome) in outcomes.into_iter().enumerate() {
+            let model = ModelId::new(m);
+            let mut report = outcome.report;
+            let mut lane_size = configs[m].total_instances();
+            for r in &mut report.records {
+                lane_size = lane_size.max(r.instance_index + 1);
+                r.instance_index += offset;
+                r.model = model;
+            }
+            for u in &mut report.unfinished {
+                u.model = model;
+            }
+            report.qos_us = services[0].qos_us();
+            report.qos_by_model = services.iter().map(|s| s.qos_us()).collect();
+            let lane_billed: f64 = report.billed_by_model.iter().fold(0.0, |acc, &b| acc + b);
+            let mut billed_by_model = vec![0.0; n];
+            billed_by_model[m] = lane_billed;
+            report.billed_by_model = billed_by_model;
+            report.billed_dollars = lane_billed;
+            merged = Some(match merged {
+                None => report,
+                Some(acc) => acc.merge(report),
+            });
+            for mut event in outcome.reconfigs {
+                event.model = model;
+                for idx in &mut event.retired_instances {
+                    lane_size = lane_size.max(*idx + 1);
+                    *idx += offset;
+                }
+                reconfigs.push(event);
+            }
+            replans += outcome.replans;
+            final_configs.push(outcome.final_active);
+            offset += lane_size;
+        }
+        reconfigs.sort_by_key(|e| (e.at_us, e.model.index()));
+
+        MultiServingOutcome {
+            report: merged.expect("a facade serves at least one model"),
+            initial: initial.clone(),
+            final_active: ClusterSpec::from_configs(final_configs),
+            reconfigs,
+            replans,
+            last_budget_split: budgets,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -837,5 +993,92 @@ mod tests {
             "cadence is disabled: {:?}",
             outcome.reconfigs
         );
+    }
+
+    #[test]
+    fn sharded_serving_runs_every_lane_and_accounts_like_the_combined_facade() {
+        let options = ServingOptions::default()
+            .budget(6.0)
+            .replan_every(500_000)
+            .provisioning_delay(200_000);
+        let mut s = service(options);
+        s.warm_monitors(&mix(), 3000, 7);
+        let spec = s.plan_initial(&[60.0, 45.0, 45.0]).unwrap();
+        let services = s.service_specs(&paper_calibration());
+        let trace = MixedTraceSpec {
+            arrival: ArrivalProcess::Poisson { rate_qps: 150.0 },
+            mix: mix(),
+            duration_s: 4.0,
+            seed: 31,
+        }
+        .generate();
+        let offered = trace.len();
+        let outcome = s.run_sharded(&spec, &services, &trace);
+        // Conservation and per-model accounting hold exactly, as in run().
+        assert_eq!(outcome.report.offered, offered);
+        assert_eq!(
+            outcome.report.completed() + outcome.report.unfinished.len(),
+            offered
+        );
+        let per = outcome.per_model();
+        assert_eq!(per.len(), 3);
+        assert!(per.iter().all(|m| m.offered > 0));
+        assert_eq!(
+            per.iter().map(|m| m.offered).sum::<usize>(),
+            outcome.report.offered
+        );
+        // Each lane's records were lifted back into the combined model ids
+        // and QoS table.
+        assert_eq!(outcome.report.qos_for(ModelId::new(0)), 5_000);
+        assert_eq!(outcome.report.qos_for(ModelId::new(1)), 350_000);
+        assert_eq!(outcome.report.qos_for(ModelId::new(2)), 25_000);
+        // The frozen split covers every lane within the global budget.
+        assert_eq!(outcome.last_budget_split.len(), 3);
+        assert!(outcome.last_budget_split.iter().sum::<f64>() <= 6.0 + 1e-9);
+        assert_eq!(outcome.final_active.pools.len(), 3);
+        // Billing was lifted into per-model slots whose fold is the total.
+        assert_eq!(outcome.report.billed_by_model.len(), 3);
+        assert!(outcome.report.billed_dollars > 0.0);
+        // Deterministic: a fresh facade re-running the same inputs under a
+        // different worker count reproduces the report bit-for-bit.
+        let mut again = service(options);
+        again.warm_monitors(&mix(), 3000, 7);
+        let workers = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let outcome2 = workers.install(|| again.run_sharded(&spec, &services, &trace));
+        assert_eq!(outcome.report.records, outcome2.report.records);
+        assert_eq!(outcome.report.unfinished, outcome2.report.unfinished);
+        assert_eq!(
+            outcome.report.billed_dollars.to_bits(),
+            outcome2.report.billed_dollars.to_bits()
+        );
+        assert_eq!(outcome.replans, outcome2.replans);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support markets")]
+    fn sharded_serving_rejects_markets() {
+        use kairos_models::market::ConstantMarket;
+        let catalog = OfferingCatalog::on_demand(&pool());
+        let market = Arc::new(ConstantMarket::from_pool(&pool()));
+        let mut s = InferenceService::with_market(
+            catalog,
+            market,
+            &three_models(),
+            Some(paper_calibration()),
+            ServingOptions::default().budget(6.0),
+        );
+        let services = s.service_specs(&paper_calibration());
+        let spec = s.plan_initial(&[10.0, 10.0, 10.0]).unwrap();
+        let trace = MixedTraceSpec {
+            arrival: ArrivalProcess::Poisson { rate_qps: 30.0 },
+            mix: mix(),
+            duration_s: 1.0,
+            seed: 1,
+        }
+        .generate();
+        s.run_sharded(&spec, &services, &trace);
     }
 }

@@ -442,6 +442,13 @@ impl ServingSystem {
         &self.options
     }
 
+    /// Overrides the hourly budget cap for every subsequent plan.  The
+    /// sharded multi-model path uses this to freeze a shared-budget split
+    /// into each lane's own system before fanning the lanes out to workers.
+    pub fn set_budget(&mut self, budget_per_hour: f64) {
+        self.options.budget_per_hour = budget_per_hour;
+    }
+
     /// Picks the cheapest configuration (within the budget cap) whose
     /// throughput upper bound covers `demand_qps × demand_headroom`, from
     /// the controller's current knowledge.  Falls back to the planner's

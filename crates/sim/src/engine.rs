@@ -204,6 +204,25 @@ impl PartialOrd for Event {
     }
 }
 
+/// The seed of model `m`'s service-time noise RNG stream, split
+/// deterministically from the run seed.  Model 0 keeps the run seed
+/// verbatim — every single-model artifact (and the primary lane of a
+/// multi-model run) stays bit-identical to the pre-sharding engine — and
+/// higher models get splitmix64-style mixed streams so per-lane shards and
+/// the combined engine draw identical noise sequences per lane.
+pub fn model_stream_seed(seed: u64, model: usize) -> u64 {
+    if model == 0 {
+        return seed;
+    }
+    // splitmix64 finalizer over the (seed, model) pair.
+    let mut z = seed
+        .wrapping_add((model as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Nominal (noise-free) service time of a batch in rounded microseconds —
 /// the unit of the incremental `free_at_us` accounting.  One quantization
 /// for both engine paths: the table-lookup form delegates to the
@@ -291,7 +310,11 @@ pub struct SimEngine<'a> {
     services: Vec<&'a ServiceSpec>,
     scheduler: &'a mut dyn Scheduler,
     cluster: Cluster,
-    rng: StdRng,
+    /// Per-model service-time noise RNG streams, indexed by [`ModelId`] and
+    /// split deterministically from the seed (see [`model_stream_seed`]):
+    /// model `m` draws only from stream `m`, so a per-model-lane shard
+    /// replays exactly the draws the combined run spends on that lane.
+    rngs: Vec<StdRng>,
     /// Per-`(model, type)` latency profiles, resolved once and flattened as
     /// `model × num_types + type`, so the hot path never hashes a type or
     /// model name.
@@ -355,8 +378,17 @@ pub struct SimEngine<'a> {
     /// Per-instance billing start (the moment the instance was requested).
     /// `u64::MAX` marks an instance whose bill has been settled.
     billed_start_us: Vec<TimeUs>,
-    /// Dollars settled so far for terminally departed instances.
-    billed_dollars: f64,
+    /// Dollars settled so far, as per-model partial sums indexed by
+    /// [`ModelId`] (each instance's bill lands in its model's slot, in
+    /// settlement order).  The report's total is the left fold of these
+    /// partials — bit-identical to the old flat accumulator for
+    /// single-model runs, and the representation that makes shard merges
+    /// reproduce the combined total exactly (disjoint slots add exact
+    /// zeros).
+    billed_by_model: Vec<f64>,
+    /// Events processed so far (arrivals, completions, readies, market
+    /// steps, kills; cancelled completions are skipped, not counted).
+    events_processed: u64,
     preemption_notices: usize,
     preempted_instances: usize,
     requeued_queries: usize,
@@ -469,11 +501,15 @@ impl<'a> SimEngine<'a> {
         let local_nominal_us = vec![0; cluster.len()];
         let billed_start_us = vec![0; cluster.len()];
         let offered = arrivals.len();
+        let rngs = (0..services.len())
+            .map(|m| StdRng::seed_from_u64(model_stream_seed(options.seed, m)))
+            .collect();
+        let billed_by_model = vec![0.0; services.len()];
         Self {
             services,
             scheduler,
             cluster,
-            rng: StdRng::seed_from_u64(options.seed),
+            rngs,
             profiles,
             num_types,
             arrivals,
@@ -482,7 +518,10 @@ impl<'a> SimEngine<'a> {
             seq: offered as u64,
             central_queue: Vec::new(),
             queue_head: 0,
-            records: Vec::new(),
+            // Every completion lands here; reserving the offered count once
+            // avoids growth-doubling's transient 2x peak (and its fresh-page
+            // copies) on multi-gigabyte replays.
+            records: Vec::with_capacity(offered),
             views,
             local_nominal_us,
             local_queued: 0,
@@ -502,7 +541,8 @@ impl<'a> SimEngine<'a> {
             market: None,
             market_events: Vec::new(),
             billed_start_us,
-            billed_dollars: 0.0,
+            billed_by_model,
+            events_processed: 0,
             preemption_notices: 0,
             preempted_instances: 0,
             requeued_queries: 0,
@@ -603,8 +643,20 @@ impl<'a> SimEngine<'a> {
     /// *without* any full-cluster sweep.  Views of retired instances are not
     /// refreshed (their `free_at_us` may be stale; policies never read
     /// them).  Test API for the hot-path invariants.
+    ///
+    /// The hot path leaves free-list views carrying the time they went idle
+    /// (policies only read them through `<= now` predicates and saturating
+    /// subtraction, so the value is unobservable); this accessor clamps
+    /// them to `now` so the oracle comparison against
+    /// [`Self::recompute_views`] stays bit-for-bit.
     pub fn scheduler_views(&mut self) -> (&[InstanceView], &[u32]) {
         self.prepare_round();
+        for &i in &self.idle_free {
+            self.views[i as usize].free_at_us = self.now;
+        }
+        self.idle_ctx.clear();
+        self.idle_ctx.extend_from_slice(&self.idle_free);
+        self.idle_ctx.extend_from_slice(&self.idle_pending);
         (&self.views, &self.idle_ctx)
     }
 
@@ -669,6 +721,7 @@ impl<'a> SimEngine<'a> {
                 TimedKind::Kill => break self.kill_instance(event.instance_index),
             }
         };
+        self.events_processed += 1;
         self.invoke_scheduler();
         Some(observed)
     }
@@ -779,8 +832,9 @@ impl<'a> SimEngine<'a> {
         if start == TimeUs::MAX {
             return;
         }
-        let type_index = self.cluster.instances()[instance_index].type_index;
-        self.billed_dollars += self.price_integral(type_index, start, end_us);
+        let inst = &self.cluster.instances()[instance_index];
+        let (type_index, model) = (inst.type_index, inst.model);
+        self.billed_by_model[model.index()] += self.price_integral(type_index, start, end_us);
         self.billed_start_us[instance_index] = TimeUs::MAX;
     }
 
@@ -1007,15 +1061,33 @@ impl<'a> SimEngine<'a> {
         for index in 0..self.cluster.len() {
             self.settle_bill(index, horizon_us);
         }
+        // Multi-model reports are finalized in the canonical total order
+        // (completion key for records, arrival key for unfinished) so that
+        // a [`SimReport::merge`] of per-model-lane shards reproduces the
+        // combined run's sequences bit-for-bit: completions are pushed in
+        // clock order, so only same-microsecond ties across lanes are
+        // permuted, and every aggregate is permutation-invariant.  The
+        // single-model paths keep their historical processing order.
+        let mut records = self.records;
+        if self.services.len() > 1 {
+            records.sort_unstable_by_key(SimReport::record_key);
+            unfinished.sort_unstable_by_key(SimReport::unfinished_key);
+        }
+        // The billed total is the left fold of the per-model partials —
+        // `0.0 + p0` for single-model runs, i.e. the old flat accumulator
+        // bit-for-bit.
+        let billed_dollars = self.billed_by_model.iter().fold(0.0, |acc, &b| acc + b);
         SimReport {
             scheduler: self.scheduler.name().to_string(),
-            records: self.records,
+            records,
             unfinished,
             offered: self.offered,
             horizon_us,
             qos_us: self.qos_us,
             qos_by_model: self.qos_by_model,
-            billed_dollars: self.billed_dollars,
+            billed_dollars,
+            billed_by_model: self.billed_by_model,
+            events_processed: self.events_processed,
             preemption_notices: self.preemption_notices,
             preempted_instances: self.preempted_instances,
             requeued_queries: self.requeued_queries,
@@ -1039,7 +1111,7 @@ impl<'a> SimEngine<'a> {
             let service_us = self.services[inst.model.index()].service_time_us_from_profile(
                 profile,
                 query.batch_size,
-                &mut self.rng,
+                &mut self.rngs[inst.model.index()],
             );
             let start_us = self.now.max(inst.available_from_us);
             inst.serving = Some((query, start_us));
@@ -1098,10 +1170,13 @@ impl<'a> SimEngine<'a> {
         self.idle_pending.insert(pos, instance_index);
     }
 
-    /// Brings the incremental views and idle index up to the current clock:
-    /// pending instances whose provisioning boundary has passed migrate to
-    /// the free list, and the free list's `free_at_us` is clamped to `now`.
-    /// O(idle instances); busy instances were updated when they changed.
+    /// Brings the idle index up to the current clock: pending instances
+    /// whose provisioning boundary has passed migrate to the free list.
+    /// O(migrations) in the common all-provisioned case.  Free-list views
+    /// keep the `free_at_us` of the moment they went idle — always `<=
+    /// now`, so `is_idle`/`idle_now`/`remaining_us` read them correctly
+    /// without an O(idle) clamp sweep per round (the clamp that policies
+    /// could observe lives in [`SimEngine::scheduler_views`]).
     fn prepare_round(&mut self) {
         while let Some(&head) = self.idle_pending.first() {
             if self.cluster.instances()[head as usize].available_from_us > self.now {
@@ -1111,12 +1186,19 @@ impl<'a> SimEngine<'a> {
             let pos = self.idle_free.binary_search(&head).unwrap_err();
             self.idle_free.insert(pos, head);
         }
-        for &i in &self.idle_free {
-            self.views[i as usize].free_at_us = self.now;
+    }
+
+    /// The idle slice handed to the scheduler: the free list itself when
+    /// nothing is provisioning (no copy), otherwise the concatenation
+    /// `free ++ pending` staged in `idle_ctx`.
+    fn stage_idle_ctx(&mut self) -> bool {
+        if self.idle_pending.is_empty() {
+            return false;
         }
         self.idle_ctx.clear();
         self.idle_ctx.extend_from_slice(&self.idle_free);
         self.idle_ctx.extend_from_slice(&self.idle_pending);
+        true
     }
 
     /// Consults the scheduler and applies its dispatch decisions.
@@ -1126,14 +1208,20 @@ impl<'a> SimEngine<'a> {
             return;
         }
         self.prepare_round();
+        let staged = self.stage_idle_ctx();
         let mut plan = std::mem::take(&mut self.scratch_plan);
         plan.clear();
         {
+            let idle: &[u32] = if staged {
+                &self.idle_ctx
+            } else {
+                &self.idle_free
+            };
             let ctx = SchedulingContext {
                 now_us: self.now,
                 queued: &self.central_queue[self.queue_head..],
                 instances: &self.views,
-                idle: &self.idle_ctx,
+                idle,
                 qos_us: self.qos_us,
                 qos_by_model: &self.qos_by_model,
             };
@@ -1293,6 +1381,7 @@ pub fn run_trace_naive(
     let mut central_queue: Vec<Query> = Vec::new();
     let mut records: Vec<QueryRecord> = Vec::new();
     let mut last_event: TimeUs = 0;
+    let mut events_processed = 0u64;
 
     // Helper to start the next locally queued query on an idle instance.
     fn start_next(
@@ -1391,6 +1480,7 @@ pub fn run_trace_naive(
     while let Some(Reverse(event)) = heap.pop() {
         let now = event.time;
         last_event = last_event.max(now);
+        events_processed += 1;
         match event.kind {
             EventKind::Arrival(query) => {
                 central_queue.push(query);
@@ -1474,6 +1564,8 @@ pub fn run_trace_naive(
         qos_us,
         qos_by_model: vec![qos_us],
         billed_dollars: billed,
+        billed_by_model: vec![billed],
+        events_processed,
         preemption_notices: 0,
         preempted_instances: 0,
         requeued_queries: 0,

@@ -54,6 +54,7 @@ pub mod cluster;
 pub mod context;
 pub mod engine;
 pub mod scheduler;
+pub mod sharded;
 pub mod stats;
 
 pub use capacity::{
@@ -69,4 +70,5 @@ pub use engine::{
 pub use scheduler::{
     idle_order, Dispatch, FcfsScheduler, InstanceView, Scheduler, SchedulingContext,
 };
+pub use sharded::ShardedEngine;
 pub use stats::{ModelReport, QueryRecord, SimReport, UnfinishedQuery};

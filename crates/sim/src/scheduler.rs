@@ -21,8 +21,10 @@
 //!   override it; the default delegates to [`Scheduler::schedule`] so simple
 //!   or test policies only implement the allocating form.
 //! * [`SchedulingContext::idle`] is an engine-maintained index of the
-//!   dispatchable instances sorted by `(free_at_us, instance_index)`, so
-//!   idle-dispatch policies need not scan (or re-sort) every view.
+//!   dispatchable instances — the immediately usable ones in instance-index
+//!   order, then the still-provisioning ones by `(provisioning boundary,
+//!   instance_index)` — so idle-dispatch policies need not scan (or
+//!   re-sort) every view.
 //! * [`Scheduler::on_completion`] identifies the serving instance by its
 //!   *pool type index* and the served model by its [`ModelId`] index, not
 //!   strings, so completion-time learning needs no string hashing;
@@ -61,9 +63,13 @@ pub struct InstanceView {
     /// so well-behaved policies should skip non-accepting views.
     pub accepting: bool,
     /// Virtual time at which the instance will have drained its current query
-    /// and everything already sitting in its local queue.  Equal to `now` when
-    /// the instance is idle (or to its provisioning boundary when the
-    /// instance has not come online yet).
+    /// and everything already sitting in its local queue.  For an idle
+    /// instance this is the time it went idle — some value `<= now` (or its
+    /// provisioning boundary when the instance has not come online yet), so
+    /// read availability through [`Self::is_idle`] / [`Self::remaining_us`]
+    /// or clamp with `free_at_us.max(now_us)` rather than comparing raw idle
+    /// values (the engine's hot path deliberately skips re-stamping every
+    /// idle view to `now` each round).
     ///
     /// Only **accepting** views carry an exact value on the engine's hot
     /// path: views of retired instances are not refreshed (policies must not
@@ -97,10 +103,11 @@ pub struct SchedulingContext<'a> {
     /// View of every instance in the cluster.
     pub instances: &'a [InstanceView],
     /// Indices (into [`Self::instances`]) of the *dispatchable* backlog-free
-    /// instances — accepting, nothing serving, nothing queued locally —
-    /// sorted by `(free_at_us, instance_index)`.  Instances still
-    /// provisioning (`free_at_us > now_us`) sort after the immediately
-    /// usable ones; [`Self::idle_now`] yields just the usable prefix.
+    /// instances — accepting, nothing serving, nothing queued locally.  The
+    /// immediately usable ones (`free_at_us <= now_us`) come first in
+    /// instance-index order; instances still provisioning (`free_at_us >
+    /// now_us`) follow, sorted by `(provisioning boundary, instance
+    /// index)`.  [`Self::idle_now`] yields just the usable prefix.
     ///
     /// Maintained incrementally by the engine so policies that only dispatch
     /// to idle instances never scan the full view array.

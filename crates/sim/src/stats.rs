@@ -86,8 +86,25 @@ pub struct SimReport {
     /// is charged its offering's (possibly time-varying) price from the
     /// moment it was requested until it terminally left service (or the
     /// horizon, if still alive).  With constant prices this equals
-    /// `hourly cost × hours`, bit-for-bit per instance.
+    /// `hourly cost × hours`, bit-for-bit per instance.  Equal to the
+    /// left-fold sum of [`Self::billed_by_model`] when that table is
+    /// populated.
     pub billed_dollars: f64,
+    /// Per-model partial sums of [`Self::billed_dollars`], indexed by
+    /// [`ModelId`]: slot `m` accumulates the bills of model-`m`-bound
+    /// instances in settlement order.  Keeping the per-model partials (and
+    /// deriving the total as their left fold) is what makes billing
+    /// **order-independent across shards**: shards bill disjoint model
+    /// slots, so [`Self::merge`] adds exact zeros into every foreign slot
+    /// and the merged fold reproduces the single-engine total bit-for-bit.
+    /// May be empty on hand-built reports, in which case the whole bill is
+    /// attributed to the primary model.
+    pub billed_by_model: Vec<f64>,
+    /// Number of engine events processed to produce this report (arrivals,
+    /// completions, provisioning readies, market steps, preemption kills).
+    /// The numerator of the engine's events/sec scaling metric; shard
+    /// merges sum it.
+    pub events_processed: u64,
     /// Market preemption notices delivered during the run.
     pub preemption_notices: usize,
     /// Instances forcibly reclaimed by the market.
@@ -127,6 +144,82 @@ impl ModelReport {
         }
         self.violations as f64 / self.offered as f64
     }
+}
+
+/// Merges two record lists under a total key.  Engine-produced reports are
+/// already canonically sorted, so the common case is a linear two-way merge
+/// (the key is total, so the merged sequence is exactly what re-sorting the
+/// concatenation would produce); unsorted hand-built inputs fall back to
+/// concatenate-and-sort.  This keeps a fold over many large shard reports
+/// O(total) per step instead of re-sorting the accumulated prefix.
+fn merge_by_key<T, K: Ord>(mut left: Vec<T>, mut right: Vec<T>, key: fn(&T) -> K) -> Vec<T> {
+    let sorted = |v: &[T]| v.windows(2).all(|w| key(&w[0]) <= key(&w[1]));
+    if !sorted(&left) || !sorted(&right) {
+        left.append(&mut right);
+        left.sort_unstable_by_key(key);
+        return left;
+    }
+    if left.is_empty() {
+        return right;
+    }
+    if right.is_empty() || key(left.last().expect("non-empty")) <= key(&right[0]) {
+        left.append(&mut right);
+        return left;
+    }
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let mut l = left.into_iter().peekable();
+    let mut r = right.into_iter().peekable();
+    loop {
+        match (l.peek(), r.peek()) {
+            (Some(a), Some(b)) => {
+                if key(a) <= key(b) {
+                    out.push(l.next().expect("peeked"));
+                } else {
+                    out.push(r.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(l);
+                break;
+            }
+            (None, _) => {
+                out.extend(r);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// K-way linear merge of sorted runs under a total key: one output pass over
+/// the concatenation instead of the repeated prefix copies a pairwise fold
+/// pays.  Key ties break toward the earliest input, exactly as a left fold
+/// of [`merge_by_key`] orders them, so the output is bit-identical to the
+/// fold.  Callers guarantee every input is sorted (checked by
+/// [`SimReport::merge_many`], which falls back to the fold otherwise).
+fn kway_merge_by_key<T: Copy, K: Ord>(inputs: &[Vec<T>], key: fn(&T) -> K) -> Vec<T> {
+    let total = inputs.iter().map(Vec::len).sum();
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; inputs.len()];
+    // Cache each input's head key: popping advances exactly one cursor, so
+    // only that input's key needs re-deriving — the scan below compares
+    // cached keys instead of rebuilding k of them per output element.
+    let mut heads: Vec<Option<K>> = inputs.iter().map(|input| input.first().map(key)).collect();
+    while out.len() < total {
+        let mut best: Option<(usize, &K)> = None;
+        for (s, head) in heads.iter().enumerate() {
+            if let Some(k) = head {
+                if best.as_ref().is_none_or(|&(_, bk)| k < bk) {
+                    best = Some((s, k));
+                }
+            }
+        }
+        let (s, _) = best.expect("out.len() < total implies a live cursor");
+        out.push(inputs[s][cursors[s]]);
+        cursors[s] += 1;
+        heads[s] = inputs[s].get(cursors[s]).map(key);
+    }
+    out
 }
 
 /// Nearest-rank percentile over a **sorted** latency slice: the smallest
@@ -423,6 +516,223 @@ impl SimReport {
         }
         counts
     }
+
+    /// Engine events processed per wall-clock second: the scaling metric of
+    /// the sharded engine (`fig_scale`, `bench_gate`).  Wall time is a
+    /// measurement of the replay, not of the simulated system, so it lives
+    /// outside the report — passing it in keeps reports bit-identical
+    /// across thread counts.  Returns 0 for a non-positive wall time.
+    pub fn events_per_sec(&self, wall_seconds: f64) -> f64 {
+        if wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.events_processed as f64 / wall_seconds
+    }
+
+    /// The per-model billing table, falling back to attributing the whole
+    /// bill to the primary model when [`Self::billed_by_model`] was left
+    /// empty (hand-built reports).
+    fn billed_table(&self) -> Vec<f64> {
+        if self.billed_by_model.is_empty() {
+            vec![self.billed_dollars]
+        } else {
+            self.billed_by_model.clone()
+        }
+    }
+
+    /// The canonical total order [`Self::merge`] (and the multi-model
+    /// engine's report finalization) sorts completion records by.  Query
+    /// ids are unique within a run, so the key is total and the sorted
+    /// sequence is independent of shard order and thread count.
+    pub(crate) fn record_key(r: &QueryRecord) -> (TimeUs, TimeUs, u64) {
+        (r.completion_us, r.arrival_us, r.id)
+    }
+
+    /// The canonical total order for unfinished queries (see
+    /// [`Self::record_key`]).
+    pub(crate) fn unfinished_key(u: &UnfinishedQuery) -> (TimeUs, u64) {
+        (u.arrival_us, u.id)
+    }
+
+    /// Merges two shard reports into the report of the combined run.  The
+    /// merge is **commutative and associative** over any shard order —
+    /// every field either sums (counters), max-merges (horizons, QoS
+    /// tables), sorted-multiset-merges under a total key (records,
+    /// unfinished, scheduler names), or element-wise adds disjoint
+    /// per-model partials (billing) — so a fold over per-model-lane shard
+    /// reports is bit-identical regardless of thread count or fold shape.
+    /// This is the contract the sharded engine's proptests pin down.
+    ///
+    /// Billing associativity holds exactly when shards bill disjoint model
+    /// slots (the per-model-lane shard boundary guarantees it: adding an
+    /// exact `0.0` into a non-negative slot is the f64 identity); merging
+    /// hand-built reports that bill the *same* slot is still deterministic
+    /// per fold shape but subject to ordinary f64 rounding.
+    pub fn merge(mut self, mut other: SimReport) -> SimReport {
+        // Scheduler name: equal names collapse, different names become the
+        // sorted '+'-joined union of their parts.
+        let scheduler = if self.scheduler == other.scheduler {
+            std::mem::take(&mut self.scheduler)
+        } else {
+            let mut parts: Vec<&str> = self
+                .scheduler
+                .split('+')
+                .chain(other.scheduler.split('+'))
+                .collect();
+            parts.sort_unstable();
+            parts.dedup();
+            parts.join("+")
+        };
+
+        let records = merge_by_key(
+            std::mem::take(&mut self.records),
+            std::mem::take(&mut other.records),
+            Self::record_key,
+        );
+        let unfinished = merge_by_key(
+            std::mem::take(&mut self.unfinished),
+            std::mem::take(&mut other.unfinished),
+            Self::unfinished_key,
+        );
+
+        // Per-model QoS tables max-merge, extending to the longer table;
+        // per-model-lane shards carry identical full tables, so this is a
+        // no-op there.
+        let mut qos_by_model = std::mem::take(&mut self.qos_by_model);
+        if qos_by_model.len() < other.qos_by_model.len() {
+            qos_by_model.resize(other.qos_by_model.len(), 0);
+        }
+        for (slot, &q) in qos_by_model.iter_mut().zip(&other.qos_by_model) {
+            *slot = (*slot).max(q);
+        }
+
+        // Billing: element-wise sum of the per-model partials, total
+        // re-derived as their left fold.
+        let mut billed_by_model = self.billed_table();
+        let other_billed = other.billed_table();
+        if billed_by_model.len() < other_billed.len() {
+            billed_by_model.resize(other_billed.len(), 0.0);
+        }
+        for (slot, &b) in billed_by_model.iter_mut().zip(&other_billed) {
+            *slot += b;
+        }
+        let billed_dollars = billed_by_model.iter().fold(0.0, |acc, &b| acc + b);
+
+        SimReport {
+            scheduler,
+            records,
+            unfinished,
+            offered: self.offered + other.offered,
+            horizon_us: self.horizon_us.max(other.horizon_us),
+            qos_us: self.qos_us.max(other.qos_us),
+            qos_by_model,
+            billed_dollars,
+            billed_by_model,
+            events_processed: self.events_processed + other.events_processed,
+            preemption_notices: self.preemption_notices + other.preemption_notices,
+            preempted_instances: self.preempted_instances + other.preempted_instances,
+            requeued_queries: self.requeued_queries + other.requeued_queries,
+        }
+    }
+
+    /// Merges any number of shard reports in one pass, **bit-identical** to
+    /// the left fold `r0.merge(r1).merge(r2)…` over the same order.  The
+    /// fold re-walks the accumulated prefix at every step — O(shards ×
+    /// records) copies on large fleets — while this k-way merge writes each
+    /// record exactly once.  Billing partials accumulate in input order
+    /// (slot-wise, exactly as the fold adds them) and the total re-derives
+    /// as the final table's left fold, so f64 bit-identity is preserved.
+    /// Returns `None` on an empty iterator.  Inputs whose records or
+    /// unfinished lists are not canonically sorted fall back to the pairwise
+    /// fold (which sorts), keeping the equivalence unconditional.
+    pub fn merge_many(reports: impl IntoIterator<Item = SimReport>) -> Option<SimReport> {
+        let mut reports: Vec<SimReport> = reports.into_iter().collect();
+        if reports.len() < 2 {
+            return reports.pop();
+        }
+        let sorted = |r: &SimReport| {
+            r.records
+                .windows(2)
+                .all(|w| Self::record_key(&w[0]) <= Self::record_key(&w[1]))
+                && r.unfinished
+                    .windows(2)
+                    .all(|w| Self::unfinished_key(&w[0]) <= Self::unfinished_key(&w[1]))
+        };
+        if !reports.iter().all(sorted) {
+            let mut iter = reports.drain(..);
+            let first = iter.next().expect("len checked above");
+            return Some(iter.fold(first, SimReport::merge));
+        }
+
+        // Scheduler name: all-equal collapses, otherwise the sorted
+        // '+'-joined union of every report's parts (the fold's fixpoint).
+        let scheduler = if reports[1..]
+            .iter()
+            .all(|r| r.scheduler == reports[0].scheduler)
+        {
+            reports[0].scheduler.clone()
+        } else {
+            let mut parts: Vec<&str> = reports
+                .iter()
+                .flat_map(|r| r.scheduler.split('+'))
+                .collect();
+            parts.sort_unstable();
+            parts.dedup();
+            parts.join("+")
+        };
+
+        let record_runs: Vec<Vec<QueryRecord>> = reports
+            .iter_mut()
+            .map(|r| std::mem::take(&mut r.records))
+            .collect();
+        let unfinished_runs: Vec<Vec<UnfinishedQuery>> = reports
+            .iter_mut()
+            .map(|r| std::mem::take(&mut r.unfinished))
+            .collect();
+        let records = kway_merge_by_key(&record_runs, Self::record_key);
+        let unfinished = kway_merge_by_key(&unfinished_runs, Self::unfinished_key);
+
+        let mut qos_by_model: Vec<u64> = Vec::new();
+        let mut billed_by_model: Vec<f64> = reports[0].billed_table();
+        for (i, r) in reports.iter().enumerate() {
+            if qos_by_model.len() < r.qos_by_model.len() {
+                qos_by_model.resize(r.qos_by_model.len(), 0);
+            }
+            for (slot, &q) in qos_by_model.iter_mut().zip(&r.qos_by_model) {
+                *slot = (*slot).max(q);
+            }
+            if i > 0 {
+                let table = r.billed_table();
+                if billed_by_model.len() < table.len() {
+                    billed_by_model.resize(table.len(), 0.0);
+                }
+                for (slot, &b) in billed_by_model.iter_mut().zip(&table) {
+                    *slot += b;
+                }
+            }
+        }
+        let billed_dollars = billed_by_model.iter().fold(0.0, |acc, &b| acc + b);
+
+        Some(SimReport {
+            scheduler,
+            records,
+            unfinished,
+            offered: reports.iter().map(|r| r.offered).sum(),
+            horizon_us: reports
+                .iter()
+                .map(|r| r.horizon_us)
+                .max()
+                .expect("non-empty"),
+            qos_us: reports.iter().map(|r| r.qos_us).max().expect("non-empty"),
+            qos_by_model,
+            billed_dollars,
+            billed_by_model,
+            events_processed: reports.iter().map(|r| r.events_processed).sum(),
+            preemption_notices: reports.iter().map(|r| r.preemption_notices).sum(),
+            preempted_instances: reports.iter().map(|r| r.preempted_instances).sum(),
+            requeued_queries: reports.iter().map(|r| r.requeued_queries).sum(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -453,6 +763,8 @@ mod tests {
             qos_us: qos,
             qos_by_model: vec![qos],
             billed_dollars: 0.0,
+            billed_by_model: vec![0.0],
+            events_processed: 0,
             preemption_notices: 0,
             preempted_instances: 0,
             requeued_queries: 0,
@@ -595,6 +907,8 @@ mod tests {
             qos_us: 10_000,
             qos_by_model: vec![10_000, 100_000],
             billed_dollars: 0.0,
+            billed_by_model: vec![0.0, 0.0],
+            events_processed: 0,
             preemption_notices: 0,
             preempted_instances: 0,
             requeued_queries: 0,
@@ -632,5 +946,196 @@ mod tests {
         r2.type_index = 2;
         let rep = report(vec![r1, r2], vec![], 1000);
         assert_eq!(rep.per_type_completions(4), vec![1, 0, 1, 0]);
+    }
+
+    /// A shard-shaped report: model `m` of `n`, with its records/unfinished
+    /// tagged `m`, a full-length QoS table, and its bill in slot `m`.
+    fn shard(m: usize, n: usize, ids: &[u64], unfinished_ids: &[u64], billed: f64) -> SimReport {
+        let records: Vec<QueryRecord> = ids
+            .iter()
+            .map(|&id| {
+                let mut r = record(id, id * 10, id * 10, id * 10 + 5_000 * (m as u64 + 1));
+                r.model = ModelId::new(m);
+                r
+            })
+            .collect();
+        let unfinished: Vec<UnfinishedQuery> = unfinished_ids
+            .iter()
+            .map(|&id| UnfinishedQuery {
+                id,
+                model: ModelId::new(m),
+                batch_size: 3,
+                arrival_us: id * 10,
+            })
+            .collect();
+        let mut billed_by_model = vec![0.0; n];
+        billed_by_model[m] = billed;
+        SimReport {
+            scheduler: "fcfs".into(),
+            offered: records.len() + unfinished.len(),
+            records,
+            unfinished,
+            horizon_us: 1_000_000 + m as u64,
+            qos_us: 10_000,
+            qos_by_model: (0..n).map(|i| 10_000 + i as u64 * 1_000).collect(),
+            billed_dollars: billed,
+            billed_by_model,
+            events_processed: 100 + m as u64,
+            preemption_notices: m,
+            preempted_instances: 0,
+            requeued_queries: 2 * m,
+        }
+    }
+
+    /// Field-wise bit-equality of two reports (no `PartialEq` on
+    /// `SimReport` by design; billing compares exactly).
+    fn assert_reports_identical(a: &SimReport, b: &SimReport) {
+        assert_eq!(a.scheduler, b.scheduler);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.unfinished, b.unfinished);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.horizon_us, b.horizon_us);
+        assert_eq!(a.qos_us, b.qos_us);
+        assert_eq!(a.qos_by_model, b.qos_by_model);
+        assert_eq!(a.billed_dollars.to_bits(), b.billed_dollars.to_bits());
+        assert_eq!(a.billed_by_model.len(), b.billed_by_model.len());
+        for (x, y) in a.billed_by_model.iter().zip(&b.billed_by_model) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.preemption_notices, b.preemption_notices);
+        assert_eq!(a.preempted_instances, b.preempted_instances);
+        assert_eq!(a.requeued_queries, b.requeued_queries);
+    }
+
+    #[test]
+    fn merge_with_an_empty_shard_is_the_identity_up_to_canonical_order() {
+        let a = shard(0, 2, &[1, 2, 3], &[9], 1.5);
+        let empty = SimReport {
+            scheduler: "fcfs".into(),
+            records: vec![],
+            unfinished: vec![],
+            offered: 0,
+            horizon_us: 0,
+            qos_us: 0,
+            qos_by_model: vec![],
+            billed_dollars: 0.0,
+            billed_by_model: vec![0.0, 0.0],
+            events_processed: 0,
+            preemption_notices: 0,
+            preempted_instances: 0,
+            requeued_queries: 0,
+        };
+        let merged = a.clone().merge(empty.clone());
+        // `a` is already canonically ordered (ids ascending with completion
+        // times), so the merge with an empty shard reproduces it exactly.
+        assert_reports_identical(&merged, &a);
+        let merged_flipped = empty.merge(a.clone());
+        assert_reports_identical(&merged_flipped, &a);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_interleaves_by_the_canonical_key() {
+        let a = shard(0, 2, &[1, 4], &[7], 1.25);
+        let b = shard(1, 2, &[2, 3], &[8], 2.5);
+        let merged = a.clone().merge(b.clone());
+        assert_eq!(merged.offered, a.offered + b.offered);
+        assert_eq!(merged.completed(), 4);
+        assert_eq!(merged.events_processed, 201);
+        assert_eq!(merged.preemption_notices, 1);
+        assert_eq!(merged.requeued_queries, 2);
+        assert_eq!(merged.horizon_us, 1_000_001);
+        assert_eq!(merged.qos_by_model, vec![10_000, 11_000]);
+        assert_eq!(merged.billed_by_model, vec![1.25, 2.5]);
+        assert_eq!(merged.billed_dollars, 0.0 + 1.25 + 2.5);
+        // Records sorted by (completion, arrival, id); unfinished by
+        // (arrival, id).
+        assert!(merged
+            .records
+            .windows(2)
+            .all(|w| SimReport::record_key(&w[0]) <= SimReport::record_key(&w[1])));
+        assert_eq!(
+            merged.unfinished.iter().map(|u| u.id).collect::<Vec<_>>(),
+            vec![7, 8]
+        );
+        // Differing scheduler names union sorted.
+        let mut c = shard(0, 2, &[], &[], 0.0);
+        c.scheduler = "kairos".into();
+        assert_eq!(shard(1, 2, &[], &[], 0.0).merge(c).scheduler, "fcfs+kairos");
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_over_permuted_shard_orders() {
+        let shards = [
+            shard(0, 3, &[1, 5, 9], &[20], 0.75),
+            shard(1, 3, &[2, 6], &[21, 22], 1.5),
+            shard(2, 3, &[3, 7, 8], &[], 3.25),
+        ];
+        let fold = |order: &[usize]| -> SimReport {
+            order
+                .iter()
+                .map(|&i| shards[i].clone())
+                .reduce(SimReport::merge)
+                .unwrap()
+        };
+        let reference = fold(&[0, 1, 2]);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert_reports_identical(&fold(&order), &reference);
+        }
+        // Associativity: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c).
+        let left = shards[0]
+            .clone()
+            .merge(shards[1].clone())
+            .merge(shards[2].clone());
+        let right = shards[0]
+            .clone()
+            .merge(shards[1].clone().merge(shards[2].clone()));
+        assert_reports_identical(&left, &right);
+    }
+
+    #[test]
+    fn merge_many_is_bit_identical_to_the_pairwise_fold() {
+        let shards = [
+            shard(0, 3, &[1, 5, 9], &[20], 0.75),
+            shard(1, 3, &[2, 6], &[21, 22], 1.5),
+            shard(2, 3, &[3, 7, 8], &[], 3.25),
+        ];
+        let fold = shards
+            .iter()
+            .cloned()
+            .reduce(SimReport::merge)
+            .expect("non-empty");
+        let kway = SimReport::merge_many(shards.iter().cloned()).expect("non-empty");
+        assert_reports_identical(&kway, &fold);
+
+        // Differing scheduler names union exactly as the fold unions them.
+        let mut renamed = shards.to_vec();
+        renamed[1].scheduler = "kairos".into();
+        renamed[2].scheduler = "drs+kairos".into();
+        let fold = renamed
+            .iter()
+            .cloned()
+            .reduce(SimReport::merge)
+            .expect("non-empty");
+        let kway = SimReport::merge_many(renamed.iter().cloned()).expect("non-empty");
+        assert_eq!(kway.scheduler, "drs+fcfs+kairos");
+        assert_reports_identical(&kway, &fold);
+
+        // An unsorted input falls back to the fold (which sorts), so the
+        // equivalence holds unconditionally.
+        let mut scrambled = shards.to_vec();
+        scrambled[0].records.swap(0, 2);
+        let fold = scrambled
+            .iter()
+            .cloned()
+            .reduce(SimReport::merge)
+            .expect("non-empty");
+        let kway = SimReport::merge_many(scrambled.iter().cloned()).expect("non-empty");
+        assert_reports_identical(&kway, &fold);
+
+        // Degenerate arities.
+        assert!(SimReport::merge_many(std::iter::empty()).is_none());
+        let single = SimReport::merge_many([shards[1].clone()]).expect("one shard");
+        assert_reports_identical(&single, &shards[1]);
     }
 }

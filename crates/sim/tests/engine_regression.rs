@@ -33,7 +33,13 @@ impl Scheduler for EarliestFreeScheduler {
     }
 
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
-        let mut free_at: Vec<u64> = ctx.instances.iter().map(|i| i.free_at_us).collect();
+        // Idle views keep the time they went idle; the scheduler contract is
+        // to read availability clamped to now (`remaining_us` semantics).
+        let mut free_at: Vec<u64> = ctx
+            .instances
+            .iter()
+            .map(|i| i.free_at_us.max(ctx.now_us))
+            .collect();
         ctx.queued
             .iter()
             .enumerate()

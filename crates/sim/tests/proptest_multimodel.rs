@@ -13,11 +13,16 @@
 //!    service) produces a report bit-identical to the classic
 //!    [`SimEngine::new`] path and to the preserved naive reference, so the
 //!    multi-model redesign cannot perturb PR 3's reports.
+//! 3. **Shard transparency** — on the same random multi-model cases, the
+//!    [`ShardedEngine`] (one engine per model lane, merged through
+//!    [`SimReport::merge`](kairos_sim::SimReport::merge)) reproduces the
+//!    combined engine's report bit-for-bit — every field, f64s compared by
+//!    bit pattern — under rayon pools of 1, 2, 4 and 8 threads.
 
 use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
 use kairos_sim::{
-    run_trace, run_trace_naive, ClusterSpec, FcfsScheduler, ServiceSpec, SimEngine,
-    SimulationOptions,
+    run_trace, run_trace_naive, ClusterSpec, FcfsScheduler, Scheduler, ServiceSpec, ShardedEngine,
+    SimEngine, SimulationOptions,
 };
 use kairos_workload::{ModelId, Query, Trace, TraceSpec};
 use proptest::prelude::*;
@@ -176,5 +181,52 @@ proptest! {
         prop_assert_eq!(per.len(), 1);
         prop_assert_eq!(per[0].offered, multi.offered);
         prop_assert_eq!(per[0].violations, multi.violations());
+    }
+
+    #[test]
+    fn sharded_engine_is_bit_identical_at_every_thread_count(
+        case in multi_case(),
+    ) {
+        let (num_models, trace, spec, seed) = case;
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let svc = services(num_models);
+        let svc_refs: Vec<&ServiceSpec> = svc.iter().collect();
+        let opts = SimulationOptions { seed };
+        let mut scheduler = FcfsScheduler::new();
+        let combined =
+            SimEngine::new_multi(&pool, &spec, &svc_refs, &trace, &mut scheduler, &opts).run();
+
+        let sharded = ShardedEngine::new(&pool, &spec, &svc_refs, &opts);
+        for threads in [1usize, 2, 4, 8] {
+            let workers = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let report = workers.install(|| {
+                sharded.run(&trace, |_| Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>)
+            });
+            prop_assert_eq!(&combined.scheduler, &report.scheduler);
+            prop_assert_eq!(&combined.records, &report.records);
+            prop_assert_eq!(&combined.unfinished, &report.unfinished);
+            prop_assert_eq!(combined.offered, report.offered);
+            prop_assert_eq!(combined.horizon_us, report.horizon_us);
+            prop_assert_eq!(combined.qos_us, report.qos_us);
+            prop_assert_eq!(&combined.qos_by_model, &report.qos_by_model);
+            prop_assert_eq!(
+                combined.billed_dollars.to_bits(),
+                report.billed_dollars.to_bits()
+            );
+            prop_assert_eq!(
+                combined.billed_by_model.len(),
+                report.billed_by_model.len()
+            );
+            for (a, b) in combined.billed_by_model.iter().zip(&report.billed_by_model) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(combined.events_processed, report.events_processed);
+            prop_assert_eq!(combined.preemption_notices, report.preemption_notices);
+            prop_assert_eq!(combined.preempted_instances, report.preempted_instances);
+            prop_assert_eq!(combined.requeued_queries, report.requeued_queries);
+        }
     }
 }

@@ -81,10 +81,12 @@ impl Scheduler for EarliestFreeScheduler {
     }
 
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> Vec<Dispatch> {
+        // Idle views keep the time they went idle; the scheduler contract is
+        // to read availability clamped to now (`remaining_us` semantics).
         let mut free_at: Vec<Option<u64>> = ctx
             .instances
             .iter()
-            .map(|i| i.accepting.then_some(i.free_at_us))
+            .map(|i| i.accepting.then_some(i.free_at_us.max(ctx.now_us)))
             .collect();
         ctx.queued
             .iter()

@@ -207,6 +207,16 @@ impl MixedTraceSpec {
             queries,
         }
     }
+
+    /// Generates the trace and partitions it into per-model shard traces
+    /// (see [`Trace::split_by_model`]).  A **single** sequential RNG stream
+    /// draws the combined trace exactly as [`Self::generate`] does — the
+    /// per-model streams are projections of it, not independent generators —
+    /// so the shard union is bit-identical to the unsharded trace and every
+    /// query keeps its global id and arrival time.
+    pub fn generate_sharded(&self) -> Vec<Trace> {
+        self.generate().split_by_model(self.mix.model_table_len())
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +297,19 @@ mod tests {
         // Deterministic per seed.
         let again = MixedTraceSpec::poisson(300.0, three_way(), 2.0, 3).generate();
         assert_eq!(trace, again);
+    }
+
+    #[test]
+    fn sharded_generation_projects_the_single_rng_stream() {
+        let spec = MixedTraceSpec::poisson(300.0, three_way(), 2.0, 3);
+        let combined = spec.generate();
+        let shards = spec.generate_sharded();
+        assert_eq!(shards.len(), 3);
+        for (m, shard) in shards.iter().enumerate() {
+            assert!(shard.queries.iter().all(|q| q.model.index() == m));
+        }
+        let union: Vec<Query> = shards.iter().flat_map(|s| s.queries.clone()).collect();
+        assert_eq!(Trace::from_queries(union).queries, combined.queries);
     }
 
     #[test]

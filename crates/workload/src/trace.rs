@@ -132,6 +132,46 @@ impl Trace {
             / self.queries.len() as f64
     }
 
+    /// Partitions the trace into `num_models` per-model sub-traces, indexed
+    /// by [`ModelId`](crate::ModelId): sub-trace `m` holds exactly the
+    /// queries tagged model `m`, in their original order with their original
+    /// ids and arrival times.  This is the shard boundary of the sharded
+    /// engine — the union of the sub-traces is the input trace, query for
+    /// query, so a per-shard replay sees precisely the arrivals the combined
+    /// replay would deliver to that model's lane.
+    ///
+    /// The sub-traces carry no [`TraceSpec`] (they are projections, not
+    /// generated traces).
+    ///
+    /// # Panics
+    /// Panics if a query's model index is not covered by `num_models`.
+    pub fn split_by_model(&self, num_models: usize) -> Vec<Trace> {
+        // Count first so each shard is one exact allocation instead of a
+        // growth-doubling sequence (multi-gigabyte traces pay dearly for the
+        // transient 2x peak).
+        let mut counts = vec![0usize; num_models];
+        for q in &self.queries {
+            assert!(
+                q.model.index() < num_models,
+                "query {} targets model {} but only {num_models} shards were requested",
+                q.id,
+                q.model
+            );
+            counts[q.model.index()] += 1;
+        }
+        let mut shards: Vec<Vec<Query>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for q in &self.queries {
+            shards[q.model.index()].push(*q);
+        }
+        shards
+            .into_iter()
+            .map(|queries| Trace {
+                spec: None,
+                queries,
+            })
+            .collect()
+    }
+
     /// Serializes the trace to a JSON string.
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string(self)
@@ -184,6 +224,33 @@ mod tests {
         assert_eq!(trace.queries[0].id, 1);
         assert_eq!(trace.mean_batch_size(), 15.0);
         assert_eq!(trace.fraction_at_most(10), 0.5);
+    }
+
+    #[test]
+    fn split_by_model_partitions_without_perturbing_queries() {
+        use crate::ModelId;
+        let queries = vec![
+            Query::for_model(0, ModelId::new(1), 4, 100),
+            Query::for_model(1, ModelId::new(0), 8, 200),
+            Query::for_model(2, ModelId::new(1), 2, 300),
+        ];
+        let trace = Trace::from_queries(queries.clone());
+        let shards = trace.split_by_model(3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].queries, vec![queries[1]]);
+        assert_eq!(shards[1].queries, vec![queries[0], queries[2]]);
+        assert!(shards[2].is_empty());
+        // The union, re-sorted by (arrival, id), is the input trace.
+        let union: Vec<Query> = shards.iter().flat_map(|s| s.queries.clone()).collect();
+        assert_eq!(Trace::from_queries(union).queries, trace.queries);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets model")]
+    fn split_by_model_rejects_uncovered_models() {
+        use crate::ModelId;
+        let trace = Trace::from_queries(vec![Query::for_model(0, ModelId::new(2), 1, 10)]);
+        trace.split_by_model(2);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Sharded multi-model replay: the same mixed trace through the combined
+//! `SimEngine` and through `ShardedEngine`, which partitions the cluster
+//! into per-model lane shards and replays each lane on its own rayon
+//! worker.  The merged report is **bit-identical** to the combined run —
+//! same records, same QoS accounting, same billing down to the last f64
+//! bit — at every thread count, because each lane draws from its own
+//! deterministic RNG stream and the merge re-sorts into the engine's
+//! canonical order.
+//!
+//! Run with: `cargo run --release --example sharded_replay`
+
+use kairos::prelude::*;
+
+fn main() {
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let models = [ModelKind::Ncf, ModelKind::Wnd, ModelKind::Rm2];
+
+    // Three model lanes on one heterogeneous pool: each lane gets its own
+    // sub-cluster, and the mixed stream tags every query with its model.
+    let spec = ClusterSpec::from_configs(vec![
+        Config::new(vec![3, 0, 2, 0]),
+        Config::new(vec![4, 0, 3, 0]),
+        Config::new(vec![2, 0, 1, 0]),
+    ]);
+    let mix = MixSpec::from_shares(
+        &[0.5, 0.35, 0.15],
+        &[
+            BatchSizeDistribution::production_default(),
+            BatchSizeDistribution::production_default(),
+            BatchSizeDistribution::production_default(),
+        ],
+    );
+    let trace = MixedTraceSpec::poisson(900.0, mix, 8.0, 42).generate();
+    let services: Vec<ServiceSpec> = models
+        .iter()
+        .map(|&kind| ServiceSpec::new(kind, latency.clone()))
+        .collect();
+    let service_refs: Vec<&ServiceSpec> = services.iter().collect();
+    let options = SimulationOptions { seed: 7 };
+    println!(
+        "Mixed stream: {} queries over 8 s across {} model lanes",
+        trace.len(),
+        models.len()
+    );
+
+    // The reference: one combined engine replaying every lane in one loop.
+    let mut scheduler = FcfsScheduler::new();
+    let started = std::time::Instant::now();
+    let combined = SimEngine::new_multi(
+        &pool,
+        &spec,
+        &service_refs,
+        &trace,
+        &mut scheduler,
+        &options,
+    )
+    .run();
+    let combined_wall = started.elapsed().as_secs_f64();
+
+    // The sharded engine: same inputs, one shard per model lane, fanned out
+    // over however many rayon workers the pool provides.
+    let sharded_engine = ShardedEngine::new(&pool, &spec, &service_refs, &options);
+    println!(
+        "\n{:<10}{:>10}{:>14}{:>16}{:>12}",
+        "engine", "threads", "wall (ms)", "events/sec", "identical"
+    );
+    println!(
+        "{:<10}{:>10}{:>14.1}{:>16.0}{:>12}",
+        "combined",
+        1,
+        combined_wall * 1000.0,
+        combined.events_per_sec(combined_wall),
+        "-"
+    );
+    for threads in [1, 2, 4] {
+        let pool_handle = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let started = std::time::Instant::now();
+        let sharded =
+            pool_handle.install(|| sharded_engine.run(&trace, |_| Box::new(FcfsScheduler::new())));
+        let wall = started.elapsed().as_secs_f64();
+
+        // Bit-identity: every record, every aggregate, every f64 bit.
+        assert_eq!(sharded.records, combined.records);
+        assert_eq!(sharded.unfinished, combined.unfinished);
+        assert_eq!(sharded.events_processed, combined.events_processed);
+        assert_eq!(
+            sharded.billed_dollars.to_bits(),
+            combined.billed_dollars.to_bits()
+        );
+        println!(
+            "{:<10}{:>10}{:>14.1}{:>16.0}{:>12}",
+            "sharded",
+            threads,
+            wall * 1000.0,
+            sharded.events_per_sec(wall),
+            "yes"
+        );
+    }
+
+    println!(
+        "\nCombined run: {} of {} queries completed, {:.2} % QoS violations, \
+         {} engine events, {:.4} $ billed",
+        combined.completed(),
+        combined.offered,
+        combined.violation_fraction() * 100.0,
+        combined.events_processed,
+        combined.billed_dollars
+    );
+}

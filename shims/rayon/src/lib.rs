@@ -6,13 +6,112 @@
 //! degrades gracefully to a sequential loop on single-core machines or tiny
 //! inputs.
 
+use std::cell::Cell;
 use std::thread;
 
-/// Number of worker threads used for fan-outs.
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] on the
+    /// calling thread.  Chunking decisions are made on the calling thread
+    /// (see [`parallel_map`]), so scoping the override thread-locally is
+    /// enough to make `pool.install(|| ...)` deterministic per pool size.
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads used for fan-outs: the installed
+/// [`ThreadPool`]'s size inside [`ThreadPool::install`], the machine's
+/// available parallelism otherwise.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(|c| c.get()) {
+        return n;
+    }
     thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Error building a [`ThreadPool`] (the shim never fails; the type exists
+/// for API compatibility with rayon's fallible builder).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rayon-shim thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for an explicitly sized [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine-sized) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` keeps the machine default, as in rayon.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.  Never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// An explicitly sized worker pool.  The shim spawns scoped threads per
+/// fan-out rather than keeping workers alive, so the pool only carries the
+/// worker *count*; [`Self::install`] scopes it over a closure exactly like
+/// rayon's `ThreadPool::install`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with this pool's worker count governing every parallel
+    /// iterator invoked (directly) inside it.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let result = f();
+        POOL_THREADS.with(|c| c.set(previous));
+        result
+    }
+}
+
+/// Worker count actually used for a fan-out: the requested pool size
+/// clamped to the machine's available parallelism.  The shim's fan-outs
+/// are CPU-bound, so spawning more runnable threads than cores buys no
+/// concurrency — it only adds timeslice churn and cache refills — and the
+/// mapped results are chunking-invariant either way.  This is what makes
+/// oversized pools "degrade gracefully to a sequential loop on
+/// single-core machines" as documented above.
+fn effective_workers() -> usize {
+    current_num_threads().min(
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
 }
 
 /// Order-preserving parallel map over a slice.
@@ -26,7 +125,7 @@ where
     R: Send,
     F: Fn(&'a T) -> R + Sync,
 {
-    let workers = current_num_threads();
+    let workers = effective_workers();
     if workers <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
@@ -44,9 +143,82 @@ where
     })
 }
 
+/// Order-preserving parallel map over a mutable slice (the `&mut`
+/// counterpart of [`parallel_map`]): one contiguous chunk per worker via
+/// `chunks_mut`, results concatenated in order.
+fn parallel_map_mut<'a, T, R, F>(items: &'a mut [T], f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&'a mut T) -> R + Sync,
+{
+    let workers = effective_workers();
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    let total = items.len();
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk_size)
+            .map(|chunk| scope.spawn(move || chunk.iter_mut().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(total);
+        for handle in handles {
+            out.extend(handle.join().expect("rayon-shim worker panicked"));
+        }
+        out
+    })
+}
+
 /// Parallel iterator over `&[T]`.
 pub struct ParIter<'a, T> {
     items: &'a [T],
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+/// Lazily mapped mutable parallel iterator.
+pub struct ParMapMut<'a, T, F> {
+    items: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Maps every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMapMut<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a mut T) -> R + Sync,
+    {
+        ParMapMut {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Sync,
+    {
+        parallel_map_mut(self.items, &|item| f(item));
+    }
+}
+
+impl<'a, T, R, F> ParMapMut<'a, T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&'a mut T) -> R + Sync,
+{
+    /// Executes the parallel map and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map_mut(self.items, &self.f).into_iter().collect()
+    }
 }
 
 /// Lazily mapped parallel iterator.
@@ -100,6 +272,36 @@ pub trait IntoParallelRefIterator<'a> {
     fn par_iter(&'a self) -> Self::Iter;
 }
 
+/// Types that expose a by-mutable-reference parallel iterator
+/// (`.par_iter_mut()`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// The parallel iterator.
+    type Iter;
+
+    /// Returns a parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
     type Iter = ParIter<'a, T>;
@@ -120,7 +322,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 
 /// The rayon prelude, bringing the parallel-iterator traits into scope.
 pub mod prelude {
-    pub use crate::IntoParallelRefIterator;
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
 #[cfg(test)]
@@ -156,5 +358,37 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place_and_preserves_order() {
+        let mut items: Vec<u64> = (0..5_000).collect();
+        items.par_iter_mut().for_each(|x| *x += 1);
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+        let squares: Vec<u64> = items.par_iter_mut().map(|x| *x * *x).collect();
+        assert_eq!(squares[10], 11 * 11);
+    }
+
+    #[test]
+    fn thread_pool_install_scopes_the_worker_count() {
+        use crate::{current_num_threads, ThreadPoolBuilder};
+        let outside = current_num_threads();
+        for n in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            assert_eq!(pool.current_num_threads(), n);
+            let (inside, mapped) = pool.install(|| {
+                let items: Vec<u64> = (0..1_000).collect();
+                let mapped: Vec<u64> = items.par_iter().map(|&x| x * 3).collect();
+                (current_num_threads(), mapped)
+            });
+            assert_eq!(inside, n);
+            assert_eq!(mapped[999], 999 * 3);
+            assert_eq!(current_num_threads(), outside);
+        }
+        // num_threads(0) keeps the machine default, as in rayon.
+        let default_pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert_eq!(default_pool.current_num_threads(), outside);
     }
 }

@@ -55,8 +55,8 @@ pub mod prelude {
     };
     pub use kairos_sim::{
         allowable_throughput, allowable_throughput_many, run_trace, CapacityOptions, ClusterAction,
-        ClusterSpec, EngineEvent, EngineHook, FcfsScheduler, Scheduler, ServiceSpec, SimContext,
-        SimEngine, SimulationOptions,
+        ClusterSpec, EngineEvent, EngineHook, FcfsScheduler, Scheduler, ServiceSpec, ShardedEngine,
+        SimContext, SimEngine, SimulationOptions,
     };
     pub use kairos_workload::{
         ArrivalProcess, BatchSizeDistribution, MixSpec, MixedTraceSpec, ModelId, Phase,
