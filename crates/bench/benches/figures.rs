@@ -14,7 +14,7 @@ use kairos_baselines::{
     ExhaustiveSearch, GeneticSearch, RandomSearch, SearchSpace, SimulatedAnnealing,
 };
 use kairos_bench::figures::{
-    figure12_load_shift, figure_multimodel, figure_scale, figure_spot, section,
+    figure12_load_shift, figure_batching, figure_multimodel, figure_scale, figure_spot, section,
 };
 use kairos_bench::{ExperimentContext, SchedulerKind};
 use kairos_core::{kairos_plus_search, upper_bound_single, SingleAuxInputs, ThroughputEstimator};
@@ -591,6 +591,9 @@ fn main() {
     }
     if run("fig_scale") {
         figure_scale();
+    }
+    if run("fig_batching") {
+        figure_batching();
     }
     if run("fig13") {
         figure13();

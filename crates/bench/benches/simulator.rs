@@ -7,8 +7,9 @@ use kairos_baselines::ClockworkScheduler;
 use kairos_bench::{scheduler_factory, SchedulerKind};
 use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
 use kairos_sim::{
-    allowable_throughput, run_trace, run_trace_naive, CapacityOptions, CapacityProber, ClusterSpec,
-    FcfsScheduler, Scheduler, ServiceSpec, ShardedEngine, SimulationOptions,
+    allowable_throughput, run_trace, run_trace_naive, BatchingOptions, CapacityOptions,
+    CapacityProber, ClusterSpec, FcfsScheduler, Scheduler, ServiceSpec, ShardedEngine, SharingMode,
+    SharingOptions, SimulationOptions,
 };
 use kairos_workload::{BatchSizeDistribution, MixSpec, MixedTraceSpec, TraceSpec};
 use std::hint::black_box;
@@ -144,6 +145,42 @@ fn bench_engine_vs_naive_50k(c: &mut Criterion) {
             black_box(
                 kairos_sim::SimEngine::new(&pool, &config, &service, &trace, &mut scheduler, &opts)
                     .with_market(&market)
+                    .run(),
+            )
+        })
+    });
+    // The throughput-sharing hot path: same 50k-query replay with fair
+    // sharing enabled (Linear contention, four admission slots per
+    // instance), so the processed-volume advance, the O(affected-instance)
+    // frontmost-completion recompute and the generation-stamped lazy
+    // deletion are all on the measured path.  Budget-gated in
+    // BENCH_budget.json.
+    group.bench_function("fcfs_sharing", |b| {
+        let sharing = SharingMode::Fair(
+            SharingOptions::uniform(
+                kairos_models::ThroughputDegradation::try_new_linear(0.2).unwrap(),
+            )
+            .with_max_concurrency(4),
+        );
+        b.iter(|| {
+            let mut scheduler = FcfsScheduler::new();
+            black_box(
+                kairos_sim::SimEngine::new(&pool, &config, &service, &trace, &mut scheduler, &opts)
+                    .with_sharing(sharing.clone())
+                    .run(),
+            )
+        })
+    });
+    // The dynamic-batcher hot path: queue-and-fire on an 8-query-scale fuse
+    // cap or a 2 ms timeout, serial service per instance.  Exercises batch
+    // formation, timeout scheduling/cancellation and fused completions.
+    group.bench_function("fcfs_batched", |b| {
+        let batching = BatchingOptions::new(8 * 128, 2_000);
+        b.iter(|| {
+            let mut scheduler = FcfsScheduler::new();
+            black_box(
+                kairos_sim::SimEngine::new(&pool, &config, &service, &trace, &mut scheduler, &opts)
+                    .with_batching(batching)
                     .run(),
             )
         })

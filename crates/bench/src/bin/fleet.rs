@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fleet figures [ids...]   regenerate the BENCH_*.json figures
-//!                          (default: fig12_shift fig_multimodel fig_spot fig_scale)
+//!                          (default: fig12_shift fig_multimodel fig_spot fig_scale
+//!                          fig_batching)
 //! fleet matrix [out_dir]   run the default 24-scenario sweep (default: fleet-results/)
 //! fleet smoke  [out_dir]   run the 4-scenario CI sweep (default: target/fleet-smoke/)
 //! ```
@@ -18,7 +19,13 @@ use kairos_bench::fleet::{run_matrix, ScenarioMatrix};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const FIGURE_IDS: [&str; 4] = ["fig12_shift", "fig_multimodel", "fig_spot", "fig_scale"];
+const FIGURE_IDS: [&str; 5] = [
+    "fig12_shift",
+    "fig_multimodel",
+    "fig_spot",
+    "fig_scale",
+    "fig_batching",
+];
 
 fn run_figures(ids: &[String]) -> ExitCode {
     let selected: Vec<&str> = if ids.is_empty() {
@@ -32,6 +39,7 @@ fn run_figures(ids: &[String]) -> ExitCode {
             "fig_multimodel" => figures::figure_multimodel(),
             "fig_spot" => figures::figure_spot(),
             "fig_scale" => figures::figure_scale(),
+            "fig_batching" => figures::figure_batching(),
             other => {
                 eprintln!("unknown figure {other}; known: {FIGURE_IDS:?}");
                 return ExitCode::from(2);

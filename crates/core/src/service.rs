@@ -509,7 +509,20 @@ impl InferenceService {
                         .controller_mut()
                         .observe_completion(type_name, record.batch_size, service_ms);
                 }
-                EngineEvent::InstanceReady { .. } => {}
+                EngineEvent::Completions {
+                    records, type_name, ..
+                } => {
+                    // A fused/shared invocation: route every member to its
+                    // own lane's latency observer.
+                    for record in records {
+                        let service_ms = (record.completion_us - record.start_us) as f64 / 1000.0;
+                        self.lanes[record.model.index()]
+                            .system
+                            .controller_mut()
+                            .observe_completion(type_name, record.batch_size, service_ms);
+                    }
+                }
+                EngineEvent::InstanceReady { .. } | EngineEvent::BatchFired { .. } => {}
                 EngineEvent::PriceStep { .. }
                 | EngineEvent::PreemptionNotice { .. }
                 | EngineEvent::InstancePreempted { .. } => {}

@@ -37,7 +37,9 @@ use crate::planner::PlanCache;
 use kairos_models::{
     latency::LatencyTable, mlmodel::ModelKind, Config, Market, OfferingCatalog, PoolSpec,
 };
-use kairos_sim::{EngineEvent, ServiceSpec, SimEngine, SimReport, SimulationOptions};
+use kairos_sim::{
+    BatchingOptions, EngineEvent, ServiceSpec, SimEngine, SimReport, SimulationOptions,
+};
 use kairos_workload::{BatchSizeDistribution, ModelId, TimeUs, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,6 +91,13 @@ pub struct ServingOptions {
     pub market_horizon_slack_us: TimeUs,
     /// Service-noise seed passed to the engine.
     pub seed: u64,
+    /// Dynamic batcher: maximum fused batch size per instance (summed over
+    /// member queries' batch sizes).  `0` disables batching and keeps the
+    /// engine on its legacy one-query-at-a-time service path.
+    pub batch_max_size: u32,
+    /// Dynamic batcher: how long a forming batch waits for company before
+    /// firing anyway (only meaningful when `batch_max_size > 0`).
+    pub batch_timeout_us: TimeUs,
 }
 
 impl Default for ServingOptions {
@@ -106,6 +115,8 @@ impl Default for ServingOptions {
             spot_cooldown_us: 2_000_000,
             market_horizon_slack_us: 2_000_000,
             seed: 0,
+            batch_max_size: 0,
+            batch_timeout_us: 2_000,
         }
     }
 }
@@ -182,6 +193,14 @@ impl ServingOptions {
     /// Sets the service-noise seed passed to the engine.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables the per-instance dynamic batcher: queries fuse until their
+    /// batch sizes sum past `max_size` or the oldest waits `timeout_us`.
+    pub fn batching(mut self, max_size: u32, timeout_us: TimeUs) -> Self {
+        self.batch_max_size = max_size;
+        self.batch_timeout_us = timeout_us;
         self
     }
 }
@@ -534,6 +553,12 @@ impl ServingSystem {
                 .saturating_add(self.options.market_horizon_slack_us);
             engine = engine.with_market_horizon(market, horizon);
         }
+        if self.options.batch_max_size > 0 {
+            engine = engine.with_batching(BatchingOptions::new(
+                self.options.batch_max_size,
+                self.options.batch_timeout_us,
+            ));
+        }
 
         let mut reconfigs: Vec<ReconfigEvent> = Vec::new();
         let mut replans = 0usize;
@@ -560,7 +585,21 @@ impl ServingSystem {
                     self.controller
                         .observe_completion(type_name, record.batch_size, service_ms);
                 }
-                EngineEvent::InstanceReady { .. } => {}
+                EngineEvent::Completions {
+                    records, type_name, ..
+                } => {
+                    // A fused/shared invocation: every member is one
+                    // observed completion at its own batch size.
+                    for record in records {
+                        let service_ms = (record.completion_us - record.start_us) as f64 / 1000.0;
+                        self.controller.observe_completion(
+                            type_name,
+                            record.batch_size,
+                            service_ms,
+                        );
+                    }
+                }
+                EngineEvent::InstanceReady { .. } | EngineEvent::BatchFired { .. } => {}
                 EngineEvent::PriceStep { .. }
                 | EngineEvent::PreemptionNotice { .. }
                 | EngineEvent::InstancePreempted { .. } => {}
@@ -831,6 +870,49 @@ mod tests {
         let huge = s.plan_for_demand(1e9).unwrap();
         let chosen = s.controller().plan(2.5).unwrap().chosen;
         assert_eq!(huge, chosen);
+    }
+
+    #[test]
+    fn batching_knobs_drive_the_engine_batcher() {
+        let service = ServiceSpec::new(ModelKind::Rm2, paper_calibration());
+        let workload = PhasedArrival::step_change(
+            80.0,
+            80.0,
+            BatchSizeDistribution::production_default(),
+            3.0,
+            3.0,
+            23,
+        );
+        let trace = workload.generate();
+        let initial = system(ServingOptions::default())
+            .plan_for_demand(80.0)
+            .unwrap();
+
+        let mut plain = system(ServingOptions::default().replan_every(500_000));
+        warm(&mut plain, 2000);
+        let without = plain.run(&initial, &service, &trace);
+        assert_eq!(without.report.service.batches_fired, 0);
+
+        let mut batched = system(
+            ServingOptions::default()
+                .replan_every(500_000)
+                .batching(256, 2_000),
+        );
+        warm(&mut batched, 2000);
+        let with = batched.run(&initial, &service, &trace);
+        assert!(
+            with.report.service.batches_fired > 0,
+            "the batching knob must reach the engine"
+        );
+        assert_eq!(
+            with.report.service.batched_queries,
+            with.report.service.batch_fill_sum
+        );
+        // Batching must not lose queries.
+        assert_eq!(
+            with.report.records.len() + with.report.unfinished.len(),
+            with.report.offered
+        );
     }
 
     #[test]

@@ -19,6 +19,78 @@ use crate::mlmodel::ModelKind;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Typed construction error for latency profiles and batch-axis grids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyError {
+    /// The intercept was negative or not finite.
+    InvalidIntercept {
+        /// The offending intercept, in milliseconds.
+        intercept_ms: f64,
+    },
+    /// The slope was zero, negative, or not finite (larger batches must be
+    /// slower).
+    InvalidSlope {
+        /// The offending slope, in milliseconds per request.
+        slope_ms: f64,
+    },
+    /// A batch grid had no points.
+    EmptyGrid,
+    /// Batch sizes in a grid were not strictly increasing.
+    UnsortedGrid {
+        /// Index of the first out-of-order point.
+        index: usize,
+    },
+    /// A grid latency was zero, negative, or not finite.
+    InvalidGridLatency {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// Latency decreased between two adjacent grid points: the batch axis
+    /// must be monotone non-decreasing.
+    NonMonotoneGrid {
+        /// Index of the point whose latency undercuts its predecessor.
+        index: usize,
+    },
+}
+
+impl fmt::Display for LatencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatencyError::InvalidIntercept { intercept_ms } => {
+                write!(
+                    f,
+                    "intercept must be finite and non-negative, got {intercept_ms}"
+                )
+            }
+            LatencyError::InvalidSlope { slope_ms } => {
+                write!(f, "slope must be finite and positive, got {slope_ms}")
+            }
+            LatencyError::EmptyGrid => write!(f, "batch latency grid has no points"),
+            LatencyError::UnsortedGrid { index } => {
+                write!(
+                    f,
+                    "grid batch sizes must be strictly increasing (point {index})"
+                )
+            }
+            LatencyError::InvalidGridLatency { index } => {
+                write!(
+                    f,
+                    "grid latency must be finite and positive (point {index})"
+                )
+            }
+            LatencyError::NonMonotoneGrid { index } => {
+                write!(
+                    f,
+                    "grid latency must be non-decreasing in batch size (point {index})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatencyError {}
 
 /// Linear latency profile of one model on one instance type.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,18 +105,25 @@ impl LatencyProfile {
     /// Creates a profile; both coefficients must be finite and non-negative,
     /// and the slope must be strictly positive so larger batches are slower.
     pub fn new(intercept_ms: f64, slope_ms: f64) -> Self {
-        assert!(
-            intercept_ms.is_finite() && intercept_ms >= 0.0,
-            "intercept must be non-negative"
-        );
-        assert!(
-            slope_ms.is_finite() && slope_ms > 0.0,
-            "slope must be positive"
-        );
-        Self {
+        match Self::try_new(intercept_ms, slope_ms) {
+            Ok(profile) => profile,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible [`Self::new`]: reports invalid coefficients as a typed
+    /// [`LatencyError`] instead of panicking.
+    pub fn try_new(intercept_ms: f64, slope_ms: f64) -> Result<Self, LatencyError> {
+        if !intercept_ms.is_finite() || intercept_ms < 0.0 {
+            return Err(LatencyError::InvalidIntercept { intercept_ms });
+        }
+        if !slope_ms.is_finite() || slope_ms <= 0.0 {
+            return Err(LatencyError::InvalidSlope { slope_ms });
+        }
+        Ok(Self {
             intercept_ms,
             slope_ms,
-        }
+        })
     }
 
     /// Deterministic service latency of a batch-`batch` query, in milliseconds.
@@ -76,6 +155,86 @@ impl LatencyProfile {
     #[inline]
     pub fn throughput_qps(&self, batch: u32) -> f64 {
         1000.0 / self.latency_ms(batch)
+    }
+}
+
+/// Piecewise-linear latency over an explicit batch-size grid — the measured
+/// batch axis of a profile when the perfectly-linear model of
+/// [`LatencyProfile`] is too coarse (batched serving amortizes the fixed
+/// overhead unevenly across batch regimes).
+///
+/// Construction validates the grid shape: batch sizes strictly increasing,
+/// latencies finite, positive, and **monotone non-decreasing** in batch size.
+/// Lookups interpolate linearly between knots and *clamp* at the edges of
+/// the grid — a batch below the first knot costs the first knot's latency
+/// and a batch beyond the last knot costs the last knot's, never a negative
+/// or runaway extrapolation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchLatencyGrid {
+    points: Vec<(u32, f64)>,
+}
+
+impl BatchLatencyGrid {
+    /// Builds a grid from `(batch size, latency in ms)` knots, validating
+    /// the shape (see the type docs).
+    pub fn try_new(points: Vec<(u32, f64)>) -> Result<Self, LatencyError> {
+        if points.is_empty() {
+            return Err(LatencyError::EmptyGrid);
+        }
+        for (index, &(batch, latency_ms)) in points.iter().enumerate() {
+            if index > 0 && batch <= points[index - 1].0 {
+                return Err(LatencyError::UnsortedGrid { index });
+            }
+            if !latency_ms.is_finite() || latency_ms <= 0.0 {
+                return Err(LatencyError::InvalidGridLatency { index });
+            }
+            if index > 0 && latency_ms < points[index - 1].1 {
+                return Err(LatencyError::NonMonotoneGrid { index });
+            }
+        }
+        Ok(Self { points })
+    }
+
+    /// Samples a linear profile at the given batch sizes — the bridge from
+    /// the paper's calibrated lines to an explicit grid.
+    pub fn from_profile(profile: &LatencyProfile, batches: &[u32]) -> Result<Self, LatencyError> {
+        Self::try_new(
+            batches
+                .iter()
+                .map(|&b| (b, profile.latency_ms(b)))
+                .collect(),
+        )
+    }
+
+    /// The validated `(batch size, latency in ms)` knots.
+    pub fn points(&self) -> &[(u32, f64)] {
+        &self.points
+    }
+
+    /// Latency of a batch-`batch` query in milliseconds: linear
+    /// interpolation between the bracketing knots, clamped to the first /
+    /// last knot outside the grid.
+    pub fn latency_ms(&self, batch: u32) -> f64 {
+        let first = self.points[0];
+        let last = self.points[self.points.len() - 1];
+        if batch <= first.0 {
+            return first.1;
+        }
+        if batch >= last.0 {
+            return last.1;
+        }
+        // Index of the first knot with knot.0 >= batch; the checks above
+        // guarantee a bracketing pair exists.
+        let hi = self.points.partition_point(|&(b, _)| b < batch);
+        let (b0, l0) = self.points[hi - 1];
+        let (b1, l1) = self.points[hi];
+        let t = (batch - b0) as f64 / (b1 - b0) as f64;
+        l0 + t * (l1 - l0)
+    }
+
+    /// Latency in microseconds (simulator time unit), at least 1 µs.
+    pub fn latency_us(&self, batch: u32) -> u64 {
+        (self.latency_ms(batch) * 1000.0).round().max(1.0) as u64
     }
 }
 
@@ -215,9 +374,78 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "slope must be positive")]
+    #[should_panic(expected = "slope must be finite and positive")]
     fn rejects_zero_slope() {
         LatencyProfile::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn try_new_reports_bad_coefficients_without_panicking() {
+        assert_eq!(
+            LatencyProfile::try_new(-1.0, 0.5),
+            Err(LatencyError::InvalidIntercept { intercept_ms: -1.0 })
+        );
+        assert!(matches!(
+            LatencyProfile::try_new(1.0, f64::NAN),
+            Err(LatencyError::InvalidSlope { .. })
+        ));
+        assert!(LatencyProfile::try_new(1.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn batch_grid_interpolates_and_clamps_at_the_edges() {
+        let grid = BatchLatencyGrid::try_new(vec![(8, 4.0), (64, 10.0), (256, 40.0)]).unwrap();
+        // Interior points interpolate linearly between bracketing knots.
+        assert!((grid.latency_ms(36) - 7.0).abs() < 1e-12);
+        assert!((grid.latency_ms(160) - 25.0).abs() < 1e-12);
+        // Knots are exact.
+        assert_eq!(grid.latency_ms(8), 4.0);
+        assert_eq!(grid.latency_ms(64), 10.0);
+        assert_eq!(grid.latency_ms(256), 40.0);
+        // Edges clamp instead of extrapolating: a batch below the first knot
+        // costs the first knot's latency, above the last knot the last's.
+        assert_eq!(grid.latency_ms(1), 4.0);
+        assert_eq!(grid.latency_ms(1000), 40.0);
+        assert_eq!(grid.latency_us(1000), 40_000);
+    }
+
+    #[test]
+    fn batch_grid_from_profile_matches_the_line_on_its_knots() {
+        let p = LatencyProfile::new(2.0, 0.5);
+        let grid = BatchLatencyGrid::from_profile(&p, &[1, 10, 100]).unwrap();
+        assert_eq!(grid.latency_ms(10), p.latency_ms(10));
+        assert_eq!(grid.latency_ms(100), p.latency_ms(100));
+        // Beyond the sampled grid the grid clamps while the line keeps
+        // climbing.
+        assert!(grid.latency_ms(500) < p.latency_ms(500));
+    }
+
+    #[test]
+    fn batch_grid_rejects_malformed_inputs() {
+        assert_eq!(
+            BatchLatencyGrid::try_new(Vec::new()),
+            Err(LatencyError::EmptyGrid)
+        );
+        assert_eq!(
+            BatchLatencyGrid::try_new(vec![(8, 1.0), (8, 2.0)]),
+            Err(LatencyError::UnsortedGrid { index: 1 })
+        );
+        assert_eq!(
+            BatchLatencyGrid::try_new(vec![(8, 1.0), (4, 2.0)]),
+            Err(LatencyError::UnsortedGrid { index: 1 })
+        );
+        assert_eq!(
+            BatchLatencyGrid::try_new(vec![(8, 0.0)]),
+            Err(LatencyError::InvalidGridLatency { index: 0 })
+        );
+        // The monotone batch axis is validated at construction: a dip in
+        // latency between adjacent knots is a typed error.
+        assert_eq!(
+            BatchLatencyGrid::try_new(vec![(8, 5.0), (16, 4.0)]),
+            Err(LatencyError::NonMonotoneGrid { index: 1 })
+        );
+        // A flat segment is allowed (non-decreasing, not strictly increasing).
+        assert!(BatchLatencyGrid::try_new(vec![(8, 5.0), (16, 5.0)]).is_ok());
     }
 
     #[test]

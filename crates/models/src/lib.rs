@@ -39,18 +39,20 @@ pub mod latency;
 pub mod market;
 pub mod mlmodel;
 pub mod predictor;
+pub mod sharing;
 
 pub use config::{
     best_homogeneous, budget_slack_ratio, enumerate_configs, Config, EnumerationOptions, PoolSpec,
 };
 pub use instance::{ec2, InstanceClass, InstanceType};
-pub use latency::{LatencyProfile, LatencyTable, NoiseModel};
+pub use latency::{BatchLatencyGrid, LatencyError, LatencyProfile, LatencyTable, NoiseModel};
 pub use market::{
     CatalogError, ConstantMarket, Market, MarketEvent, Offering, OfferingCatalog,
     PreemptionProcess, PriceTrace, PurchaseOption, TraceMarket,
 };
 pub use mlmodel::{catalog, spec, ModelKind, ModelSpec, MAX_BATCH_SIZE};
 pub use predictor::{OnlinePredictor, PredictorBank};
+pub use sharing::{SharingError, ThroughputDegradation};
 
 #[cfg(test)]
 mod tests {

@@ -46,6 +46,15 @@ pub(crate) enum TimedKind {
     /// The preemption deadline of `instance_index`: whatever it still holds
     /// is requeued and the instance is killed.
     Kill,
+    /// The frontmost fair-sharing completion of `instance_index`.
+    /// Re-schedulable: the engine re-derives it whenever the instance's
+    /// sharer count changes, so a popped event is only live when its
+    /// generation stamp matches the instance's current one (lazy deletion).
+    FlexCompletion,
+    /// The dynamic batcher's forming-window timeout on `instance_index`.
+    /// Generation-stamped like [`Self::FlexCompletion`]: firing the batch
+    /// early (on reaching the size cap) invalidates the pending timeout.
+    BatchTimeout,
 }
 
 /// A timed (non-arrival) engine event: a completion, a `Ready` boundary, a
@@ -61,6 +70,11 @@ pub(crate) struct TimedEvent {
     pub instance_index: usize,
     /// What the event does.
     pub kind: TimedKind,
+    /// Lazy-deletion generation stamp for re-schedulable events
+    /// ([`TimedKind::FlexCompletion`], [`TimedKind::BatchTimeout`]); `0` for
+    /// the fixed-time kinds.  A popped event whose stamp trails the
+    /// instance's current generation is stale and must be skipped.
+    pub gen: u64,
 }
 
 impl TimedEvent {
@@ -85,6 +99,16 @@ pub(crate) struct EventCalendar {
     /// Cached location of the current minimum `(bucket, slot)`, invalidated
     /// by `push`/`pop`, so `peek` + `pop` pairs search once.
     cached_min: Option<(usize, usize)>,
+    /// Total events ever pushed.
+    scheduled: u64,
+    /// Events invalidated in place (generation bump / preemption kill)
+    /// without being removed — the lazy-deletion tombstone count.
+    cancelled: u64,
+    /// Stale (previously cancelled) events skipped at pop time.  At most
+    /// `cancelled`: every skip consumes exactly one earlier cancellation, so
+    /// `stale_popped <= cancelled` proves the ring is not silting up with
+    /// unaccounted tombstones.
+    stale_popped: u64,
 }
 
 /// Number of ring buckets (power of two).
@@ -105,7 +129,43 @@ impl EventCalendar {
             cursor: 0,
             len: 0,
             cached_min: None,
+            scheduled: 0,
+            cancelled: 0,
+            stale_popped: 0,
         }
+    }
+
+    /// Records that a pending event was invalidated in place (its generation
+    /// stamp no longer matches): it stays in its bucket as a tombstone until
+    /// popped and skipped.
+    #[inline]
+    pub fn note_cancelled(&mut self) {
+        self.cancelled += 1;
+    }
+
+    /// Records that a stale (cancelled) event was popped and skipped.
+    #[inline]
+    pub fn note_stale_pop(&mut self) {
+        self.stale_popped += 1;
+        debug_assert!(
+            self.stale_popped <= self.cancelled,
+            "skipped an event that was never cancelled"
+        );
+    }
+
+    /// Total events ever scheduled.
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Events invalidated by lazy deletion (tombstones created).
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Stale events skipped at pop time (tombstones reclaimed).
+    pub fn stale_popped(&self) -> u64 {
+        self.stale_popped
     }
 
     /// Inserts an event.
@@ -119,6 +179,7 @@ impl EventCalendar {
         }
         self.buckets[(vbucket & self.mask) as usize].push(event);
         self.len += 1;
+        self.scheduled += 1;
         self.cached_min = None;
     }
 
@@ -192,6 +253,7 @@ mod tests {
             seq,
             instance_index: 0,
             kind: TimedKind::Completion,
+            gen: 0,
         }
     }
 
@@ -236,6 +298,28 @@ mod tests {
         cal.push(event(15, 2));
         assert_eq!(cal.peek(), Some((15, 2)));
         assert_eq!(cal.pop().unwrap().time, 15);
+        assert_eq!(cal.pop().unwrap().time, 20);
+    }
+
+    #[test]
+    fn lazy_deletion_counters_track_schedules_cancels_and_skips() {
+        let mut cal = EventCalendar::with_granularity(100);
+        assert_eq!(
+            (cal.scheduled(), cal.cancelled(), cal.stale_popped()),
+            (0, 0, 0)
+        );
+        cal.push(event(10, 0));
+        cal.push(event(20, 1));
+        assert_eq!(cal.scheduled(), 2);
+        // The caller invalidates the first event (generation bump) and later
+        // skips it at pop time; the calendar only keeps the books.
+        cal.note_cancelled();
+        assert_eq!(cal.cancelled(), 1);
+        let stale = cal.pop().unwrap();
+        assert_eq!(stale.time, 10);
+        cal.note_stale_pop();
+        assert_eq!(cal.stale_popped(), 1);
+        assert!(cal.stale_popped() <= cal.cancelled());
         assert_eq!(cal.pop().unwrap().time, 20);
     }
 

@@ -74,8 +74,9 @@
 
 use crate::calendar::{EventCalendar, TimedEvent, TimedKind};
 use crate::cluster::{Cluster, ClusterSpec, InstanceLifecycle, ServiceSpec};
+use crate::flex::{ActiveUnit, BatchingOptions, FlexConfig, FlexState, SharingMode, WorkUnit};
 use crate::scheduler::{idle_order, Dispatch, InstanceView, Scheduler, SchedulingContext};
-use crate::stats::{QueryRecord, SimReport, UnfinishedQuery};
+use crate::stats::{QueryRecord, ServiceStats, SimReport, UnfinishedQuery};
 use kairos_models::latency::LatencyProfile;
 use kairos_models::market::{billed_dollars, Market, MarketEvent};
 use kairos_models::mlmodel::ModelKind;
@@ -151,6 +152,26 @@ pub enum EngineEvent {
         instance_index: usize,
         /// Queries returned to the central queue.
         requeued: usize,
+    },
+    /// A fused invocation finished on a flex-path instance (throughput
+    /// sharing and/or dynamic batching enabled): every member query of the
+    /// invocation — and of any other invocation whose finish volume was
+    /// reached at the same instant — completed at once.
+    Completions {
+        /// Index of the instance whose invocation(s) finished.
+        instance_index: usize,
+        /// One record per completed member, in completion order.
+        records: Vec<QueryRecord>,
+        /// Type name of the serving instance.
+        type_name: Arc<str>,
+    },
+    /// A dynamic batcher's timeout fired an undersized forming batch as one
+    /// fused invocation.
+    BatchFired {
+        /// Index of the instance whose forming batch fired.
+        instance_index: usize,
+        /// Queries fused into the fired invocation.
+        members: usize,
     },
 }
 
@@ -397,6 +418,24 @@ pub struct SimEngine<'a> {
     /// Per-model QoS targets, indexed by [`ModelId`] — an array load on the
     /// completion path, never a string lookup.
     qos_by_model: Vec<u64>,
+    /// Flex service-path configuration (throughput sharing / dynamic
+    /// batching).  `None` keeps every instance on the legacy one-at-a-time
+    /// path, bit-for-bit.
+    flex: Option<FlexConfig>,
+    /// Per-instance flex state; empty unless [`Self::flex`] is set.
+    flex_states: Vec<FlexState>,
+    /// Queries dispatched to flex instances but not yet admitted to service
+    /// (forming batches plus admission queues) — the flex contribution to
+    /// [`Self::queued_backlog`].
+    flex_waiting: usize,
+    /// Fused invocations fired by the dynamic batcher so far.
+    batches_fired: u64,
+    /// Member queries across all fired invocations.
+    batched_queries: u64,
+    /// Sum of member counts per fired invocation (mean fill numerator).
+    batch_fill_sum: u64,
+    /// Sum over fired members of their forming-buffer wait, in µs.
+    batch_wait_us_sum: u64,
 }
 
 impl<'a> SimEngine<'a> {
@@ -548,7 +587,80 @@ impl<'a> SimEngine<'a> {
             requeued_queries: 0,
             qos_us: qos_by_model[0],
             qos_by_model,
+            flex: None,
+            flex_states: Vec::new(),
+            flex_waiting: 0,
+            batches_fired: 0,
+            batched_queries: 0,
+            batch_fill_sum: 0,
+            batch_wait_us_sum: 0,
         }
+    }
+
+    /// Attaches a fair throughput-sharing service model:
+    /// [`SharingMode::Fair`] lets several invocations share each instance
+    /// under the options' degradation curves, while [`SharingMode::None`]
+    /// is a no-op that leaves the engine on the legacy dedicated-instance
+    /// path, bit-for-bit (`tests/proptest_flex.rs` pins that contract).
+    ///
+    /// Must be called before the first step.
+    ///
+    /// # Panics
+    /// Panics if the engine has already started, or if the options carry
+    /// neither one uniform curve nor exactly one curve per pool type.
+    pub fn with_sharing(mut self, mode: SharingMode) -> Self {
+        let SharingMode::Fair(options) = mode else {
+            return self;
+        };
+        self.assert_unstarted("sharing");
+        assert!(
+            options.num_curves() == 1 || options.num_curves() == self.num_types,
+            "need one degradation curve or one per pool type ({} given, {} types)",
+            options.num_curves(),
+            self.num_types
+        );
+        self.flex.get_or_insert_with(FlexConfig::default).sharing = Some(options);
+        self.init_flex();
+        self
+    }
+
+    /// Attaches a per-instance dynamic batcher: dispatched queries gather in
+    /// a forming buffer and fire as one fused invocation when the fused
+    /// batch size reaches `max_batch_size` or `timeout_us` after the first
+    /// member arrived, whichever is first.  Composes with
+    /// [`Self::with_sharing`]; alone, instances serve one fused invocation
+    /// at a time.
+    ///
+    /// Must be called before the first step.
+    ///
+    /// # Panics
+    /// Panics if the engine has already started.
+    pub fn with_batching(mut self, options: BatchingOptions) -> Self {
+        self.assert_unstarted("batching");
+        self.flex.get_or_insert_with(FlexConfig::default).batching = Some(options);
+        self.init_flex();
+        self
+    }
+
+    fn assert_unstarted(&self, what: &str) {
+        assert!(
+            self.next_arrival == 0 && self.records.is_empty() && self.now == 0,
+            "configure {what} before stepping the engine"
+        );
+    }
+
+    /// Creates the per-instance flex states (idempotent across the two
+    /// builder calls), seeding idle-index membership from the index itself.
+    fn init_flex(&mut self) {
+        if self.flex_states.len() == self.cluster.len() {
+            return;
+        }
+        self.flex_states = (0..self.cluster.len())
+            .map(|i| FlexState {
+                in_idle: self.idle_free.binary_search(&(i as u32)).is_ok(),
+                ..FlexState::default()
+            })
+            .collect();
     }
 
     /// Attaches a cloud market to the engine: prices become time-varying for
@@ -589,6 +701,7 @@ impl<'a> SimEngine<'a> {
                 seq: self.seq,
                 instance_index: index,
                 kind: TimedKind::Market,
+                gen: 0,
             });
             self.seq += 1;
         }
@@ -615,7 +728,7 @@ impl<'a> SimEngine<'a> {
     /// plus every local instance queue.  O(1) — maintained incrementally for
     /// the serving loop's demand estimate.
     pub fn queued_backlog(&self) -> usize {
-        self.central_queue.len() - self.queue_head + self.local_queued
+        self.central_queue.len() - self.queue_head + self.local_queued + self.flex_waiting
     }
 
     /// Completion records gathered so far.
@@ -702,7 +815,18 @@ impl<'a> SimEngine<'a> {
                 && self.cluster.instances()[event.instance_index].is_preempted()
             {
                 // The serving query was requeued by a kill; its old
-                // completion is void.
+                // completion is void (the kill counted the cancellation).
+                self.calendar.note_stale_pop();
+                continue;
+            }
+            if matches!(
+                event.kind,
+                TimedKind::FlexCompletion | TimedKind::BatchTimeout
+            ) && !self.flex_event_live(&event)
+            {
+                // Superseded by a reschedule (or a kill): lazy deletion —
+                // the stale entry is skipped without advancing the clock.
+                self.calendar.note_stale_pop();
                 continue;
             }
             self.now = event.time;
@@ -711,12 +835,18 @@ impl<'a> SimEngine<'a> {
                 TimedKind::Ready => {
                     // A provisioned instance comes online: no state change
                     // beyond the scheduler consultation that lets queries
-                    // flow to it.
+                    // flow to it (flex instances additionally admit work
+                    // that queued up while they were provisioning).
+                    if self.flex.is_some() {
+                        self.flex_on_ready(event.instance_index);
+                    }
                     break EngineEvent::InstanceReady {
                         instance_index: event.instance_index,
                     };
                 }
                 TimedKind::Completion => break self.complete(event.instance_index),
+                TimedKind::FlexCompletion => break self.flex_complete(event.instance_index),
+                TimedKind::BatchTimeout => break self.flex_timeout(event.instance_index),
                 TimedKind::Market => break self.apply_market_event(event.instance_index),
                 TimedKind::Kill => break self.kill_instance(event.instance_index),
             }
@@ -754,8 +884,18 @@ impl<'a> SimEngine<'a> {
                     if inst.lifecycle == InstanceLifecycle::Preempting {
                         continue; // already racing an earlier deadline
                     }
-                    if inst.accepts_dispatches() && inst.backlog() == 0 {
+                    // A flex instance's cluster-level backlog is trivially
+                    // zero; its index membership lives in the flex state.
+                    let indexed = if self.flex.is_some() {
+                        self.flex_states[i].in_idle
+                    } else {
+                        inst.accepts_dispatches() && inst.backlog() == 0
+                    };
+                    if indexed {
                         self.remove_idle(i as u32);
+                        if let Some(st) = self.flex_states.get_mut(i) {
+                            st.in_idle = false;
+                        }
                     }
                     self.cluster.instances_mut()[i].lifecycle = InstanceLifecycle::Preempting;
                     self.views[i].accepting = false;
@@ -764,6 +904,7 @@ impl<'a> SimEngine<'a> {
                         seq: self.seq,
                         instance_index: i,
                         kind: TimedKind::Kill,
+                        gen: 0,
                     });
                     self.seq += 1;
                     affected += 1;
@@ -783,11 +924,17 @@ impl<'a> SimEngine<'a> {
     /// central queue exactly once, the bill is settled, and the instance
     /// becomes [`InstanceLifecycle::Preempted`].
     fn kill_instance(&mut self, instance_index: usize) -> EngineEvent {
+        if self.flex.is_some() {
+            return self.flex_kill(instance_index);
+        }
         let mut requeued = 0usize;
         {
             let inst = &mut self.cluster.instances_mut()[instance_index];
             debug_assert_eq!(inst.lifecycle, InstanceLifecycle::Preempting);
             if let Some((query, _)) = inst.serving.take() {
+                // The scheduled completion for this query is now void; it
+                // will be skipped (and counted stale) at pop time.
+                self.calendar.note_cancelled();
                 self.central_queue.push(query);
                 requeued += 1;
             }
@@ -916,12 +1063,19 @@ impl<'a> SimEngine<'a> {
         });
         self.local_nominal_us.push(0);
         self.billed_start_us.push(self.now);
+        if self.flex.is_some() {
+            self.flex_states.push(FlexState {
+                in_idle: true,
+                ..FlexState::default()
+            });
+        }
         self.insert_idle_pending(instance_index as u32);
         self.calendar.push(TimedEvent {
             time: ready_at,
             seq: self.seq,
             instance_index,
             kind: TimedKind::Ready,
+            gen: 0,
         });
         self.seq += 1;
         instance_index
@@ -931,6 +1085,10 @@ impl<'a> SimEngine<'a> {
     /// transitions to retired once its local queue drains (immediately if
     /// idle).  Queries already dispatched to it are still served.
     pub fn retire_instance(&mut self, instance_index: usize) {
+        if self.flex.is_some() {
+            self.flex_retire(instance_index);
+            return;
+        }
         let was_dispatchable_idle = {
             let inst = &self.cluster.instances()[instance_index];
             inst.accepts_dispatches() && inst.backlog() == 0
@@ -942,6 +1100,34 @@ impl<'a> SimEngine<'a> {
             // Fully retired on the spot (idle or already terminated): the
             // bill settles now; `settle_bill` no-ops on settled instances.
             self.settle_bill(instance_index, self.now);
+        }
+        self.views[instance_index].accepting = false;
+    }
+
+    /// [`Self::retire_instance`] for the flex path.  The cluster-level
+    /// serving slot and local queue are unused there, so [`Cluster`]'s
+    /// idleness check would retire a loaded instance on the spot; the
+    /// engine drains against the flex state instead.
+    fn flex_retire(&mut self, instance_index: usize) {
+        if self.cluster.instances()[instance_index].is_terminated() {
+            return;
+        }
+        if self.flex_states[instance_index].in_idle {
+            self.remove_idle(instance_index as u32);
+            self.flex_states[instance_index].in_idle = false;
+        }
+        let lifecycle = self.cluster.instances()[instance_index].lifecycle;
+        if lifecycle == InstanceLifecycle::Preempting {
+            // The kill deadline wins, exactly as on the legacy path.
+            self.views[instance_index].accepting = false;
+            return;
+        }
+        if self.flex_states[instance_index].is_empty() {
+            let retired = self.cluster.retire_instance(instance_index);
+            debug_assert!(retired, "an empty flex instance retires immediately");
+            self.settle_bill(instance_index, self.now);
+        } else {
+            self.cluster.instances_mut()[instance_index].lifecycle = InstanceLifecycle::Draining;
         }
         self.views[instance_index].accepting = false;
     }
@@ -1053,6 +1239,20 @@ impl<'a> SimEngine<'a> {
                 unfinished.push(unfinished_of(q));
             }
         }
+        // Flex-path work lives outside the cluster's serving slots: forming
+        // batches, queued invocations, and in-flight invocations all count
+        // as unfinished at the horizon.
+        for st in &self.flex_states {
+            unfinished.extend(st.forming.iter().map(|(q, _)| unfinished_of(q)));
+            for unit in &st.queued {
+                unfinished.push(unfinished_of(&unit.lead));
+                unfinished.extend(unit.rest.iter().map(unfinished_of));
+            }
+            for active in &st.active {
+                unfinished.push(unfinished_of(&active.unit.lead));
+                unfinished.extend(active.unit.rest.iter().map(unfinished_of));
+            }
+        }
 
         let horizon_us = self.last_event.max(self.trace_duration_us);
         // Instances still renting at the horizon settle their bill here, in
@@ -1091,6 +1291,15 @@ impl<'a> SimEngine<'a> {
             preemption_notices: self.preemption_notices,
             preempted_instances: self.preempted_instances,
             requeued_queries: self.requeued_queries,
+            service: ServiceStats {
+                calendar_scheduled: self.calendar.scheduled(),
+                calendar_cancelled: self.calendar.cancelled(),
+                calendar_stale_popped: self.calendar.stale_popped(),
+                batches_fired: self.batches_fired,
+                batched_queries: self.batched_queries,
+                batch_fill_sum: self.batch_fill_sum,
+                batch_wait_us_sum: self.batch_wait_us_sum,
+            },
         }
     }
 
@@ -1124,6 +1333,7 @@ impl<'a> SimEngine<'a> {
                 seq: self.seq,
                 instance_index,
                 kind: TimedKind::Completion,
+                gen: 0,
             });
             self.seq += 1;
         } else {
@@ -1201,11 +1411,28 @@ impl<'a> SimEngine<'a> {
         true
     }
 
-    /// Consults the scheduler and applies its dispatch decisions.
+    /// Consults the scheduler and applies its dispatch decisions.  On the
+    /// flex path the round is re-run while it keeps making progress:
+    /// batching/sharing instances stay dispatchable across several
+    /// dispatches, but policies like FCFS hand out at most one query per
+    /// instance per round.  (The legacy path keeps its single round — one
+    /// dispatch fills the instance — so its event sequence is untouched.)
     fn invoke_scheduler(&mut self) {
+        loop {
+            let dispatched = self.scheduler_round();
+            if self.flex.is_none() || dispatched == 0 || self.central_queue.len() == self.queue_head
+            {
+                return;
+            }
+        }
+    }
+
+    /// One scheduling round: consults the policy once and applies its plan.
+    /// Returns the number of dispatches applied.
+    fn scheduler_round(&mut self) -> usize {
         let queue_len = self.central_queue.len() - self.queue_head;
         if queue_len == 0 {
-            return;
+            return 0;
         }
         self.prepare_round();
         let staged = self.stage_idle_ctx();
@@ -1254,13 +1481,17 @@ impl<'a> SimEngine<'a> {
         });
         if plan.is_empty() {
             self.scratch_plan = plan;
-            return;
+            return 0;
         }
 
         // Dispatch in the order returned by the policy.
         for d in &plan {
             let query = self.central_queue[self.queue_head + d.query_index];
             let i = d.instance_index;
+            if self.flex.is_some() {
+                self.flex_dispatch(i, query);
+                continue;
+            }
             let (needs_start, was_idle, type_index) = {
                 let inst = &mut self.cluster.instances_mut()[i];
                 let was_idle = inst.backlog() == 0;
@@ -1324,7 +1555,421 @@ impl<'a> SimEngine<'a> {
             self.queue_head = 0;
         }
         self.scratch_removed = removed;
+        let dispatched = plan.len();
         self.scratch_plan = plan;
+        dispatched
+    }
+
+    // ---- Flex service path: fair sharing + dynamic batching ------------
+    //
+    // The flex path replaces the serving slot / local FIFO of an instance
+    // with three stages: a *forming* batch (batching only), an *admission
+    // queue* of fired invocations, and the *active* set progressing under
+    // the sharing discipline.  All service work is tracked in normalized
+    // processed-volume units (see `crate::flex`); every mutation below
+    // touches only the affected instance, and superseded calendar entries
+    // die lazily via generation stamps.
+
+    /// Accepts a dispatched query on a flex instance: into the forming
+    /// batch when batching is on, otherwise straight toward admission.
+    fn flex_dispatch(&mut self, i: usize, query: Query) {
+        self.flex_waiting += 1;
+        let batching = self.flex.as_ref().expect("flex dispatch").batching;
+        match batching {
+            Some(b) => {
+                let st = &mut self.flex_states[i];
+                st.forming.push_back((query, self.now));
+                st.forming_fused += query.batch_size;
+                if st.forming_fused >= b.max_batch_size {
+                    self.flex_fire_batch(i);
+                } else if !st.batch_pending {
+                    st.batch_pending = true;
+                    st.batch_gen += 1;
+                    let gen = st.batch_gen;
+                    self.calendar.push(TimedEvent {
+                        time: self.now + b.timeout_us,
+                        seq: self.seq,
+                        instance_index: i,
+                        kind: TimedKind::BatchTimeout,
+                        gen,
+                    });
+                    self.seq += 1;
+                }
+            }
+            None => self.flex_enqueue(i, WorkUnit::single(query)),
+        }
+        self.flex_sync_view(i);
+    }
+
+    /// Fires the forming batch as one fused invocation (size cap reached or
+    /// timeout expired).  Returns the member count.
+    fn flex_fire_batch(&mut self, i: usize) -> usize {
+        {
+            let st = &mut self.flex_states[i];
+            if st.batch_pending {
+                // Superseded by the size trigger: the scheduled timeout
+                // dies lazily at pop time.
+                st.batch_pending = false;
+                st.batch_gen += 1;
+                self.calendar.note_cancelled();
+            }
+        }
+        let now = self.now;
+        let st = &mut self.flex_states[i];
+        let (lead, lead_entered) = st.forming.pop_front().expect("fired an empty batch");
+        let mut wait_us = now - lead_entered;
+        let mut rest = Vec::with_capacity(st.forming.len());
+        while let Some((q, entered)) = st.forming.pop_front() {
+            wait_us += now - entered;
+            rest.push(q);
+        }
+        let unit = WorkUnit {
+            lead,
+            rest,
+            fused: st.forming_fused,
+        };
+        st.forming_fused = 0;
+        let members = unit.members();
+        self.batches_fired += 1;
+        self.batched_queries += members as u64;
+        self.batch_fill_sum += members as u64;
+        self.batch_wait_us_sum += wait_us;
+        self.flex_enqueue(i, unit);
+        members
+    }
+
+    /// Queues a fired invocation for admission and admits while capacity
+    /// allows.
+    fn flex_enqueue(&mut self, i: usize, unit: WorkUnit) {
+        {
+            let st = &mut self.flex_states[i];
+            st.queued_members += unit.members();
+            st.queued.push_back(unit);
+        }
+        if self.flex_try_admit(i) {
+            self.flex_reschedule(i);
+        }
+    }
+
+    /// Admits queued invocations while the concurrency cap allows, drawing
+    /// each one's service time at its fused batch size.  Returns whether
+    /// the active set changed (the caller then re-derives the frontmost
+    /// completion).
+    fn flex_try_admit(&mut self, i: usize) -> bool {
+        let (type_index, model, available_from_us) = {
+            let inst = &self.cluster.instances()[i];
+            (inst.type_index, inst.model, inst.available_from_us)
+        };
+        if self.now < available_from_us {
+            return false; // still provisioning; `Ready` re-runs admission
+        }
+        let cap = self
+            .flex
+            .as_ref()
+            .expect("flex admission")
+            .concurrency_cap();
+        let mut changed = false;
+        while !self.flex_states[i].queued.is_empty()
+            && (cap == 0 || (self.flex_states[i].active.len() as u32) < cap)
+        {
+            if !changed {
+                // Advance the volume at the pre-admission rate exactly once
+                // (subsequent same-instant admissions see dt = 0).
+                self.flex_advance(i);
+                changed = true;
+            }
+            let unit = {
+                let st = &mut self.flex_states[i];
+                let unit = st.queued.pop_front().expect("checked non-empty");
+                st.queued_members -= unit.members();
+                unit
+            };
+            let profile = &self.profiles[model.index() * self.num_types + type_index];
+            let work_us = self.services[model.index()].service_time_us_from_profile(
+                profile,
+                unit.fused,
+                &mut self.rngs[model.index()],
+            );
+            self.flex_waiting -= unit.members();
+            let st = &mut self.flex_states[i];
+            st.admit_counter += 1;
+            st.insert_active(ActiveUnit {
+                finish_volume: st.volume + work_us as f64,
+                admit_seq: st.admit_counter,
+                start_us: self.now,
+                unit,
+            });
+        }
+        changed
+    }
+
+    /// Advances the instance's processed volume to the current clock at the
+    /// prevailing per-sharer rate.  Must run *before* the sharer count
+    /// changes.
+    fn flex_advance(&mut self, i: usize) {
+        let type_index = self.cluster.instances()[i].type_index;
+        let st = &mut self.flex_states[i];
+        if st.active.is_empty() {
+            st.last_update_us = self.now;
+            return;
+        }
+        let dt = self.now - st.last_update_us;
+        if dt > 0 {
+            let rate = self
+                .flex
+                .as_ref()
+                .expect("flex advance")
+                .rate(type_index, st.active.len() as u32);
+            st.volume += dt as f64 * rate;
+            st.last_update_us = self.now;
+        }
+    }
+
+    /// Re-derives the frontmost completion after the active set (and hence
+    /// the sharing rate) changed: the superseded calendar entry is
+    /// invalidated in place (generation bump, lazy deletion) and the new
+    /// boundary scheduled.  O(1) given the sorted active set — the
+    /// incremental heart of the sharing path: an arrival or completion
+    /// re-derives exactly one instance's frontmost event, never rescanning
+    /// the cluster or the calendar.
+    fn flex_reschedule(&mut self, i: usize) {
+        {
+            let st = &mut self.flex_states[i];
+            if st.completion_pending {
+                st.completion_pending = false;
+                st.completion_gen += 1;
+                self.calendar.note_cancelled();
+            }
+        }
+        let type_index = self.cluster.instances()[i].type_index;
+        let st = &mut self.flex_states[i];
+        let Some(front) = st.active.first() else {
+            return;
+        };
+        let rate = self
+            .flex
+            .as_ref()
+            .expect("flex reschedule")
+            .rate(type_index, st.active.len() as u32);
+        let remaining = (front.finish_volume - st.volume).max(0.0);
+        let dt = ((remaining / rate).ceil() as TimeUs).max(1);
+        st.completion_gen += 1;
+        st.completion_pending = true;
+        let gen = st.completion_gen;
+        self.calendar.push(TimedEvent {
+            time: self.now + dt,
+            seq: self.seq,
+            instance_index: i,
+            kind: TimedKind::FlexCompletion,
+            gen,
+        });
+        self.seq += 1;
+    }
+
+    /// Whether a generation-stamped calendar entry is still the live one
+    /// for its instance.
+    fn flex_event_live(&self, event: &TimedEvent) -> bool {
+        let st = &self.flex_states[event.instance_index];
+        match event.kind {
+            TimedKind::FlexCompletion => st.completion_pending && event.gen == st.completion_gen,
+            TimedKind::BatchTimeout => st.batch_pending && event.gen == st.batch_gen,
+            _ => true,
+        }
+    }
+
+    /// Applies a live `FlexCompletion`: advances the volume, pops every
+    /// invocation whose finish volume is reached, records the members,
+    /// refills from the admission queue, and re-derives the next frontmost
+    /// completion.
+    fn flex_complete(&mut self, i: usize) -> EngineEvent {
+        {
+            let st = &mut self.flex_states[i];
+            st.completion_pending = false;
+            st.completion_gen += 1;
+        }
+        self.flex_advance(i);
+        let (type_index, type_name) = {
+            let inst = &self.cluster.instances()[i];
+            (inst.type_index, inst.type_name.clone())
+        };
+        {
+            // Integer rounding of the event time can land a hair before the
+            // exact crossing; the event is authoritative for the frontmost
+            // invocation, so clamp the volume up to it.
+            let st = &mut self.flex_states[i];
+            let front = st
+                .active
+                .first()
+                .expect("live completion on an empty instance")
+                .finish_volume;
+            if st.volume < front {
+                st.volume = front;
+            }
+        }
+        let mut records = Vec::new();
+        while let Some(front) = self.flex_states[i].active.first() {
+            if front.finish_volume > self.flex_states[i].volume {
+                break;
+            }
+            let done = self.flex_states[i].active.remove(0);
+            self.flex_states[i].active_members -= done.unit.members();
+            let service_ms = (self.now - done.start_us) as f64 / 1000.0;
+            for query in std::iter::once(&done.unit.lead).chain(done.unit.rest.iter()) {
+                let record = QueryRecord {
+                    id: query.id,
+                    model: query.model,
+                    batch_size: query.batch_size,
+                    arrival_us: query.arrival_us,
+                    start_us: done.start_us,
+                    completion_us: self.now,
+                    instance_index: i,
+                    type_index,
+                };
+                if record.within_qos(self.qos_by_model[query.model.index()]) {
+                    self.on_time_completions += 1;
+                } else {
+                    self.late_completions += 1;
+                }
+                self.records.push(record);
+                records.push(record);
+                self.scheduler
+                    .on_completion(type_index, query.model, query.batch_size, service_ms);
+            }
+        }
+        self.flex_try_admit(i);
+        self.flex_reschedule(i);
+        self.flex_sync_view(i);
+        if self.flex_states[i].is_empty() && self.cluster.settle_drained(i) {
+            self.settle_bill(i, self.now);
+        }
+        EngineEvent::Completions {
+            instance_index: i,
+            records,
+            type_name,
+        }
+    }
+
+    /// A live batch timeout fired: the undersized forming batch goes out as
+    /// one fused invocation.
+    fn flex_timeout(&mut self, i: usize) -> EngineEvent {
+        {
+            let st = &mut self.flex_states[i];
+            st.batch_pending = false;
+            st.batch_gen += 1;
+        }
+        let members = self.flex_fire_batch(i);
+        self.flex_sync_view(i);
+        EngineEvent::BatchFired {
+            instance_index: i,
+            members,
+        }
+    }
+
+    /// Provisioning boundary passed on a flex instance: admit anything that
+    /// queued up while it was unavailable.
+    fn flex_on_ready(&mut self, i: usize) {
+        if self.flex_try_admit(i) {
+            self.flex_reschedule(i);
+        }
+        self.flex_sync_view(i);
+    }
+
+    /// Preemption-deadline kill of a flex instance: every member in any
+    /// stage (forming, admission queue, in flight) requeues to the central
+    /// queue exactly once, and the pending calendar entries die lazily.
+    fn flex_kill(&mut self, instance_index: usize) -> EngineEvent {
+        debug_assert_eq!(
+            self.cluster.instances()[instance_index].lifecycle,
+            InstanceLifecycle::Preempting
+        );
+        let mut requeued = 0usize;
+        {
+            let st = &mut self.flex_states[instance_index];
+            debug_assert!(!st.in_idle, "notice already de-indexed the instance");
+            if st.batch_pending {
+                st.batch_pending = false;
+                st.batch_gen += 1;
+                self.calendar.note_cancelled();
+            }
+            if st.completion_pending {
+                st.completion_pending = false;
+                st.completion_gen += 1;
+                self.calendar.note_cancelled();
+            }
+            st.forming_fused = 0;
+            self.flex_waiting -= st.forming.len() + st.queued_members;
+            while let Some((query, _)) = st.forming.pop_front() {
+                self.central_queue.push(query);
+                requeued += 1;
+            }
+            while let Some(unit) = st.queued.pop_front() {
+                requeued += unit.members();
+                self.central_queue.push(unit.lead);
+                self.central_queue.extend(unit.rest);
+            }
+            for done in st.active.drain(..) {
+                requeued += done.unit.members();
+                self.central_queue.push(done.unit.lead);
+                self.central_queue.extend(done.unit.rest);
+            }
+            st.queued_members = 0;
+            st.active_members = 0;
+        }
+        {
+            let inst = &mut self.cluster.instances_mut()[instance_index];
+            inst.lifecycle = InstanceLifecycle::Preempted;
+            let free_at = self.now.max(inst.available_from_us);
+            let view = &mut self.views[instance_index];
+            view.backlog = 0;
+            view.free_at_us = free_at;
+            debug_assert!(!view.accepting, "notice already stopped dispatches");
+        }
+        self.settle_bill(instance_index, self.now);
+        self.preempted_instances += 1;
+        self.requeued_queries += requeued;
+        EngineEvent::InstancePreempted {
+            instance_index,
+            requeued,
+        }
+    }
+
+    /// Re-derives the instance's scheduler view and idle-index membership
+    /// from its flex state.  A flex instance is *dispatchable* while it can
+    /// absorb another query: forming below the size cap with an empty
+    /// admission queue when batching, an open admission slot (and empty
+    /// queue) under sharing alone.
+    fn flex_sync_view(&mut self, i: usize) {
+        let (accepting, available_from_us) = {
+            let inst = &self.cluster.instances()[i];
+            (inst.accepts_dispatches(), inst.available_from_us)
+        };
+        let config = self.flex.as_ref().expect("flex view sync");
+        let cap = config.concurrency_cap();
+        let st = &self.flex_states[i];
+        let open = match config.batching {
+            Some(b) => st.forming_fused < b.max_batch_size && st.queued.is_empty(),
+            None => st.queued.is_empty() && (cap == 0 || (st.active.len() as u32) < cap),
+        };
+        let dispatchable = accepting && open;
+        let backlog = st.total_members();
+        let was_indexed = st.in_idle;
+        self.views[i].backlog = backlog;
+        self.views[i].accepting = accepting;
+        if dispatchable == was_indexed {
+            return;
+        }
+        if dispatchable {
+            self.views[i].free_at_us = self.now.max(available_from_us);
+            if available_from_us > self.now {
+                self.insert_idle_pending(i as u32);
+            } else {
+                let pos = self.idle_free.binary_search(&(i as u32)).unwrap_err();
+                self.idle_free.insert(pos, i as u32);
+            }
+        } else {
+            self.remove_idle(i as u32);
+        }
+        self.flex_states[i].in_idle = dispatchable;
     }
 }
 
@@ -1569,6 +2214,7 @@ pub fn run_trace_naive(
         preemption_notices: 0,
         preempted_instances: 0,
         requeued_queries: 0,
+        service: ServiceStats::default(),
     }
 }
 
@@ -2231,6 +2877,343 @@ mod tests {
         let hours = |us: TimeUs| us as f64 / 3.6e9;
         let expect = 0.526 * hours(report.horizon_us) + 0.05 * hours(500_000);
         assert!((report.billed_dollars - expect).abs() < 1e-12);
+    }
+
+    mod flex_path {
+        use super::*;
+        use crate::flex::SharingOptions;
+        use kairos_models::ThroughputDegradation;
+
+        /// Service time of one lone legacy query of `batch` at t = 0 on the
+        /// GPU — the yardstick the sharing tests scale against.
+        fn solo_service_us(batch: u32) -> TimeUs {
+            let (pool, service) = setup();
+            let config = Config::new(vec![1, 0, 0, 0]);
+            let trace = Trace::from_queries(vec![Query::new(0, batch, 0)]);
+            let report = run_trace(
+                &pool,
+                &config,
+                &service,
+                &trace,
+                &mut FcfsScheduler::new(),
+                &SimulationOptions::default(),
+            );
+            report.records[0].completion_us - report.records[0].start_us
+        }
+
+        #[test]
+        fn sharing_mode_none_is_the_legacy_engine() {
+            let (pool, service) = setup();
+            let trace = TraceSpec::production(400.0, 1.0, 21).generate();
+            let config = Config::new(vec![1, 1, 2, 0]);
+            let opts = SimulationOptions { seed: 3 };
+            let plain = run_trace(
+                &pool,
+                &config,
+                &service,
+                &trace,
+                &mut FcfsScheduler::new(),
+                &opts,
+            );
+            let mut scheduler = FcfsScheduler::new();
+            let none = SimEngine::new(&pool, &config, &service, &trace, &mut scheduler, &opts)
+                .with_sharing(SharingMode::None)
+                .run();
+            assert_eq!(plain.records, none.records);
+            assert_eq!(plain.unfinished, none.unfinished);
+            assert_eq!(plain.events_processed, none.events_processed);
+            assert_eq!(
+                plain.billed_dollars.to_bits(),
+                none.billed_dollars.to_bits()
+            );
+            assert_eq!(plain.service, none.service);
+        }
+
+        #[test]
+        fn time_sliced_sharing_halves_the_pace_of_a_pair() {
+            let (pool, service) = setup();
+            let config = Config::new(vec![1, 0, 0, 0]);
+            let s = solo_service_us(100);
+            let trace = Trace::from_queries(vec![Query::new(0, 100, 0), Query::new(1, 100, 0)]);
+            let mut scheduler = FcfsScheduler::new();
+            let report = SimEngine::new(
+                &pool,
+                &config,
+                &service,
+                &trace,
+                &mut scheduler,
+                &SimulationOptions::default(),
+            )
+            .with_sharing(SharingMode::Fair(SharingOptions::uniform(
+                ThroughputDegradation::TimeSliced,
+            )))
+            .run();
+            assert_eq!(report.completed(), 2);
+            // Both queries share the instance from t = 0 at half speed, so
+            // both finish together at twice the solo service time.
+            for r in &report.records {
+                assert_eq!(r.start_us, 0);
+                assert_eq!(r.completion_us, 2 * s, "records: {:?}", report.records);
+            }
+            // The pair's admission superseded the lone frontmost completion
+            // exactly once, and the stale entry was skipped at pop.
+            assert_eq!(report.service.calendar_cancelled, 1);
+            assert_eq!(report.service.calendar_stale_popped, 1);
+        }
+
+        #[test]
+        fn ideal_sharing_runs_the_pair_at_full_speed() {
+            let (pool, service) = setup();
+            let config = Config::new(vec![1, 0, 0, 0]);
+            let s = solo_service_us(100);
+            let trace = Trace::from_queries(vec![Query::new(0, 100, 0), Query::new(1, 100, 0)]);
+            let mut scheduler = FcfsScheduler::new();
+            let report = SimEngine::new(
+                &pool,
+                &config,
+                &service,
+                &trace,
+                &mut scheduler,
+                &SimulationOptions::default(),
+            )
+            .with_sharing(SharingMode::Fair(SharingOptions::uniform(
+                ThroughputDegradation::Ideal,
+            )))
+            .run();
+            assert_eq!(report.completed(), 2);
+            for r in &report.records {
+                assert_eq!(r.completion_us, s, "contention-free pair runs solo-speed");
+            }
+        }
+
+        #[test]
+        fn concurrency_cap_serializes_admissions() {
+            let (pool, service) = setup();
+            let config = Config::new(vec![1, 0, 0, 0]);
+            let s = solo_service_us(100);
+            let trace = Trace::from_queries(vec![Query::new(0, 100, 0), Query::new(1, 100, 0)]);
+            let mut scheduler = FcfsScheduler::new();
+            let report = SimEngine::new(
+                &pool,
+                &config,
+                &service,
+                &trace,
+                &mut scheduler,
+                &SimulationOptions::default(),
+            )
+            .with_sharing(SharingMode::Fair(
+                SharingOptions::uniform(ThroughputDegradation::TimeSliced).with_max_concurrency(1),
+            ))
+            .run();
+            let mut completions: Vec<TimeUs> =
+                report.records.iter().map(|r| r.completion_us).collect();
+            completions.sort_unstable();
+            // With one admission slot the discipline is serial FIFO again.
+            assert_eq!(completions, vec![s, 2 * s]);
+            assert_eq!(report.service.calendar_cancelled, 0);
+        }
+
+        #[test]
+        fn batcher_fires_on_the_size_cap_and_on_the_timeout() {
+            let (pool, service) = setup();
+            let config = Config::new(vec![1, 0, 0, 0]);
+            // Four queries fuse to the 400-unit cap and fire instantly; the
+            // straggler waits out the 10 ms timeout alone.
+            let mut queries: Vec<Query> = (0..4).map(|i| Query::new(i, 100, 0)).collect();
+            queries.push(Query::new(4, 100, 100_000));
+            let trace = Trace::from_queries(queries);
+            let mut scheduler = FcfsScheduler::new();
+            let report = SimEngine::new(
+                &pool,
+                &config,
+                &service,
+                &trace,
+                &mut scheduler,
+                &SimulationOptions::default(),
+            )
+            .with_batching(BatchingOptions::new(400, 10_000))
+            .run();
+            assert_eq!(report.completed(), 5);
+            assert_eq!(report.service.batches_fired, 2);
+            assert_eq!(report.service.batched_queries, 5);
+            assert_eq!(report.service.batch_fill_sum, 5);
+            // The full batch fired with zero forming wait; the straggler
+            // waited exactly the timeout.
+            assert_eq!(report.service.batch_wait_us_sum, 10_000);
+            // Size-cap firing cancelled the full batch's timer; the timer's
+            // stale calendar entry was later skipped at pop.
+            assert_eq!(report.service.calendar_cancelled, 1);
+            assert_eq!(report.service.calendar_stale_popped, 1);
+            // The four fused members share one invocation: same start, same
+            // completion, and a fused service time below four solo passes.
+            let fused: Vec<_> = report.records.iter().filter(|r| r.id < 4).collect();
+            let solo = solo_service_us(100);
+            for r in &fused {
+                assert_eq!(r.start_us, fused[0].start_us);
+                assert_eq!(r.completion_us, fused[0].completion_us);
+            }
+            let fused_service = fused[0].completion_us - fused[0].start_us;
+            assert!(
+                fused_service < 4 * solo,
+                "batching must amortize the intercept: {fused_service} vs 4 x {solo}"
+            );
+            // The straggler fires at arrival + timeout and serves alone.
+            let straggler = report.records.iter().find(|r| r.id == 4).unwrap();
+            assert_eq!(straggler.start_us, 110_000);
+            assert_eq!(straggler.completion_us - straggler.start_us, solo);
+        }
+
+        #[test]
+        fn batching_only_serves_fused_invocations_serially() {
+            let (pool, service) = setup();
+            let config = Config::new(vec![1, 0, 0, 0]);
+            // Two full batches back to back: the second fires while the
+            // first is still in service and must wait for its slot.
+            let queries: Vec<Query> = (0..8).map(|i| Query::new(i, 100, 0)).collect();
+            let trace = Trace::from_queries(queries);
+            let mut scheduler = FcfsScheduler::new();
+            let report = SimEngine::new(
+                &pool,
+                &config,
+                &service,
+                &trace,
+                &mut scheduler,
+                &SimulationOptions::default(),
+            )
+            .with_batching(BatchingOptions::new(400, 10_000))
+            .run();
+            assert_eq!(report.completed(), 8);
+            assert_eq!(report.service.batches_fired, 2);
+            let mut intervals: Vec<(TimeUs, TimeUs)> = report
+                .records
+                .iter()
+                .map(|r| (r.start_us, r.completion_us))
+                .collect();
+            intervals.sort_unstable();
+            intervals.dedup();
+            assert_eq!(intervals.len(), 2, "two distinct fused invocations");
+            assert!(
+                intervals[0].1 <= intervals[1].0,
+                "one invocation at a time without sharing: {intervals:?}"
+            );
+        }
+
+        #[test]
+        fn preemption_kill_requeues_every_flex_stage_once() {
+            let (catalog, market) = spot_setup(100_000, 10_000);
+            let pool = catalog.effective_pool();
+            let service = ServiceSpec::new(ModelKind::Wnd, paper_calibration());
+            // Heavy fused batches on both instances; the spot instance dies
+            // mid-service and everything it held drains on the GPU.  The
+            // late arrivals extend the trace horizon past the notice.
+            let mut queries: Vec<Query> = (0..12).map(|i| Query::new(i, 900, 1_000)).collect();
+            queries.extend((12..14).map(|i| Query::new(i, 900, 400_000)));
+            let trace = Trace::from_queries(queries);
+            let offered = trace.len();
+            let mut scheduler = FcfsScheduler::new();
+            let report = SimEngine::new(
+                &pool,
+                &Config::new(vec![1, 1]),
+                &service,
+                &trace,
+                &mut scheduler,
+                &SimulationOptions::default(),
+            )
+            .with_market(&market)
+            .with_sharing(SharingMode::Fair(
+                SharingOptions::uniform(ThroughputDegradation::TimeSliced).with_max_concurrency(2),
+            ))
+            .with_batching(BatchingOptions::new(1_800, 5_000))
+            .run();
+            assert_eq!(report.preempted_instances, 1);
+            assert!(report.requeued_queries > 0, "the kill must strip work");
+            assert_eq!(
+                report.completed() + report.unfinished.len(),
+                offered,
+                "every query is accounted for exactly once"
+            );
+            assert_eq!(report.completed(), offered, "the GPU drains everything");
+            for r in report.records.iter().filter(|r| r.instance_index == 1) {
+                assert!(r.completion_us <= 110_000, "completion after the kill");
+            }
+            assert!(
+                report.service.calendar_stale_popped <= report.service.calendar_cancelled,
+                "every skipped entry must have been cancelled first"
+            );
+        }
+
+        #[test]
+        fn retiring_a_loaded_flex_instance_drains_before_terminating() {
+            let (pool, service) = setup();
+            let config = Config::new(vec![2, 0, 0, 0]);
+            let mut queries: Vec<Query> = (0..4).map(|i| Query::new(i, 500, 1_000)).collect();
+            queries.extend((4..8).map(|i| Query::new(i, 500, 400_000)));
+            let trace = Trace::from_queries(queries);
+            let mut scheduler = FcfsScheduler::new();
+            let mut engine = SimEngine::new(
+                &pool,
+                &config,
+                &service,
+                &trace,
+                &mut scheduler,
+                &SimulationOptions::default(),
+            )
+            .with_sharing(SharingMode::Fair(
+                SharingOptions::uniform(ThroughputDegradation::TimeSliced).with_max_concurrency(2),
+            ));
+            for _ in 0..4 {
+                assert!(engine.step());
+            }
+            // Retire instance 1 while its flex stages hold work: the
+            // cluster-level idleness check must not retire it on the spot.
+            engine.retire_instance(1);
+            assert_eq!(
+                engine.cluster().instances()[1].lifecycle,
+                InstanceLifecycle::Draining
+            );
+            let report = engine.run();
+            assert_eq!(report.completed(), 8);
+            for r in report.records.iter().filter(|r| r.instance_index == 1) {
+                assert!(
+                    r.arrival_us < 400_000,
+                    "query {} dispatched to a draining flex instance",
+                    r.id
+                );
+            }
+        }
+
+        #[test]
+        fn flex_instance_added_mid_run_provisions_before_admitting() {
+            let (pool, service) = setup();
+            let config = Config::new(vec![1, 0, 0, 0]);
+            let queries: Vec<Query> = (0..12).map(|i| Query::new(i, 900, 1_000)).collect();
+            let trace = Trace::from_queries(queries);
+            let mut scheduler = FcfsScheduler::new();
+            let mut engine = SimEngine::new(
+                &pool,
+                &config,
+                &service,
+                &trace,
+                &mut scheduler,
+                &SimulationOptions::default(),
+            )
+            .with_sharing(SharingMode::Fair(
+                SharingOptions::uniform(ThroughputDegradation::TimeSliced).with_max_concurrency(1),
+            ));
+            for _ in 0..12 {
+                assert!(engine.step());
+            }
+            let added = engine.add_instance(0, 50_000);
+            let report = engine.run();
+            assert_eq!(report.completed(), 12);
+            for r in report.records.iter().filter(|r| r.instance_index == added) {
+                assert!(r.start_us >= 51_000, "start {} before ready", r.start_us);
+            }
+            assert!(
+                report.records.iter().any(|r| r.instance_index == added),
+                "added capacity must be used"
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod capacity;
 pub mod cluster;
 pub mod context;
 pub mod engine;
+pub mod flex;
 pub mod scheduler;
 pub mod sharded;
 pub mod stats;
@@ -67,8 +68,9 @@ pub use engine::{
     run_trace, run_trace_naive, ClusterAction, EngineEvent, EngineHook, SimEngine,
     SimulationOptions,
 };
+pub use flex::{BatchingOptions, SharingMode, SharingOptions};
 pub use scheduler::{
     idle_order, Dispatch, FcfsScheduler, InstanceView, Scheduler, SchedulingContext,
 };
 pub use sharded::ShardedEngine;
-pub use stats::{ModelReport, QueryRecord, SimReport, UnfinishedQuery};
+pub use stats::{ModelReport, QueryRecord, ServiceStats, SimReport, UnfinishedQuery};

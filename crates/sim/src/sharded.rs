@@ -3,7 +3,7 @@
 //!
 //! # Why the model lane is the shard boundary
 //!
-//! A multi-model [`ClusterSpec`](crate::ClusterSpec) binds disjoint
+//! A multi-model [`ClusterSpec`] binds disjoint
 //! sub-clusters to models, the engine rejects cross-model dispatches, and a
 //! work-conserving idle-dispatch policy (FCFS) leaves no
 //! (queued query, idle instance) pair of any model unmatched after a
@@ -41,6 +41,7 @@
 
 use crate::cluster::{ClusterSpec, ModelPool, ServiceSpec};
 use crate::engine::{SimEngine, SimulationOptions};
+use crate::flex::{BatchingOptions, SharingMode, SharingOptions};
 use crate::scheduler::Scheduler;
 use crate::stats::SimReport;
 use kairos_models::market::billed_dollars;
@@ -80,6 +81,8 @@ pub struct ShardedEngine<'a> {
     spec: &'a ClusterSpec,
     services: Vec<&'a ServiceSpec>,
     options: SimulationOptions,
+    sharing: Option<SharingOptions>,
+    batching: Option<BatchingOptions>,
 }
 
 /// One shard's inputs: a single-slice cluster spec, the lane's sub-trace,
@@ -114,7 +117,33 @@ impl<'a> ShardedEngine<'a> {
             spec,
             services: services.to_vec(),
             options: *options,
+            sharing: None,
+            batching: None,
         }
+    }
+
+    /// Enables fair throughput sharing on every shard engine (see
+    /// [`SimEngine::with_sharing`]).  [`SharingMode::None`] is a no-op, so
+    /// the sharded path keeps its exact-replay contract in both modes.
+    /// Sharing state is strictly per-instance and lanes own disjoint
+    /// instances, so the combined-vs-sharded bit-identity argument in the
+    /// module docs carries over unchanged (pinned by
+    /// `tests/proptest_flex.rs`).
+    #[must_use]
+    pub fn with_sharing(mut self, mode: SharingMode) -> Self {
+        self.sharing = match mode {
+            SharingMode::None => None,
+            SharingMode::Fair(options) => Some(options),
+        };
+        self
+    }
+
+    /// Enables the per-instance dynamic batcher on every shard engine (see
+    /// [`SimEngine::with_batching`]).
+    #[must_use]
+    pub fn with_batching(mut self, options: BatchingOptions) -> Self {
+        self.batching = Some(options);
+        self
     }
 
     /// Replays `trace` sharded by model lane, one engine per
@@ -168,15 +197,21 @@ impl<'a> ShardedEngine<'a> {
                 let sub = std::mem::replace(&mut job.sub, empty_trace());
                 let shard_spec = ClusterSpec::new(vec![job.slice.clone()]);
                 let mut scheduler = make_scheduler(job.slice.model);
-                let report = SimEngine::new_multi(
+                let mut engine = SimEngine::new_multi(
                     self.pool,
                     &shard_spec,
                     &self.services,
                     &sub,
                     scheduler.as_mut(),
                     &self.options,
-                )
-                .run();
+                );
+                if let Some(options) = &self.sharing {
+                    engine = engine.with_sharing(SharingMode::Fair(options.clone()));
+                }
+                if let Some(options) = self.batching {
+                    engine = engine.with_batching(options);
+                }
+                let report = engine.run();
                 drop(sub);
                 (job.slice.clone(), job.offset, report)
             })
@@ -251,6 +286,7 @@ impl<'a> ShardedEngine<'a> {
                 preemption_notices: 0,
                 preempted_instances: 0,
                 requeued_queries: 0,
+                service: crate::stats::ServiceStats::default(),
             });
         }
 
@@ -313,6 +349,110 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(combined.events_processed, sharded.events_processed);
+        assert_eq!(combined.service, sharded.service);
+    }
+
+    fn flex_knobs() -> (SharingMode, BatchingOptions) {
+        use kairos_models::ThroughputDegradation;
+        (
+            SharingMode::Fair(
+                SharingOptions::uniform(ThroughputDegradation::try_new_linear(0.1).unwrap())
+                    .with_max_concurrency(4),
+            ),
+            BatchingOptions::new(256, 2_000),
+        )
+    }
+
+    #[test]
+    fn sharded_flex_run_matches_the_combined_engine_bit_for_bit() {
+        let mix = MixSpec::from_shares(
+            &[0.4, 0.35, 0.25],
+            &[
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::gaussian_default(),
+                BatchSizeDistribution::Fixed(64),
+            ],
+        );
+        let trace = MixedTraceSpec::poisson(500.0, mix, 2.0, 13).generate();
+        let spec = ClusterSpec::from_configs(vec![
+            Config::new(vec![1, 0, 1, 0]),
+            Config::new(vec![2, 0, 0, 0]),
+            Config::new(vec![1, 1, 1, 1]),
+        ]);
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let svc = services();
+        let svc_refs: Vec<&ServiceSpec> = svc.iter().collect();
+        let opts = SimulationOptions { seed: 13 };
+        let (sharing, batching) = flex_knobs();
+        let mut scheduler = FcfsScheduler::new();
+        let combined = SimEngine::new_multi(&pool, &spec, &svc_refs, &trace, &mut scheduler, &opts)
+            .with_sharing(sharing.clone())
+            .with_batching(batching)
+            .run();
+        let sharded = ShardedEngine::new(&pool, &spec, &svc_refs, &opts)
+            .with_sharing(sharing)
+            .with_batching(batching)
+            .run(&trace, fcfs);
+        assert_eq!(combined.records, sharded.records);
+        assert_eq!(combined.unfinished, sharded.unfinished);
+        assert_eq!(combined.horizon_us, sharded.horizon_us);
+        assert_eq!(
+            combined.billed_dollars.to_bits(),
+            sharded.billed_dollars.to_bits()
+        );
+        assert_eq!(combined.events_processed, sharded.events_processed);
+        assert_eq!(combined.service, sharded.service);
+        assert!(
+            combined.service.batches_fired > 0,
+            "the batcher must engage"
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_flex_report() {
+        let mix = MixSpec::from_shares(
+            &[0.5, 0.3, 0.2],
+            &[
+                BatchSizeDistribution::Fixed(8),
+                BatchSizeDistribution::Fixed(32),
+                BatchSizeDistribution::Fixed(128),
+            ],
+        );
+        let trace = MixedTraceSpec::poisson(600.0, mix, 1.0, 17).generate();
+        let spec = ClusterSpec::from_configs(vec![
+            Config::new(vec![1, 0, 0, 0]),
+            Config::new(vec![1, 0, 1, 0]),
+            Config::new(vec![1, 0, 0, 1]),
+        ]);
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let svc = services();
+        let svc_refs: Vec<&ServiceSpec> = svc.iter().collect();
+        let opts = SimulationOptions { seed: 17 };
+        let (sharing, batching) = flex_knobs();
+        let sharded = ShardedEngine::new(&pool, &spec, &svc_refs, &opts)
+            .with_sharing(sharing)
+            .with_batching(batching);
+        let reference = sharded.run(&trace, fcfs);
+        assert!(
+            reference.service.batches_fired > 0,
+            "the batcher must engage"
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let pool_n = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let report = pool_n.install(|| sharded.run(&trace, fcfs));
+            assert_eq!(reference.records, report.records);
+            assert_eq!(reference.unfinished, report.unfinished);
+            assert_eq!(reference.horizon_us, report.horizon_us);
+            assert_eq!(
+                reference.billed_dollars.to_bits(),
+                report.billed_dollars.to_bits()
+            );
+            assert_eq!(reference.events_processed, report.events_processed);
+            assert_eq!(reference.service, report.service);
+        }
     }
 
     #[test]

@@ -61,6 +61,68 @@ pub struct UnfinishedQuery {
     pub arrival_us: TimeUs,
 }
 
+/// Counters of the flexible service layer (fair throughput sharing + dynamic
+/// batching) and the calendar's lazy-deletion bookkeeping.  All zeros on the
+/// legacy scalar service path except the `calendar_scheduled` count, which
+/// every engine run produces.  Every field sums across shard merges: flex
+/// state is per-instance and instances belong to exactly one model lane, so
+/// the sharded engine's per-lane counters partition the combined run's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Timed events ever pushed onto the engine's calendar.
+    pub calendar_scheduled: u64,
+    /// Calendar events invalidated in place by lazy deletion (sharing
+    /// reschedules, batch-timeout preemptions, instance kills).
+    pub calendar_cancelled: u64,
+    /// Stale calendar events popped and skipped.  At most
+    /// `calendar_cancelled` — the engine regression tests assert this, which
+    /// catches tombstone leaks (events cancelled twice, or skips that never
+    /// had a matching cancellation).
+    pub calendar_stale_popped: u64,
+    /// Batches fired by the dynamic batcher (singleton batches included).
+    pub batches_fired: u64,
+    /// Queries that went through the batcher (members of fired batches).
+    pub batched_queries: u64,
+    /// Sum of fused batch sizes (member batch sizes added up) over fired
+    /// batches; `batch_fill_sum / batches_fired` is the mean occupancy.
+    pub batch_fill_sum: u64,
+    /// Total time members spent in forming windows before their batch
+    /// fired, in microseconds.
+    pub batch_wait_us_sum: u64,
+}
+
+impl ServiceStats {
+    /// Field-wise sum (the shard-merge combination).
+    pub fn merged(self, other: ServiceStats) -> ServiceStats {
+        ServiceStats {
+            calendar_scheduled: self.calendar_scheduled + other.calendar_scheduled,
+            calendar_cancelled: self.calendar_cancelled + other.calendar_cancelled,
+            calendar_stale_popped: self.calendar_stale_popped + other.calendar_stale_popped,
+            batches_fired: self.batches_fired + other.batches_fired,
+            batched_queries: self.batched_queries + other.batched_queries,
+            batch_fill_sum: self.batch_fill_sum + other.batch_fill_sum,
+            batch_wait_us_sum: self.batch_wait_us_sum + other.batch_wait_us_sum,
+        }
+    }
+
+    /// Mean fused batch size over fired batches (0 when nothing batched).
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.batches_fired == 0 {
+            return 0.0;
+        }
+        self.batch_fill_sum as f64 / self.batches_fired as f64
+    }
+
+    /// Mean time a batched query waited in its forming window, in
+    /// microseconds (0 when nothing batched).
+    pub fn mean_batch_wait_us(&self) -> f64 {
+        if self.batched_queries == 0 {
+            return 0.0;
+        }
+        self.batch_wait_us_sum as f64 / self.batched_queries as f64
+    }
+}
+
 /// Aggregated outcome of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -112,6 +174,10 @@ pub struct SimReport {
     /// Queries requeued to the central queue by preemption kills (a query
     /// requeued by two successive kills counts twice).
     pub requeued_queries: usize,
+    /// Flexible-service-layer counters: calendar lazy-deletion tombstones
+    /// and dynamic-batcher occupancy/latency metrics.  Summed field-wise by
+    /// shard merges.
+    pub service: ServiceStats,
 }
 
 /// One model's slice of a [`SimReport`]: the per-model accounting that sums
@@ -632,6 +698,7 @@ impl SimReport {
             preemption_notices: self.preemption_notices + other.preemption_notices,
             preempted_instances: self.preempted_instances + other.preempted_instances,
             requeued_queries: self.requeued_queries + other.requeued_queries,
+            service: self.service.merged(other.service),
         }
     }
 
@@ -731,6 +798,9 @@ impl SimReport {
             preemption_notices: reports.iter().map(|r| r.preemption_notices).sum(),
             preempted_instances: reports.iter().map(|r| r.preempted_instances).sum(),
             requeued_queries: reports.iter().map(|r| r.requeued_queries).sum(),
+            service: reports
+                .iter()
+                .fold(ServiceStats::default(), |acc, r| acc.merged(r.service)),
         })
     }
 }
@@ -768,6 +838,7 @@ mod tests {
             preemption_notices: 0,
             preempted_instances: 0,
             requeued_queries: 0,
+            service: ServiceStats::default(),
         }
     }
 
@@ -912,6 +983,7 @@ mod tests {
             preemption_notices: 0,
             preempted_instances: 0,
             requeued_queries: 0,
+            service: ServiceStats::default(),
         };
         let per = rep.per_model();
         assert_eq!(per.len(), 2);
@@ -936,6 +1008,27 @@ mod tests {
         );
         assert_eq!(per[0].p99_latency_us, 50_000);
         assert!((per[0].violation_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_stats_means_handle_empty_and_populated_counters() {
+        let empty = ServiceStats::default();
+        assert_eq!(empty.mean_batch_fill(), 0.0);
+        assert_eq!(empty.mean_batch_wait_us(), 0.0);
+        let stats = ServiceStats {
+            calendar_scheduled: 10,
+            calendar_cancelled: 4,
+            calendar_stale_popped: 3,
+            batches_fired: 4,
+            batched_queries: 10,
+            batch_fill_sum: 100,
+            batch_wait_us_sum: 5_000,
+        };
+        assert_eq!(stats.mean_batch_fill(), 25.0);
+        assert_eq!(stats.mean_batch_wait_us(), 500.0);
+        let doubled = stats.merged(stats);
+        assert_eq!(doubled.batch_fill_sum, 200);
+        assert_eq!(doubled.mean_batch_fill(), 25.0);
     }
 
     #[test]
@@ -984,6 +1077,15 @@ mod tests {
             preemption_notices: m,
             preempted_instances: 0,
             requeued_queries: 2 * m,
+            service: ServiceStats {
+                calendar_scheduled: 50 + m as u64,
+                calendar_cancelled: 10 + m as u64,
+                calendar_stale_popped: 8 + m as u64,
+                batches_fired: 4 + m as u64,
+                batched_queries: 9 + m as u64,
+                batch_fill_sum: 40 + m as u64,
+                batch_wait_us_sum: 1_000 + m as u64,
+            },
         }
     }
 
@@ -1006,6 +1108,7 @@ mod tests {
         assert_eq!(a.preemption_notices, b.preemption_notices);
         assert_eq!(a.preempted_instances, b.preempted_instances);
         assert_eq!(a.requeued_queries, b.requeued_queries);
+        assert_eq!(a.service, b.service);
     }
 
     #[test]
@@ -1025,6 +1128,7 @@ mod tests {
             preemption_notices: 0,
             preempted_instances: 0,
             requeued_queries: 0,
+            service: ServiceStats::default(),
         };
         let merged = a.clone().merge(empty.clone());
         // `a` is already canonically ordered (ids ascending with completion
@@ -1048,6 +1152,10 @@ mod tests {
         assert_eq!(merged.qos_by_model, vec![10_000, 11_000]);
         assert_eq!(merged.billed_by_model, vec![1.25, 2.5]);
         assert_eq!(merged.billed_dollars, 0.0 + 1.25 + 2.5);
+        // Service-layer counters sum field-wise.
+        assert_eq!(merged.service, a.service.merged(b.service));
+        assert_eq!(merged.service.calendar_scheduled, 101);
+        assert_eq!(merged.service.batches_fired, 9);
         // Records sorted by (completion, arrival, id); unfinished by
         // (arrival, id).
         assert!(merged

@@ -4,12 +4,17 @@
 //!    recomputed-from-scratch views after **every** event of a 10k-query
 //!    production trace, and
 //! 2. `SimEngine::run` must byte-match the preserved `run_trace_naive`
-//!    reference (records, unfinished queries, horizon) for fixed seeds.
+//!    reference (records, unfinished queries, horizon) for fixed seeds, and
+//! 3. the calendar's generation-stamped lazy deletion must never skip an
+//!    entry it did not first cancel (`stale_popped <= cancelled`), on the
+//!    legacy path and across the flex (sharing + batching) hot path.
 
-use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
+use kairos_models::{
+    calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec, ThroughputDegradation,
+};
 use kairos_sim::{
-    idle_order, run_trace, run_trace_naive, Dispatch, FcfsScheduler, Scheduler, SchedulingContext,
-    ServiceSpec, SimEngine, SimulationOptions,
+    idle_order, run_trace, run_trace_naive, BatchingOptions, Dispatch, FcfsScheduler, Scheduler,
+    SchedulingContext, ServiceSpec, SharingMode, SharingOptions, SimEngine, SimulationOptions,
 };
 use kairos_workload::TraceSpec;
 
@@ -170,5 +175,68 @@ fn engine_byte_matches_naive_reference_for_fixed_seeds() {
         );
         assert_eq!(fast.unfinished, naive.unfinished);
         assert_eq!(fast.horizon_us, naive.horizon_us);
+    }
+}
+
+/// Lazy-deletion bookkeeping on 10k-query production traces: every stale
+/// calendar entry skipped at pop time was cancelled first, cancellations
+/// never exceed what was scheduled, and the engine still conserves queries.
+#[test]
+fn calendar_lazy_deletion_counters_stay_consistent() {
+    let (pool, service) = setup();
+    let config = Config::new(vec![8, 4, 8, 4]);
+    let flex_knobs: [(Option<SharingMode>, Option<BatchingOptions>); 4] = [
+        (None, None),
+        (
+            Some(SharingMode::Fair(
+                SharingOptions::uniform(ThroughputDegradation::try_new_linear(0.2).unwrap())
+                    .with_max_concurrency(4),
+            )),
+            None,
+        ),
+        (None, Some(BatchingOptions::new(256, 2_000))),
+        (
+            Some(SharingMode::Fair(
+                SharingOptions::uniform(ThroughputDegradation::TimeSliced).with_max_concurrency(2),
+            )),
+            Some(BatchingOptions::new(128, 1_000)),
+        ),
+    ];
+    for seed in [0u64, 7] {
+        let trace = production_10k(seed.wrapping_add(23));
+        let opts = SimulationOptions { seed };
+        for (sharing, batching) in &flex_knobs {
+            let mut scheduler = FcfsScheduler::new();
+            let mut engine =
+                SimEngine::new(&pool, &config, &service, &trace, &mut scheduler, &opts);
+            if let Some(mode) = sharing {
+                engine = engine.with_sharing(mode.clone());
+            }
+            if let Some(b) = batching {
+                engine = engine.with_batching(*b);
+            }
+            let report = engine.run();
+            let s = &report.service;
+            assert!(
+                s.calendar_stale_popped <= s.calendar_cancelled,
+                "skipped an entry that was never cancelled (seed {seed}): {s:?}"
+            );
+            assert!(
+                s.calendar_cancelled <= s.calendar_scheduled,
+                "cancelled more than was ever scheduled (seed {seed}): {s:?}"
+            );
+            assert_eq!(
+                report.records.len() + report.unfinished.len(),
+                report.offered,
+                "query conservation broke (seed {seed})"
+            );
+            if batching.is_some() {
+                assert!(
+                    s.batches_fired > 0,
+                    "the batcher never engaged (seed {seed})"
+                );
+                assert_eq!(s.batched_queries, s.batch_fill_sum);
+            }
+        }
     }
 }

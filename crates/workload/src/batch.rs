@@ -125,6 +125,25 @@ impl BatchSizeDistribution {
             .count();
         below as f64 / samples as f64
     }
+
+    /// Monte-Carlo estimate of the `q`-th batch-size quantile
+    /// (`0.0 <= q <= 1.0`), the inverse of [`Self::fraction_at_most`]:
+    /// the smallest drawn batch size with at least a `q` fraction of the
+    /// sample at or below it.  Useful for sizing a dynamic batcher's fuse
+    /// cap against the offered mix (e.g. its p90) instead of guessing.
+    pub fn quantile<R: Rng + ?Sized>(&self, q: f64, rng: &mut R, samples: usize) -> u32 {
+        assert!(samples > 0, "need at least one sample");
+        assert!(
+            (0.0..=1.0).contains(&q) && q.is_finite(),
+            "quantile must lie in [0, 1], got {q}"
+        );
+        let mut drawn = self.sample_many(rng, samples);
+        drawn.sort_unstable();
+        // ceil(q * n) draws fall at or below the answer; the index clamps
+        // so q = 0 is the minimum and q = 1 the maximum.
+        let rank = (q * samples as f64).ceil() as usize;
+        drawn[rank.saturating_sub(1).min(samples - 1)]
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +222,26 @@ mod tests {
             let b = dist.sample(&mut rng);
             assert!([5, 50, 500].contains(&b));
         }
+    }
+
+    #[test]
+    fn quantile_inverts_fraction_at_most() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dist = BatchSizeDistribution::production_default();
+        // The log-normal median is the 50 % point by construction.
+        let p50 = dist.quantile(0.5, &mut rng, 20_000);
+        assert!((p50 as f64 - 120.0).abs() < 15.0, "p50 {p50}");
+        // Quantiles are monotone in q and bounded by the sample extremes.
+        let p10 = dist.quantile(0.1, &mut rng, 20_000);
+        let p90 = dist.quantile(0.9, &mut rng, 20_000);
+        assert!(p10 < p50 && p50 < p90, "{p10} / {p50} / {p90}");
+        // Round trip: the mass at or below the p90 estimate is ~0.9.
+        let f = dist.fraction_at_most(p90, &mut rng, 20_000);
+        assert!((f - 0.9).abs() < 0.02, "fraction at p90 was {f}");
+        // Degenerate mixes collapse every quantile to the single value.
+        let fixed = BatchSizeDistribution::Fixed(64);
+        assert_eq!(fixed.quantile(0.0, &mut rng, 100), 64);
+        assert_eq!(fixed.quantile(1.0, &mut rng, 100), 64);
     }
 
     #[test]

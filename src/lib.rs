@@ -51,12 +51,13 @@ pub mod prelude {
     pub use kairos_models::{
         calibration::paper_calibration, ec2, Config, ConstantMarket, LatencyTable, Market,
         MarketEvent, ModelKind, Offering, OfferingCatalog, PoolSpec, PreemptionProcess, PriceTrace,
-        PurchaseOption, TraceMarket,
+        PurchaseOption, ThroughputDegradation, TraceMarket,
     };
     pub use kairos_sim::{
-        allowable_throughput, allowable_throughput_many, run_trace, CapacityOptions, ClusterAction,
-        ClusterSpec, EngineEvent, EngineHook, FcfsScheduler, Scheduler, ServiceSpec, ShardedEngine,
-        SimContext, SimEngine, SimulationOptions,
+        allowable_throughput, allowable_throughput_many, run_trace, BatchingOptions,
+        CapacityOptions, ClusterAction, ClusterSpec, EngineEvent, EngineHook, FcfsScheduler,
+        Scheduler, ServiceSpec, ShardedEngine, SharingMode, SharingOptions, SimContext, SimEngine,
+        SimulationOptions,
     };
     pub use kairos_workload::{
         ArrivalProcess, BatchSizeDistribution, MixSpec, MixedTraceSpec, ModelId, Phase,
