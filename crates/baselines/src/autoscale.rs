@@ -16,9 +16,9 @@
 //! Both run against the same [`SimEngine`] substrate and reconfiguration API
 //! as Kairos, so the comparison isolates the decision policy.
 
-use kairos_models::{Config, Market, PoolSpec};
+use kairos_models::{Config, FailureDomain, FaultProcess, Market, PoolSpec};
 use kairos_sim::{FcfsScheduler, ServiceSpec, SimEngine, SimReport, SimulationOptions};
-use kairos_workload::{TimeUs, Trace};
+use kairos_workload::{ModelId, TimeUs, Trace};
 
 /// The static-overprovision configuration: the best homogeneous base-type
 /// cluster affordable at `factor ×` the nominal budget.
@@ -122,6 +122,24 @@ impl ReactiveAutoscaler {
         trace: &Trace,
         market: Option<&dyn Market>,
     ) -> AutoscaleOutcome {
+        self.run_with_faults(pool, initial_instances, service, trace, market, None)
+    }
+
+    /// [`Self::run_with_market`] with a correlated-fault process attached:
+    /// zone outages kill the scaler's instances, capacity shortages reject
+    /// its purchases (it retries on its cooldown cadence — the reactive
+    /// baseline knows no alternative offerings), and stragglers slow it
+    /// down.  `faults` pairs the process with the per-type failure-domain
+    /// table (empty table = every type in the global domain).
+    pub fn run_with_faults(
+        &self,
+        pool: &PoolSpec,
+        initial_instances: usize,
+        service: &ServiceSpec,
+        trace: &Trace,
+        market: Option<&dyn Market>,
+        faults: Option<(&FaultProcess, &[FailureDomain])>,
+    ) -> AutoscaleOutcome {
         let opts = &self.options;
         assert!(
             (opts.min_instances..=opts.max_instances).contains(&initial_instances),
@@ -142,6 +160,30 @@ impl ReactiveAutoscaler {
         if let Some(market) = market {
             engine = engine.with_market(market);
         }
+        if let Some((process, placements)) = faults {
+            engine = engine.with_faults(process, placements);
+        }
+        let fault_aware = faults.is_some();
+        // Scale-out purchases that can be rejected (outage, shortage): a
+        // rejection still burns the cooldown, so the scaler retries at its
+        // own cadence rather than hammering the dead domain every event.
+        let buy = |engine: &mut SimEngine<'_>,
+                   actions: &mut Vec<(TimeUs, i32)>,
+                   last_action_us: &mut Option<TimeUs>,
+                   now: TimeUs| {
+            let bought = if fault_aware {
+                engine
+                    .try_add_instance_for(ModelId::DEFAULT, scale_type, opts.provisioning_delay_us)
+                    .is_ok()
+            } else {
+                engine.add_instance(scale_type, opts.provisioning_delay_us);
+                true
+            };
+            if bought {
+                actions.push((now, 1));
+            }
+            *last_action_us = Some(now);
+        };
 
         let mut actions: Vec<(TimeUs, i32)> = Vec::new();
         let mut last_action_us: Option<TimeUs> = None;
@@ -171,18 +213,14 @@ impl ReactiveAutoscaler {
                 // A preemption storm can wipe the whole fleet; the only
                 // recovery signal left is "nothing is serving" — rebuy.
                 if in_system > 0 {
-                    engine.add_instance(scale_type, opts.provisioning_delay_us);
-                    actions.push((now, 1));
-                    last_action_us = Some(now);
+                    buy(&mut engine, &mut actions, &mut last_action_us, now);
                 }
                 continue;
             }
             let mean_backlog = in_system as f64 / active_count as f64;
 
             if mean_backlog > opts.scale_out_backlog && active_count < opts.max_instances {
-                engine.add_instance(scale_type, opts.provisioning_delay_us);
-                actions.push((now, 1));
-                last_action_us = Some(now);
+                buy(&mut engine, &mut actions, &mut last_action_us, now);
             } else if mean_backlog < opts.scale_in_backlog && active_count > opts.min_instances {
                 let (_, victim) = victim.expect("non-empty active set");
                 engine.retire_instance(victim);
@@ -305,5 +343,58 @@ mod tests {
     #[should_panic(expected = "factor")]
     fn overprovision_rejects_deflation() {
         static_overprovision(&PoolSpec::new(ec2::paper_pool()), 2.5, 0.5);
+    }
+
+    #[test]
+    fn autoscaler_rebuys_after_an_outage_and_rides_out_shortages() {
+        use kairos_models::FaultEvent;
+        let (pool, service) = setup();
+        let workload = PhasedArrival::step_change(
+            120.0,
+            120.0,
+            BatchSizeDistribution::production_default(),
+            4.0,
+            4.0,
+            11,
+        );
+        // The global outage wipes the whole (default-placed) fleet; a
+        // capacity shortage right behind it rejects the first rebuys.
+        let process = FaultProcess::new(vec![
+            FaultEvent::ZoneOutage {
+                domain: FailureDomain::global(),
+                start_us: 2_000_000,
+                duration_us: 1_000_000,
+            },
+            FaultEvent::CapacityShortage {
+                domain: FailureDomain::global(),
+                start_us: 2_000_000,
+                end_us: 3_500_000,
+            },
+        ]);
+        let scaler = ReactiveAutoscaler::new(AutoscalerOptions {
+            cooldown_us: 300_000,
+            provisioning_delay_us: 100_000,
+            ..Default::default()
+        });
+        let outcome = scaler.run_with_faults(
+            &pool,
+            2,
+            &service,
+            &workload.generate(),
+            None,
+            Some((&process, &[])),
+        );
+        assert_eq!(outcome.report.outages.len(), 1);
+        assert!(outcome.report.outages[0].killed_instances >= 1);
+        assert!(
+            outcome.report.rejected_purchases >= 1,
+            "the shortage must reject at least one reactive rebuy"
+        );
+        // Recovery: the scaler is serving again by the end of the run.
+        assert!(outcome.final_instances >= 1);
+        assert_eq!(
+            outcome.report.completed() + outcome.report.unfinished.len(),
+            outcome.report.offered
+        );
     }
 }

@@ -14,7 +14,8 @@ use kairos_baselines::{
     ExhaustiveSearch, GeneticSearch, RandomSearch, SearchSpace, SimulatedAnnealing,
 };
 use kairos_bench::figures::{
-    figure12_load_shift, figure_batching, figure_multimodel, figure_scale, figure_spot, section,
+    figure12_load_shift, figure_batching, figure_multimodel, figure_outage, figure_scale,
+    figure_spot, section,
 };
 use kairos_bench::{ExperimentContext, SchedulerKind};
 use kairos_core::{kairos_plus_search, upper_bound_single, SingleAuxInputs, ThroughputEstimator};
@@ -594,6 +595,9 @@ fn main() {
     }
     if run("fig_batching") {
         figure_batching();
+    }
+    if run("fig_outage") {
+        figure_outage();
     }
     if run("fig13") {
         figure13();

@@ -5,7 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kairos_baselines::ClockworkScheduler;
 use kairos_bench::{scheduler_factory, SchedulerKind};
-use kairos_models::{calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec};
+use kairos_models::{
+    calibration::paper_calibration, ec2, Config, FailureDomain, FaultEvent, FaultProcess,
+    ModelKind, PoolSpec,
+};
 use kairos_sim::{
     allowable_throughput, run_trace, run_trace_naive, BatchingOptions, CapacityOptions,
     CapacityProber, ClusterSpec, FcfsScheduler, Scheduler, ServiceSpec, ShardedEngine, SharingMode,
@@ -167,6 +170,46 @@ fn bench_engine_vs_naive_50k(c: &mut Criterion) {
             black_box(
                 kairos_sim::SimEngine::new(&pool, &config, &service, &trace, &mut scheduler, &opts)
                     .with_sharing(sharing.clone())
+                    .run(),
+            )
+        })
+    });
+    // The fault-calendar hot path: same 50k-query replay with a zone outage
+    // (notice -> drain -> kill -> purchase rejection), a capacity shortage
+    // and a straggler onset materialized mid-trace, so the TimedKind
+    // calendar, the preemption lifecycle and per-domain bookkeeping are all
+    // on the measured path.  Budget-gated in BENCH_budget.json.
+    let zone_a = FailureDomain::zone("us-east-1", "us-east-1a");
+    let zone_b = FailureDomain::zone("us-east-1", "us-east-1b");
+    let placements = vec![
+        zone_a.clone(),
+        zone_a.clone(),
+        zone_b.clone(),
+        zone_b.clone(),
+    ];
+    let process = FaultProcess::new(vec![
+        FaultEvent::Straggler {
+            at_us: 5_000_000,
+            offering: 0,
+            slowdown: 0.5,
+        },
+        FaultEvent::ZoneOutage {
+            domain: zone_a,
+            start_us: 8_000_000,
+            duration_us: 4_000_000,
+        },
+        FaultEvent::CapacityShortage {
+            domain: zone_b,
+            start_us: 14_000_000,
+            end_us: 16_000_000,
+        },
+    ]);
+    group.bench_function("fcfs_fault_injection", |b| {
+        b.iter(|| {
+            let mut scheduler = FcfsScheduler::new();
+            black_box(
+                kairos_sim::SimEngine::new(&pool, &config, &service, &trace, &mut scheduler, &opts)
+                    .with_faults(&process, &placements)
                     .run(),
             )
         })

@@ -13,8 +13,8 @@ use kairos_core::{
     InferenceService, KairosScheduler, ReplanTrigger, ServingOptions, ServingSystem,
 };
 use kairos_models::{
-    calibration::paper_calibration, ec2, Config, ModelKind, Offering, OfferingCatalog, PoolSpec,
-    PreemptionProcess, PriceTrace, TraceMarket,
+    calibration::paper_calibration, ec2, Config, FailureDomain, FaultEvent, FaultProcess,
+    ModelKind, Offering, OfferingCatalog, PoolSpec, PreemptionProcess, PriceTrace, TraceMarket,
 };
 use kairos_sim::{
     run_trace, BatchingOptions, ClusterSpec, FcfsScheduler, Scheduler, ServiceSpec, ShardedEngine,
@@ -573,6 +573,269 @@ pub fn figure_spot() {
     match std::fs::write(path, json.join("\n") + "\n") {
         Ok(()) => println!("--> recorded BENCH_spot.json"),
         Err(e) => println!("--> could not write BENCH_spot.json: {e}"),
+    }
+}
+
+/// One scheme's outcome of the zone-outage experiment.
+struct OutageRow {
+    scheme: &'static str,
+    violation_fraction: f64,
+    /// Violation fraction among queries *offered during* the outage window
+    /// plus one outage-length of aftermath — the spike the spread constraint
+    /// is supposed to flatten.
+    spike_fraction: f64,
+    billed_per_hour: f64,
+    /// Time from the outage onset back to a <=15 % windowed violation rate.
+    ttr_us: Option<TimeUs>,
+    killed_instances: usize,
+    lost_queries: usize,
+    rejected_purchases: usize,
+}
+
+/// Zone outage — correlated-failure resilience of the serving loop: a
+/// two-zone offering catalog (zone b a hair pricier, so a domain-blind
+/// planner concentrates in zone a), a mid-run outage that takes zone a down
+/// end to end (notice → drain → kill on every instance, purchases rejected
+/// for the outage window).  Compares **domain-aware** Kairos (the
+/// `max_fraction_per_domain` spread constraint keeps half the fleet in
+/// zone b) against **domain-blind** Kairos (same fault replans and backoff,
+/// no spread, so the outage wipes nearly the whole fleet) and the reactive
+/// homogeneous autoscaler (rebuys into the dead zone on its cooldown
+/// cadence until the outage lifts).  Records violation %, time-weighted
+/// billed $/hr, time-to-recover from the outage onset, queries lost to the
+/// outage and rejected purchases to `BENCH_outage.json`.
+pub fn figure_outage() {
+    let fast = fast_mode();
+    let duration_s = if fast { 6.0 } else { 12.0 };
+    let (rate_qps, budget) = (60.0, 2.6);
+    let outage_start_us = (duration_s * 0.4 * 1e6) as TimeUs;
+    let outage_len_us = (duration_s * 0.3 * 1e6) as TimeUs;
+    section("Zone outage: failure-domain spread vs domain-blind planning (RM2)");
+    println!(
+        "{rate_qps} QPS steady, {duration_s} s, budget {budget} $/hr; us-east-1a goes down \
+         at {:.1} s for {:.1} s (200 ms notice), zone-b aux capacity priced 2 % over zone a",
+        outage_start_us as f64 / 1e6,
+        outage_len_us as f64 / 1e6
+    );
+
+    let model = ModelKind::Rm2;
+    let latency = paper_calibration();
+    let service = ServiceSpec::new(model, latency.clone());
+    let zone_a = FailureDomain::zone("us-east-1", "us-east-1a");
+    let zone_b = FailureDomain::zone("us-east-1", "us-east-1b");
+    // The same hardware menu in both zones; zone-b aux capacity is priced
+    // 2 % over zone a so an unconstrained cost-ranked plan concentrates in
+    // zone a.  GPU pricing is near-uniform across zones (as on real clouds);
+    // the 0.1 % epsilon only breaks cost ties toward zone a.
+    let mut gpu_b = ec2::g4dn_xlarge();
+    gpu_b.is_base = false;
+    gpu_b.price_per_hour *= 1.001;
+    let mut aux_b = ec2::r5n_large();
+    aux_b.price_per_hour *= 1.02;
+    let catalog = OfferingCatalog::new(vec![
+        Offering::on_demand(ec2::g4dn_xlarge()).in_domain(zone_a.clone()),
+        Offering::on_demand(ec2::r5n_large()).in_domain(zone_a.clone()),
+        Offering::on_demand(gpu_b).in_domain(zone_b.clone()),
+        Offering::on_demand(aux_b).in_domain(zone_b.clone()),
+    ]);
+    let market = std::sync::Arc::new(TraceMarket::new(catalog.clone()));
+    let effective = catalog.effective_pool();
+    let placements = catalog.domains();
+    let process = FaultProcess::new(vec![FaultEvent::ZoneOutage {
+        domain: zone_a,
+        start_us: outage_start_us,
+        duration_us: outage_len_us,
+    }]);
+    let trace = kairos_workload::TraceSpec::production(rate_qps, duration_s, 7).generate();
+
+    // Recovery tolerance at 20 %: roughly twice the steady-state violation
+    // noise of this workload, so "recovered" means back to nominal service,
+    // not merely below the outage peak.
+    let (bucket_us, tol) = (250_000, 0.2);
+    // The spike window: arrivals from the outage onset through one extra
+    // outage-length of aftermath, the stretch where lost capacity bites.
+    let spike_end_us = outage_start_us + 2 * outage_len_us;
+    let spike_of = |report: &SimReport| {
+        let (mut total, mut late) = (0usize, 0usize);
+        for r in &report.records {
+            if (outage_start_us..spike_end_us).contains(&r.arrival_us) {
+                total += 1;
+                late += usize::from(!r.within_qos(report.qos_for(r.model)));
+            }
+        }
+        for u in &report.unfinished {
+            if (outage_start_us..spike_end_us).contains(&u.arrival_us) {
+                total += 1;
+                late += usize::from(
+                    report.horizon_us.saturating_sub(u.arrival_us) > report.qos_for(u.model),
+                );
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            late as f64 / total as f64
+        }
+    };
+    let row_of = |scheme: &'static str, report: &SimReport| OutageRow {
+        scheme,
+        violation_fraction: report.violation_fraction(),
+        spike_fraction: spike_of(report),
+        billed_per_hour: report.billed_cost_per_hour(),
+        ttr_us: report
+            .outage_recoveries(bucket_us, tol)
+            .first()
+            .and_then(|(_, t)| *t),
+        killed_instances: report.outages.iter().map(|o| o.killed_instances).sum(),
+        lost_queries: report.outages.iter().map(|o| o.lost_queries).sum(),
+        rejected_purchases: report.rejected_purchases,
+    };
+    // Provisioning at 400 ms: replacement capacity is not instant, so the
+    // share of the fleet that *survives* the outage dominates the spike.
+    let serving_options = ServingOptions::default()
+        .budget(budget)
+        .replan_every(500_000)
+        .provisioning_delay(400_000)
+        .purchase_backoff(400_000, 3);
+
+    // Domain-aware: the spread constraint caps any zone at half the fleet,
+    // so zone b holds serving capacity — including a GPU — through the
+    // outage.
+    let mut aware_system = ServingSystem::with_market(
+        catalog.clone(),
+        market.clone(),
+        model,
+        Some(latency.clone()),
+        serving_options.spread_limit(0.5),
+    )
+    .with_fault_process(process.clone());
+    aware_system.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
+    let aware_initial = aware_system
+        .plan_for_demand(rate_qps)
+        .expect("priors allow planning");
+    let aware_outcome = aware_system.run(&aware_initial, &service, &trace);
+    let aware_row = row_of("KAIROS(domain-aware)", &aware_outcome.report);
+
+    // Domain-blind: identical loop, fault replans and backoff included,
+    // but no spread constraint — the cheaper zone takes (nearly) all.
+    let mut blind_system = ServingSystem::with_market(
+        catalog.clone(),
+        market.clone(),
+        model,
+        Some(latency.clone()),
+        serving_options,
+    )
+    .with_fault_process(process.clone());
+    blind_system.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
+    let blind_initial = blind_system
+        .plan_for_demand(rate_qps)
+        .expect("priors allow planning");
+    let blind_outcome = blind_system.run(&blind_initial, &service, &trace);
+    let blind_row = row_of("KAIROS(domain-blind)", &blind_outcome.report);
+
+    // Reactive homogeneous autoscaler on the zone-a base type: the outage
+    // wipes its fleet and rejects its rebuys until the window lifts.
+    let scaler = ReactiveAutoscaler::new(AutoscalerOptions {
+        cooldown_us: 500_000,
+        provisioning_delay_us: 400_000,
+        ..Default::default()
+    });
+    let reactive = scaler.run_with_faults(
+        &effective,
+        2,
+        &service,
+        &trace,
+        Some(market.as_ref()),
+        Some((&process, &placements)),
+    );
+    let reactive_row = row_of("REACTIVE(homo)", &reactive.report);
+
+    if std::env::var("KAIROS_FIG_DEBUG").is_ok() {
+        println!("aware initial {:?}", aware_initial);
+        println!("blind initial {:?}", blind_initial);
+        for (name, outcome) in [("aware", &aware_outcome), ("blind", &blind_outcome)] {
+            for r in &outcome.reconfigs {
+                println!("{name} reconfig {:?}", r);
+            }
+            let tl = outcome.report.violation_timeline(500_000);
+            println!(
+                "{name} timeline {:?}",
+                tl.iter()
+                    .map(|(t, v)| (*t / 1000, (v * 100.0) as u32))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+    let rows = [aware_row, blind_row, reactive_row];
+    println!(
+        "\n{:<22}{:>14}{:>10}{:>14}{:>14}{:>9}{:>8}{:>10}",
+        "scheme",
+        "violations %",
+        "spike %",
+        "billed $/hr",
+        "recover (ms)",
+        "killed",
+        "lost",
+        "rejected"
+    );
+    for row in &rows {
+        let rec = row
+            .ttr_us
+            .map(|t| format!("{:.0}", t as f64 / 1000.0))
+            .unwrap_or_else(|| "never".into());
+        println!(
+            "{:<22}{:>14.2}{:>10.2}{:>14.3}{:>14}{:>9}{:>8}{:>10}",
+            row.scheme,
+            row.violation_fraction * 100.0,
+            row.spike_fraction * 100.0,
+            row.billed_per_hour,
+            rec,
+            row.killed_instances,
+            row.lost_queries,
+            row.rejected_purchases
+        );
+    }
+    println!(
+        "--> domain-aware: {} reconfiguration(s), {} fault-triggered; \
+         domain-blind: {} reconfiguration(s), {} fault-triggered",
+        aware_outcome.reconfigs.len(),
+        aware_outcome
+            .reconfigs
+            .iter()
+            .filter(|r| r.trigger == ReplanTrigger::Fault)
+            .count(),
+        blind_outcome.reconfigs.len(),
+        blind_outcome
+            .reconfigs
+            .iter()
+            .filter(|r| r.trigger == ReplanTrigger::Fault)
+            .count(),
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_outage.json");
+    let json: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"name\":\"fig_outage/{}\",\"violation_fraction\":{:.4},\
+                 \"spike_fraction\":{:.4},\"billed_per_hour\":{:.4},\"ttr_us\":{},\
+                 \"killed_instances\":{},\"lost_queries\":{},\"rejected_purchases\":{}}}",
+                row.scheme,
+                row.violation_fraction,
+                row.spike_fraction,
+                row.billed_per_hour,
+                row.ttr_us
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "null".into()),
+                row.killed_instances,
+                row.lost_queries,
+                row.rejected_purchases
+            )
+        })
+        .collect();
+    match std::fs::write(path, json.join("\n") + "\n") {
+        Ok(()) => println!("--> recorded BENCH_outage.json"),
+        Err(e) => println!("--> could not write BENCH_outage.json: {e}"),
     }
 }
 

@@ -69,7 +69,8 @@ pub use planner::{KairosPlanner, Plan, PlanCache};
 pub use selection::select_configuration;
 pub use service::{InferenceService, MultiScheduler, MultiServingOutcome};
 pub use serving::{
-    MarketState, ReconfigEvent, ReplanTrigger, ServingOptions, ServingOutcome, ServingSystem,
+    MarketState, PurchaseBackoff, ReconfigEvent, ReplanTrigger, ServingOptions, ServingOutcome,
+    ServingSystem,
 };
 pub use upper_bound::{
     upper_bound_general, upper_bound_single, AuxClass, SingleAuxInputs, ThroughputEstimator,

@@ -526,6 +526,12 @@ impl InferenceService {
                 EngineEvent::PriceStep { .. }
                 | EngineEvent::PreemptionNotice { .. }
                 | EngineEvent::InstancePreempted { .. } => {}
+                // Fault processes are a single-model ServingSystem feature
+                // for now; the multi-model facade never attaches one.
+                EngineEvent::ZoneOutage { .. }
+                | EngineEvent::ZoneRestored { .. }
+                | EngineEvent::CapacityShortage { .. }
+                | EngineEvent::StragglerOnset { .. } => {}
             }
             // A market move replans every lane that has a fresh demand
             // estimate (prices shifted for all of them at once).
@@ -627,7 +633,7 @@ impl InferenceService {
                 replans += 1;
                 lane.planned_rate = Some(demands[m]);
                 let (added_types, retired_instances) =
-                    reconcile_model(&mut engine, model, &target, &self.options);
+                    reconcile_model(&mut engine, model, &target, &self.options, None, false);
                 if !added_types.is_empty() || !retired_instances.is_empty() {
                     reconfigs.push(ReconfigEvent {
                         at_us: now,

@@ -35,7 +35,8 @@
 use crate::controller::KairosController;
 use crate::planner::PlanCache;
 use kairos_models::{
-    latency::LatencyTable, mlmodel::ModelKind, Config, Market, OfferingCatalog, PoolSpec,
+    latency::LatencyTable, mlmodel::ModelKind, Config, FailureDomain, FaultEvent, FaultProcess,
+    Market, OfferingCatalog, PoolSpec,
 };
 use kairos_sim::{
     BatchingOptions, EngineEvent, ServiceSpec, SimEngine, SimReport, SimulationOptions,
@@ -98,6 +99,19 @@ pub struct ServingOptions {
     /// Dynamic batcher: how long a forming batch waits for company before
     /// firing anyway (only meaningful when `batch_max_size > 0`).
     pub batch_timeout_us: TimeUs,
+    /// Domain-spread constraint: no failure domain may hold more than this
+    /// fraction of the deployed instances (checked over the planner's ranked
+    /// configurations through the catalog's per-offering domain table, so
+    /// solvers stay domain-free).  `None` plans domain-blind.
+    pub max_fraction_per_domain: Option<f64>,
+    /// Base delay of the capped exponential purchase backoff: after a
+    /// rejected purchase (zone outage or capacity shortage) the offering is
+    /// retried no sooner than `base << min(failures, cap)` later, and is
+    /// priced out of the planning pool meanwhile so replans steer spend to
+    /// alternative offerings and domains.
+    pub purchase_backoff_us: TimeUs,
+    /// Exponent cap of the purchase backoff.
+    pub purchase_backoff_cap: u32,
 }
 
 impl Default for ServingOptions {
@@ -117,6 +131,9 @@ impl Default for ServingOptions {
             seed: 0,
             batch_max_size: 0,
             batch_timeout_us: 2_000,
+            max_fraction_per_domain: None,
+            purchase_backoff_us: 500_000,
+            purchase_backoff_cap: 5,
         }
     }
 }
@@ -203,6 +220,25 @@ impl ServingOptions {
         self.batch_timeout_us = timeout_us;
         self
     }
+
+    /// Enables the domain-spread constraint: no failure domain may hold more
+    /// than `fraction` of the deployed instances.
+    pub fn spread_limit(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction) && fraction > 0.0,
+            "spread fraction must lie in (0, 1]"
+        );
+        self.max_fraction_per_domain = Some(fraction);
+        self
+    }
+
+    /// Sets the capped exponential purchase backoff (base delay and exponent
+    /// cap) applied after rejected purchases.
+    pub fn purchase_backoff(mut self, base_us: TimeUs, cap: u32) -> Self {
+        self.purchase_backoff_us = base_us;
+        self.purchase_backoff_cap = cap;
+        self
+    }
 }
 
 /// What caused a replan.
@@ -215,6 +251,9 @@ pub enum ReplanTrigger {
     /// The cloud market moved: a price step, a preemption notice, or a
     /// forced kill.
     Market,
+    /// A correlated fault was detected: a zone outage began or lifted, a
+    /// capacity shortage toggled, or an instance started straggling.
+    Fault,
 }
 
 /// One applied reconfiguration (replans that change nothing are not logged).
@@ -350,6 +389,79 @@ impl MarketState {
     }
 }
 
+/// Per-offering capped exponential backoff over rejected purchases.  A
+/// rejected purchase (zone outage, capacity shortage) parks the offering
+/// until `base << min(failures, cap)` elapses; while parked the offering is
+/// also priced out of the planning pool, so replans steer spend to
+/// alternative offerings and domains instead of hammering the dead one.
+#[derive(Debug, Clone)]
+pub struct PurchaseBackoff {
+    failures: Vec<u32>,
+    retry_at: Vec<TimeUs>,
+}
+
+impl PurchaseBackoff {
+    /// A clean backoff book over `num_types` offerings.
+    pub fn new(num_types: usize) -> Self {
+        Self {
+            failures: vec![0; num_types],
+            retry_at: vec![0; num_types],
+        }
+    }
+
+    /// Whether purchases of `type_index` are parked at `now`.
+    pub fn blocked(&self, type_index: usize, now: TimeUs) -> bool {
+        self.retry_at[type_index] > now
+    }
+
+    /// Whether any offering is parked at `now`.
+    pub fn any_blocked(&self, now: TimeUs) -> bool {
+        self.retry_at.iter().any(|&t| t > now)
+    }
+
+    /// Books one rejected purchase: doubles the delay up to the cap.
+    pub fn note_rejection(&mut self, type_index: usize, now: TimeUs, options: &ServingOptions) {
+        let exponent = self.failures[type_index].min(options.purchase_backoff_cap);
+        self.retry_at[type_index] = now + (options.purchase_backoff_us << exponent);
+        self.failures[type_index] = self.failures[type_index].saturating_add(1);
+    }
+
+    /// Books one successful purchase: the offering is healthy again.
+    pub fn note_success(&mut self, type_index: usize) {
+        self.failures[type_index] = 0;
+        self.retry_at[type_index] = 0;
+    }
+
+    /// Parks the offering until `until_us` without burning a failure: used
+    /// when a fault window is *known* to reject purchases (a zone outage or
+    /// capacity shortage announced itself), so there is no point probing.
+    /// Never shortens an existing exponential-backoff hold.
+    pub fn park(&mut self, type_index: usize, until_us: TimeUs) {
+        self.retry_at[type_index] = self.retry_at[type_index].max(until_us);
+    }
+
+    /// `base` with every parked offering priced out (same prohibitive
+    /// multiple as the spot cooldown), so the planner routes around it.  The
+    /// pool's base anchor keeps its price — every enumerable configuration
+    /// carries a base instance, so pricing it out would leave the planner
+    /// with nothing; purchases of it are still parked at reconcile time.
+    fn penalized_pool(&self, base: &PoolSpec, now: TimeUs) -> PoolSpec {
+        PoolSpec::new(
+            base.types()
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let mut t = t.clone();
+                    if self.blocked(i, now) && !t.is_base {
+                        t.price_per_hour *= COOLDOWN_PRICE_FACTOR;
+                    }
+                    t
+                })
+                .collect(),
+        )
+    }
+}
+
 /// The controller-in-the-loop online serving driver.
 #[derive(Debug, Clone)]
 pub struct ServingSystem {
@@ -362,6 +474,13 @@ pub struct ServingSystem {
     plan_cache: PlanCache,
     /// The attached cloud market, if any (see [`ServingSystem::with_market`]).
     market: Option<MarketState>,
+    /// The attached correlated-fault process, if any (see
+    /// [`ServingSystem::with_fault_process`]).
+    faults: Option<FaultProcess>,
+    /// Per-type failure-domain table (one entry per pool type, resolved from
+    /// the offering catalog when market-attached).  Empty means domain-blind:
+    /// every instance lands in [`FailureDomain::global`].
+    placements: Vec<FailureDomain>,
 }
 
 impl ServingSystem {
@@ -383,6 +502,8 @@ impl ServingSystem {
             options,
             plan_cache: PlanCache::new(),
             market: None,
+            faults: None,
+            placements: Vec::new(),
         }
     }
 
@@ -402,6 +523,7 @@ impl ServingSystem {
         options: ServingOptions,
     ) -> Self {
         let mut system = Self::new(catalog.effective_pool(), model, priors, options);
+        system.placements = catalog.domains();
         system.market = Some(MarketState::new(catalog, market, options.spot_cooldown_us));
         system
     }
@@ -409,6 +531,37 @@ impl ServingSystem {
     /// The attached market state, if this system trades on one.
     pub fn market(&self) -> Option<&MarketState> {
         self.market.as_ref()
+    }
+
+    /// Attaches a correlated-fault process: the engine materializes its zone
+    /// outages, capacity shortages and stragglers, and the loop becomes
+    /// resilient — fault events trigger [`ReplanTrigger::Fault`] replans,
+    /// rejected purchases back off exponentially across alternative
+    /// offerings, and (with [`ServingOptions::max_fraction_per_domain`]) the
+    /// planner spreads the deployment across failure domains.
+    #[must_use]
+    pub fn with_fault_process(mut self, process: FaultProcess) -> Self {
+        self.faults = Some(process);
+        self
+    }
+
+    /// Overrides the per-type failure-domain table (one entry per pool
+    /// type).  Market-attached systems inherit the catalog's placements
+    /// automatically; pool-only systems are domain-blind until told.
+    ///
+    /// # Panics
+    /// Panics unless `placements` is empty or has one entry per pool type.
+    pub fn set_placements(&mut self, placements: Vec<FailureDomain>) {
+        assert!(
+            placements.is_empty() || placements.len() == self.pool.num_types(),
+            "one placement per pool type"
+        );
+        self.placements = placements;
+    }
+
+    /// The per-type failure-domain table (empty when domain-blind).
+    pub fn placements(&self) -> &[FailureDomain] {
+        &self.placements
     }
 
     /// Re-reads live market prices (with cooldowns applied) into the
@@ -486,14 +639,29 @@ impl ServingSystem {
         demand_qps: f64,
     ) -> Option<Config> {
         let plan = self.controller.plan(budget_per_hour)?;
-        Some(
-            cheapest_covering(
-                &self.pool,
-                &plan.ranked,
-                demand_qps * self.options.demand_headroom,
-            )
-            .unwrap_or(plan.chosen),
-        )
+        let required = demand_qps * self.options.demand_headroom;
+        // The spread constraint binds from the very first deployment: a
+        // fleet that only spreads after its first cadence replan spends the
+        // opening interval fully concentrated.
+        if let Some((fraction, table)) = self
+            .options
+            .max_fraction_per_domain
+            .zip((!self.placements.is_empty()).then_some(self.placements.as_slice()))
+        {
+            let spread_ok: Vec<(Config, f64)> = plan
+                .ranked
+                .iter()
+                .filter(|(c, _)| within_spread(c, table, fraction))
+                .cloned()
+                .collect();
+            if !spread_ok.is_empty() {
+                return Some(
+                    cheapest_covering(&self.pool, &spread_ok, required)
+                        .unwrap_or_else(|| spread_ok[0].0.clone()),
+                );
+            }
+        }
+        Some(cheapest_covering(&self.pool, &plan.ranked, required).unwrap_or(plan.chosen))
     }
 
     /// The next deployment target for this system's model given current
@@ -517,7 +685,59 @@ impl ServingSystem {
             budget_per_hour,
             demand_qps,
             current,
+            (!self.placements.is_empty()).then_some(self.placements.as_slice()),
+            None,
         )
+    }
+
+    /// Parks every offering the faulted `domain` covers until the fault
+    /// window active on it ends — purchases there are announced-doomed, so
+    /// probing them one rejection at a time would only waste replans.
+    fn park_domain(
+        &self,
+        backoff: Option<&mut PurchaseBackoff>,
+        domain: &FailureDomain,
+        now: TimeUs,
+    ) {
+        let (Some(backoff), Some(process)) = (backoff, self.faults.as_ref()) else {
+            return;
+        };
+        let Some(end) = fault_window_end(process, domain, now) else {
+            return;
+        };
+        let global = FailureDomain::global();
+        for i in 0..self.pool.num_types() {
+            if domain.covers(self.placements.get(i).unwrap_or(&global)) {
+                backoff.park(i, end);
+            }
+        }
+    }
+
+    /// Releases the `domain`'s offerings when its fault lifts — unless
+    /// another window (say a shortage outlasting the outage) still covers
+    /// them, in which case the hold is extended to that window instead.
+    fn release_domain(
+        &self,
+        backoff: Option<&mut PurchaseBackoff>,
+        domain: &FailureDomain,
+        now: TimeUs,
+    ) {
+        let Some(backoff) = backoff else {
+            return;
+        };
+        let still_held = self
+            .faults
+            .as_ref()
+            .and_then(|p| fault_window_end(p, domain, now));
+        let global = FailureDomain::global();
+        for i in 0..self.pool.num_types() {
+            if domain.covers(self.placements.get(i).unwrap_or(&global)) {
+                match still_held {
+                    Some(end) => backoff.park(i, end),
+                    None => backoff.note_success(i),
+                }
+            }
+        }
     }
 
     /// Runs the controller-in-the-loop simulation of `trace` on `service`,
@@ -559,6 +779,18 @@ impl ServingSystem {
                 self.options.batch_timeout_us,
             ));
         }
+        if let Some(process) = &self.faults {
+            engine = engine.with_faults(process, &self.placements);
+        }
+
+        // Fault-resilient purchasing: the pristine planning pool (penalty
+        // prices are applied relative to it each replan and expire with the
+        // backoff) plus the per-offering backoff book.
+        let pristine_pool = self.pool.clone();
+        let mut backoff = self
+            .faults
+            .as_ref()
+            .map(|_| PurchaseBackoff::new(self.pool.num_types()));
 
         let mut reconfigs: Vec<ReconfigEvent> = Vec::new();
         let mut replans = 0usize;
@@ -603,7 +835,39 @@ impl ServingSystem {
                 EngineEvent::PriceStep { .. }
                 | EngineEvent::PreemptionNotice { .. }
                 | EngineEvent::InstancePreempted { .. } => {}
+                // Announced fault windows park the covered offerings up
+                // front: every purchase there is known-doomed until the
+                // window lifts, so the planner routes around the domain from
+                // the first fault replan instead of discovering the wall one
+                // rejection at a time.
+                EngineEvent::ZoneOutage { domain, .. } => {
+                    self.park_domain(backoff.as_mut(), domain, now);
+                }
+                EngineEvent::ZoneRestored { domain } => {
+                    self.release_domain(backoff.as_mut(), domain, now);
+                }
+                EngineEvent::CapacityShortage { domain, active } => {
+                    if *active {
+                        self.park_domain(backoff.as_mut(), domain, now);
+                    } else {
+                        self.release_domain(backoff.as_mut(), domain, now);
+                    }
+                }
+                EngineEvent::StragglerOnset { .. } => {}
             }
+            // Correlated faults demand the fastest reaction: replan the
+            // moment an outage begins or lifts, a shortage toggles, or a
+            // straggler lands on a live instance.
+            let fault_replan = matches!(
+                &event,
+                EngineEvent::ZoneOutage { .. }
+                    | EngineEvent::ZoneRestored { .. }
+                    | EngineEvent::CapacityShortage { .. }
+                    | EngineEvent::StragglerOnset {
+                        victim: Some(_),
+                        ..
+                    }
+            );
             // Market moves (price steps, preemption notices, kills) request
             // an immediate replan and, for notices, start the offering's
             // cooldown.
@@ -624,7 +888,9 @@ impl ServingSystem {
             let queue_pressure = engine.queued_backlog() as f64 / horizon_s;
             let rate = estimate_rate_qps(&mut arrival_times, now, self.options.rate_horizon_us)
                 .map(|r| r + queue_pressure);
-            let trigger = if market_replan {
+            let trigger = if fault_replan {
+                Some(ReplanTrigger::Fault)
+            } else if market_replan {
                 Some(ReplanTrigger::Market)
             } else if now >= next_cadence_us {
                 Some(ReplanTrigger::Cadence)
@@ -648,6 +914,18 @@ impl ServingSystem {
                 // planning pool; price changes join the knowledge signature,
                 // so the plan cache invalidates exactly when they matter.
                 self.refresh_market_pool(now);
+                // Price parked offerings out on top, so the plan routes
+                // purchases around domains that just rejected them.
+                if let Some(backoff) = &backoff {
+                    let base = if self.market.is_some() {
+                        &self.pool
+                    } else {
+                        &pristine_pool
+                    };
+                    let pool = backoff.penalized_pool(base, now);
+                    self.controller.set_pool(pool.clone());
+                    self.pool = pool;
+                }
                 let current = engine.cluster().active_config();
                 let Some(target) = select_target(
                     &mut self.plan_cache,
@@ -657,13 +935,21 @@ impl ServingSystem {
                     self.options.budget_per_hour,
                     demand,
                     &current,
+                    (!self.placements.is_empty()).then_some(self.placements.as_slice()),
+                    backoff.as_ref().map(|b| (b, now)),
                 ) else {
                     continue;
                 };
                 replans += 1;
                 planned_rate = Some(demand);
-                let (added_types, retired_instances) =
-                    reconcile_model(&mut engine, ModelId::DEFAULT, &target, &self.options);
+                let (added_types, retired_instances) = reconcile_model(
+                    &mut engine,
+                    ModelId::DEFAULT,
+                    &target,
+                    &self.options,
+                    backoff.as_mut(),
+                    trigger == ReplanTrigger::Fault,
+                );
                 if !added_types.is_empty() || !retired_instances.is_empty() {
                     reconfigs.push(ReconfigEvent {
                         at_us: now,
@@ -688,6 +974,11 @@ impl ServingSystem {
             let pool = market.catalog().effective_pool();
             self.controller.set_pool(pool.clone());
             self.pool = pool;
+        } else if backoff.is_some() {
+            // Backoff penalty prices are stamped in this run's virtual time
+            // and must not leak into the next run's fresh clock either.
+            self.controller.set_pool(pristine_pool.clone());
+            self.pool = pristine_pool;
         }
         ServingOutcome {
             report: engine.report(),
@@ -730,11 +1021,60 @@ pub(crate) fn select_target(
     budget_per_hour: f64,
     demand_qps: f64,
     current: &Config,
+    domains: Option<&[FailureDomain]>,
+    blocked: Option<(&PurchaseBackoff, TimeUs)>,
 ) -> Option<Config> {
     let plan = plan_cache.plan(controller, budget_per_hour)?;
     let required = demand_qps * options.demand_headroom;
+    // Realizability first: during an announced fault window the parked
+    // offerings reject every purchase, so a target that *grows* a parked
+    // type is a phantom plan — reconcile would shed real capacity against
+    // replacements that can never land.  (The price penalty alone cannot
+    // express this for the base type, which stays unpenalized so the
+    // planner always has an affordable anchor.)
+    let realizable: Option<Vec<(Config, f64)>> = blocked
+        .filter(|(backoff, now)| backoff.any_blocked(*now))
+        .map(|(backoff, now)| {
+            plan.ranked
+                .iter()
+                .filter(|(c, _)| purchasable(c, current, pool, backoff, now))
+                .cloned()
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty());
+    // The spread constraint filters the ranked list *after* the solver ran
+    // — the PR 5 lowering keeps planners domain-free and the per-offering
+    // domain table resolves each coordinate back to its zone here.  While a
+    // fault window actively blocks offerings, the spread *preference* is
+    // suspended: concentrating in the surviving domains is exactly what the
+    // moment calls for (the constraint would otherwise veto the failover),
+    // and the next fault replan after restore re-balances the fleet.
+    let spread = options.max_fraction_per_domain.zip(domains);
     let candidate =
-        cheapest_covering(pool, &plan.ranked, required).unwrap_or_else(|| plan.chosen.clone());
+        match (&realizable, spread) {
+            (Some(realizable), _) => cheapest_covering(pool, realizable, required)
+                .unwrap_or_else(|| realizable[0].0.clone()),
+            (None, Some((fraction, table))) => {
+                let spread_ok: Vec<(Config, f64)> = plan
+                    .ranked
+                    .iter()
+                    .filter(|(c, _)| within_spread(c, table, fraction))
+                    .cloned()
+                    .collect();
+                if spread_ok.is_empty() {
+                    // No ranked configuration satisfies the spread (e.g. a
+                    // single-offering catalog): plan unconstrained rather than
+                    // not at all.
+                    cheapest_covering(pool, &plan.ranked, required)
+                        .unwrap_or_else(|| plan.chosen.clone())
+                } else {
+                    cheapest_covering(pool, &spread_ok, required)
+                        .unwrap_or_else(|| spread_ok[0].0.clone())
+                }
+            }
+            (None, None) => cheapest_covering(pool, &plan.ranked, required)
+                .unwrap_or_else(|| plan.chosen.clone()),
+        };
     let current_ub = plan
         .ranked
         .iter()
@@ -743,10 +1083,91 @@ pub(crate) fn select_target(
         .unwrap_or(0.0);
     // Keep the deployment when it still (approximately) covers demand —
     // the 0.8 slack absorbs upper-bound wobble as knowledge evolves — and
-    // is not substantially more expensive than the candidate.
+    // is not substantially more expensive than the candidate.  A deployment
+    // that violates the spread constraint is never kept.
     let keep = current_ub >= required * 0.8
-        && current.cost(pool) <= candidate.cost(pool) * options.shrink_factor;
+        && current.cost(pool) <= candidate.cost(pool) * options.shrink_factor
+        && (realizable.is_some()
+            || spread.is_none_or(|(fraction, table)| within_spread(current, table, fraction)));
     Some(if keep { current.clone() } else { candidate })
+}
+
+/// Whether `target` can be realized right now: every type it grows beyond
+/// the current deployment must be purchasable (not parked in the backoff
+/// book).  Shrinking or holding a type needs no purchase and always passes.
+/// Base types get a floor of one, mirroring the price-penalty exemption —
+/// every enumerable configuration carries a base instance, so holding them
+/// strictly to the rule would empty the plan space mid-drain; growing base
+/// capacity *beyond* that floor in a parked domain is still vetoed, so the
+/// planner cannot paper over an outage with phantom base instances.
+fn purchasable(
+    target: &Config,
+    current: &Config,
+    pool: &PoolSpec,
+    backoff: &PurchaseBackoff,
+    now: TimeUs,
+) -> bool {
+    target.counts().iter().enumerate().all(|(i, &n)| {
+        let held = current.counts().get(i).copied().unwrap_or(0);
+        let cap = if pool.types()[i].is_base {
+            held.max(1)
+        } else {
+            held
+        };
+        n <= cap || !backoff.blocked(i, now)
+    })
+}
+
+/// End of the latest fault window of `process` that is active on `domain` at
+/// `now`, if any: a zone outage spanning `[start, start + duration)` or a
+/// capacity shortage spanning `[start, end)`.  Straggler onsets have no
+/// window — they degrade capacity but never reject purchases.
+pub(crate) fn fault_window_end(
+    process: &FaultProcess,
+    domain: &FailureDomain,
+    now: TimeUs,
+) -> Option<TimeUs> {
+    process
+        .events()
+        .iter()
+        .filter_map(|event| match event {
+            FaultEvent::ZoneOutage {
+                domain: d,
+                start_us,
+                duration_us,
+            } if d == domain && *start_us <= now && now < start_us + duration_us => {
+                Some(start_us + duration_us)
+            }
+            FaultEvent::CapacityShortage {
+                domain: d,
+                start_us,
+                end_us,
+            } if d == domain && *start_us <= now && now < *end_us => Some(*end_us),
+            _ => None,
+        })
+        .max()
+}
+
+/// Whether no failure domain holds more than `fraction` of the
+/// configuration's instances (per the per-type domain `table`).
+/// Single-instance deployments trivially pass: there is nothing to spread.
+pub(crate) fn within_spread(config: &Config, table: &[FailureDomain], fraction: f64) -> bool {
+    let total: usize = config.counts().iter().sum();
+    if total <= 1 {
+        return true;
+    }
+    let limit = fraction * total as f64 + 1e-9;
+    let mut seen: Vec<(&FailureDomain, usize)> = Vec::new();
+    for (type_index, &count) in config.counts().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        match seen.iter_mut().find(|(d, _)| *d == &table[type_index]) {
+            Some((_, n)) => *n += count,
+            None => seen.push((&table[type_index], count)),
+        }
+    }
+    seen.iter().all(|(_, n)| *n as f64 <= limit)
 }
 
 /// Offered-rate estimate (QPS) over the arrivals within `horizon_us` of
@@ -773,12 +1194,17 @@ pub(crate) fn estimate_rate_qps(
 /// bound to the model), surplus instances of each type are gracefully
 /// retired — idle ones first, then the shallowest backlog, so draining
 /// finishes as fast as possible.  Instances bound to other models are never
-/// touched.
+/// touched.  With `defer_retires` (fault replans), a reconcile that ordered
+/// additions keeps its surplus serving until they come up — make before
+/// break — so a post-restore rebalance never opens a capacity gap one
+/// provisioning delay wide.
 pub(crate) fn reconcile_model(
     engine: &mut SimEngine<'_>,
     model: ModelId,
     target: &Config,
     options: &ServingOptions,
+    mut backoff: Option<&mut PurchaseBackoff>,
+    defer_retires: bool,
 ) -> (Vec<usize>, Vec<usize>) {
     let active = engine.cluster().active_counts_for(model);
     let mut added_types = Vec::new();
@@ -787,26 +1213,64 @@ pub(crate) fn reconcile_model(
         let have = active[type_index];
         if want > have {
             for _ in 0..want - have {
-                engine.add_instance_for(model, type_index, options.provisioning_delay_us);
-                added_types.push(type_index);
+                match backoff.as_deref_mut() {
+                    Some(backoff) => {
+                        // Parked offerings are skipped outright; a rejection
+                        // parks the offering and abandons its remaining adds
+                        // (the next replan routes around it).
+                        let now = engine.now();
+                        if backoff.blocked(type_index, now) {
+                            break;
+                        }
+                        match engine.try_add_instance_for(
+                            model,
+                            type_index,
+                            options.provisioning_delay_us,
+                        ) {
+                            Ok(_) => {
+                                backoff.note_success(type_index);
+                                added_types.push(type_index);
+                            }
+                            Err(_) => {
+                                backoff.note_rejection(type_index, now, options);
+                                break;
+                            }
+                        }
+                    }
+                    None => {
+                        engine.add_instance_for(model, type_index, options.provisioning_delay_us);
+                        added_types.push(type_index);
+                    }
+                }
             }
-        } else if have > want {
-            let mut surplus: Vec<(usize, usize)> = engine
-                .cluster()
-                .instances()
-                .iter()
-                .filter(|inst| {
-                    inst.model == model
-                        && inst.type_index == type_index
-                        && inst.accepts_dispatches()
-                })
-                .map(|inst| (inst.backlog(), inst.index))
-                .collect();
-            // Shallowest backlog first; ties retire the newest instance.
-            surplus.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
-            for &(_, index) in surplus.iter().take(have - want) {
-                engine.retire_instance(index);
-                retired_instances.push(index);
+        }
+    }
+    // Make before break on fault replans: a reconcile that just ordered
+    // replacements leaves the surplus serving until they come up — retiring
+    // now would open a capacity gap one provisioning delay wide (the
+    // post-restore rebalance aftershock).  Pending instances count as
+    // active, so the next replan sheds the surplus without re-buying.
+    if added_types.is_empty() || !defer_retires {
+        for (type_index, &want) in target.counts().iter().enumerate() {
+            let have = active[type_index];
+            if have > want {
+                let mut surplus: Vec<(usize, usize)> = engine
+                    .cluster()
+                    .instances()
+                    .iter()
+                    .filter(|inst| {
+                        inst.model == model
+                            && inst.type_index == type_index
+                            && inst.accepts_dispatches()
+                    })
+                    .map(|inst| (inst.backlog(), inst.index))
+                    .collect();
+                // Shallowest backlog first; ties retire the newest instance.
+                surplus.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+                for &(_, index) in surplus.iter().take(have - want) {
+                    engine.retire_instance(index);
+                    retired_instances.push(index);
+                }
             }
         }
     }
@@ -1153,6 +1617,98 @@ mod tests {
         assert_eq!(
             outcome.report.preemption_notices, 1,
             "a storm inside the drain window must fire"
+        );
+    }
+
+    /// A two-zone catalog: GPU + r5n hardware offered on demand in both
+    /// `us-east-1a` and `us-east-1b` (zone b at a hair more expensive, so a
+    /// domain-blind planner concentrates in zone a).
+    fn two_zone_catalog() -> OfferingCatalog {
+        let zone_a = FailureDomain::zone("us-east-1", "us-east-1a");
+        let zone_b = FailureDomain::zone("us-east-1", "us-east-1b");
+        let mut gpu_b = ec2::g4dn_xlarge();
+        gpu_b.is_base = false;
+        gpu_b.price_per_hour *= 1.02;
+        let mut aux_b = ec2::r5n_large();
+        aux_b.price_per_hour *= 1.02;
+        OfferingCatalog::new(vec![
+            Offering::on_demand(ec2::g4dn_xlarge()).in_domain(zone_a.clone()),
+            Offering::on_demand(ec2::r5n_large()).in_domain(zone_a),
+            Offering::on_demand(gpu_b).in_domain(zone_b.clone()),
+            Offering::on_demand(aux_b).in_domain(zone_b),
+        ])
+    }
+
+    #[test]
+    fn within_spread_checks_per_domain_shares() {
+        let table = two_zone_catalog().domains();
+        // Everything in zone a: 4/4 in one domain.
+        assert!(!within_spread(&Config::new(vec![2, 2, 0, 0]), &table, 0.6));
+        // 2/4 per zone respects a 0.6 cap.
+        assert!(within_spread(&Config::new(vec![1, 1, 1, 1]), &table, 0.6));
+        // A single instance has nothing to spread.
+        assert!(within_spread(&Config::new(vec![1, 0, 0, 0]), &table, 0.5));
+    }
+
+    #[test]
+    fn zone_outage_triggers_fault_replans_and_failover() {
+        use kairos_models::FaultEvent;
+        let catalog = two_zone_catalog();
+        let zone_a = FailureDomain::zone("us-east-1", "us-east-1a");
+        let process = FaultProcess::new(vec![FaultEvent::ZoneOutage {
+            domain: zone_a,
+            start_us: 2_500_000,
+            duration_us: 2_500_000,
+        }]);
+        let market = Arc::new(TraceMarket::new(catalog.clone()));
+        let mut system = ServingSystem::with_market(
+            catalog,
+            market,
+            ModelKind::Rm2,
+            Some(paper_calibration()),
+            ServingOptions::default()
+                .replan_every(500_000)
+                .provisioning_delay(200_000)
+                .spread_limit(0.75)
+                .purchase_backoff(400_000, 3),
+        )
+        .with_fault_process(process);
+        system.warm_monitor(&BatchSizeDistribution::production_default(), 2000, 7);
+        let workload = PhasedArrival::step_change(
+            70.0,
+            70.0,
+            BatchSizeDistribution::production_default(),
+            4.0,
+            4.0,
+            31,
+        );
+        let initial = system.plan_for_demand(70.0).unwrap();
+        let service = ServiceSpec::new(ModelKind::Rm2, paper_calibration());
+        let outcome = system.run(&initial, &service, &workload.generate());
+
+        // The outage fired, was booked, and drove at least one Fault replan.
+        assert_eq!(outcome.report.outages.len(), 1);
+        assert!(outcome.report.outages[0].killed_instances > 0);
+        assert!(
+            outcome
+                .reconfigs
+                .iter()
+                .any(|r| r.trigger == ReplanTrigger::Fault),
+            "a fault replan must fire: {:?}",
+            outcome.reconfigs
+        );
+        // Failover: replacement capacity was bought after the outage began.
+        assert!(
+            outcome
+                .reconfigs
+                .iter()
+                .any(|r| r.at_us >= 2_500_000 && !r.added_types.is_empty()),
+            "the loop must re-buy capacity around the outage"
+        );
+        // Requeues and rejections never lose queries.
+        assert_eq!(
+            outcome.report.completed() + outcome.report.unfinished.len(),
+            outcome.report.offered
         );
     }
 

@@ -34,6 +34,7 @@
 
 pub mod calibration;
 pub mod config;
+pub mod fault;
 pub mod instance;
 pub mod latency;
 pub mod market;
@@ -43,6 +44,9 @@ pub mod sharing;
 
 pub use config::{
     best_homogeneous, budget_slack_ratio, enumerate_configs, Config, EnumerationOptions, PoolSpec,
+};
+pub use fault::{
+    FailureDomain, FaultError, FaultEvent, FaultProcess, PurchaseRejected, RejectionCause,
 };
 pub use instance::{ec2, InstanceClass, InstanceType};
 pub use latency::{BatchLatencyGrid, LatencyError, LatencyProfile, LatencyTable, NoiseModel};

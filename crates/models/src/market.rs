@@ -29,6 +29,7 @@
 //! `cost()` to within floating-point associativity (property-tested).
 
 use crate::config::PoolSpec;
+use crate::fault::FailureDomain;
 use crate::instance::InstanceType;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -226,6 +227,10 @@ impl PreemptionProcess {
                 rate_per_hour,
                 seed,
             } => {
+                // The RNG is seeded locally from the process's own seed, so
+                // repeated calls at the same horizon replay the identical
+                // draw sequence — determinism the simulator's calendar
+                // materialization relies on (asserted in the tests below).
                 if *rate_per_hour <= 0.0 {
                     return Vec::new();
                 }
@@ -241,6 +246,11 @@ impl PreemptionProcess {
                     }
                     out.push(t as MarketTimeUs);
                 }
+                // Truncating to whole microseconds can land two exponential
+                // gaps on the same tick at high rates; a duplicate notice
+                // would double-notice the same offering (and double-count
+                // `preemption_notices`), so collapse them.
+                out.dedup();
                 out
             }
         }
@@ -286,7 +296,8 @@ impl PurchaseOption {
     }
 }
 
-/// One purchasable line item: an instance type at a purchase option.
+/// One purchasable line item: an instance type at a purchase option, placed
+/// in a failure domain.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Offering {
     /// The hardware being rented.  `instance_type.price_per_hour` is the
@@ -295,6 +306,10 @@ pub struct Offering {
     pub instance_type: InstanceType,
     /// How the hardware is bought.
     pub purchase: PurchaseOption,
+    /// Where the hardware lives in the cloud's failure hierarchy.  Defaults
+    /// to the single [`FailureDomain::global`] domain, which reproduces the
+    /// pre-fault, domain-blind world.
+    pub placement: FailureDomain,
 }
 
 impl Offering {
@@ -303,6 +318,7 @@ impl Offering {
         Self {
             instance_type,
             purchase: PurchaseOption::OnDemand,
+            placement: FailureDomain::default(),
         }
     }
 
@@ -319,6 +335,7 @@ impl Offering {
         Self {
             instance_type,
             purchase: PurchaseOption::Reserved { discount },
+            placement: FailureDomain::default(),
         }
     }
 
@@ -336,7 +353,17 @@ impl Offering {
                 price_trace,
                 preemption_process,
             },
+            placement: FailureDomain::default(),
         }
+    }
+
+    /// Places the offering in a failure domain.  Offerings of the same
+    /// `(hardware, purchase kind)` pair may coexist in *distinct* domains —
+    /// that is how a catalog spreads one hardware type across zones.
+    #[must_use]
+    pub fn in_domain(mut self, placement: FailureDomain) -> Self {
+        self.placement = placement;
+        self
     }
 
     /// Display label, e.g. `"g4dn.xlarge@spot"`.
@@ -513,9 +540,13 @@ impl OfferingCatalog {
             }
         }
         for (i, o) in offerings.iter().enumerate() {
+            // The dedup key includes the placement: the same (hardware,
+            // purchase kind) pair in *distinct* failure domains is two
+            // legitimately different line items.
             let dup = offerings[..i].iter().any(|p| {
                 p.instance_type.name == o.instance_type.name
                     && p.purchase.kind_discriminant() == o.purchase.kind_discriminant()
+                    && p.placement == o.placement
             });
             if dup {
                 return Err(CatalogError::DuplicateOffering { index: i });
@@ -596,6 +627,16 @@ impl OfferingCatalog {
     /// same instance costs without the purchase-option discount).
     pub fn on_demand_price(&self, index: usize) -> f64 {
         self.offerings[index].instance_type.price_per_hour
+    }
+
+    /// The per-offering failure-domain table, in coordinate order — the
+    /// lowering that keeps solvers domain-free: planners enumerate over the
+    /// [`effective_pool`](Self::effective_pool) exactly as before, and
+    /// domain-aware layers (the simulator's fault engine, the serving loop's
+    /// spread constraint) resolve coordinate `i` back to a domain through
+    /// this table.
+    pub fn domains(&self) -> Vec<FailureDomain> {
+        self.offerings.iter().map(|o| o.placement.clone()).collect()
     }
 
     /// Lowers the catalog to a [`PoolSpec`] whose type `i` is offering `i`
@@ -780,8 +821,28 @@ mod tests {
         let b = p.notices_within(10_000_000);
         assert_eq!(a, b, "seeded stream must be deterministic");
         assert!(!a.is_empty());
-        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        // Strictly increasing: same-microsecond duplicates are collapsed, so
+        // an offering is never double-noticed on one tick.
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
         assert!(a.iter().all(|&t| t <= 10_000_000));
+    }
+
+    #[test]
+    fn poisson_notices_dedupe_same_microsecond_collisions() {
+        // An absurdly hot process: the mean gap is well under a microsecond,
+        // so nearly every truncated notice collides with its predecessor.
+        // Before the dedup fix this returned long runs of equal timestamps,
+        // each of which double-noticed (and double-counted) the offering.
+        let p = PreemptionProcess::Poisson {
+            rate_per_hour: 3.6e10, // mean gap 0.1 us
+            seed: 3,
+        };
+        let notices = p.notices_within(1_000);
+        assert!(!notices.is_empty());
+        assert!(
+            notices.windows(2).all(|w| w[0] < w[1]),
+            "duplicate microsecond notices survived: {notices:?}"
+        );
     }
 
     #[test]
@@ -810,6 +871,7 @@ mod tests {
                 price_trace: PriceTrace::constant(0.2),
                 preemption_process: PreemptionProcess::None,
             },
+            placement: FailureDomain::default(),
         };
         assert_eq!(
             OfferingCatalog::try_new(vec![sneaky]).unwrap_err(),
@@ -824,6 +886,7 @@ mod tests {
         let bad_discount = Offering {
             instance_type: ec2::r5n_large(),
             purchase: PurchaseOption::Reserved { discount: 1.5 },
+            placement: FailureDomain::default(),
         };
         assert_eq!(
             OfferingCatalog::try_new(vec![Offering::on_demand(ec2::g4dn_xlarge()), bad_discount])
@@ -893,6 +956,39 @@ mod tests {
         assert!(events.iter().all(|e| e.at_us() > 0));
         // A short horizon filters future events out.
         assert!(m.events(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn distinct_domains_unlock_duplicate_hardware_purchase_pairs() {
+        let zone_a = FailureDomain::zone("us-east-1", "us-east-1a");
+        let zone_b = FailureDomain::zone("us-east-1", "us-east-1b");
+        // The same CPU type on-demand in two zones is two valid line items...
+        let catalog = OfferingCatalog::new(vec![
+            Offering::on_demand(ec2::g4dn_xlarge()).in_domain(zone_a.clone()),
+            Offering::on_demand(ec2::r5n_large()).in_domain(zone_a.clone()),
+            Offering::on_demand(ec2::r5n_large()).in_domain(zone_b.clone()),
+        ]);
+        assert_eq!(catalog.len(), 3);
+        assert_eq!(
+            catalog.domains(),
+            vec![zone_a.clone(), zone_a.clone(), zone_b]
+        );
+        // ...but twice in the *same* zone is still a duplicate.
+        assert_eq!(
+            OfferingCatalog::try_new(vec![
+                Offering::on_demand(ec2::g4dn_xlarge()).in_domain(zone_a.clone()),
+                Offering::on_demand(ec2::r5n_large()).in_domain(zone_a.clone()),
+                Offering::on_demand(ec2::r5n_large()).in_domain(zone_a),
+            ])
+            .unwrap_err(),
+            CatalogError::DuplicateOffering { index: 2 }
+        );
+        // Un-placed offerings land in the single global domain.
+        let blind = OfferingCatalog::on_demand(&PoolSpec::new(ec2::paper_pool()));
+        assert!(blind
+            .domains()
+            .iter()
+            .all(|d| *d == FailureDomain::global()));
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub(crate) enum TimedKind {
     /// The preemption deadline of `instance_index`: whatever it still holds
     /// is requeued and the instance is killed.
     Kill,
+    /// A materialized correlated-fault occurrence (zone outage boundary,
+    /// capacity-shortage boundary, straggler onset); `instance_index` is the
+    /// index into the engine's fault-occurrence table, not an instance.
+    Fault,
     /// The frontmost fair-sharing completion of `instance_index`.
     /// Re-schedulable: the engine re-derives it whenever the instance's
     /// sharer count changes, so a popped event is only live when its

@@ -76,7 +76,10 @@ use crate::calendar::{EventCalendar, TimedEvent, TimedKind};
 use crate::cluster::{Cluster, ClusterSpec, InstanceLifecycle, ServiceSpec};
 use crate::flex::{ActiveUnit, BatchingOptions, FlexConfig, FlexState, SharingMode, WorkUnit};
 use crate::scheduler::{idle_order, Dispatch, InstanceView, Scheduler, SchedulingContext};
-use crate::stats::{QueryRecord, ServiceStats, SimReport, UnfinishedQuery};
+use crate::stats::{OutageRecord, QueryRecord, ServiceStats, SimReport, UnfinishedQuery};
+use kairos_models::fault::{
+    FailureDomain, FaultEvent, FaultProcess, PurchaseRejected, RejectionCause,
+};
 use kairos_models::latency::LatencyProfile;
 use kairos_models::market::{billed_dollars, Market, MarketEvent};
 use kairos_models::mlmodel::ModelKind;
@@ -94,6 +97,29 @@ pub struct SimulationOptions {
     /// Seed of the service-time noise RNG (ignored when the service is
     /// deterministic, which is the paper's default).
     pub seed: u64,
+}
+
+/// A materialized fault-process occurrence: one boundary of a correlated
+/// event, scheduled on the calendar exactly like a market event.  Outage and
+/// shortage windows split into start/end boundaries at attach time so the
+/// hot loop only ever applies instantaneous state flips.
+#[derive(Debug, Clone)]
+enum FaultOccurrence {
+    /// A zone outage begins: every live instance placed in `domain` gets a
+    /// notice and races the kill deadline; purchases there are rejected.
+    OutageStart {
+        domain: FailureDomain,
+        end_us: TimeUs,
+    },
+    /// The domain comes back; purchases there succeed again.
+    OutageEnd { domain: FailureDomain },
+    /// Purchases in `domain` start returning [`PurchaseRejected`].
+    ShortageStart { domain: FailureDomain },
+    /// The shortage lifts.
+    ShortageEnd { domain: FailureDomain },
+    /// The lowest-indexed healthy live instance of `offering` degrades to
+    /// `slowdown` of its nominal throughput.
+    StragglerOnset { offering: usize, slowdown: f64 },
 }
 
 /// Event representation of the *naive* reference path, which keeps every
@@ -172,6 +198,39 @@ pub enum EngineEvent {
         instance_index: usize,
         /// Queries fused into the fired invocation.
         members: usize,
+    },
+    /// A zone outage began: every live instance placed in the failed domain
+    /// got a preemption-style notice and races the kill deadline, and
+    /// purchases in the domain are rejected until the zone restores.
+    ZoneOutage {
+        /// The failed domain.
+        domain: FailureDomain,
+        /// Number of instances the notice hit.
+        affected: usize,
+        /// Virtual time of the forced kills.
+        deadline_us: TimeUs,
+    },
+    /// A failed domain came back online: purchases there succeed again.
+    ZoneRestored {
+        /// The restored domain.
+        domain: FailureDomain,
+    },
+    /// A capacity-shortage window toggled in a domain: while active,
+    /// purchases there return a typed
+    /// [`PurchaseRejected`].
+    CapacityShortage {
+        /// The constrained domain.
+        domain: FailureDomain,
+        /// Whether the shortage just began (`true`) or lifted (`false`).
+        active: bool,
+    },
+    /// A straggler onset degraded an instance's throughput mid-run.
+    StragglerOnset {
+        /// The victim instance — `None` when no healthy instance of the
+        /// offering was live at onset (the fault fizzles).
+        victim: Option<usize>,
+        /// The applied throughput multiplier (fraction of nominal, (0, 1]).
+        slowdown: f64,
     },
 }
 
@@ -413,6 +472,37 @@ pub struct SimEngine<'a> {
     preemption_notices: usize,
     preempted_instances: usize,
     requeued_queries: usize,
+    /// Whether a fault process is attached.  Gates every fault-path branch
+    /// so the fault-free engine stays bit-identical to the pre-fault one
+    /// (`tests/proptest_fault.rs` pins that contract).
+    faults: bool,
+    /// Materialized fault occurrences; calendar `Fault` entries index into
+    /// this table.
+    fault_events: Vec<FaultOccurrence>,
+    /// Failure-domain placement of each pool type (empty unless faults are
+    /// attached; then one entry per type).
+    placements: Vec<FailureDomain>,
+    /// Notice→kill drain window granted to outage victims.
+    fault_notice_us: TimeUs,
+    /// Domains currently inside an outage window (purchases rejected,
+    /// membership wiped at onset).
+    active_outages: Vec<FailureDomain>,
+    /// Domains currently inside a capacity-shortage window.
+    active_shortages: Vec<FailureDomain>,
+    /// Per-instance outage attribution: `outage_victim[i]` is 1 + the index
+    /// of the outage record whose notice doomed instance `i` (0 = none).
+    /// Sized with the cluster only when faults are attached.
+    outage_victim: Vec<u32>,
+    /// Per-instance throughput multiplier (1.0 = healthy; a straggler's
+    /// service stretches by `1 / slowdown`).  Sized with the cluster only
+    /// when faults are attached.
+    slowdown: Vec<f64>,
+    /// One record per zone outage gone through, in onset order.
+    outage_records: Vec<OutageRecord>,
+    /// Purchases rejected by outage/shortage admission control.
+    rejected_purchases: usize,
+    /// Straggler onsets that found a live victim.
+    straggler_onsets: usize,
     /// QoS target of the primary ([`ModelId::DEFAULT`]) model.
     qos_us: u64,
     /// Per-model QoS targets, indexed by [`ModelId`] — an array load on the
@@ -585,6 +675,17 @@ impl<'a> SimEngine<'a> {
             preemption_notices: 0,
             preempted_instances: 0,
             requeued_queries: 0,
+            faults: false,
+            fault_events: Vec::new(),
+            placements: Vec::new(),
+            fault_notice_us: 0,
+            active_outages: Vec::new(),
+            active_shortages: Vec::new(),
+            outage_victim: Vec::new(),
+            slowdown: Vec::new(),
+            outage_records: Vec::new(),
+            rejected_purchases: 0,
+            straggler_onsets: 0,
             qos_us: qos_by_model[0],
             qos_by_model,
             flex: None,
@@ -707,6 +808,108 @@ impl<'a> SimEngine<'a> {
         }
         self.market = Some(market);
         self
+    }
+
+    /// Attaches a correlated-fault process: zone outages, capacity
+    /// shortages, and straggler onsets are materialized into the calendar
+    /// queue (exactly like market events), and `placements[t]` names the
+    /// failure domain hosting pool type `t` — pass
+    /// [`OfferingCatalog::domains`](kairos_models::OfferingCatalog::domains)
+    /// when the engine runs over an effective pool.  An empty `placements`
+    /// slice puts every type in the single global domain (the domain-blind
+    /// world); an empty process attaches nothing and perturbs nothing.
+    ///
+    /// Must be called before the first step.
+    ///
+    /// # Panics
+    /// Panics if the engine has already started, or if `placements` is
+    /// non-empty but does not name one domain per pool type.
+    pub fn with_faults(mut self, process: &FaultProcess, placements: &[FailureDomain]) -> Self {
+        self.assert_unstarted("faults");
+        assert!(
+            placements.is_empty() || placements.len() == self.num_types,
+            "need one failure-domain placement per pool type ({} given, {} types)",
+            placements.len(),
+            self.num_types
+        );
+        self.faults = true;
+        self.placements = if placements.is_empty() {
+            vec![FailureDomain::global(); self.num_types]
+        } else {
+            placements.to_vec()
+        };
+        self.fault_notice_us = process.notice_us();
+        self.outage_victim = vec![0; self.cluster.len()];
+        self.slowdown = vec![1.0; self.cluster.len()];
+        for event in process.events() {
+            match event {
+                FaultEvent::ZoneOutage {
+                    domain,
+                    start_us,
+                    duration_us,
+                } => {
+                    let end_us = start_us.saturating_add(*duration_us);
+                    self.push_fault(
+                        *start_us,
+                        FaultOccurrence::OutageStart {
+                            domain: domain.clone(),
+                            end_us,
+                        },
+                    );
+                    self.push_fault(
+                        end_us,
+                        FaultOccurrence::OutageEnd {
+                            domain: domain.clone(),
+                        },
+                    );
+                }
+                FaultEvent::CapacityShortage {
+                    domain,
+                    start_us,
+                    end_us,
+                } => {
+                    self.push_fault(
+                        *start_us,
+                        FaultOccurrence::ShortageStart {
+                            domain: domain.clone(),
+                        },
+                    );
+                    self.push_fault(
+                        *end_us,
+                        FaultOccurrence::ShortageEnd {
+                            domain: domain.clone(),
+                        },
+                    );
+                }
+                FaultEvent::Straggler {
+                    at_us,
+                    offering,
+                    slowdown,
+                } => {
+                    self.push_fault(
+                        *at_us,
+                        FaultOccurrence::StragglerOnset {
+                            offering: *offering,
+                            slowdown: *slowdown,
+                        },
+                    );
+                }
+            }
+        }
+        self
+    }
+
+    /// Schedules one materialized fault occurrence on the calendar.
+    fn push_fault(&mut self, at_us: TimeUs, occurrence: FaultOccurrence) {
+        self.calendar.push(TimedEvent {
+            time: at_us,
+            seq: self.seq,
+            instance_index: self.fault_events.len(),
+            kind: TimedKind::Fault,
+            gen: 0,
+        });
+        self.seq += 1;
+        self.fault_events.push(occurrence);
     }
 
     /// Current virtual time (time of the last processed event).
@@ -848,6 +1051,7 @@ impl<'a> SimEngine<'a> {
                 TimedKind::FlexCompletion => break self.flex_complete(event.instance_index),
                 TimedKind::BatchTimeout => break self.flex_timeout(event.instance_index),
                 TimedKind::Market => break self.apply_market_event(event.instance_index),
+                TimedKind::Fault => break self.apply_fault_event(event.instance_index),
                 TimedKind::Kill => break self.kill_instance(event.instance_index),
             }
         };
@@ -919,13 +1123,152 @@ impl<'a> SimEngine<'a> {
         }
     }
 
+    /// Applies a materialized fault occurrence (see [`FaultOccurrence`]).
+    fn apply_fault_event(&mut self, event_index: usize) -> EngineEvent {
+        match self.fault_events[event_index].clone() {
+            FaultOccurrence::OutageStart { domain, end_us } => self.begin_outage(domain, end_us),
+            FaultOccurrence::OutageEnd { domain } => {
+                if let Some(pos) = self.active_outages.iter().position(|d| *d == domain) {
+                    self.active_outages.remove(pos);
+                }
+                EngineEvent::ZoneRestored { domain }
+            }
+            FaultOccurrence::ShortageStart { domain } => {
+                self.active_shortages.push(domain.clone());
+                EngineEvent::CapacityShortage {
+                    domain,
+                    active: true,
+                }
+            }
+            FaultOccurrence::ShortageEnd { domain } => {
+                if let Some(pos) = self.active_shortages.iter().position(|d| *d == domain) {
+                    self.active_shortages.remove(pos);
+                }
+                EngineEvent::CapacityShortage {
+                    domain,
+                    active: false,
+                }
+            }
+            FaultOccurrence::StragglerOnset { offering, slowdown } => {
+                self.begin_straggler(offering, slowdown)
+            }
+        }
+    }
+
+    /// A zone outage begins: every live instance whose type is placed in
+    /// the failed domain gets a notice→drain→kill, reusing the
+    /// spot-preemption lifecycle ([`InstanceLifecycle::Preempting`] then a
+    /// `Kill` deadline), and the domain rejects purchases until the outage
+    /// ends.  The outage record books the kills and displaced queries the
+    /// deadline later attributes to it.
+    fn begin_outage(&mut self, domain: FailureDomain, end_us: TimeUs) -> EngineEvent {
+        let deadline_us = self.now + self.fault_notice_us;
+        let record_tag = self.outage_records.len() as u32 + 1;
+        let mut affected = 0usize;
+        for i in 0..self.cluster.len() {
+            let inst = &self.cluster.instances()[i];
+            if inst.is_terminated() || !domain.covers(&self.placements[inst.type_index]) {
+                continue;
+            }
+            if inst.lifecycle == InstanceLifecycle::Preempting {
+                continue; // already racing an earlier deadline
+            }
+            // Same de-indexing as a market preemption notice: a flex
+            // instance's membership lives in its flex state.
+            let indexed = if self.flex.is_some() {
+                self.flex_states[i].in_idle
+            } else {
+                inst.accepts_dispatches() && inst.backlog() == 0
+            };
+            if indexed {
+                self.remove_idle(i as u32);
+                if let Some(st) = self.flex_states.get_mut(i) {
+                    st.in_idle = false;
+                }
+            }
+            self.cluster.instances_mut()[i].lifecycle = InstanceLifecycle::Preempting;
+            self.views[i].accepting = false;
+            self.outage_victim[i] = record_tag;
+            self.calendar.push(TimedEvent {
+                time: deadline_us,
+                seq: self.seq,
+                instance_index: i,
+                kind: TimedKind::Kill,
+                gen: 0,
+            });
+            self.seq += 1;
+            affected += 1;
+        }
+        self.outage_records.push(OutageRecord {
+            domain: domain.label(),
+            start_us: self.now,
+            end_us,
+            killed_instances: 0,
+            lost_queries: 0,
+        });
+        self.active_outages.push(domain.clone());
+        EngineEvent::ZoneOutage {
+            domain,
+            affected,
+            deadline_us,
+        }
+    }
+
+    /// A straggler onset: the lowest-indexed live instance of the offering
+    /// that is still healthy degrades to `slowdown` of nominal throughput.
+    /// On the flex path the processed-volume clock is credited at the old
+    /// rate first and the frontmost completion re-derived at the new one
+    /// (generation bump, lazy deletion — the in-flight invocation
+    /// reschedules correctly); on the legacy path the in-flight service
+    /// finishes at its already-scheduled time and every later one
+    /// stretches by `1 / slowdown`.
+    fn begin_straggler(&mut self, offering: usize, slowdown: f64) -> EngineEvent {
+        let victim = (0..self.cluster.len()).find(|&i| {
+            let inst = &self.cluster.instances()[i];
+            inst.type_index == offering && !inst.is_terminated() && self.slowdown[i] == 1.0
+        });
+        if let Some(i) = victim {
+            if self.flex.is_some() {
+                // Credit the volume earned so far at the healthy rate
+                // *before* degrading it.
+                self.flex_advance(i);
+                self.slowdown[i] = slowdown;
+                self.flex_reschedule(i);
+            } else {
+                self.slowdown[i] = slowdown;
+            }
+            self.straggler_onsets += 1;
+        }
+        EngineEvent::StragglerOnset { victim, slowdown }
+    }
+
+    /// Books a kill against the outage whose notice doomed the instance,
+    /// if any (market preemptions carry no attribution).
+    fn attribute_outage_kill(&mut self, instance_index: usize, requeued: usize) {
+        if !self.faults {
+            return;
+        }
+        let tag = self.outage_victim[instance_index];
+        if tag == 0 {
+            return;
+        }
+        self.outage_victim[instance_index] = 0;
+        let record = &mut self.outage_records[tag as usize - 1];
+        record.killed_instances += 1;
+        record.lost_queries += requeued;
+    }
+
     /// Forcibly terminates an instance at its preemption deadline: the
     /// in-flight query (if any) and the local queue are requeued to the
     /// central queue exactly once, the bill is settled, and the instance
     /// becomes [`InstanceLifecycle::Preempted`].
     fn kill_instance(&mut self, instance_index: usize) -> EngineEvent {
         if self.flex.is_some() {
-            return self.flex_kill(instance_index);
+            let event = self.flex_kill(instance_index);
+            if let EngineEvent::InstancePreempted { requeued, .. } = event {
+                self.attribute_outage_kill(instance_index, requeued);
+            }
+            return event;
         }
         let mut requeued = 0usize;
         {
@@ -954,6 +1297,7 @@ impl<'a> SimEngine<'a> {
         self.settle_bill(instance_index, self.now);
         self.preempted_instances += 1;
         self.requeued_queries += requeued;
+        self.attribute_outage_kill(instance_index, requeued);
         EngineEvent::InstancePreempted {
             instance_index,
             requeued,
@@ -1063,6 +1407,10 @@ impl<'a> SimEngine<'a> {
         });
         self.local_nominal_us.push(0);
         self.billed_start_us.push(self.now);
+        if self.faults {
+            self.outage_victim.push(0);
+            self.slowdown.push(1.0);
+        }
         if self.flex.is_some() {
             self.flex_states.push(FlexState {
                 in_idle: true,
@@ -1079,6 +1427,40 @@ impl<'a> SimEngine<'a> {
         });
         self.seq += 1;
         instance_index
+    }
+
+    /// [`Self::add_instance_for`] with fault-domain admission control: when
+    /// the target type's placement is inside an active zone outage or
+    /// capacity shortage, the purchase returns a typed [`PurchaseRejected`]
+    /// instead of silently succeeding (and the report's
+    /// `rejected_purchases` counter ticks).  Without an attached fault
+    /// process this is exactly `Ok(add_instance_for(..))`.
+    pub fn try_add_instance_for(
+        &mut self,
+        model: ModelId,
+        type_index: usize,
+        provisioning_delay_us: TimeUs,
+    ) -> Result<usize, PurchaseRejected> {
+        if self.faults {
+            let placement = &self.placements[type_index];
+            let cause = if self.active_outages.iter().any(|d| d.covers(placement)) {
+                Some(RejectionCause::ZoneOutage)
+            } else if self.active_shortages.iter().any(|d| d.covers(placement)) {
+                Some(RejectionCause::CapacityShortage)
+            } else {
+                None
+            };
+            if let Some(cause) = cause {
+                self.rejected_purchases += 1;
+                return Err(PurchaseRejected {
+                    type_index,
+                    domain: placement.clone(),
+                    at_us: self.now,
+                    cause,
+                });
+            }
+        }
+        Ok(self.add_instance_for(model, type_index, provisioning_delay_us))
     }
 
     /// Gracefully retires an instance: it accepts no further dispatches and
@@ -1291,6 +1673,9 @@ impl<'a> SimEngine<'a> {
             preemption_notices: self.preemption_notices,
             preempted_instances: self.preempted_instances,
             requeued_queries: self.requeued_queries,
+            rejected_purchases: self.rejected_purchases,
+            straggler_onsets: self.straggler_onsets,
+            outages: self.outage_records,
             service: ServiceStats {
                 calendar_scheduled: self.calendar.scheduled(),
                 calendar_cancelled: self.calendar.cancelled(),
@@ -1322,6 +1707,14 @@ impl<'a> SimEngine<'a> {
                 query.batch_size,
                 &mut self.rngs[inst.model.index()],
             );
+            // A straggler serves everything slower: the drawn service time
+            // stretches by the reciprocal of the degraded throughput
+            // (fault-free runs never branch here).
+            let service_us = if self.faults && self.slowdown[instance_index] != 1.0 {
+                (((service_us as f64) / self.slowdown[instance_index]).ceil() as TimeUs).max(1)
+            } else {
+                service_us
+            };
             let start_us = self.now.max(inst.available_from_us);
             inst.serving = Some((query, start_us));
             inst.busy_until_us = start_us + service_us;
@@ -1715,11 +2108,14 @@ impl<'a> SimEngine<'a> {
         }
         let dt = self.now - st.last_update_us;
         if dt > 0 {
-            let rate = self
+            let mut rate = self
                 .flex
                 .as_ref()
                 .expect("flex advance")
                 .rate(type_index, st.active.len() as u32);
+            if self.faults {
+                rate *= self.slowdown[i];
+            }
             st.volume += dt as f64 * rate;
             st.last_update_us = self.now;
         }
@@ -1746,11 +2142,14 @@ impl<'a> SimEngine<'a> {
         let Some(front) = st.active.first() else {
             return;
         };
-        let rate = self
+        let mut rate = self
             .flex
             .as_ref()
             .expect("flex reschedule")
             .rate(type_index, st.active.len() as u32);
+        if self.faults {
+            rate *= self.slowdown[i];
+        }
         let remaining = (front.finish_volume - st.volume).max(0.0);
         let dt = ((remaining / rate).ceil() as TimeUs).max(1);
         st.completion_gen += 1;
@@ -2214,6 +2613,9 @@ pub fn run_trace_naive(
         preemption_notices: 0,
         preempted_instances: 0,
         requeued_queries: 0,
+        rejected_purchases: 0,
+        straggler_onsets: 0,
+        outages: Vec::new(),
         service: ServiceStats::default(),
     }
 }
@@ -3247,5 +3649,138 @@ mod tests {
             steps > trace.len(),
             "simulation should process every arrival"
         );
+    }
+
+    #[test]
+    fn zone_outage_kills_the_domain_and_books_the_record() {
+        let (pool, service) = setup();
+        let trace = TraceSpec::production(200.0, 2.0, 5).generate();
+        // Two instances of type 0 (zone a) and two of type 2 (zone b).
+        let config = Config::new(vec![2, 0, 2, 0]);
+        let zone_a = FailureDomain::zone("us-east-1", "us-east-1a");
+        let zone_b = FailureDomain::zone("us-east-1", "us-east-1b");
+        let placements = vec![
+            zone_a.clone(),
+            zone_a.clone(),
+            zone_b.clone(),
+            zone_b.clone(),
+        ];
+        let process = FaultProcess::new(vec![FaultEvent::ZoneOutage {
+            domain: zone_a.clone(),
+            start_us: 500_000,
+            duration_us: 400_000,
+        }]);
+        let mut fcfs = FcfsScheduler::new();
+        let report = SimEngine::new(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut fcfs,
+            &SimulationOptions::default(),
+        )
+        .with_faults(&process, &placements)
+        .run();
+        assert_eq!(report.outages.len(), 1);
+        let outage = &report.outages[0];
+        assert_eq!(outage.domain, zone_a.label());
+        assert_eq!((outage.start_us, outage.end_us), (500_000, 900_000));
+        // Both zone-a instances die; zone b survives untouched.
+        assert_eq!(outage.killed_instances, 2);
+        assert_eq!(report.preempted_instances, 2);
+        assert!(report.records.iter().all(|r| r.completion_us
+            < 500_000 + FaultProcess::DEFAULT_NOTICE_US
+            || r.type_index >= 2));
+        // Conservation and the lazy-deletion invariant hold on fault paths.
+        assert_eq!(report.completed() + report.unfinished.len(), report.offered);
+        assert!(report.service.calendar_stale_popped <= report.service.calendar_cancelled);
+        assert!(report.service.calendar_cancelled <= report.service.calendar_scheduled);
+    }
+
+    #[test]
+    fn capacity_shortage_rejects_purchases_with_a_typed_error() {
+        let (pool, service) = setup();
+        let trace = TraceSpec::production(50.0, 1.0, 9).generate();
+        let config = Config::new(vec![1, 0, 0, 0]);
+        let process = FaultProcess::new(vec![FaultEvent::CapacityShortage {
+            domain: FailureDomain::global(),
+            start_us: 100_000,
+            end_us: 30_000_000,
+        }]);
+        let mut fcfs = FcfsScheduler::new();
+        let mut engine = SimEngine::new(
+            &pool,
+            &config,
+            &service,
+            &trace,
+            &mut fcfs,
+            &SimulationOptions::default(),
+        )
+        .with_faults(&process, &[]);
+        let mut toggles = 0usize;
+        while let Some(event) = engine.step_event() {
+            match event {
+                EngineEvent::CapacityShortage { active: true, .. } => {
+                    toggles += 1;
+                    let err = engine
+                        .try_add_instance_for(ModelId::DEFAULT, 1, 0)
+                        .unwrap_err();
+                    assert_eq!(err.cause, RejectionCause::CapacityShortage);
+                    assert_eq!(err.type_index, 1);
+                    assert_eq!(err.at_us, 100_000);
+                }
+                EngineEvent::CapacityShortage { active: false, .. } => {
+                    toggles += 1;
+                    assert!(engine.try_add_instance_for(ModelId::DEFAULT, 1, 0).is_ok());
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(toggles, 2);
+        let report = engine.report();
+        assert_eq!(report.rejected_purchases, 1);
+    }
+
+    #[test]
+    fn straggler_stretches_service_on_the_victim() {
+        let (pool, service) = setup();
+        let trace = TraceSpec::production(100.0, 1.0, 3).generate();
+        let config = Config::new(vec![1, 0, 0, 0]);
+        let run = |process: Option<&FaultProcess>| {
+            let mut fcfs = FcfsScheduler::new();
+            let mut engine = SimEngine::new(
+                &pool,
+                &config,
+                &service,
+                &trace,
+                &mut fcfs,
+                &SimulationOptions::default(),
+            );
+            if let Some(p) = process {
+                engine = engine.with_faults(p, &[]);
+            }
+            engine.run()
+        };
+        let healthy = run(None);
+        let process = FaultProcess::new(vec![FaultEvent::Straggler {
+            at_us: 0,
+            offering: 0,
+            slowdown: 0.25,
+        }]);
+        let degraded = run(Some(&process));
+        assert_eq!(degraded.straggler_onsets, 1);
+        assert_eq!(healthy.straggler_onsets, 0);
+        // Quarter throughput → every service stretches 4x; the run is
+        // strictly worse end to end.
+        assert!(degraded.mean_latency_ms() > healthy.mean_latency_ms());
+        assert!(degraded.horizon_us > healthy.horizon_us);
+        // A straggler targeting an offering with no live instance fizzles.
+        let fizzle = run(Some(&FaultProcess::new(vec![FaultEvent::Straggler {
+            at_us: 0,
+            offering: 3,
+            slowdown: 0.5,
+        }])));
+        assert_eq!(fizzle.straggler_onsets, 0);
+        assert_eq!(fizzle.mean_latency_ms(), healthy.mean_latency_ms());
     }
 }

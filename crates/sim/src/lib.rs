@@ -73,4 +73,4 @@ pub use scheduler::{
     idle_order, Dispatch, FcfsScheduler, InstanceView, Scheduler, SchedulingContext,
 };
 pub use sharded::ShardedEngine;
-pub use stats::{ModelReport, QueryRecord, ServiceStats, SimReport, UnfinishedQuery};
+pub use stats::{ModelReport, OutageRecord, QueryRecord, ServiceStats, SimReport, UnfinishedQuery};

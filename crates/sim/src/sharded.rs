@@ -37,7 +37,9 @@
 //! the dispatch validation enforces (see DESIGN.md).
 //!
 //! Markets are not supported: price steps and preemption storms are global
-//! events that couple every lane's billing and kill schedule.
+//! events that couple every lane's billing and kill schedule.  Fault
+//! processes ([`SimEngine::with_faults`]) are excluded for the same reason —
+//! a zone outage or capacity shortage spans every lane placed in the domain.
 
 use crate::cluster::{ClusterSpec, ModelPool, ServiceSpec};
 use crate::engine::{SimEngine, SimulationOptions};
@@ -286,6 +288,9 @@ impl<'a> ShardedEngine<'a> {
                 preemption_notices: 0,
                 preempted_instances: 0,
                 requeued_queries: 0,
+                rejected_purchases: 0,
+                straggler_onsets: 0,
+                outages: Vec::new(),
                 service: crate::stats::ServiceStats::default(),
             });
         }

@@ -123,6 +123,27 @@ impl ServiceStats {
     }
 }
 
+/// One zone outage as observed by the engine: the domain that went down,
+/// the window boundaries, and what the outage cost — instances force-killed
+/// at the notice deadline and the queries those kills displaced back to the
+/// central queue.  The per-domain recovery delay derives from the report via
+/// [`SimReport::time_to_recover`] anchored at [`OutageRecord::start_us`]
+/// (see [`SimReport::outage_recoveries`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageRecord {
+    /// Label of the failed domain (`region/zone`).
+    pub domain: String,
+    /// Virtual time the outage began (the notice instant).
+    pub start_us: TimeUs,
+    /// Virtual time the domain came back.
+    pub end_us: TimeUs,
+    /// Instances force-killed at the outage's notice deadline.
+    pub killed_instances: usize,
+    /// Queries the kills displaced back to the central queue (in-flight
+    /// plus locally queued at kill time).
+    pub lost_queries: usize,
+}
+
 /// Aggregated outcome of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -172,8 +193,19 @@ pub struct SimReport {
     /// Instances forcibly reclaimed by the market.
     pub preempted_instances: usize,
     /// Queries requeued to the central queue by preemption kills (a query
-    /// requeued by two successive kills counts twice).
+    /// requeued by two successive kills counts twice).  Outage kills ride
+    /// the same counter (their per-outage share is in [`Self::outages`]).
     pub requeued_queries: usize,
+    /// Purchase attempts rejected by an active zone outage or capacity
+    /// shortage in the target domain (see
+    /// [`SimEngine::try_add_instance_for`](crate::SimEngine::try_add_instance_for)).
+    pub rejected_purchases: usize,
+    /// Straggler onsets applied to a live instance (throughput scaled down
+    /// mid-run).
+    pub straggler_onsets: usize,
+    /// One record per zone outage the run went through, in onset order.
+    /// Shard merges concatenate and re-sort by `(start_us, domain)`.
+    pub outages: Vec<OutageRecord>,
     /// Flexible-service-layer counters: calendar lazy-deletion tombstones
     /// and dynamic-batcher occupancy/latency metrics.  Summed field-wise by
     /// shard merges.
@@ -572,6 +604,26 @@ impl SimReport {
         recovered_from.map(|t| t - boundary_us)
     }
 
+    /// Per-domain recovery delays: for each [`OutageRecord`] of the run, the
+    /// [`Self::time_to_recover`] measured from the outage's onset (`None`
+    /// when QoS never restabilizes within the run).  This is the
+    /// time-to-recover axis of the `fig_outage` benchmark.
+    pub fn outage_recoveries(
+        &self,
+        bucket_us: TimeUs,
+        tolerance: f64,
+    ) -> Vec<(String, Option<TimeUs>)> {
+        self.outages
+            .iter()
+            .map(|o| {
+                (
+                    o.domain.clone(),
+                    self.time_to_recover(o.start_us, bucket_us, tolerance),
+                )
+            })
+            .collect()
+    }
+
     /// Number of completed queries served by each instance-type index.
     pub fn per_type_completions(&self, num_types: usize) -> Vec<usize> {
         let mut counts = vec![0usize; num_types];
@@ -684,6 +736,13 @@ impl SimReport {
         }
         let billed_dollars = billed_by_model.iter().fold(0.0, |acc, &b| acc + b);
 
+        // Outage records concatenate and re-sort under a total-enough key:
+        // a domain can only fail once per instant, so (start, domain) orders
+        // shard contributions independently of merge order.
+        let mut outages = std::mem::take(&mut self.outages);
+        outages.append(&mut other.outages);
+        outages.sort_by(|a, b| (a.start_us, &a.domain).cmp(&(b.start_us, &b.domain)));
+
         SimReport {
             scheduler,
             records,
@@ -698,6 +757,9 @@ impl SimReport {
             preemption_notices: self.preemption_notices + other.preemption_notices,
             preempted_instances: self.preempted_instances + other.preempted_instances,
             requeued_queries: self.requeued_queries + other.requeued_queries,
+            rejected_purchases: self.rejected_purchases + other.rejected_purchases,
+            straggler_onsets: self.straggler_onsets + other.straggler_onsets,
+            outages,
             service: self.service.merged(other.service),
         }
     }
@@ -780,6 +842,12 @@ impl SimReport {
         }
         let billed_dollars = billed_by_model.iter().fold(0.0, |acc, &b| acc + b);
 
+        let mut outages: Vec<OutageRecord> = reports
+            .iter_mut()
+            .flat_map(|r| std::mem::take(&mut r.outages))
+            .collect();
+        outages.sort_by(|a, b| (a.start_us, &a.domain).cmp(&(b.start_us, &b.domain)));
+
         Some(SimReport {
             scheduler,
             records,
@@ -798,6 +866,9 @@ impl SimReport {
             preemption_notices: reports.iter().map(|r| r.preemption_notices).sum(),
             preempted_instances: reports.iter().map(|r| r.preempted_instances).sum(),
             requeued_queries: reports.iter().map(|r| r.requeued_queries).sum(),
+            rejected_purchases: reports.iter().map(|r| r.rejected_purchases).sum(),
+            straggler_onsets: reports.iter().map(|r| r.straggler_onsets).sum(),
+            outages,
             service: reports
                 .iter()
                 .fold(ServiceStats::default(), |acc, r| acc.merged(r.service)),
@@ -838,6 +909,9 @@ mod tests {
             preemption_notices: 0,
             preempted_instances: 0,
             requeued_queries: 0,
+            rejected_purchases: 0,
+            straggler_onsets: 0,
+            outages: vec![],
             service: ServiceStats::default(),
         }
     }
@@ -955,6 +1029,32 @@ mod tests {
     }
 
     #[test]
+    fn outage_recoveries_anchor_time_to_recover_at_each_onset() {
+        // One late arrival in bucket 1 (the outage transient), clean after:
+        // recovery from the 100 ms onset lands at bucket 2, a 100 ms delay.
+        let mut rep = report(
+            vec![
+                record(1, 150_000, 150_000, 600_000),
+                record(2, 250_000, 250_000, 255_000),
+                record(3, 350_000, 350_000, 355_000),
+            ],
+            vec![],
+            10_000,
+        );
+        rep.outages.push(OutageRecord {
+            domain: "us-east-1/us-east-1a".into(),
+            start_us: 100_000,
+            end_us: 200_000,
+            killed_instances: 2,
+            lost_queries: 5,
+        });
+        assert_eq!(
+            rep.outage_recoveries(100_000, 0.0),
+            vec![("us-east-1/us-east-1a".to_string(), Some(100_000))]
+        );
+    }
+
+    #[test]
     fn per_model_breakdown_sums_to_aggregates_and_applies_per_model_qos() {
         // Model 0: 10 ms QoS, model 1: 100 ms QoS.  The same 50 ms latency is
         // a violation for model 0 but fine for model 1.
@@ -983,6 +1083,9 @@ mod tests {
             preemption_notices: 0,
             preempted_instances: 0,
             requeued_queries: 0,
+            rejected_purchases: 0,
+            straggler_onsets: 0,
+            outages: vec![],
             service: ServiceStats::default(),
         };
         let per = rep.per_model();
@@ -1077,6 +1180,15 @@ mod tests {
             preemption_notices: m,
             preempted_instances: 0,
             requeued_queries: 2 * m,
+            rejected_purchases: m,
+            straggler_onsets: 3 * m,
+            outages: vec![OutageRecord {
+                domain: format!("us-east-1/us-east-1{}", (b'a' + m as u8) as char),
+                start_us: 1_000 * (m as u64 + 1),
+                end_us: 2_000 * (m as u64 + 1),
+                killed_instances: m,
+                lost_queries: 2 * m,
+            }],
             service: ServiceStats {
                 calendar_scheduled: 50 + m as u64,
                 calendar_cancelled: 10 + m as u64,
@@ -1108,6 +1220,9 @@ mod tests {
         assert_eq!(a.preemption_notices, b.preemption_notices);
         assert_eq!(a.preempted_instances, b.preempted_instances);
         assert_eq!(a.requeued_queries, b.requeued_queries);
+        assert_eq!(a.rejected_purchases, b.rejected_purchases);
+        assert_eq!(a.straggler_onsets, b.straggler_onsets);
+        assert_eq!(a.outages, b.outages);
         assert_eq!(a.service, b.service);
     }
 
@@ -1128,6 +1243,9 @@ mod tests {
             preemption_notices: 0,
             preempted_instances: 0,
             requeued_queries: 0,
+            rejected_purchases: 0,
+            straggler_onsets: 0,
+            outages: vec![],
             service: ServiceStats::default(),
         };
         let merged = a.clone().merge(empty.clone());
@@ -1149,6 +1267,20 @@ mod tests {
         assert_eq!(merged.preemption_notices, 1);
         assert_eq!(merged.requeued_queries, 2);
         assert_eq!(merged.horizon_us, 1_000_001);
+        assert_eq!(merged.rejected_purchases, 1);
+        assert_eq!(merged.straggler_onsets, 3);
+        // Outage records interleave by (start, domain).
+        assert_eq!(
+            merged
+                .outages
+                .iter()
+                .map(|o| (o.start_us, o.domain.as_str()))
+                .collect::<Vec<_>>(),
+            vec![
+                (1_000, "us-east-1/us-east-1a"),
+                (2_000, "us-east-1/us-east-1b"),
+            ]
+        );
         assert_eq!(merged.qos_by_model, vec![10_000, 11_000]);
         assert_eq!(merged.billed_by_model, vec![1.25, 2.5]);
         assert_eq!(merged.billed_dollars, 0.0 + 1.25 + 2.5);

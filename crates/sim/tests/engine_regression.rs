@@ -10,7 +10,8 @@
 //!    legacy path and across the flex (sharing + batching) hot path.
 
 use kairos_models::{
-    calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec, ThroughputDegradation,
+    calibration::paper_calibration, ec2, Config, FailureDomain, FaultEvent, FaultProcess,
+    ModelKind, PoolSpec, ThroughputDegradation,
 };
 use kairos_sim::{
     idle_order, run_trace, run_trace_naive, BatchingOptions, Dispatch, FcfsScheduler, Scheduler,
@@ -237,6 +238,100 @@ fn calendar_lazy_deletion_counters_stay_consistent() {
                 );
                 assert_eq!(s.batched_queries, s.batch_fill_sum);
             }
+        }
+    }
+}
+
+/// The same lazy-deletion invariant across *fault-triggered* re-schedules: a
+/// zone outage (notice → drain → kill with requeues), a capacity shortage,
+/// and a mid-run straggler onset all cancel and re-book calendar entries,
+/// and `stale_popped <= cancelled <= scheduled` must survive every knob
+/// combination — legacy, sharing, batching, and sharing + batching.
+#[test]
+fn calendar_counters_stay_consistent_on_fault_paths() {
+    let (pool, service) = setup();
+    let config = Config::new(vec![4, 2, 4, 2]);
+    let zone_a = FailureDomain::zone("us-east-1", "us-east-1a");
+    let zone_b = FailureDomain::zone("us-east-1", "us-east-1b");
+    // Types 0 and 1 in zone a (taken down mid-run), 2 and 3 in zone b.
+    let placements = vec![
+        zone_a.clone(),
+        zone_a.clone(),
+        zone_b.clone(),
+        zone_b.clone(),
+    ];
+    let process = FaultProcess::new(vec![
+        FaultEvent::ZoneOutage {
+            domain: zone_a,
+            start_us: 1_500_000,
+            duration_us: 1_000_000,
+        },
+        FaultEvent::CapacityShortage {
+            domain: zone_b,
+            start_us: 2_000_000,
+            end_us: 3_000_000,
+        },
+        FaultEvent::Straggler {
+            at_us: 500_000,
+            offering: 2,
+            slowdown: 0.5,
+        },
+    ]);
+    let flex_knobs: [(Option<SharingMode>, Option<BatchingOptions>); 4] = [
+        (None, None),
+        (
+            Some(SharingMode::Fair(
+                SharingOptions::uniform(ThroughputDegradation::try_new_linear(0.2).unwrap())
+                    .with_max_concurrency(4),
+            )),
+            None,
+        ),
+        (None, Some(BatchingOptions::new(256, 2_000))),
+        (
+            Some(SharingMode::Fair(
+                SharingOptions::uniform(ThroughputDegradation::TimeSliced).with_max_concurrency(2),
+            )),
+            Some(BatchingOptions::new(128, 1_000)),
+        ),
+    ];
+    for seed in [0u64, 7] {
+        let trace = production_10k(seed.wrapping_add(23));
+        let opts = SimulationOptions { seed };
+        for (sharing, batching) in &flex_knobs {
+            let mut scheduler = FcfsScheduler::new();
+            let mut engine =
+                SimEngine::new(&pool, &config, &service, &trace, &mut scheduler, &opts)
+                    .with_faults(&process, &placements);
+            if let Some(mode) = sharing {
+                engine = engine.with_sharing(mode.clone());
+            }
+            if let Some(b) = batching {
+                engine = engine.with_batching(*b);
+            }
+            let report = engine.run();
+            let s = &report.service;
+            assert!(
+                s.calendar_stale_popped <= s.calendar_cancelled,
+                "skipped an entry that was never cancelled (seed {seed}): {s:?}"
+            );
+            assert!(
+                s.calendar_cancelled <= s.calendar_scheduled,
+                "cancelled more than was ever scheduled (seed {seed}): {s:?}"
+            );
+            assert_eq!(
+                report.records.len() + report.unfinished.len(),
+                report.offered,
+                "query conservation broke (seed {seed})"
+            );
+            // The faults actually landed: the outage killed the two zone-a
+            // types' instances and the straggler found its zone-b victim.
+            assert_eq!(report.outages.len(), 1);
+            assert_eq!(report.outages[0].killed_instances, 6);
+            assert_eq!(report.straggler_onsets, 1);
+            assert!(
+                report.preempted_instances >= 6,
+                "outage kills must requeue through the preemption lifecycle"
+            );
         }
     }
 }

@@ -49,9 +49,10 @@ pub mod prelude {
         MultiServingOutcome, ServingOptions, ServingSystem, ThroughputEstimator,
     };
     pub use kairos_models::{
-        calibration::paper_calibration, ec2, Config, ConstantMarket, LatencyTable, Market,
-        MarketEvent, ModelKind, Offering, OfferingCatalog, PoolSpec, PreemptionProcess, PriceTrace,
-        PurchaseOption, ThroughputDegradation, TraceMarket,
+        calibration::paper_calibration, ec2, Config, ConstantMarket, FailureDomain, FaultEvent,
+        FaultProcess, LatencyTable, Market, MarketEvent, ModelKind, Offering, OfferingCatalog,
+        PoolSpec, PreemptionProcess, PriceTrace, PurchaseOption, ThroughputDegradation,
+        TraceMarket,
     };
     pub use kairos_sim::{
         allowable_throughput, allowable_throughput_many, run_trace, BatchingOptions,
