@@ -363,6 +363,29 @@ fn bench_rank_configs_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// Variant-aware configuration ranking: the merged enumerate-once,
+/// rank-per-lane sweep the variant planner runs at every replan (three RM2
+/// lanes — fp32, int8, distilled — over the same budget's candidate set).
+/// Budgeted at roughly twice the single-lane `rank_configs_sweep` path: the
+/// per-lane closed-form rankings dominate and the merge is linear.
+fn bench_rank_configs_variants(c: &mut Criterion) {
+    use kairos_core::paper_variant_planner;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let planner = paper_variant_planner(&pool, ModelKind::Rm2, &paper_calibration());
+    let sample = BatchSizeDistribution::production_default()
+        .sample_many(&mut StdRng::seed_from_u64(7), 2_000);
+
+    let mut group = c.benchmark_group("rank_configs_variants");
+    group.sample_size(10);
+    group.bench_function("three_lane_merge", |b| {
+        b.iter(|| black_box(planner.rank_configs_variants(2.5, black_box(&sample), None)))
+    });
+    group.finish();
+}
+
 /// One allowable-throughput ramp for a single configuration: the unit of
 /// work every planner comparison and baseline grid search repeats hundreds
 /// of times.  Early exit aborts each probe replay the moment its verdict is
@@ -397,6 +420,7 @@ criterion_group!(
     bench_engine_vs_naive_50k,
     bench_sharded_replay,
     bench_rank_configs_sweep,
+    bench_rank_configs_variants,
     bench_allowable_throughput_probe
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! fleet figures [ids...]   regenerate the BENCH_*.json figures
 //!                          (default: fig12_shift fig_multimodel fig_spot fig_scale
-//!                          fig_batching fig_outage)
+//!                          fig_batching fig_outage fig_variants)
 //! fleet matrix [out_dir]   run the default 24-scenario sweep (default: fleet-results/)
 //! fleet smoke  [out_dir]   run the 4-scenario CI sweep (default: target/fleet-smoke/)
 //! ```
@@ -19,13 +19,14 @@ use kairos_bench::fleet::{run_matrix, ScenarioMatrix};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const FIGURE_IDS: [&str; 6] = [
+const FIGURE_IDS: [&str; 7] = [
     "fig12_shift",
     "fig_multimodel",
     "fig_spot",
     "fig_scale",
     "fig_batching",
     "fig_outage",
+    "fig_variants",
 ];
 
 fn run_figures(ids: &[String]) -> ExitCode {
@@ -42,6 +43,7 @@ fn run_figures(ids: &[String]) -> ExitCode {
             "fig_scale" => figures::figure_scale(),
             "fig_batching" => figures::figure_batching(),
             "fig_outage" => figures::figure_outage(),
+            "fig_variants" => figures::figure_variants(),
             other => {
                 eprintln!("unknown figure {other}; known: {FIGURE_IDS:?}");
                 return ExitCode::from(2);

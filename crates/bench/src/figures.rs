@@ -10,11 +10,13 @@
 
 use kairos_baselines::{static_overprovision, AutoscalerOptions, ReactiveAutoscaler};
 use kairos_core::{
-    InferenceService, KairosScheduler, ReplanTrigger, ServingOptions, ServingSystem,
+    paper_variant_planner, InferenceService, KairosScheduler, ReplanTrigger, ServingOptions,
+    ServingSystem,
 };
 use kairos_models::{
     calibration::paper_calibration, ec2, Config, FailureDomain, FaultEvent, FaultProcess,
     ModelKind, Offering, OfferingCatalog, PoolSpec, PreemptionProcess, PriceTrace, TraceMarket,
+    VariantCatalog,
 };
 use kairos_sim::{
     run_trace, BatchingOptions, ClusterSpec, FcfsScheduler, Scheduler, ServiceSpec, ShardedEngine,
@@ -836,6 +838,202 @@ pub fn figure_outage() {
     match std::fs::write(path, json.join("\n") + "\n") {
         Ok(()) => println!("--> recorded BENCH_outage.json"),
         Err(e) => println!("--> could not write BENCH_outage.json: {e}"),
+    }
+}
+
+/// One scheme's outcome of the online leg of the variants experiment.
+struct VariantRow {
+    scheme: &'static str,
+    violation_fraction: f64,
+    delivered_accuracy: f64,
+    mean_cost_per_hour: f64,
+    switches: usize,
+    final_variant: String,
+}
+
+/// Model-less variant serving — the accuracy-vs-cost frontier the variant
+/// catalog opens up, plus the online downgrade-under-pressure story (RM2,
+/// paper catalog: fp32 reference, int8 at 1.8x, distilled at 2.8x).
+///
+/// **Frontier**: at a fixed demand the reference can serve under the
+/// budget, sweep the accuracy floor and record the cheapest covering
+/// `(variant, configuration)` the planner picks — single-variant Kairos is
+/// exactly the strictest floor (only fp32 admissible), so every relaxation
+/// that picks a cheaper config at the same demand is a point the
+/// single-variant planner cannot reach.
+///
+/// **Online**: an offered rate sized to the reference plan's own best upper
+/// bound (i.e. ~35 % over what fp32 can serve with headroom under the
+/// budget) is replayed through three serving loops: single-variant Kairos,
+/// the variant-aware loop with a 0.98 floor (quantized lanes inadmissible —
+/// must behave like single-variant), and the unfloored variant-aware loop
+/// (downgrades, serves, re-promotes).  Records violation %, delivered mean
+/// accuracy, time-weighted target cost and switch counts.
+///
+/// Writes `BENCH_variants.json` at the workspace root; `KAIROS_FIG_FAST=1`
+/// shrinks the online trace for CI smoke runs.
+pub fn figure_variants() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let fast = fast_mode();
+    let duration_s = if fast { 4.0 } else { 10.0 };
+    let budget = 2.5;
+    section("Model-less variants: accuracy-aware auto-selection vs single-variant Kairos (RM2)");
+
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let model = ModelKind::Rm2;
+    let service = ServiceSpec::new(model, latency.clone());
+    let catalog = VariantCatalog::paper_variants();
+    let sample = BatchSizeDistribution::production_default()
+        .sample_many(&mut StdRng::seed_from_u64(7), 2_000);
+
+    // ---- Frontier: cheapest covering (variant, config) per accuracy floor.
+    let planner = paper_variant_planner(&pool, model, &latency);
+    let headroom = 1.35;
+    let ref_best = planner.rank_configs_variants(budget, &sample, Some(0.98))[0].upper_bound;
+    // A demand the reference *can* cover with headroom under the budget, so
+    // every floor admits a covering plan and the rows differ only in cost.
+    let frontier_demand = ref_best * 0.7 / headroom;
+    let floors: [(&'static str, Option<f64>); 4] = [
+        ("0.980", Some(0.98)),
+        ("0.965", Some(0.965)),
+        ("0.940", Some(0.94)),
+        ("none", None),
+    ];
+    println!(
+        "frontier: demand {frontier_demand:.1} QPS (x{headroom} headroom), budget {budget} $/hr, \
+         accuracy floors {{0.98, 0.965, 0.94, none}}"
+    );
+    println!(
+        "\n{:<10}{:>12}{:>12}{:>14}{:>14}{:>14}",
+        "floor", "variant", "accuracy", "config", "cost $/hr", "UB (QPS)"
+    );
+    let frontier: Vec<(&'static str, kairos_core::VariantChoice)> = floors
+        .iter()
+        .map(|&(label, floor)| {
+            let choice = planner
+                .cheapest_for_demand(budget, &sample, frontier_demand, headroom, floor)
+                .expect("the reference covers the frontier demand");
+            (label, choice)
+        })
+        .collect();
+    for (label, choice) in &frontier {
+        println!(
+            "{:<10}{:>12}{:>12.3}{:>14}{:>14.3}{:>14.1}",
+            label,
+            choice.variant,
+            choice.accuracy,
+            choice.config.to_string(),
+            choice.config.cost(&pool),
+            choice.upper_bound
+        );
+    }
+
+    // ---- Online: overload at the reference plan's own best bound.
+    let rate_qps = ref_best;
+    println!(
+        "\nonline: {rate_qps:.1} QPS steady ({duration_s} s) — ~35 % over what fp32 covers \
+         with headroom under {budget} $/hr"
+    );
+    let trace = kairos_workload::TraceSpec::production(rate_qps, duration_s, 4242).generate();
+    let duration_us = (duration_s * 1e6) as TimeUs;
+    let serving_options = ServingOptions::default()
+        .budget(budget)
+        .replan_every(500_000)
+        .provisioning_delay(300_000);
+    let run_scheme = |scheme: &'static str,
+                      catalog: Option<&VariantCatalog>,
+                      floor: Option<f64>|
+     -> VariantRow {
+        let mut options = serving_options;
+        if let Some(floor) = floor {
+            options = options.min_accuracy(floor);
+        }
+        let mut system = ServingSystem::new(pool.clone(), model, Some(latency.clone()), options);
+        if let Some(catalog) = catalog {
+            system = system.with_variants(catalog, &latency);
+        }
+        system.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
+        let initial = system
+            .plan_for_demand(rate_qps)
+            .expect("priors allow planning");
+        let outcome = system.run(&initial, &service, &trace);
+        let mut costs = vec![(0, initial.cost(&pool))];
+        costs.extend(
+            outcome
+                .reconfigs
+                .iter()
+                .map(|r| (r.at_us, r.target.cost(&pool))),
+        );
+        VariantRow {
+            scheme,
+            violation_fraction: outcome.report.violation_fraction(),
+            delivered_accuracy: outcome.report.delivered_accuracy(),
+            mean_cost_per_hour: mean_cost(costs, duration_us),
+            switches: outcome.variant_switches.len(),
+            final_variant: system.active_variant().unwrap_or("fp32").to_string(),
+        }
+    };
+    let rows = [
+        run_scheme("KAIROS(fp32)", None, None),
+        run_scheme("KAIROS(floor-0.98)", Some(&catalog), Some(0.98)),
+        run_scheme("KAIROS(variants)", Some(&catalog), None),
+    ];
+    println!(
+        "\n{:<20}{:>14}{:>12}{:>16}{:>10}{:>12}",
+        "scheme", "violations %", "accuracy", "mean cost $/hr", "switches", "final"
+    );
+    for row in &rows {
+        println!(
+            "{:<20}{:>14.2}{:>12.4}{:>16.3}{:>10}{:>12}",
+            row.scheme,
+            row.violation_fraction * 100.0,
+            row.delivered_accuracy,
+            row.mean_cost_per_hour,
+            row.switches,
+            row.final_variant
+        );
+    }
+    println!(
+        "--> variant-aware serving traded {:.2} accuracy points for a {:.0} % lower \
+         violation rate at the same budget",
+        (rows[0].delivered_accuracy - rows[2].delivered_accuracy) * 100.0,
+        (1.0 - rows[2].violation_fraction / rows[0].violation_fraction.max(1e-9)) * 100.0
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_variants.json");
+    let mut json: Vec<String> = frontier
+        .iter()
+        .map(|(label, choice)| {
+            format!(
+                "{{\"name\":\"fig_variants/frontier/floor-{}\",\"variant\":\"{}\",\
+                 \"accuracy\":{:.4},\"cost_per_hour\":{:.4},\"upper_bound\":{:.1}}}",
+                label,
+                choice.variant,
+                choice.accuracy,
+                choice.config.cost(&pool),
+                choice.upper_bound
+            )
+        })
+        .collect();
+    json.extend(rows.iter().map(|row| {
+        format!(
+            "{{\"name\":\"fig_variants/online/{}\",\"violation_fraction\":{:.4},\
+             \"delivered_accuracy\":{:.4},\"mean_cost_per_hour\":{:.4},\
+             \"switches\":{},\"final_variant\":\"{}\"}}",
+            row.scheme,
+            row.violation_fraction,
+            row.delivered_accuracy,
+            row.mean_cost_per_hour,
+            row.switches,
+            row.final_variant
+        )
+    }));
+    match std::fs::write(path, json.join("\n") + "\n") {
+        Ok(()) => println!("--> recorded BENCH_variants.json"),
+        Err(e) => println!("--> could not write BENCH_variants.json: {e}"),
     }
 }
 

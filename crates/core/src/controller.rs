@@ -33,6 +33,12 @@ pub struct KairosController {
     /// Optional latency priors used for instance types that have not yet been
     /// observed often enough for a linear fit.
     priors: Option<LatencyTable>,
+    /// Delivered accuracy of the model *variant* this controller currently
+    /// plans for.  `None` means the reference (full-precision) deployment —
+    /// the legacy, variant-unaware mode — and leaves the
+    /// [knowledge signature](Self::knowledge_signature) untouched so cached
+    /// plans from before variant support remain valid.
+    variant_accuracy: Option<f64>,
 }
 
 impl KairosController {
@@ -44,6 +50,7 @@ impl KairosController {
             monitor: QueryMonitor::new(),
             predictors: PredictorBank::new(),
             priors: None,
+            variant_accuracy: None,
         }
     }
 
@@ -58,6 +65,11 @@ impl KairosController {
     /// The pool the controller currently plans over.
     pub fn pool(&self) -> &PoolSpec {
         &self.pool
+    }
+
+    /// The model this controller serves.
+    pub fn model(&self) -> ModelKind {
+        self.model
     }
 
     /// Replaces the planning pool — how a market-aware serving loop feeds
@@ -81,6 +93,26 @@ impl KairosController {
             "set_pool must preserve the pool's shape (only prices may change)"
         );
         self.pool = pool;
+    }
+
+    /// Switches the controller to a different variant of its model: the
+    /// variant's calibrated latency profiles become the new priors, the
+    /// online latency fits are discarded (they described the *old* variant's
+    /// kernels), and the delivered accuracy is recorded so it joins the
+    /// [knowledge signature](Self::knowledge_signature) — a variant switch
+    /// must invalidate every cached plan.  The query monitor is kept: the
+    /// arriving batch-size mix is a property of the workload, not of the
+    /// variant serving it.
+    pub fn adopt_variant(&mut self, priors: LatencyTable, accuracy: f64) {
+        self.priors = Some(priors);
+        self.predictors = PredictorBank::new();
+        self.variant_accuracy = Some(accuracy);
+    }
+
+    /// Delivered accuracy of the variant this controller plans for, or `None`
+    /// in the legacy reference-only mode (see [`Self::adopt_variant`]).
+    pub fn variant_accuracy(&self) -> Option<f64> {
+        self.variant_accuracy
     }
 
     /// Records the batch size of an arriving query (feeds the monitor window).
@@ -206,6 +238,14 @@ impl KairosController {
         // so no quantization is needed to keep stationary signatures stable.
         for ty in self.pool.types() {
             mix(ty.price_per_hour.to_bits());
+        }
+
+        // Variant identity, exact: a switch to a different variant changes
+        // the delivered accuracy and must retire every cached plan.  Legacy
+        // (reference-only) controllers skip this mix entirely so their
+        // signatures are bit-identical to pre-variant builds.
+        if let Some(accuracy) = self.variant_accuracy {
+            mix(accuracy.to_bits());
         }
         hash
     }
@@ -357,6 +397,46 @@ mod tests {
         repriced[2].price_per_hour = 0.05;
         c.set_pool(PoolSpec::new(repriced));
         assert_ne!(c.knowledge_signature(), before);
+    }
+
+    #[test]
+    fn adopting_a_variant_changes_the_signature_and_resets_latency_fits() {
+        let mut c = KairosController::with_priors(pool(), ModelKind::Rm2, paper_calibration());
+        for i in 0..2000u32 {
+            c.observe_query(10 + i % 300);
+        }
+        feed_latency_observations(&mut c);
+        assert_eq!(c.variant_accuracy(), None);
+        let before = c.knowledge_signature();
+
+        // Adopt an int8-style variant: same profile table scaled 1.8x faster.
+        let mut faster = LatencyTable::new();
+        let truth = paper_calibration();
+        for ty in ec2::paper_pool() {
+            let p = truth.expect(ModelKind::Rm2, &ty.name);
+            faster.insert(
+                ModelKind::Rm2,
+                &ty.name,
+                LatencyProfile::new(p.intercept_ms / 1.8, p.slope_ms / 1.8),
+            );
+        }
+        c.adopt_variant(faster.clone(), 0.97);
+        assert_eq!(c.variant_accuracy(), Some(0.97));
+        // Online fits are gone: the learned table is now the variant priors.
+        let learned = c.learned_table().unwrap();
+        for ty in ec2::paper_pool() {
+            let got = learned.expect(ModelKind::Rm2, &ty.name);
+            let want = faster.expect(ModelKind::Rm2, &ty.name);
+            assert_eq!(got.intercept_ms.to_bits(), want.intercept_ms.to_bits());
+            assert_eq!(got.slope_ms.to_bits(), want.slope_ms.to_bits());
+        }
+        let after = c.knowledge_signature();
+        assert_ne!(after, before, "a variant switch must retire cached plans");
+        // Same priors, different accuracy: still a different signature.
+        c.adopt_variant(faster, 0.95);
+        assert_ne!(c.knowledge_signature(), after);
+        // The workload monitor survives the switch.
+        assert_eq!(c.observed_queries(), 2000);
     }
 
     #[test]

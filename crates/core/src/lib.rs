@@ -59,6 +59,7 @@ pub mod selection;
 pub mod service;
 pub mod serving;
 pub mod upper_bound;
+pub mod variants;
 
 pub use coefficient::heterogeneity_coefficients;
 pub use controller::KairosController;
@@ -70,8 +71,12 @@ pub use selection::select_configuration;
 pub use service::{InferenceService, MultiScheduler, MultiServingOutcome};
 pub use serving::{
     MarketState, PurchaseBackoff, ReconfigEvent, ReplanTrigger, ServingOptions, ServingOutcome,
-    ServingSystem,
+    ServingSystem, VariantSwitch,
 };
 pub use upper_bound::{
     upper_bound_general, upper_bound_single, AuxClass, SingleAuxInputs, ThroughputEstimator,
+};
+pub use variants::{
+    build_lanes, paper_variant_planner, prune_dominated, VariantChoice, VariantLane,
+    VariantPlanner, VariantRuntime,
 };

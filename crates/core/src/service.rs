@@ -41,10 +41,11 @@ use crate::distribution::KairosScheduler;
 use crate::serving::ServingOutcome;
 use crate::serving::{
     estimate_rate_qps, reconcile_model, MarketState, ReconfigEvent, ReplanTrigger, ServingOptions,
-    ServingSystem,
+    ServingSystem, VariantSwitch,
 };
 use kairos_models::{
     latency::LatencyTable, mlmodel::ModelKind, Config, Market, OfferingCatalog, PoolSpec,
+    VariantCatalog,
 };
 use kairos_sim::{
     ClusterSpec, Dispatch, EngineEvent, InstanceView, ModelReport, Scheduler, SchedulingContext,
@@ -181,6 +182,9 @@ pub struct MultiServingOutcome {
     pub replans: usize,
     /// The most recent per-model budget split, indexed by [`ModelId`].
     pub last_budget_split: Vec<f64>,
+    /// Every model-variant switch applied, in order, tagged with its model
+    /// (empty without an attached variant catalog).
+    pub variant_switches: Vec<VariantSwitch>,
 }
 
 impl MultiServingOutcome {
@@ -263,6 +267,24 @@ impl InferenceService {
         let mut service = Self::new(catalog.effective_pool(), models, priors, options);
         service.market = Some(MarketState::new(catalog, market, options.spot_cooldown_us));
         service
+    }
+
+    /// Attaches a variant catalog to **every** lane: each model's serving
+    /// loop auto-selects among its catalog variants at its own replans
+    /// (lowered against this lane's model, dominated variants pruned) — see
+    /// [`ServingSystem::with_variants`] for the per-lane semantics.  The
+    /// shared budget split is unchanged; a lane that downgrades simply
+    /// covers its demand share with a faster, cheaper-per-query variant.
+    ///
+    /// # Panics
+    /// Panics if the catalog lacks variants for any served model or if
+    /// `base` lacks a profile for some pool type.
+    #[must_use]
+    pub fn with_variants(mut self, catalog: &VariantCatalog, base: &LatencyTable) -> Self {
+        for lane in &mut self.lanes {
+            lane.system.attach_variants(catalog, base);
+        }
+        self
     }
 
     /// The attached market state, if this facade trades on one.
@@ -479,8 +501,16 @@ impl InferenceService {
                 .saturating_add(self.options.market_horizon_slack_us);
             engine = engine.with_market_horizon(market, horizon);
         }
+        // Lanes left on a non-reference variant by a previous run must be
+        // re-applied to the fresh engine, whose specs are reference-grade.
+        for (m, lane) in self.lanes.iter().enumerate() {
+            if let Some((profiles, accuracy)) = lane.system.initial_variant_profiles() {
+                engine.set_model_profiles(ModelId::new(m), &profiles, accuracy);
+            }
+        }
 
         let mut reconfigs: Vec<ReconfigEvent> = Vec::new();
+        let mut variant_switches: Vec<VariantSwitch> = Vec::new();
         let mut replans = 0usize;
         let mut next_cadence_us = self.options.replan_interval_us;
         let mut last_budget_split = self.split_budget(&vec![0.0; n]);
@@ -623,6 +653,21 @@ impl InferenceService {
                     continue;
                 }
                 let model = ModelId::new(m);
+                // The variant axis settles first: the lane's configuration
+                // plan below runs against the adopted lane's knowledge.
+                if let Some((from, to, profiles, accuracy)) =
+                    lane.system.switch_variant_if_needed(budgets[m], demands[m])
+                {
+                    engine.set_model_profiles(model, &profiles, accuracy);
+                    variant_switches.push(VariantSwitch {
+                        at_us: now,
+                        model,
+                        from,
+                        to,
+                        accuracy,
+                        trigger,
+                    });
+                }
                 let current = engine.cluster().active_config_for(model);
                 let Some(target) = lane
                     .system
@@ -671,6 +716,7 @@ impl InferenceService {
             reconfigs,
             replans,
             last_budget_split,
+            variant_switches,
         }
     }
 
@@ -776,6 +822,7 @@ impl InferenceService {
         // grown by any instances added while serving).
         let mut merged: Option<SimReport> = None;
         let mut reconfigs: Vec<ReconfigEvent> = Vec::new();
+        let mut variant_switches: Vec<VariantSwitch> = Vec::new();
         let mut replans = 0usize;
         let mut final_configs = Vec::with_capacity(n);
         let mut offset = 0usize;
@@ -798,6 +845,13 @@ impl InferenceService {
             billed_by_model[m] = lane_billed;
             report.billed_by_model = billed_by_model;
             report.billed_dollars = lane_billed;
+            let lane_accuracy: f64 = report
+                .accuracy_sum_by_model
+                .iter()
+                .fold(0.0, |acc, &a| acc + a);
+            let mut accuracy_sum_by_model = vec![0.0; n];
+            accuracy_sum_by_model[m] = lane_accuracy;
+            report.accuracy_sum_by_model = accuracy_sum_by_model;
             merged = Some(match merged {
                 None => report,
                 Some(acc) => acc.merge(report),
@@ -810,11 +864,16 @@ impl InferenceService {
                 }
                 reconfigs.push(event);
             }
+            for mut switch in outcome.variant_switches {
+                switch.model = model;
+                variant_switches.push(switch);
+            }
             replans += outcome.replans;
             final_configs.push(outcome.final_active);
             offset += lane_size;
         }
         reconfigs.sort_by_key(|e| (e.at_us, e.model.index()));
+        variant_switches.sort_by_key(|s| (s.at_us, s.model.index()));
 
         MultiServingOutcome {
             report: merged.expect("a facade serves at least one model"),
@@ -823,6 +882,7 @@ impl InferenceService {
             reconfigs,
             replans,
             last_budget_split: budgets,
+            variant_switches,
         }
     }
 }
@@ -1058,6 +1118,18 @@ mod tests {
         // Billing was lifted into per-model slots whose fold is the total.
         assert_eq!(outcome.report.billed_by_model.len(), 3);
         assert!(outcome.report.billed_dollars > 0.0);
+        // Delivered accuracy was lifted into per-model slots too: every
+        // lane served its reference model, so each per-model mean is that
+        // model's spec accuracy.
+        assert_eq!(outcome.report.accuracy_sum_by_model.len(), 3);
+        for (m, &kind) in three_models().iter().enumerate() {
+            let expected = kairos_models::mlmodel::spec(kind).accuracy;
+            assert!(
+                (per[m].mean_accuracy - expected).abs() < 1e-9,
+                "model {m}: {} != {expected}",
+                per[m].mean_accuracy
+            );
+        }
         // Deterministic: a fresh facade re-running the same inputs under a
         // different worker count reproduces the report bit-for-bit.
         let mut again = service(options);
@@ -1074,6 +1146,63 @@ mod tests {
             outcome2.report.billed_dollars.to_bits()
         );
         assert_eq!(outcome.replans, outcome2.replans);
+    }
+
+    #[test]
+    fn variant_catalog_downgrades_the_pressured_lane() {
+        use kairos_models::VariantCatalog;
+        use kairos_workload::{Phase, PhasedArrival};
+        let mut s = service(
+            ServingOptions::default()
+                .budget(6.0)
+                .replan_every(500_000)
+                .provisioning_delay(200_000),
+        )
+        .with_variants(&VariantCatalog::paper_variants(), &paper_calibration());
+        s.warm_monitors(&mix(), 3000, 19);
+        let spec = s.plan_initial(&[40.0, 30.0, 30.0]).unwrap();
+        let services = s.service_specs(&paper_calibration());
+        // RM2 (model 1, the slow 350 ms model) spikes far past what its
+        // budget share can serve at full precision; the others stay flat.
+        let spiked = MixSpec::from_shares(
+            &[0.12, 0.76, 0.12],
+            &[
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::production_default(),
+            ],
+        );
+        let workload = PhasedArrival::new(
+            vec![
+                Phase::poisson_mix(100.0, mix(), 2.0),
+                Phase::poisson_mix(300.0, spiked, 4.0),
+            ],
+            23,
+        );
+        let outcome = s.run(&spec, &services, &workload.generate());
+        // The pressured RM2 lane traded accuracy for throughput.
+        let rm2 = ModelId::new(1);
+        assert!(
+            outcome
+                .variant_switches
+                .iter()
+                .any(|sw| sw.model == rm2 && sw.to != "fp32"),
+            "the RM2 lane must downgrade: {:?}",
+            outcome.variant_switches
+        );
+        // Accuracy accounting reflects the mixed-variant service: RM2's
+        // delivered mean sits strictly between its distilled and reference
+        // accuracies, and the aggregate folds all three models.
+        let per = outcome.per_model();
+        let reference = kairos_models::mlmodel::spec(ModelKind::Rm2).accuracy;
+        assert!(per[1].completed > 0);
+        assert!(
+            per[1].mean_accuracy < reference && per[1].mean_accuracy > reference - 0.05,
+            "got {}",
+            per[1].mean_accuracy
+        );
+        let delivered = outcome.report.delivered_accuracy();
+        assert!(delivered > 0.9 && delivered < 1.0, "got {delivered}");
     }
 
     #[test]

@@ -34,9 +34,12 @@
 
 use crate::controller::KairosController;
 use crate::planner::PlanCache;
+use crate::variants::{build_lanes, prune_dominated, VariantRuntime};
 use kairos_models::{
-    latency::LatencyTable, mlmodel::ModelKind, Config, FailureDomain, FaultEvent, FaultProcess,
-    Market, OfferingCatalog, PoolSpec,
+    latency::{LatencyProfile, LatencyTable},
+    mlmodel::ModelKind,
+    Config, FailureDomain, FaultEvent, FaultProcess, Market, OfferingCatalog, PoolSpec,
+    VariantCatalog,
 };
 use kairos_sim::{
     BatchingOptions, EngineEvent, ServiceSpec, SimEngine, SimReport, SimulationOptions,
@@ -112,6 +115,11 @@ pub struct ServingOptions {
     pub purchase_backoff_us: TimeUs,
     /// Exponent cap of the purchase backoff.
     pub purchase_backoff_cap: u32,
+    /// Accuracy floor for variant auto-selection
+    /// ([`ServingSystem::with_variants`]): a variant below the floor is
+    /// never served, no matter the pressure.  `None` admits every catalog
+    /// variant; without an attached variant catalog the floor is inert.
+    pub min_accuracy: Option<f64>,
 }
 
 impl Default for ServingOptions {
@@ -134,6 +142,7 @@ impl Default for ServingOptions {
             max_fraction_per_domain: None,
             purchase_backoff_us: 500_000,
             purchase_backoff_cap: 5,
+            min_accuracy: None,
         }
     }
 }
@@ -239,6 +248,19 @@ impl ServingOptions {
         self.purchase_backoff_cap = cap;
         self
     }
+
+    /// Sets the accuracy floor for variant auto-selection.
+    ///
+    /// # Panics
+    /// Panics unless `floor` lies in (0, 1].
+    pub fn min_accuracy(mut self, floor: f64) -> Self {
+        assert!(
+            floor.is_finite() && floor > 0.0 && floor <= 1.0,
+            "accuracy floor must lie in (0, 1]"
+        );
+        self.min_accuracy = Some(floor);
+        self
+    }
 }
 
 /// What caused a replan.
@@ -276,6 +298,25 @@ pub struct ReconfigEvent {
     pub retired_instances: Vec<usize>,
 }
 
+/// One applied model-variant switch (selections that keep the live variant
+/// are not logged).
+#[derive(Debug, Clone)]
+pub struct VariantSwitch {
+    /// Virtual time the switch was applied.
+    pub at_us: TimeUs,
+    /// The model whose serving variant changed ([`ModelId::DEFAULT`] for
+    /// single-model serving).
+    pub model: ModelId,
+    /// Name of the variant served before the switch.
+    pub from: String,
+    /// Name of the variant served after the switch.
+    pub to: String,
+    /// Delivered accuracy of the new variant.
+    pub accuracy: f64,
+    /// The replan that decided the switch.
+    pub trigger: ReplanTrigger,
+}
+
 /// Result of one online serving run.
 #[derive(Debug, Clone)]
 pub struct ServingOutcome {
@@ -289,6 +330,9 @@ pub struct ServingOutcome {
     pub reconfigs: Vec<ReconfigEvent>,
     /// Total number of replanning passes (including no-op ones).
     pub replans: usize,
+    /// Every model-variant switch applied, in order (empty without an
+    /// attached variant catalog).
+    pub variant_switches: Vec<VariantSwitch>,
 }
 
 impl ServingOutcome {
@@ -481,6 +525,10 @@ pub struct ServingSystem {
     /// the offering catalog when market-attached).  Empty means domain-blind:
     /// every instance lands in [`FailureDomain::global`].
     placements: Vec<FailureDomain>,
+    /// The attached variant lanes, if any (see
+    /// [`ServingSystem::with_variants`]).  `None` serves the reference only,
+    /// exactly as before variants existed.
+    variants: Option<VariantRuntime>,
 }
 
 impl ServingSystem {
@@ -504,6 +552,7 @@ impl ServingSystem {
             market: None,
             faults: None,
             placements: Vec::new(),
+            variants: None,
         }
     }
 
@@ -531,6 +580,88 @@ impl ServingSystem {
     /// The attached market state, if this system trades on one.
     pub fn market(&self) -> Option<&MarketState> {
         self.market.as_ref()
+    }
+
+    /// Attaches a variant catalog: the loop auto-selects which variant of
+    /// its model to serve at every replan.  The catalog is lowered against
+    /// the pool and `base` (the reference calibration table) into per-variant
+    /// lanes, dominated variants are pruned, and serving starts on the
+    /// reference lane — so with a
+    /// [`reference_only`](VariantCatalog::reference_only) catalog the loop
+    /// reproduces the variant-free system bit for bit.  At each replan the
+    /// highest-accuracy lane at or above
+    /// [`ServingOptions::min_accuracy`] whose plan covers demand within
+    /// budget is served; under pressure the loop downgrades to a faster
+    /// variant and re-promotes once headroom returns.  A switch adopts the
+    /// lane's priors into the controller (joining the knowledge signature,
+    /// so cached plans retire), hot-swaps the engine's latency profiles,
+    /// and is logged in [`ServingOutcome::variant_switches`].
+    ///
+    /// # Panics
+    /// Panics if the catalog has no variants for this system's model or if
+    /// `base` lacks a profile for some pool type.
+    #[must_use]
+    pub fn with_variants(mut self, catalog: &VariantCatalog, base: &LatencyTable) -> Self {
+        self.attach_variants(catalog, base);
+        self
+    }
+
+    /// By-ref form of [`Self::with_variants`], for callers that own the
+    /// system behind a struct field (the multi-model facade's lanes).
+    pub(crate) fn attach_variants(&mut self, catalog: &VariantCatalog, base: &LatencyTable) {
+        let model = self.controller.model();
+        let lanes = prune_dominated(build_lanes(&self.pool, model, base, catalog));
+        self.variants = Some(VariantRuntime::new(lanes));
+    }
+
+    /// The attached variant runtime, if any.
+    pub fn variants(&self) -> Option<&VariantRuntime> {
+        self.variants.as_ref()
+    }
+
+    /// Name of the variant the loop is currently serving (`None` without an
+    /// attached catalog).
+    pub fn active_variant(&self) -> Option<&str> {
+        self.variants.as_ref().map(|v| v.active_lane().name())
+    }
+
+    /// Runs the variant auto-selection for one replan and applies a switch
+    /// to the controller if the winner differs from the live lane.  Returns
+    /// what the caller must apply to its engine — `(from, to, pool-ordered
+    /// profiles, accuracy)` — or `None` when the live variant stays (or no
+    /// catalog is attached).  Split off from the run loop so the
+    /// multi-model facade can drive the same policy per lane.
+    pub(crate) fn switch_variant_if_needed(
+        &mut self,
+        budget_per_hour: f64,
+        demand_qps: f64,
+    ) -> Option<(String, String, Vec<LatencyProfile>, f64)> {
+        let runtime = self.variants.as_mut()?;
+        let winner =
+            runtime.select_lane(&self.controller, &self.options, budget_per_hour, demand_qps);
+        if winner == runtime.active() {
+            return None;
+        }
+        let from = runtime.active_lane().variant.name.clone();
+        let lane = &runtime.lanes()[winner];
+        let to = lane.variant.name.clone();
+        let profiles = lane.profiles.clone();
+        let accuracy = lane.variant.accuracy;
+        self.controller.adopt_variant(lane.priors.clone(), accuracy);
+        runtime.set_active(winner);
+        Some((from, to, profiles, accuracy))
+    }
+
+    /// The engine hot-swap a fresh run must apply before its first event
+    /// when the system is not on the reference lane (a previous run may
+    /// have left a cheaper variant live): `(profiles, accuracy)`.
+    pub(crate) fn initial_variant_profiles(&self) -> Option<(Vec<LatencyProfile>, f64)> {
+        let runtime = self.variants.as_ref()?;
+        if runtime.active() == 0 {
+            return None;
+        }
+        let lane = runtime.active_lane();
+        Some((lane.profiles.clone(), lane.variant.accuracy))
     }
 
     /// Attaches a correlated-fault process: the engine materializes its zone
@@ -782,6 +913,12 @@ impl ServingSystem {
         if let Some(process) = &self.faults {
             engine = engine.with_faults(process, &self.placements);
         }
+        // A previous run may have left a non-reference variant live; the
+        // fresh engine starts from the reference service spec and must be
+        // brought up to date before the first event.
+        if let Some((profiles, accuracy)) = self.initial_variant_profiles() {
+            engine.set_model_profiles(ModelId::DEFAULT, &profiles, accuracy);
+        }
 
         // Fault-resilient purchasing: the pristine planning pool (penalty
         // prices are applied relative to it each replan and expire with the
@@ -793,6 +930,7 @@ impl ServingSystem {
             .map(|_| PurchaseBackoff::new(self.pool.num_types()));
 
         let mut reconfigs: Vec<ReconfigEvent> = Vec::new();
+        let mut variant_switches: Vec<VariantSwitch> = Vec::new();
         let mut replans = 0usize;
         let mut arrival_times: VecDeque<TimeUs> = VecDeque::with_capacity(self.options.rate_window);
         let mut next_cadence_us = self.options.replan_interval_us;
@@ -926,6 +1064,22 @@ impl ServingSystem {
                     self.controller.set_pool(pool.clone());
                     self.pool = pool;
                 }
+                // The variant axis settles first: the configuration plan
+                // below runs against the (possibly just-adopted) lane's
+                // latency knowledge.
+                if let Some((from, to, profiles, accuracy)) =
+                    self.switch_variant_if_needed(self.options.budget_per_hour, demand)
+                {
+                    engine.set_model_profiles(ModelId::DEFAULT, &profiles, accuracy);
+                    variant_switches.push(VariantSwitch {
+                        at_us: now,
+                        model: ModelId::DEFAULT,
+                        from,
+                        to,
+                        accuracy,
+                        trigger,
+                    });
+                }
                 let current = engine.cluster().active_config();
                 let Some(target) = select_target(
                     &mut self.plan_cache,
@@ -986,6 +1140,7 @@ impl ServingSystem {
             final_active,
             reconfigs,
             replans,
+            variant_switches,
         }
     }
 }
@@ -1738,5 +1893,120 @@ mod tests {
             outcome.report.completed() + outcome.report.unfinished.len(),
             outcome.report.offered
         );
+    }
+
+    #[test]
+    fn reference_only_catalog_reproduces_the_legacy_run_bit_for_bit() {
+        let workload = PhasedArrival::step_change(
+            40.0,
+            160.0,
+            BatchSizeDistribution::production_default(),
+            3.0,
+            3.0,
+            23,
+        );
+        let trace = workload.generate();
+        let service = ServiceSpec::new(ModelKind::Rm2, paper_calibration());
+
+        let mut legacy = system(ServingOptions::default().replan_every(500_000));
+        warm(&mut legacy, 2000);
+        let initial = legacy.plan_for_demand(40.0).unwrap();
+        let base = legacy.run(&initial, &service, &trace);
+
+        let mut with_catalog = system(ServingOptions::default().replan_every(500_000))
+            .with_variants(
+                &VariantCatalog::reference_only(&[ModelKind::Rm2]),
+                &paper_calibration(),
+            );
+        warm(&mut with_catalog, 2000);
+        let lowered = with_catalog.run(&initial, &service, &trace);
+
+        // A reference-only catalog has nothing to switch to, so the variant
+        // axis must be a perfect no-op: same report, same reconfig tape.
+        assert!(lowered.variant_switches.is_empty());
+        assert_eq!(with_catalog.active_variant(), Some("fp32"));
+        assert_eq!(base.replans, lowered.replans);
+        assert_eq!(
+            format!("{:?}", base.report),
+            format!("{:?}", lowered.report)
+        );
+        assert_eq!(
+            format!("{:?}", base.reconfigs),
+            format!("{:?}", lowered.reconfigs)
+        );
+    }
+
+    #[test]
+    fn serving_downgrades_under_pressure_and_repromotes_when_calm_returns() {
+        let mut s = system(ServingOptions::default().replan_every(500_000))
+            .with_variants(&VariantCatalog::paper_variants(), &paper_calibration());
+        warm(&mut s, 2000);
+        // Size the spike off the reference plan's own best bound: fp32
+        // cannot cover it under the budget, but the quantized lanes can.
+        let ref_best = s.controller().plan(2.5).unwrap().ranked[0].1;
+        let workload = PhasedArrival::step_change(
+            ref_best * 1.1,
+            25.0,
+            BatchSizeDistribution::production_default(),
+            4.0,
+            6.0,
+            23,
+        );
+        let initial = s.plan_for_demand(25.0).unwrap();
+        let service = ServiceSpec::new(ModelKind::Rm2, paper_calibration());
+        let outcome = s.run(&initial, &service, &workload.generate());
+
+        assert!(
+            !outcome.variant_switches.is_empty(),
+            "the overload must force a variant switch"
+        );
+        let first = &outcome.variant_switches[0];
+        assert_eq!(first.from, "fp32");
+        assert_ne!(
+            first.to, "fp32",
+            "pressure must downgrade off the reference"
+        );
+        assert!(first.accuracy < 0.985);
+        // Calm returns: the loop re-promotes to the highest-accuracy lane.
+        let last = outcome.variant_switches.last().unwrap();
+        assert_eq!(
+            last.to, "fp32",
+            "re-promotion expected: {:?}",
+            outcome.variant_switches
+        );
+        assert_eq!(s.active_variant(), Some("fp32"));
+        // Delivered accuracy reflects the mixed-variant service.
+        let delivered = outcome.report.delivered_accuracy();
+        assert!(delivered < 0.985 && delivered > 0.9, "got {delivered}");
+    }
+
+    #[test]
+    fn accuracy_floor_vetoes_the_downgrade() {
+        let mut s = system(
+            ServingOptions::default()
+                .replan_every(500_000)
+                .min_accuracy(0.98),
+        )
+        .with_variants(&VariantCatalog::paper_variants(), &paper_calibration());
+        warm(&mut s, 2000);
+        let ref_best = s.controller().plan(2.5).unwrap().ranked[0].1;
+        let workload = PhasedArrival::step_change(
+            ref_best * 1.1,
+            25.0,
+            BatchSizeDistribution::production_default(),
+            4.0,
+            4.0,
+            23,
+        );
+        let initial = s.plan_for_demand(25.0).unwrap();
+        let service = ServiceSpec::new(ModelKind::Rm2, paper_calibration());
+        let outcome = s.run(&initial, &service, &workload.generate());
+
+        // Rm2's quantized lanes sit below the 0.98 floor: the loop serves
+        // degraded on the reference rather than trade accuracy away.
+        assert!(outcome.variant_switches.is_empty());
+        assert_eq!(s.active_variant(), Some("fp32"));
+        let delivered = outcome.report.delivered_accuracy();
+        assert!((delivered - 0.985).abs() < 1e-9, "got {delivered}");
     }
 }

@@ -128,6 +128,28 @@ pub fn upper_bound_general(
     }
 }
 
+/// The sample statistics of one candidate shared cutoff `s`: everything in
+/// the bound that depends on the batch sample depends on it *only through*
+/// `s`, and `s` ranges over at most one value per pool type.  Precomputing
+/// these once per estimator makes [`ThroughputEstimator::estimate`]
+/// O(types) per configuration instead of O(sample) — the cost that used to
+/// dominate ranking a thousand-configuration candidate space, and triply so
+/// with one ranking pass per variant lane.  The arithmetic (filter in
+/// sample order, sum, divide by count) is exactly the per-call computation
+/// it replaces, so every bound is bit-identical.
+#[derive(Debug, Clone)]
+struct CutoffStats {
+    /// The shared cutoff `s` these statistics describe.
+    cutoff: u32,
+    /// Fraction of the sample with batch size at most `s` (`f'`).
+    fraction_small: f64,
+    /// Base throughput over larger-than-`s` queries (`Q_b^{s+}`), QPS.
+    q_base_splus: f64,
+    /// Per-type throughput over at-most-`s` queries (`Q_a^i`), QPS; indexed
+    /// by pool type (0.0 where no sample entry qualifies).
+    aux_qps: Vec<f64>,
+}
+
 /// Estimates upper bounds for whole configurations, deriving the `Q` and `f`
 /// parameters from latency profiles and an observed batch-size sample —
 /// exactly the information Kairos gathers online (learned latencies plus the
@@ -138,6 +160,12 @@ pub struct ThroughputEstimator {
     model: ModelSpec,
     latency: LatencyTable,
     batch_sample: Vec<u32>,
+    /// QoS cutoff per pool type, precomputed (see [`Self::cutoff`]).
+    cutoffs: Vec<Option<u32>>,
+    /// Base throughput over the full mix (`Q_b`), QPS, precomputed.
+    q_base: f64,
+    /// Sample statistics for every distinct auxiliary cutoff value.
+    cutoff_stats: Vec<CutoffStats>,
 }
 
 impl ThroughputEstimator {
@@ -157,12 +185,54 @@ impl ThroughputEstimator {
         for t in pool.types() {
             latency.expect(model_kind, &t.name);
         }
-        Self {
+        let mut est = Self {
             pool,
             model,
             latency,
             batch_sample,
-        }
+            cutoffs: Vec::new(),
+            q_base: 0.0,
+            cutoff_stats: Vec::new(),
+        };
+        est.cutoffs = (0..est.pool.num_types())
+            .map(|i| est.compute_cutoff(i))
+            .collect();
+        let base_index = est.pool.base_index();
+        est.q_base = est
+            .mean_latency_over(base_index, |_| true)
+            .map(|ms| 1000.0 / ms)
+            .unwrap_or(0.0);
+        // A configuration's shared cutoff is the max over its auxiliary
+        // types' cutoffs, so it can only take one of these values.
+        let mut distinct: Vec<u32> = est
+            .cutoffs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != base_index)
+            .filter_map(|(_, c)| *c)
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        est.cutoff_stats = distinct
+            .into_iter()
+            .map(|s| CutoffStats {
+                cutoff: s,
+                fraction_small: est.batch_sample.iter().filter(|&&b| b <= s).count() as f64
+                    / est.batch_sample.len() as f64,
+                q_base_splus: est
+                    .mean_latency_over(base_index, |b| b > s)
+                    .map(|ms| 1000.0 / ms)
+                    .unwrap_or(est.q_base),
+                aux_qps: (0..est.pool.num_types())
+                    .map(|idx| {
+                        est.mean_latency_over(idx, |b| b <= s)
+                            .map(|ms| 1000.0 / ms)
+                            .unwrap_or(0.0)
+                    })
+                    .collect(),
+            })
+            .collect();
+        est
     }
 
     /// The pool this estimator describes.
@@ -178,6 +248,12 @@ impl ThroughputEstimator {
     /// QoS cutoff `s_i` of an instance type: largest batch it can serve within
     /// QoS (None if it cannot even serve a single-request query).
     pub fn cutoff(&self, type_index: usize) -> Option<u32> {
+        self.cutoffs[type_index]
+    }
+
+    /// Derives a type's QoS cutoff from its latency profile (the
+    /// construction-time computation behind [`Self::cutoff`]).
+    fn compute_cutoff(&self, type_index: usize) -> Option<u32> {
         let name = &self.pool.types()[type_index].name;
         self.latency
             .expect(self.model.kind, name)
@@ -205,6 +281,12 @@ impl ThroughputEstimator {
     }
 
     /// Estimates the throughput upper bound (QPS) of a configuration.
+    ///
+    /// O(types) per call: every sample-dependent quantity in the bound
+    /// depends on the sample only through the shared cutoff, and the
+    /// statistics of every possible cutoff are precomputed at construction
+    /// (`CutoffStats`) with arithmetic identical to the inline
+    /// computation they replaced.
     pub fn estimate(&self, config: &Config) -> f64 {
         assert_eq!(
             config.counts().len(),
@@ -214,57 +296,49 @@ impl ThroughputEstimator {
         let base_index = self.pool.base_index();
         let u = config.count(base_index);
 
-        // Auxiliary types present in the configuration, with their cutoffs.
-        let mut aux_types: Vec<(usize, u32)> = Vec::new();
+        // Shared cutoff: the largest s over the auxiliary types present in
+        // the configuration (paper's optimistic simplification for
+        // multiple auxiliary types).
+        let mut s_max: Option<u32> = None;
         for (idx, &count) in config.counts().iter().enumerate() {
             if idx == base_index || count == 0 {
                 continue;
             }
-            if let Some(s) = self.cutoff(idx) {
-                aux_types.push((idx, s));
+            if let Some(s) = self.cutoffs[idx] {
+                s_max = Some(s_max.map_or(s, |m| m.max(s)));
             }
         }
 
-        // Shared cutoff: the largest s over the auxiliary types (paper's
-        // optimistic simplification for multiple auxiliary types).
-        let s_max = aux_types.iter().map(|&(_, s)| s).max();
-
-        // Base throughput over the full mix.
-        let q_base = self
-            .mean_latency_over(base_index, |_| true)
-            .map(|ms| 1000.0 / ms)
-            .unwrap_or(0.0);
-
         let Some(s_max) = s_max else {
             // No usable auxiliary instances: the bound is the homogeneous rate.
-            return u as f64 * q_base;
+            return u as f64 * self.q_base;
         };
 
-        let fraction_small = self.batch_sample.iter().filter(|&&b| b <= s_max).count() as f64
-            / self.batch_sample.len() as f64;
-
-        // Base throughput over the larger-than-cutoff queries.
-        let q_base_splus = self
-            .mean_latency_over(base_index, |b| b > s_max)
-            .map(|ms| 1000.0 / ms)
-            .unwrap_or(q_base);
+        let stats = self
+            .cutoff_stats
+            .iter()
+            .find(|cs| cs.cutoff == s_max)
+            .expect("every auxiliary cutoff has precomputed statistics");
 
         // Auxiliary classes: throughput over the small-query mass.
-        let aux: Vec<AuxClass> = aux_types
+        let aux: Vec<AuxClass> = config
+            .counts()
             .iter()
-            .map(|&(idx, _)| {
-                let qps = self
-                    .mean_latency_over(idx, |b| b <= s_max)
-                    .map(|ms| 1000.0 / ms)
-                    .unwrap_or(0.0);
-                AuxClass {
-                    nodes: config.count(idx),
-                    qps,
-                }
+            .enumerate()
+            .filter(|&(idx, &count)| idx != base_index && count > 0 && self.cutoffs[idx].is_some())
+            .map(|(idx, &count)| AuxClass {
+                nodes: count,
+                qps: stats.aux_qps[idx],
             })
             .collect();
 
-        upper_bound_general(u, q_base, q_base_splus, &aux, fraction_small)
+        upper_bound_general(
+            u,
+            self.q_base,
+            stats.q_base_splus,
+            &aux,
+            stats.fraction_small,
+        )
     }
 
     /// Ranks configurations by their upper bound, highest first.

@@ -41,6 +41,7 @@ pub mod market;
 pub mod mlmodel;
 pub mod predictor;
 pub mod sharing;
+pub mod variant;
 
 pub use config::{
     best_homogeneous, budget_slack_ratio, enumerate_configs, Config, EnumerationOptions, PoolSpec,
@@ -57,6 +58,7 @@ pub use market::{
 pub use mlmodel::{catalog, spec, ModelKind, ModelSpec, MAX_BATCH_SIZE};
 pub use predictor::{OnlinePredictor, PredictorBank};
 pub use sharing::{SharingError, ThroughputDegradation};
+pub use variant::{EffectiveModel, ModelVariant, VariantCatalog, VariantError};
 
 #[cfg(test)]
 mod tests {

@@ -93,6 +93,10 @@ pub struct ModelSpec {
     pub qos_ms: f64,
     /// Largest admissible query batch size.
     pub max_batch_size: u32,
+    /// Reference (full-precision) serving accuracy of the model, in (0, 1].
+    /// Variant catalogues ([`crate::variant`]) express every quantized or
+    /// distilled variant's accuracy relative to this published number.
+    pub accuracy: f64,
 }
 
 impl ModelSpec {
@@ -112,6 +116,7 @@ pub fn spec(kind: ModelKind) -> ModelSpec {
             application: "Movie recommendation".to_string(),
             qos_ms: 5.0,
             max_batch_size: MAX_BATCH_SIZE,
+            accuracy: 0.975,
         },
         ModelKind::Rm2 => ModelSpec {
             kind,
@@ -119,6 +124,7 @@ pub fn spec(kind: ModelKind) -> ModelSpec {
             application: "High-accuracy social media posts ranking".to_string(),
             qos_ms: 350.0,
             max_batch_size: MAX_BATCH_SIZE,
+            accuracy: 0.985,
         },
         ModelKind::Wnd => ModelSpec {
             kind,
@@ -126,6 +132,7 @@ pub fn spec(kind: ModelKind) -> ModelSpec {
             application: "Google App Store".to_string(),
             qos_ms: 25.0,
             max_batch_size: MAX_BATCH_SIZE,
+            accuracy: 0.962,
         },
         ModelKind::MtWnd => ModelSpec {
             kind,
@@ -134,6 +141,7 @@ pub fn spec(kind: ModelKind) -> ModelSpec {
             application: "YouTube video recommendation".to_string(),
             qos_ms: 25.0,
             max_batch_size: MAX_BATCH_SIZE,
+            accuracy: 0.958,
         },
         ModelKind::Dien => ModelSpec {
             kind,
@@ -141,6 +149,7 @@ pub fn spec(kind: ModelKind) -> ModelSpec {
             application: "E-commerce".to_string(),
             qos_ms: 35.0,
             max_batch_size: MAX_BATCH_SIZE,
+            accuracy: 0.968,
         },
     }
 }
@@ -199,6 +208,12 @@ mod tests {
             // Case-insensitive parsing.
             let lower: ModelKind = kind.short_name().to_lowercase().parse().unwrap();
             assert_eq!(lower, kind);
+            // The round trip lands on the same spec, reference accuracy
+            // included, and every published accuracy is a sane (0, 1] value.
+            let round = spec(parsed);
+            assert_eq!(round, spec(kind));
+            assert_eq!(round.accuracy.to_bits(), spec(kind).accuracy.to_bits());
+            assert!(round.accuracy > 0.0 && round.accuracy <= 1.0);
         }
         assert!("resnet".parse::<ModelKind>().is_err());
     }

@@ -466,6 +466,15 @@ pub struct SimEngine<'a> {
     /// reproduce the combined total exactly (disjoint slots add exact
     /// zeros).
     billed_by_model: Vec<f64>,
+    /// Accuracy of the variant currently serving each model, indexed by
+    /// [`ModelId`] — seeded from the service specs' reference accuracy and
+    /// overwritten by [`SimEngine::set_model_profiles`] on a variant switch.
+    accuracy_by_model: Vec<f64>,
+    /// Sum over completed queries of the serving accuracy at completion
+    /// time, as per-model partial sums indexed by [`ModelId`] — the same
+    /// disjoint-slot representation as [`Self::billed_by_model`], so shard
+    /// merges reproduce the combined sums exactly.
+    accuracy_sum_by_model: Vec<f64>,
     /// Events processed so far (arrivals, completions, readies, market
     /// steps, kills; cancelled completions are skipped, not counted).
     events_processed: u64,
@@ -634,6 +643,8 @@ impl<'a> SimEngine<'a> {
             .map(|m| StdRng::seed_from_u64(model_stream_seed(options.seed, m)))
             .collect();
         let billed_by_model = vec![0.0; services.len()];
+        let accuracy_by_model: Vec<f64> = services.iter().map(|s| s.model.accuracy).collect();
+        let accuracy_sum_by_model = vec![0.0; services.len()];
         Self {
             services,
             scheduler,
@@ -671,6 +682,8 @@ impl<'a> SimEngine<'a> {
             market_events: Vec::new(),
             billed_start_us,
             billed_by_model,
+            accuracy_by_model,
+            accuracy_sum_by_model,
             events_processed: 0,
             preemption_notices: 0,
             preempted_instances: 0,
@@ -1355,6 +1368,8 @@ impl<'a> SimEngine<'a> {
             self.late_completions += 1;
         }
         self.records.push(record);
+        self.accuracy_sum_by_model[query.model.index()] +=
+            self.accuracy_by_model[query.model.index()];
         let service_ms = (self.now - start_us) as f64 / 1000.0;
         self.scheduler
             .on_completion(type_index, query.model, query.batch_size, service_ms);
@@ -1484,6 +1499,73 @@ impl<'a> SimEngine<'a> {
             self.settle_bill(instance_index, self.now);
         }
         self.views[instance_index].accepting = false;
+    }
+
+    /// Swaps the latency profiles (and delivered accuracy) of one served
+    /// model in place — the engine half of a **variant switch**: the serving
+    /// loop lowers the chosen variant's latency table to one profile per
+    /// pool type and installs it here without rebuilding the engine.
+    ///
+    /// Semantics across the switch boundary: queries already *in service*
+    /// keep the service time they drew under the old variant (the artifact
+    /// that started them finishes them); queries still waiting in local
+    /// queues start under the new variant.  The incremental accounting is
+    /// repaired accordingly — every affected instance's queued-nominal sum
+    /// is recomputed under the new profiles and its scheduler view's
+    /// `free_at_us` re-derived — so the hot path's running values stay
+    /// exact.  Completions recorded after the switch accrue the new
+    /// accuracy.  Installing the currently active profiles is a no-op
+    /// bit-for-bit.
+    ///
+    /// With a flex service model attached (sharing/batching), in-flight and
+    /// queued invocations keep their admitted service volumes; only future
+    /// admissions see the new profiles.
+    ///
+    /// # Panics
+    /// Panics if `model` is not served by this engine or `per_type` does not
+    /// provide one profile per pool type (in the cluster's type order).
+    pub fn set_model_profiles(
+        &mut self,
+        model: ModelId,
+        per_type: &[LatencyProfile],
+        accuracy: f64,
+    ) {
+        assert!(
+            model.index() < self.services.len(),
+            "model {model} not served by this engine"
+        );
+        assert_eq!(
+            per_type.len(),
+            self.num_types,
+            "need one profile per pool type"
+        );
+        let base = model.index() * self.num_types;
+        self.profiles[base..base + self.num_types].copy_from_slice(per_type);
+        self.accuracy_by_model[model.index()] = accuracy;
+        // Repair the incremental per-instance accounting: nominal estimates
+        // of locally queued queries were charged under the old profiles.
+        for i in 0..self.cluster.len() {
+            let inst = &self.cluster.instances()[i];
+            if inst.model != model || inst.is_terminated() {
+                continue;
+            }
+            if inst.local_queue.is_empty() && inst.serving.is_none() {
+                continue;
+            }
+            let profile = &self.profiles[base + inst.type_index];
+            let nominal: TimeUs = inst
+                .local_queue
+                .iter()
+                .map(|q| nominal_us_profile(profile, q.batch_size))
+                .sum();
+            self.local_nominal_us[i] = nominal;
+            self.views[i].free_at_us = inst.busy_until_us + nominal;
+        }
+    }
+
+    /// The delivered accuracy of the variant currently serving `model`.
+    pub fn model_accuracy(&self, model: ModelId) -> f64 {
+        self.accuracy_by_model[model.index()]
     }
 
     /// [`Self::retire_instance`] for the flex path.  The cluster-level
@@ -1669,6 +1751,7 @@ impl<'a> SimEngine<'a> {
             qos_by_model: self.qos_by_model,
             billed_dollars,
             billed_by_model: self.billed_by_model,
+            accuracy_sum_by_model: self.accuracy_sum_by_model,
             events_processed: self.events_processed,
             preemption_notices: self.preemption_notices,
             preempted_instances: self.preempted_instances,
@@ -2230,6 +2313,8 @@ impl<'a> SimEngine<'a> {
                     self.late_completions += 1;
                 }
                 self.records.push(record);
+                self.accuracy_sum_by_model[query.model.index()] +=
+                    self.accuracy_by_model[query.model.index()];
                 records.push(record);
                 self.scheduler
                     .on_completion(type_index, query.model, query.batch_size, service_ms);
@@ -2599,6 +2684,12 @@ pub fn run_trace_naive(
         .iter()
         .map(|inst| billed_dollars(cluster.pool().price(inst.type_index), 0, horizon_us))
         .sum();
+    // The naive path serves the reference variant for the whole run: every
+    // completion accrues the service spec's published accuracy, summed by
+    // repeated addition exactly as the engine accumulates it.
+    let accuracy_sum = records
+        .iter()
+        .fold(0.0f64, |acc, _| acc + service.model.accuracy);
     SimReport {
         scheduler: scheduler.name().to_string(),
         records,
@@ -2609,6 +2700,7 @@ pub fn run_trace_naive(
         qos_by_model: vec![qos_us],
         billed_dollars: billed,
         billed_by_model: vec![billed],
+        accuracy_sum_by_model: vec![accuracy_sum],
         events_processed,
         preemption_notices: 0,
         preempted_instances: 0,

@@ -284,6 +284,7 @@ impl<'a> ShardedEngine<'a> {
                 qos_by_model: self.services.iter().map(|s| s.qos_us()).collect(),
                 billed_dollars: 0.0,
                 billed_by_model: vec![0.0; n],
+                accuracy_sum_by_model: vec![0.0; n],
                 events_processed: sub.len() as u64,
                 preemption_notices: 0,
                 preempted_instances: 0,

@@ -183,6 +183,17 @@ pub struct SimReport {
     /// May be empty on hand-built reports, in which case the whole bill is
     /// attributed to the primary model.
     pub billed_by_model: Vec<f64>,
+    /// Per-model sums over completed queries of the accuracy of the variant
+    /// serving the query's model **at completion time**, indexed by
+    /// [`ModelId`] — the delivered-accuracy numerator of the variant
+    /// subsystem (see [`kairos_models::variant`]).  Reference-only runs
+    /// accrue each model's published accuracy per completion; runs that
+    /// switch variants mid-flight accrue the accuracy active when the query
+    /// completed.  Same disjoint-slot representation as
+    /// [`Self::billed_by_model`], with the same exact-merge property; may be
+    /// empty on hand-built reports, in which case every completion counts as
+    /// full accuracy (1.0), attributed to the primary model.
+    pub accuracy_sum_by_model: Vec<f64>,
     /// Number of engine events processed to produce this report (arrivals,
     /// completions, provisioning readies, market steps, preemption kills).
     /// The numerator of the engine's events/sec scaling metric; shard
@@ -232,6 +243,10 @@ pub struct ModelReport {
     pub p99_latency_us: TimeUs,
     /// Completed queries of this model per second of simulated time.
     pub throughput_qps: f64,
+    /// Mean delivered accuracy over this model's completions — the
+    /// per-completion accuracy of the serving variant, averaged (0 when
+    /// nothing completed).
+    pub mean_accuracy: f64,
 }
 
 impl ModelReport {
@@ -403,6 +418,7 @@ impl SimReport {
             }
         }
         let horizon_s = self.horizon_us as f64 / 1e6;
+        let accuracy = self.accuracy_table();
         (0..n)
             .map(|m| {
                 latencies[m].sort_unstable();
@@ -418,6 +434,11 @@ impl SimReport {
                         0.0
                     } else {
                         completed[m] as f64 / horizon_s
+                    },
+                    mean_accuracy: if completed[m] == 0 {
+                        0.0
+                    } else {
+                        accuracy.get(m).copied().unwrap_or(0.0) / completed[m] as f64
                     },
                 }
             })
@@ -658,6 +679,29 @@ impl SimReport {
         }
     }
 
+    /// The per-model delivered-accuracy sums, falling back to counting every
+    /// completion as full accuracy attributed to the primary model when
+    /// [`Self::accuracy_sum_by_model`] was left empty (hand-built reports).
+    fn accuracy_table(&self) -> Vec<f64> {
+        if self.accuracy_sum_by_model.is_empty() {
+            vec![self.completed() as f64]
+        } else {
+            self.accuracy_sum_by_model.clone()
+        }
+    }
+
+    /// Mean delivered accuracy over all completed queries: the
+    /// per-completion accuracy of the serving variant, averaged (0 when
+    /// nothing completed).  A reference-only single-model run reports the
+    /// model's published accuracy exactly.
+    pub fn delivered_accuracy(&self) -> f64 {
+        if self.completed() == 0 {
+            return 0.0;
+        }
+        let sum = self.accuracy_table().iter().fold(0.0, |acc, &a| acc + a);
+        sum / self.completed() as f64
+    }
+
     /// The canonical total order [`Self::merge`] (and the multi-model
     /// engine's report finalization) sorts completion records by.  Query
     /// ids are unique within a run, so the key is total and the sorted
@@ -702,6 +746,11 @@ impl SimReport {
             parts.join("+")
         };
 
+        // Capture the accuracy tables before the record lists are taken:
+        // the empty-table fallback counts completions.
+        let self_accuracy = self.accuracy_table();
+        let other_accuracy = other.accuracy_table();
+
         let records = merge_by_key(
             std::mem::take(&mut self.records),
             std::mem::take(&mut other.records),
@@ -736,6 +785,16 @@ impl SimReport {
         }
         let billed_dollars = billed_by_model.iter().fold(0.0, |acc, &b| acc + b);
 
+        // Delivered accuracy merges exactly like billing: element-wise sum
+        // of disjoint per-model partials.
+        let mut accuracy_sum_by_model = self_accuracy;
+        if accuracy_sum_by_model.len() < other_accuracy.len() {
+            accuracy_sum_by_model.resize(other_accuracy.len(), 0.0);
+        }
+        for (slot, &a) in accuracy_sum_by_model.iter_mut().zip(&other_accuracy) {
+            *slot += a;
+        }
+
         // Outage records concatenate and re-sort under a total-enough key:
         // a domain can only fail once per instant, so (start, domain) orders
         // shard contributions independently of merge order.
@@ -753,6 +812,7 @@ impl SimReport {
             qos_by_model,
             billed_dollars,
             billed_by_model,
+            accuracy_sum_by_model,
             events_processed: self.events_processed + other.events_processed,
             preemption_notices: self.preemption_notices + other.preemption_notices,
             preempted_instances: self.preempted_instances + other.preempted_instances,
@@ -810,6 +870,10 @@ impl SimReport {
             parts.join("+")
         };
 
+        // Capture the accuracy tables before the record lists are taken:
+        // the empty-table fallback counts completions.
+        let accuracy_tables: Vec<Vec<f64>> = reports.iter().map(|r| r.accuracy_table()).collect();
+
         let record_runs: Vec<Vec<QueryRecord>> = reports
             .iter_mut()
             .map(|r| std::mem::take(&mut r.records))
@@ -842,6 +906,18 @@ impl SimReport {
         }
         let billed_dollars = billed_by_model.iter().fold(0.0, |acc, &b| acc + b);
 
+        // Accuracy partials accumulate slot-wise in input order, exactly as
+        // the pairwise fold adds them.
+        let mut accuracy_sum_by_model: Vec<f64> = accuracy_tables[0].clone();
+        for table in &accuracy_tables[1..] {
+            if accuracy_sum_by_model.len() < table.len() {
+                accuracy_sum_by_model.resize(table.len(), 0.0);
+            }
+            for (slot, &a) in accuracy_sum_by_model.iter_mut().zip(table) {
+                *slot += a;
+            }
+        }
+
         let mut outages: Vec<OutageRecord> = reports
             .iter_mut()
             .flat_map(|r| std::mem::take(&mut r.outages))
@@ -862,6 +938,7 @@ impl SimReport {
             qos_by_model,
             billed_dollars,
             billed_by_model,
+            accuracy_sum_by_model,
             events_processed: reports.iter().map(|r| r.events_processed).sum(),
             preemption_notices: reports.iter().map(|r| r.preemption_notices).sum(),
             preempted_instances: reports.iter().map(|r| r.preempted_instances).sum(),
@@ -895,6 +972,7 @@ mod tests {
 
     fn report(records: Vec<QueryRecord>, unfinished: Vec<UnfinishedQuery>, qos: u64) -> SimReport {
         let offered = records.len() + unfinished.len();
+        let completed = records.len();
         SimReport {
             scheduler: "test".into(),
             records,
@@ -905,6 +983,7 @@ mod tests {
             qos_by_model: vec![qos],
             billed_dollars: 0.0,
             billed_by_model: vec![0.0],
+            accuracy_sum_by_model: vec![completed as f64],
             events_processed: 0,
             preemption_notices: 0,
             preempted_instances: 0,
@@ -1079,6 +1158,9 @@ mod tests {
             qos_by_model: vec![10_000, 100_000],
             billed_dollars: 0.0,
             billed_by_model: vec![0.0, 0.0],
+            // Model 0 completed 2 queries at 0.9 accuracy each, model 1
+            // completed one at 0.95.
+            accuracy_sum_by_model: vec![1.8, 0.95],
             events_processed: 0,
             preemption_notices: 0,
             preempted_instances: 0,
@@ -1111,6 +1193,10 @@ mod tests {
         );
         assert_eq!(per[0].p99_latency_us, 50_000);
         assert!((per[0].violation_fraction() - 0.5).abs() < 1e-12);
+        // Per-model delivered accuracy is the per-model sum over completions.
+        assert!((per[0].mean_accuracy - 0.9).abs() < 1e-12);
+        assert!((per[1].mean_accuracy - 0.95).abs() < 1e-12);
+        assert!((rep.delivered_accuracy() - (1.8 + 0.95) / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -1166,6 +1252,8 @@ mod tests {
             .collect();
         let mut billed_by_model = vec![0.0; n];
         billed_by_model[m] = billed;
+        let mut accuracy_sum_by_model = vec![0.0; n];
+        accuracy_sum_by_model[m] = records.len() as f64 * 0.95;
         SimReport {
             scheduler: "fcfs".into(),
             offered: records.len() + unfinished.len(),
@@ -1176,6 +1264,7 @@ mod tests {
             qos_by_model: (0..n).map(|i| 10_000 + i as u64 * 1_000).collect(),
             billed_dollars: billed,
             billed_by_model,
+            accuracy_sum_by_model,
             events_processed: 100 + m as u64,
             preemption_notices: m,
             preempted_instances: 0,
@@ -1216,6 +1305,10 @@ mod tests {
         for (x, y) in a.billed_by_model.iter().zip(&b.billed_by_model) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+        assert_eq!(a.accuracy_sum_by_model.len(), b.accuracy_sum_by_model.len());
+        for (x, y) in a.accuracy_sum_by_model.iter().zip(&b.accuracy_sum_by_model) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
         assert_eq!(a.events_processed, b.events_processed);
         assert_eq!(a.preemption_notices, b.preemption_notices);
         assert_eq!(a.preempted_instances, b.preempted_instances);
@@ -1239,6 +1332,7 @@ mod tests {
             qos_by_model: vec![],
             billed_dollars: 0.0,
             billed_by_model: vec![0.0, 0.0],
+            accuracy_sum_by_model: vec![0.0, 0.0],
             events_processed: 0,
             preemption_notices: 0,
             preempted_instances: 0,

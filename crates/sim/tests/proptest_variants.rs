@@ -1,0 +1,186 @@
+//! Property-based tests of the variant catalogue's legacy-equivalence
+//! contract at the engine layer.
+//!
+//! The catalogue **lowers** rather than leaks: [`VariantCatalog::effective_models`]
+//! flattens (model × variant) into per-lane [`ServiceSpec`]-shaped latency
+//! tables and the engines never learn that variants exist.  The contract
+//! that makes the lowering safe to adopt is *exactness at the reference*:
+//! a reference-only catalogue (every model at fp32, unit speedup) must
+//! reproduce the un-varianted system **bit for bit** — same records, same
+//! billing bits, same accuracy sums — because `profile_on` returns the base
+//! profile unchanged at unit speedup.
+//!
+//! 1. **Combined engine** — on random multi-model traces against random
+//!    cluster shapes, services built from a reference-only lowering produce
+//!    a [`SimEngine`] report whose `Debug` form (every field, full float
+//!    precision) equals the legacy [`ServiceSpec::new`] run, with billing
+//!    and accuracy sums additionally compared by bit pattern.
+//! 2. **Sharded engine** — the same lowered services driven through
+//!    [`ShardedEngine`] under rayon pools of 1, 2, 4 and 8 threads
+//!    reproduce the legacy combined report bit-for-bit, so the variant
+//!    subsystem composes with shard-parallel replay at any worker count.
+
+use kairos_models::{
+    calibration::paper_calibration, ec2, Config, ModelKind, PoolSpec, VariantCatalog,
+};
+use kairos_sim::{
+    ClusterSpec, FcfsScheduler, Scheduler, ServiceSpec, ShardedEngine, SimEngine, SimulationOptions,
+};
+use kairos_workload::{ModelId, Query, Trace};
+use proptest::prelude::*;
+
+/// The model kinds backing ids 0..3 in these tests.
+const KINDS: [ModelKind; 3] = [ModelKind::Ncf, ModelKind::Wnd, ModelKind::Rm2];
+
+/// The legacy construction: one [`ServiceSpec`] per model straight off the
+/// shared calibration table.
+fn legacy_services(n: usize) -> Vec<ServiceSpec> {
+    KINDS[..n]
+        .iter()
+        .map(|&k| ServiceSpec::new(k, paper_calibration()))
+        .collect()
+}
+
+/// The same services built the variant way: a reference-only catalogue
+/// lowered through [`VariantCatalog::effective_models`], lanes re-ordered
+/// from the catalogue's [`ModelKind::ALL`] family order back to the trace's
+/// model-id order.  Each lane's table holds a verbatim copy of the base
+/// entries for its model — nothing else — which is all the engine ever
+/// looks up.
+fn lowered_services(n: usize) -> Vec<ServiceSpec> {
+    let catalog = VariantCatalog::reference_only(&KINDS[..n]);
+    let lanes = catalog.effective_models(&paper_calibration());
+    assert_eq!(lanes.len(), n);
+    KINDS[..n]
+        .iter()
+        .map(|&k| {
+            let lane = lanes
+                .iter()
+                .find(|l| l.base == k)
+                .expect("one lane per model");
+            assert!(lane.reference, "reference-only lowering yields fp32 lanes");
+            ServiceSpec::new(k, lane.latency.clone())
+        })
+        .collect()
+}
+
+/// Random model-tagged queries: (model, batch, gap) triples turned into a
+/// sorted trace.
+fn multi_trace(num_models: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0..num_models, 1u32..900, 1u64..40_000), 1..120).prop_map(|raw| {
+        let mut t = 0u64;
+        let queries = raw
+            .into_iter()
+            .enumerate()
+            .map(|(id, (model, batch, gap))| {
+                t += gap;
+                Query::for_model(id as u64, ModelId::new(model), batch, t)
+            })
+            .collect();
+        Trace::from_queries(queries)
+    })
+}
+
+/// Random per-model sub-cluster configs over the 4-type paper pool; every
+/// model gets at least one instance somewhere so its queries can complete.
+fn multi_spec(num_models: usize) -> impl Strategy<Value = ClusterSpec> {
+    prop::collection::vec((0usize..3, 0usize..2, 0usize..2, 0usize..2), num_models).prop_map(
+        |counts| {
+            ClusterSpec::from_configs(
+                counts
+                    .into_iter()
+                    .map(|(a, b, c, d)| Config::new(vec![a.max(1), b, c, d]))
+                    .collect(),
+            )
+        },
+    )
+}
+
+/// One full random case: model count, tagged trace, cluster spec, seed.
+fn multi_case() -> impl Strategy<Value = (usize, Trace, ClusterSpec, u64)> {
+    (1usize..=3).prop_flat_map(|n| (Just(n), multi_trace(n), multi_spec(n), 0u64..1_000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reference_only_lowering_reproduces_the_legacy_engine_bit_for_bit(
+        case in multi_case(),
+    ) {
+        let (num_models, trace, spec, seed) = case;
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let opts = SimulationOptions { seed };
+
+        let legacy = legacy_services(num_models);
+        let legacy_refs: Vec<&ServiceSpec> = legacy.iter().collect();
+        let mut scheduler = FcfsScheduler::new();
+        let base =
+            SimEngine::new_multi(&pool, &spec, &legacy_refs, &trace, &mut scheduler, &opts)
+                .run();
+
+        let lowered = lowered_services(num_models);
+        let lowered_refs: Vec<&ServiceSpec> = lowered.iter().collect();
+        let mut scheduler = FcfsScheduler::new();
+        let report =
+            SimEngine::new_multi(&pool, &spec, &lowered_refs, &trace, &mut scheduler, &opts)
+                .run();
+
+        // Full-report equality through Debug: every field, full precision.
+        prop_assert_eq!(format!("{:?}", base), format!("{:?}", report));
+        // Floats additionally by bit pattern (Debug collapses -0.0 == 0.0).
+        prop_assert_eq!(base.billed_dollars.to_bits(), report.billed_dollars.to_bits());
+        for (a, b) in base
+            .accuracy_sum_by_model
+            .iter()
+            .zip(&report.accuracy_sum_by_model)
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reference_only_lowering_is_bit_identical_through_the_sharded_engine(
+        case in multi_case(),
+    ) {
+        let (num_models, trace, spec, seed) = case;
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let opts = SimulationOptions { seed };
+
+        let legacy = legacy_services(num_models);
+        let legacy_refs: Vec<&ServiceSpec> = legacy.iter().collect();
+        let mut scheduler = FcfsScheduler::new();
+        let base =
+            SimEngine::new_multi(&pool, &spec, &legacy_refs, &trace, &mut scheduler, &opts)
+                .run();
+
+        let lowered = lowered_services(num_models);
+        let lowered_refs: Vec<&ServiceSpec> = lowered.iter().collect();
+        let sharded = ShardedEngine::new(&pool, &spec, &lowered_refs, &opts);
+        for threads in [1usize, 2, 4, 8] {
+            let workers = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let report = workers.install(|| {
+                sharded.run(&trace, |_| Box::new(FcfsScheduler::new()) as Box<dyn Scheduler>)
+            });
+            prop_assert_eq!(format!("{:?}", &base), format!("{:?}", &report));
+            prop_assert_eq!(
+                base.billed_dollars.to_bits(),
+                report.billed_dollars.to_bits()
+            );
+            for (a, b) in base
+                .accuracy_sum_by_model
+                .iter()
+                .zip(&report.accuracy_sum_by_model)
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Model-less serving: the variant catalogue and accuracy-aware
+//! auto-selection.
+//!
+//! The catalogue publishes, per model, a full-precision *reference* plus
+//! cheaper quantized/distilled variants that trade accuracy for latency.
+//! The planner gains a third axis: beyond *which instances* and *how they
+//! are bought*, it now also picks *which variant of the model* serves.
+//! Offline, sweeping the accuracy floor traces an accuracy-vs-cost
+//! frontier single-variant Kairos cannot reach; online, the serving loop
+//! downgrades to a faster variant when demand outruns what the reference
+//! can serve in budget, and re-promotes on the first replan with headroom.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example variant_serving
+//! ```
+
+use kairos::prelude::*;
+use kairos_core::paper_variant_planner;
+use kairos_models::VariantCatalog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = ModelKind::Rm2;
+    let latency = paper_calibration();
+    let service = ServiceSpec::new(model, latency.clone());
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let budget = 2.5;
+
+    // The paper-shaped catalogue: fp32 reference, an int8 post-training
+    // quantization (1.8x faster, -1.5 accuracy points) and a distilled
+    // student (2.8x faster, -4 points).
+    let catalog = VariantCatalog::paper_variants();
+    println!("Variant catalogue for {model}:");
+    for v in catalog.variants_for(model) {
+        println!(
+            "  {:<10} accuracy {:.3}  {:>5} MiB  {:>4.1}x{}",
+            v.name,
+            v.accuracy,
+            v.memory_mb,
+            v.speedup,
+            if v.reference { "  (reference)" } else { "" }
+        );
+    }
+
+    // ---- Offline: the accuracy-vs-cost frontier at a fixed demand.
+    let planner = paper_variant_planner(&pool, model, &latency);
+    let sample = BatchSizeDistribution::production_default()
+        .sample_many(&mut StdRng::seed_from_u64(7), 2_000);
+    let ref_best = planner.rank_configs_variants(budget, &sample, Some(0.98))[0].upper_bound;
+    let demand = ref_best * 0.7 / 1.35;
+    println!(
+        "\nFrontier: cheapest deployment covering {demand:.1} QPS (x1.35 headroom) per floor:"
+    );
+    for (label, floor) in [
+        ("0.980", Some(0.98)),
+        ("0.965", Some(0.965)),
+        ("none", None),
+    ] {
+        let choice = planner
+            .cheapest_for_demand(budget, &sample, demand, 1.35, floor)
+            .expect("the reference covers this demand");
+        println!(
+            "  floor {label:<6} -> {:<10} {} at {:.3} $/hr",
+            choice.variant,
+            choice.config,
+            choice.config.cost(&pool)
+        );
+    }
+
+    // ---- Online: overload sized to the reference plan's own best bound —
+    // ~35 % over what fp32 can serve with headroom under the budget.
+    let rate_qps = ref_best;
+    let trace = TraceSpec::production(rate_qps, 6.0, 4242).generate();
+    println!(
+        "\nWorkload: {} queries at {rate_qps:.1} QPS for 6 s under {budget} $/hr",
+        trace.len()
+    );
+
+    let options = ServingOptions::default()
+        .budget(budget)
+        .replan_every(500_000)
+        .provisioning_delay(300_000);
+    let mut system = ServingSystem::new(pool.clone(), model, Some(latency.clone()), options)
+        .with_variants(&catalog, &latency);
+    system.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
+    let initial = system.plan_for_demand(rate_qps).expect("prior knowledge");
+    println!("Initial deployment {initial} on the fp32 reference");
+
+    let outcome = system.run(&initial, &service, &trace);
+
+    println!("\nVariant switch timeline:");
+    for s in &outcome.variant_switches {
+        println!(
+            "  t = {:>5.2}s  [{:?}] {} -> {} (accuracy {:.3})",
+            s.at_us as f64 / 1e6,
+            s.trigger,
+            s.from,
+            s.to,
+            s.accuracy
+        );
+    }
+
+    let report = &outcome.report;
+    println!("\nOutcome:");
+    println!(
+        "  violations {:.2} %, delivered accuracy {:.4} (reference {:.3}), \
+         {} switch(es), final variant {}",
+        report.violation_fraction() * 100.0,
+        report.delivered_accuracy(),
+        catalog.reference(model).unwrap().accuracy,
+        outcome.variant_switches.len(),
+        system.active_variant().unwrap_or("fp32")
+    );
+
+    // The same overload with a strict floor: quantized lanes are
+    // inadmissible, so the loop behaves exactly like single-variant Kairos.
+    let mut floored = ServingSystem::new(
+        pool.clone(),
+        model,
+        Some(latency.clone()),
+        options.min_accuracy(0.98),
+    )
+    .with_variants(&catalog, &latency);
+    floored.warm_monitor(&BatchSizeDistribution::production_default(), 2_000, 7);
+    let initial = floored.plan_for_demand(rate_qps).expect("prior knowledge");
+    let strict = floored.run(&initial, &service, &trace);
+    println!(
+        "  with a 0.98 floor: violations {:.2} %, accuracy {:.4}, {} switch(es) \
+         (the floor vetoes every downgrade)",
+        strict.report.violation_fraction() * 100.0,
+        strict.report.delivered_accuracy(),
+        strict.variant_switches.len()
+    );
+}

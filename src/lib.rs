@@ -46,13 +46,14 @@ pub mod prelude {
     };
     pub use kairos_core::{
         InferenceService, KairosController, KairosPlanner, KairosScheduler, MarketState,
-        MultiServingOutcome, ServingOptions, ServingSystem, ThroughputEstimator,
+        MultiServingOutcome, ServingOptions, ServingSystem, ThroughputEstimator, VariantChoice,
+        VariantPlanner, VariantRuntime, VariantSwitch,
     };
     pub use kairos_models::{
-        calibration::paper_calibration, ec2, Config, ConstantMarket, FailureDomain, FaultEvent,
-        FaultProcess, LatencyTable, Market, MarketEvent, ModelKind, Offering, OfferingCatalog,
-        PoolSpec, PreemptionProcess, PriceTrace, PurchaseOption, ThroughputDegradation,
-        TraceMarket,
+        calibration::paper_calibration, ec2, Config, ConstantMarket, EffectiveModel, FailureDomain,
+        FaultEvent, FaultProcess, LatencyTable, Market, MarketEvent, ModelKind, ModelVariant,
+        Offering, OfferingCatalog, PoolSpec, PreemptionProcess, PriceTrace, PurchaseOption,
+        ThroughputDegradation, TraceMarket, VariantCatalog, VariantError,
     };
     pub use kairos_sim::{
         allowable_throughput, allowable_throughput_many, run_trace, BatchingOptions,
