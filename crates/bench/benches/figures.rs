@@ -15,7 +15,7 @@ use kairos_baselines::{
 };
 use kairos_bench::figures::{
     figure12_load_shift, figure_batching, figure_multimodel, figure_outage, figure_scale,
-    figure_spot, figure_variants, section,
+    figure_serverless, figure_spot, figure_variants, section,
 };
 use kairos_bench::{ExperimentContext, SchedulerKind};
 use kairos_core::{kairos_plus_search, upper_bound_single, SingleAuxInputs, ThroughputEstimator};
@@ -601,6 +601,9 @@ fn main() {
     }
     if run("fig_variants") {
         figure_variants();
+    }
+    if run("fig_serverless") {
+        figure_serverless();
     }
     if run("fig13") {
         figure13();

@@ -386,6 +386,53 @@ fn bench_rank_configs_variants(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sparse per-model hot paths a thousands-of-models serverless tail
+/// leans on: sampling a 2000-component mix (binary search over the
+/// cumulative-share table — the legacy linear subtraction scan is O(n) per
+/// draw) and reading per-lane state out of a model-tagged monitor window
+/// (active-lane index + per-lane rings instead of full-window scans).
+fn bench_sparse_mix(c: &mut Criterion) {
+    use kairos_workload::{MixSpec, ModelId, QueryMonitor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let n = 2_000usize;
+    let shares: Vec<f64> = (0..n).map(|i| 1.0 + (i % 13) as f64).collect();
+    let dists: Vec<BatchSizeDistribution> = vec![BatchSizeDistribution::Fixed(64); n];
+    let mix = MixSpec::from_shares(&shares, &dists);
+
+    let mut monitor = QueryMonitor::with_capacity(4_096);
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..8_192 {
+        let (model, batch) = mix.sample(&mut rng);
+        monitor.observe_tagged(model, batch);
+    }
+
+    let mut group = c.benchmark_group("sparse_mix_2000");
+    group.sample_size(10);
+    group.bench_function("sample_10k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc += mix.sample(&mut rng).0.index();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("monitor_mix_and_lane_snapshots", |b| {
+        b.iter(|| {
+            let mix = monitor.mix();
+            let mut len = mix.len();
+            for &lane in monitor.active_models() {
+                len += monitor.snapshot_for(ModelId::new(lane)).len();
+            }
+            black_box(len)
+        })
+    });
+    group.finish();
+}
+
 /// One allowable-throughput ramp for a single configuration: the unit of
 /// work every planner comparison and baseline grid search repeats hundreds
 /// of times.  Early exit aborts each probe replay the moment its verdict is
@@ -421,6 +468,7 @@ criterion_group!(
     bench_sharded_replay,
     bench_rank_configs_sweep,
     bench_rank_configs_variants,
+    bench_sparse_mix,
     bench_allowable_throughput_probe
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! fleet figures [ids...]   regenerate the BENCH_*.json figures
 //!                          (default: fig12_shift fig_multimodel fig_spot fig_scale
-//!                          fig_batching fig_outage fig_variants)
+//!                          fig_batching fig_outage fig_variants fig_serverless)
 //! fleet matrix [out_dir]   run the default 24-scenario sweep (default: fleet-results/)
 //! fleet smoke  [out_dir]   run the 4-scenario CI sweep (default: target/fleet-smoke/)
 //! ```
@@ -19,7 +19,7 @@ use kairos_bench::fleet::{run_matrix, ScenarioMatrix};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const FIGURE_IDS: [&str; 7] = [
+const FIGURE_IDS: [&str; 8] = [
     "fig12_shift",
     "fig_multimodel",
     "fig_spot",
@@ -27,6 +27,7 @@ const FIGURE_IDS: [&str; 7] = [
     "fig_batching",
     "fig_outage",
     "fig_variants",
+    "fig_serverless",
 ];
 
 fn run_figures(ids: &[String]) -> ExitCode {
@@ -44,6 +45,7 @@ fn run_figures(ids: &[String]) -> ExitCode {
             "fig_batching" => figures::figure_batching(),
             "fig_outage" => figures::figure_outage(),
             "fig_variants" => figures::figure_variants(),
+            "fig_serverless" => figures::figure_serverless(),
             other => {
                 eprintln!("unknown figure {other}; known: {FIGURE_IDS:?}");
                 return ExitCode::from(2);

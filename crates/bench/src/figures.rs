@@ -1418,3 +1418,199 @@ pub fn figure_batching() {
         Err(e) => println!("--> could not write BENCH_batching.json: {e}"),
     }
 }
+
+/// One keep-alive policy's outcome of the serverless experiment.
+struct ServerlessRow {
+    policy: &'static str,
+    billed_dollars: f64,
+    dollars_per_1k: f64,
+    tail_p99_ms: f64,
+    violation_fraction: f64,
+    cold_starts: u64,
+    parked_hours: f64,
+}
+
+/// Serverless lane — a sparse multi-model trace (2 hot NCF lanes carrying
+/// ~98 % of the traffic plus 22 low-QPS RM2 tail lanes, one container each)
+/// replayed under four keep-alive policies: always-on (legacy), fixed 10 s,
+/// fixed 60 s, and the hybrid histogram-of-idle-times policy.  Parked
+/// containers stop billing and the next dispatch pays the cold start, so
+/// the figure is a cost-per-request vs tail-p99 frontier; the headline is
+/// scale-to-zero matching the always-on p99 within RM2's QoS at a fraction
+/// of the $/hr.  Writes `BENCH_serverless.json`.
+pub fn figure_serverless() {
+    use kairos_models::{ColdStartCost, ColdStartProfile, KeepAlivePolicy};
+    use kairos_sim::ServerlessConfig;
+
+    let fast = fast_mode();
+    let duration_s = if fast { 8.0 } else { 120.0 };
+    let total_qps = 120.0;
+    let tail_lanes = 22usize;
+    let tail_qps = 0.1; // per tail lane: ~10 s mean idle gap
+    section("Serverless lane: keep-alive policies on a sparse multi-model tail");
+    println!(
+        "{total_qps} QPS mixed stream, {duration_s} s; 2 hot NCF lanes + {tail_lanes} RM2 \
+         tail lanes at {tail_qps} QPS each (one container per tail lane)"
+    );
+
+    let pool = PoolSpec::new(ec2::paper_pool());
+    let latency = paper_calibration();
+    let n = 2 + tail_lanes;
+    let tail_share = tail_qps / total_qps;
+    let hot_share = (1.0 - tail_lanes as f64 * tail_share) / 2.0;
+    let shares: Vec<f64> = (0..n)
+        .map(|m| if m < 2 { hot_share } else { tail_share })
+        .collect();
+    let dists: Vec<BatchSizeDistribution> = vec![BatchSizeDistribution::Fixed(64); n];
+    let trace = MixedTraceSpec {
+        arrival: ArrivalProcess::Poisson {
+            rate_qps: total_qps,
+        },
+        mix: MixSpec::from_shares(&shares, &dists),
+        duration_s,
+        seed: 77,
+    }
+    .generate();
+    // One base-type container per tail lane, two per hot lane.
+    let spec = ClusterSpec::from_configs(
+        (0..n)
+            .map(|m| {
+                let mut counts = vec![0usize; 4];
+                counts[0] = if m < 2 { 2 } else { 1 };
+                Config::new(counts)
+            })
+            .collect(),
+    );
+    let services: Vec<ServiceSpec> = (0..n)
+        .map(|m| {
+            let kind = if m < 2 {
+                ModelKind::Ncf
+            } else {
+                ModelKind::Rm2
+            };
+            ServiceSpec::new(kind, latency.clone())
+        })
+        .collect();
+    let service_refs: Vec<&ServiceSpec> = services.iter().collect();
+    // Container init + model load: 150 ms, well inside RM2's 350 ms QoS.
+    let cold = ColdStartCost::new(50_000, 100_000);
+
+    let tail_p99_ms = |report: &SimReport| -> f64 {
+        let mut lat: Vec<u64> = report
+            .records
+            .iter()
+            .filter(|r| r.model.index() >= 2)
+            .map(|r| r.completion_us - r.arrival_us)
+            .collect();
+        lat.sort_unstable();
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat[(lat.len() - 1) * 99 / 100] as f64 / 1000.0
+    };
+
+    let variants: [(&'static str, Option<KeepAlivePolicy>); 4] = [
+        ("always-on", None),
+        (
+            "fixed-10s",
+            Some(KeepAlivePolicy::fixed(10_000_000).unwrap()),
+        ),
+        (
+            "fixed-60s",
+            Some(KeepAlivePolicy::fixed(60_000_000).unwrap()),
+        ),
+        (
+            "hybrid-p95",
+            Some(KeepAlivePolicy::hybrid(2_000_000, 30, 0.95).unwrap()),
+        ),
+    ];
+    let rows: Vec<ServerlessRow> = variants
+        .iter()
+        .map(|(label, policy)| {
+            let mut scheduler = FcfsScheduler::new();
+            let mut engine = SimEngine::new_multi(
+                &pool,
+                &spec,
+                &service_refs,
+                &trace,
+                &mut scheduler,
+                &SimulationOptions::default(),
+            );
+            if let Some(policy) = policy {
+                // Hot lanes stay always-on in every variant; only the tail
+                // parks.
+                let policies = (0..n).map(|m| (m >= 2).then(|| policy.clone())).collect();
+                engine = engine.with_serverless(ServerlessConfig {
+                    policies,
+                    cold_start: ColdStartProfile::uniform(cold),
+                });
+            }
+            let report = engine.run();
+            let completed = report.records.len().max(1);
+            ServerlessRow {
+                policy: label,
+                billed_dollars: report.billed_dollars,
+                dollars_per_1k: report.billed_dollars * 1000.0 / completed as f64,
+                tail_p99_ms: tail_p99_ms(&report),
+                violation_fraction: report.violation_fraction(),
+                cold_starts: report.service.cold_starts,
+                parked_hours: report.service.parked_us_sum as f64 / 3.6e9,
+            }
+        })
+        .collect();
+
+    println!(
+        "\n{:<12}{:>12}{:>12}{:>14}{:>14}{:>12}{:>14}",
+        "policy", "billed $", "$/1k req", "tail p99 ms", "violations %", "cold", "parked hrs"
+    );
+    for row in &rows {
+        println!(
+            "{:<12}{:>12.4}{:>12.4}{:>14.2}{:>14.2}{:>12}{:>14.3}",
+            row.policy,
+            row.billed_dollars,
+            row.dollars_per_1k,
+            row.tail_p99_ms,
+            row.violation_fraction * 100.0,
+            row.cold_starts,
+            row.parked_hours
+        );
+    }
+    let qos_ms = ModelKind::Rm2.qos_us() as f64 / 1000.0;
+    let best = rows
+        .iter()
+        .skip(1)
+        .filter(|r| r.tail_p99_ms <= qos_ms)
+        .min_by(|a, b| a.billed_dollars.total_cmp(&b.billed_dollars));
+    if let Some(best) = best {
+        println!(
+            "--> {} kept the tail p99 at {:.0} ms (QoS {qos_ms:.0} ms) for {:.0} % of the \
+             always-on bill",
+            best.policy,
+            best.tail_p99_ms,
+            100.0 * best.billed_dollars / rows[0].billed_dollars.max(1e-12)
+        );
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serverless.json");
+    let json: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"name\":\"fig_serverless/{}\",\"billed_dollars\":{:.4},\
+                 \"dollars_per_1k\":{:.4},\"tail_p99_ms\":{:.3},\
+                 \"violation_fraction\":{:.4},\"cold_starts\":{},\"parked_hours\":{:.4}}}",
+                row.policy,
+                row.billed_dollars,
+                row.dollars_per_1k,
+                row.tail_p99_ms,
+                row.violation_fraction,
+                row.cold_starts,
+                row.parked_hours
+            )
+        })
+        .collect();
+    match std::fs::write(path, json.join("\n") + "\n") {
+        Ok(()) => println!("--> recorded BENCH_serverless.json"),
+        Err(e) => println!("--> could not write BENCH_serverless.json: {e}"),
+    }
+}

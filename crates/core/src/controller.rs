@@ -19,7 +19,7 @@ use kairos_models::{
     latency::{LatencyProfile, LatencyTable},
     mlmodel::ModelKind,
     predictor::PredictorBank,
-    Config, PoolSpec, MAX_BATCH_SIZE,
+    Config, KeepAlivePolicy, PoolSpec, MAX_BATCH_SIZE,
 };
 use kairos_workload::QueryMonitor;
 
@@ -39,6 +39,11 @@ pub struct KairosController {
     /// [knowledge signature](Self::knowledge_signature) untouched so cached
     /// plans from before variant support remain valid.
     variant_accuracy: Option<f64>,
+    /// Keep-alive policy of the serverless lane this controller plans for.
+    /// `None` means the lane is always-on (the legacy mode) and leaves the
+    /// [knowledge signature](Self::knowledge_signature) untouched, so cached
+    /// plans from before serverless support remain valid.
+    serverless_policy: Option<KeepAlivePolicy>,
 }
 
 impl KairosController {
@@ -51,6 +56,7 @@ impl KairosController {
             predictors: PredictorBank::new(),
             priors: None,
             variant_accuracy: None,
+            serverless_policy: None,
         }
     }
 
@@ -113,6 +119,21 @@ impl KairosController {
     /// in the legacy reference-only mode (see [`Self::adopt_variant`]).
     pub fn variant_accuracy(&self) -> Option<f64> {
         self.variant_accuracy
+    }
+
+    /// Sets (or clears) the keep-alive policy of the lane this controller
+    /// plans for.  The policy joins the
+    /// [knowledge signature](Self::knowledge_signature): moving a lane
+    /// between always-on and any serverless policy — or between two
+    /// policies — changes what a plan costs, so cached plans must retire.
+    pub fn set_serverless_policy(&mut self, policy: Option<KeepAlivePolicy>) {
+        self.serverless_policy = policy;
+    }
+
+    /// Keep-alive policy of the lane this controller plans for, or `None`
+    /// for an always-on lane (see [`Self::set_serverless_policy`]).
+    pub fn serverless_policy(&self) -> Option<&KeepAlivePolicy> {
+        self.serverless_policy.as_ref()
     }
 
     /// Records the batch size of an arriving query (feeds the monitor window).
@@ -246,6 +267,14 @@ impl KairosController {
         // signatures are bit-identical to pre-variant builds.
         if let Some(accuracy) = self.variant_accuracy {
             mix(accuracy.to_bits());
+        }
+
+        // Keep-alive policy, exact: a lane moving between always-on and a
+        // serverless policy (or between two policies) changes the billing
+        // model behind every plan.  Always-on controllers skip this mix so
+        // their signatures match pre-serverless builds bit for bit.
+        if let Some(policy) = &self.serverless_policy {
+            mix(policy.signature_bits());
         }
         hash
     }
@@ -437,6 +466,31 @@ mod tests {
         assert_ne!(c.knowledge_signature(), after);
         // The workload monitor survives the switch.
         assert_eq!(c.observed_queries(), 2000);
+    }
+
+    #[test]
+    fn keep_alive_policy_moves_change_the_signature() {
+        let mut c = KairosController::with_priors(pool(), ModelKind::Rm2, paper_calibration());
+        for i in 0..2000u32 {
+            c.observe_query(10 + i % 300);
+        }
+        assert!(c.serverless_policy().is_none());
+        let always_on = c.knowledge_signature();
+
+        // Always-on -> fixed keep-alive: cached plans must retire.
+        c.set_serverless_policy(Some(KeepAlivePolicy::fixed(10_000_000).unwrap()));
+        let fixed_10s = c.knowledge_signature();
+        assert_ne!(fixed_10s, always_on);
+        // A different deadline is a different policy.
+        c.set_serverless_policy(Some(KeepAlivePolicy::fixed(60_000_000).unwrap()));
+        let fixed_60s = c.knowledge_signature();
+        assert_ne!(fixed_60s, fixed_10s);
+        // A policy-family move (fixed -> hybrid) changes it too.
+        c.set_serverless_policy(Some(KeepAlivePolicy::hybrid(1_000_000, 24, 0.95).unwrap()));
+        assert_ne!(c.knowledge_signature(), fixed_60s);
+        // Clearing the policy restores the pre-serverless signature exactly.
+        c.set_serverless_policy(None);
+        assert_eq!(c.knowledge_signature(), always_on);
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!    model-less facade: N per-model serving loops behind one model-tagged
 //!    query API, sharing a single hourly budget by demand-weighted
 //!    water-filling, each replanning on its own knowledge signature.
+//! 7. **Serverless lane** ([`serverless::ServerlessRuntime`]) — scale-to-zero
+//!    for the sparse model tail: lanes planned below a QPS threshold drop
+//!    their always-on budget floor, receive one parkable base-instance
+//!    vessel, and adopt a keep-alive policy whose bits fold into the
+//!    knowledge signature.
 //!
 //! ```
 //! use kairos_core::planner::KairosPlanner;
@@ -56,6 +61,7 @@ pub mod kairos_plus;
 pub mod lmatrix;
 pub mod planner;
 pub mod selection;
+pub mod serverless;
 pub mod service;
 pub mod serving;
 pub mod upper_bound;
@@ -68,6 +74,7 @@ pub use kairos_plus::{kairos_plus_search, SearchResult};
 pub use lmatrix::{build_matrices, InstanceColumn, LMatrices, QueryRow, DEFAULT_XI};
 pub use planner::{KairosPlanner, Plan, PlanCache};
 pub use selection::select_configuration;
+pub use serverless::ServerlessRuntime;
 pub use service::{InferenceService, MultiScheduler, MultiServingOutcome};
 pub use serving::{
     MarketState, PurchaseBackoff, ReconfigEvent, ReplanTrigger, ServingOptions, ServingOutcome,

@@ -1,0 +1,146 @@
+//! Serverless lane policy assignment for the multi-model serving facade.
+//!
+//! The Kairos paper provisions every model an always-on slice of the budget;
+//! with thousands of models most lanes see a trickle of traffic and the
+//! always-on floors dominate the bill.  [`ServerlessRuntime`] is the
+//! control-plane half of the serverless lane (the data-plane half — parking,
+//! cold starts, billing — lives in `kairos_sim::ServerlessConfig`): it
+//! decides, per model lane, whether the lane runs always-on or under a
+//! keep-alive policy, based on the lane's planned demand rate.
+//!
+//! The split rule is a single QPS threshold.  Lanes at or above it stay
+//! always-on — a cold start in the hot path would dominate tail latency.
+//! Lanes below it get the runtime's keep-alive policy: their containers park
+//! (and stop billing) once idle past the policy's deadline, and the next
+//! dispatch pays the cold-start cost.  The budget planner drops the
+//! one-instance floor for these lanes (scale-to-zero), which is what frees
+//! the budget the hot lanes reuse.
+
+use kairos_models::{ColdStartProfile, KeepAlivePolicy};
+use kairos_sim::ServerlessConfig;
+
+/// Per-service serverless policy: which lanes scale to zero, under what
+/// keep-alive policy, and what a cold start costs them.
+#[derive(Debug, Clone)]
+pub struct ServerlessRuntime {
+    policy: KeepAlivePolicy,
+    cold_start: ColdStartProfile,
+    sparse_qps_threshold: f64,
+}
+
+impl ServerlessRuntime {
+    /// Creates a runtime that puts every lane with planned demand strictly
+    /// below `sparse_qps_threshold` QPS under `policy`, paying `cold_start`
+    /// on wake-ups.  Lanes at or above the threshold stay always-on.
+    ///
+    /// # Panics
+    /// Panics if `sparse_qps_threshold` is not finite and non-negative.
+    pub fn new(
+        policy: KeepAlivePolicy,
+        cold_start: ColdStartProfile,
+        sparse_qps_threshold: f64,
+    ) -> Self {
+        assert!(
+            sparse_qps_threshold.is_finite() && sparse_qps_threshold >= 0.0,
+            "sparse QPS threshold must be finite and non-negative"
+        );
+        Self {
+            policy,
+            cold_start,
+            sparse_qps_threshold,
+        }
+    }
+
+    /// The keep-alive policy sparse lanes run under.
+    pub fn policy(&self) -> &KeepAlivePolicy {
+        &self.policy
+    }
+
+    /// The cold-start cost a parked lane pays on wake-up.
+    pub fn cold_start(&self) -> &ColdStartProfile {
+        &self.cold_start
+    }
+
+    /// The demand threshold (QPS) below which a lane goes serverless.
+    pub fn sparse_qps_threshold(&self) -> f64 {
+        self.sparse_qps_threshold
+    }
+
+    /// Whether a lane with the given planned demand rate is sparse enough to
+    /// serve under the keep-alive policy (and scale to zero).
+    pub fn is_sparse(&self, demand_qps: f64) -> bool {
+        demand_qps < self.sparse_qps_threshold
+    }
+
+    /// Per-lane policy assignment for the given planned demand rates:
+    /// `Some(policy)` for sparse lanes, `None` (always-on) for hot ones.
+    pub fn assign(&self, demand_qps: &[f64]) -> Vec<Option<KeepAlivePolicy>> {
+        demand_qps
+            .iter()
+            .map(|&qps| self.is_sparse(qps).then(|| self.policy.clone()))
+            .collect()
+    }
+
+    /// The engine-side configuration for the given planned demand rates:
+    /// the [`Self::assign`] policy vector plus the cold-start profile.
+    pub fn config_for(&self, demand_qps: &[f64]) -> ServerlessConfig {
+        ServerlessConfig {
+            policies: self.assign(demand_qps),
+            cold_start: self.cold_start.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kairos_models::ColdStartCost;
+
+    fn runtime(threshold: f64) -> ServerlessRuntime {
+        ServerlessRuntime::new(
+            KeepAlivePolicy::fixed(10_000_000).unwrap(),
+            ColdStartProfile::uniform(ColdStartCost::new(200_000, 800_000)),
+            threshold,
+        )
+    }
+
+    #[test]
+    fn threshold_splits_lanes_into_serverless_and_always_on() {
+        let rt = runtime(1.0);
+        assert!(rt.is_sparse(0.0));
+        assert!(rt.is_sparse(0.99));
+        assert!(!rt.is_sparse(1.0), "the threshold itself stays always-on");
+        assert!(!rt.is_sparse(250.0));
+
+        let assignment = rt.assign(&[300.0, 0.2, 0.0, 1.0]);
+        assert!(assignment[0].is_none());
+        assert_eq!(assignment[1].as_ref(), Some(rt.policy()));
+        assert_eq!(assignment[2].as_ref(), Some(rt.policy()));
+        assert!(assignment[3].is_none());
+    }
+
+    #[test]
+    fn config_for_carries_the_cold_start_profile() {
+        let rt = runtime(1.0);
+        let config = rt.config_for(&[300.0, 0.2]);
+        assert_eq!(config.policies.len(), 2);
+        assert!(config.policies[0].is_none());
+        assert!(config.policies[1].is_some());
+        assert_eq!(
+            config.cold_start.cost(0).total_us(),
+            rt.cold_start().cost(0).total_us()
+        );
+    }
+
+    #[test]
+    fn zero_threshold_disables_every_lane() {
+        let rt = runtime(0.0);
+        assert!(rt.assign(&[0.0, 0.5, 100.0]).iter().all(Option::is_none));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_threshold_rejected() {
+        let _ = runtime(-1.0);
+    }
+}

@@ -38,6 +38,7 @@
 //!   the instances bound to that model; the engine enforces the binding.
 
 use crate::distribution::KairosScheduler;
+use crate::serverless::ServerlessRuntime;
 use crate::serving::ServingOutcome;
 use crate::serving::{
     estimate_rate_qps, reconcile_model, MarketState, ReconfigEvent, ReplanTrigger, ServingOptions,
@@ -203,6 +204,10 @@ pub struct InferenceService {
     /// The attached cloud market, if any — shared across lanes (one market,
     /// one cooldown book; each lane replans over the same refreshed pool).
     market: Option<MarketState>,
+    /// The attached serverless runtime, if any: sparse lanes run under its
+    /// keep-alive policy (and scale to zero in the budget split) instead of
+    /// holding an always-on floor.
+    serverless: Option<ServerlessRuntime>,
 }
 
 impl InferenceService {
@@ -248,6 +253,7 @@ impl InferenceService {
             lanes,
             options,
             market: None,
+            serverless: None,
         }
     }
 
@@ -285,6 +291,26 @@ impl InferenceService {
             lane.system.attach_variants(catalog, base);
         }
         self
+    }
+
+    /// Attaches a serverless runtime: lanes whose planned demand falls below
+    /// the runtime's sparse threshold serve under its keep-alive policy —
+    /// their single container parks (and stops billing) once idle past the
+    /// policy deadline and pays the cold-start cost on the next dispatch —
+    /// and their always-on floor in the budget split drops to zero, so the
+    /// freed budget water-fills into the hot lanes.  The lane assignment is
+    /// fixed per run, from the demands the run was planned for; each lane's
+    /// policy joins its controller's knowledge signature, so moving a lane
+    /// between always-on and serverless retires its cached plans.
+    #[must_use]
+    pub fn with_serverless(mut self, runtime: ServerlessRuntime) -> Self {
+        self.serverless = Some(runtime);
+        self
+    }
+
+    /// The attached serverless runtime, if any.
+    pub fn serverless(&self) -> Option<&ServerlessRuntime> {
+        self.serverless.as_ref()
     }
 
     /// The attached market state, if this facade trades on one.
@@ -367,14 +393,35 @@ impl InferenceService {
             .collect()
     }
 
+    /// Per-lane budget floors for the given demands: one base instance per
+    /// lane, except lanes a [`ServerlessRuntime`] classifies as sparse —
+    /// those scale to zero (their parked container bills nothing, so the
+    /// split owes them nothing up front).
+    fn lane_floors(&self, demands: &[f64]) -> Vec<f64> {
+        let base_floor = self.pool.price(self.pool.base_index());
+        match &self.serverless {
+            Some(rt) => demands
+                .iter()
+                .map(|&d| if rt.is_sparse(d) { 0.0 } else { base_floor })
+                .collect(),
+            None => vec![base_floor; self.lanes.len()],
+        }
+    }
+
     /// Splits the global hourly budget across models by **demand-weighted
     /// water-filling**: every model is guaranteed a floor of one base
-    /// instance; the spare budget is distributed proportionally to each
-    /// model's *capacity* demand (its QPS × learned per-query base-type
-    /// service time, so slow models are not starved), iteratively pinning
-    /// to the floor any model whose proportional share would fall below it
-    /// (its freed share re-floods the rest).  Zero total demand splits the
-    /// spare evenly.
+    /// instance (zero for lanes an attached [`ServerlessRuntime`] lets
+    /// scale to zero); the spare budget is distributed proportionally to
+    /// each model's *capacity* demand (its QPS × learned per-query
+    /// base-type service time, so slow models are not starved), iteratively
+    /// pinning to its floor any model whose proportional share would fall
+    /// below it (its freed share re-floods the rest).  Zero total demand
+    /// splits the spare evenly.
+    ///
+    /// The pinning loop keeps the still-flexible lanes in one in-place list
+    /// (pinned lanes are swap-removed as they pin), so a pass over a
+    /// thousands-of-lanes split costs O(flex) instead of rebuilding an
+    /// all-lanes index vector per round.
     ///
     /// # Panics
     /// Panics if `demands` does not have one entry per model.
@@ -382,30 +429,38 @@ impl InferenceService {
         assert_eq!(demands.len(), self.lanes.len(), "one demand per model");
         let n = self.lanes.len();
         let weights = self.capacity_weights(demands);
-        let floor = self.pool.price(self.pool.base_index());
+        let floors = self.lane_floors(demands);
         let budget = self.options.budget_per_hour;
-        let mut pinned = vec![false; n];
-        let mut alloc = vec![floor; n];
+        let mut alloc = floors.clone();
+        let mut flex: Vec<usize> = (0..n).collect();
+        let mut pinned_total = 0.0;
         loop {
-            let pinned_total = floor * pinned.iter().filter(|&&p| p).count() as f64;
-            let spare = budget - pinned_total;
-            let flex: Vec<usize> = (0..n).filter(|&i| !pinned[i]).collect();
             if flex.is_empty() {
                 break;
             }
+            let spare = budget - pinned_total;
             let flex_weight: f64 = flex.iter().map(|&i| weights[i]).sum();
+            // Round-start snapshot of the flex count: every lane in this
+            // round shares against the same denominator even as pinned
+            // lanes are swap-removed mid-round.
+            let round_len = flex.len();
             let mut changed = false;
-            for &i in &flex {
+            let mut k = 0;
+            while k < flex.len() {
+                let i = flex[k];
                 let share = if flex_weight > 0.0 {
                     weights[i] / flex_weight
                 } else {
-                    1.0 / flex.len() as f64
+                    1.0 / round_len as f64
                 };
                 alloc[i] = spare * share;
-                if alloc[i] < floor {
-                    alloc[i] = floor;
-                    pinned[i] = true;
+                if alloc[i] < floors[i] {
+                    alloc[i] = floors[i];
+                    pinned_total += floors[i];
+                    flex.swap_remove(k);
                     changed = true;
+                } else {
+                    k += 1;
                 }
             }
             if !changed {
@@ -421,18 +476,48 @@ impl InferenceService {
     /// deviates from the initial plan can replan on drift before the first
     /// cadence tick.  Returns `None` if any lane cannot plan yet (no
     /// latency knowledge).
+    ///
+    /// With a [`ServerlessRuntime`] attached, sparse lanes are not planned
+    /// against their (near-zero) budget share: each gets exactly one base
+    /// instance — the vessel the engine parks whenever it idles past the
+    /// keep-alive deadline — and its controller adopts the keep-alive
+    /// policy, which joins the knowledge signature and retires any cached
+    /// always-on plans.  Hot lanes get `None` (always-on) and plan as
+    /// before.
     pub fn plan_initial(&mut self, demands: &[f64]) -> Option<ClusterSpec> {
         let budgets = self.split_budget(demands);
+        let policies = self.lane_policies(demands);
+        let base_vessel = {
+            let mut counts = vec![0; self.pool.num_types()];
+            counts[self.pool.base_index()] = 1;
+            Config::new(counts)
+        };
         let mut configs = Vec::with_capacity(self.lanes.len());
-        for (lane, (&budget, &demand)) in self
+        for (lane, ((&budget, &demand), policy)) in self
             .lanes
             .iter_mut()
-            .zip(budgets.iter().zip(demands.iter()))
+            .zip(budgets.iter().zip(demands.iter()).zip(&policies))
         {
-            configs.push(lane.system.plan_for_demand_with_budget(budget, demand)?);
+            lane.system
+                .controller_mut()
+                .set_serverless_policy(policy.clone());
+            configs.push(if policy.is_some() {
+                base_vessel.clone()
+            } else {
+                lane.system.plan_for_demand_with_budget(budget, demand)?
+            });
             lane.planned_rate = Some(demand);
         }
         Some(ClusterSpec::from_configs(configs))
+    }
+
+    /// Per-lane keep-alive assignment for the given demands: `None` for
+    /// every lane without an attached runtime.
+    fn lane_policies(&self, demands: &[f64]) -> Vec<Option<kairos_models::KeepAlivePolicy>> {
+        match &self.serverless {
+            Some(rt) => rt.assign(demands),
+            None => vec![None; self.lanes.len()],
+        }
     }
 
     /// Builds the multi-model query distributor from every lane's current
@@ -501,6 +586,25 @@ impl InferenceService {
                 .saturating_add(self.options.market_horizon_slack_us);
             engine = engine.with_market_horizon(market, horizon);
         }
+        // Serverless lanes park between requests: the engine-side policy
+        // vector is built from the demands this run was planned for and is
+        // fixed for the run (the container lifecycle is configured at engine
+        // construction).  Each lane's policy is mirrored into its controller
+        // so it joins the knowledge signature and retires stale cached plans.
+        let planned: Vec<f64> = self
+            .lanes
+            .iter()
+            .map(|l| l.planned_rate.unwrap_or(0.0))
+            .collect();
+        let lane_policies = self.lane_policies(&planned);
+        if let Some(rt) = &self.serverless {
+            engine = engine.with_serverless(rt.config_for(&planned));
+        }
+        for (lane, policy) in self.lanes.iter_mut().zip(&lane_policies) {
+            lane.system
+                .controller_mut()
+                .set_serverless_policy(policy.clone());
+        }
         // Lanes left on a non-reference variant by a previous run must be
         // re-applied to the fresh engine, whose specs are reference-grade.
         for (m, lane) in self.lanes.iter().enumerate() {
@@ -562,6 +666,9 @@ impl InferenceService {
                 | EngineEvent::ZoneRestored { .. }
                 | EngineEvent::CapacityShortage { .. }
                 | EngineEvent::StragglerOnset { .. } => {}
+                // Parks are billing bookkeeping inside the engine; the loop
+                // reacts to the wake (a plain dispatch), not the park.
+                EngineEvent::InstanceParked { .. } => {}
             }
             // A market move replans every lane that has a fresh demand
             // estimate (prices shifted for all of them at once).
@@ -617,6 +724,12 @@ impl InferenceService {
             }
             let mut due: Vec<(usize, ReplanTrigger)> = Vec::new();
             for (m, lane) in self.lanes.iter().enumerate() {
+                // A serverless lane's capacity is its parked vessel; billing
+                // follows usage through parking, not through reconfiguration,
+                // so the lane never enters the reconcile loop.
+                if lane_policies[m].is_some() {
+                    continue;
+                }
                 if !fresh[m] || lane.arrivals.len() < 2 {
                     continue;
                 }
@@ -1203,6 +1316,146 @@ mod tests {
         );
         let delivered = outcome.report.delivered_accuracy();
         assert!(delivered > 0.9 && delivered < 1.0, "got {delivered}");
+    }
+
+    fn tail_runtime(threshold: f64) -> ServerlessRuntime {
+        use kairos_models::{ColdStartCost, ColdStartProfile, KeepAlivePolicy};
+        ServerlessRuntime::new(
+            KeepAlivePolicy::fixed(200_000).unwrap(),
+            ColdStartProfile::uniform(ColdStartCost::new(50_000, 150_000)),
+            threshold,
+        )
+    }
+
+    #[test]
+    fn serverless_floors_free_the_budget_for_hot_lanes() {
+        let mut s = service(ServingOptions::default().budget(6.0));
+        s.warm_monitors(&mix(), 3000, 3);
+        let demands = [1000.0, 0.5, 0.2];
+        let always_on = s.split_budget(&demands);
+        let mut s =
+            service(ServingOptions::default().budget(6.0)).with_serverless(tail_runtime(5.0));
+        s.warm_monitors(&mix(), 3000, 3);
+        let split = s.split_budget(&demands);
+        let floor = pool().price(pool().base_index());
+        // Without serverless the sparse lanes hold a one-base-instance floor
+        // each; with it they keep only their (tiny) demand-proportional
+        // share and the freed floors water-fill into the hot lane.
+        assert!((always_on[1] - floor).abs() < 1e-9);
+        assert!((always_on[2] - floor).abs() < 1e-9);
+        assert!(split[0] > always_on[0], "split {split:?} vs {always_on:?}");
+        assert!(split[1] < floor && split[2] < floor, "split {split:?}");
+        assert!((split.iter().sum::<f64>() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_lanes_scale_to_zero_park_and_bill_less_than_their_floors() {
+        // Model 0 (NCF) carries ~96% of the traffic; RM2 and WND are a
+        // low-QPS tail whose arrivals leave gaps far past the 200 ms
+        // keep-alive deadline.
+        let sparse_mix = MixSpec::from_shares(
+            &[0.96, 0.02, 0.02],
+            &[
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::production_default(),
+                BatchSizeDistribution::production_default(),
+            ],
+        );
+        let trace = MixedTraceSpec {
+            arrival: ArrivalProcess::Poisson { rate_qps: 60.0 },
+            mix: sparse_mix.clone(),
+            duration_s: 6.0,
+            seed: 17,
+        }
+        .generate();
+        let options = ServingOptions::default().budget(6.0).replan_every(500_000);
+        let demands = [58.0, 1.2, 1.2];
+
+        let mut baseline = service(options);
+        baseline.warm_monitors(&sparse_mix, 3000, 9);
+        let base_spec = baseline.plan_initial(&demands).unwrap();
+        let services = baseline.service_specs(&paper_calibration());
+        let base = baseline.run(&base_spec, &services, &trace);
+        assert_eq!(base.report.service.cold_starts, 0);
+
+        let mut s = service(options).with_serverless(tail_runtime(5.0));
+        s.warm_monitors(&sparse_mix, 3000, 9);
+        let spec = s.plan_initial(&demands).unwrap();
+        // Sparse lanes got exactly the one-base-instance vessel and adopted
+        // the keep-alive policy; the hot lane stayed always-on.
+        assert_eq!(spec.pools[1].config.total_instances(), 1);
+        assert_eq!(spec.pools[2].config.total_instances(), 1);
+        assert!(s
+            .lane(ModelId::new(0))
+            .controller()
+            .serverless_policy()
+            .is_none());
+        assert!(s
+            .lane(ModelId::new(1))
+            .controller()
+            .serverless_policy()
+            .is_some());
+        let outcome = s.run(&spec, &services, &trace);
+
+        // Conservation still holds and the tail lanes really parked: cold
+        // starts happened and parked time accrued.
+        assert_eq!(
+            outcome.report.completed() + outcome.report.unfinished.len(),
+            trace.len()
+        );
+        assert!(outcome.report.service.cold_starts > 0, "tail must park");
+        assert!(outcome.report.service.parked_us_sum > 0);
+        // The tail lanes bill strictly less than their always-on floors in
+        // the baseline run (parked time is unbilled).
+        let tail = |r: &SimReport| r.billed_by_model[1] + r.billed_by_model[2];
+        assert!(
+            tail(&outcome.report) < tail(&base.report),
+            "parked tail {} must undercut always-on tail {}",
+            tail(&outcome.report),
+            tail(&base.report)
+        );
+    }
+
+    #[test]
+    fn a_zero_threshold_runtime_is_bit_identical_to_no_runtime() {
+        // Threshold 0 classifies no lane as sparse: every policy slot is
+        // `None`, and the whole facade must reproduce the plain run bit for
+        // bit — the serverless lane is pay-for-use.
+        let options = ServingOptions::default()
+            .budget(6.0)
+            .replan_every(500_000)
+            .provisioning_delay(200_000);
+        let trace = MixedTraceSpec {
+            arrival: ArrivalProcess::Poisson { rate_qps: 150.0 },
+            mix: mix(),
+            duration_s: 3.0,
+            seed: 31,
+        }
+        .generate();
+        let demands = [60.0, 45.0, 45.0];
+
+        let mut plain = service(options);
+        plain.warm_monitors(&mix(), 3000, 7);
+        let spec = plain.plan_initial(&demands).unwrap();
+        let services = plain.service_specs(&paper_calibration());
+        let a = plain.run(&spec, &services, &trace);
+
+        let mut gated = service(options).with_serverless(tail_runtime(0.0));
+        gated.warm_monitors(&mix(), 3000, 7);
+        let spec2 = gated.plan_initial(&demands).unwrap();
+        assert_eq!(spec.pools.len(), spec2.pools.len());
+        for (p, q) in spec.pools.iter().zip(&spec2.pools) {
+            assert_eq!(p.config.counts(), q.config.counts());
+        }
+        let b = gated.run(&spec2, &services, &trace);
+        assert_eq!(a.report.records, b.report.records);
+        assert_eq!(a.report.unfinished, b.report.unfinished);
+        assert_eq!(
+            a.report.billed_dollars.to_bits(),
+            b.report.billed_dollars.to_bits()
+        );
+        assert_eq!(a.report.service, b.report.service);
+        assert_eq!(a.replans, b.replans);
     }
 
     #[test]

@@ -992,6 +992,10 @@ impl ServingSystem {
                     }
                 }
                 EngineEvent::StragglerOnset { .. } => {}
+                // A park is pure billing bookkeeping; the single-model loop
+                // never enables the serverless lane, but the arm keeps the
+                // match exhaustive.
+                EngineEvent::InstanceParked { .. } => {}
             }
             // Correlated faults demand the fastest reaction: replan the
             // moment an outage begins or lifts, a shortage toggles, or a

@@ -160,6 +160,11 @@ pub enum FaultError {
         /// The offending multiplier.
         slowdown: f64,
     },
+    /// A stochastic process rate was negative or not finite.
+    InvalidRate {
+        /// The offending rate, in events per hour.
+        rate_per_hour: f64,
+    },
 }
 
 impl fmt::Display for FaultError {
@@ -171,6 +176,12 @@ impl fmt::Display for FaultError {
             }
             FaultError::InvalidSlowdown { slowdown } => {
                 write!(f, "straggler slowdown must lie in (0, 1], got {slowdown}")
+            }
+            FaultError::InvalidRate { rate_per_hour } => {
+                write!(
+                    f,
+                    "stochastic fault rate must be finite and non-negative, got {rate_per_hour}"
+                )
             }
         }
     }
@@ -232,6 +243,52 @@ impl FaultProcess {
     /// Panics if an event fails validation.
     pub fn new(events: Vec<FaultEvent>) -> Self {
         Self::try_new(events).expect("invalid fault process")
+    }
+
+    /// A **seeded, deterministic** Poisson outage calendar: zone outages of
+    /// `domain` arrive as a Poisson process of `rate_per_hour` over
+    /// `[0, horizon_us)`, each lasting `duration_us`.  The inter-arrival
+    /// gaps are drawn from a splitmix64 stream keyed by `seed` alone — no
+    /// global RNG, no clock — so the same `(rate, seed, horizon, duration)`
+    /// always materializes the identical calendar, and a rate of `0` yields
+    /// an *empty* process that leaves an attached engine bit-identical to
+    /// one with no faults at all (property-tested in
+    /// `kairos-sim/tests/proptest_fault.rs`).
+    pub fn poisson(
+        rate_per_hour: f64,
+        seed: u64,
+        horizon_us: FaultTimeUs,
+        duration_us: FaultTimeUs,
+        domain: FailureDomain,
+    ) -> Result<Self, FaultError> {
+        if !(rate_per_hour.is_finite() && rate_per_hour >= 0.0) {
+            return Err(FaultError::InvalidRate { rate_per_hour });
+        }
+        let mut events = Vec::new();
+        if rate_per_hour > 0.0 {
+            let mean_gap_us = 3_600_000_000.0 / rate_per_hour;
+            let mut state = seed;
+            let mut at = 0.0f64;
+            loop {
+                // splitmix64 step, mapped to a uniform draw in (0, 1].
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let uniform = ((z >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+                at += -uniform.ln() * mean_gap_us;
+                if at >= horizon_us as f64 {
+                    break;
+                }
+                events.push(FaultEvent::ZoneOutage {
+                    domain: domain.clone(),
+                    start_us: at as FaultTimeUs,
+                    duration_us,
+                });
+            }
+        }
+        Self::try_new(events)
     }
 
     /// Overrides the outage notice window.
@@ -377,6 +434,55 @@ mod tests {
         assert!(FaultProcess::default().is_empty());
         assert_eq!(events[0].at_us(), 1_000);
         assert_eq!(events[1].at_us(), 500);
+    }
+
+    #[test]
+    fn poisson_calendar_is_seeded_and_deterministic() {
+        let hour = 3_600_000_000u64;
+        let a =
+            FaultProcess::poisson(4.0, 7, 3 * hour, 60_000_000, FailureDomain::global()).unwrap();
+        let b =
+            FaultProcess::poisson(4.0, 7, 3 * hour, 60_000_000, FailureDomain::global()).unwrap();
+        assert_eq!(a, b, "same seed, same calendar");
+        assert!(!a.is_empty(), "a 4/hour process over 3 hours fires");
+        // Roughly Poisson: expect ~12 events, accept a wide band.
+        assert!((3..=30).contains(&a.events().len()), "{}", a.events().len());
+        // Every event is an in-horizon outage with the requested shape.
+        for event in a.events() {
+            match event {
+                FaultEvent::ZoneOutage {
+                    start_us,
+                    duration_us,
+                    ..
+                } => {
+                    assert!(*start_us < 3 * hour);
+                    assert_eq!(*duration_us, 60_000_000);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // A different seed draws a different calendar.
+        let c =
+            FaultProcess::poisson(4.0, 8, 3 * hour, 60_000_000, FailureDomain::global()).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_rate_zero_is_the_empty_process() {
+        let p = FaultProcess::poisson(0.0, 42, 3_600_000_000, 1, FailureDomain::global()).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p, FaultProcess::default());
+        assert_eq!(
+            FaultProcess::poisson(-1.0, 0, 1, 1, FailureDomain::global()).unwrap_err(),
+            FaultError::InvalidRate {
+                rate_per_hour: -1.0
+            }
+        );
+        assert!(FaultError::InvalidRate {
+            rate_per_hour: -1.0
+        }
+        .to_string()
+        .contains("non-negative"));
     }
 
     #[test]

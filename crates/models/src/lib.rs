@@ -40,6 +40,7 @@ pub mod latency;
 pub mod market;
 pub mod mlmodel;
 pub mod predictor;
+pub mod serverless;
 pub mod sharing;
 pub mod variant;
 
@@ -57,6 +58,9 @@ pub use market::{
 };
 pub use mlmodel::{catalog, spec, ModelKind, ModelSpec, MAX_BATCH_SIZE};
 pub use predictor::{OnlinePredictor, PredictorBank};
+pub use serverless::{
+    ColdStartCost, ColdStartProfile, IdleHistogram, KeepAlivePolicy, ServerlessError,
+};
 pub use sharing::{SharingError, ThroughputDegradation};
 pub use variant::{EffectiveModel, ModelVariant, VariantCatalog, VariantError};
 

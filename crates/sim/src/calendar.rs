@@ -59,6 +59,12 @@ pub(crate) enum TimedKind {
     /// Generation-stamped like [`Self::FlexCompletion`]: firing the batch
     /// early (on reaching the size cap) invalidates the pending timeout.
     BatchTimeout,
+    /// The serverless keep-alive deadline of an idle `instance_index`: on
+    /// firing, the instance parks (stops billing) until the next dispatch
+    /// wakes it with a cold start.  Generation-stamped like
+    /// [`Self::FlexCompletion`]: a dispatch landing before the deadline
+    /// invalidates the pending timer.
+    KeepAliveExpiry,
 }
 
 /// A timed (non-arrival) engine event: a completion, a `Ready` boundary, a

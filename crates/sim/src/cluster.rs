@@ -229,12 +229,19 @@ impl ClusterSpec {
 ///                   ▼                         ▼
 ///                Retired                  Preempted
 ///       (index kept for stability, costs nothing)
+///
+/// Active ◄──────────► Parked (serverless lane only: keep-alive expired,
+///    dispatch pays a       unbilled, still dispatchable — the next
+///    cold start to wake    dispatch reactivates it after the cold start)
 /// ```
 ///
 /// `Retired` is the graceful exit (the operator chose to give the instance
 /// back); `Preempted` is the forced one (the cloud reclaimed it).  Both are
 /// terminal and stop billing; they are kept distinct so preemption
-/// accounting never conflates the two.
+/// accounting never conflates the two.  `Parked` is the serverless lane's
+/// scale-to-zero state: the container is torn down (no billing) but the slot
+/// remains schedulable, and a dispatch wakes it by paying the cold-start
+/// latency before service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InstanceLifecycle {
     /// Accepting dispatches (possibly still provisioning; queued work waits
@@ -251,6 +258,11 @@ pub enum InstanceLifecycle {
     /// Forcibly terminated by the market; any work it still held was
     /// requeued to the central queue.
     Preempted,
+    /// Serverless lane: the container idled past its keep-alive deadline and
+    /// was torn down.  The slot bills nothing while parked but remains
+    /// dispatchable — the next dispatch reactivates it after paying the
+    /// cold-start latency.
+    Parked,
 }
 
 /// One simulated compute instance.
@@ -291,9 +303,20 @@ impl SimInstance {
         self.local_queue.len() + usize::from(self.serving.is_some())
     }
 
-    /// Whether the scheduler may dispatch new work to this instance.
+    /// Whether the scheduler may dispatch new work to this instance.  Parked
+    /// instances remain dispatchable: the engine wakes them with a cold
+    /// start.
     pub fn accepts_dispatches(&self) -> bool {
-        self.lifecycle == InstanceLifecycle::Active
+        matches!(
+            self.lifecycle,
+            InstanceLifecycle::Active | InstanceLifecycle::Parked
+        )
+    }
+
+    /// Whether the instance is parked (serverless scale-to-zero: unbilled
+    /// but still dispatchable).
+    pub fn is_parked(&self) -> bool {
+        self.lifecycle == InstanceLifecycle::Parked
     }
 
     /// Whether the instance has fully left service gracefully.
@@ -544,13 +567,14 @@ impl Cluster {
 
     /// Hourly cost of the cluster at the pool's listed prices: every
     /// instance that has not terminally left service (active, provisioning,
-    /// draining or awaiting its preemption deadline) is billed.  Time- and
+    /// draining or awaiting its preemption deadline) is billed.  Parked
+    /// (serverless scale-to-zero) instances bill nothing.  Time- and
     /// market-aware dollar accounting lives in
     /// [`SimReport::billed_dollars`](crate::SimReport::billed_dollars).
     pub fn hourly_cost(&self) -> f64 {
         self.instances
             .iter()
-            .filter(|inst| !inst.is_terminated())
+            .filter(|inst| !inst.is_terminated() && !inst.is_parked())
             .map(|inst| self.pool.price(inst.type_index))
             .sum()
     }

@@ -55,6 +55,7 @@ pub mod context;
 pub mod engine;
 pub mod flex;
 pub mod scheduler;
+pub mod serverless;
 pub mod sharded;
 pub mod stats;
 
@@ -72,5 +73,6 @@ pub use flex::{BatchingOptions, SharingMode, SharingOptions};
 pub use scheduler::{
     idle_order, Dispatch, FcfsScheduler, InstanceView, Scheduler, SchedulingContext,
 };
+pub use serverless::ServerlessConfig;
 pub use sharded::ShardedEngine;
 pub use stats::{ModelReport, OutageRecord, QueryRecord, ServiceStats, SimReport, UnfinishedQuery};

@@ -62,9 +62,10 @@ pub struct UnfinishedQuery {
 }
 
 /// Counters of the flexible service layer (fair throughput sharing + dynamic
-/// batching) and the calendar's lazy-deletion bookkeeping.  All zeros on the
-/// legacy scalar service path except the `calendar_scheduled` count, which
-/// every engine run produces.  Every field sums across shard merges: flex
+/// batching), the serverless container lane (cold starts, parked time), and
+/// the calendar's lazy-deletion bookkeeping.  All zeros on the legacy scalar
+/// service path except the `calendar_scheduled` count, which every engine
+/// run produces.  Every field sums across shard merges: flex and serverless
 /// state is per-instance and instances belong to exactly one model lane, so
 /// the sharded engine's per-lane counters partition the combined run's.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,6 +90,16 @@ pub struct ServiceStats {
     /// Total time members spent in forming windows before their batch
     /// fired, in microseconds.
     pub batch_wait_us_sum: u64,
+    /// Dispatches that found their target container parked and paid a cold
+    /// start (serverless lane only).
+    pub cold_starts: u64,
+    /// Total cold-start latency (container init + model load) paid before
+    /// service across all cold dispatches, in microseconds.
+    pub cold_start_wait_us_sum: u64,
+    /// Total time instances spent parked — present in the cluster but
+    /// unbilled — in microseconds.  The billing integral excludes exactly
+    /// these intervals.
+    pub parked_us_sum: u64,
 }
 
 impl ServiceStats {
@@ -102,7 +113,19 @@ impl ServiceStats {
             batched_queries: self.batched_queries + other.batched_queries,
             batch_fill_sum: self.batch_fill_sum + other.batch_fill_sum,
             batch_wait_us_sum: self.batch_wait_us_sum + other.batch_wait_us_sum,
+            cold_starts: self.cold_starts + other.cold_starts,
+            cold_start_wait_us_sum: self.cold_start_wait_us_sum + other.cold_start_wait_us_sum,
+            parked_us_sum: self.parked_us_sum + other.parked_us_sum,
         }
+    }
+
+    /// Mean cold-start latency paid per cold dispatch, in microseconds (0
+    /// when nothing ever started cold).
+    pub fn mean_cold_start_wait_us(&self) -> f64 {
+        if self.cold_starts == 0 {
+            return 0.0;
+        }
+        self.cold_start_wait_us_sum as f64 / self.cold_starts as f64
     }
 
     /// Mean fused batch size over fired batches (0 when nothing batched).
@@ -1204,6 +1227,7 @@ mod tests {
         let empty = ServiceStats::default();
         assert_eq!(empty.mean_batch_fill(), 0.0);
         assert_eq!(empty.mean_batch_wait_us(), 0.0);
+        assert_eq!(empty.mean_cold_start_wait_us(), 0.0);
         let stats = ServiceStats {
             calendar_scheduled: 10,
             calendar_cancelled: 4,
@@ -1212,12 +1236,19 @@ mod tests {
             batched_queries: 10,
             batch_fill_sum: 100,
             batch_wait_us_sum: 5_000,
+            cold_starts: 5,
+            cold_start_wait_us_sum: 2_500_000,
+            parked_us_sum: 9_000_000,
         };
         assert_eq!(stats.mean_batch_fill(), 25.0);
         assert_eq!(stats.mean_batch_wait_us(), 500.0);
+        assert_eq!(stats.mean_cold_start_wait_us(), 500_000.0);
         let doubled = stats.merged(stats);
         assert_eq!(doubled.batch_fill_sum, 200);
         assert_eq!(doubled.mean_batch_fill(), 25.0);
+        assert_eq!(doubled.cold_starts, 10);
+        assert_eq!(doubled.cold_start_wait_us_sum, 5_000_000);
+        assert_eq!(doubled.parked_us_sum, 18_000_000);
     }
 
     #[test]
@@ -1286,6 +1317,9 @@ mod tests {
                 batched_queries: 9 + m as u64,
                 batch_fill_sum: 40 + m as u64,
                 batch_wait_us_sum: 1_000 + m as u64,
+                cold_starts: 2 + m as u64,
+                cold_start_wait_us_sum: 500_000 * (m as u64 + 1),
+                parked_us_sum: 7_000 + m as u64,
             },
         }
     }
@@ -1382,6 +1416,9 @@ mod tests {
         assert_eq!(merged.service, a.service.merged(b.service));
         assert_eq!(merged.service.calendar_scheduled, 101);
         assert_eq!(merged.service.batches_fired, 9);
+        assert_eq!(merged.service.cold_starts, 5);
+        assert_eq!(merged.service.cold_start_wait_us_sum, 1_500_000);
+        assert_eq!(merged.service.parked_us_sum, 14_001);
         // Records sorted by (completion, arrival, id); unfinished by
         // (arrival, id).
         assert!(merged

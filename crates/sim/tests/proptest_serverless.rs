@@ -1,0 +1,191 @@
+//! Property-based tests of the serverless lane.
+//!
+//! 1. **Disabled-path bit-identity** — a [`ServerlessConfig`] with every
+//!    lane's policy set to `None` is the legacy engine, bit for bit, on
+//!    random multi-model traces against random multi-model cluster shapes:
+//!    records, unfinished queries, events processed, billing (compared by
+//!    f64 bit pattern) and the service counters all match
+//!    [`SimEngine::new_multi`] without the builder call.  The serverless
+//!    path must be pay-for-use.
+//! 2. **Shard transparency of the disabled path** — the all-`None` combined
+//!    engine also matches the (serverless-unaware) [`ShardedEngine`] under
+//!    rayon pools of 1, 2, 4 and 8 threads, so the sharded replay contract
+//!    survives the builder opt-in.
+//! 3. **Enabled-path conservation & accounting** — with random fixed/hybrid
+//!    keep-alive policies every offered query still lands in `records` or
+//!    `unfinished` exactly once, the cold-start wait sum is exactly
+//!    `cold_starts` times the uniform cold-start cost, parked time never
+//!    exceeds the billing horizon summed over instances, and the calendar's
+//!    lazy deletion never skips an entry it did not first cancel.
+
+use kairos_models::{
+    calibration::paper_calibration, ec2, ColdStartCost, ColdStartProfile, Config, KeepAlivePolicy,
+    ModelKind, PoolSpec,
+};
+use kairos_sim::{
+    ClusterSpec, FcfsScheduler, Scheduler, ServerlessConfig, ServiceSpec, ShardedEngine, SimEngine,
+    SimReport, SimulationOptions,
+};
+use kairos_workload::{ModelId, Query, Trace};
+use proptest::prelude::*;
+
+/// The model kinds backing ids 0..3 in these tests.
+const KINDS: [ModelKind; 3] = [ModelKind::Ncf, ModelKind::Wnd, ModelKind::Rm2];
+
+fn services(n: usize) -> Vec<ServiceSpec> {
+    KINDS[..n]
+        .iter()
+        .map(|&k| ServiceSpec::new(k, paper_calibration()))
+        .collect()
+}
+
+fn fcfs(_: ModelId) -> Box<dyn Scheduler> {
+    Box::new(FcfsScheduler::new())
+}
+
+/// Random model-tagged queries with gaps long enough that keep-alive
+/// deadlines actually fire between arrivals on the enabled path.
+fn multi_trace(num_models: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0..num_models, 1u32..900, 1u64..3_000_000), 1..80).prop_map(|raw| {
+        let mut t = 0u64;
+        let queries = raw
+            .into_iter()
+            .enumerate()
+            .map(|(id, (model, batch, gap))| {
+                t += gap;
+                Query::for_model(id as u64, ModelId::new(model), batch, t)
+            })
+            .collect();
+        Trace::from_queries(queries)
+    })
+}
+
+/// Random per-model sub-cluster configs over the 4-type paper pool; every
+/// model gets at least one instance somewhere so its queries can complete.
+fn multi_spec(num_models: usize) -> impl Strategy<Value = ClusterSpec> {
+    prop::collection::vec((0usize..3, 0usize..2, 0usize..2, 0usize..2), num_models).prop_map(
+        |counts| {
+            ClusterSpec::from_configs(
+                counts
+                    .into_iter()
+                    .map(|(a, b, c, d)| Config::new(vec![a.max(1), b, c, d]))
+                    .collect(),
+            )
+        },
+    )
+}
+
+/// A random per-lane policy: always-on, fixed, or hybrid.
+fn lane_policy() -> impl Strategy<Value = Option<KeepAlivePolicy>> {
+    (
+        0usize..3,
+        1_000u64..10_000_000,
+        (100_000u64..2_000_000, 2usize..32, 0.5f64..1.0),
+    )
+        .prop_map(|(variant, idle, (w, n, p))| match variant {
+            0 => None,
+            1 => Some(KeepAlivePolicy::fixed(idle).unwrap()),
+            _ => Some(KeepAlivePolicy::hybrid(w, n, p).unwrap()),
+        })
+}
+
+/// One full random case: model count, tagged trace, cluster spec, seed.
+fn multi_case() -> impl Strategy<Value = (usize, Trace, ClusterSpec, u64)> {
+    (1usize..=3).prop_flat_map(|n| (Just(n), multi_trace(n), multi_spec(n), 0u64..1_000))
+}
+
+fn assert_reports_identical(a: &SimReport, b: &SimReport) {
+    assert_eq!(a.scheduler, b.scheduler);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.unfinished, b.unfinished);
+    assert_eq!(a.offered, b.offered);
+    assert_eq!(a.horizon_us, b.horizon_us);
+    assert_eq!(a.qos_us, b.qos_us);
+    assert_eq!(a.qos_by_model, b.qos_by_model);
+    assert_eq!(a.billed_dollars.to_bits(), b.billed_dollars.to_bits());
+    assert_eq!(a.billed_by_model.len(), b.billed_by_model.len());
+    for (x, y) in a.billed_by_model.iter().zip(&b.billed_by_model) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.service, b.service);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An all-`None` policy vector is the legacy engine bit for bit, and
+    /// the legacy sharded engine reproduces it under 1, 2, 4 and 8 rayon
+    /// threads: opting the builder in without opting a lane in costs
+    /// nothing, on any thread count.
+    #[test]
+    fn all_none_policies_are_bit_identical_to_the_legacy_engine_and_shards(
+        case in multi_case(),
+    ) {
+        let (n, trace, spec, seed) = case;
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let svc = services(n);
+        let svc_refs: Vec<&ServiceSpec> = svc.iter().collect();
+        let opts = SimulationOptions { seed };
+        let mut plain_sched = FcfsScheduler::new();
+        let plain =
+            SimEngine::new_multi(&pool, &spec, &svc_refs, &trace, &mut plain_sched, &opts).run();
+        let mut none_sched = FcfsScheduler::new();
+        let none =
+            SimEngine::new_multi(&pool, &spec, &svc_refs, &trace, &mut none_sched, &opts)
+                .with_serverless(ServerlessConfig {
+                    policies: vec![None; n],
+                    cold_start: ColdStartProfile::uniform(ColdStartCost::new(250_000, 750_000)),
+                })
+                .run();
+        assert_reports_identical(&plain, &none);
+
+        let sharded = ShardedEngine::new(&pool, &spec, &svc_refs, &opts);
+        for threads in [1usize, 2, 4, 8] {
+            let pool_n = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let report = pool_n.install(|| sharded.run(&trace, fcfs));
+            assert_reports_identical(&none, &report);
+        }
+    }
+
+    /// Enabled-path accounting on random policy mixes: conservation holds,
+    /// cold-start bookkeeping is exact for a uniform profile, parked time
+    /// fits inside the billing horizon, and lazy deletion stays consistent.
+    #[test]
+    fn serverless_runs_conserve_queries_and_account_cold_starts(
+        case in multi_case(),
+        lane_policies_seed in prop::collection::vec(lane_policy(), 3),
+    ) {
+        let (n, trace, spec, seed) = case;
+        let lane_policies: Vec<Option<KeepAlivePolicy>> =
+            lane_policies_seed.into_iter().take(n).collect();
+        let cold = ColdStartCost::new(150_000, 350_000);
+        let pool = PoolSpec::new(ec2::paper_pool());
+        let svc = services(n);
+        let svc_refs: Vec<&ServiceSpec> = svc.iter().collect();
+        let opts = SimulationOptions { seed };
+        let mut scheduler = FcfsScheduler::new();
+        let report =
+            SimEngine::new_multi(&pool, &spec, &svc_refs, &trace, &mut scheduler, &opts)
+                .with_serverless(ServerlessConfig {
+                    policies: lane_policies,
+                    cold_start: ColdStartProfile::uniform(cold),
+                })
+                .run();
+        prop_assert_eq!(report.records.len() + report.unfinished.len(), report.offered);
+        for r in &report.records {
+            prop_assert!(r.start_us >= r.arrival_us);
+            prop_assert!(r.completion_us > r.start_us);
+        }
+        prop_assert_eq!(
+            report.service.cold_start_wait_us_sum,
+            report.service.cold_starts * cold.total_us()
+        );
+        let instances: usize = spec.pools.iter().map(|p| p.config.total_instances()).sum();
+        prop_assert!(report.service.parked_us_sum <= report.horizon_us * instances as u64);
+        prop_assert!(report.service.calendar_stale_popped <= report.service.calendar_cancelled);
+    }
+}

@@ -35,9 +35,38 @@ pub struct MixComponent {
 }
 
 /// A per-model query mix: rate shares plus batch distributions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Mixes scale to thousands of components: construction sorts model ids
+/// once for the duplicate check (instead of the quadratic pairwise scan)
+/// and precomputes a cumulative-share table, so [`MixSpec::sample`] is one
+/// binary search rather than a linear walk over every component.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MixSpec {
     components: Vec<MixComponent>,
+    /// Prefix sums of the component shares, in declaration order:
+    /// `cumulative_shares[i]` is the sum of shares `0..=i`.  Sampling binary
+    /// searches this table, which picks exactly the component the legacy
+    /// linear subtraction scan picked for the same RNG draw.
+    cumulative_shares: Vec<f64>,
+}
+
+// Only the components travel over the wire; the cumulative-share table is
+// rebuilt (and the invariants re-checked) on the way back in, so the
+// serialized form is unchanged from the pre-table layout.
+impl Serialize for MixSpec {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![("components".to_string(), self.components.to_value())])
+    }
+}
+
+impl Deserialize for MixSpec {
+    fn from_value(value: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::json::Error::new("MixSpec: expected an object"))?;
+        let components: Vec<MixComponent> = serde::de_field(entries, "components")?;
+        Ok(MixSpec::new(components))
+    }
 }
 
 impl MixSpec {
@@ -52,27 +81,36 @@ impl MixSpec {
             components.iter().all(|c| c.share > 0.0),
             "mix shares must be positive"
         );
-        for (i, a) in components.iter().enumerate() {
-            assert!(
-                components[i + 1..].iter().all(|b| b.model != a.model),
-                "duplicate model {} in mix",
-                a.model
-            );
+        // Sort-based duplicate check: O(n log n) over the model indices, so
+        // a several-thousand-entry mix constructs instantly.
+        let mut ids: Vec<usize> = components.iter().map(|c| c.model.index()).collect();
+        ids.sort_unstable();
+        if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
+            panic!("duplicate model {} in mix", ModelId::new(dup[0]));
         }
-        Self { components }
+        let mut acc = 0.0;
+        let cumulative_shares = components
+            .iter()
+            .map(|c| {
+                acc += c.share;
+                acc
+            })
+            .collect();
+        Self {
+            components,
+            cumulative_shares,
+        }
     }
 
     /// A single-model mix: the thin wrapper the single-model constructors
     /// reduce to.  Sampling it consumes exactly the RNG draws of sampling
     /// `batch_sizes` directly.
     pub fn single(model: ModelId, batch_sizes: BatchSizeDistribution) -> Self {
-        Self {
-            components: vec![MixComponent {
-                model,
-                share: 1.0,
-                batch_sizes,
-            }],
-        }
+        Self::new(vec![MixComponent {
+            model,
+            share: 1.0,
+            batch_sizes,
+        }])
     }
 
     /// A mix over models `0..shares.len()` with one batch distribution per
@@ -120,33 +158,41 @@ impl MixSpec {
             .unwrap_or(0)
     }
 
+    /// Total (unnormalized) share mass of the mix.
+    fn total_share(&self) -> f64 {
+        *self
+            .cumulative_shares
+            .last()
+            .expect("a mix has at least one component")
+    }
+
     /// Normalized rate share of a model (0 when absent from the mix).
     pub fn rate_share(&self, model: ModelId) -> f64 {
-        let total: f64 = self.components.iter().map(|c| c.share).sum();
         self.components
             .iter()
             .find(|c| c.model == model)
-            .map(|c| c.share / total)
+            .map(|c| c.share / self.total_share())
             .unwrap_or(0.0)
     }
 
     /// Draws one query's `(model, batch size)`.  Single-entry mixes skip the
     /// model draw entirely, preserving the single-model RNG stream.
+    ///
+    /// Multi-entry mixes consume one uniform draw and binary search the
+    /// cumulative-share table — O(log n) per query.  The search lands on the
+    /// first component whose cumulative share exceeds the drawn point, which
+    /// is exactly the component the old linear subtraction scan selected, so
+    /// every existing trace regenerates bit-identically.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (ModelId, u32) {
         let component = if self.components.len() == 1 {
             &self.components[0]
         } else {
-            let total: f64 = self.components.iter().map(|c| c.share).sum();
-            let mut point = rng.gen::<f64>() * total;
-            let mut picked = &self.components[self.components.len() - 1];
-            for c in &self.components {
-                if point < c.share {
-                    picked = c;
-                    break;
-                }
-                point -= c.share;
-            }
-            picked
+            let point = rng.gen::<f64>() * self.total_share();
+            let index = self
+                .cumulative_shares
+                .partition_point(|&cum| cum <= point)
+                .min(self.components.len() - 1);
+            &self.components[index]
         };
         (component.model, component.batch_sizes.sample(rng))
     }
@@ -310,6 +356,66 @@ mod tests {
         }
         let union: Vec<Query> = shards.iter().flat_map(|s| s.queries.clone()).collect();
         assert_eq!(Trace::from_queries(union).queries, combined.queries);
+    }
+
+    #[test]
+    fn binary_search_sampling_matches_the_linear_scan() {
+        // The cumulative-table binary search must pick exactly the component
+        // the legacy linear subtraction scan picked for the same draw.
+        fn linear_pick(components: &[MixComponent], u: f64) -> ModelId {
+            let total: f64 = components.iter().map(|c| c.share).sum();
+            let mut point = u * total;
+            let mut picked = &components[components.len() - 1];
+            for c in components {
+                if point < c.share {
+                    picked = c;
+                    break;
+                }
+                point -= c.share;
+            }
+            picked.model
+        }
+        let mut rng = StdRng::seed_from_u64(12345);
+        let shares: Vec<f64> = (0..2_000).map(|_| rng.gen::<f64>() + 1e-3).collect();
+        let dists: Vec<BatchSizeDistribution> = shares
+            .iter()
+            .map(|_| BatchSizeDistribution::Fixed(1))
+            .collect();
+        let mix = MixSpec::from_shares(&shares, &dists);
+        for _ in 0..20_000 {
+            // Quantize the draw exactly as the standard f64 distribution
+            // does ((bits >> 11) / 2^53), so both algorithms see the same u.
+            let bits = (rng.gen::<f64>() * (1u64 << 53) as f64) as u64;
+            let u = bits as f64 * (1.0 / (1u64 << 53) as f64);
+            let mut probe = Replay(bits << 11);
+            let (model, _) = mix.sample(&mut probe);
+            assert_eq!(model, linear_pick(mix.components(), u));
+        }
+    }
+
+    /// An `Rng` whose every draw is one fixed `u64` — enough to replay a
+    /// single model pick through both selection algorithms.
+    struct Replay(u64);
+    impl rand::RngCore for Replay {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn thousands_of_components_construct_and_sample_fast() {
+        let shares: Vec<f64> = (0..4_000).map(|i| 1.0 + (i % 7) as f64).collect();
+        let dists: Vec<BatchSizeDistribution> = (0..4_000)
+            .map(|i| BatchSizeDistribution::Fixed(1 + (i % 32) as u32))
+            .collect();
+        let mix = MixSpec::from_shares(&shares, &dists);
+        assert_eq!(mix.num_models(), 4_000);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let (model, batch) = mix.sample(&mut rng);
+            assert!(model.index() < 4_000);
+            assert_eq!(batch, 1 + (model.index() % 32) as u32);
+        }
     }
 
     #[test]

@@ -23,12 +23,27 @@ use std::collections::VecDeque;
 pub const DEFAULT_WINDOW: usize = 10_000;
 
 /// Sliding window over the `(model, batch size)` of the most recent queries.
+///
+/// Beyond the window itself the monitor keeps **index-mapped sparse**
+/// per-model structures, sized for mixes with thousands of mostly-idle
+/// lanes: each model's batch sizes live in their own ring (so
+/// [`QueryMonitor::snapshot_for`] copies one lane instead of filtering the
+/// whole window), and the set of models with at least one entry is a sorted
+/// sparse index (so [`QueryMonitor::mix`] walks the active lanes, not every
+/// allocated slot).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueryMonitor {
     capacity: usize,
     window: VecDeque<(ModelId, u32)>,
     /// Incrementally maintained count of window entries per model index.
     model_counts: Vec<usize>,
+    /// Per-model batch sizes, oldest first.  Eviction order within one model
+    /// follows window order, so popping this ring's front on a window
+    /// eviction keeps the two views consistent.
+    per_model: Vec<VecDeque<u32>>,
+    /// Sorted indices of models with a nonzero window count — the sparse
+    /// active set behind [`Self::mix`].
+    active: Vec<usize>,
 }
 
 impl QueryMonitor {
@@ -44,6 +59,8 @@ impl QueryMonitor {
             capacity,
             window: VecDeque::with_capacity(capacity.min(16_384)),
             model_counts: Vec::new(),
+            per_model: Vec::new(),
+            active: Vec::new(),
         }
     }
 
@@ -59,13 +76,28 @@ impl QueryMonitor {
     pub fn observe_tagged(&mut self, model: ModelId, batch_size: u32) {
         if self.window.len() == self.capacity {
             if let Some((evicted, _)) = self.window.pop_front() {
-                self.model_counts[evicted.index()] -= 1;
+                let e = evicted.index();
+                self.model_counts[e] -= 1;
+                self.per_model[e].pop_front();
+                if self.model_counts[e] == 0 {
+                    if let Ok(pos) = self.active.binary_search(&e) {
+                        self.active.remove(pos);
+                    }
+                }
             }
         }
-        if self.model_counts.len() <= model.index() {
-            self.model_counts.resize(model.index() + 1, 0);
+        let m = model.index();
+        if self.model_counts.len() <= m {
+            self.model_counts.resize(m + 1, 0);
+            self.per_model.resize_with(m + 1, VecDeque::new);
         }
-        self.model_counts[model.index()] += 1;
+        if self.model_counts[m] == 0 {
+            if let Err(pos) = self.active.binary_search(&m) {
+                self.active.insert(pos, m);
+            }
+        }
+        self.model_counts[m] += 1;
+        self.per_model[m].push_back(batch_size);
         self.window.push_back((model, batch_size));
     }
 
@@ -88,19 +120,30 @@ impl QueryMonitor {
 
     /// The observed per-model mix of the window: every model with at least
     /// one recent query, with its fraction of the window, in model-index
-    /// order.  Empty when nothing has been observed.  O(models) — the counts
-    /// behind it are maintained incrementally at observe/evict time.
+    /// order.  Empty when nothing has been observed.  O(active models) — the
+    /// sparse active set is maintained at observe/evict time, so a window
+    /// whose mix touches a handful of a few thousand allocated lanes never
+    /// scans the idle ones.
     pub fn mix(&self) -> Vec<(ModelId, f64)> {
         let total = self.window.len();
         if total == 0 {
             return Vec::new();
         }
-        self.model_counts
+        self.active
             .iter()
-            .enumerate()
-            .filter(|(_, &count)| count > 0)
-            .map(|(index, &count)| (ModelId::new(index), count as f64 / total as f64))
+            .map(|&index| {
+                (
+                    ModelId::new(index),
+                    self.model_counts[index] as f64 / total as f64,
+                )
+            })
             .collect()
+    }
+
+    /// Sorted indices of models with at least one query in the window — the
+    /// sparse iteration order for callers that fan out per-model work.
+    pub fn active_models(&self) -> &[usize] {
+        &self.active
     }
 
     /// Number of window entries targeting `model` (O(1)).
@@ -175,12 +218,13 @@ impl QueryMonitor {
 
     /// The batch sizes of one model's queries in the window (oldest first) —
     /// the per-model sample a per-model planner hands to its estimator.
+    /// O(entries for that model): the per-model rings are maintained at
+    /// observe/evict time, so this never filters the full window.
     pub fn snapshot_for(&self, model: ModelId) -> Vec<u32> {
-        self.window
-            .iter()
-            .filter(|&&(m, _)| m == model)
-            .map(|&(_, b)| b)
-            .collect()
+        self.per_model
+            .get(model.index())
+            .map(|ring| ring.iter().copied().collect())
+            .unwrap_or_default()
     }
 }
 
@@ -259,6 +303,40 @@ mod tests {
         assert_eq!(m.mix(), vec![(ModelId::DEFAULT, 1.0)]);
         assert_eq!(m.snapshot(), vec![5, 6]);
         assert_eq!(m.iter().collect::<Vec<_>>(), vec![5, 6]);
+    }
+
+    #[test]
+    fn sparse_lanes_track_the_window_across_eviction() {
+        // A thousand-lane id space with three live lanes: the active set
+        // stays sparse and the per-model rings match a full-window filter.
+        let mut m = QueryMonitor::with_capacity(6);
+        for (lane, batch) in [(999, 1u32), (7, 2), (999, 3), (400, 4), (7, 5), (999, 6)] {
+            m.observe_tagged(ModelId::new(lane), batch);
+        }
+        assert_eq!(m.active_models(), &[7, 400, 999]);
+        assert_eq!(m.snapshot_for(ModelId::new(999)), vec![1, 3, 6]);
+        assert_eq!(m.snapshot_for(ModelId::new(7)), vec![2, 5]);
+        assert_eq!(m.snapshot_for(ModelId::new(123)), Vec::<u32>::new());
+        // The window is full: the next observation evicts (999, 1).
+        m.observe_tagged(ModelId::new(400), 7);
+        assert_eq!(m.snapshot_for(ModelId::new(999)), vec![3, 6]);
+        assert_eq!(m.snapshot_for(ModelId::new(400)), vec![4, 7]);
+        // Drain lane 7 entirely: it leaves the active set.
+        m.observe_tagged(ModelId::new(400), 8); // evicts (7, 2)
+        m.observe_tagged(ModelId::new(400), 9); // evicts (999, 3)
+        m.observe_tagged(ModelId::new(400), 10); // evicts (400, 4)
+        m.observe_tagged(ModelId::new(400), 11); // evicts (7, 5)
+        assert_eq!(m.model_count(ModelId::new(7)), 0);
+        assert_eq!(m.active_models(), &[400, 999]);
+        // Every sparse view still agrees with the ground-truth window.
+        for lane in [7usize, 400, 999] {
+            let expected: Vec<u32> = m
+                .iter_tagged()
+                .filter(|(model, _)| model.index() == lane)
+                .map(|(_, b)| b)
+                .collect();
+            assert_eq!(m.snapshot_for(ModelId::new(lane)), expected, "lane {lane}");
+        }
     }
 
     #[test]

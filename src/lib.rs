@@ -46,20 +46,21 @@ pub mod prelude {
     };
     pub use kairos_core::{
         InferenceService, KairosController, KairosPlanner, KairosScheduler, MarketState,
-        MultiServingOutcome, ServingOptions, ServingSystem, ThroughputEstimator, VariantChoice,
-        VariantPlanner, VariantRuntime, VariantSwitch,
+        MultiServingOutcome, ServerlessRuntime, ServingOptions, ServingSystem, ThroughputEstimator,
+        VariantChoice, VariantPlanner, VariantRuntime, VariantSwitch,
     };
     pub use kairos_models::{
-        calibration::paper_calibration, ec2, Config, ConstantMarket, EffectiveModel, FailureDomain,
-        FaultEvent, FaultProcess, LatencyTable, Market, MarketEvent, ModelKind, ModelVariant,
-        Offering, OfferingCatalog, PoolSpec, PreemptionProcess, PriceTrace, PurchaseOption,
-        ThroughputDegradation, TraceMarket, VariantCatalog, VariantError,
+        calibration::paper_calibration, ec2, ColdStartCost, ColdStartProfile, Config,
+        ConstantMarket, EffectiveModel, FailureDomain, FaultEvent, FaultProcess, KeepAlivePolicy,
+        LatencyTable, Market, MarketEvent, ModelKind, ModelVariant, Offering, OfferingCatalog,
+        PoolSpec, PreemptionProcess, PriceTrace, PurchaseOption, ThroughputDegradation,
+        TraceMarket, VariantCatalog, VariantError,
     };
     pub use kairos_sim::{
         allowable_throughput, allowable_throughput_many, run_trace, BatchingOptions,
         CapacityOptions, ClusterAction, ClusterSpec, EngineEvent, EngineHook, FcfsScheduler,
-        Scheduler, ServiceSpec, ShardedEngine, SharingMode, SharingOptions, SimContext, SimEngine,
-        SimulationOptions,
+        Scheduler, ServerlessConfig, ServiceSpec, ShardedEngine, SharingMode, SharingOptions,
+        SimContext, SimEngine, SimulationOptions,
     };
     pub use kairos_workload::{
         ArrivalProcess, BatchSizeDistribution, MixSpec, MixedTraceSpec, ModelId, Phase,
